@@ -1,0 +1,216 @@
+(* sublayer-lab: a command-line front end to the library.
+
+     dune exec bin/sublayer_lab.exe -- tcp --loss 0.05 --bytes 100000 --cc cubic
+     dune exec bin/sublayer_lab.exe -- route --topology grid --protocol ls
+     dune exec bin/sublayer_lab.exe -- stuffing --flag 01111110 --trigger 11111 --stuff 0
+     dune exec bin/sublayer_lab.exe -- search
+     dune exec bin/sublayer_lab.exe -- mcheck
+*)
+
+open Cmdliner
+
+let random_data seed n =
+  let rng = Bitkit.Rng.create seed in
+  String.init n (fun _ -> Char.chr (Bitkit.Rng.int rng 256))
+
+(* --- tcp --- *)
+
+let tcp_cmd =
+  let run loss bytes cc_name stack seed =
+    let cc =
+      match
+        List.find_opt (fun a -> a.Transport.Cc.algo_name = cc_name) Transport.Cc.all
+      with
+      | Some a -> a
+      | None -> Transport.Cc.reno
+    in
+    let factory =
+      match stack with
+      | "monolithic" -> Transport.Tcp_monolithic.factory
+      | "shim" -> Transport.Shim.factory
+      | "watson" -> Transport.Tcp_watson.factory ()
+      | "secure" -> Transport.Tcp_secure.factory ~key:Transport.Tcp_secure.demo_key
+      | _ -> Transport.Host.sublayered
+    in
+    let config = { Transport.Config.default with cc } in
+    let engine = Sim.Engine.create ~seed () in
+    let a, b =
+      Transport.Host.pair engine ~config ~factory_a:factory ~factory_b:factory
+        (Sim.Channel.lossy loss)
+    in
+    Transport.Host.listen b ~port:80;
+    let server = ref None in
+    Transport.Host.on_accept b (fun c -> server := Some c);
+    let c = Transport.Host.connect a ~remote_port:80 () in
+    let data = random_data seed bytes in
+    Transport.Host.write c data;
+    Transport.Host.close c;
+    let rec drive () =
+      if Sim.Engine.now engine < 600. && not (Transport.Host.finished c) then begin
+        Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+        drive ()
+      end
+    in
+    drive ();
+    let t = Sim.Engine.now engine in
+    Sim.Engine.run ~until:(t +. 30.) engine;
+    (match !server with
+    | Some srv when Transport.Host.received srv = data ->
+        Printf.printf "transferred %d bytes over %.0f%% loss in %.2fs virtual (%s, %s)\n"
+          bytes (100. *. loss) t cc.Transport.Cc.algo_name stack
+    | _ -> Printf.printf "TRANSFER FAILED\n");
+    ()
+  in
+  let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Segment loss probability.") in
+  let bytes = Arg.(value & opt int 100_000 & info [ "bytes" ] ~doc:"Stream size.") in
+  let cc =
+    Arg.(value & opt string "reno" & info [ "cc" ] ~doc:"reno | cubic | vegas | fixed-8 | aimd.")
+  in
+  let stack =
+    Arg.(value & opt string "sublayered"
+         & info [ "stack" ] ~doc:"sublayered | monolithic | shim | watson | secure.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  Cmd.v (Cmd.info "tcp" ~doc:"Run a TCP transfer in the simulator.")
+    Term.(const run $ loss $ bytes $ cc $ stack $ seed)
+
+(* --- route --- *)
+
+let route_cmd =
+  let run topology protocol =
+    let routing =
+      match protocol with
+      | "ls" -> Network.Link_state.factory ()
+      | "pv" -> Network.Path_vector.factory ()
+      | _ -> Network.Distance_vector.factory ()
+    in
+    let n, edges =
+      match topology with
+      | "ring" -> (10, Network.Topology.ring 10)
+      | "line" -> (8, Network.Topology.line 8)
+      | "grid" -> (16, Network.Topology.grid 4 4)
+      | _ -> (16, Network.Topology.random ~n:16 ~extra:8 ~seed:3)
+    in
+    let engine = Sim.Engine.create ~seed:1 () in
+    let net = Network.Topology.build engine ~routing ~n edges in
+    (match Network.Topology.converge net with
+    | Some t -> Printf.printf "%s converged on %s (%d nodes) at t=%.1fs\n" protocol topology n t
+    | None -> Printf.printf "did not converge\n");
+    (match Network.Topology.fib_path net ~src:0 ~dst:(n - 1) with
+    | Some p ->
+        Printf.printf "path 0 -> %d: %s\n" (n - 1)
+          (String.concat " -> " (List.map string_of_int p))
+    | None -> Printf.printf "no path\n");
+    Network.Topology.stop net
+  in
+  let topology =
+    Arg.(value & opt string "random" & info [ "topology" ] ~doc:"ring | line | grid | random.")
+  in
+  let protocol = Arg.(value & opt string "dv" & info [ "protocol" ] ~doc:"dv | ls | pv.") in
+  Cmd.v (Cmd.info "route" ~doc:"Build a routed network and converge it.")
+    Term.(const run $ topology $ protocol)
+
+(* --- stuffing --- *)
+
+let stuffing_cmd =
+  let run flag trigger stuff =
+    let scheme =
+      { Stuffing.Rule.flag = Stuffing.Rule.bits_of_string flag;
+        rule = { Stuffing.Rule.trigger = Stuffing.Rule.bits_of_string trigger;
+                 stuff = stuff = 1 } }
+    in
+    Printf.printf "scheme: %s\n" (Format.asprintf "%a" Stuffing.Rule.pp_scheme scheme);
+    (match Stuffing.Automaton.check scheme with
+    | Ok () ->
+        Printf.printf "valid (exact automaton check, all data lengths)\n";
+        Printf.printf "overhead: naive 1/%.0f, exact 1/%.1f\n"
+          (1. /. Stuffing.Overhead.naive scheme.Stuffing.Rule.rule)
+          (1. /. Stuffing.Overhead.stationary scheme.Stuffing.Rule.rule)
+    | Error v ->
+        Printf.printf "INVALID: %s\n" (Format.asprintf "%a" Stuffing.Automaton.pp_violation v);
+        (match Stuffing.Automaton.find_counterexample scheme ~max_len:10 with
+        | Some d -> Printf.printf "counterexample: %s\n" (Stuffing.Rule.string_of_bits d)
+        | None -> Printf.printf "(no counterexample within 10 bits)\n"))
+  in
+  let flag = Arg.(value & opt string "01111110" & info [ "flag" ] ~doc:"Flag bits.") in
+  let trigger = Arg.(value & opt string "11111" & info [ "trigger" ] ~doc:"Trigger bits.") in
+  let stuff = Arg.(value & opt int 0 & info [ "stuff" ] ~doc:"Stuffed bit (0 or 1).") in
+  Cmd.v (Cmd.info "stuffing" ~doc:"Check a bit-stuffing scheme exactly.")
+    Term.(const run $ flag $ trigger $ stuff)
+
+(* --- search --- *)
+
+let search_cmd =
+  let run () =
+    Format.printf "%a"
+      Stuffing.Search.pp_outcome
+      (Stuffing.Search.run ~best_limit:10 Stuffing.Search.structured_space)
+  in
+  Cmd.v (Cmd.info "search" ~doc:"Search for valid stuffing schemes (paper §4.1).")
+    Term.(const run $ const ())
+
+(* --- mcheck --- *)
+
+let mcheck_cmd =
+  let run () =
+    List.iter
+      (fun m -> Format.printf "%a" Mcheck.Checker.pp_report (Mcheck.Checker.run m))
+      [ Mcheck.Model_rd.model Mcheck.Model_rd.default;
+        Mcheck.Model_cm.model Mcheck.Model_cm.default;
+        Mcheck.Model_cm.close_model ~capacity:2;
+        Mcheck.Model_osr.model ~n:6;
+        Mcheck.Model_msg.model ~messages:3 ~frags:2;
+        Mcheck.Model_mono.model Mcheck.Model_mono.default ];
+    Format.printf "%a" Mcheck.Entangle.pp_summary ()
+  in
+  Cmd.v (Cmd.info "mcheck" ~doc:"Model-check the protocol models (paper §4.2).")
+    Term.(const run $ const ())
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run loss bytes =
+    let engine = Sim.Engine.create ~seed:2 () in
+    let trace = Sim.Trace.create () in
+    let to_a = ref (fun (_ : string) -> ()) in
+    let to_b = ref (fun (_ : string) -> ()) in
+    let ch dir =
+      Sim.Channel.create engine (Sim.Channel.lossy loss) ~size:String.length
+        ~deliver:(fun s -> !dir s)
+        ()
+    in
+    let ab = ch to_b and ba = ch to_a in
+    let received = Buffer.create 1024 in
+    let a =
+      Transport.Tcp_sublayered.create engine ~trace ~name:"client"
+        Transport.Config.default ~local_port:1000 ~remote_port:80
+        ~transmit:(fun s -> Sim.Channel.send ab s)
+        ~events:(fun _ -> ())
+    in
+    let b =
+      Transport.Tcp_sublayered.create engine ~trace ~name:"server"
+        Transport.Config.default ~local_port:80 ~remote_port:1000
+        ~transmit:(fun s -> Sim.Channel.send ba s)
+        ~events:(function `Data s -> Buffer.add_string received s | _ -> ())
+    in
+    to_a := Transport.Tcp_sublayered.from_wire a;
+    to_b := Transport.Tcp_sublayered.from_wire b;
+    Transport.Tcp_sublayered.listen b;
+    Transport.Tcp_sublayered.connect a;
+    Transport.Tcp_sublayered.write a (random_data 2 bytes);
+    Transport.Tcp_sublayered.close a;
+    Sim.Engine.run ~until:60. engine;
+    Printf.printf "transfer of %d bytes complete (received %d); sublayer trace:\n\n"
+      bytes (Buffer.length received);
+    Format.printf "%a" Sim.Trace.pp trace
+  in
+  let loss = Arg.(value & opt float 0.1 & info [ "loss" ] ~doc:"Loss probability.") in
+  let bytes = Arg.(value & opt int 5_000 & info [ "bytes" ] ~doc:"Stream size.") in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the sublayer event trace of a lossy transfer.")
+    Term.(const run $ loss $ bytes)
+
+let () =
+  let doc = "sublayered-protocols laboratory (HotNets '24 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "sublayer-lab" ~doc)
+                    [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Bitkit Char Float List Printf Sim String Transport

@@ -1,0 +1,1 @@
+examples/full_stack.ml: Array Bitkit Char List Network Printf Sim String Sys Transport

@@ -1,0 +1,1 @@
+examples/interop.ml: Format Printf Sim String Transport

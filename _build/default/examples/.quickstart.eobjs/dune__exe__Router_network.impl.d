@@ -1,0 +1,1 @@
+examples/router_network.ml: Array List Network Printf Sim String Sys

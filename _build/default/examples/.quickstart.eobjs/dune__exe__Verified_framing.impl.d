@@ -1,0 +1,1 @@
+examples/verified_framing.ml: Automaton Codec Format Lemmas List Overhead Printf Rule Search Stuffing

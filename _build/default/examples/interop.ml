@@ -1,0 +1,70 @@
+(* Interop (paper §3.1): a sublayered endpoint behind the shim speaks
+   the standard RFC 793 wire format and converses with the monolithic
+   lwIP-style stack. The example prints the first few wire segments so
+   you can see genuine 20-byte TCP headers flowing.
+
+     dune exec examples/interop.exe
+*)
+
+let describe wire =
+  match Transport.Wire.decode wire with
+  | Some (h, payload) ->
+      Printf.sprintf "%s + %d bytes payload"
+        (Format.asprintf "%a" Transport.Wire.pp h)
+        (String.length payload)
+  | None -> Printf.sprintf "<undecodable %d bytes>" (String.length wire)
+
+let () =
+  let engine = Sim.Engine.create ~seed:31 () in
+  let shown = ref 0 in
+  let spy dir wire =
+    if !shown < 12 then begin
+      incr shown;
+      Printf.printf "  %s %s\n" dir (describe wire)
+    end
+  in
+  (* Wire the two hosts manually so we can put a spy on the channel. *)
+  let to_client = ref (fun (_ : string) -> ()) in
+  let to_server = ref (fun (_ : string) -> ()) in
+  let mk dir target =
+    Sim.Channel.create engine (Sim.Channel.lossy 0.01) ~size:String.length
+      ~deliver:(fun s ->
+        spy dir s;
+        !target s)
+      ()
+  in
+  let c2s = mk "c->s" to_server in
+  let s2c = mk "s<-c" to_client in
+  (* Client: sublayered TCP behind the shim. Server: monolithic. *)
+  let client_host =
+    Transport.Host.create engine ~factory:Transport.Shim.factory ~name:"client"
+      ~transmit:(fun s -> Sim.Channel.send c2s s)
+      ()
+  in
+  let server_host =
+    Transport.Host.create engine ~factory:Transport.Tcp_monolithic.factory ~name:"server"
+      ~transmit:(fun s -> Sim.Channel.send s2c s)
+      ()
+  in
+  to_client := Transport.Host.from_wire client_host;
+  to_server := Transport.Host.from_wire server_host;
+
+  Transport.Host.listen server_host ~port:80;
+  let server_conn = ref None in
+  Transport.Host.on_accept server_host (fun c -> server_conn := Some c);
+
+  let conn = Transport.Host.connect client_host ~remote_port:80 () in
+  let request = "GET /sublayering HTTP/1.0\r\n\r\n" in
+  Transport.Host.write conn request;
+  Transport.Host.close conn;
+  Printf.printf "wire traffic (standard TCP headers on both sides):\n";
+  Sim.Engine.run ~until:60. engine;
+
+  match !server_conn with
+  | Some srv when Transport.Host.received srv = request ->
+      Printf.printf "\nmonolithic server received the request intact (%d bytes)\n"
+        (String.length request);
+      Printf.printf "sublayered-behind-shim and monolithic TCP interoperate.\n"
+  | Some srv ->
+      Printf.printf "\nMISMATCH: server got %d bytes\n" (Transport.Host.received_length srv)
+  | None -> Printf.printf "\nNO CONNECTION\n"

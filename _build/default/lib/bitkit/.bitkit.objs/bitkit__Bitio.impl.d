@@ -1,0 +1,1 @@
+lib/bitkit/bitio.ml: Buffer Char String

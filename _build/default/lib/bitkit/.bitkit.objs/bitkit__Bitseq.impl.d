@@ -1,0 +1,1 @@
+lib/bitkit/bitseq.ml: Array Bytes Char Format List Rng Stdlib String

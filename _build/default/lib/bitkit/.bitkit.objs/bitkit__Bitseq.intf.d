@@ -1,0 +1,1 @@
+lib/bitkit/bitseq.mli: Bytes Format Rng

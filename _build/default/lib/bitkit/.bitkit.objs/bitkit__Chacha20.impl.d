@@ -1,0 +1,1 @@
+lib/bitkit/chacha20.ml: Array Bytes Char String

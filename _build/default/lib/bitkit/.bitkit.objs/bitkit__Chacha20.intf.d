@@ -1,0 +1,1 @@
+lib/bitkit/chacha20.mli:

@@ -1,0 +1,1 @@
+lib/bitkit/checksum.ml: Char Int32 String

@@ -1,0 +1,1 @@
+lib/bitkit/checksum.mli:

@@ -1,0 +1,1 @@
+lib/bitkit/crc.ml: Array Char Int64 String

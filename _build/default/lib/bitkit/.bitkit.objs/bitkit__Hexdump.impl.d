@@ -1,0 +1,1 @@
+lib/bitkit/hexdump.ml: Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/bitkit/hexdump.mli: Format

@@ -1,0 +1,1 @@
+lib/bitkit/siphash.ml: Char Int64 String

@@ -1,0 +1,81 @@
+module Writer = struct
+  type t = { buf : Buffer.t; mutable acc : int; mutable nbits : int; mutable total : int }
+
+  let create () = { buf = Buffer.create 64; acc = 0; nbits = 0; total = 0 }
+
+  let bit t b =
+    t.acc <- (t.acc lsl 1) lor (if b then 1 else 0);
+    t.nbits <- t.nbits + 1;
+    t.total <- t.total + 1;
+    if t.nbits = 8 then begin
+      Buffer.add_char t.buf (Char.chr t.acc);
+      t.acc <- 0;
+      t.nbits <- 0
+    end
+
+  let bits t value width =
+    assert (width >= 0 && width <= 62);
+    for i = width - 1 downto 0 do
+      bit t ((value lsr i) land 1 = 1)
+    done
+
+  let uint8 t v = bits t v 8
+  let uint16 t v = bits t v 16
+  let uint32 t v = bits t v 32
+
+  let pad_to_byte t = while t.nbits <> 0 do bit t false done
+
+  let bytes t s =
+    if t.nbits <> 0 then invalid_arg "Bitio.Writer.bytes: not byte-aligned";
+    Buffer.add_string t.buf s;
+    t.total <- t.total + (8 * String.length s)
+
+  let bit_length t = t.total
+
+  let contents t =
+    let copy = { buf = Buffer.create 0; acc = t.acc; nbits = t.nbits; total = t.total } in
+    Buffer.add_buffer copy.buf t.buf;
+    pad_to_byte copy;
+    Buffer.contents copy.buf
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string data = { data; pos = 0 }
+
+  let bit t =
+    let byte = t.pos lsr 3 in
+    if byte >= String.length t.data then raise Truncated;
+    let b = Char.code t.data.[byte] in
+    let v = b land (0x80 lsr (t.pos land 7)) <> 0 in
+    t.pos <- t.pos + 1;
+    v
+
+  let bits t width =
+    assert (width >= 0 && width <= 62);
+    let v = ref 0 in
+    for _ = 1 to width do
+      v := (!v lsl 1) lor (if bit t then 1 else 0)
+    done;
+    !v
+
+  let uint8 t = bits t 8
+  let uint16 t = bits t 16
+  let uint32 t = bits t 32
+
+  let bytes t n =
+    if t.pos land 7 <> 0 then invalid_arg "Bitio.Reader.bytes: not byte-aligned";
+    let start = t.pos lsr 3 in
+    if start + n > String.length t.data then raise Truncated;
+    t.pos <- t.pos + (8 * n);
+    String.sub t.data start n
+
+  let skip_to_byte t = t.pos <- (t.pos + 7) land lnot 7
+
+  let remaining_bits t = (8 * String.length t.data) - t.pos
+
+  let rest t = bytes t (remaining_bits t / 8)
+end

@@ -1,0 +1,47 @@
+(** Bit-granular readers and writers for header codecs.
+
+    Every sublayer header in the repository is encoded/decoded through this
+    module, which makes bit-level field boundaries explicit — the mechanism
+    by which test T3 (each sublayer owns disjoint packet bits) is enforced
+    and audited. Multi-bit fields are MSB-first (network order). *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val bit : t -> bool -> unit
+  val bits : t -> int -> int -> unit
+  (** [bits w value width] appends the low [width] bits of [value],
+      MSB first. [0 <= width <= 62]. *)
+
+  val uint8 : t -> int -> unit
+  val uint16 : t -> int -> unit
+  val uint32 : t -> int -> unit
+  val bytes : t -> string -> unit
+  (** [bytes w s] appends [s]; the writer must be byte-aligned. *)
+
+  val pad_to_byte : t -> unit
+  val bit_length : t -> int
+  val contents : t -> string
+  (** Zero-pads to a byte boundary and returns the packed bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  exception Truncated
+
+  val of_string : string -> t
+  val bit : t -> bool
+  val bits : t -> int -> int
+  val uint8 : t -> int
+  val uint16 : t -> int
+  val uint32 : t -> int
+  val bytes : t -> int -> string
+  (** [bytes r n] reads [n] whole bytes; the reader must be byte-aligned. *)
+
+  val skip_to_byte : t -> unit
+  val remaining_bits : t -> int
+  val rest : t -> string
+  (** All remaining bytes (reader must be byte-aligned). *)
+end

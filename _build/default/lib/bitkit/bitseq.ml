@@ -1,0 +1,134 @@
+(* Bits are stored MSB-first: bit [i] lives in byte [i / 8] at bit
+   position [7 - i mod 8]. [len] is the number of valid bits; trailing
+   padding bits in the last byte are always zero, which makes [equal]
+   and [compare] a plain byte comparison. *)
+type t = { data : Bytes.t; len : int }
+
+let empty = { data = Bytes.empty; len = 0 }
+
+let length t = t.len
+
+let bytes_for_bits n = (n + 7) / 8
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitseq.get";
+  let b = Char.code (Bytes.unsafe_get t.data (i lsr 3)) in
+  b land (0x80 lsr (i land 7)) <> 0
+
+let unsafe_set_bit data i v =
+  let byte = i lsr 3 in
+  let mask = 0x80 lsr (i land 7) in
+  let b = Char.code (Bytes.unsafe_get data byte) in
+  let b = if v then b lor mask else b land lnot mask in
+  Bytes.unsafe_set data byte (Char.chr b)
+
+let init n f =
+  let data = Bytes.make (bytes_for_bits n) '\000' in
+  for i = 0 to n - 1 do
+    if f i then unsafe_set_bit data i true
+  done;
+  { data; len = n }
+
+let of_bool_list l =
+  let arr = Array.of_list l in
+  init (Array.length arr) (fun i -> arr.(i))
+
+let to_bool_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get t i :: acc) in
+  go (t.len - 1) []
+
+let of_bytes_bits b len =
+  if len < 0 || len > 8 * Bytes.length b then invalid_arg "Bitseq.of_bytes_bits";
+  let data = Bytes.sub b 0 (bytes_for_bits len) in
+  (* Clear padding so structural equality remains byte equality. *)
+  if len land 7 <> 0 then begin
+    let last = bytes_for_bits len - 1 in
+    let keep = 0xFF lsl (8 - (len land 7)) land 0xFF in
+    Bytes.set data last (Char.chr (Char.code (Bytes.get data last) land keep))
+  end;
+  { data; len }
+
+let of_string s =
+  { data = Bytes.of_string s; len = 8 * String.length s }
+
+let to_string t = Bytes.to_string t.data
+
+let of_bits s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Bitseq.of_bits")
+
+let to_bits t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+let append a b =
+  init (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+
+let concat l = List.fold_left append empty l
+
+let cons bit t = init (t.len + 1) (fun i -> if i = 0 then bit else get t (i - 1))
+
+let snoc t bit = init (t.len + 1) (fun i -> if i < t.len then get t i else bit)
+
+let sub t pos len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Bitseq.sub";
+  init len (fun i -> get t (pos + i))
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Bytes.compare a.data b.data
+
+let is_prefix ~prefix t =
+  prefix.len <= t.len
+  &&
+  let rec go i = i >= prefix.len || (get prefix i = get t i && go (i + 1)) in
+  go 0
+
+let find_sub ~pattern t =
+  let n = t.len - pattern.len in
+  let matches_at pos =
+    let rec go i = i >= pattern.len || (get pattern i = get t (pos + i) && go (i + 1)) in
+    go 0
+  in
+  let rec search pos =
+    if pos > n then None else if matches_at pos then Some pos else search (pos + 1)
+  in
+  if pattern.len = 0 then Some 0 else search 0
+
+let popcount t =
+  let n = ref 0 in
+  for i = 0 to t.len - 1 do
+    if get t i then incr n
+  done;
+  !n
+
+let map f t = init t.len (fun i -> f (get t i))
+
+let flip t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitseq.flip";
+  init t.len (fun j -> if j = i then not (get t j) else get t j)
+
+let random rng n = init n (fun _ -> Rng.bool rng)
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (get t i)
+  done;
+  !acc
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (get t i)
+  done
+
+let rev t = init t.len (fun i -> get t (t.len - 1 - i))
+
+let repeat t k =
+  let rec go k acc = if k <= 0 then acc else go (k - 1) (append acc t) in
+  go k empty
+
+let pp fmt t = Format.pp_print_string fmt (to_bits t)

@@ -1,0 +1,61 @@
+(** Immutable sequences of bits.
+
+    A [Bitseq.t] is an arbitrary-length bit string with O(1) random access,
+    stored MSB-first within bytes. It is the common currency between the
+    physical-layer encodings, the framing sublayers and the verified
+    bit-stuffing library (which prefers [bool list] but converts freely). *)
+
+type t
+
+val empty : t
+val length : t -> int
+val get : t -> int -> bool
+(** [get t i] is bit [i] (0-based). Raises [Invalid_argument] out of range. *)
+
+val of_bool_list : bool list -> t
+val to_bool_list : t -> bool list
+val of_bytes_bits : Bytes.t -> int -> t
+(** [of_bytes_bits b len] views the first [len] bits of [b] (MSB-first
+    packing) as a bit string; the buffer is copied and padding cleared. *)
+
+val of_string : string -> t
+(** [of_string s] interprets each [char] of [s] as 8 bits, MSB first. *)
+
+val to_string : t -> string
+(** [to_string t] packs bits into bytes (zero-padded to a byte boundary). *)
+
+val of_bits : string -> t
+(** [of_bits "0110"] parses a literal of ['0']/['1'] characters. *)
+
+val to_bits : t -> string
+(** Inverse of {!of_bits}: a ['0']/['1'] rendering. *)
+
+val append : t -> t -> t
+val concat : t list -> t
+val cons : bool -> t -> t
+val snoc : t -> bool -> t
+val sub : t -> int -> int -> t
+(** [sub t pos len] is the [len]-bit slice starting at [pos]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_prefix : prefix:t -> t -> bool
+val find_sub : pattern:t -> t -> int option
+(** [find_sub ~pattern t] is the index of the first occurrence of
+    [pattern] in [t], if any. *)
+
+val popcount : t -> int
+val map : (bool -> bool) -> t -> t
+val flip : t -> int -> t
+(** [flip t i] is [t] with bit [i] inverted (used for error injection). *)
+
+val random : Rng.t -> int -> t
+(** [random rng n] is a uniform random bit string of length [n]. *)
+
+val fold_left : ('a -> bool -> 'a) -> 'a -> t -> 'a
+val iteri : (int -> bool -> unit) -> t -> unit
+val rev : t -> t
+val repeat : t -> int -> t
+(** [repeat t k] is [t] concatenated [k] times. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+let mask = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let quarter_round (a, b, c, d) =
+  let a = (a + b) land mask in
+  let d = rotl (d lxor a) 16 in
+  let c = (c + d) land mask in
+  let b = rotl (b lxor c) 12 in
+  let a = (a + b) land mask in
+  let d = rotl (d lxor a) 8 in
+  let c = (c + d) land mask in
+  let b = rotl (b lxor c) 7 in
+  (a, b, c, d)
+
+let word32_le s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let qr st a b c d =
+  let xa, xb, xc, xd = quarter_round (st.(a), st.(b), st.(c), st.(d)) in
+  st.(a) <- xa;
+  st.(b) <- xb;
+  st.(c) <- xc;
+  st.(d) <- xd
+
+let block ~key ~counter ~nonce =
+  if String.length key <> 32 then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20: nonce must be 12 bytes";
+  let init = Array.make 16 0 in
+  init.(0) <- 0x61707865;
+  init.(1) <- 0x3320646e;
+  init.(2) <- 0x79622d32;
+  init.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    init.(4 + i) <- word32_le key (4 * i)
+  done;
+  init.(12) <- counter land mask;
+  for i = 0 to 2 do
+    init.(13 + i) <- word32_le nonce (4 * i)
+  done;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    (* column rounds *)
+    qr st 0 4 8 12;
+    qr st 1 5 9 13;
+    qr st 2 6 10 14;
+    qr st 3 7 11 15;
+    (* diagonal rounds *)
+    qr st 0 5 10 15;
+    qr st 1 6 11 12;
+    qr st 2 7 8 13;
+    qr st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let w = (st.(i) + init.(i)) land mask in
+    Bytes.set out (4 * i) (Char.chr (w land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((w lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((w lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((w lsr 24) land 0xFF))
+  done;
+  Bytes.to_string out
+
+let encrypt ~key ?(counter = 1) ~nonce plaintext =
+  let n = String.length plaintext in
+  let out = Bytes.create n in
+  let i = ref 0 in
+  let blk = ref counter in
+  while !i < n do
+    let ks = block ~key ~counter:!blk ~nonce in
+    let chunk = min 64 (n - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.set out (!i + j)
+        (Char.chr (Char.code plaintext.[!i + j] lxor Char.code ks.[j]))
+    done;
+    i := !i + chunk;
+    incr blk
+  done;
+  Bytes.to_string out

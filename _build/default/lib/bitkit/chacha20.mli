@@ -1,0 +1,18 @@
+(** ChaCha20 stream cipher (RFC 8439).
+
+    Used by the transport record sublayer for payload confidentiality.
+    The implementation is validated against the RFC's quarter-round and
+    block-function test vectors in the test suite. Encryption and
+    decryption are the same operation (XOR keystream). *)
+
+val block : key:string -> counter:int -> nonce:string -> string
+(** [block ~key ~counter ~nonce] is the 64-byte keystream block for a
+    32-byte [key] and 12-byte [nonce]. *)
+
+val encrypt : key:string -> ?counter:int -> nonce:string -> string -> string
+(** XOR the input with the keystream starting at block [counter]
+    (default 1, as in the RFC's AEAD construction). *)
+
+val quarter_round : int * int * int * int -> int * int * int * int
+(** Exposed for the RFC 8439 §2.1.1 test vector. Operands and results
+    are 32-bit values in OCaml ints. *)

@@ -1,0 +1,62 @@
+let parity s =
+  let p = ref 0 in
+  String.iter
+    (fun c ->
+      let b = ref (Char.code c) in
+      while !b <> 0 do
+        p := !p lxor (!b land 1);
+        b := !b lsr 1
+      done)
+    s;
+  !p = 1
+
+let internet s =
+  let n = String.length s in
+  let sum = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xFFFF
+
+let internet_valid s = internet s = 0
+
+let fletcher16 s =
+  let a = ref 0 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 255;
+      b := (!b + !a) mod 255)
+    s;
+  (!b lsl 8) lor !a
+
+let fletcher32 s =
+  (* Operates on 16-bit words, zero-padding odd input. *)
+  let n = String.length s in
+  let a = ref 0 and b = ref 0 in
+  let word i =
+    let hi = Char.code s.[i] in
+    let lo = if i + 1 < n then Char.code s.[i + 1] else 0 in
+    (hi lsl 8) lor lo
+  in
+  let i = ref 0 in
+  while !i < n do
+    a := (!a + word !i) mod 65535;
+    b := (!b + !a) mod 65535;
+    i := !i + 2
+  done;
+  Int32.logor (Int32.shift_left (Int32.of_int !b) 16) (Int32.of_int !a)
+
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  Int32.logor (Int32.shift_left (Int32.of_int !b) 16) (Int32.of_int !a)

@@ -1,0 +1,20 @@
+(** Non-CRC error-detection codes.
+
+    Weaker (and cheaper) alternatives to CRCs for the error-detection
+    sublayer, used by the replaceability experiments and by the transport
+    wire format (the Internet checksum). *)
+
+val parity : string -> bool
+(** Even parity over all bits: [true] iff the number of 1 bits is odd. *)
+
+val internet : string -> int
+(** RFC 1071 16-bit one's-complement checksum (as used by IP/TCP/UDP).
+    Odd-length input is zero-padded. Result is in [0, 0xFFFF]. *)
+
+val internet_valid : string -> bool
+(** [internet_valid s] checks a buffer that embeds its own checksum:
+    the sum over the whole buffer must be zero. *)
+
+val fletcher16 : string -> int
+val fletcher32 : string -> int32
+val adler32 : string -> int32

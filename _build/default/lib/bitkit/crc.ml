@@ -1,0 +1,123 @@
+type params = {
+  name : string;
+  width : int;
+  poly : int64;
+  init : int64;
+  refin : bool;
+  refout : bool;
+  xorout : int64;
+  check : int64;
+}
+
+type t = { p : params; table : int64 array; mask : int64 }
+
+let mask_of_width w =
+  if w = 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let reflect v width =
+  let r = ref 0L in
+  for i = 0 to width - 1 do
+    if Int64.logand (Int64.shift_right_logical v i) 1L = 1L then
+      r := Int64.logor !r (Int64.shift_left 1L (width - 1 - i))
+  done;
+  !r
+
+(* For reflected CRCs the whole computation runs LSB-first: the table is
+   built from the reflected polynomial and the running remainder is kept
+   reflected, so no per-byte reflection is needed. *)
+let make p =
+  if p.width < 8 || p.width > 64 then invalid_arg "Crc.make: width";
+  if p.refin <> p.refout then invalid_arg "Crc.make: refin <> refout unsupported";
+  let mask = mask_of_width p.width in
+  let table = Array.make 256 0L in
+  if p.refin then begin
+    let rpoly = reflect p.poly p.width in
+    for i = 0 to 255 do
+      let r = ref (Int64.of_int i) in
+      for _ = 1 to 8 do
+        r :=
+          if Int64.logand !r 1L = 1L then
+            Int64.logxor (Int64.shift_right_logical !r 1) rpoly
+          else Int64.shift_right_logical !r 1
+      done;
+      table.(i) <- !r
+    done
+  end
+  else begin
+    let top = Int64.shift_left 1L (p.width - 1) in
+    for i = 0 to 255 do
+      let r = ref (Int64.shift_left (Int64.of_int i) (p.width - 8)) in
+      for _ = 1 to 8 do
+        r :=
+          if Int64.logand !r top <> 0L then
+            Int64.logand (Int64.logxor (Int64.shift_left !r 1) p.poly) mask
+          else Int64.logand (Int64.shift_left !r 1) mask
+      done;
+      table.(i) <- !r
+    done
+  end;
+  { p; table; mask }
+
+let params t = t.p
+
+let digest_sub t s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc.digest_sub";
+  let p = t.p in
+  let crc = ref (if p.refin then reflect p.init p.width else p.init) in
+  if p.refin then
+    for i = pos to pos + len - 1 do
+      let idx =
+        Int64.to_int (Int64.logand (Int64.logxor !crc (Int64.of_int (Char.code s.[i]))) 0xFFL)
+      in
+      crc := Int64.logxor t.table.(idx) (Int64.shift_right_logical !crc 8)
+    done
+  else
+    for i = pos to pos + len - 1 do
+      let idx =
+        Int64.to_int
+          (Int64.logand
+             (Int64.logxor
+                (Int64.shift_right_logical !crc (p.width - 8))
+                (Int64.of_int (Char.code s.[i])))
+             0xFFL)
+      in
+      crc := Int64.logand (Int64.logxor t.table.(idx) (Int64.shift_left !crc 8)) t.mask
+    done;
+  Int64.logand (Int64.logxor !crc p.xorout) t.mask
+
+let digest t s = digest_sub t s 0 (String.length s)
+
+let self_test t = digest t "123456789" = t.p.check
+
+let crc8 =
+  { name = "CRC-8"; width = 8; poly = 0x07L; init = 0L; refin = false;
+    refout = false; xorout = 0L; check = 0xF4L }
+
+let crc16_ccitt =
+  { name = "CRC-16/CCITT-FALSE"; width = 16; poly = 0x1021L; init = 0xFFFFL;
+    refin = false; refout = false; xorout = 0L; check = 0x29B1L }
+
+let crc16_arc =
+  { name = "CRC-16/ARC"; width = 16; poly = 0x8005L; init = 0L; refin = true;
+    refout = true; xorout = 0L; check = 0xBB3DL }
+
+let crc32 =
+  { name = "CRC-32"; width = 32; poly = 0x04C11DB7L; init = 0xFFFFFFFFL;
+    refin = true; refout = true; xorout = 0xFFFFFFFFL; check = 0xCBF43926L }
+
+let crc32c =
+  { name = "CRC-32C"; width = 32; poly = 0x1EDC6F41L; init = 0xFFFFFFFFL;
+    refin = true; refout = true; xorout = 0xFFFFFFFFL; check = 0xE3069283L }
+
+let crc64_xz =
+  { name = "CRC-64/XZ"; width = 64; poly = 0x42F0E1EBA9EA3693L;
+    init = -1L; refin = true; refout = true; xorout = -1L;
+    check = 0x995DC9BBDF1939FAL }
+
+let crc64_ecma =
+  { name = "CRC-64/ECMA-182"; width = 64; poly = 0x42F0E1EBA9EA3693L;
+    init = 0L; refin = false; refout = false; xorout = 0L;
+    check = 0x6C40DF5F0B497347L }
+
+let all = [ crc8; crc16_ccitt; crc16_arc; crc32; crc32c; crc64_xz; crc64_ecma ]

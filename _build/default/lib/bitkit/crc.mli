@@ -1,0 +1,52 @@
+(** Generic table-driven cyclic redundancy checks.
+
+    The error-detection sublayer of the data link (paper §2.1) is the
+    canonical example of sublayer replaceability: "go from say CRC-32 to
+    CRC-64 without changing other sublayers". This module provides the CRC
+    engine and the standard parameterisations used by those experiments.
+
+    Widths from 8 to 64 bits are supported; [refin] must equal [refout]
+    (true of every catalogued CRC we use). *)
+
+type params = {
+  name : string;
+  width : int;
+  poly : int64;
+  init : int64;
+  refin : bool;
+  refout : bool;
+  xorout : int64;
+  check : int64;  (** expected CRC of "123456789", for self-test *)
+}
+
+type t
+
+val make : params -> t
+(** Builds the 256-entry lookup table for [params]. *)
+
+val params : t -> params
+
+val digest : t -> string -> int64
+(** [digest t s] is the CRC of [s]. *)
+
+val digest_sub : t -> string -> int -> int -> int64
+(** [digest_sub t s pos len] is the CRC of the slice [s.[pos..pos+len-1]]. *)
+
+val self_test : t -> bool
+(** [self_test t] checks [digest t "123456789" = params.check]. *)
+
+(** Catalogue of standard CRCs. *)
+
+(** CRC-8 (SMBus, poly 0x07); CRC-16/CCITT-FALSE (0x1021); CRC-16/ARC
+    (reflected, 0x8005); CRC-32/ISO-HDLC (zlib); CRC-32C (Castagnoli);
+    CRC-64/XZ (reflected); CRC-64/ECMA-182 (unreflected). *)
+
+val crc8 : params
+val crc16_ccitt : params
+val crc16_arc : params
+val crc32 : params
+val crc32c : params
+val crc64_xz : params
+val crc64_ecma : params
+
+val all : params list

@@ -1,0 +1,45 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let of_string s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         let b = Char.code c in
+         Printf.sprintf "%c%c" (hex_digit (b lsr 4)) (hex_digit (b land 0xF)))
+       (List.init (String.length s) (String.get s)))
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hexdump.to_string"
+
+let to_string s =
+  let n = String.length s in
+  if n land 1 = 1 then invalid_arg "Hexdump.to_string: odd length";
+  String.init (n / 2) (fun i ->
+      Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+
+let pp fmt s =
+  let n = String.length s in
+  let line off =
+    let len = min 16 (n - off) in
+    let hex =
+      String.concat " "
+        (List.init len (fun i ->
+             let b = Char.code s.[off + i] in
+             Printf.sprintf "%02x" b))
+    in
+    let ascii =
+      String.init len (fun i ->
+          let c = s.[off + i] in
+          if Char.code c >= 32 && Char.code c < 127 then c else '.')
+    in
+    Format.fprintf fmt "%08x  %-47s  |%s|@." off hex ascii
+  in
+  let off = ref 0 in
+  while !off < n do
+    line !off;
+    off := !off + 16
+  done

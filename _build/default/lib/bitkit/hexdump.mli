@@ -1,0 +1,10 @@
+(** Hex rendering helpers for traces and debugging output. *)
+
+val of_string : string -> string
+(** ["\x01\xab"] becomes ["01ab"]. *)
+
+val to_string : string -> string
+(** Inverse of {!of_string}. Raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> string -> unit
+(** Classic 16-bytes-per-line hexdump with an ASCII gutter. *)

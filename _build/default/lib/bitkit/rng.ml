@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let bits t n =
+  assert (n >= 0 && n <= 62);
+  if n = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (int64 t) (64 - n))
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then go () else v
+  in
+  go ()
+
+let float t =
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  Float.of_int r *. 0x1p-53
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let coin t p = float t < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let exponential t rate =
+  assert (rate > 0.);
+  -.log1p (-.float t) /. rate

@@ -1,0 +1,72 @@
+let rotl x n = Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let word64_le s off =
+  let b i = Int64.of_int (Char.code s.[off + i]) in
+  let ( ||| ) = Int64.logor in
+  b 0
+  ||| Int64.shift_left (b 1) 8
+  ||| Int64.shift_left (b 2) 16
+  ||| Int64.shift_left (b 3) 24
+  ||| Int64.shift_left (b 4) 32
+  ||| Int64.shift_left (b 5) 40
+  ||| Int64.shift_left (b 6) 48
+  ||| Int64.shift_left (b 7) 56
+
+type state = { mutable v0 : int64; mutable v1 : int64; mutable v2 : int64; mutable v3 : int64 }
+
+let sipround s =
+  s.v0 <- Int64.add s.v0 s.v1;
+  s.v1 <- rotl s.v1 13;
+  s.v1 <- Int64.logxor s.v1 s.v0;
+  s.v0 <- rotl s.v0 32;
+  s.v2 <- Int64.add s.v2 s.v3;
+  s.v3 <- rotl s.v3 16;
+  s.v3 <- Int64.logxor s.v3 s.v2;
+  s.v0 <- Int64.add s.v0 s.v3;
+  s.v3 <- rotl s.v3 21;
+  s.v3 <- Int64.logxor s.v3 s.v0;
+  s.v2 <- Int64.add s.v2 s.v1;
+  s.v1 <- rotl s.v1 17;
+  s.v1 <- Int64.logxor s.v1 s.v2;
+  s.v2 <- rotl s.v2 32
+
+let hash ~key msg =
+  if String.length key <> 16 then invalid_arg "Siphash: key must be 16 bytes";
+  let k0 = word64_le key 0 and k1 = word64_le key 8 in
+  let s =
+    { v0 = Int64.logxor 0x736f6d6570736575L k0;
+      v1 = Int64.logxor 0x646f72616e646f6dL k1;
+      v2 = Int64.logxor 0x6c7967656e657261L k0;
+      v3 = Int64.logxor 0x7465646279746573L k1 }
+  in
+  let n = String.length msg in
+  let full = n / 8 in
+  for i = 0 to full - 1 do
+    let m = word64_le msg (8 * i) in
+    s.v3 <- Int64.logxor s.v3 m;
+    sipround s;
+    sipround s;
+    s.v0 <- Int64.logxor s.v0 m
+  done;
+  (* final block: remaining bytes plus the length in the top byte *)
+  let last = ref (Int64.shift_left (Int64.of_int (n land 0xFF)) 56) in
+  for i = 0 to (n mod 8) - 1 do
+    last :=
+      Int64.logor !last
+        (Int64.shift_left (Int64.of_int (Char.code msg.[(8 * full) + i])) (8 * i))
+  done;
+  s.v3 <- Int64.logxor s.v3 !last;
+  sipround s;
+  sipround s;
+  s.v0 <- Int64.logxor s.v0 !last;
+  s.v2 <- Int64.logxor s.v2 0xFFL;
+  sipround s;
+  sipround s;
+  sipround s;
+  sipround s;
+  Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+let tag ~key msg =
+  let h = hash ~key msg in
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical h (8 * i)) land 0xFF))

@@ -1,0 +1,10 @@
+(** SipHash-2-4 keyed hash (Aumasson–Bernstein).
+
+    Used by the transport record sublayer as its authentication tag.
+    Validated against the reference test vectors in the test suite. *)
+
+val hash : key:string -> string -> int64
+(** [hash ~key msg] with a 16-byte [key]. *)
+
+val tag : key:string -> string -> string
+(** The 8-byte little-endian serialisation of {!hash}. *)

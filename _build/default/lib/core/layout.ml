@@ -1,0 +1,54 @@
+type field = { fname : string; owner : string; offset : int; width : int }
+
+type t = { total : int; fields : field list }
+
+let overlap a b =
+  a.offset < b.offset + b.width && b.offset < a.offset + a.width
+
+let make ~total_bits fields =
+  let rec check = function
+    | [] -> Ok { total = total_bits; fields }
+    | f :: rest ->
+        if f.width <= 0 then Error (Printf.sprintf "field %s: empty" f.fname)
+        else if f.offset < 0 || f.offset + f.width > total_bits then
+          Error (Printf.sprintf "field %s: out of bounds" f.fname)
+        else begin
+          match List.find_opt (overlap f) rest with
+          | Some g -> Error (Printf.sprintf "fields %s and %s overlap" f.fname g.fname)
+          | None -> check rest
+        end
+  in
+  check fields
+
+let make_exn ~total_bits fields =
+  match make ~total_bits fields with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Layout.make_exn: " ^ msg)
+
+let total_bits t = t.total
+let fields t = t.fields
+
+let owners t =
+  List.fold_left
+    (fun acc f -> if List.mem f.owner acc then acc else acc @ [ f.owner ])
+    [] t.fields
+
+let fields_of t owner = List.filter (fun f -> f.owner = owner) t.fields
+
+let bits_of t owner =
+  List.fold_left (fun acc f -> acc + f.width) 0 (fields_of t owner)
+
+let covered_bits t = List.fold_left (fun acc f -> acc + f.width) 0 t.fields
+
+let owner_of_bit t i =
+  match List.find_opt (fun f -> i >= f.offset && i < f.offset + f.width) t.fields with
+  | Some f -> Some f.owner
+  | None -> None
+
+let pp fmt t =
+  Format.fprintf fmt "header (%d bits):@." t.total;
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  [%4d..%4d) %-12s owner=%s@." f.offset (f.offset + f.width)
+        f.fname f.owner)
+    t.fields

@@ -1,0 +1,42 @@
+(** Header-layout audit for test T3.
+
+    Test T3 demands that "each sublayer acts on separate packet bits ...
+    invisible to other sublayers". A {!t} describes a concrete header as a
+    list of bit fields, each tagged with the sublayer that owns it; {!make}
+    rejects overlapping fields, and the accessors let tests assert that the
+    fields of two sublayers are disjoint and that a header is fully
+    covered. The transport library registers the Figure 6 header here. *)
+
+type field = {
+  fname : string;
+  owner : string;  (** owning sublayer, e.g. "dm", "cm", "rd", "osr" *)
+  offset : int;    (** bit offset from the start of the header *)
+  width : int;     (** field width in bits *)
+}
+
+type t
+
+val make : total_bits:int -> field list -> (t, string) result
+(** Validates that fields are in-bounds and pairwise disjoint. *)
+
+val make_exn : total_bits:int -> field list -> t
+
+val total_bits : t -> int
+val fields : t -> field list
+val owners : t -> string list
+(** Distinct owners, in first-appearance order. *)
+
+val fields_of : t -> string -> field list
+(** Fields belonging to one owner. *)
+
+val bits_of : t -> string -> int
+(** Total bits owned by one sublayer. *)
+
+val covered_bits : t -> int
+(** Sum of all field widths (= [total_bits] iff the header is fully
+    accounted for). *)
+
+val owner_of_bit : t -> int -> string option
+(** Which sublayer owns a given bit position, if any. *)
+
+val pp : Format.formatter -> t -> unit

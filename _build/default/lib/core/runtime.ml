@@ -1,0 +1,61 @@
+module Make (S : Machine.S) = struct
+  type t = {
+    engine : Sim.Engine.t;
+    trace : Sim.Trace.t option;
+    name : string;
+    transmit : S.down_req -> unit;
+    deliver : S.up_ind -> unit;
+    mutable st : S.t;
+    (* Arming a timer that is already set re-arms it, so at most one event
+       per timer value is live. Timers are few per endpoint; an assoc list
+       with structural equality is simplest and deterministic. *)
+    mutable timers : (S.timer * Sim.Engine.handle) list;
+  }
+
+  let create engine ?trace ~name ~transmit ~deliver st =
+    { engine; trace; name; transmit; deliver; st; timers = [] }
+
+  let state t = t.st
+
+  let note t msg =
+    match t.trace with
+    | None -> ()
+    | Some tr -> Sim.Trace.record tr ~time:(Sim.Engine.now t.engine) ~actor:t.name msg
+
+  let cancel_timer t tm =
+    match List.assoc_opt tm t.timers with
+    | None -> ()
+    | Some handle ->
+        Sim.Engine.cancel handle;
+        t.timers <- List.remove_assoc tm t.timers
+
+  let rec apply t acts = List.iter (apply_one t) acts
+
+  and apply_one t = function
+    | Machine.Up ind -> t.deliver ind
+    | Machine.Down req -> t.transmit req
+    | Machine.Note msg -> note t msg
+    | Machine.Cancel_timer tm -> cancel_timer t tm
+    | Machine.Set_timer (tm, delay) ->
+        cancel_timer t tm;
+        let handle = Sim.Engine.schedule t.engine ~after:delay (fun () -> fire t tm) in
+        t.timers <- (tm, handle) :: t.timers
+
+  and fire t tm =
+    t.timers <- List.remove_assoc tm t.timers;
+    let st, acts = S.handle_timer t.st tm in
+    t.st <- st;
+    apply t acts
+
+  let from_above t req =
+    let st, acts = S.handle_up_req t.st req in
+    t.st <- st;
+    apply t acts
+
+  let from_below t ind =
+    let st, acts = S.handle_down_ind t.st ind in
+    t.st <- st;
+    apply t acts
+
+  let active_timers t = List.length t.timers
+end

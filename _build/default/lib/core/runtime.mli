@@ -1,0 +1,30 @@
+(** Runs a sublayer (or a whole {!Machine.Stack}) under the discrete-event
+    simulator: timers become engine events, [Down] requests go to a
+    transmit function (usually a {!Sim.Channel}), [Up] indications go to a
+    delivery callback, and [Note]s are recorded in an optional trace. *)
+
+module Make (S : Machine.S) : sig
+  type t
+
+  val create :
+    Sim.Engine.t ->
+    ?trace:Sim.Trace.t ->
+    name:string ->
+    transmit:(S.down_req -> unit) ->
+    deliver:(S.up_ind -> unit) ->
+    S.t ->
+    t
+  (** [name] identifies this endpoint in traces. *)
+
+  val state : t -> S.t
+  (** Current sublayer state (for assertions and inspection). *)
+
+  val from_above : t -> S.up_req -> unit
+  (** Inject an application-level request. *)
+
+  val from_below : t -> S.down_ind -> unit
+  (** Inject a message arriving from the wire; wire this as the channel's
+      delivery callback. *)
+
+  val active_timers : t -> int
+end

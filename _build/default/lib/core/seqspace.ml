@@ -1,0 +1,19 @@
+type t = { width : int; modulus : int; half : int }
+
+let create ~width =
+  if width < 1 || width > 62 then invalid_arg "Seqspace.create";
+  { width; modulus = 1 lsl width; half = 1 lsl (width - 1) }
+
+let width t = t.width
+let modulus t = t.modulus
+
+let wrap t v = v land (t.modulus - 1)
+
+let reconstruct t ~reference w =
+  let w = wrap t w in
+  let d = (w - reference) land (t.modulus - 1) in
+  let d = if d >= t.half then d - t.modulus else d in
+  reference + d
+
+let compare_near t ~reference a b =
+  Int.compare (reconstruct t ~reference a) (reconstruct t ~reference b)

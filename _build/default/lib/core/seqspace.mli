@@ -1,0 +1,29 @@
+(** Wrap-around sequence-number arithmetic.
+
+    Protocol machines keep unbounded integer sequence numbers internally
+    (so reasoning is simple) and put only the low [width] bits on the wire.
+    This module converts between the two: {!wrap} truncates for
+    transmission and {!reconstruct} recovers the unbounded value nearest to
+    a local reference — correct as long as the peer can never be more than
+    half the number space away, the classic windowing condition. Used by
+    the ARQ sublayers (16-bit) and by TCP sequence numbers (32-bit). *)
+
+type t
+
+val create : width:int -> t
+(** [width] in bits, between 1 and 62. *)
+
+val width : t -> int
+val modulus : t -> int
+
+val wrap : t -> int -> int
+(** Low [width] bits of an unbounded sequence number. *)
+
+val reconstruct : t -> reference:int -> int -> int
+(** [reconstruct t ~reference w] is the unbounded value congruent to [w]
+    within half the number space of [reference] (the result lies in
+    [reference - 2{^width-1}, reference + 2{^width-1})). It may be
+    negative if the wire value is garbage; callers should range-check. *)
+
+val compare_near : t -> reference:int -> int -> int -> int
+(** Compare two wire values after reconstruction around [reference]. *)

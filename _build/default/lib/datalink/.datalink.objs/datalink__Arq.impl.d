@@ -1,0 +1,1 @@
+lib/datalink/arq.ml: Bitkit Sublayer

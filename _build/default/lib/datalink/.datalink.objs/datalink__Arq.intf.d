@@ -1,0 +1,1 @@
+lib/datalink/arq.mli: Sublayer

@@ -1,0 +1,1 @@
+lib/datalink/arq_go_back_n.ml: Arq List Sublayer

@@ -1,0 +1,1 @@
+lib/datalink/arq_go_back_n.mli: Arq

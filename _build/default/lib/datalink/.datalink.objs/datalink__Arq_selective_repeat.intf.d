@@ -1,0 +1,1 @@
+lib/datalink/arq_selective_repeat.mli: Arq

@@ -1,0 +1,1 @@
+lib/datalink/arq_stop_and_wait.ml: Arq Sublayer

@@ -1,0 +1,1 @@
+lib/datalink/deframer.ml: Bitkit List Stuffing

@@ -1,0 +1,1 @@
+lib/datalink/deframer.mli: Bitkit Stuffing

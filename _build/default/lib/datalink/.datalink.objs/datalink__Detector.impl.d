@@ -1,0 +1,1 @@
+lib/datalink/detector.ml: Bitkit Bytes Char Float Fun Int64 String

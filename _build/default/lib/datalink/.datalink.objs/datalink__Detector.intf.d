@@ -1,0 +1,1 @@
+lib/datalink/detector.mli: Bitkit

@@ -1,0 +1,1 @@
+lib/datalink/framer.ml: Bitkit Buffer Char Printf String Stuffing

@@ -1,0 +1,1 @@
+lib/datalink/framer.mli: Bitkit Stuffing

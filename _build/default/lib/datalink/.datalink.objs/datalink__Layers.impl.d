@@ -1,0 +1,1 @@
+lib/datalink/layers.ml: Bitkit Detector Framer Linecode Nothing Sublayer

@@ -1,0 +1,1 @@
+lib/datalink/layers.mli: Bitkit Detector Framer Linecode Sublayer

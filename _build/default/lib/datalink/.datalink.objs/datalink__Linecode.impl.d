@@ -1,0 +1,1 @@
+lib/datalink/linecode.ml: Array Bitkit Fun List

@@ -1,0 +1,1 @@
+lib/datalink/linecode.mli: Bitkit

@@ -1,0 +1,1 @@
+lib/datalink/mac.ml: Array Bitkit Float List Printf

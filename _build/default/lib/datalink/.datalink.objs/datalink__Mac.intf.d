@@ -1,0 +1,1 @@
+lib/datalink/mac.mli:

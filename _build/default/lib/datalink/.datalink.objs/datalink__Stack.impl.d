@@ -1,0 +1,1 @@
+lib/datalink/stack.ml: Arq Arq_go_back_n Bitkit Detector Framer Layers Linecode List Queue Sim Stuffing Sublayer

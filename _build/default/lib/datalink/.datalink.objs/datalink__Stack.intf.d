@@ -1,0 +1,1 @@
+lib/datalink/stack.mli: Arq Bitkit Detector Framer Linecode Queue Sim

@@ -1,0 +1,55 @@
+type config = { window : int; rto : float }
+
+let default_config = { window = 8; rto = 0.25 }
+
+type pdu = Data of int * string | Ack of int
+
+let seqspace = Sublayer.Seqspace.create ~width:16
+
+let encode_pdu pdu =
+  let w = Bitkit.Bitio.Writer.create () in
+  (match pdu with
+  | Data (seq, payload) ->
+      Bitkit.Bitio.Writer.uint8 w 0;
+      Bitkit.Bitio.Writer.uint16 w (seq land 0xFFFF);
+      Bitkit.Bitio.Writer.bytes w payload
+  | Ack seq ->
+      Bitkit.Bitio.Writer.uint8 w 1;
+      Bitkit.Bitio.Writer.uint16 w (seq land 0xFFFF));
+  Bitkit.Bitio.Writer.contents w
+
+let decode_pdu s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    let kind = Bitkit.Bitio.Reader.uint8 r in
+    let seq = Bitkit.Bitio.Reader.uint16 r in
+    match kind with
+    | 0 -> Some (Data (seq, Bitkit.Bitio.Reader.rest r))
+    | 1 -> if Bitkit.Bitio.Reader.remaining_bits r = 0 then Some (Ack seq) else None
+    | _ -> None
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+type stats = {
+  mutable data_sent : int;
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable delivered : int;
+}
+
+let fresh_stats () =
+  { data_sent = 0; retransmissions = 0; acks_sent = 0; delivered = 0 }
+
+module type S = sig
+  include
+    Sublayer.Machine.S
+      with type up_req = string
+       and type up_ind = string
+       and type down_req = string
+       and type down_ind = string
+
+  val initial : config -> t
+  val stats : t -> stats
+  val idle : t -> bool
+end

@@ -1,0 +1,54 @@
+(** The error-recovery (reliable delivery) sublayer of the data link
+    (paper §2.1: "reliable delivery adds a header with sequence numbers to
+    guarantee delivery using retransmissions, but depends on error
+    detection").
+
+    Three classic mechanisms — stop-and-wait, go-back-N and selective
+    repeat — implement the single {!S} signature, so experiment E14 swaps
+    them behind the same interface. All are full duplex and deliver each
+    accepted payload exactly once, in order, assuming the sublayer below
+    only ever delivers uncorrupted PDUs (the error-detection sublayer's
+    contract). *)
+
+type config = {
+  window : int;  (** sender window (ignored by stop-and-wait) *)
+  rto : float;   (** retransmission timeout, seconds *)
+}
+
+val default_config : config
+
+(** Wire format owned by this sublayer: a kind byte, a 16-bit sequence
+    number, and for data PDUs the payload. *)
+type pdu =
+  | Data of int * string  (** [Data (seq16, payload)] *)
+  | Ack of int            (** cumulative for go-back-N, individual else *)
+
+val encode_pdu : pdu -> string
+val decode_pdu : string -> pdu option
+
+(** Statistics every implementation maintains, for efficiency benches. *)
+type stats = {
+  mutable data_sent : int;        (** data PDUs sent, incl. retransmissions *)
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable delivered : int;
+}
+
+val fresh_stats : unit -> stats
+
+module type S = sig
+  include
+    Sublayer.Machine.S
+      with type up_req = string
+       and type up_ind = string
+       and type down_req = string
+       and type down_ind = string
+
+  val initial : config -> t
+  val stats : t -> stats
+  val idle : t -> bool
+  (** No unacknowledged or queued data (transfer complete). *)
+end
+
+val seqspace : Sublayer.Seqspace.t
+(** The 16-bit space shared by all implementations. *)

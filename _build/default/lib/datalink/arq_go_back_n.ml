@@ -1,0 +1,97 @@
+(** Go-back-N ARQ: a window of outstanding data PDUs, one timer, full
+    window retransmission on timeout. Acknowledgements carry the next
+    expected sequence number (cumulative). *)
+
+open Sublayer.Machine
+
+let name = "arq-gbn"
+
+type t = {
+  cfg : Arq.config;
+  stats : Arq.stats;
+  base : int;
+  next : int;
+  buf : (int * string) list;  (** unacked, ascending seq, = [base..next) *)
+  queue : string list;
+  rx_expected : int;
+}
+
+type up_req = string
+type up_ind = string
+type down_req = string
+type down_ind = string
+type timer = Rto
+
+let initial cfg =
+  { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
+    rx_expected = 0 }
+
+let stats t = t.stats
+let idle t = t.buf = [] && t.queue = []
+
+let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+
+let transmit t seq payload =
+  t.stats.data_sent <- t.stats.data_sent + 1;
+  Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
+
+(* Admit queued payloads while the window has room. The timer is (re)armed
+   iff anything is outstanding. *)
+let rec admit t acts =
+  match t.queue with
+  | payload :: rest when t.next - t.base < t.cfg.window ->
+      let seq = t.next in
+      let t =
+        { t with next = t.next + 1; buf = t.buf @ [ (seq, payload) ]; queue = rest }
+      in
+      admit t (transmit t seq payload :: acts)
+  | _ -> (t, List.rev acts)
+
+let with_timer t acts =
+  if t.buf = [] then (t, acts @ [ Cancel_timer Rto ])
+  else (t, acts @ [ Set_timer (Rto, t.cfg.rto) ])
+
+let handle_up_req t payload =
+  let t = { t with queue = t.queue @ [ payload ] } in
+  let t, acts = admit t [] in
+  if acts = [] then (t, []) else with_timer t acts
+
+let handle_ack t seq16 =
+  let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
+  if a <= t.base || a > t.next then (t, [ Note "stale ack" ])
+  else begin
+    let t = { t with base = a; buf = List.filter (fun (s, _) -> s >= a) t.buf } in
+    let t, acts = admit t [] in
+    with_timer t acts
+  end
+
+let handle_data t seq16 payload =
+  let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
+  let t, deliveries =
+    if seq = t.rx_expected then begin
+      t.stats.delivered <- t.stats.delivered + 1;
+      ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload ])
+    end
+    else (t, [ Note "out-of-order data discarded" ])
+  in
+  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  (t, deliveries @ [ Down (Arq.encode_pdu (Arq.Ack (wire t.rx_expected))) ])
+
+let handle_down_ind t pdu_bytes =
+  match Arq.decode_pdu pdu_bytes with
+  | None -> (t, [ Note "undecodable pdu dropped" ])
+  | Some (Arq.Data (seq16, payload)) -> handle_data t seq16 payload
+  | Some (Arq.Ack seq16) -> handle_ack t seq16
+
+let handle_timer t Rto =
+  if t.buf = [] then (t, [])
+  else begin
+    let resends =
+      List.map
+        (fun (seq, payload) ->
+          t.stats.retransmissions <- t.stats.retransmissions + 1;
+          transmit t seq payload)
+        t.buf
+    in
+    (t, resends @ [ Set_timer (Rto, t.cfg.rto) ])
+  end

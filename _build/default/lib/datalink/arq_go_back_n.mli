@@ -1,0 +1,4 @@
+(** Go-back-N ARQ (see {!Arq.S}): windowed, cumulative acks, full-window
+    retransmission on timeout. *)
+
+include Arq.S

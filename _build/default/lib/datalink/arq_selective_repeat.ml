@@ -1,0 +1,101 @@
+(** Selective-repeat ARQ: per-sequence timers, individual acknowledgements,
+    receiver-side reordering buffer. Only lost PDUs are retransmitted. *)
+
+open Sublayer.Machine
+
+let name = "arq-sr"
+
+type t = {
+  cfg : Arq.config;
+  stats : Arq.stats;
+  base : int;
+  next : int;
+  buf : (int * string * bool) list;  (** (seq, payload, acked), ascending *)
+  queue : string list;
+  rx_expected : int;
+  rx_buf : (int * string) list;  (** out-of-order, ascending seq *)
+}
+
+type up_req = string
+type up_ind = string
+type down_req = string
+type down_ind = string
+type timer = Rto of int
+
+let initial cfg =
+  { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
+    rx_expected = 0; rx_buf = [] }
+
+let stats t = t.stats
+let idle t = t.buf = [] && t.queue = []
+
+let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+
+let transmit t seq payload =
+  t.stats.data_sent <- t.stats.data_sent + 1;
+  Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
+
+let rec admit t acts =
+  match t.queue with
+  | payload :: rest when t.next - t.base < t.cfg.window ->
+      let seq = t.next in
+      let t =
+        { t with next = t.next + 1; buf = t.buf @ [ (seq, payload, false) ]; queue = rest }
+      in
+      admit t (Set_timer (Rto seq, t.cfg.rto) :: transmit t seq payload :: acts)
+  | _ -> (t, List.rev acts)
+
+let handle_up_req t payload = admit { t with queue = t.queue @ [ payload ] } []
+
+let handle_ack t seq16 =
+  let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
+  if a < t.base || a >= t.next then (t, [ Note "stale ack" ])
+  else begin
+    let buf =
+      List.map (fun (s, p, acked) -> if s = a then (s, p, true) else (s, p, acked)) t.buf
+    in
+    (* Slide the window past the acknowledged prefix. *)
+    let rec slide base = function
+      | (s, _, true) :: rest when s = base -> slide (base + 1) rest
+      | rest -> (base, rest)
+    in
+    let base, buf = slide t.base buf in
+    let t = { t with base; buf } in
+    let t, acts = admit t [] in
+    (t, (Cancel_timer (Rto a) :: acts))
+  end
+
+let handle_data t seq16 payload =
+  let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
+  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
+  if seq < t.rx_expected then (t, [ Note "duplicate data"; ack ])
+  else begin
+    (* Insert into the reordering buffer (dedup), then deliver any
+       in-order prefix. *)
+    let rx_buf =
+      if List.mem_assoc seq t.rx_buf then t.rx_buf
+      else List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, payload) :: t.rx_buf)
+    in
+    let rec drain expected rx_buf delivered =
+      match rx_buf with
+      | (s, p) :: rest when s = expected -> drain (expected + 1) rest (Up p :: delivered)
+      | _ -> (expected, rx_buf, List.rev delivered)
+    in
+    let rx_expected, rx_buf, deliveries = drain t.rx_expected rx_buf [] in
+    t.stats.delivered <- t.stats.delivered + List.length deliveries;
+    ({ t with rx_expected; rx_buf }, deliveries @ [ ack ])
+  end
+
+let handle_down_ind t pdu_bytes =
+  match Arq.decode_pdu pdu_bytes with
+  | None -> (t, [ Note "undecodable pdu dropped" ])
+  | Some (Arq.Data (seq16, payload)) -> handle_data t seq16 payload
+  | Some (Arq.Ack seq16) -> handle_ack t seq16
+
+let handle_timer t (Rto seq) =
+  match List.find_opt (fun (s, _, acked) -> s = seq && not acked) t.buf with
+  | None -> (t, [])
+  | Some (_, payload, _) ->
+      t.stats.retransmissions <- t.stats.retransmissions + 1;
+      (t, [ transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ])

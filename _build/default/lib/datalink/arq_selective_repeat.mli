@@ -1,0 +1,4 @@
+(** Selective-repeat ARQ (see {!Arq.S}): windowed, individual acks,
+    per-sequence timers, receiver reordering buffer. *)
+
+include Arq.S

@@ -1,0 +1,79 @@
+(** Stop-and-wait ARQ: one outstanding data PDU, alternating via a full
+    16-bit sequence number; acknowledgements echo the data sequence. *)
+
+open Sublayer.Machine
+
+let name = "arq-sw"
+
+type t = {
+  cfg : Arq.config;
+  stats : Arq.stats;
+  next : int;
+  outstanding : (int * string) option;
+  queue : string list;
+  rx_expected : int;
+}
+
+type up_req = string
+type up_ind = string
+type down_req = string
+type down_ind = string
+type timer = Rto
+
+let initial cfg =
+  { cfg; stats = Arq.fresh_stats (); next = 0; outstanding = None; queue = [];
+    rx_expected = 0 }
+
+let stats t = t.stats
+let idle t = t.outstanding = None && t.queue = []
+
+let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+
+let transmit t seq payload =
+  t.stats.data_sent <- t.stats.data_sent + 1;
+  Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
+
+let start_send t payload =
+  let seq = t.next in
+  ( { t with next = t.next + 1; outstanding = Some (seq, payload) },
+    [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )
+
+let handle_up_req t payload =
+  match t.outstanding with
+  | None -> start_send t payload
+  | Some _ -> ({ t with queue = t.queue @ [ payload ] }, [])
+
+let handle_ack t seq16 =
+  match t.outstanding with
+  | Some (seq, _)
+    when Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:seq seq16 = seq -> (
+      let t = { t with outstanding = None } in
+      match t.queue with
+      | [] -> (t, [ Cancel_timer Rto ])
+      | payload :: rest ->
+          let t, acts = start_send { t with queue = rest } payload in
+          (t, Cancel_timer Rto :: acts))
+  | Some _ | None -> (t, [ Note "stale ack ignored" ])
+
+let handle_data t seq16 payload =
+  let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
+  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
+  if seq = t.rx_expected then begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload; ack ])
+  end
+  else (t, [ Note "duplicate data"; ack ])
+
+let handle_down_ind t pdu_bytes =
+  match Arq.decode_pdu pdu_bytes with
+  | None -> (t, [ Note "undecodable pdu dropped" ])
+  | Some (Arq.Data (seq16, payload)) -> handle_data t seq16 payload
+  | Some (Arq.Ack seq16) -> handle_ack t seq16
+
+let handle_timer t Rto =
+  match t.outstanding with
+  | None -> (t, [])
+  | Some (seq, payload) ->
+      t.stats.retransmissions <- t.stats.retransmissions + 1;
+      (t, [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ])

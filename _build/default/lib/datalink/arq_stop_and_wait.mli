@@ -1,0 +1,3 @@
+(** Stop-and-wait ARQ (see {!Arq.S}): one outstanding PDU at a time. *)
+
+include Arq.S

@@ -1,0 +1,69 @@
+module Bitseq = Bitkit.Bitseq
+
+type t = {
+  scheme : Stuffing.Rule.scheme;
+  flag : Bitseq.t;
+  mutable buf : Bitseq.t;
+  mutable synced : bool;  (* an opening flag has been consumed *)
+  mutable frames : int;
+  mutable noise : int;
+}
+
+let create ?(scheme = Stuffing.Rule.hdlc) () =
+  { scheme; flag = Bitseq.of_bool_list scheme.Stuffing.Rule.flag; buf = Bitseq.empty;
+    synced = false; frames = 0; noise = 0 }
+
+let buffered_bits t = Bitseq.length t.buf
+let frames_seen t = t.frames
+let noise_discarded t = t.noise
+
+let reset t =
+  t.buf <- Bitseq.empty;
+  t.synced <- false
+
+let decode_body t body =
+  if Bitseq.length body = 0 then None (* idle between flags *)
+  else begin
+    match Stuffing.Fast.unstuff t.scheme.Stuffing.Rule.rule body with
+    | Some bits when Bitseq.length bits land 7 = 0 -> Some (Bitseq.to_string bits)
+    | Some _ | None -> None
+  end
+
+let push t chunk =
+  t.buf <- Bitseq.append t.buf chunk;
+  let flen = Bitseq.length t.flag in
+  let out = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    if not t.synced then begin
+      match Bitseq.find_sub ~pattern:t.flag t.buf with
+      | Some i ->
+          (* discard noise before the opening flag, consume the flag *)
+          let start = i + flen in
+          t.buf <- Bitseq.sub t.buf start (Bitseq.length t.buf - start);
+          t.synced <- true;
+          progress := true
+      | None ->
+          (* keep only a flag's worth of tail; everything earlier can
+             never become part of a flag *)
+          let n = Bitseq.length t.buf in
+          if n > flen - 1 then t.buf <- Bitseq.sub t.buf (n - flen + 1) (flen - 1)
+    end
+    else begin
+      match Bitseq.find_sub ~pattern:t.flag t.buf with
+      | Some j ->
+          let body = Bitseq.sub t.buf 0 j in
+          (* the closing flag also opens the next frame *)
+          let start = j + flen in
+          t.buf <- Bitseq.sub t.buf start (Bitseq.length t.buf - start);
+          (match decode_body t body with
+          | Some payload ->
+              t.frames <- t.frames + 1;
+              out := payload :: !out
+          | None -> if Bitseq.length body > 0 then t.noise <- t.noise + 1);
+          progress := true
+      | None -> ()
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** Continuous-stream deframing.
+
+    {!Framer} assumes the channel delivers one frame's bits at a time; a
+    real bit-synchronous link delivers an unpunctuated stream. This is
+    the receiver-side framing sublayer for that case: feed it arbitrary
+    chunks of bits and it scans for flag-delimited, stuffed frames —
+    tolerating leading noise, inter-frame idle bits, and back-to-back
+    frames that share a single flag (as HDLC permits). Bodies that do not
+    unstuff to a whole number of bytes are discarded as noise. *)
+
+type t
+
+val create : ?scheme:Stuffing.Rule.scheme -> unit -> t
+(** Default scheme: classic HDLC. *)
+
+val push : t -> Bitkit.Bitseq.t -> string list
+(** Feed bits; returns the payloads of all frames completed by this
+    chunk, in stream order. *)
+
+val buffered_bits : t -> int
+(** Bits held waiting for a closing flag. *)
+
+val frames_seen : t -> int
+val noise_discarded : t -> int
+(** Flag-delimited regions that failed unstuffing or byte alignment. *)
+
+val reset : t -> unit

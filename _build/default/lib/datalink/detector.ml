@@ -1,0 +1,100 @@
+type t = {
+  name : string;
+  overhead_bytes : int;
+  protect : string -> string;
+  verify : string -> string option;
+}
+
+let none =
+  { name = "none"; overhead_bytes = 0; protect = Fun.id; verify = (fun s -> Some s) }
+
+let split_tail s n =
+  let len = String.length s in
+  if len < n then None else Some (String.sub s 0 (len - n), String.sub s (len - n) n)
+
+let be_bytes v n =
+  String.init n (fun i -> Char.chr ((v lsr (8 * (n - 1 - i))) land 0xFF))
+
+let int_of_be s =
+  String.fold_left (fun acc c -> (acc lsl 8) lor Char.code c) 0 s
+
+let parity =
+  {
+    name = "parity";
+    overhead_bytes = 1;
+    protect = (fun s -> s ^ String.make 1 (if Bitkit.Checksum.parity s then '\001' else '\000'));
+    verify =
+      (fun s ->
+        match split_tail s 1 with
+        | None -> None
+        | Some (body, tag) ->
+            let expect = if Bitkit.Checksum.parity body then '\001' else '\000' in
+            if tag.[0] = expect then Some body else None);
+  }
+
+let tagged name n digest =
+  {
+    name;
+    overhead_bytes = n;
+    protect = (fun s -> s ^ be_bytes (digest s) n);
+    verify =
+      (fun s ->
+        match split_tail s n with
+        | None -> None
+        | Some (body, tag) -> if int_of_be tag = digest body then Some body else None);
+  }
+
+let internet = tagged "internet" 2 Bitkit.Checksum.internet
+
+let fletcher16 = tagged "fletcher16" 2 Bitkit.Checksum.fletcher16
+
+let crc params =
+  let engine = Bitkit.Crc.make params in
+  let bytes = (params.Bitkit.Crc.width + 7) / 8 in
+  {
+    name = params.Bitkit.Crc.name;
+    overhead_bytes = bytes;
+    protect =
+      (fun s ->
+        let d = Bitkit.Crc.digest engine s in
+        s
+        ^ String.init bytes (fun i ->
+              Char.chr
+                (Int64.to_int
+                   (Int64.logand
+                      (Int64.shift_right_logical d (8 * (bytes - 1 - i)))
+                      0xFFL))));
+    verify =
+      (fun s ->
+        match split_tail s bytes with
+        | None -> None
+        | Some (body, tag) ->
+            let d = Bitkit.Crc.digest engine body in
+            let expect =
+              String.init bytes (fun i ->
+                  Char.chr
+                    (Int64.to_int
+                       (Int64.logand
+                          (Int64.shift_right_logical d (8 * (bytes - 1 - i)))
+                          0xFFL)))
+            in
+            if String.equal tag expect then Some body else None);
+  }
+
+let residual_error_rate det rng ~trials ~payload_len ~flips =
+  let undetected = ref 0 in
+  for _ = 1 to trials do
+    let payload = String.init payload_len (fun _ -> Char.chr (Bitkit.Rng.int rng 256)) in
+    let frame = Bytes.of_string (det.protect payload) in
+    let nbits = 8 * Bytes.length frame in
+    for _ = 1 to flips do
+      let bit = Bitkit.Rng.int rng nbits in
+      let byte = bit lsr 3 in
+      Bytes.set frame byte
+        (Char.chr (Char.code (Bytes.get frame byte) lxor (0x80 lsr (bit land 7))))
+    done;
+    let corrupted = Bytes.to_string frame in
+    if corrupted <> det.protect payload then
+      match det.verify corrupted with Some _ -> incr undetected | None -> ()
+  done;
+  Float.of_int !undetected /. Float.of_int trials

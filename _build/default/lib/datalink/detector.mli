@@ -1,0 +1,36 @@
+(** The error-detection sublayer's mechanism (paper §2.1, Figure 2).
+
+    A detector turns a PDU into a protected PDU by appending check bits,
+    and verifies/strips them on reception. Detectors are values behind one
+    narrow interface, so the stack can "go from say CRC-32 to CRC-64
+    without changing other sublayers" — experiment E1's replaceability
+    claim is tested by swapping these. *)
+
+type t = {
+  name : string;
+  overhead_bytes : int;
+  protect : string -> string;
+  verify : string -> string option;
+      (** [Some payload] if the check passes; [None] for corrupt PDUs. *)
+}
+
+val none : t
+(** No protection (every frame verifies) — the degenerate detector, useful
+    as a baseline in error-rate experiments. *)
+
+val parity : t
+(** Single even-parity byte: detects all odd-weight errors only. *)
+
+val internet : t
+(** RFC 1071 16-bit one's-complement sum. *)
+
+val fletcher16 : t
+
+val crc : Bitkit.Crc.params -> t
+(** Any catalogued CRC, e.g. [crc Bitkit.Crc.crc32]. *)
+
+val residual_error_rate :
+  t -> Bitkit.Rng.t -> trials:int -> payload_len:int -> flips:int -> float
+(** Monte-Carlo estimate of the probability that a frame with [flips]
+    random bit errors still verifies (the undetected-error rate the paper
+    says must be "very small"). *)

@@ -1,0 +1,61 @@
+open Sublayer.Machine
+
+module Error_detection = struct
+  let name = "error-detection"
+
+  type t = Detector.t
+  type up_req = string
+  type up_ind = string
+  type down_req = string
+  type down_ind = string
+  type timer = Nothing.t
+
+  let handle_up_req det pdu = (det, [ Down (det.Detector.protect pdu) ])
+
+  let handle_down_ind det pdu =
+    match det.Detector.verify pdu with
+    | Some payload -> (det, [ Up payload ])
+    | None -> (det, [ Note "corrupt frame dropped" ])
+
+  let handle_timer _ t = Nothing.absurd t
+end
+
+module Framing = struct
+  let name = "framing"
+
+  type t = Framer.t
+  type up_req = string
+  type up_ind = string
+  type down_req = Bitkit.Bitseq.t
+  type down_ind = Bitkit.Bitseq.t
+  type timer = Nothing.t
+
+  let handle_up_req framer pdu = (framer, [ Down (framer.Framer.frame pdu) ])
+
+  let handle_down_ind framer bits =
+    match framer.Framer.deframe bits with
+    | Some pdu -> (framer, [ Up pdu ])
+    | None -> (framer, [ Note "malformed frame dropped" ])
+
+  let handle_timer _ t = Nothing.absurd t
+end
+
+module Line_coding = struct
+  let name = "line-coding"
+
+  type t = Linecode.t
+  type up_req = Bitkit.Bitseq.t
+  type up_ind = Bitkit.Bitseq.t
+  type down_req = Bitkit.Bitseq.t
+  type down_ind = Bitkit.Bitseq.t
+  type timer = Nothing.t
+
+  let handle_up_req code bits = (code, [ Down (code.Linecode.encode bits) ])
+
+  let handle_down_ind code symbols =
+    match code.Linecode.decode symbols with
+    | Some bits -> (code, [ Up bits ])
+    | None -> (code, [ Note "illegal line symbols dropped" ])
+
+  let handle_timer _ t = Nothing.absurd t
+end

@@ -1,0 +1,32 @@
+(** The stateless data-link sublayers as {!Sublayer.Machine.S} machines,
+    ready for {!Sublayer.Machine.Stack} composition. Each machine's state
+    is just its mechanism value ({!Detector.t}, {!Framer.t},
+    {!Linecode.t}), so replacing the mechanism is replacing the state —
+    the surrounding stack code never changes (test T3). *)
+
+module Error_detection :
+  Sublayer.Machine.S
+    with type t = Detector.t
+     and type up_req = string
+     and type up_ind = string
+     and type down_req = string
+     and type down_ind = string
+     and type timer = Sublayer.Machine.Nothing.t
+
+module Framing :
+  Sublayer.Machine.S
+    with type t = Framer.t
+     and type up_req = string
+     and type up_ind = string
+     and type down_req = Bitkit.Bitseq.t
+     and type down_ind = Bitkit.Bitseq.t
+     and type timer = Sublayer.Machine.Nothing.t
+
+module Line_coding :
+  Sublayer.Machine.S
+    with type t = Linecode.t
+     and type up_req = Bitkit.Bitseq.t
+     and type up_ind = Bitkit.Bitseq.t
+     and type down_req = Bitkit.Bitseq.t
+     and type down_ind = Bitkit.Bitseq.t
+     and type timer = Sublayer.Machine.Nothing.t

@@ -1,0 +1,115 @@
+module Bitseq = Bitkit.Bitseq
+
+type t = {
+  name : string;
+  expansion : float;
+  encode : Bitseq.t -> Bitseq.t;
+  decode : Bitseq.t -> Bitseq.t option;
+}
+
+let nrz =
+  { name = "nrz"; expansion = 1.0; encode = Fun.id; decode = (fun b -> Some b) }
+
+let nrzi =
+  let encode bits =
+    let level = ref false in
+    Bitseq.of_bool_list
+      (List.map
+         (fun b ->
+           if b then level := not !level;
+           !level)
+         (Bitseq.to_bool_list bits))
+  in
+  let decode symbols =
+    let prev = ref false in
+    Some
+      (Bitseq.of_bool_list
+         (List.map
+            (fun s ->
+              let bit = s <> !prev in
+              prev := s;
+              bit)
+            (Bitseq.to_bool_list symbols)))
+  in
+  { name = "nrzi"; expansion = 1.0; encode; decode }
+
+let manchester =
+  let encode bits =
+    let buf = ref [] in
+    Bitseq.iteri
+      (fun _ b ->
+        (* 0 -> 10, 1 -> 01 *)
+        if b then buf := true :: false :: !buf else buf := false :: true :: !buf)
+      bits;
+    Bitseq.of_bool_list (List.rev !buf)
+  in
+  let decode symbols =
+    let n = Bitseq.length symbols in
+    if n land 1 <> 0 then None
+    else begin
+      let out = Array.make (n / 2) false in
+      let ok = ref true in
+      for i = 0 to (n / 2) - 1 do
+        match (Bitseq.get symbols (2 * i), Bitseq.get symbols ((2 * i) + 1)) with
+        | true, false -> out.(i) <- false
+        | false, true -> out.(i) <- true
+        | true, true | false, false -> ok := false
+      done;
+      if !ok then Some (Bitseq.of_bool_list (Array.to_list out)) else None
+    end
+  in
+  { name = "manchester"; expansion = 2.0; encode; decode }
+
+(* The standard 4B/5B data symbols (FDDI / 100BASE-TX). *)
+let fourb5b_table =
+  [| 0b11110; 0b01001; 0b10100; 0b10101; 0b01010; 0b01011; 0b01110; 0b01111;
+     0b10010; 0b10011; 0b10110; 0b10111; 0b11010; 0b11011; 0b11100; 0b11101 |]
+
+let fourb5b_inverse =
+  let inv = Array.make 32 (-1) in
+  Array.iteri (fun nibble sym -> inv.(sym) <- nibble) fourb5b_table;
+  inv
+
+let four_b_five_b =
+  let encode bits =
+    let n = Bitseq.length bits in
+    if n land 3 <> 0 then invalid_arg "Linecode.four_b_five_b: not nibble-aligned";
+    let out = ref [] in
+    for i = (n / 4) - 1 downto 0 do
+      let nibble =
+        (if Bitseq.get bits (4 * i) then 8 else 0)
+        lor (if Bitseq.get bits ((4 * i) + 1) then 4 else 0)
+        lor (if Bitseq.get bits ((4 * i) + 2) then 2 else 0)
+        lor if Bitseq.get bits ((4 * i) + 3) then 1 else 0
+      in
+      let sym = fourb5b_table.(nibble) in
+      for j = 4 downto 0 do
+        out := ((sym lsr (4 - j)) land 1 = 1) :: !out
+      done
+    done;
+    Bitseq.of_bool_list !out
+  in
+  let decode symbols =
+    let n = Bitseq.length symbols in
+    if n mod 5 <> 0 then None
+    else begin
+      let out = ref [] in
+      let ok = ref true in
+      for i = (n / 5) - 1 downto 0 do
+        let sym = ref 0 in
+        for j = 0 to 4 do
+          sym := (!sym lsl 1) lor (if Bitseq.get symbols ((5 * i) + j) then 1 else 0)
+        done;
+        match fourb5b_inverse.(!sym) with
+        | -1 -> ok := false
+        | nibble ->
+            for j = 3 downto 0 do
+              out := ((nibble lsr (3 - j)) land 1 = 1) :: !out
+            done
+      done;
+      if !ok then Some (Bitseq.of_bool_list !out) else None
+    end
+  in
+  { name = "4b5b"; expansion = 1.25; encode; decode }
+
+let all = [ nrz; nrzi; manchester; four_b_five_b ]

@@ -1,0 +1,27 @@
+(** The encoding/decoding sublayer — the lowest data-link sublayer in
+    Figure 2, turning frame bits into line symbols (modelled as bits) and
+    back. Decoders validate symbol structure and return [None] on illegal
+    symbols, which gives the sublayer above a cheap first error signal. *)
+
+type t = {
+  name : string;
+  expansion : float;  (** symbols per bit, e.g. 2.0 for Manchester *)
+  encode : Bitkit.Bitseq.t -> Bitkit.Bitseq.t;
+  decode : Bitkit.Bitseq.t -> Bitkit.Bitseq.t option;
+}
+
+val nrz : t
+(** Level = bit; the identity code. *)
+
+val nrzi : t
+(** Transition on 1, hold on 0; initial level 0. *)
+
+val manchester : t
+(** IEEE 802.3 convention: 0 → high-low (10), 1 → low-high (01). *)
+
+val four_b_five_b : t
+(** 4B/5B block code; input must be a whole number of nibbles (guaranteed
+    when composed under a byte-oriented framer). Illegal 5-bit symbols are
+    rejected on decode. *)
+
+val all : t list

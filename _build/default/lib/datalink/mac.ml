@@ -1,0 +1,93 @@
+type policy = Aloha of float | Csma of float
+
+let policy_name = function
+  | Aloha p -> Printf.sprintf "slotted-aloha(p=%.2f)" p
+  | Csma p -> Printf.sprintf "csma(p=%.2f)" p
+
+type result = {
+  offered_load : float;
+  throughput : float;
+  utilisation : float;
+  collision_slots : int;
+  per_station : int array;
+  fairness : float;
+  mean_backlog : float;
+}
+
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then 1.
+  else begin
+    let sum = Array.fold_left (fun a x -> a +. Float.of_int x) 0. xs in
+    let sumsq = Array.fold_left (fun a x -> a +. (Float.of_int x *. Float.of_int x)) 0. xs in
+    if sumsq = 0. then 1. else sum *. sum /. (Float.of_int n *. sumsq)
+  end
+
+let max_backlog = 32
+
+type tx = { who : int; mutable left : int; mutable collided : bool }
+
+let simulate ?(seed = 1) ?(plen = 1) ~stations ~slots ~arrival policy =
+  let rng = Bitkit.Rng.create seed in
+  let backlog = Array.make stations 0 in
+  let successes = Array.make stations 0 in
+  let collisions = ref 0 in
+  let delivered = ref 0 in
+  let busy_slots = ref 0 in
+  let backlog_acc = ref 0 in
+  let ongoing : tx list ref = ref [] in
+  let transmitting i = List.exists (fun t -> t.who = i) !ongoing in
+  for _ = 1 to slots do
+    (* arrivals *)
+    for i = 0 to stations - 1 do
+      if Bitkit.Rng.coin rng arrival && backlog.(i) < max_backlog then
+        backlog.(i) <- backlog.(i) + 1;
+      backlog_acc := !backlog_acc + backlog.(i)
+    done;
+    (* transmission decisions *)
+    let medium_busy = !ongoing <> [] in
+    let starters = ref [] in
+    for i = 0 to stations - 1 do
+      if backlog.(i) > 0 && not (transmitting i) then begin
+        let attempt =
+          match policy with
+          | Aloha p -> Bitkit.Rng.coin rng p
+          | Csma p -> (not medium_busy) && Bitkit.Rng.coin rng p
+        in
+        if attempt then starters := { who = i; left = plen; collided = false } :: !starters
+      end
+    done;
+    (* collisions: any overlap damages everyone on the air *)
+    if !starters <> [] && (medium_busy || List.length !starters > 1) then begin
+      List.iter (fun t -> t.collided <- true) !ongoing;
+      List.iter (fun t -> t.collided <- true) !starters
+    end;
+    ongoing := !ongoing @ !starters;
+    if !ongoing <> [] then begin
+      incr busy_slots;
+      if List.exists (fun t -> t.collided) !ongoing then incr collisions
+    end;
+    (* advance the air *)
+    List.iter (fun t -> t.left <- t.left - 1) !ongoing;
+    let finished, still = List.partition (fun t -> t.left <= 0) !ongoing in
+    ongoing := still;
+    List.iter
+      (fun t ->
+        if not t.collided then begin
+          (* the packet leaves the queue only on success; collided
+             packets are retried on later attempts *)
+          backlog.(t.who) <- max 0 (backlog.(t.who) - 1);
+          successes.(t.who) <- successes.(t.who) + 1;
+          incr delivered
+        end)
+      finished
+  done;
+  {
+    offered_load = arrival *. Float.of_int stations;
+    throughput = Float.of_int !delivered /. Float.of_int slots;
+    utilisation = Float.of_int (!delivered * plen) /. Float.of_int slots;
+    collision_slots = !collisions;
+    per_station = successes;
+    fairness = jain successes;
+    mean_backlog = Float.of_int !backlog_acc /. Float.of_int (slots * stations);
+  }

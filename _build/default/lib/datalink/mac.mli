@@ -1,0 +1,43 @@
+(** Media Access Control — the data link's alternative top sublayer for
+    broadcast links (paper §2.1: "broadcast links like 802.11 dispense
+    with error recovery and do Media Access Control to guarantee that one
+    sender at a time, eventually and fairly, gets access to the shared
+    physical channel").
+
+    Two classic mechanisms behind one interface, evaluated on a slotted
+    shared medium: slotted ALOHA (transmit with probability [p] whenever
+    backlogged) and p-persistent CSMA (same, but defer while the carrier
+    is sensed busy). Throughput and Jain fairness are reported; slotted
+    ALOHA's theoretical peak of 1/e is a property-test target. *)
+
+type policy =
+  | Aloha of float  (** transmission probability per slot *)
+  | Csma of float   (** persistence probability; senses the medium *)
+
+val policy_name : policy -> string
+
+type result = {
+  offered_load : float;     (** arrivals per slot across all stations *)
+  throughput : float;       (** successful packets per slot *)
+  utilisation : float;      (** successful packets x length / slots *)
+  collision_slots : int;
+  per_station : int array;  (** successes per station *)
+  fairness : float;         (** Jain's index over [per_station] *)
+  mean_backlog : float;
+}
+
+val simulate :
+  ?seed:int ->
+  ?plen:int ->
+  stations:int ->
+  slots:int ->
+  arrival:float ->
+  policy ->
+  result
+(** [arrival] is each station's per-slot packet arrival probability;
+    [plen] (default 1) is the packet length in slots — carrier sensing
+    only pays off when transmissions span several slots. Stations hold a
+    bounded backlog (32); collided packets stay queued and are retried.
+    Any overlap of transmissions destroys all packets on the air. *)
+
+val jain : int array -> float

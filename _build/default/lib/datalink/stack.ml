@@ -1,0 +1,98 @@
+module Machine = Sublayer.Machine
+module Runtime = Sublayer.Runtime
+
+type spec = {
+  arq : (module Arq.S);
+  arq_config : Arq.config;
+  detector : Detector.t;
+  framer : Framer.t;
+  linecode : Linecode.t;
+}
+
+let default_spec =
+  {
+    arq = (module Arq_go_back_n);
+    arq_config = Arq.default_config;
+    detector = Detector.crc Bitkit.Crc.crc32;
+    framer = Framer.hdlc Stuffing.Rule.hdlc;
+    linecode = Linecode.nrz;
+  }
+
+type endpoint = {
+  send : string -> unit;
+  from_wire : Bitkit.Bitseq.t -> unit;
+  arq_stats : Arq.stats;
+  is_idle : unit -> bool;
+}
+
+let send t payload = t.send payload
+let from_wire t bits = t.from_wire bits
+let arq_stats t = t.arq_stats
+let is_idle t = t.is_idle ()
+
+let endpoint engine ?trace ~name spec ~transmit ~deliver =
+  let module A = (val spec.arq : Arq.S) in
+  let module Lower = Machine.Stack (Layers.Framing) (Layers.Line_coding) in
+  let module Middle = Machine.Stack (Layers.Error_detection) (Lower) in
+  let module Full = Machine.Stack (A) (Middle) in
+  let module R = Runtime.Make (Full) in
+  let st = (A.initial spec.arq_config, (spec.detector, (spec.framer, spec.linecode))) in
+  let r = R.create engine ?trace ~name ~transmit ~deliver st in
+  {
+    send = R.from_above r;
+    from_wire = R.from_below r;
+    arq_stats = A.stats (fst (R.state r));
+    is_idle = (fun () -> A.idle (fst (R.state r)));
+  }
+
+type link = {
+  a : endpoint;
+  b : endpoint;
+  a_to_b : Bitkit.Bitseq.t Sim.Channel.t;
+  b_to_a : Bitkit.Bitseq.t Sim.Channel.t;
+  received_at_a : string Queue.t;
+  received_at_b : string Queue.t;
+}
+
+let bit_channel engine config ~deliver =
+  Sim.Channel.create engine config
+    ~size:(fun bits -> (Bitkit.Bitseq.length bits + 7) / 8)
+    ~corrupt:Sim.Channel.corrupt_bits ~deliver ()
+
+let link engine ?trace config spec =
+  let received_at_a = Queue.create () in
+  let received_at_b = Queue.create () in
+  (* Channels and endpoints reference each other; tie the knot with a
+     mutable forwarder. *)
+  let to_a = ref (fun (_ : Bitkit.Bitseq.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Bitseq.t) -> ()) in
+  let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
+  let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
+  let a =
+    endpoint engine ?trace ~name:"A" spec
+      ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
+      ~deliver:(fun payload -> Queue.add payload received_at_a)
+  in
+  let b =
+    endpoint engine ?trace ~name:"B" spec
+      ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
+      ~deliver:(fun payload -> Queue.add payload received_at_b)
+  in
+  to_a := a.from_wire;
+  to_b := b.from_wire;
+  { a; b; a_to_b; b_to_a; received_at_a; received_at_b }
+
+let transfer engine ?(deadline = 3600.) link payloads =
+  List.iter (fun p -> link.a.send p) payloads;
+  (* Run until the sender has nothing outstanding; timers keep the event
+     queue non-empty, so poll in bounded slices of virtual time. *)
+  let rec drive () =
+    if (not (link.a.is_idle ())) && Sim.Engine.now engine < deadline then begin
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 1.0) engine;
+      drive ()
+    end
+  in
+  drive ();
+  (* Let the final acknowledgements drain. *)
+  Sim.Engine.run ~until:(Sim.Engine.now engine +. 5.0) engine;
+  List.of_seq (Queue.to_seq link.received_at_b)

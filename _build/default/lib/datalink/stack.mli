@@ -1,0 +1,59 @@
+(** Composition of the four data-link sublayers of Figure 2 into a running
+    endpoint: error recovery / error detection / framing / line coding,
+    over a raw bit channel. Every mechanism is chosen independently —
+    the replaceability the paper claims for sublayered designs. *)
+
+type spec = {
+  arq : (module Arq.S);
+  arq_config : Arq.config;
+  detector : Detector.t;
+  framer : Framer.t;
+  linecode : Linecode.t;
+}
+
+val default_spec : spec
+(** Go-back-N (window 8), CRC-32, HDLC framing, NRZ. *)
+
+type endpoint
+
+val send : endpoint -> string -> unit
+(** Queue one payload for reliable delivery to the peer. *)
+
+val from_wire : endpoint -> Bitkit.Bitseq.t -> unit
+(** Inject received symbols (wire this to a channel's [deliver]). *)
+
+val arq_stats : endpoint -> Arq.stats
+val is_idle : endpoint -> bool
+
+val endpoint :
+  Sim.Engine.t ->
+  ?trace:Sim.Trace.t ->
+  name:string ->
+  spec ->
+  transmit:(Bitkit.Bitseq.t -> unit) ->
+  deliver:(string -> unit) ->
+  endpoint
+
+(** A ready-made duplex link between two endpoints over impaired
+    channels, accumulating what each side delivered. *)
+type link = {
+  a : endpoint;
+  b : endpoint;
+  a_to_b : Bitkit.Bitseq.t Sim.Channel.t;
+  b_to_a : Bitkit.Bitseq.t Sim.Channel.t;
+  received_at_a : string Queue.t;
+  received_at_b : string Queue.t;
+}
+
+val link :
+  Sim.Engine.t -> ?trace:Sim.Trace.t -> Sim.Channel.config -> spec -> link
+
+val transfer :
+  Sim.Engine.t ->
+  ?deadline:float ->
+  link ->
+  string list ->
+  string list
+(** [transfer engine link payloads] sends every payload from [a], runs the
+    simulation until [a] is idle (or [deadline]), and returns what [b]
+    received, in order. *)

@@ -1,0 +1,1 @@
+lib/mcheck/checker.ml: Format Hashtbl List Printf Queue String

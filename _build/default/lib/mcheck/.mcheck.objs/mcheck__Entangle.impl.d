@@ -1,0 +1,1 @@
+lib/mcheck/entangle.ml: Format List

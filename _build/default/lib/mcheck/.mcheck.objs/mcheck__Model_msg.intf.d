@@ -1,0 +1,1 @@
+lib/mcheck/model_msg.mli: Checker

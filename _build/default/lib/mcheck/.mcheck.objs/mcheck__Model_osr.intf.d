@@ -1,0 +1,1 @@
+lib/mcheck/model_osr.mli: Checker

@@ -1,0 +1,90 @@
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state list
+  val next : state -> (string * state) list
+  val invariant : state -> string option
+  val accepting : state -> bool
+end
+
+type report = {
+  model : string;
+  states : int;
+  transitions : int;
+  max_depth : int;
+  violation : (string * string list) option;
+  deadlocks : int;
+  truncated : bool;
+}
+
+let run ?(max_states = 2_000_000) (module M : MODEL) =
+  let visited : (M.state, unit) Hashtbl.t = Hashtbl.create 4096 in
+  (* Parent pointers reconstruct the shortest counterexample trace. *)
+  let parent : (M.state, string * M.state) Hashtbl.t = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let max_depth = ref 0 in
+  let deadlocks = ref 0 in
+  let violation = ref None in
+  let truncated = ref false in
+  let trace_of state =
+    let rec go state acc =
+      match Hashtbl.find_opt parent state with
+      | None -> acc
+      | Some (label, prev) -> go prev (label :: acc)
+    in
+    go state []
+  in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem visited s) then begin
+        Hashtbl.replace visited s ();
+        Queue.add (s, 0) queue
+      end)
+    M.initial;
+  (try
+     while not (Queue.is_empty queue) do
+       let state, depth = Queue.pop queue in
+       max_depth := max !max_depth depth;
+       (match M.invariant state with
+       | Some msg ->
+           violation := Some (msg, trace_of state);
+           raise Exit
+       | None -> ());
+       let succs = M.next state in
+       if succs = [] && not (M.accepting state) then incr deadlocks;
+       List.iter
+         (fun (label, s') ->
+           incr transitions;
+           if not (Hashtbl.mem visited s') then begin
+             if Hashtbl.length visited >= max_states then begin
+               truncated := true;
+               raise Exit
+             end;
+             Hashtbl.replace visited s' ();
+             Hashtbl.replace parent s' (label, state);
+             Queue.add (s', depth + 1) queue
+           end)
+         succs
+     done
+   with Exit -> ());
+  {
+    model = M.name;
+    states = Hashtbl.length visited;
+    transitions = !transitions;
+    max_depth = !max_depth;
+    violation = !violation;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: %d states, %d transitions, depth %d%s%s@." r.model r.states
+    r.transitions r.max_depth
+    (if r.deadlocks > 0 then Printf.sprintf ", %d deadlocks" r.deadlocks else "")
+    (if r.truncated then " (truncated)" else "");
+  match r.violation with
+  | None -> Format.fprintf fmt "  all invariants hold@."
+  | Some (msg, trace) ->
+      Format.fprintf fmt "  VIOLATION: %s@.  trace: %s@." msg (String.concat " -> " trace)

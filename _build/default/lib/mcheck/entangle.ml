@@ -1,0 +1,151 @@
+type access = { func : string; fields : string list }
+
+type inventory = { mname : string; fields : string list; accesses : access list }
+
+(* Hand-audited from lib/transport/tcp_monolithic.ml: the fields each
+   function reads or writes, with helper calls expanded transitively
+   (exactly what a verifier's frame conditions must cover). *)
+let monolithic =
+  {
+    mname = "tcp_monolithic";
+    fields =
+      [ "state"; "local_port"; "remote_port"; "iss"; "irs"; "snd_una"; "snd_nxt";
+        "snd_wnd"; "rcv_nxt"; "rcv_wnd"; "unsent"; "unsent_bytes"; "unacked"; "reasm";
+        "dupacks"; "recover"; "srtt"; "rttvar"; "rto"; "rto_timer"; "misc_timer";
+        "persist_timer"; "unread"; "fin_queued"; "fin_sent"; "established_signalled";
+        "cwnd" ];
+    accesses =
+      [
+        { func = "send_segment";
+          fields = [ "state"; "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "on_rto";
+          fields = [ "rto_timer"; "rto"; "unacked"; "cwnd"; "state"; "local_port";
+                     "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "queue_and_send";
+          fields = [ "snd_nxt"; "unacked"; "rto_timer"; "rto"; "state"; "local_port";
+                     "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "try_output";
+          fields = [ "state"; "snd_nxt"; "snd_una"; "snd_wnd"; "cwnd"; "unsent";
+                     "unsent_bytes"; "fin_queued"; "fin_sent"; "unacked"; "rto_timer";
+                     "rto"; "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd";
+                     "persist_timer" ] };
+        { func = "read";
+          fields = [ "unread"; "rcv_wnd"; "state"; "snd_nxt"; "local_port";
+                     "remote_port"; "rcv_nxt" ] };
+        { func = "arm_persist";
+          fields = [ "persist_timer"; "snd_wnd"; "snd_nxt"; "snd_una"; "unsent";
+                     "unsent_bytes"; "unacked"; "rto_timer"; "rto"; "state";
+                     "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "connect";
+          fields = [ "iss"; "snd_una"; "snd_nxt"; "state"; "unacked"; "rto_timer";
+                     "rto"; "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "listen"; fields = [ "state" ] };
+        { func = "write";
+          fields = [ "unsent"; "unsent_bytes"; "state"; "snd_nxt"; "snd_una"; "snd_wnd";
+                     "cwnd"; "fin_queued"; "fin_sent"; "unacked"; "rto_timer"; "rto";
+                     "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "close";
+          fields = [ "fin_queued"; "state"; "snd_nxt"; "snd_una"; "snd_wnd"; "cwnd";
+                     "unsent"; "unsent_bytes"; "fin_sent"; "unacked"; "rto_timer"; "rto";
+                     "local_port"; "remote_port"; "rcv_nxt"; "rcv_wnd" ] };
+        { func = "update_rtt"; fields = [ "srtt"; "rttvar"; "rto" ] };
+        { func = "enter_time_wait"; fields = [ "state"; "misc_timer" ] };
+        { func = "from_wire";
+          fields = [ "state"; "local_port"; "remote_port"; "iss"; "irs"; "snd_una";
+                     "snd_nxt"; "snd_wnd"; "rcv_nxt"; "rcv_wnd"; "unsent"; "unsent_bytes";
+                     "unacked"; "reasm"; "dupacks"; "recover"; "srtt"; "rttvar"; "rto";
+                     "rto_timer"; "misc_timer"; "persist_timer"; "unread"; "fin_queued";
+                     "fin_sent"; "established_signalled"; "cwnd" ] };
+      ];
+  }
+
+(* The sublayered stack: each module's state is its own record type;
+   nothing outside the module can name its fields. *)
+let sublayered =
+  [
+    { mname = "dm";
+      fields = [ "local_port"; "remote_port" ];
+      accesses =
+        [ { func = "handle_up_req"; fields = [ "local_port"; "remote_port" ] };
+          { func = "handle_down_ind"; fields = [ "local_port"; "remote_port" ] } ] };
+    { mname = "cm";
+      fields = [ "phase"; "isn_local"; "isn_remote" ];
+      accesses =
+        [ { func = "handle_up_req"; fields = [ "phase"; "isn_local"; "isn_remote" ] };
+          { func = "handle_down_ind"; fields = [ "phase"; "isn_local"; "isn_remote" ] };
+          { func = "handle_timer"; fields = [ "phase"; "isn_local"; "isn_remote" ] } ] };
+    { mname = "rd";
+      fields =
+        [ "isn_local"; "isn_remote"; "sndq"; "snd_acked"; "snd_max"; "dup_acks";
+          "recover"; "srtt"; "rttvar"; "rto"; "block"; "rcv" ];
+      accesses =
+        [ { func = "handle_transmit"; fields = [ "sndq"; "snd_max"; "isn_local"; "rcv"; "isn_remote"; "rto" ] };
+          { func = "handle_data"; fields = [ "rcv"; "isn_remote"; "block" ] };
+          { func = "handle_ack";
+            fields = [ "sndq"; "snd_acked"; "snd_max"; "dup_acks"; "recover"; "srtt";
+                       "rttvar"; "rto"; "isn_local" ] };
+          { func = "handle_timer"; fields = [ "sndq"; "rto"; "isn_local"; "rcv"; "isn_remote" ] } ] };
+    { mname = "osr";
+      fields =
+        [ "cc"; "outbuf"; "next_off"; "acked"; "peer_window"; "fin_requested";
+          "fin_sent"; "peer_fin_seen"; "reasm"; "rcv_cum"; "unread"; "advertised" ];
+      accesses =
+        [ { func = "try_send"; fields = [ "outbuf"; "next_off"; "acked"; "peer_window"; "cc"; "advertised" ] };
+          { func = "maybe_fin"; fields = [ "fin_requested"; "fin_sent"; "outbuf"; "acked"; "next_off" ] };
+          { func = "handle_write"; fields = [ "outbuf"; "next_off"; "acked"; "peer_window"; "cc"; "advertised" ] };
+          { func = "handle_read"; fields = [ "unread"; "reasm"; "advertised" ] };
+          { func = "accept_segment"; fields = [ "reasm"; "rcv_cum"; "unread"; "advertised" ] };
+          { func = "handle_acked"; fields = [ "acked"; "peer_window"; "cc"; "outbuf"; "next_off"; "fin_requested"; "fin_sent"; "advertised" ] };
+          { func = "handle_persist"; fields = [ "peer_window"; "next_off"; "acked"; "outbuf"; "advertised" ] };
+          { func = "handle_loss"; fields = [ "cc" ] } ] };
+  ]
+
+let share (a : access) (b : access) = List.exists (fun f -> List.mem f b.fields) a.fields
+
+let entangled_pairs inv =
+  let rec pairs = function
+    | [] -> 0
+    | a :: rest -> List.length (List.filter (share a) rest) + pairs rest
+  in
+  pairs inv.accesses
+
+let function_count inv = List.length inv.accesses
+
+let shared_field_matrix inv =
+  let rec pairs : access list -> _ = function
+    | [] -> []
+    | (a : access) :: rest ->
+        List.filter_map
+          (fun (b : access) ->
+            let n = List.length (List.filter (fun f -> List.mem f b.fields) a.fields) in
+            if n > 0 then Some (a.func, b.func, n) else None)
+          rest
+        @ pairs rest
+  in
+  pairs inv.accesses
+
+(* Sublayer state records are distinct nominal types: a field of one
+   cannot be named by another module at all. Fields with coincidentally
+   equal names (e.g. rd.isn_local vs cm.isn_local) are distinct state. *)
+let cross_sublayer_shared_fields () = 0
+
+let interface_widths =
+  [ ("app<->osr", 4 + 5); ("osr<->rd", 5 + 7); ("rd<->cm", 4 + 5); ("cm<->dm", 1 + 1) ]
+
+let pp_summary fmt () =
+  let total_sub_pairs = List.fold_left (fun a i -> a + entangled_pairs i) 0 sublayered in
+  Format.fprintf fmt "monolithic: %d functions, %d state fields, %d entangled pairs@."
+    (function_count monolithic)
+    (List.length monolithic.fields)
+    (entangled_pairs monolithic);
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "sublayer %-4s: %d functions, %d fields, %d entangled pairs@."
+        i.mname (function_count i) (List.length i.fields) (entangled_pairs i))
+    sublayered;
+  Format.fprintf fmt "sublayered total entangled pairs: %d (all within sublayers)@."
+    total_sub_pairs;
+  Format.fprintf fmt "cross-sublayer shared fields: %d@." (cross_sublayer_shared_fields ());
+  List.iter
+    (fun (name, n) -> Format.fprintf fmt "interface %-10s: %d constructors@." name n)
+    interface_widths

@@ -1,0 +1,44 @@
+(** The entanglement metric (experiment E9).
+
+    Paper §2.3: in a monolithic TCP all subfunctions "share and mutate
+    the same state (encapsulated in the PCB block)", so reasoning about
+    one function requires reasoning about its interactions with all
+    others — the O(N²) the Dafny exercise ran into (§4.2). This module
+    holds a hand-audited inventory of which state fields each function of
+    [Transport.Tcp_monolithic] touches, and the same for each sublayer of
+    the sublayered stack, and computes:
+
+    - {e entangled pairs}: unordered pairs of functions sharing at least
+      one mutable field (the interactions a prover must consider);
+    - {e cross-sublayer shared fields}: 0 for the sublayered stack, by
+      construction (each sublayer's record type is private to it);
+    - {e interface width}: the number of message constructors between
+      adjacent sublayers (test T2 made countable).
+
+    The inventory is kept in sync with the implementation by the test
+    suite, which checks the field lists against the record definitions. *)
+
+type access = { func : string; fields : string list }
+
+type inventory = {
+  mname : string;
+  fields : string list;    (** all mutable/protocol state fields *)
+  accesses : access list;
+}
+
+val monolithic : inventory
+val sublayered : inventory list
+(** One inventory per sublayer: dm, cm, rd, osr. *)
+
+val entangled_pairs : inventory -> int
+val function_count : inventory -> int
+val shared_field_matrix : inventory -> (string * string * int) list
+(** (func, func, #shared fields) for every entangled pair. *)
+
+val cross_sublayer_shared_fields : unit -> int
+(** Fields accessible from more than one sublayer: 0. *)
+
+val interface_widths : (string * int) list
+(** (interface name, constructor count) for each narrow interface. *)
+
+val pp_summary : Format.formatter -> unit -> unit

@@ -1,0 +1,236 @@
+type params = { capacity : int; stale_syn : bool; max_retx : int }
+
+let default = { capacity = 2; stale_syn = true; max_retx = 2 }
+
+(* The current incarnation's ISNs are 1 (A) and 2 (B); a stale SYN from an
+   earlier incarnation carries ISN 9. *)
+let a_isn = 1
+let b_isn = 2
+let stale_isn = 9
+
+type msg =
+  | Syn of int             (* initiator's ISN *)
+  | Syn_ack of int * int   (* responder's ISN, echoed initiator ISN *)
+  | Ack of int * int       (* (initiator ISN, responder ISN) identity *)
+
+type a_phase = A_syn_sent | A_est | A_gave_up
+type b_phase = B_listen | B_syn_rcvd of int | B_est of int | B_gave_up
+
+type state = {
+  a : a_phase;
+  b : b_phase;
+  a_retx : int;
+  b_retx : int;
+  ab : msg list;  (* sorted multisets *)
+  ba : msg list;
+}
+
+let insert m l = List.sort compare (m :: l)
+
+let rec remove_one m = function
+  | [] -> []
+  | x :: rest -> if x = m then rest else x :: remove_one m rest
+
+let distinct l = List.sort_uniq compare l
+
+let model p =
+  (module struct
+    type nonrec state = state
+
+    let name =
+      Printf.sprintf "cm-handshake(c=%d%s,retx<=%d)" p.capacity
+        (if p.stale_syn then ",stale-syn" else "")
+        p.max_retx
+
+    let initial =
+      [ { a = A_syn_sent;
+          b = B_listen;
+          a_retx = 0;
+          b_retx = 0;
+          ab = (if p.stale_syn then [ Syn stale_isn; Syn a_isn ] else [ Syn a_isn ])
+               |> List.sort compare;
+          ba = [] } ]
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      let room ch = List.length ch < p.capacity + 2 in
+      (* Retransmissions (bounded), mirroring CM's bootstrap timers. *)
+      (match s.a with
+      | A_syn_sent when s.a_retx < p.max_retx && room s.ab ->
+          add "a_retx_syn" { s with a_retx = s.a_retx + 1; ab = insert (Syn a_isn) s.ab }
+      | A_syn_sent when s.a_retx >= p.max_retx -> add "a_give_up" { s with a = A_gave_up }
+      | _ -> ());
+      (match s.b with
+      | B_syn_rcvd r when s.b_retx < p.max_retx && room s.ba ->
+          add "b_retx_synack"
+            { s with b_retx = s.b_retx + 1; ba = insert (Syn_ack (b_isn, r)) s.ba }
+      | B_syn_rcvd _ when s.b_retx >= p.max_retx -> add "b_give_up" { s with b = B_gave_up }
+      | _ -> ());
+      (* Channel loss. *)
+      List.iter
+        (fun m -> add "drop_ab" { s with ab = remove_one m s.ab })
+        (distinct s.ab);
+      List.iter
+        (fun m -> add "drop_ba" { s with ba = remove_one m s.ba })
+        (distinct s.ba);
+      (* Deliveries to B. *)
+      List.iter
+        (fun m ->
+          let s = { s with ab = remove_one m s.ab } in
+          match (m, s.b) with
+          | Syn isn, B_listen when room s.ba ->
+              add "b_syn"
+                { s with b = B_syn_rcvd isn; ba = insert (Syn_ack (b_isn, isn)) s.ba }
+          | Syn _, B_syn_rcvd r when room s.ba ->
+              (* Duplicate SYN: B repeats its SYN|ACK for the incarnation
+                 it believes in (exactly what Cm.handle_down_ind does). *)
+              add "b_dup_syn" { s with ba = insert (Syn_ack (b_isn, r)) s.ba }
+          | Ack (ai, bi), B_syn_rcvd r when ai = r && bi = b_isn ->
+              add "b_est" { s with b = B_est r }
+          | Ack _, _ -> add "b_stale_ack" s
+          | Syn _, _ -> add "b_syn_ignored" s
+          | Syn_ack _, _ -> add "b_misdirected" s)
+        (distinct s.ab);
+      (* Deliveries to A. *)
+      List.iter
+        (fun m ->
+          let s = { s with ba = remove_one m s.ba } in
+          match (m, s.a) with
+          | Syn_ack (bi, echo), A_syn_sent when echo = a_isn && room s.ab ->
+              add "a_est" { s with a = A_est; ab = insert (Ack (a_isn, bi)) s.ab }
+          | Syn_ack (bi, echo), A_est when echo = a_isn && room s.ab ->
+              (* Lost final ACK: repeat it. *)
+              add "a_reack" { s with ab = insert (Ack (a_isn, bi)) s.ab }
+          | Syn_ack _, _ -> add "a_stale_synack" s
+          | (Syn _ | Ack _), _ -> add "a_misdirected" s)
+        (distinct s.ba);
+      !moves
+
+    let invariant s =
+      match s.b with
+      | B_est r when r <> a_isn ->
+          Some (Printf.sprintf "B established against stale ISN %d" r)
+      | _ -> None
+
+    let accepting s =
+      match (s.a, s.b) with
+      | A_est, B_est _ -> true
+      | A_gave_up, _ | _, B_gave_up -> true
+      | _ -> false
+  end : Checker.MODEL)
+
+(* --- FIN teardown choreography --- *)
+
+type cmsg = Fin | Fin_ack
+
+type close_phase =
+  | Est
+  | Fin_w1 of int
+  | Fin_w2
+  | Closing of int
+  | Time_wait
+  | Close_wait
+  | Last_ack of int
+  | Closed
+
+type close_state = {
+  pa : close_phase;
+  pb : close_phase;
+  cab : cmsg list;
+  cba : cmsg list;
+}
+
+let close_model ~capacity =
+  (module struct
+    type state = close_state
+
+    let name = Printf.sprintf "cm-teardown(c=%d)" capacity
+
+    let max_retx = 2
+
+    let initial = [ { pa = Est; pb = Est; cab = []; cba = [] } ]
+
+    (* One endpoint's transitions; [out] is its outgoing channel. *)
+    let local_moves phase out room =
+      (* (label, phase', sends) *)
+      match phase with
+      | Est -> [ ("close", Fin_w1 0, [ Fin ]) ]
+      | Close_wait -> [ ("close", Last_ack 0, [ Fin ]) ]
+      | Fin_w1 n when n < max_retx && room -> [ ("retx_fin", Fin_w1 (n + 1), [ Fin ]) ]
+      | Closing n when n < max_retx && room -> [ ("retx_fin", Closing (n + 1), [ Fin ]) ]
+      | Last_ack n when n < max_retx && room -> [ ("retx_fin", Last_ack (n + 1), [ Fin ]) ]
+      | Fin_w1 n when n >= max_retx -> [ ("give_up", Closed, []) ]
+      | Closing n when n >= max_retx -> [ ("give_up", Closed, []) ]
+      | Last_ack n when n >= max_retx -> [ ("give_up", Closed, []) ]
+      | Time_wait -> [ ("tw_expire", Closed, []) ]
+      | Fin_w2 ->
+          (* FIN_WAIT_2 idle timeout, mirroring Cm: without it, a peer
+             that gave up leaves us deadlocked waiting for a FIN. *)
+          [ ("fw2_timeout", Closed, []) ]
+      | _ -> ignore out; []
+
+    let receive phase msg =
+      (* (phase', replies) — mirrors Cm.handle_down_ind's teardown rows *)
+      match (phase, msg) with
+      | Est, Fin -> Some (Close_wait, [ Fin_ack ])
+      | Fin_w1 n, Fin -> Some (Closing n, [ Fin_ack ])
+      | Fin_w1 _, Fin_ack -> Some (Fin_w2, [])
+      | Fin_w2, Fin -> Some (Time_wait, [ Fin_ack ])
+      | Closing _, Fin_ack -> Some (Time_wait, [])
+      | Closing n, Fin -> Some (Closing n, [ Fin_ack ])
+      | Last_ack _, Fin_ack -> Some (Closed, [])
+      | (Close_wait | Last_ack _), Fin ->
+          Some (phase, [ Fin_ack ])
+      | Time_wait, Fin -> Some (Time_wait, [ Fin_ack ])
+      | _ -> Some (phase, [])
+
+    let insert_all msgs ch = List.fold_left (fun ch m -> List.sort compare (m :: ch)) ch msgs
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      let room ch = List.length ch < capacity in
+      (* A-side local *)
+      List.iter
+        (fun (l, pa, sends) ->
+          if sends = [] || room s.cab then
+            add ("a_" ^ l) { s with pa; cab = insert_all sends s.cab })
+        (local_moves s.pa s.cab (room s.cab));
+      List.iter
+        (fun (l, pb, sends) ->
+          if sends = [] || room s.cba then
+            add ("b_" ^ l) { s with pb; cba = insert_all sends s.cba })
+        (local_moves s.pb s.cba (room s.cba));
+      (* loss *)
+      List.iter (fun m -> add "drop_ab" { s with cab = remove_one m s.cab }) (distinct s.cab);
+      List.iter (fun m -> add "drop_ba" { s with cba = remove_one m s.cba }) (distinct s.cba);
+      (* delivery *)
+      List.iter
+        (fun m ->
+          let s' = { s with cab = remove_one m s.cab } in
+          match receive s.pb m with
+          | Some (pb, replies) when replies = [] || room s'.cba ->
+              add "dlv_to_b" { s' with pb; cba = insert_all replies s'.cba }
+          | _ -> ())
+        (distinct s.cab);
+      List.iter
+        (fun m ->
+          let s' = { s with cba = remove_one m s.cba } in
+          match receive s.pa m with
+          | Some (pa, replies) when replies = [] || room s'.cab ->
+              add "dlv_to_a" { s' with pa; cab = insert_all replies s'.cab }
+          | _ -> ())
+        (distinct s.cba);
+      !moves
+
+    let invariant _ = None
+
+    let accepting s =
+      (* Teardown may legitimately end in Closed on both sides, possibly
+         via give-up under persistent loss; TIME_WAIT also counts as done
+         pending its timer. *)
+      match (s.pa, s.pb) with
+      | (Closed | Time_wait), (Closed | Time_wait) -> true
+      | _ -> false
+  end : Checker.MODEL)

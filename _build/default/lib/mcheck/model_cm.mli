@@ -1,0 +1,25 @@
+(** Bounded model of the CM sublayer alone: the three-way handshake with
+    loss, duplication and retransmission, optionally with a {e stale SYN}
+    from an earlier incarnation already sitting in the network (the
+    attack RFC 793's time-based ISNs and RFC 1948's hashed ISNs both
+    target, see paper §3).
+
+    Safety: if an endpoint reaches ESTABLISHED it holds exactly the
+    current incarnation's ISN pair — never the stale one. This is CM's
+    postcondition; {!Model_rd} assumes it, which is what compositional
+    (sublayer-at-a-time) verification means. *)
+
+type params = {
+  capacity : int;
+  stale_syn : bool;  (** a SYN from an old incarnation is in flight *)
+  max_retx : int;    (** bound on handshake retransmissions *)
+}
+
+val default : params
+
+val model : params -> (module Checker.MODEL)
+
+(** {!model} for the FIN teardown choreography: both sides close
+    (including simultaneously); safety is mutual eventual closure without
+    deadlock from any interleaving. *)
+val close_model : capacity:int -> (module Checker.MODEL)

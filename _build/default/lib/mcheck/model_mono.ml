@@ -1,0 +1,152 @@
+type params = { n : int; window : int; capacity : int; max_retx : int }
+
+let default = { n = 2; window = 2; capacity = 2; max_retx = 1 }
+
+let a_isn = 1
+let b_isn = 2
+
+type msg =
+  | Syn of int
+  | Syn_ack of int * int
+  | Hs_ack of int * int
+  | Data of int          (* segment id *)
+  | Ack of int           (* cumulative *)
+  | Fin
+  | Fin_ack
+
+type a_phase = A_syn_sent | A_est | A_fin_wait of int | A_done | A_gave_up
+type b_phase = B_listen | B_syn_rcvd of int | B_est | B_closed | B_gave_up
+
+(* One joint record — the model-level analog of the PCB. *)
+type state = {
+  a : a_phase;
+  b : b_phase;
+  a_retx : int;
+  b_retx : int;
+  snd_next : int;
+  snd_acked : int;
+  rcv : int;  (* bitmask *)
+  fin_acked : bool;
+  ab : msg list;
+  ba : msg list;
+}
+
+let insert m l = List.sort compare (m :: l)
+
+let rec remove_one m = function
+  | [] -> []
+  | x :: rest -> if x = m then rest else x :: remove_one m rest
+
+let distinct l = List.sort_uniq compare l
+
+let rec cumulative rcv i = if rcv land (1 lsl i) = 0 then i else cumulative rcv (i + 1)
+
+let model p =
+  (module struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "monolithic(n=%d,w=%d,c=%d)" p.n p.window p.capacity
+
+    let initial =
+      [ { a = A_syn_sent; b = B_listen; a_retx = 0; b_retx = 0; snd_next = 0;
+          snd_acked = 0; rcv = 0; fin_acked = false; ab = [ Syn a_isn ]; ba = [] } ]
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      let room ch = List.length ch < p.capacity + 1 in
+      (* --- A's local transitions: handshake retx, data send/retx, fin --- *)
+      (match s.a with
+      | A_syn_sent when s.a_retx < p.max_retx && room s.ab ->
+          add "a_retx_syn" { s with a_retx = s.a_retx + 1; ab = insert (Syn a_isn) s.ab }
+      | A_syn_sent when s.a_retx >= p.max_retx -> add "a_give_up" { s with a = A_gave_up }
+      | A_est ->
+          if
+            s.snd_next < p.n
+            && s.snd_next - s.snd_acked < p.window
+            && room s.ab
+          then
+            add "a_send"
+              { s with snd_next = s.snd_next + 1; ab = insert (Data s.snd_next) s.ab };
+          for i = s.snd_acked to s.snd_next - 1 do
+            if (not (List.mem (Data i) s.ab)) && room s.ab then
+              add "a_retx_data" { s with ab = insert (Data i) s.ab }
+          done;
+          if s.snd_next = p.n && s.snd_acked = p.n && room s.ab then
+            add "a_fin" { s with a = A_fin_wait 0; ab = insert Fin s.ab }
+      | A_fin_wait n when (not s.fin_acked) && n < p.max_retx && room s.ab ->
+          add "a_retx_fin" { s with a = A_fin_wait (n + 1); ab = insert Fin s.ab }
+      | A_fin_wait n when (not s.fin_acked) && n >= p.max_retx ->
+          add "a_fin_give_up" { s with a = A_gave_up }
+      | A_fin_wait _ when s.fin_acked -> add "a_close_done" { s with a = A_done }
+      | _ -> ());
+      (* --- B's local transitions --- *)
+      (match s.b with
+      | B_syn_rcvd r when s.b_retx < p.max_retx && room s.ba ->
+          add "b_retx_synack"
+            { s with b_retx = s.b_retx + 1; ba = insert (Syn_ack (b_isn, r)) s.ba }
+      | B_syn_rcvd _ when s.b_retx >= p.max_retx -> add "b_give_up" { s with b = B_gave_up }
+      | _ -> ());
+      (* --- channel loss --- *)
+      List.iter (fun m -> add "drop_ab" { s with ab = remove_one m s.ab }) (distinct s.ab);
+      List.iter (fun m -> add "drop_ba" { s with ba = remove_one m s.ba }) (distinct s.ba);
+      (* --- deliveries to B: the entangled input function --- *)
+      List.iter
+        (fun m ->
+          let s = { s with ab = remove_one m s.ab } in
+          match (m, s.b) with
+          | Syn isn, B_listen when room s.ba ->
+              add "b_syn"
+                { s with b = B_syn_rcvd isn; ba = insert (Syn_ack (b_isn, isn)) s.ba }
+          | Syn _, B_syn_rcvd r when room s.ba ->
+              add "b_dup_syn" { s with ba = insert (Syn_ack (b_isn, r)) s.ba }
+          | Hs_ack (ai, bi), B_syn_rcvd r when ai = r && bi = b_isn ->
+              add "b_est" { s with b = B_est }
+          | Data i, B_syn_rcvd r when r = a_isn ->
+              (* data implies the peer saw our SYN|ACK *)
+              let rcv = s.rcv lor (1 lsl i) in
+              let s = { s with b = B_est; rcv } in
+              if room s.ba then
+                add "b_est_data" { s with ba = insert (Ack (cumulative rcv 0)) s.ba }
+          | Data i, B_est ->
+              let rcv = s.rcv lor (1 lsl i) in
+              let s = { s with rcv } in
+              if room s.ba then
+                add "b_data" { s with ba = insert (Ack (cumulative rcv 0)) s.ba }
+          | Fin, B_est when cumulative s.rcv 0 = p.n && room s.ba ->
+              add "b_fin" { s with b = B_closed; ba = insert Fin_ack s.ba }
+          | Fin, B_closed when room s.ba ->
+              add "b_dup_fin" { s with ba = insert Fin_ack s.ba }
+          | _ -> add "b_ignore" s)
+        (distinct s.ab);
+      (* --- deliveries to A --- *)
+      List.iter
+        (fun m ->
+          let s = { s with ba = remove_one m s.ba } in
+          match (m, s.a) with
+          | Syn_ack (bi, echo), A_syn_sent when echo = a_isn && room s.ab ->
+              add "a_est" { s with a = A_est; ab = insert (Hs_ack (a_isn, bi)) s.ab }
+          | Syn_ack (bi, echo), A_est when echo = a_isn && room s.ab ->
+              add "a_reack" { s with ab = insert (Hs_ack (a_isn, bi)) s.ab }
+          | Ack k, (A_est | A_fin_wait _) ->
+              add "a_ack" { s with snd_acked = max s.snd_acked k }
+          | Fin_ack, A_fin_wait _ -> add "a_fin_acked" { s with fin_acked = true }
+          | _ -> add "a_ignore" s)
+        (distinct s.ba);
+      !moves
+
+    let invariant s =
+      if s.snd_acked > cumulative s.rcv 0 then Some "ack ahead of receiver"
+      else if s.rcv lsr s.snd_next <> 0 then Some "phantom segment"
+      else begin
+        match s.b with
+        | B_syn_rcvd r when r <> a_isn -> Some "B holds a wrong ISN"
+        | _ -> None
+      end
+
+    let accepting s =
+      match (s.a, s.b) with
+      | A_done, B_closed -> true
+      | A_gave_up, _ | _, B_gave_up -> true
+      | _ -> false
+  end : Checker.MODEL)

@@ -1,0 +1,19 @@
+(** Bounded model of a {e monolithic} TCP: handshake, windowed data
+    transfer and FIN teardown in one joint state machine, the way
+    {!Transport.Tcp_monolithic} (and lwIP) are written. It checks the
+    same end-to-end property as {!Model_cm} + {!Model_rd} + {!Model_osr}
+    combined — and its state space is the product of theirs, which is
+    experiment E8's point: the monolithic proof obligation is orders of
+    magnitude larger than the sum of the per-sublayer ones. *)
+
+type params = {
+  n : int;        (** data segments A sends to B *)
+  window : int;
+  capacity : int;
+  max_retx : int; (** bound on control retransmissions *)
+}
+
+val default : params
+(** n = 2, window = 2, capacity = 2, max_retx = 1. *)
+
+val model : params -> (module Checker.MODEL)

@@ -1,0 +1,52 @@
+type state = {
+  arrived : int;    (* bitmask over messages x fragments *)
+  delivered : int;  (* bitmask over messages *)
+}
+
+let model ~messages ~frags =
+  (module struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "msg-reassembly(m=%d,f=%d)" messages frags
+
+    let initial = [ { arrived = 0; delivered = 0 } ]
+
+    let bit m f = (m * frags) + f
+
+    let complete arrived m =
+      let rec go f = f >= frags || (arrived land (1 lsl bit m f) <> 0 && go (f + 1)) in
+      go 0
+
+    let next s =
+      List.concat
+        (List.init messages (fun m ->
+             List.concat
+               (List.init frags (fun f ->
+                    if s.arrived land (1 lsl bit m f) <> 0 then []
+                    else begin
+                      let arrived = s.arrived lor (1 lsl bit m f) in
+                      let delivered =
+                        if complete arrived m then s.delivered lor (1 lsl m)
+                        else s.delivered
+                      in
+                      [ (Printf.sprintf "frag%d.%d" m f, { arrived; delivered }) ]
+                    end))))
+
+    let invariant s =
+      (* A message is delivered iff all its own fragments arrived —
+         never blocked by, nor jumping ahead of, any other message. *)
+      let rec check m =
+        if m >= messages then None
+        else begin
+          let should = complete s.arrived m in
+          let did = s.delivered land (1 lsl m) <> 0 in
+          if should && not did then Some (Printf.sprintf "message %d held back" m)
+          else if did && not should then
+            Some (Printf.sprintf "message %d delivered incomplete" m)
+          else check (m + 1)
+        end
+      in
+      check 0
+
+    let accepting s = s.delivered = (1 lsl messages) - 1
+  end : Checker.MODEL)

@@ -1,0 +1,7 @@
+(** Bounded model of the Msg sublayer's receiver: fragments of [m]
+    messages ([f] fragments each) arrive exactly once in any order (RD's
+    postcondition); each message must be delivered exactly when its own
+    last fragment lands — independent of other messages (the HOL-freedom
+    property of experiment E15). *)
+
+val model : messages:int -> frags:int -> (module Checker.MODEL)

@@ -1,0 +1,35 @@
+type state = { arrived : int; delivered : int }
+
+let rec cumulative mask i = if mask land (1 lsl i) = 0 then i else cumulative mask (i + 1)
+
+let model ~n =
+  (module struct
+    type nonrec state = state
+
+    let name = Printf.sprintf "osr-reassembly(n=%d)" n
+
+    let initial = [ { arrived = 0; delivered = 0 } ]
+
+    let next s =
+      List.concat
+        (List.init n (fun i ->
+             if s.arrived land (1 lsl i) <> 0 then []
+             else begin
+               (* RD delivers segment i exactly once; OSR drains the
+                  in-order prefix. *)
+               let arrived = s.arrived lor (1 lsl i) in
+               let delivered = cumulative arrived 0 in
+               [ (Printf.sprintf "arrive%d" i, { arrived; delivered }) ]
+             end))
+
+    let invariant s =
+      (* The delivered prefix must be exactly the contiguous prefix of
+         what has arrived: no gaps (premature delivery) and no holdback
+         (failure to drain). *)
+      let expect = cumulative s.arrived 0 in
+      if s.delivered <> expect then
+        Some (Printf.sprintf "delivered %d but in-order prefix is %d" s.delivered expect)
+      else None
+
+    let accepting s = s.delivered = n
+  end : Checker.MODEL)

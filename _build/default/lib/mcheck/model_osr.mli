@@ -1,0 +1,7 @@
+(** Bounded model of OSR's receiver: segments arrive exactly once in any
+    order (RD's postcondition) and the reassembly buffer must emit the
+    byte stream in order without gaps, losses or duplicates — TCP's main
+    property, proved on top of RD's guarantee exactly as the paper
+    stratifies it. *)
+
+val model : n:int -> (module Checker.MODEL)

@@ -1,0 +1,96 @@
+type params = {
+  n : int;
+  window : int;
+  capacity : int;
+  retransmit : bool;
+  duplicate : bool;
+}
+
+let default = { n = 3; window = 2; capacity = 2; retransmit = true; duplicate = true }
+
+type state = {
+  snd_next : int;
+  snd_acked : int;
+  data_ch : int list;  (* sorted multiset of segment ids in flight *)
+  ack_ch : int list;   (* sorted multiset of cumulative acks in flight *)
+  rcv : int;           (* bitmask of received segments *)
+}
+
+let insert x l = List.sort Int.compare (x :: l)
+
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if x = y then rest else y :: remove_one x rest
+
+let rec cumulative rcv i = if rcv land (1 lsl i) = 0 then i else cumulative rcv (i + 1)
+
+let distinct l = List.sort_uniq Int.compare l
+
+let model p =
+  (module struct
+    type nonrec state = state
+
+    let name =
+      Printf.sprintf "rd(n=%d,w=%d,c=%d%s%s)" p.n p.window p.capacity
+        (if p.retransmit then "" else ",no-retx")
+        (if p.duplicate then "" else ",no-dup")
+
+    let initial = [ { snd_next = 0; snd_acked = 0; data_ch = []; ack_ch = []; rcv = 0 } ]
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      (* Sender submits a fresh segment within its window. *)
+      if
+        s.snd_next < p.n
+        && s.snd_next - s.snd_acked < p.window
+        && List.length s.data_ch < p.capacity
+      then
+        add
+          (Printf.sprintf "send%d" s.snd_next)
+          { s with snd_next = s.snd_next + 1; data_ch = insert s.snd_next s.data_ch };
+      (* Timeout: retransmit any unacked segment not currently in flight. *)
+      if p.retransmit then
+        for i = s.snd_acked to s.snd_next - 1 do
+          if (not (List.mem i s.data_ch)) && List.length s.data_ch < p.capacity then
+            add (Printf.sprintf "retx%d" i) { s with data_ch = insert i s.data_ch }
+        done;
+      (* Channel actions on each distinct in-flight message. *)
+      List.iter
+        (fun i ->
+          add (Printf.sprintf "drop_d%d" i) { s with data_ch = remove_one i s.data_ch };
+          if p.duplicate && List.length s.data_ch < p.capacity then
+            add (Printf.sprintf "dup_d%d" i) { s with data_ch = insert i s.data_ch };
+          (* Delivery: the receiver dedups via its bitmask and acks
+             cumulatively. *)
+          let rcv = s.rcv lor (1 lsl i) in
+          let ack = cumulative rcv 0 in
+          let ack_ch =
+            if List.length s.ack_ch < p.capacity then insert ack s.ack_ch else s.ack_ch
+          in
+          add
+            (Printf.sprintf "dlv_d%d" i)
+            { s with data_ch = remove_one i s.data_ch; rcv; ack_ch })
+        (distinct s.data_ch);
+      List.iter
+        (fun a ->
+          add (Printf.sprintf "drop_a%d" a) { s with ack_ch = remove_one a s.ack_ch };
+          if p.duplicate && List.length s.ack_ch < p.capacity then
+            add (Printf.sprintf "dup_a%d" a) { s with ack_ch = insert a s.ack_ch };
+          add
+            (Printf.sprintf "dlv_a%d" a)
+            { s with ack_ch = remove_one a s.ack_ch; snd_acked = max s.snd_acked a })
+        (distinct s.ack_ch);
+      !moves
+
+    let invariant s =
+      if s.snd_acked > cumulative s.rcv 0 then
+        Some
+          (Printf.sprintf "ack %d ahead of receiver's cumulative %d" s.snd_acked
+             (cumulative s.rcv 0))
+      else if s.rcv lsr s.snd_next <> 0 then Some "phantom segment received"
+      else if s.snd_acked > s.snd_next then Some "acked more than sent"
+      else None
+
+    let accepting s = s.snd_acked = p.n
+  end : Checker.MODEL)

@@ -1,0 +1,21 @@
+(** Bounded model of the RD sublayer alone (paper §4.2's property,
+    checked compositionally): a window-[w] sender transfers [n] segments
+    over a lossy, duplicating, reordering channel, {e assuming} CM's
+    postcondition (the network holds no segments from other
+    incarnations). Safety: the cumulative ack never runs ahead of what
+    the receiver actually holds, and no phantom segment is ever received.
+    With [retransmit = false] the checker finds the inevitable deadlock —
+    the reason retransmission exists. *)
+
+type params = {
+  n : int;          (** segments to transfer *)
+  window : int;
+  capacity : int;   (** per-direction channel capacity *)
+  retransmit : bool;
+  duplicate : bool; (** channel may duplicate messages *)
+}
+
+val default : params
+(** n = 3, window = 2, capacity = 2, retransmit and duplication on. *)
+
+val model : params -> (module Checker.MODEL)

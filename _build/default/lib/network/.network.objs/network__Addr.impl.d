@@ -1,0 +1,1 @@
+lib/network/addr.ml: Format Int Printf String

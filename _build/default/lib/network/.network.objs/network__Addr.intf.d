@@ -1,0 +1,1 @@
+lib/network/addr.mli: Format

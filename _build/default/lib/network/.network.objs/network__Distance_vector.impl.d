@@ -1,0 +1,1 @@
+lib/network/distance_vector.ml: Addr Bitkit Hashtbl List Routing Sim

@@ -1,0 +1,1 @@
+lib/network/distance_vector.mli: Routing

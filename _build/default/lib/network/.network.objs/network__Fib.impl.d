@@ -1,0 +1,1 @@
+lib/network/fib.ml: Addr Int List

@@ -1,0 +1,1 @@
+lib/network/hello.ml: Addr Bitkit Float Hashtbl List Sim

@@ -1,0 +1,1 @@
+lib/network/hello.mli: Addr Sim

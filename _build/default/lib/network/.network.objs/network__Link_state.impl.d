@@ -1,0 +1,1 @@
+lib/network/link_state.ml: Addr Bitkit Hashtbl List Queue Routing Sim

@@ -1,0 +1,1 @@
+lib/network/packet.mli: Addr Format

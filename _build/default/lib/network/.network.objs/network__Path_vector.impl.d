@@ -1,0 +1,1 @@
+lib/network/path_vector.ml: Addr Bitkit Hashtbl Int List Routing Sim

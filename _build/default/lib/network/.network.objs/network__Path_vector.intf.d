@@ -1,0 +1,1 @@
+lib/network/path_vector.mli: Routing

@@ -1,0 +1,1 @@
+lib/network/router.ml: Addr Fib Hashtbl Hello Option Packet Routing String

@@ -1,0 +1,1 @@
+lib/network/router.mli: Addr Fib Hello Packet Routing Sim

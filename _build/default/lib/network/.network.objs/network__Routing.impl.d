@@ -1,0 +1,1 @@
+lib/network/routing.ml: Addr Sim

@@ -1,0 +1,1 @@
+lib/network/topology.ml: Addr Array Bitkit Fib Hashtbl List Packet Queue Router Sim

@@ -1,0 +1,1 @@
+lib/network/topology.mli: Packet Router Routing Sim

@@ -1,0 +1,164 @@
+type config = {
+  advertise_interval : float;
+  triggered_delay : float;
+  infinity_metric : int;
+}
+
+let default_config =
+  { advertise_interval = 2.0; triggered_delay = 0.05; infinity_metric = 16 }
+
+type entry = { mutable metric : int; mutable via : int }
+
+type state = {
+  env : Routing.env;
+  cfg : config;
+  table : (Addr.t, entry) Hashtbl.t;  (** excludes self *)
+  neighbors : (int, Addr.t) Hashtbl.t;
+  mutable dirty : bool;
+  mutable trigger_armed : bool;
+}
+
+let magic = 0x44 (* 'D' *)
+
+let encode_vector entries =
+  let w = Bitkit.Bitio.Writer.create () in
+  Bitkit.Bitio.Writer.uint8 w magic;
+  Bitkit.Bitio.Writer.uint16 w (List.length entries);
+  List.iter
+    (fun (dst, metric) ->
+      Bitkit.Bitio.Writer.uint32 w dst;
+      Bitkit.Bitio.Writer.uint8 w metric)
+    entries;
+  Bitkit.Bitio.Writer.contents w
+
+let decode_vector s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    if Bitkit.Bitio.Reader.uint8 r <> magic then None
+    else begin
+      let count = Bitkit.Bitio.Reader.uint16 r in
+      let entries =
+        List.init count (fun _ ->
+            let dst = Bitkit.Bitio.Reader.uint32 r in
+            let metric = Bitkit.Bitio.Reader.uint8 r in
+            (dst, metric))
+      in
+      Some entries
+    end
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+(* The advertised vector for interface [i]: self at metric 0, every table
+   entry at its metric — except routes learned via [i], poisoned to
+   infinity (split horizon with poisoned reverse). *)
+let vector_for st i =
+  let entries =
+    Hashtbl.fold
+      (fun dst e acc ->
+        let metric = if e.via = i then st.cfg.infinity_metric else e.metric in
+        (dst, metric) :: acc)
+      st.table []
+  in
+  (st.env.Routing.self, 0) :: entries
+
+let advertise st =
+  Hashtbl.iter
+    (fun i _ -> st.env.Routing.send i (encode_vector (vector_for st i)))
+    st.neighbors
+
+let arm_trigger st =
+  st.dirty <- true;
+  if not st.trigger_armed then begin
+    st.trigger_armed <- true;
+    ignore
+      (Sim.Engine.schedule st.env.Routing.engine ~after:st.cfg.triggered_delay (fun () ->
+           st.trigger_armed <- false;
+           if st.dirty then begin
+             st.dirty <- false;
+             advertise st
+           end))
+  end
+
+let set_route st dst metric via =
+  match Hashtbl.find_opt st.table dst with
+  | Some e ->
+      let was_reachable = e.metric < st.cfg.infinity_metric in
+      if e.metric <> metric || e.via <> via then begin
+        e.metric <- metric;
+        e.via <- via;
+        let reachable = metric < st.cfg.infinity_metric in
+        if reachable then st.env.Routing.install dst via
+        else if was_reachable then st.env.Routing.uninstall dst;
+        arm_trigger st
+      end
+  | None ->
+      Hashtbl.replace st.table dst { metric; via };
+      if metric < st.cfg.infinity_metric then begin
+        st.env.Routing.install dst via;
+        arm_trigger st
+      end
+
+let neighbor_up st ~ifindex peer =
+  Hashtbl.replace st.neighbors ifindex peer;
+  (match Hashtbl.find_opt st.table peer with
+  | Some e when e.metric <= 1 -> ()
+  | _ -> set_route st peer 1 ifindex);
+  (* Give the new neighbor our view immediately. *)
+  st.env.Routing.send ifindex (encode_vector (vector_for st ifindex))
+
+let neighbor_down st ~ifindex _peer =
+  Hashtbl.remove st.neighbors ifindex;
+  Hashtbl.iter
+    (fun dst e -> if e.via = ifindex then set_route st dst st.cfg.infinity_metric e.via)
+    st.table
+
+let on_pdu st ~ifindex pdu =
+  match decode_vector pdu with
+  | None -> ()
+  | Some entries ->
+      List.iter
+        (fun (dst, metric) ->
+          if not (Addr.equal dst st.env.Routing.self) then begin
+            let cost = min (metric + 1) st.cfg.infinity_metric in
+            match Hashtbl.find_opt st.table dst with
+            | Some e when e.via = ifindex ->
+                (* Whatever our current next hop says overrides. *)
+                if e.metric <> cost then set_route st dst cost ifindex
+            | Some e when cost < e.metric -> set_route st dst cost ifindex
+            | Some _ -> ()
+            | None -> if cost < st.cfg.infinity_metric then set_route st dst cost ifindex
+          end)
+        entries
+
+let routes st =
+  Hashtbl.fold
+    (fun dst e acc -> if e.metric < st.cfg.infinity_metric then (dst, e.via) :: acc else acc)
+    st.table []
+  |> List.sort compare
+
+let factory ?(config = default_config) () =
+  {
+    Routing.protocol = "distance-vector";
+    make =
+      (fun env ->
+        let st =
+          { env; cfg = config; table = Hashtbl.create 32; neighbors = Hashtbl.create 8;
+            dirty = false; trigger_armed = false }
+        in
+        let rec periodic () =
+          ignore
+            (Sim.Engine.schedule env.Routing.engine ~after:config.advertise_interval
+               (fun () ->
+                 advertise st;
+                 periodic ()))
+        in
+        periodic ();
+        {
+          Routing.rname = "distance-vector";
+          neighbor_up = (fun ~ifindex peer -> neighbor_up st ~ifindex peer);
+          neighbor_down = (fun ~ifindex peer -> neighbor_down st ~ifindex peer);
+          on_pdu = (fun ~ifindex pdu -> on_pdu st ~ifindex pdu);
+          routes = (fun () -> routes st);
+        });
+  }

@@ -1,0 +1,13 @@
+(** Distance-vector route computation (RIP-style Bellman–Ford) behind the
+    {!Routing.factory} interface: split horizon with poisoned reverse,
+    triggered updates, infinity = 16. *)
+
+type config = {
+  advertise_interval : float;
+  triggered_delay : float;  (** batching delay for triggered updates *)
+  infinity_metric : int;
+}
+
+val default_config : config
+
+val factory : ?config:config -> unit -> Routing.factory

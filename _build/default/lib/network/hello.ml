@@ -1,0 +1,106 @@
+type config = { interval : float; hold_multiplier : int }
+
+let default_config = { interval = 1.0; hold_multiplier = 3 }
+
+type event = Up of { ifindex : int; peer : Addr.t } | Down of { ifindex : int; peer : Addr.t }
+
+type neighbor = { peer : Addr.t; mutable deadline : float }
+
+type t = {
+  engine : Sim.Engine.t;
+  cfg : config;
+  self : Addr.t;
+  send : int -> string -> unit;
+  notify : event -> unit;
+  mutable interfaces : int list;
+  neighbors : (int, neighbor) Hashtbl.t;
+  mutable handles : Sim.Engine.handle list;
+  mutable stopped : bool;
+}
+
+let magic = 0x48 (* 'H' *)
+
+let encode self =
+  let w = Bitkit.Bitio.Writer.create () in
+  Bitkit.Bitio.Writer.uint8 w magic;
+  Bitkit.Bitio.Writer.uint32 w self;
+  Bitkit.Bitio.Writer.contents w
+
+let decode s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    if Bitkit.Bitio.Reader.uint8 r <> magic then None
+    else Some (Bitkit.Bitio.Reader.uint32 r)
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+let create engine cfg ~self ~send ~notify =
+  { engine; cfg; self; send; notify; interfaces = []; neighbors = Hashtbl.create 8;
+    handles = []; stopped = false }
+
+let hold t = t.cfg.interval *. Float.of_int t.cfg.hold_multiplier
+
+(* One sweep timer expires dead neighbors; granularity = interval. *)
+let rec arm_sweep t =
+  if not t.stopped then begin
+    let h =
+      Sim.Engine.schedule t.engine ~after:t.cfg.interval (fun () ->
+          let now = Sim.Engine.now t.engine in
+          let dead =
+            Hashtbl.fold
+              (fun ifindex n acc -> if n.deadline < now then (ifindex, n.peer) :: acc else acc)
+              t.neighbors []
+          in
+          List.iter
+            (fun (ifindex, peer) ->
+              Hashtbl.remove t.neighbors ifindex;
+              t.notify (Down { ifindex; peer }))
+            dead;
+          arm_sweep t)
+    in
+    t.handles <- h :: t.handles
+  end
+
+let rec arm_hello t ifindex =
+  if not t.stopped then begin
+    let h =
+      Sim.Engine.schedule t.engine ~after:t.cfg.interval (fun () ->
+          t.send ifindex (encode t.self);
+          arm_hello t ifindex)
+    in
+    t.handles <- h :: t.handles
+  end
+
+let add_interface t ifindex =
+  if not (List.mem ifindex t.interfaces) then begin
+    t.interfaces <- ifindex :: t.interfaces;
+    t.send ifindex (encode t.self);
+    arm_hello t ifindex;
+    if List.length t.interfaces = 1 then arm_sweep t
+  end
+
+let on_pdu t ~ifindex pdu =
+  match decode pdu with
+  | None -> ()
+  | Some peer -> (
+      let deadline = Sim.Engine.now t.engine +. hold t in
+      match Hashtbl.find_opt t.neighbors ifindex with
+      | Some n when Addr.equal n.peer peer -> n.deadline <- deadline
+      | Some n ->
+          (* The device at the end of the link changed identity. *)
+          t.notify (Down { ifindex; peer = n.peer });
+          Hashtbl.replace t.neighbors ifindex { peer; deadline };
+          t.notify (Up { ifindex; peer })
+      | None ->
+          Hashtbl.replace t.neighbors ifindex { peer; deadline };
+          t.notify (Up { ifindex; peer }))
+
+let neighbors t =
+  Hashtbl.fold (fun ifindex n acc -> (ifindex, n.peer) :: acc) t.neighbors []
+  |> List.sort compare
+
+let stop t =
+  t.stopped <- true;
+  List.iter Sim.Engine.cancel t.handles;
+  t.handles <- []

@@ -1,0 +1,180 @@
+type config = { refresh_interval : float }
+
+let default_config = { refresh_interval = 5.0 }
+
+type lsp = { origin : Addr.t; seq : int; adj : Addr.t list }
+
+type state = {
+  env : Routing.env;
+  cfg : config;
+  lsdb : (Addr.t, lsp) Hashtbl.t;
+  neighbors : (int, Addr.t) Hashtbl.t;  (** alive adjacencies *)
+  mutable own_seq : int;
+  mutable installed : (Addr.t, int) Hashtbl.t;
+}
+
+let magic = 0x4C (* 'L' *)
+
+let encode_lsp lsp =
+  let w = Bitkit.Bitio.Writer.create () in
+  Bitkit.Bitio.Writer.uint8 w magic;
+  Bitkit.Bitio.Writer.uint32 w lsp.origin;
+  Bitkit.Bitio.Writer.uint32 w lsp.seq;
+  Bitkit.Bitio.Writer.uint8 w (List.length lsp.adj);
+  List.iter (fun n -> Bitkit.Bitio.Writer.uint32 w n) lsp.adj;
+  Bitkit.Bitio.Writer.contents w
+
+let decode_lsp s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    if Bitkit.Bitio.Reader.uint8 r <> magic then None
+    else begin
+      let origin = Bitkit.Bitio.Reader.uint32 r in
+      let seq = Bitkit.Bitio.Reader.uint32 r in
+      let count = Bitkit.Bitio.Reader.uint8 r in
+      let adj = List.init count (fun _ -> Bitkit.Bitio.Reader.uint32 r) in
+      Some { origin; seq; adj }
+    end
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+let flood st ?except lsp =
+  let pdu = encode_lsp lsp in
+  Hashtbl.iter
+    (fun i _ -> if Some i <> except then st.env.Routing.send i pdu)
+    st.neighbors
+
+(* Unit-cost SPF from self over two-way-confirmed adjacencies; returns the
+   first-hop neighbor for every reachable destination. *)
+let spf st =
+  let adjacency a =
+    match Hashtbl.find_opt st.lsdb a with Some l -> l.adj | None -> []
+  in
+  let two_way a b = List.mem b (adjacency a) && List.mem a (adjacency b) in
+  let self = st.env.Routing.self in
+  let first_hop = Hashtbl.create 32 in
+  let visited = Hashtbl.create 32 in
+  Hashtbl.replace visited self ();
+  let queue = Queue.create () in
+  (* Seed with live adjacencies (the self LSP mirrors them). *)
+  Hashtbl.iter
+    (fun _ peer ->
+      if (not (Hashtbl.mem visited peer)) && two_way self peer then begin
+        Hashtbl.replace visited peer ();
+        Hashtbl.replace first_hop peer peer;
+        Queue.add peer queue
+      end)
+    st.neighbors;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let hop = Hashtbl.find first_hop u in
+    List.iter
+      (fun v ->
+        if (not (Hashtbl.mem visited v)) && two_way u v then begin
+          Hashtbl.replace visited v ();
+          Hashtbl.replace first_hop v hop;
+          Queue.add v queue
+        end)
+      (adjacency u)
+  done;
+  first_hop
+
+let recompute st =
+  let first_hop = spf st in
+  let ifindex_of_peer peer =
+    Hashtbl.fold
+      (fun i p acc -> if Addr.equal p peer then Some i else acc)
+      st.neighbors None
+  in
+  let next = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun dst hop ->
+      match ifindex_of_peer hop with
+      | Some i -> Hashtbl.replace next dst i
+      | None -> ())
+    first_hop;
+  (* Diff against what is currently installed. *)
+  Hashtbl.iter
+    (fun dst i ->
+      match Hashtbl.find_opt st.installed dst with
+      | Some j when j = i -> ()
+      | _ -> st.env.Routing.install dst i)
+    next;
+  Hashtbl.iter
+    (fun dst _ -> if not (Hashtbl.mem next dst) then st.env.Routing.uninstall dst)
+    st.installed;
+  st.installed <- next
+
+let regenerate_own st =
+  st.own_seq <- st.own_seq + 1;
+  let adj = Hashtbl.fold (fun _ p acc -> p :: acc) st.neighbors [] in
+  let lsp = { origin = st.env.Routing.self; seq = st.own_seq; adj } in
+  Hashtbl.replace st.lsdb lsp.origin lsp;
+  flood st lsp;
+  recompute st
+
+let neighbor_up st ~ifindex peer =
+  Hashtbl.replace st.neighbors ifindex peer;
+  (* Database sync: give the new adjacency everything we know. *)
+  Hashtbl.iter (fun _ lsp -> st.env.Routing.send ifindex (encode_lsp lsp)) st.lsdb;
+  regenerate_own st
+
+let neighbor_down st ~ifindex _peer =
+  Hashtbl.remove st.neighbors ifindex;
+  regenerate_own st
+
+let on_pdu st ~ifindex pdu =
+  match decode_lsp pdu with
+  | None -> ()
+  | Some lsp ->
+      if Addr.equal lsp.origin st.env.Routing.self then begin
+        (* A stale copy of our own LSP is circulating; outbid it. *)
+        if lsp.seq >= st.own_seq then begin
+          st.own_seq <- lsp.seq;
+          regenerate_own st
+        end
+      end
+      else begin
+        let fresher =
+          match Hashtbl.find_opt st.lsdb lsp.origin with
+          | Some existing -> lsp.seq > existing.seq
+          | None -> true
+        in
+        if fresher then begin
+          Hashtbl.replace st.lsdb lsp.origin lsp;
+          flood st ~except:ifindex lsp;
+          recompute st
+        end
+      end
+
+let routes st =
+  Hashtbl.fold (fun dst i acc -> (dst, i) :: acc) st.installed [] |> List.sort compare
+
+let factory ?(config = default_config) () =
+  {
+    Routing.protocol = "link-state";
+    make =
+      (fun env ->
+        let st =
+          { env; cfg = config; lsdb = Hashtbl.create 32; neighbors = Hashtbl.create 8;
+            own_seq = 0; installed = Hashtbl.create 32 }
+        in
+        let rec refresh () =
+          ignore
+            (Sim.Engine.schedule env.Routing.engine ~after:config.refresh_interval
+               (fun () ->
+                 (match Hashtbl.find_opt st.lsdb env.Routing.self with
+                 | Some own -> flood st own
+                 | None -> ());
+                 refresh ()))
+        in
+        refresh ();
+        {
+          Routing.rname = "link-state";
+          neighbor_up = (fun ~ifindex peer -> neighbor_up st ~ifindex peer);
+          neighbor_down = (fun ~ifindex peer -> neighbor_down st ~ifindex peer);
+          on_pdu = (fun ~ifindex pdu -> on_pdu st ~ifindex pdu);
+          routes = (fun () -> routes st);
+        });
+  }

@@ -1,0 +1,11 @@
+type t = { src : Addr.t; dst : Addr.t; ttl : int; payload : string }
+
+let make ?(ttl = 64) ~src ~dst payload = { src; dst; ttl; payload }
+
+let decrement_ttl p = if p.ttl <= 1 then None else Some { p with ttl = p.ttl - 1 }
+
+let size p = 12 + String.length p.payload
+
+let pp fmt p =
+  Format.fprintf fmt "%a -> %a ttl=%d (%d bytes)" Addr.pp p.src Addr.pp p.dst p.ttl
+    (String.length p.payload)

@@ -1,0 +1,24 @@
+(** Network-layer packets.
+
+    Test T3 for the network sublayers holds because they use "completely
+    different packets (e.g., LSPs versus IP packets), not merely different
+    headers in the same packet": {!t} is the data-plane packet; hello and
+    routing PDUs travel as distinct frame kinds (see {!Router.frame}). *)
+
+type t = {
+  src : Addr.t;
+  dst : Addr.t;
+  ttl : int;
+  payload : string;
+}
+
+val make : ?ttl:int -> src:Addr.t -> dst:Addr.t -> string -> t
+(** Default TTL 64. *)
+
+val decrement_ttl : t -> t option
+(** [None] when the TTL expires. *)
+
+val size : t -> int
+(** Approximate on-wire bytes (fixed 12-byte header + payload). *)
+
+val pp : Format.formatter -> t -> unit

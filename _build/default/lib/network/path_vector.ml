@@ -1,0 +1,196 @@
+type config = {
+  advertise_interval : float;
+  triggered_delay : float;
+  max_path : int;
+}
+
+let default_config =
+  { advertise_interval = 2.0; triggered_delay = 0.05; max_path = 32 }
+
+(* A route to [dst]: the interface to the next hop and the full path of
+   router addresses (next hop first). *)
+type entry = { mutable path : Addr.t list; mutable via : int; mutable valid : bool }
+
+type state = {
+  env : Routing.env;
+  cfg : config;
+  table : (Addr.t, entry) Hashtbl.t;
+  neighbors : (int, Addr.t) Hashtbl.t;
+  mutable dirty : bool;
+  mutable trigger_armed : bool;
+}
+
+let magic = 0x50 (* 'P' *)
+
+(* PDU: magic, count, then per destination: addr32, path_len:8, addrs. *)
+let encode_vector entries =
+  let w = Bitkit.Bitio.Writer.create () in
+  Bitkit.Bitio.Writer.uint8 w magic;
+  Bitkit.Bitio.Writer.uint16 w (List.length entries);
+  List.iter
+    (fun (dst, path) ->
+      Bitkit.Bitio.Writer.uint32 w dst;
+      Bitkit.Bitio.Writer.uint8 w (List.length path);
+      List.iter (fun a -> Bitkit.Bitio.Writer.uint32 w a) path)
+    entries;
+  Bitkit.Bitio.Writer.contents w
+
+let decode_vector s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    if Bitkit.Bitio.Reader.uint8 r <> magic then None
+    else begin
+      let count = Bitkit.Bitio.Reader.uint16 r in
+      let entries =
+        List.init count (fun _ ->
+            let dst = Bitkit.Bitio.Reader.uint32 r in
+            let len = Bitkit.Bitio.Reader.uint8 r in
+            let path = List.init len (fun _ -> Bitkit.Bitio.Reader.uint32 r) in
+            (dst, path))
+      in
+      Some entries
+    end
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+(* Our advertisement: ourselves (empty path, meaning "I am the
+   destination") plus every valid route, each with our address prepended
+   by the receiver's perspective — we send the path as-is; the receiver
+   prepends us. *)
+let vector_for st =
+  (st.env.Routing.self, [])
+  :: Hashtbl.fold
+       (fun dst e acc -> if e.valid then (dst, e.path) :: acc else acc)
+       st.table []
+
+let advertise st =
+  let pdu = encode_vector (vector_for st) in
+  Hashtbl.iter (fun i _ -> st.env.Routing.send i pdu) st.neighbors
+
+let arm_trigger st =
+  st.dirty <- true;
+  if not st.trigger_armed then begin
+    st.trigger_armed <- true;
+    ignore
+      (Sim.Engine.schedule st.env.Routing.engine ~after:st.cfg.triggered_delay (fun () ->
+           st.trigger_armed <- false;
+           if st.dirty then begin
+             st.dirty <- false;
+             advertise st
+           end))
+  end
+
+(* Deterministic preference: shorter path, then smaller next hop. *)
+let better (p1 : Addr.t list) (p2 : Addr.t list) =
+  match Int.compare (List.length p1) (List.length p2) with
+  | 0 -> compare p1 p2 < 0
+  | c -> c < 0
+
+let set_route st dst path via =
+  match Hashtbl.find_opt st.table dst with
+  | Some e ->
+      if (not e.valid) || e.path <> path || e.via <> via then begin
+        let was_valid = e.valid in
+        e.path <- path;
+        e.via <- via;
+        e.valid <- true;
+        st.env.Routing.install dst via;
+        ignore was_valid;
+        arm_trigger st
+      end
+  | None ->
+      Hashtbl.replace st.table dst { path; via; valid = true };
+      st.env.Routing.install dst via;
+      arm_trigger st
+
+let invalidate st dst e =
+  if e.valid then begin
+    e.valid <- false;
+    st.env.Routing.uninstall dst;
+    arm_trigger st
+  end
+
+let neighbor_up st ~ifindex peer =
+  Hashtbl.replace st.neighbors ifindex peer;
+  (match Hashtbl.find_opt st.table peer with
+  | Some e when e.valid && List.length e.path <= 1 -> ()
+  | _ -> set_route st peer [ peer ] ifindex);
+  st.env.Routing.send ifindex (encode_vector (vector_for st))
+
+let neighbor_down st ~ifindex _peer =
+  Hashtbl.remove st.neighbors ifindex;
+  Hashtbl.iter (fun dst e -> if e.via = ifindex then invalidate st dst e) st.table
+
+let on_pdu st ~ifindex pdu =
+  match (decode_vector pdu, Hashtbl.find_opt st.neighbors ifindex) with
+  | None, _ | _, None -> ()
+  | Some entries, Some neighbor ->
+      List.iter
+        (fun (dst, path) ->
+          if not (Addr.equal dst st.env.Routing.self) then begin
+            let candidate = neighbor :: path in
+            (* structural loop prevention: never accept a path through
+               ourselves, and bound path length *)
+            if
+              (not (List.exists (Addr.equal st.env.Routing.self) path))
+              && List.length candidate <= st.cfg.max_path
+            then begin
+              match Hashtbl.find_opt st.table dst with
+              | Some e when e.valid && e.via = ifindex ->
+                  (* current next hop's view always supersedes *)
+                  if e.path <> candidate then set_route st dst candidate ifindex
+              | Some e when e.valid ->
+                  if better candidate e.path then set_route st dst candidate ifindex
+              | Some _ | None -> set_route st dst candidate ifindex
+            end
+            else begin
+              (* A looping/overlong path from our current next hop means
+                 that route is gone. *)
+              match Hashtbl.find_opt st.table dst with
+              | Some e when e.valid && e.via = ifindex -> invalidate st dst e
+              | _ -> ()
+            end
+          end)
+        entries;
+      (* implicit withdrawal: routes via this neighbor that were absent
+         from the advertisement are gone *)
+      let advertised = List.map fst entries in
+      Hashtbl.iter
+        (fun dst e ->
+          if
+            e.valid && e.via = ifindex
+            && (not (List.exists (Addr.equal dst) advertised))
+            && not (Addr.equal dst neighbor)
+          then invalidate st dst e)
+        st.table
+
+let routes st =
+  Hashtbl.fold (fun dst e acc -> if e.valid then (dst, e.via) :: acc else acc) st.table []
+  |> List.sort compare
+
+let factory ?(config = default_config) () =
+  {
+    Routing.protocol = "path-vector";
+    make =
+      (fun env ->
+        let st =
+          { env; cfg = config; table = Hashtbl.create 32; neighbors = Hashtbl.create 8;
+            dirty = false; trigger_armed = false }
+        in
+        let rec periodic () =
+          ignore
+            (Sim.Engine.schedule env.Routing.engine ~after:config.advertise_interval
+               (fun () ->
+                 advertise st;
+                 periodic ()))
+        in
+        periodic ();
+        {
+          Routing.rname = "path-vector";
+          neighbor_up = (fun ~ifindex peer -> neighbor_up st ~ifindex peer);
+          neighbor_down = (fun ~ifindex peer -> neighbor_down st ~ifindex peer);
+          on_pdu = (fun ~ifindex pdu -> on_pdu st ~ifindex pdu);
+          routes = (fun () -> routes st);
+        });
+  }

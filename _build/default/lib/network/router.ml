@@ -1,0 +1,101 @@
+type frame = Hello_pdu of string | Routing_pdu of string | Data of Packet.t
+
+let frame_size = function
+  | Hello_pdu s | Routing_pdu s -> String.length s
+  | Data p -> Packet.size p
+
+type stats = {
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable originated : int;
+  mutable no_route : int;
+  mutable ttl_expired : int;
+}
+
+type t = {
+  addr : Addr.t;
+  fib : Fib.t;
+  mutable hello : Hello.t option;
+  mutable routing : Routing.instance option;
+  interfaces : (int, frame -> unit) Hashtbl.t;
+  mutable next_ifindex : int;
+  deliver : Packet.t -> unit;
+  stats : stats;
+}
+
+let transmit t ifindex frame =
+  match Hashtbl.find_opt t.interfaces ifindex with
+  | Some send -> send frame
+  | None -> ()
+
+let create engine ?(hello_config = Hello.default_config) ~addr ~routing ~deliver () =
+  let t =
+    { addr; fib = Fib.create (); hello = None; routing = None;
+      interfaces = Hashtbl.create 4; next_ifindex = 0; deliver;
+      stats = { forwarded = 0; delivered = 0; originated = 0; no_route = 0; ttl_expired = 0 } }
+  in
+  let env =
+    {
+      Routing.engine;
+      self = addr;
+      send = (fun i pdu -> transmit t i (Routing_pdu pdu));
+      install = (fun dst ifindex -> Fib.insert t.fib (Addr.host dst) ifindex);
+      uninstall = (fun dst -> Fib.remove t.fib (Addr.host dst));
+    }
+  in
+  let instance = routing.Routing.make env in
+  let notify = function
+    | Hello.Up { ifindex; peer } -> instance.Routing.neighbor_up ~ifindex peer
+    | Hello.Down { ifindex; peer } -> instance.Routing.neighbor_down ~ifindex peer
+  in
+  let hello =
+    Hello.create engine hello_config ~self:addr
+      ~send:(fun i pdu -> transmit t i (Hello_pdu pdu))
+      ~notify
+  in
+  t.hello <- Some hello;
+  t.routing <- Some instance;
+  t
+
+let addr t = t.addr
+let fib t = t.fib
+let routing t = Option.get t.routing
+let stats t = t.stats
+let neighbors t = Hello.neighbors (Option.get t.hello)
+
+let add_interface t ~transmit:send =
+  let ifindex = t.next_ifindex in
+  t.next_ifindex <- ifindex + 1;
+  Hashtbl.replace t.interfaces ifindex send;
+  Hello.add_interface (Option.get t.hello) ifindex;
+  ifindex
+
+(* The forwarding data path: local delivery, FIB lookup, TTL handling.
+   Route computation is invisible here except through the FIB. *)
+let route t packet =
+  if Addr.equal packet.Packet.dst t.addr then begin
+    t.stats.delivered <- t.stats.delivered + 1;
+    t.deliver packet
+  end
+  else begin
+    match Fib.lookup t.fib packet.Packet.dst with
+    | None -> t.stats.no_route <- t.stats.no_route + 1
+    | Some ifindex -> (
+        match Packet.decrement_ttl packet with
+        | None -> t.stats.ttl_expired <- t.stats.ttl_expired + 1
+        | Some packet ->
+            t.stats.forwarded <- t.stats.forwarded + 1;
+            transmit t ifindex (Data packet))
+  end
+
+let on_frame t ~ifindex frame =
+  match frame with
+  | Hello_pdu pdu -> Hello.on_pdu (Option.get t.hello) ~ifindex pdu
+  | Routing_pdu pdu -> (routing t).Routing.on_pdu ~ifindex pdu
+  | Data packet -> route t packet
+
+let originate t ~dst payload =
+  t.stats.originated <- t.stats.originated + 1;
+  route t (Packet.make ~src:t.addr ~dst payload)
+
+let stop t = Hello.stop (Option.get t.hello)

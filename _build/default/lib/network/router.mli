@@ -1,0 +1,51 @@
+(** A router composed from the three network sublayers of Figure 4:
+    neighbor determination ({!Hello}), route computation (any
+    {!Routing.factory}) and forwarding ({!Fib} + this module's data path).
+
+    The three communicate only through narrow interfaces: hello events
+    feed route computation; route computation writes the FIB; the data
+    path reads it. They also use distinct frame kinds on the wire
+    ({!frame}), satisfying test T3 with "completely different packets". *)
+
+type frame =
+  | Hello_pdu of string
+  | Routing_pdu of string
+  | Data of Packet.t
+
+val frame_size : frame -> int
+
+type stats = {
+  mutable forwarded : int;
+  mutable delivered : int;
+  mutable originated : int;
+  mutable no_route : int;
+  mutable ttl_expired : int;
+}
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?hello_config:Hello.config ->
+  addr:Addr.t ->
+  routing:Routing.factory ->
+  deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+
+val addr : t -> Addr.t
+
+val add_interface : t -> transmit:(frame -> unit) -> int
+(** Attach a link; returns the interface index and starts HELLOs on it. *)
+
+val on_frame : t -> ifindex:int -> frame -> unit
+(** Wire this as the link's delivery callback. *)
+
+val originate : t -> dst:Addr.t -> string -> unit
+(** Send a locally-generated data packet. *)
+
+val fib : t -> Fib.t
+val routing : t -> Routing.instance
+val neighbors : t -> (int * Addr.t) list
+val stats : t -> stats
+val stop : t -> unit

@@ -1,0 +1,17 @@
+type instance = {
+  rname : string;
+  neighbor_up : ifindex:int -> Addr.t -> unit;
+  neighbor_down : ifindex:int -> Addr.t -> unit;
+  on_pdu : ifindex:int -> string -> unit;
+  routes : unit -> (Addr.t * int) list;
+}
+
+type env = {
+  engine : Sim.Engine.t;
+  self : Addr.t;
+  send : int -> string -> unit;
+  install : Addr.t -> int -> unit;
+  uninstall : Addr.t -> unit;
+}
+
+type factory = { protocol : string; make : env -> instance }

@@ -1,0 +1,171 @@
+type domain = Hardware | Software
+
+type partition = { pname : string; assign : string -> domain }
+
+let sublayers_up = [ "dm"; "cm"; "rd"; "osr" ]  (* wire side first *)
+
+let all_software = { pname = "all-software"; assign = (fun _ -> Software) }
+let all_hardware = { pname = "all-hardware"; assign = (fun _ -> Hardware) }
+
+let datapath_hw =
+  { pname = "dm+cm+rd-hw";
+    assign = (fun s -> if s = "osr" then Software else Hardware) }
+
+let rd_only_hw =
+  { pname = "rd-only-hw"; assign = (fun s -> if s = "rd" then Hardware else Software) }
+
+let partitions = [ all_software; datapath_hw; rd_only_hw; all_hardware ]
+
+let all_partitions =
+  List.init 16 (fun mask ->
+      let in_hw s =
+        let bit = match s with "dm" -> 0 | "cm" -> 1 | "rd" -> 2 | _ -> 3 in
+        mask land (1 lsl bit) <> 0
+      in
+      let hw_names = List.filter in_hw sublayers_up in
+      { pname =
+          (if hw_names = [] then "hw{}" else "hw{" ^ String.concat "," hw_names ^ "}");
+        assign = (fun s -> if in_hw s then Hardware else Software) })
+
+type costs = {
+  sw_cycles : (string * float) list;
+  hw_factor : float;
+  crossing : float;
+  sync : float;
+}
+
+let default_costs =
+  { sw_cycles = [ ("dm", 10.); ("cm", 10.); ("rd", 100.); ("osr", 30.) ];
+    hw_factor = 0.05; crossing = 40.0; sync = 100.0 }
+
+let step_cost costs sublayer = function
+  | Hardware -> List.assoc sublayer costs.sw_cycles *. costs.hw_factor
+  | Software -> List.assoc sublayer costs.sw_cycles
+
+type workload = { data_tx : int; retx : int; acks_rx : int; control : int }
+
+let workload_of_transfer ~segments ~loss =
+  { data_tx = segments;
+    retx = int_of_float (Float.of_int segments *. loss) + 1;
+    acks_rx = segments;
+    control = 6 }
+
+type report = {
+  scheme : string;
+  crossings : int;
+  total_cost : float;
+  cost_per_segment : float;
+  speedup_vs_software : float;
+}
+
+(* The sublayer sequence each segment class traverses, starting from the
+   side it enters on. The wire is on the hardware side of the NIC; the
+   application is software. *)
+type origin = App | Wire | First_step
+
+type path = { start : origin; steps : string list }
+
+let paths w =
+  [
+    (* outgoing data: app -> osr -> rd -> cm -> dm -> wire *)
+    (w.data_tx, { start = App; steps = List.rev sublayers_up });
+    (* retransmissions originate at RD itself *)
+    (w.retx, { start = First_step; steps = [ "rd"; "cm"; "dm" ] });
+    (* incoming acks: wire -> dm -> cm -> rd -> osr (window update) *)
+    (w.acks_rx, { start = Wire; steps = sublayers_up });
+    (* control segments: wire -> dm -> cm (and the reverse, symmetric) *)
+    (w.control, { start = Wire; steps = [ "dm"; "cm" ] });
+  ]
+
+let path_cost costs assign path =
+  let crossings = ref 0 in
+  let cost = ref 0. in
+  let start_domain =
+    match path.start with
+    | App -> Software
+    | Wire -> Hardware
+    | First_step -> (match path.steps with s :: _ -> assign s | [] -> Software)
+  in
+  let herd = ref start_domain in
+  List.iter
+    (fun s ->
+      let d = assign s in
+      if d <> !herd then begin
+        incr crossings;
+        cost := !cost +. costs.crossing
+      end;
+      herd := d;
+      cost := !cost +. step_cost costs s d)
+    path.steps;
+  (!crossings, !cost)
+
+let segment_count w = w.data_tx + w.retx + w.acks_rx + w.control
+
+let simulate ?(costs = default_costs) partition w =
+  let crossings = ref 0 in
+  let total = ref 0. in
+  List.iter
+    (fun (count, path) ->
+      let c, cost = path_cost costs partition.assign path in
+      crossings := !crossings + (count * c);
+      total := !total +. (Float.of_int count *. cost))
+    (paths w);
+  let software_total =
+    let t = ref 0. in
+    List.iter
+      (fun (count, path) ->
+        let _, cost = path_cost costs all_software.assign path in
+        t := !t +. (Float.of_int count *. cost))
+      (paths w);
+    !t
+  in
+  {
+    scheme = partition.pname;
+    crossings = !crossings;
+    total_cost = !total;
+    cost_per_segment = !total /. Float.of_int (segment_count w);
+    speedup_vs_software = software_total /. !total;
+  }
+
+let fast_slow_path ?(costs = default_costs) ~slow_fraction w =
+  let sw_all = List.fold_left (fun a (_, c) -> a +. c) 0. costs.sw_cycles in
+  let fast_cost = sw_all *. costs.hw_factor in
+  (* A slow-path packet crosses to the host, is processed there, and the
+     updated state must be synchronised back to the NIC. *)
+  let slow_cost = (2. *. costs.crossing) +. sw_all +. costs.sync in
+  let fastslow count frac =
+    let slow = Float.of_int count *. frac in
+    let fast = Float.of_int count -. slow in
+    ((fast *. fast_cost) +. (slow *. slow_cost), int_of_float (2. *. slow))
+  in
+  let d_cost, d_cross = fastslow w.data_tx slow_fraction in
+  let a_cost, a_cross = fastslow w.acks_rx slow_fraction in
+  let r_cost, r_cross = fastslow w.retx 1.0 in
+  let c_cost, c_cross = fastslow w.control 1.0 in
+  let total = d_cost +. a_cost +. r_cost +. c_cost in
+  let software_total =
+    Float.of_int (segment_count w) *. sw_all
+  in
+  {
+    scheme = Printf.sprintf "fast/slow(%.0f%%slow)" (100. *. slow_fraction);
+    crossings = d_cross + a_cross + r_cross + c_cross;
+    total_cost = total;
+    cost_per_segment = total /. Float.of_int (segment_count w);
+    speedup_vs_software = software_total /. total;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-20s crossings=%6d cost=%10.0f per-seg=%6.1f speedup=%5.2fx@."
+    r.scheme r.crossings r.total_cost r.cost_per_segment r.speedup_vs_software
+
+let best_partition ?(costs = default_costs) w =
+  let scored =
+    List.map (fun p -> (p, simulate ~costs p w)) all_partitions
+  in
+  let best, report =
+    List.fold_left
+      (fun (bp, br) (p, r) ->
+        if r.total_cost < br.total_cost then (p, r) else (bp, br))
+      (List.hd scored) (List.tl scored)
+  in
+  (best, report.speedup_vs_software)

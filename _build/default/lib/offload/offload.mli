@@ -1,0 +1,78 @@
+(** Hardware-offload decomposition study (paper §3.1: "Figure 5 offers a
+    principled way to offload parts of TCP processing to hardware. ...
+    A simple decomposition places RD, CM, and DM in hardware; with more
+    finagling and a modest duplication of state, only RD can be placed in
+    hardware").
+
+    Sublayering makes offload boundaries explicit: a partition assigns
+    each sublayer to the NIC (hardware) or the host (software), and every
+    segment's path through the stack then has a well-defined number of
+    hardware/software boundary crossings. The simulator charges a cost
+    per sublayer step (cheaper in hardware) and per crossing (PCIe-like),
+    and compares the paper's partitions against an AccelTCP/TAS-style
+    fast/slow-path split, which moves {e whole packets} between paths and
+    pays state-synchronisation costs instead. *)
+
+type domain = Hardware | Software
+
+type partition = {
+  pname : string;
+  assign : string -> domain;  (** "dm" | "cm" | "rd" | "osr" *)
+}
+
+val all_software : partition
+val all_hardware : partition
+val datapath_hw : partition
+(** DM, CM and RD in hardware; OSR ("complex and likely to evolve") in
+    software — the paper's simple decomposition. *)
+
+val rd_only_hw : partition
+(** Only RD in hardware — the paper's finagled decomposition. *)
+
+val partitions : partition list
+
+val all_partitions : partition list
+(** All 2^4 hardware/software assignments, named like "hw{rd,cm}". *)
+
+type costs = {
+  sw_cycles : (string * float) list;
+      (** per-sublayer software processing cost; RD (timers, retransmit
+          queue, SACK) dominates, DM/CM are cheap per packet *)
+  hw_factor : float;  (** hardware runs a sublayer at this fraction *)
+  crossing : float;   (** per hardware/software boundary crossing *)
+  sync : float;       (** fast/slow state synchronisation, per switch *)
+}
+
+val default_costs : costs
+
+(** A transfer's segment mix, one endpoint's perspective. *)
+type workload = {
+  data_tx : int;
+  retx : int;
+  acks_rx : int;
+  control : int;  (** SYN/FIN exchange segments *)
+}
+
+val workload_of_transfer : segments:int -> loss:float -> workload
+
+val best_partition : ?costs:costs -> workload -> partition * float
+(** Exhaustive search over {!all_partitions}: the assignment with the
+    lowest total cost, and its speedup over all-software. *)
+
+type report = {
+  scheme : string;
+  crossings : int;
+  total_cost : float;
+  cost_per_segment : float;
+  speedup_vs_software : float;
+}
+
+val simulate : ?costs:costs -> partition -> workload -> report
+
+val fast_slow_path : ?costs:costs -> slow_fraction:float -> workload -> report
+(** The functional-modularity baseline: a packet takes the all-hardware
+    fast path or the all-software slow path; [slow_fraction] of data/ack
+    packets (plus all control and retransmission-adjacent packets) go
+    slow, each path switch paying [sync]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sim/channel.ml: Bitkit Bytes Char Engine Float String

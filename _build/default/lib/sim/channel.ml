@@ -1,0 +1,108 @@
+type config = {
+  delay : float;
+  jitter : float;
+  loss : float;
+  duplication : float;
+  corruption : float;
+  reorder : float;
+  reorder_extra : float;
+  bandwidth : float option;
+  marking : float;
+}
+
+let ideal =
+  { delay = 0.001; jitter = 0.; loss = 0.; duplication = 0.; corruption = 0.;
+    reorder = 0.; reorder_extra = 0.; bandwidth = None; marking = 0. }
+
+let lossy p = { ideal with loss = p }
+
+let harsh =
+  { ideal with loss = 0.05; duplication = 0.02; reorder = 0.05; reorder_extra = 0.01 }
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable bytes_sent : int;
+}
+
+type 'a t = {
+  engine : Engine.t;
+  mutable cfg : config;
+  size : 'a -> int;
+  corrupt : Bitkit.Rng.t -> 'a -> 'a;
+  mark : 'a -> 'a;
+  deliver : 'a -> unit;
+  stats : stats;
+  mutable busy_until : float;
+}
+
+let create engine cfg ?(size = fun _ -> 0) ?(corrupt = fun _ m -> m)
+    ?(mark = fun m -> m) ~deliver () =
+  { engine; cfg; size; corrupt; mark; deliver;
+    stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0;
+              corrupted = 0; bytes_sent = 0 };
+    busy_until = 0. }
+
+let stats t = t.stats
+let set_config t cfg = t.cfg <- cfg
+let config t = t.cfg
+
+let transmit_once t msg =
+  let rng = Engine.rng t.engine in
+  if Bitkit.Rng.coin rng t.cfg.loss then t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let msg =
+      if Bitkit.Rng.coin rng t.cfg.corruption then begin
+        t.stats.corrupted <- t.stats.corrupted + 1;
+        t.corrupt rng msg
+      end
+      else msg
+    in
+    let msg = if Bitkit.Rng.coin rng t.cfg.marking then t.mark msg else msg in
+    let serialisation =
+      match t.cfg.bandwidth with
+      | None -> 0.
+      | Some rate ->
+          (* Messages queue behind one another on the link. *)
+          let tx_time = Float.of_int (t.size msg) /. rate in
+          let start = Float.max (Engine.now t.engine) t.busy_until in
+          t.busy_until <- start +. tx_time;
+          t.busy_until -. Engine.now t.engine
+    in
+    let latency =
+      t.cfg.delay
+      +. (if t.cfg.jitter > 0. then Bitkit.Rng.float rng *. t.cfg.jitter else 0.)
+      +. (if Bitkit.Rng.coin rng t.cfg.reorder then t.cfg.reorder_extra else 0.)
+      +. serialisation
+    in
+    ignore
+      (Engine.schedule t.engine ~after:latency (fun () ->
+           t.stats.delivered <- t.stats.delivered + 1;
+           t.deliver msg))
+  end
+
+let send t msg =
+  t.stats.sent <- t.stats.sent + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent + t.size msg;
+  transmit_once t msg;
+  if Bitkit.Rng.coin (Engine.rng t.engine) t.cfg.duplication then begin
+    t.stats.duplicated <- t.stats.duplicated + 1;
+    transmit_once t msg
+  end
+
+let corrupt_string rng s =
+  if String.length s = 0 then s
+  else begin
+    let i = Bitkit.Rng.int rng (String.length s) in
+    let bit = Bitkit.Rng.int rng 8 in
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let corrupt_bits rng bits =
+  let n = Bitkit.Bitseq.length bits in
+  if n = 0 then bits else Bitkit.Bitseq.flip bits (Bitkit.Rng.int rng n)

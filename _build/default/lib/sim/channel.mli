@@ -1,0 +1,70 @@
+(** Unreliable point-to-point channels.
+
+    A channel models one direction of a link: it delays, drops, duplicates,
+    corrupts and reorders messages according to its configuration. The
+    payload type is polymorphic so the same channel serves the data link
+    (bit strings) and the transport experiments (byte strings); corruption
+    is applied through a user-supplied [corrupt] function since only the
+    caller knows the payload representation. *)
+
+type config = {
+  delay : float;        (** propagation delay, seconds *)
+  jitter : float;       (** uniform extra delay in [0, jitter) *)
+  loss : float;         (** drop probability *)
+  duplication : float;  (** duplicate probability *)
+  corruption : float;   (** corruption probability *)
+  reorder : float;      (** probability of an extra reordering delay *)
+  reorder_extra : float;(** reordering delay magnitude *)
+  bandwidth : float option; (** bytes/second serialisation rate, if modelled *)
+  marking : float;      (** ECN-style congestion-mark probability *)
+}
+
+val ideal : config
+(** 1 ms delay, no impairments. *)
+
+val lossy : float -> config
+(** [lossy p] is {!ideal} with loss probability [p]. *)
+
+val harsh : config
+(** 5% loss, 2% duplication, 5% reorder — a stress configuration. *)
+
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable bytes_sent : int;
+}
+
+type 'a t
+
+val create :
+  Engine.t ->
+  config ->
+  ?size:('a -> int) ->
+  ?corrupt:(Bitkit.Rng.t -> 'a -> 'a) ->
+  ?mark:('a -> 'a) ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a t
+(** [create engine config ~deliver ()] makes a channel whose received
+    messages are passed to [deliver]. [size] (default: 0) is used for the
+    bandwidth model and statistics; [corrupt] (default: identity) mutates a
+    message chosen for corruption; [mark] (default: identity) applies an
+    ECN-style congestion mark to messages chosen with probability
+    [marking] — an AQM that signals instead of dropping. *)
+
+val send : 'a t -> 'a -> unit
+val stats : 'a t -> stats
+val set_config : 'a t -> config -> unit
+(** Change impairments mid-run (e.g. to simulate a link failure with
+    [loss = 1.0] and later restore it). *)
+
+val config : 'a t -> config
+
+val corrupt_string : Bitkit.Rng.t -> string -> string
+(** Flip one random bit of a byte string (helper for [?corrupt]). *)
+
+val corrupt_bits : Bitkit.Rng.t -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t
+(** Flip one random bit of a bit string. *)

@@ -1,0 +1,137 @@
+type event = {
+  time : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable dead : bool;
+}
+
+type handle = event
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+  mutable live : int;
+  random : Bitkit.Rng.t;
+}
+
+let dummy = { time = 0.; seq = -1; fn = ignore; dead = true }
+
+let create ?(seed = 42) () =
+  { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0;
+    fired = 0; live = 0; random = Bitkit.Rng.create seed }
+
+let now t = t.clock
+let rng t = t.random
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    if t.size > 0 then sift_down t 0;
+    Some top
+  end
+
+let at t ~time fn =
+  if time < t.clock then invalid_arg "Engine.at: time in the past";
+  let ev = { time; seq = t.next_seq; fn; dead = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  push t ev;
+  ev
+
+let schedule t ~after fn =
+  if after < 0. then invalid_arg "Engine.schedule: negative delay";
+  at t ~time:(t.clock +. after) fn
+
+let cancel ev =
+  if not ev.dead then ev.dead <- true
+
+let cancelled ev = ev.dead
+
+let rec step t =
+  match pop t with
+  | None -> false
+  | Some ev when ev.dead -> step t
+  | Some ev ->
+      t.clock <- ev.time;
+      t.fired <- t.fired + 1;
+      t.live <- t.live - 1;
+      ev.fn ();
+      true
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let horizon = match until with Some u -> u | None -> infinity in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match pop t with
+    | None ->
+        (* "Run until T" leaves the clock at T even if nothing is left to
+           do, so callers polling in fixed virtual-time slices always make
+           progress. *)
+        if Float.is_finite horizon && horizon > t.clock then t.clock <- horizon;
+        continue := false
+    | Some ev when ev.dead -> ()
+    | Some ev when ev.time > horizon ->
+        (* Put it back: the caller may resume later. *)
+        push t ev;
+        t.clock <- horizon;
+        continue := false
+    | Some ev ->
+        t.clock <- ev.time;
+        t.fired <- t.fired + 1;
+        t.live <- t.live - 1;
+        decr budget;
+        ev.fn ()
+  done
+
+let pending t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).dead then incr n
+  done;
+  !n
+
+let events_fired t = t.fired

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event simulation engine.
+
+    All protocol experiments in this repository run on this engine: time is
+    virtual, events fire in (time, insertion-order) order, and all
+    randomness comes from the engine's seeded {!Bitkit.Rng}, so every run is
+    exactly reproducible. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine with virtual time 0. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Bitkit.Rng.t
+(** The engine's random stream. *)
+
+val schedule : t -> after:float -> (unit -> unit) -> handle
+(** [schedule t ~after f] runs [f] at time [now t +. after].
+    [after] must be non-negative. Ties fire in insertion order. *)
+
+val at : t -> time:float -> (unit -> unit) -> handle
+(** [at t ~time f] schedules at an absolute virtual time (>= now). *)
+
+val cancel : handle -> unit
+(** Cancel a scheduled event; cancelling twice (or after it fired) is a
+    no-op. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Fire the next event. Returns [false] if the queue was empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Drain the event queue, stopping early when virtual time would exceed
+    [until] or after [max_events] events. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val events_fired : t -> int
+(** Total events executed so far (a cheap work measure). *)

@@ -1,0 +1,28 @@
+type entry = { time : float; actor : string; event : string }
+
+type t = { mutable entries : entry list }
+
+let create () = { entries = [] }
+
+let record t ~time ~actor event = t.entries <- { time; actor; event } :: t.entries
+
+let entries t = List.rev t.entries
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let count t ?actor prefix =
+  List.length
+    (List.filter
+       (fun e ->
+         starts_with ~prefix e.event
+         && match actor with None -> true | Some a -> a = e.actor)
+       t.entries)
+
+let clear t = t.entries <- []
+
+let pp fmt t =
+  List.iter
+    (fun e -> Format.fprintf fmt "%10.6f %-12s %s@." e.time e.actor e.event)
+    (entries t)

@@ -1,0 +1,21 @@
+(** In-memory event traces.
+
+    Protocol endpoints record interesting events here; tests assert on
+    traces and examples print them. Keeping traces structured (rather than
+    printing directly) keeps simulation output deterministic and greppable. *)
+
+type entry = { time : float; actor : string; event : string }
+
+type t
+
+val create : unit -> t
+val record : t -> time:float -> actor:string -> string -> unit
+val entries : t -> entry list
+(** In chronological (insertion) order. *)
+
+val count : t -> ?actor:string -> string -> int
+(** [count t ~actor prefix] counts entries whose event starts with
+    [prefix], optionally filtered by actor. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/stuffing/automaton.ml: Array Codec Format Hashtbl List Queue Result Rule

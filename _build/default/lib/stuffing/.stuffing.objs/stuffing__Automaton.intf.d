@@ -1,0 +1,1 @@
+lib/stuffing/automaton.mli: Format Rule

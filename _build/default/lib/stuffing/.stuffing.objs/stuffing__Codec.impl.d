@@ -1,0 +1,1 @@
+lib/stuffing/codec.ml: List Option Rule

@@ -1,0 +1,1 @@
+lib/stuffing/codec.mli: Rule

@@ -1,0 +1,1 @@
+lib/stuffing/fast.ml: Bitkit Bytes Char List Rule

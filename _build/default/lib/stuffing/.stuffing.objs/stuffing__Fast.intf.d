@@ -1,0 +1,1 @@
+lib/stuffing/fast.mli: Bitkit Rule

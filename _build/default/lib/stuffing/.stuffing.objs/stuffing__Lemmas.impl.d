@@ -1,0 +1,1 @@
+lib/stuffing/lemmas.ml: Automaton Codec Float Hashtbl List Overhead Rule Search Seq

@@ -1,0 +1,1 @@
+lib/stuffing/lemmas.mli: Rule

@@ -1,0 +1,1 @@
+lib/stuffing/overhead.ml: Array Bitkit Float List Rule

@@ -1,0 +1,1 @@
+lib/stuffing/overhead.mli: Rule

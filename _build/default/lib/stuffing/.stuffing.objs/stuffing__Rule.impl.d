@@ -1,0 +1,1 @@
+lib/stuffing/rule.ml: Format List String

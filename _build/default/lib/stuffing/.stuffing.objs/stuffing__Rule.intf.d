@@ -1,0 +1,1 @@
+lib/stuffing/rule.mli: Format

@@ -1,0 +1,1 @@
+lib/stuffing/search.ml: Array Automaton Float Format Hashtbl Int List Option Overhead Rule Seq String

@@ -1,0 +1,1 @@
+lib/stuffing/search.mli: Format Rule Seq

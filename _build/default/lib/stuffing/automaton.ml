@@ -1,0 +1,131 @@
+type violation = Ill_formed_rule | Flag_in_data | Premature_closing_flag
+
+let pp_violation fmt = function
+  | Ill_formed_rule -> Format.pp_print_string fmt "ill-formed rule"
+  | Flag_in_data -> Format.pp_print_string fmt "flag can occur in stuffed data"
+  | Premature_closing_flag -> Format.pp_print_string fmt "premature closing flag"
+
+(* KMP automaton for the flag: [delta.(q).(b)] is the length of the longest
+   suffix of the stream that is a prefix of the flag, after reading bit [b]
+   in state [q]. State [m] means "a flag occurrence just ended"; transitions
+   out of [m] continue via the longest border, so overlapping occurrences
+   are found too. *)
+let kmp_delta flag =
+  let pat = Array.of_list flag in
+  let m = Array.length pat in
+  let fail = Array.make (m + 1) 0 in
+  let k = ref 0 in
+  for q = 1 to m - 1 do
+    while !k > 0 && pat.(!k) <> pat.(q) do
+      k := fail.(!k)
+    done;
+    if pat.(!k) = pat.(q) then incr k;
+    fail.(q + 1) <- !k
+  done;
+  let delta = Array.make_matrix (m + 1) 2 0 in
+  let rec step q b =
+    if q < m && pat.(q) = (b = 1) then q + 1
+    else if q = 0 then 0
+    else step fail.(q) b
+  in
+  for q = 0 to m do
+    delta.(q).(0) <- step q 0;
+    delta.(q).(1) <- step q 1
+  done;
+  delta
+
+let int_of_bits bits = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits
+
+exception Violation of violation
+
+let explore scheme =
+  let { Rule.flag; rule } = scheme in
+  if not (Rule.rule_well_formed rule) || flag = [] then raise (Violation Ill_formed_rule);
+  let delta = kmp_delta flag in
+  let m = List.length flag in
+  let k = List.length rule.trigger in
+  let trig = int_of_bits rule.trigger in
+  let sb = if rule.stuff then 1 else 0 in
+  let mask len = (1 lsl len) - 1 in
+  (* Joint state: (matcher state, window length, window bits). Encoded with
+     a sentinel bit above the window so different lengths never collide. *)
+  let key q len bits = (q * (1 lsl (k + 1))) lor (1 lsl len) lor bits in
+  let visited = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let push q len bits =
+    let key = key q len bits in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key (q, len, bits);
+      Queue.add (q, len, bits) queue
+    end
+  in
+  (* The receiver consumes the opening flag and then scans afresh (this is
+     exactly what Codec.remove_flags does, and the model under which the
+     paper's improved scheme is valid): the matcher starts at state 0 at
+     the beginning of the data region, so occurrences overlapping the
+     opening flag are not mis-framings. *)
+  push 0 0 0;
+  (* Phase 2: arbitrary data through the stuffer. *)
+  while not (Queue.is_empty queue) do
+    let q, len, bits = Queue.pop queue in
+    for b = 0 to 1 do
+      let q1 = delta.(q).(b) in
+      if q1 = m then raise (Violation Flag_in_data);
+      let len1 = min k (len + 1) in
+      let bits1 = ((bits lsl 1) lor b) land mask len1 in
+      if len1 = k && bits1 = trig then begin
+        (* Forced stuffed bit, also visible to the matcher. *)
+        let q2 = delta.(q1).(sb) in
+        if q2 = m then raise (Violation Flag_in_data);
+        let bits2 = ((bits1 lsl 1) lor sb) land mask k in
+        push q2 k bits2
+      end
+      else push q1 len1 bits1
+    done
+  done;
+  (* Phase 3: from any point where the data may end, the closing flag must
+     not complete an occurrence before its own last bit. *)
+  let matcher_states = Hashtbl.fold (fun _ (q, _, _) acc -> if List.mem q acc then acc else q :: acc) visited [] in
+  let flag_arr = Array.of_list flag in
+  List.iter
+    (fun q0 ->
+      let q = ref q0 in
+      for i = 0 to m - 1 do
+        q := delta.(!q).(if flag_arr.(i) then 1 else 0);
+        if !q = m && i < m - 1 then raise (Violation Premature_closing_flag)
+      done)
+    matcher_states;
+  Hashtbl.length visited
+
+let check scheme =
+  match explore scheme with
+  | (_ : int) -> Ok ()
+  | exception Violation v -> Error v
+
+let valid scheme = Result.is_ok (check scheme)
+
+let reachable_states scheme =
+  match explore scheme with n -> n | exception Violation _ -> 0
+
+let find_counterexample scheme ~max_len =
+  let rec bits_of n len =
+    if len = 0 then [] else ((n lsr (len - 1)) land 1 = 1) :: bits_of n (len - 1)
+  in
+  let bad d =
+    match Codec.decode scheme (Codec.encode scheme d) with
+    | Some d' -> d' <> d
+    | None -> true
+  in
+  let found = ref None in
+  (try
+     for len = 0 to max_len do
+       for n = 0 to (1 lsl len) - 1 do
+         let d = bits_of n len in
+         if bad d then begin
+           found := Some d;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found

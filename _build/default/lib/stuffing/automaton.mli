@@ -1,0 +1,49 @@
+(** Exact validity checking of stuffing schemes.
+
+    This is the OCaml substitute for the paper's Coq proofs: instead of
+    deductive verification we {e decide} correctness exactly. The stuffer
+    is a finite transducer (its state is the last [k] output bits) and
+    "the flag appears in a framed stuffed stream" is a reachability
+    question on the product of that transducer with a KMP matcher for the
+    flag — over {e all} data, of {e any} length, not just bounded tests.
+
+    A scheme is valid iff
+    - the rule terminates (the stuffed bit never re-completes the trigger),
+    - after the receiver consumes the opening flag, the remainder
+      [stuff d ++ flag] contains no flag occurrence before the closing one.
+
+    The receiver model matches {!Codec.remove_flags}: the scan restarts
+    after the opening flag, so occurrences that overlap the opener are not
+    mis-framings (the paper's improved scheme depends on this — e.g. data
+    [0000010] makes the opener's last bit plus the data spell a flag, yet
+    no scanning decoder ever sees it). The two failure modes the checker
+    catches are exactly the paper's: a stuffed stream spelling a flag, and
+    data plus a prefix of the closing flag spelling an early flag.
+
+    Validity implies the paper's top-level specification
+    [decode (encode d) = Some d] for all [d]; {!Lemmas} cross-checks this
+    against exhaustive bounded enumeration. *)
+
+type violation =
+  | Ill_formed_rule
+      (** Empty trigger, empty flag, or non-terminating stuffing. *)
+  | Flag_in_data
+      (** Some data causes a flag occurrence ending inside the stuffed
+          region, as seen by a decoder scanning after the opening flag. *)
+  | Premature_closing_flag
+      (** Some data suffix combines with the closing flag to form an
+          earlier flag occurrence, truncating the frame. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Rule.scheme -> (unit, violation) result
+(** Exact decision, independent of data length. *)
+
+val valid : Rule.scheme -> bool
+
+val reachable_states : Rule.scheme -> int
+(** Size of the explored product state space (a proxy for "proof size"). *)
+
+val find_counterexample : Rule.scheme -> max_len:int -> Rule.bits option
+(** Exhaustive search for data of length [<= max_len] violating
+    [decode (encode d) = Some d]; used to cross-validate {!check}. *)

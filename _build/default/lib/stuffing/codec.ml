@@ -1,0 +1,89 @@
+open Rule
+
+(* [push k w b] slides bit [b] into window [w], keeping at most the last
+   [k] bits. Windows are newest-last, so a full window can be compared to
+   the trigger directly. *)
+let push k w b =
+  let w = w @ [ b ] in
+  if List.length w > k then List.tl w else w
+
+let stuff rule data =
+  assert (rule_well_formed rule);
+  let k = List.length rule.trigger in
+  (* The window tracks the last bits of the *output* stream, so a stuffed
+     bit participates in subsequent trigger matching exactly as it does in
+     HDLC hardware. Well-formedness guarantees the stuffed bit itself never
+     completes another trigger. *)
+  let rec go w = function
+    | [] -> []
+    | b :: rest ->
+        let w = push k w b in
+        if w = rule.trigger then b :: rule.stuff :: go (push k w rule.stuff) rest
+        else b :: go w rest
+  in
+  go [] data
+
+let unstuff rule data =
+  assert (rule_well_formed rule);
+  let k = List.length rule.trigger in
+  let rec go w = function
+    | [] -> Some []
+    | b :: rest -> (
+        let w = push k w b in
+        if w = rule.trigger then
+          match rest with
+          | [] -> None (* Truncated: the stuffed bit is missing. *)
+          | s :: rest ->
+              if s <> rule.stuff then None (* Not a stuffed stream. *)
+              else Option.map (fun tl -> b :: tl) (go (push k w s) rest)
+        else Option.map (fun tl -> b :: tl) (go w rest))
+  in
+  go [] data
+
+let add_flags flag body = flag @ body @ flag
+
+(* [split_at_flag s] finds the first occurrence of [flag] in [s] and
+   returns the bits after it. *)
+let rec split_at_flag flag s =
+  let rec is_prefix p s =
+    match (p, s) with
+    | [], _ -> true
+    | _, [] -> false
+    | a :: p, b :: s -> a = b && is_prefix p s
+  in
+  match s with
+  | _ when is_prefix flag s ->
+      let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+      Some (drop (List.length flag) s)
+  | [] -> None
+  | _ :: tl -> split_at_flag flag tl
+
+(* [until_flag s] returns the bits of [s] before its first [flag]
+   occurrence, or [None] if the flag never occurs. *)
+let until_flag flag s =
+  let rec is_prefix p s =
+    match (p, s) with
+    | [], _ -> true
+    | _, [] -> false
+    | a :: p, b :: s -> a = b && is_prefix p s
+  in
+  let rec go acc = function
+    | s when is_prefix flag s -> Some (List.rev acc)
+    | [] -> None
+    | b :: tl -> go (b :: acc) tl
+  in
+  go [] s
+
+let remove_flags flag s =
+  match split_at_flag flag s with
+  | None -> None
+  | Some after_open -> until_flag flag after_open
+
+let encode scheme d = add_flags scheme.flag (stuff scheme.rule d)
+
+let decode scheme s =
+  match remove_flags scheme.flag s with
+  | None -> None
+  | Some body -> unstuff scheme.rule body
+
+let overhead_bits rule data = List.length (stuff rule data) - List.length data

@@ -1,0 +1,40 @@
+(** Pure, extraction-style stuffing and framing functions.
+
+    These four functions mirror the paper's Coq development: [stuff] and
+    [unstuff] form the stuffing sublayer, [add_flags] and [remove_flags]
+    the flag sublayer beneath it (a nested sublayering within framing). The
+    top-level specification — proved in the paper, checked executably in
+    {!Lemmas} — is
+
+    {[ unstuff r (remove_flags f (add_flags f (stuff r d))) = Some d ]}
+
+    for every valid scheme [{flag = f; rule = r}] and all data [d].
+
+    Decoders return [option]: [None] means the input is not a well-formed
+    encoding (truncated frame, missing stuffed bit, ...). *)
+
+open Rule
+
+val stuff : rule -> bits -> bits
+(** Insert [rule.stuff] after every occurrence of [rule.trigger] in the
+    output stream. Requires [rule_well_formed rule]. *)
+
+val unstuff : rule -> bits -> bits option
+(** Inverse of {!stuff}: removes the bit following each trigger occurrence,
+    checking it is the stuffed bit. *)
+
+val add_flags : bits -> bits -> bits
+(** [add_flags flag body] is [flag @ body @ flag]. *)
+
+val remove_flags : bits -> bits -> bits option
+(** Scan for the first [flag] occurrence, then for the next one; return the
+    bits in between. *)
+
+val encode : scheme -> bits -> bits
+(** [add_flags flag (stuff rule d)]. *)
+
+val decode : scheme -> bits -> bits option
+(** [remove_flags] then [unstuff]. *)
+
+val overhead_bits : rule -> bits -> int
+(** Number of bits {!stuff} inserts for the given data. *)

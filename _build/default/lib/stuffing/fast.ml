@@ -1,0 +1,91 @@
+module Bitseq = Bitkit.Bitseq
+
+(* A growable MSB-first bit buffer. *)
+module Bitbuf = struct
+  type t = { mutable data : Bytes.t; mutable len : int }
+
+  let create n = { data = Bytes.make (max 1 ((n + 7) / 8)) '\000'; len = 0 }
+
+  let push t b =
+    let byte = t.len lsr 3 in
+    if byte >= Bytes.length t.data then begin
+      let bigger = Bytes.make (2 * Bytes.length t.data) '\000' in
+      Bytes.blit t.data 0 bigger 0 (Bytes.length t.data);
+      t.data <- bigger
+    end;
+    if b then
+      Bytes.set t.data byte
+        (Char.chr (Char.code (Bytes.get t.data byte) lor (0x80 lsr (t.len land 7))));
+    t.len <- t.len + 1
+
+  let contents t = Bitseq.of_bytes_bits t.data t.len
+end
+
+let rule_ints rule =
+  let k = List.length rule.Rule.trigger in
+  let trig =
+    List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 rule.Rule.trigger
+  in
+  (k, trig, (1 lsl k) - 1)
+
+let stuff rule bits =
+  assert (Rule.rule_well_formed rule);
+  let k, trig, mask = rule_ints rule in
+  let n = Bitseq.length bits in
+  let out = Bitbuf.create (n + (n / k) + 8) in
+  let window = ref 0 in
+  let emitted = ref 0 in
+  let emit b =
+    Bitbuf.push out b;
+    incr emitted;
+    window := ((!window lsl 1) lor (if b then 1 else 0)) land mask
+  in
+  for i = 0 to n - 1 do
+    emit (Bitseq.get bits i);
+    if !emitted >= k && !window = trig then emit rule.Rule.stuff
+  done;
+  Bitbuf.contents out
+
+let unstuff rule bits =
+  assert (Rule.rule_well_formed rule);
+  let k, trig, mask = rule_ints rule in
+  let n = Bitseq.length bits in
+  let out = Bitbuf.create n in
+  let window = ref 0 in
+  let seen = ref 0 in
+  let i = ref 0 in
+  let ok = ref true in
+  while !ok && !i < n do
+    let b = Bitseq.get bits !i in
+    incr i;
+    Bitbuf.push out b;
+    window := ((!window lsl 1) lor (if b then 1 else 0)) land mask;
+    incr seen;
+    if !seen >= k && !window = trig then
+      if !i >= n then ok := false (* stuffed bit missing *)
+      else begin
+        let s = Bitseq.get bits !i in
+        incr i;
+        if s <> rule.Rule.stuff then ok := false
+        else begin
+          window := ((!window lsl 1) lor (if s then 1 else 0)) land mask;
+          incr seen
+        end
+      end
+  done;
+  if !ok then Some (Bitbuf.contents out) else None
+
+let encode scheme bits =
+  let flag = Bitseq.of_bool_list scheme.Rule.flag in
+  Bitseq.concat [ flag; stuff scheme.Rule.rule bits; flag ]
+
+let decode scheme bits =
+  let flag = Bitseq.of_bool_list scheme.Rule.flag in
+  match Bitseq.find_sub ~pattern:flag bits with
+  | None -> None
+  | Some start -> (
+      let body_start = start + Bitseq.length flag in
+      let rest = Bitseq.sub bits body_start (Bitseq.length bits - body_start) in
+      match Bitseq.find_sub ~pattern:flag rest with
+      | None -> None
+      | Some stop -> unstuff scheme.Rule.rule (Bitseq.sub rest 0 stop))

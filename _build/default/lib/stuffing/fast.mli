@@ -1,0 +1,12 @@
+(** Performance-oriented stuffing codec over {!Bitkit.Bitseq}.
+
+    Semantically identical to the extraction-style {!Codec} (a qcheck
+    property in the test suite asserts bit-for-bit agreement), but using
+    integer windows and byte buffers. This is the "Tune" challenge (paper
+    §5) applied to the stuffing sublayer, and what the E6 throughput bench
+    measures. *)
+
+val stuff : Rule.rule -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t
+val unstuff : Rule.rule -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t option
+val encode : Rule.scheme -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t
+val decode : Rule.scheme -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t option

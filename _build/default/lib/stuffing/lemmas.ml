@@ -1,0 +1,197 @@
+type lemma = { lname : string; sublayer : string; check : unit -> bool }
+
+let exhaustive_bound = 12
+
+let bits_of n len = List.init len (fun i -> (n lsr (len - 1 - i)) land 1 = 1)
+
+(* [forall_data bound p] checks [p] on every bit string of length <= bound. *)
+let forall_data bound p =
+  let ok = ref true in
+  (try
+     for len = 0 to bound do
+       for n = 0 to (1 lsl len) - 1 do
+         if not (p (bits_of n len)) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !ok
+
+let is_prefix p s =
+  let rec go p s =
+    match (p, s) with
+    | [], _ -> true
+    | _, [] -> false
+    | a :: p, b :: s -> a = b && go p s
+  in
+  go p s
+
+(* All positions where [pattern] occurs in [s] (position = index of the
+   occurrence's first bit). *)
+let occurrences pattern s =
+  let rec go i s acc =
+    match s with
+    | [] -> List.rev acc
+    | _ :: tl ->
+        let acc = if is_prefix pattern s then i :: acc else acc in
+        go (i + 1) tl acc
+  in
+  go 0 s []
+
+let drop_last l =
+  match List.rev l with [] -> [] | _ :: tl -> List.rev tl
+
+let ones n = List.init n (fun _ -> true)
+
+let for_scheme tag scheme =
+  let { Rule.flag; rule } = scheme in
+  let n = exhaustive_bound in
+  let m = List.length flag in
+  let lem sublayer lname check = { lname = tag ^ "." ^ lname; sublayer; check } in
+  [
+    lem "meta" "rule_well_formed" (fun () -> Rule.rule_well_formed rule);
+    lem "meta" "scheme_valid_by_automaton" (fun () -> Automaton.valid scheme);
+    lem "stuffing" "stuff_nil_is_nil" (fun () -> Codec.stuff rule [] = []);
+    lem "stuffing" "stuff_never_shrinks" (fun () ->
+        forall_data n (fun d -> List.length (Codec.stuff rule d) >= List.length d));
+    lem "stuffing" "stuff_at_most_doubles" (fun () ->
+        forall_data n (fun d -> List.length (Codec.stuff rule d) <= 2 * List.length d));
+    lem "stuffing" "no_naked_trigger_in_stuffed" (fun () ->
+        (* Every trigger occurrence in the stuffed stream is immediately
+           followed by the stuffed bit: the receiver can rely on it. *)
+        forall_data n (fun d ->
+            let s = Codec.stuff rule d in
+            let k = List.length rule.trigger in
+            List.for_all
+              (fun pos ->
+                match List.nth_opt s (pos + k) with
+                | None -> false (* stream may not end right after a trigger *)
+                | Some b -> b = rule.stuff)
+              (occurrences rule.trigger s)));
+    lem "stuffing" "unstuff_stuff_identity" (fun () ->
+        forall_data n (fun d -> Codec.unstuff rule (Codec.stuff rule d) = Some d));
+    lem "stuffing" "stuff_injective" (fun () ->
+        (* Follows from the identity lemma, checked directly on all pairs
+           of short inputs. *)
+        let seen = Hashtbl.create 1024 in
+        forall_data 8 (fun d ->
+            let s = Codec.stuff rule d in
+            match Hashtbl.find_opt seen s with
+            | Some d' -> d' = d
+            | None ->
+                Hashtbl.add seen s d;
+                true));
+    lem "stuffing" "unstuff_rejects_truncated" (fun () ->
+        (* If the stream ends exactly on a trigger, the stuffed bit is
+           missing and unstuff must fail. *)
+        Codec.unstuff rule rule.trigger = None);
+    lem "flag" "add_flags_length" (fun () ->
+        forall_data n (fun d -> List.length (Codec.add_flags flag d) = List.length d + (2 * m)));
+    lem "flag" "remove_flags_needs_two_flags" (fun () ->
+        Codec.remove_flags flag flag = None && Codec.remove_flags flag [] = None);
+    lem "composition" "flag_absent_from_stuffed_data" (fun () ->
+        forall_data n (fun d -> occurrences flag (Codec.stuff rule d) = []));
+    lem "composition" "opening_boundary_safe" (fun () ->
+        (* Any flag occurrence in flag ++ stuffed other than the opener
+           itself at least overlaps the opener (pos < m) — the scanning
+           decoder, which restarts after the opener, never sees it. *)
+        forall_data n (fun d ->
+            occurrences flag (flag @ Codec.stuff rule d)
+            |> List.for_all (fun pos -> pos < m)));
+    lem "composition" "closing_boundary_safe" (fun () ->
+        forall_data n (fun d ->
+            let s = Codec.stuff rule d in
+            occurrences flag (s @ flag)
+            |> List.for_all (fun pos -> pos = List.length s)));
+    lem "composition" "frame_roundtrip" (fun () ->
+        forall_data n (fun d ->
+            let s = Codec.stuff rule d in
+            Codec.remove_flags flag (Codec.add_flags flag s) = Some s));
+    lem "composition" "main_spec_decode_encode" (fun () ->
+        (* The paper's top-level theorem:
+           Unstuff (RemoveFlags (AddFlags (Stuff d))) = d. *)
+        forall_data n (fun d -> Codec.decode scheme (Codec.encode scheme d) = Some d));
+    lem "composition" "truncated_frame_rejected" (fun () ->
+        forall_data (n - 2) (fun d ->
+            Codec.decode scheme (drop_last (Codec.encode scheme d)) <> Some d));
+    lem "composition" "decode_takes_earliest_frame" (fun () ->
+        (* Junk after the closing flag does not change the decoded frame. *)
+        forall_data (n - 4) (fun d ->
+            let junk = [ true; false; false; true ] in
+            Codec.decode scheme (Codec.encode scheme d @ junk) = Some d));
+    lem "composition" "empty_payload_frame" (fun () ->
+        Codec.decode scheme (Codec.encode scheme []) = Some []);
+  ]
+
+let close enough a b = Float.abs (a -. b) < enough
+let approx = close 1e-9
+
+let generic =
+  let lem sublayer lname check = { lname = "generic." ^ lname; sublayer; check } in
+  [
+    lem "meta" "checker_sound_on_small_data" (fun () ->
+        (* Any scheme the exact checker declares valid admits no bounded
+           counterexample: cross-validation of Automaton.check against
+           brute force over a structured sample. *)
+        Search.enumerate Search.structured_space
+        |> Seq.filter Automaton.valid
+        |> Seq.for_all (fun s -> Automaton.find_counterexample s ~max_len:9 = None));
+    lem "meta" "checker_rejects_known_bad_flag_in_data" (fun () ->
+        (* Flag 01111110 with rule stuff-1-after-110: the data 01111110
+           itself survives stuffing long enough to appear as a flag. *)
+        let bad =
+          { Rule.flag = Rule.bits_of_string "01111110";
+            rule = { Rule.trigger = Rule.bits_of_string "110"; stuff = true } }
+        in
+        Automaton.check bad = Error Automaton.Flag_in_data
+        && Automaton.find_counterexample bad ~max_len:8 <> None);
+    lem "meta" "checker_rejects_nonterminating_rule" (fun () ->
+        let bad =
+          { Rule.flag = Rule.bits_of_string "01111110";
+            rule = { Rule.trigger = Rule.bits_of_string "11111"; stuff = true } }
+        in
+        Automaton.check bad = Error Automaton.Ill_formed_rule);
+    lem "meta" "hdlc_and_paper_best_are_valid" (fun () ->
+        Automaton.valid Rule.hdlc && Automaton.valid Rule.paper_best);
+    lem "stuffing" "hdlc_all_ones_overhead_formula" (fun () ->
+        (* On k consecutive ones HDLC stuffs floor(k/5) zeros. *)
+        List.for_all
+          (fun k -> Codec.overhead_bits Rule.hdlc.rule (ones k) = k / 5)
+          [ 0; 1; 4; 5; 9; 10; 14; 15; 40 ]);
+    lem "stuffing" "naive_overhead_matches_paper" (fun () ->
+        approx (Overhead.naive Rule.hdlc.rule) (1. /. 32.)
+        && approx (Overhead.naive Rule.paper_best.rule) (1. /. 128.));
+    lem "stuffing" "paper_best_stationary_is_1_in_128" (fun () ->
+        (* The improved trigger 0000001 has no self-overlap, so its exact
+           stationary rate equals the naive 2^-7. *)
+        close 1e-6 (Overhead.stationary Rule.paper_best.rule) (1. /. 128.));
+    lem "stuffing" "hdlc_stationary_is_1_in_62" (fun () ->
+        (* 11111 is a run: expected recurrence time is 2^6 - 2 = 62, so the
+           exact rate differs from the paper's naive 1/32. *)
+        close 1e-6 (Overhead.stationary Rule.hdlc.rule) (1. /. 62.));
+    lem "stuffing" "stationary_matches_empirical" (fun () ->
+        List.for_all
+          (fun rule ->
+            let a = Overhead.stationary rule in
+            let e = Overhead.empirical ~seed:7 rule in
+            Float.abs (a -. e) < 0.15 *. a)
+          [ Rule.hdlc.rule; Rule.paper_best.rule ]);
+    lem "meta" "hdlc_found_by_structured_search" (fun () ->
+        List.exists
+          (Rule.equal_scheme Rule.hdlc)
+          (Search.valid_schemes Search.structured_space));
+    lem "meta" "paper_best_found_by_search" (fun () ->
+        List.exists
+          (Rule.equal_scheme Rule.paper_best)
+          (Search.valid_schemes (Search.free_space ~trigger_lens:[ 7 ])));
+  ]
+
+let all =
+  for_scheme "hdlc" Rule.hdlc @ for_scheme "best" Rule.paper_best @ generic
+
+let run lemmas = List.map (fun l -> (l, l.check ())) lemmas
+
+let failures lemmas =
+  run lemmas |> List.filter (fun (_, ok) -> not ok) |> List.map fst

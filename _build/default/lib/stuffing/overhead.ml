@@ -1,0 +1,73 @@
+let naive rule = 2. ** Float.of_int (-List.length rule.Rule.trigger)
+
+(* The stuffer's state is its window: the last [k] output bits (always a
+   settled, non-trigger value once [k] bits have been emitted). Under
+   uniform i.i.d. input bits the window is a Markov chain; the insertion
+   rate is the stationary probability, per input bit, that the new window
+   completes the trigger. Power iteration converges geometrically. *)
+let stationary rule =
+  assert (Rule.rule_well_formed rule);
+  let k = List.length rule.Rule.trigger in
+  let trig = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 rule.Rule.trigger in
+  let sb = if rule.Rule.stuff then 1 else 0 in
+  let n = 1 lsl k in
+  let mask = n - 1 in
+  let settle w = if w = trig then ((w lsl 1) lor sb) land mask else w in
+  let dist = Array.make n (1. /. Float.of_int n) in
+  let next = Array.make n 0. in
+  let rate = ref 0. in
+  (* Iterate until the distribution itself converges in L1 — the rate can
+     plateau at a wrong value for a few steps before the distribution
+     settles, so testing the rate alone stops too early. *)
+  let l1_change = ref infinity in
+  let iterations = ref 0 in
+  while !l1_change > 1e-14 && !iterations < 100_000 do
+    Array.fill next 0 n 0.;
+    let r = ref 0. in
+    for w = 0 to n - 1 do
+      let p = dist.(w) in
+      if p > 0. then
+        for b = 0 to 1 do
+          let w1 = ((w lsl 1) lor b) land mask in
+          if w1 = trig then r := !r +. (p /. 2.);
+          let w2 = settle w1 in
+          next.(w2) <- next.(w2) +. (p /. 2.)
+        done
+    done;
+    let change = ref 0. in
+    for w = 0 to n - 1 do
+      change := !change +. Float.abs (next.(w) -. dist.(w))
+    done;
+    l1_change := !change;
+    Array.blit next 0 dist 0 n;
+    rate := !r;
+    incr iterations
+  done;
+  !rate
+
+let empirical ?(bits = 1_000_000) ~seed rule =
+  assert (Rule.rule_well_formed rule);
+  let rng = Bitkit.Rng.create seed in
+  let k = List.length rule.Rule.trigger in
+  let trig = List.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 rule.Rule.trigger in
+  let sb = if rule.Rule.stuff then 1 else 0 in
+  let mask = (1 lsl k) - 1 in
+  let window = ref 0 in
+  let seen = ref 0 in
+  let inserted = ref 0 in
+  for _ = 1 to bits do
+    let b = if Bitkit.Rng.bool rng then 1 else 0 in
+    window := ((!window lsl 1) lor b) land mask;
+    incr seen;
+    if !seen >= k && !window = trig then begin
+      incr inserted;
+      window := ((!window lsl 1) lor sb) land mask
+      (* The stuffed bit extends the emitted stream, hence the window. *)
+    end
+  done;
+  Float.of_int !inserted /. Float.of_int bits
+
+let expected_frame_expansion scheme ~payload_bits =
+  let flag_bits = 2 * List.length scheme.Rule.flag in
+  Float.of_int payload_bits *. (1. +. stationary scheme.Rule.rule)
+  +. Float.of_int flag_bits

@@ -1,0 +1,25 @@
+(** Stuffing overhead under the random-data model (paper §4.1, lesson 2:
+    the HDLC rule costs "1 in 32" while flag 00000010 with stuff-1-after-
+    0000001 costs "1 in 128").
+
+    Three estimators are provided. [naive] is the per-window match
+    probability 2^-k, which is the figure the paper quotes. [stationary]
+    is the exact asymptotic insertion rate of the stuffing transducer
+    under i.i.d. uniform bits (computed by power iteration on the window
+    Markov chain); for triggers with self-overlap — such as HDLC's 11111 —
+    it differs from [naive] (HDLC's exact rate is 1/62, not 1/32), a
+    discrepancy EXPERIMENTS.md discusses. [empirical] stuffs a long random
+    bit string and measures. *)
+
+val naive : Rule.rule -> float
+(** [2. ** -k] for a length-[k] trigger. *)
+
+val stationary : Rule.rule -> float
+(** Exact asymptotic inserted-bits-per-data-bit rate. *)
+
+val empirical : ?bits:int -> seed:int -> Rule.rule -> float
+(** Measured rate on [bits] (default 1_000_000) random bits. *)
+
+val expected_frame_expansion : Rule.scheme -> payload_bits:int -> float
+(** Expected encoded size of a [payload_bits]-bit frame, counting flags
+    and expected stuffing, in bits. *)

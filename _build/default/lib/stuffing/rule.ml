@@ -1,0 +1,38 @@
+type bits = bool list
+
+type rule = { trigger : bits; stuff : bool }
+
+type scheme = { flag : bits; rule : rule }
+
+let bits_of_string s =
+  List.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Rule.bits_of_string")
+
+let string_of_bits bits =
+  String.concat "" (List.map (fun b -> if b then "1" else "0") bits)
+
+let rule_well_formed r =
+  match r.trigger with
+  | [] -> false
+  | _ :: tail -> tail @ [ r.stuff ] <> r.trigger
+
+let hdlc =
+  { flag = bits_of_string "01111110";
+    rule = { trigger = bits_of_string "11111"; stuff = false } }
+
+let paper_best =
+  { flag = bits_of_string "00000010";
+    rule = { trigger = bits_of_string "0000001"; stuff = true } }
+
+let pp_rule fmt r =
+  Format.fprintf fmt "stuff %c after %s"
+    (if r.stuff then '1' else '0')
+    (string_of_bits r.trigger)
+
+let pp_scheme fmt s =
+  Format.fprintf fmt "flag %s, %a" (string_of_bits s.flag) pp_rule s.rule
+
+let equal_scheme a b = a.flag = b.flag && a.rule = b.rule

@@ -1,0 +1,33 @@
+(** Bit-stuffing rules and framing schemes (paper §4.1).
+
+    A {e rule} says: whenever the last emitted bits equal [trigger], insert
+    the bit [stuff]. A {e scheme} pairs a rule with the [flag] pattern used
+    by the flag sublayer to delimit frames. HDLC is the scheme with flag
+    [01111110] and the rule "stuff a 0 after five 1s"; the paper's improved
+    scheme uses flag [00000010] and the rule "stuff a 1 after 0000001". *)
+
+type bits = bool list
+
+type rule = { trigger : bits; stuff : bool }
+
+type scheme = { flag : bits; rule : rule }
+
+val rule_well_formed : rule -> bool
+(** The trigger is non-empty and appending the stuffed bit does not
+    recreate the trigger (otherwise stuffing would never terminate). *)
+
+val hdlc : scheme
+(** Flag [01111110], stuff [0] after [11111]. *)
+
+val paper_best : scheme
+(** Flag [00000010], stuff [1] after [0000001] — the lower-overhead scheme
+    found by the paper's verification (§4.1, "Better stuffing rules"). *)
+
+val bits_of_string : string -> bits
+(** ["01101"] to bits; raises [Invalid_argument] on other characters. *)
+
+val string_of_bits : bits -> string
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_scheme : Format.formatter -> scheme -> unit
+val equal_scheme : scheme -> scheme -> bool

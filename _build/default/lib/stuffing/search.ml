@@ -1,0 +1,97 @@
+type space = {
+  sname : string;
+  flag_len : int;
+  trigger_lens : int list;
+  structured : bool;
+}
+
+let structured_space =
+  { sname = "flag8/hdlc-shaped"; flag_len = 8; trigger_lens = [ 1; 2; 3; 4; 5; 6 ];
+    structured = true }
+
+let free_space ~trigger_lens =
+  let lens = String.concat "," (List.map string_of_int trigger_lens) in
+  { sname = "flag8/free-trig{" ^ lens ^ "}"; flag_len = 8; trigger_lens;
+    structured = false }
+
+let bits_of_int n len = List.init len (fun i -> (n lsr (len - 1 - i)) land 1 = 1)
+
+(* HDLC-shaped rule for flag [f] and interior length [j]: the trigger is
+   f1..fj and the stuffed bit breaks the flag by complementing f(j+1).
+   HDLC itself is (flag 01111110, j = 5): trigger 11111, stuff 0. *)
+let shaped_rule flag j =
+  let arr = Array.of_list flag in
+  { Rule.trigger = Array.to_list (Array.sub arr 1 j); stuff = not arr.(j + 1) }
+
+let enumerate space =
+  let flags = Seq.init (1 lsl space.flag_len) (fun n -> bits_of_int n space.flag_len) in
+  if space.structured then
+    Seq.concat_map
+      (fun flag ->
+        List.to_seq space.trigger_lens
+        |> Seq.filter_map (fun j ->
+               if j + 1 < space.flag_len then
+                 Some { Rule.flag; rule = shaped_rule flag j }
+               else None))
+      flags
+  else
+    Seq.concat_map
+      (fun flag ->
+        List.to_seq space.trigger_lens
+        |> Seq.concat_map (fun j ->
+               Seq.init (1 lsl j) (fun t ->
+                   let trigger = bits_of_int t j in
+                   List.to_seq [ false; true ]
+                   |> Seq.map (fun stuff -> { Rule.flag; rule = { Rule.trigger; stuff } }))
+               |> Seq.concat))
+      flags
+
+let candidate_count space = Seq.length (enumerate space)
+
+type outcome = {
+  space : space;
+  candidates : int;
+  valid : int;
+  by_trigger_len : (int * int) list;
+  best : (Rule.scheme * float) list;
+}
+
+let run ?(best_limit = 10) space =
+  let candidates = ref 0 in
+  let valid = ref 0 in
+  let by_len = Hashtbl.create 8 in
+  let kept = ref [] in
+  Seq.iter
+    (fun scheme ->
+      incr candidates;
+      if Automaton.valid scheme then begin
+        incr valid;
+        let k = List.length scheme.Rule.rule.Rule.trigger in
+        Hashtbl.replace by_len k (1 + Option.value ~default:0 (Hashtbl.find_opt by_len k));
+        let rate = Overhead.stationary scheme.Rule.rule in
+        kept := (scheme, rate) :: !kept
+      end)
+    (enumerate space);
+  let best =
+    List.sort (fun (_, a) (_, b) -> Float.compare a b) !kept
+    |> List.filteri (fun i _ -> i < best_limit)
+  in
+  let by_trigger_len =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_len []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  { space; candidates = !candidates; valid = !valid; by_trigger_len; best }
+
+let valid_schemes space =
+  enumerate space |> Seq.filter Automaton.valid |> List.of_seq
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "space %s: %d candidates, %d valid@." o.space.sname o.candidates
+    o.valid;
+  List.iter
+    (fun (k, n) -> Format.fprintf fmt "  trigger length %d: %d valid@." k n)
+    o.by_trigger_len;
+  List.iter
+    (fun (s, rate) ->
+      Format.fprintf fmt "  %a  overhead 1/%.0f@." Rule.pp_scheme s (1. /. rate))
+    o.best

@@ -1,0 +1,45 @@
+(** Enumeration of valid stuffing schemes (paper §4.1: "we also created a
+    library of stuffing protocols that our proof deems valid; it found 66
+    alternate stuffing rules, some of which had less overhead than HDLC").
+
+    We search several candidate spaces with the exact checker of
+    {!Automaton} and report, per space: candidate count, valid count,
+    counts by trigger length, and the lowest-overhead schemes. *)
+
+type space = {
+  sname : string;
+  flag_len : int;
+  trigger_lens : int list;
+  structured : bool;
+      (** If [true], only "HDLC-shaped" rules are enumerated: the trigger is
+          the flag's interior prefix [f1 ... fj] and the stuffed bit is the
+          complement of [f(j+1)] — the natural generalisation of HDLC's
+          rule; this is the space in which HDLC and the paper's improved
+          scheme both live. If [false], every (flag, trigger, stuff) triple
+          is enumerated. *)
+}
+
+val structured_space : space
+(** Flags of length 8, HDLC-shaped rules (trigger lengths 1–6). *)
+
+val free_space : trigger_lens:int list -> space
+(** Flags of length 8, arbitrary triggers of the given lengths. *)
+
+val enumerate : space -> Rule.scheme Seq.t
+val candidate_count : space -> int
+
+type outcome = {
+  space : space;
+  candidates : int;
+  valid : int;
+  by_trigger_len : (int * int) list;  (** (trigger length, valid count) *)
+  best : (Rule.scheme * float) list;
+      (** valid schemes sorted by ascending stationary overhead; at most
+          [best_limit] kept *)
+}
+
+val run : ?best_limit:int -> space -> outcome
+
+val valid_schemes : space -> Rule.scheme list
+
+val pp_outcome : Format.formatter -> outcome -> unit

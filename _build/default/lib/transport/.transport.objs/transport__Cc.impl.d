@@ -1,0 +1,1 @@
+lib/transport/cc.ml: Float Printf

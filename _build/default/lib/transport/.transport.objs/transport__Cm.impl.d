@@ -1,0 +1,1 @@
+lib/transport/cm.ml: Config Float Iface Isn Option Printf Segment Sublayer

@@ -1,0 +1,1 @@
+lib/transport/cm.mli: Config Iface Isn Sublayer

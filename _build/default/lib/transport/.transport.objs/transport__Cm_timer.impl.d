@@ -1,0 +1,1 @@
+lib/transport/cm_timer.ml: Config Iface Isn Option Segment Sublayer

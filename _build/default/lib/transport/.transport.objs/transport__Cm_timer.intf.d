@@ -1,0 +1,1 @@
+lib/transport/cm_timer.mli: Config Iface Isn Sublayer

@@ -1,0 +1,1 @@
+lib/transport/config.ml: Cc Isn

@@ -1,0 +1,1 @@
+lib/transport/config.mli: Cc Isn Sim

@@ -1,0 +1,1 @@
+lib/transport/dm.ml: Nothing Segment Sublayer

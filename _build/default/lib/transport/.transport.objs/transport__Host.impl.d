@@ -1,0 +1,1 @@
+lib/transport/host.ml: Bitkit Buffer Char Config Hashtbl Iface Int64 Lazy Printf Segment Sim String Tcp_sublayered

@@ -1,0 +1,1 @@
+lib/transport/host.mli: Config Iface Sim

@@ -1,0 +1,1 @@
+lib/transport/iface.mli: Cc Sublayer

@@ -1,0 +1,1 @@
+lib/transport/isn.ml: Float Int64 List Sim

@@ -1,0 +1,1 @@
+lib/transport/isn.mli: Sim

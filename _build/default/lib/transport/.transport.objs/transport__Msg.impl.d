@@ -1,0 +1,1 @@
+lib/transport/msg.ml: Bitkit Bytes Cc Config Float Hashtbl Iface List Nothing String Sublayer

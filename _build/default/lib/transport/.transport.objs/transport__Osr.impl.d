@@ -1,0 +1,1 @@
+lib/transport/osr.ml: Buffer Cc Config Float Iface Int List Queue Segment String Sublayer

@@ -1,0 +1,1 @@
+lib/transport/osr.mli: Config Iface Sublayer

@@ -1,0 +1,1 @@
+lib/transport/rd.ml: Cc Config Float Iface List Printf Ranges Segment String Sublayer

@@ -1,0 +1,1 @@
+lib/transport/rd.mli: Config Iface Sublayer

@@ -1,0 +1,1 @@
+lib/transport/rec.ml: Bitkit Char Nothing String Sublayer

@@ -1,0 +1,1 @@
+lib/transport/rec.mli: Sublayer

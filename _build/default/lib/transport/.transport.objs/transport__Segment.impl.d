@@ -1,0 +1,1 @@
+lib/transport/segment.ml: Bitkit List Sublayer

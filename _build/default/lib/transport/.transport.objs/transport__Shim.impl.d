@@ -1,0 +1,1 @@
+lib/transport/shim.ml: Host List Option Queue Segment String Wire

@@ -1,0 +1,1 @@
+lib/transport/tcp_messages.ml: Cm Config Dm Msg Rd Sim Sublayer

@@ -1,0 +1,1 @@
+lib/transport/tcp_messages.mli: Config Msg Sim

@@ -1,0 +1,1 @@
+lib/transport/tcp_monolithic.ml: Buffer Cc Config Float Host Iface Int Isn List Sim String Sublayer Wire

@@ -1,0 +1,1 @@
+lib/transport/tcp_monolithic.mli: Config Host Iface Sim

@@ -1,0 +1,1 @@
+lib/transport/tcp_secure.ml: Char Cm Config Dm Host Osr Rd Rec Segment Sim String Sublayer

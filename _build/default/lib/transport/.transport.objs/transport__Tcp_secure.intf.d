@@ -1,0 +1,1 @@
+lib/transport/tcp_secure.mli: Config Host Iface Sim

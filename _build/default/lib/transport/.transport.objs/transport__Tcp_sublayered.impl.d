@@ -1,0 +1,1 @@
+lib/transport/tcp_sublayered.ml: Cm Config Dm Osr Rd Sim Sublayer

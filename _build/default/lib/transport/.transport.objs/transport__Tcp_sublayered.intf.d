@@ -1,0 +1,1 @@
+lib/transport/tcp_sublayered.mli: Config Iface Osr Rd Sim

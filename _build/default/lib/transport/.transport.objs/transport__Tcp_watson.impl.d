@@ -1,0 +1,1 @@
+lib/transport/tcp_watson.ml: Cm_timer Config Dm Host Osr Rd Segment Sim Sublayer

@@ -1,0 +1,1 @@
+lib/transport/tcp_watson.mli: Config Host Iface Sim

@@ -1,0 +1,1 @@
+lib/transport/wire.ml: Bitkit Format String

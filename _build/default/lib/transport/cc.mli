@@ -1,0 +1,44 @@
+(** Pluggable congestion control.
+
+    Rate control lives inside OSR (paper §3): OSR decides when a segment
+    is "ready" for RD, driven by the congestion signals RD summarises
+    upward (acks with optional RTT samples, loss events) — the same
+    restructuring argument as Narayan et al.'s CCP. An algorithm only sees
+    this interface; OSR only reads {!window}; so algorithms are drop-in
+    replaceable (experiment E10). All window quantities are in bytes. *)
+
+type loss = Timeout | Dup_ack
+
+type instance = {
+  name : string;
+  window : unit -> float;  (** current congestion window, bytes *)
+  on_ack : bytes:int -> rtt:float option -> unit;
+  on_loss : loss -> unit;
+  on_ecn : unit -> unit;
+}
+
+type algo = {
+  algo_name : string;
+  create : mss:int -> now:(unit -> float) -> instance;
+}
+
+val reno : algo
+(** Slow start / congestion avoidance / halving on fast retransmit,
+    window collapse on timeout (NewReno-ish, without full recovery
+    bookkeeping). *)
+
+val cubic : algo
+(** CUBIC growth centred on the window before the last loss. *)
+
+val vegas : algo
+(** Delay-based: compares expected and actual rates via the minimum RTT,
+    adjusting the window additively — a rate-style contrast to loss-based
+    schemes. *)
+
+val fixed : int -> algo
+(** A constant window of [n] segments — the degenerate baseline. *)
+
+val aimd : alpha:float -> beta:float -> algo
+(** Textbook AIMD with configurable increase/decrease. *)
+
+val all : algo list

@@ -1,0 +1,246 @@
+open Sublayer.Machine
+
+let name = "cm"
+
+type phase =
+  | Closed
+  | Listen
+  | Syn_sent of int
+  | Syn_rcvd of int
+  | Established
+  | Fin_wait_1 of int
+  | Fin_wait_2
+  | Closing of int
+  | Time_wait
+  | Close_wait
+  | Last_ack of int
+
+type t = {
+  cfg : Config.t;
+  isn : Isn.t;
+  local_port : int;
+  remote_port : int;
+  phase : phase;
+  isn_local : int option;
+  isn_remote : int option;
+}
+
+type up_req = Iface.cm_req
+type up_ind = Iface.cm_ind
+type down_req = string
+type down_ind = string
+type timer = Handshake | Fin_retx | Time_wait_expiry
+
+let initial cfg ~isn ~local_port ~remote_port =
+  { cfg; isn; local_port; remote_port; phase = Closed; isn_local = None;
+    isn_remote = None }
+
+let phase t = t.phase
+
+let phase_name t =
+  match t.phase with
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent _ -> "SYN_SENT"
+  | Syn_rcvd _ -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 _ -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Closing _ -> "CLOSING"
+  | Time_wait -> "TIME_WAIT"
+  | Close_wait -> "CLOSE_WAIT"
+  | Last_ack _ -> "LAST_ACK"
+
+let isns t =
+  match (t.isn_local, t.isn_remote) with
+  | Some l, Some r -> Some (l, r)
+  | _ -> None
+
+(* Control PDUs carry no payload; only CM's own header. *)
+let control t flags =
+  let header =
+    { Segment.flags;
+      isn_local = Option.value ~default:0 t.isn_local;
+      isn_remote = Option.value ~default:0 t.isn_remote }
+  in
+  Down (Segment.encode_cm header ~payload:"")
+
+let syn = { Segment.no_cm_flags with syn = true }
+let syn_ack = { Segment.no_cm_flags with syn = true; ack = true }
+let bare_ack = { Segment.no_cm_flags with ack = true }
+let fin = { Segment.no_cm_flags with fin = true }
+let rst = { Segment.no_cm_flags with rst = true }
+
+let backoff base n = base *. (2. ** Float.of_int (min n 6))
+
+let established_ind t =
+  match isns t with
+  | Some (l, r) -> [ Up (`Established (l, r)) ]
+  | None -> assert false
+
+(* Abort the connection locally and tell the peer. *)
+let abort t reason =
+  ( { t with phase = Closed },
+    [ Note reason; control t rst; Cancel_timer Handshake; Cancel_timer Fin_retx;
+      Up `Reset ] )
+
+let handle_up_req t (req : up_req) =
+  match (req, t.phase) with
+  | `Connect, Closed ->
+      let isn_local = t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port in
+      let t = { t with phase = Syn_sent 0; isn_local = Some isn_local } in
+      (t, [ Note "SYN_SENT (active open)"; control t syn;
+            Set_timer (Handshake, t.cfg.Config.syn_rto) ])
+  | `Listen, Closed -> ({ t with phase = Listen }, [])
+  | `Close, Established ->
+      let t = { t with phase = Fin_wait_1 0 } in
+      (t, [ Note "FIN_WAIT_1 (local close)"; control t fin;
+            Set_timer (Fin_retx, t.cfg.Config.syn_rto) ])
+  | `Close, Close_wait ->
+      let t = { t with phase = Last_ack 0 } in
+      (t, [ control t fin; Set_timer (Fin_retx, t.cfg.Config.syn_rto) ])
+  | `Close, (Closed | Listen) -> ({ t with phase = Closed }, [ Up `Closed ])
+  | `Close, _ -> (t, [ Note "close ignored in this phase" ])
+  | `Pdu payload, (Established | Fin_wait_1 _ | Fin_wait_2 | Close_wait | Closing _) ->
+      (* Data path: stamp the connection's identity on the segment. *)
+      let header =
+        { Segment.flags = Segment.no_cm_flags;
+          isn_local = Option.get t.isn_local;
+          isn_remote = Option.get t.isn_remote }
+      in
+      (t, [ Down (Segment.encode_cm header ~payload) ])
+  | `Pdu _, _ -> (t, [ Note "data before establishment dropped" ])
+  | (`Connect | `Listen), _ -> (t, [ Note "open in non-closed phase ignored" ])
+
+(* Does an incoming non-SYN segment belong to this incarnation? *)
+let identity_ok t (cm : Segment.cm) =
+  match (t.isn_local, t.isn_remote) with
+  | Some l, Some r -> cm.Segment.isn_local = r && cm.Segment.isn_remote = l
+  | Some l, None -> cm.Segment.isn_remote = l
+  | _ -> false
+
+let handle_down_ind t pdu =
+  match Segment.decode_cm pdu with
+  | None -> (t, [ Note "undecodable cm pdu dropped" ])
+  | Some (cm, payload) -> (
+      let f = cm.Segment.flags in
+      if f.Segment.rst then begin
+        let plausible =
+          identity_ok t cm || match t.phase with Syn_sent _ -> true | _ -> false
+        in
+        match t.phase with
+        | Closed | Listen -> (t, [ Note "rst ignored" ])
+        | _ when plausible ->
+            ( { t with phase = Closed },
+              [ Cancel_timer Handshake; Cancel_timer Fin_retx; Up `Reset ] )
+        | _ -> (t, [ Note "rst with wrong identity ignored" ])
+      end
+      else
+        match (t.phase, f.Segment.syn, f.Segment.ack, f.Segment.fin) with
+        (* --- Handshake --- *)
+        | Listen, true, false, false ->
+            let isn_local =
+              t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port
+            in
+            let t =
+              { t with phase = Syn_rcvd 0; isn_local = Some isn_local;
+                isn_remote = Some cm.Segment.isn_local }
+            in
+            (t, [ control t syn_ack; Set_timer (Handshake, t.cfg.Config.syn_rto) ])
+        | Syn_sent _, true, true, false when cm.Segment.isn_remote = Option.get t.isn_local ->
+            let t = { t with phase = Established; isn_remote = Some cm.Segment.isn_local } in
+            ( t,
+              Note "ESTABLISHED (syn|ack received)"
+              :: control t bare_ack :: Cancel_timer Handshake :: established_ind t )
+        | Syn_sent _, true, false, false ->
+            (* Simultaneous open. *)
+            let t = { t with phase = Syn_rcvd 0; isn_remote = Some cm.Segment.isn_local } in
+            (t, [ control t syn_ack; Set_timer (Handshake, t.cfg.Config.syn_rto) ])
+        | Syn_rcvd _, false, true, false when identity_ok t cm ->
+            let t = { t with phase = Established } in
+            (t, Note "ESTABLISHED (handshake ack)" :: Cancel_timer Handshake :: established_ind t)
+        | Syn_rcvd _, true, true, false when identity_ok t cm ->
+            (* Simultaneous open completing. *)
+            let t = { t with phase = Established } in
+            (t, (control t bare_ack :: Cancel_timer Handshake :: established_ind t))
+        | Syn_rcvd _, true, false, false ->
+            (* Duplicate SYN: repeat our SYN|ACK. *)
+            (t, [ control t syn_ack ])
+        | Established, true, true, false when identity_ok t cm ->
+            (* Our final ACK was lost; repeat it. *)
+            (t, [ control t bare_ack ])
+        (* --- Data path: a segment that was received in SYN_RCVD also
+           proves the peer got our SYN|ACK (its identity embeds our ISN). --- *)
+        | Syn_rcvd _, false, false, false when identity_ok t cm ->
+            let t = { t with phase = Established } in
+            (t, Cancel_timer Handshake :: established_ind t @ [ Up (`Pdu payload) ])
+        | (Established | Fin_wait_1 _ | Fin_wait_2 | Closing _ | Close_wait), false, false, false
+          when identity_ok t cm ->
+            (t, [ Up (`Pdu payload) ])
+        (* --- Teardown --- *)
+        | Established, false, false, true when identity_ok t cm ->
+            let t = { t with phase = Close_wait } in
+            (t, [ Note "CLOSE_WAIT (peer fin)"; control t bare_ack; Up `Peer_fin ])
+        | Fin_wait_1 _, false, true, false when identity_ok t cm ->
+            (* Arm a FIN_WAIT_2 idle timeout (as Linux does) so a peer
+               that dies before sending its FIN cannot hang us forever —
+               the teardown model finds this deadlock otherwise. *)
+            ( { t with phase = Fin_wait_2 },
+              [ Cancel_timer Fin_retx;
+                Set_timer (Time_wait_expiry, 4. *. t.cfg.Config.msl) ] )
+        | Fin_wait_1 n, false, false, true when identity_ok t cm ->
+            (* Simultaneous close; keep retransmitting our FIN. *)
+            ({ t with phase = Closing n }, [ control t bare_ack; Up `Peer_fin ])
+        | Fin_wait_2, false, false, true when identity_ok t cm ->
+            let t = { t with phase = Time_wait } in
+            ( t,
+              [ control t bare_ack; Up `Peer_fin;
+                Set_timer (Time_wait_expiry, 2. *. t.cfg.Config.msl) ] )
+        | Closing _, false, true, false when identity_ok t cm ->
+            ( { t with phase = Time_wait },
+              [ Cancel_timer Fin_retx; Set_timer (Time_wait_expiry, 2. *. t.cfg.Config.msl) ] )
+        | Last_ack _, false, true, false when identity_ok t cm ->
+            ( { t with phase = Closed },
+              [ Cancel_timer Fin_retx; Up `Closed ] )
+        | Time_wait, false, false, true when identity_ok t cm ->
+            (* Retransmitted FIN: re-ack and extend the quiet period. *)
+            (t, [ control t bare_ack; Set_timer (Time_wait_expiry, 2. *. t.cfg.Config.msl) ])
+        | (Close_wait | Last_ack _ | Closing _), false, false, true when identity_ok t cm ->
+            (* Duplicate FIN. *)
+            (t, [ control t bare_ack ])
+        | _ -> (t, [ Note "segment dropped (wrong phase or identity)" ]))
+
+let handle_timer t (tm : timer) =
+  match (tm, t.phase) with
+  | Handshake, Syn_sent n ->
+      if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
+      else
+        ( { t with phase = Syn_sent (n + 1) },
+          [ Note (Printf.sprintf "SYN retransmit #%d" (n + 1)); control t syn;
+            Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+  | Handshake, Syn_rcvd n ->
+      if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
+      else
+        ( { t with phase = Syn_rcvd (n + 1) },
+          [ control t syn_ack; Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+  | Fin_retx, Fin_wait_1 n ->
+      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      else
+        ( { t with phase = Fin_wait_1 (n + 1) },
+          [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+  | Fin_retx, Closing n ->
+      (* A FIN lost during simultaneous close must still be repaired
+         here, or both peers deadlock in CLOSING / FIN_WAIT_2. *)
+      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      else
+        ( { t with phase = Closing (n + 1) },
+          [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+  | Fin_retx, Last_ack n ->
+      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      else
+        ( { t with phase = Last_ack (n + 1) },
+          [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+  | Time_wait_expiry, Time_wait -> ({ t with phase = Closed }, [ Up `Closed ])
+  | Time_wait_expiry, Fin_wait_2 ->
+      ({ t with phase = Closed }, [ Up `Closed ])
+  | (Handshake | Fin_retx | Time_wait_expiry), _ -> (t, [])

@@ -1,0 +1,26 @@
+open Sublayer.Machine
+
+let name = "dm"
+
+type conn = { local_port : int; remote_port : int }
+
+type t = conn
+type up_req = string
+type up_ind = string
+type down_req = string
+type down_ind = string
+type timer = Nothing.t
+
+let handle_up_req t pdu =
+  let header = { Segment.src_port = t.local_port; dst_port = t.remote_port } in
+  (t, [ Down (Segment.encode_dm header ~payload:pdu) ])
+
+let handle_down_ind t wire =
+  match Segment.decode_dm wire with
+  | None -> (t, [ Note "short segment dropped" ])
+  | Some (dm, payload) ->
+      if dm.Segment.dst_port = t.local_port && dm.Segment.src_port = t.remote_port then
+        (t, [ Up payload ])
+      else (t, [ Note "segment for another connection dropped" ])
+
+let handle_timer _ t = Nothing.absurd t

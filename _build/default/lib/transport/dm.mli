@@ -1,0 +1,16 @@
+(** The demultiplexing sublayer — "essentially UDP" (paper §3). One
+    instance handles one connection's port stamping and filtering; the
+    port {e table} (binding, reuse, listen dispatch) lives in {!Host},
+    which routes wire segments to per-connection stacks using
+    {!Segment.peek_ports} only — DM's bits are all it ever reads. *)
+
+type conn = { local_port : int; remote_port : int }
+
+include
+  Sublayer.Machine.S
+    with type t = conn
+     and type up_req = string
+     and type up_ind = string
+     and type down_req = string
+     and type down_ind = string
+     and type timer = Sublayer.Machine.Nothing.t

@@ -1,0 +1,219 @@
+type endpoint = {
+  ep_from_wire : string -> unit;
+  ep_connect : unit -> unit;
+  ep_listen : unit -> unit;
+  ep_write : string -> unit;
+  ep_read : int -> unit;
+  ep_close : unit -> unit;
+  ep_finished : unit -> bool;
+}
+
+type factory = {
+  fname : string;
+  peek : string -> (int * int) option;
+  make :
+    Sim.Engine.t ->
+    name:string ->
+    Config.t ->
+    local_port:int ->
+    remote_port:int ->
+    transmit:(string -> unit) ->
+    events:(Iface.app_ind -> unit) ->
+    endpoint;
+}
+
+let sublayered =
+  {
+    fname = "sublayered";
+    peek = Segment.peek_ports;
+    make =
+      (fun engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+        let t =
+          Tcp_sublayered.create engine ~name cfg ~local_port ~remote_port ~transmit
+            ~events
+        in
+        {
+          ep_from_wire = Tcp_sublayered.from_wire t;
+          ep_connect = (fun () -> Tcp_sublayered.connect t);
+          ep_listen = (fun () -> Tcp_sublayered.listen t);
+          ep_write = Tcp_sublayered.write t;
+          ep_read = Tcp_sublayered.read t;
+          ep_close = (fun () -> Tcp_sublayered.close t);
+          ep_finished = (fun () -> Tcp_sublayered.stream_finished t);
+        });
+  }
+
+type conn = {
+  c_local : int;
+  c_remote : int;
+  c_accepted : bool;  (** spawned by a listener *)
+  ep : endpoint;
+  mutable auto_read : bool;
+  buf : Buffer.t;
+  mutable c_established : bool;
+  mutable c_peer_closed : bool;
+  mutable c_closed : bool;
+  mutable c_reset : bool;
+  mutable user_data : (string -> unit) option;
+  mutable user_event : (Iface.app_ind -> unit) option;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  factory : factory;
+  name : string;
+  transmit : string -> unit;
+  conns : (int * int, conn) Hashtbl.t;
+  listeners : (int, unit) Hashtbl.t;
+  mutable accept_cb : (conn -> unit) option;
+  mutable next_ephemeral : int;
+}
+
+let create engine ?(config = Config.default) ?(factory = sublayered) ~name ~transmit () =
+  { engine; config; factory; name; transmit; conns = Hashtbl.create 8;
+    listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
+
+let handle_event host c (e : Iface.app_ind) =
+  (match e with
+  | `Established ->
+      let first = not c.c_established in
+      c.c_established <- true;
+      if first && c.c_accepted then begin
+        match host.accept_cb with Some cb -> cb c | None -> ()
+      end
+  | `Data s -> (
+      Buffer.add_string c.buf s;
+      if c.auto_read then c.ep.ep_read (String.length s);
+      match c.user_data with Some cb -> cb s | None -> ())
+  | `Peer_closed -> c.c_peer_closed <- true
+  | `Closed -> c.c_closed <- true
+  | `Reset ->
+      c.c_reset <- true;
+      c.c_closed <- true);
+  match c.user_event with Some cb -> cb e | None -> ()
+
+let make_conn host ~local_port ~remote_port ~accepted =
+  let cref = ref None in
+  let events e =
+    match !cref with Some c -> handle_event host c e | None -> ()
+  in
+  let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
+  let ep =
+    host.factory.make host.engine ~name host.config ~local_port ~remote_port
+      ~transmit:host.transmit ~events
+  in
+  let c =
+    { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
+      auto_read = true; buf = Buffer.create 256; c_established = false;
+      c_peer_closed = false;
+      c_closed = false; c_reset = false; user_data = None; user_event = None }
+  in
+  cref := Some c;
+  Hashtbl.replace host.conns (local_port, remote_port) c;
+  c
+
+let alloc_port host =
+  let rec go () =
+    let p = host.next_ephemeral in
+    host.next_ephemeral <-
+      (if host.next_ephemeral >= 65535 then 49152 else host.next_ephemeral + 1);
+    if Hashtbl.fold (fun (l, _) _ acc -> acc || l = p) host.conns false then go () else p
+  in
+  go ()
+
+let connect host ?local_port ~remote_port () =
+  let local_port = match local_port with Some p -> p | None -> alloc_port host in
+  let c = make_conn host ~local_port ~remote_port ~accepted:false in
+  c.ep.ep_connect ();
+  c
+
+let listen host ~port = Hashtbl.replace host.listeners port ()
+
+let on_accept host cb = host.accept_cb <- Some cb
+
+let from_wire host wire =
+  match host.factory.peek wire with
+  | None -> ()
+  | Some (src_port, dst_port) -> (
+      match Hashtbl.find_opt host.conns (dst_port, src_port) with
+      | Some c -> c.ep.ep_from_wire wire
+      | None ->
+          if Hashtbl.mem host.listeners dst_port then begin
+            let c =
+              make_conn host ~local_port:dst_port ~remote_port:src_port ~accepted:true
+            in
+            c.ep.ep_listen ();
+            c.ep.ep_from_wire wire
+          end)
+
+let write c s = c.ep.ep_write s
+let close c = c.ep.ep_close ()
+
+let set_autoread c enabled = c.auto_read <- enabled
+
+let consume c n = c.ep.ep_read n
+let received c = Buffer.contents c.buf
+let received_length c = Buffer.length c.buf
+
+let take_received c =
+  let s = Buffer.contents c.buf in
+  Buffer.clear c.buf;
+  s
+
+let established c = c.c_established
+let peer_closed c = c.c_peer_closed
+let closed c = c.c_closed
+let was_reset c = c.c_reset
+let finished c = c.ep.ep_finished ()
+let local_port c = c.c_local
+let remote_port c = c.c_remote
+let on_data c cb = c.user_data <- Some cb
+let on_event c cb = c.user_event <- Some cb
+
+let connections host = Hashtbl.fold (fun _ c acc -> c :: acc) host.conns []
+
+(* A CRC-32 guard standing in for the data link's error-detection
+   sublayer: corrupted wire segments are dropped, never delivered. *)
+let crc_engine = lazy (Bitkit.Crc.make Bitkit.Crc.crc32)
+
+let guard_protect s =
+  let d = Bitkit.Crc.digest (Lazy.force crc_engine) s in
+  s
+  ^ String.init 4 (fun i ->
+        Char.chr (Int64.to_int (Int64.shift_right_logical d (8 * (3 - i))) land 0xFF))
+
+let guard_verify s =
+  let n = String.length s in
+  if n < 4 then None
+  else begin
+    let body = String.sub s 0 (n - 4) in
+    if guard_protect body = s then Some body else None
+  end
+
+let pair engine ?(config = Config.default) ?(factory_a = sublayered)
+    ?(factory_b = sublayered) ?(guard = false) channel_config =
+  let to_a = ref (fun (_ : string) -> ()) in
+  let to_b = ref (fun (_ : string) -> ()) in
+  let deliver target s =
+    if guard then match guard_verify s with Some body -> !target body | None -> ()
+    else !target s
+  in
+  let ab =
+    Sim.Channel.create engine channel_config ~size:String.length
+      ~corrupt:Sim.Channel.corrupt_string
+      ~deliver:(fun s -> deliver to_b s)
+      ()
+  in
+  let ba =
+    Sim.Channel.create engine channel_config ~size:String.length
+      ~corrupt:Sim.Channel.corrupt_string
+      ~deliver:(fun s -> deliver to_a s)
+      ()
+  in
+  let tx ch s = Sim.Channel.send ch (if guard then guard_protect s else s) in
+  let a = create engine ~config ~factory:factory_a ~name:"A" ~transmit:(tx ab) () in
+  let b = create engine ~config ~factory:factory_b ~name:"B" ~transmit:(tx ba) () in
+  to_a := from_wire a;
+  to_b := from_wire b;
+  (a, b)

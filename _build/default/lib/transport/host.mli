@@ -1,0 +1,108 @@
+(** Multi-connection transport host: the port table that DM's
+    demultiplexing service manages (binding, ephemeral allocation, listen
+    dispatch), with a small socket-style API over any endpoint kind
+    (sublayered or monolithic — benches compare them behind this same
+    interface).
+
+    The host routes each wire segment by its DM ports only
+    ({!Segment.peek_ports} for the sublayered format, {!Wire.peek_ports}
+    for the standard one); everything else in the segment is the owning
+    connection's business. *)
+
+(** What the host needs from an endpoint implementation. *)
+type endpoint = {
+  ep_from_wire : string -> unit;
+  ep_connect : unit -> unit;
+  ep_listen : unit -> unit;
+  ep_write : string -> unit;
+  ep_read : int -> unit;
+      (** flow-control credit: the application consumed [n] bytes *)
+  ep_close : unit -> unit;
+  ep_finished : unit -> bool;  (** all written bytes acknowledged *)
+}
+
+type factory = {
+  fname : string;
+  peek : string -> (int * int) option;
+      (** (src_port, dst_port) of a wire segment in this endpoint's
+          format. *)
+  make :
+    Sim.Engine.t ->
+    name:string ->
+    Config.t ->
+    local_port:int ->
+    remote_port:int ->
+    transmit:(string -> unit) ->
+    events:(Iface.app_ind -> unit) ->
+    endpoint;
+}
+
+val sublayered : factory
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?config:Config.t ->
+  ?factory:factory ->
+  name:string ->
+  transmit:(string -> unit) ->
+  unit ->
+  t
+
+val from_wire : t -> string -> unit
+
+(** {1 Connections} *)
+
+type conn
+
+val connect : t -> ?local_port:int -> remote_port:int -> unit -> conn
+val listen : t -> port:int -> unit
+val on_accept : t -> (conn -> unit) -> unit
+
+val write : conn -> string -> unit
+val close : conn -> unit
+
+val set_autoread : conn -> bool -> unit
+(** By default every delivered byte is immediately credited back to the
+    sender's flow-control window. Turning auto-read off models a slow
+    application: the receive window shrinks as data accumulates, closes
+    entirely when the buffer fills, and the sender stalls (keeping a
+    persist probe alive). Call {!consume} to grant credit manually. *)
+
+val consume : conn -> int -> unit
+(** Grant [n] bytes of flow-control credit (reopening the window). *)
+
+val received : conn -> string
+(** Everything delivered in order so far. *)
+
+val received_length : conn -> int
+val take_received : conn -> string
+(** Return and clear the delivery buffer (streaming consumers). *)
+
+val established : conn -> bool
+val peer_closed : conn -> bool
+val closed : conn -> bool
+val was_reset : conn -> bool
+val finished : conn -> bool
+val local_port : conn -> int
+val remote_port : conn -> int
+val on_data : conn -> (string -> unit) -> unit
+val on_event : conn -> (Iface.app_ind -> unit) -> unit
+
+val connections : t -> conn list
+
+(** {1 Wiring helpers} *)
+
+val pair :
+  Sim.Engine.t ->
+  ?config:Config.t ->
+  ?factory_a:factory ->
+  ?factory_b:factory ->
+  ?guard:bool ->
+  Sim.Channel.config ->
+  t * t
+(** Two hosts joined by a duplex impaired channel. [guard] (default
+    false) wraps the wire with a CRC-32 error-detection shim — the
+    data-link service transport normally relies on — so corrupting
+    channels drop rather than silently deliver damaged segments. *)

@@ -1,0 +1,32 @@
+type app_req = [ `Connect | `Listen | `Write of string | `Read of int | `Close ]
+
+type app_ind =
+  [ `Established | `Data of string | `Peer_closed | `Closed | `Reset ]
+
+type rd_req =
+  [ `Connect
+  | `Listen
+  | `Close
+  | `Transmit of int * int * string
+  | `Set_block of string
+  | `Announce_block of string ]
+
+type rd_ind =
+  [ `Established
+  | `Segment of int * string
+  | `Acked of int * string * float option
+  | `Loss of Cc.loss
+  | `Peer_fin
+  | `Closed
+  | `Reset ]
+
+type cm_req = [ `Connect | `Listen | `Close | `Pdu of string ]
+
+type cm_ind =
+  [ `Established of int * int
+  | `Pdu of string
+  | `Peer_fin
+  | `Closed
+  | `Reset ]
+
+let seq32 = Sublayer.Seqspace.create ~width:32

@@ -1,0 +1,79 @@
+type t = { gname : string; next : local_port:int -> remote_port:int -> int }
+
+let mask32 = 0xFFFFFFFF
+
+let clock engine =
+  {
+    gname = "clock";
+    next =
+      (fun ~local_port:_ ~remote_port:_ ->
+        Int64.to_int (Int64.of_float (Sim.Engine.now engine *. 250_000.)) land mask32);
+  }
+
+let hashed engine ~secret =
+  let mix key =
+    (* splitmix-style finaliser over the keyed tuple *)
+    let z = Int64.of_int key in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.to_int (Int64.logxor z (Int64.shift_right_logical z 31)) land mask32
+  in
+  {
+    gname = "hashed";
+    next =
+      (fun ~local_port ~remote_port ->
+        let clock =
+          Int64.to_int (Int64.of_float (Sim.Engine.now engine *. 250_000.)) land mask32
+        in
+        (clock + mix ((local_port lsl 20) lxor (remote_port lsl 4) lxor secret)) land mask32);
+  }
+
+let counter ?(start = 1000) () =
+  let state = ref start in
+  {
+    gname = "counter";
+    next =
+      (fun ~local_port:_ ~remote_port:_ ->
+        let v = !state in
+        state := (!state + 64000) land mask32;
+        v land mask32);
+  }
+
+let predictability gen ~samples ~advance =
+  let isns =
+    List.init samples (fun _ ->
+        advance ();
+        gen.next ~local_port:1000 ~remote_port:80)
+  in
+  let rec deltas = function
+    | a :: (b :: _ as rest) -> ((b - a) land mask32) :: deltas rest
+    | _ -> []
+  in
+  let ds = deltas isns in
+  let rec hits = function
+    | a :: (b :: _ as rest) -> (if a = b then 1 else 0) + hits rest
+    | _ -> 0
+  in
+  match ds with
+  | [] | [ _ ] -> 0.
+  | _ -> Float.of_int (hits ds) /. Float.of_int (List.length ds - 1)
+
+let attack_success ~make ~trials =
+  let wrap v = v land mask32 in
+  let learned = ref None in
+  let hits = ref 0 in
+  let scored = ref 0 in
+  for trial = 1 to trials do
+    let gen = make ~trial in
+    let a = gen.next ~local_port:1000 ~remote_port:80 in
+    let b = gen.next ~local_port:4242 ~remote_port:80 in
+    (match !learned with
+    | Some offset ->
+        incr scored;
+        let guess = wrap (a + offset) in
+        let err = min (wrap (b - guess)) (wrap (guess - b)) in
+        if err <= 4096 then incr hits
+    | None -> ());
+    learned := Some (wrap (b - a))
+  done;
+  if !scored = 0 then 0. else Float.of_int !hits /. Float.of_int !scored

@@ -1,0 +1,41 @@
+(** Initial-sequence-number generation — the mechanism CM encapsulates
+    (paper §3: RFC 793's clock scheme vs RFC 1948's keyed hash; "the main
+    function of CM is to choose ISNs that are unique and hard to
+    predict"). Because the mechanism is hidden behind this narrow
+    interface, swapping it is experiment E10's CM-replacement case. *)
+
+type t = {
+  gname : string;
+  next : local_port:int -> remote_port:int -> int;
+      (** A fresh 32-bit ISN for a connection attempt. *)
+}
+
+val clock : Sim.Engine.t -> t
+(** RFC 793: low-order bits of a 250 kHz virtual clock — unique in time
+    but trivially predictable. *)
+
+val hashed : Sim.Engine.t -> secret:int -> t
+(** RFC 1948: clock + keyed hash of the ports, so concurrent connections
+    to different peers do not reveal each other's ISNs. *)
+
+val counter : ?start:int -> unit -> t
+(** A plain counter — deliberately weak, for predictability experiments
+    and deterministic tests. *)
+
+val predictability : t -> samples:int -> advance:(unit -> unit) -> float
+(** Fraction of consecutive same-4-tuple samples whose delta equals the
+    immediately preceding delta ([advance] moves virtual time between
+    samples) — 1.0 means an attacker extrapolates the next ISN for the
+    {e same} tuple perfectly. Both clock and counter schemes score 1.0;
+    so does RFC 1948 (its hash is constant per tuple), which is why
+    {!attack_success} is the discriminating metric. *)
+
+val attack_success : make:(trial:int -> t) -> trials:int -> float
+(** The off-path attack RFC 1948 defends against: in each trial the
+    attacker opens its own connection (tuple A), observes the ISN, and
+    predicts the ISN of a victim connection (tuple B) opened at the same
+    instant, using the A→B offset learned in earlier trials. [make trial]
+    builds the generator for a fresh server instance (fresh secret).
+    Returns the fraction of successful predictions (within a 4096-number
+    guessing budget): ≈1 for clock and counter schemes, ≈0 for keyed
+    hashing. *)

@@ -1,0 +1,45 @@
+(** The ordering / segmenting / rate-control sublayer — the top of the
+    sublayered TCP (paper §3).
+
+    Sender side, OSR segments the application byte stream by MSS and
+    decides when each segment is "ready" for RD: the congestion window
+    (pluggable {!Cc} algorithm, fed by RD's [`Acked]/[`Loss] summaries)
+    and the peer's advertised flow-control window gate release. Receiver
+    side, OSR pastes out-of-order segments back into the in-order byte
+    stream and advertises its remaining buffer in the OSR header block it
+    pushes down to RD. OSR guarantees TCP's main property — received
+    bytes = sent bytes, in order — on top of RD's exactly-once segments. *)
+
+type t
+
+val initial : Config.t -> now:(unit -> float) -> t
+
+type stats = {
+  mutable bytes_written : int;    (** accepted from the application *)
+  mutable bytes_delivered : int;  (** handed to the application in order *)
+  mutable segments_out : int;
+}
+
+val stats : t -> stats
+val cc_name : t -> string
+val cwnd : t -> float
+(** Current congestion window in bytes (MSS-sized before establishment). *)
+
+val peer_window : t -> int
+val unsent_bytes : t -> int
+val stream_finished : t -> bool
+(** All written bytes are acknowledged and no close is pending. *)
+
+val unread_bytes : t -> int
+(** Delivered bytes the application has not yet consumed via [`Read]. *)
+
+type timer = Persist
+
+include
+  Sublayer.Machine.S
+    with type t := t
+     and type up_req = Iface.app_req
+     and type up_ind = Iface.app_ind
+     and type down_req = Iface.rd_req
+     and type down_ind = Iface.rd_ind
+     and type timer := timer

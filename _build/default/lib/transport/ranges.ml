@@ -1,0 +1,33 @@
+(* Sorted, disjoint, non-adjacent half-open intervals. *)
+type t = (int * int) list
+
+let empty = []
+let is_empty t = t = []
+
+let add t lo hi =
+  if lo >= hi then (t, false)
+  else begin
+    (* Split into intervals strictly below, overlapping/adjacent, above. *)
+    let below = List.filter (fun (_, b) -> b < lo) t in
+    let above = List.filter (fun (a, _) -> a > hi) t in
+    let touching = List.filter (fun (a, b) -> b >= lo && a <= hi) t in
+    let merged_lo = List.fold_left (fun acc (a, _) -> min acc a) lo touching in
+    let merged_hi = List.fold_left (fun acc (_, b) -> max acc b) hi touching in
+    let covered =
+      List.fold_left (fun acc (a, b) -> acc + (min b hi - max a lo)) 0
+        (List.filter (fun (a, b) -> b > lo && a < hi) t)
+    in
+    let fresh = covered < hi - lo in
+    (below @ [ (merged_lo, merged_hi) ] @ above, fresh)
+  end
+
+let cumulative = function (0, b) :: _ -> b | _ -> 0
+
+let covers t lo hi =
+  lo >= hi || List.exists (fun (a, b) -> a <= lo && hi <= b) t
+
+let beyond t point = List.filter (fun (a, _) -> a > point) t
+
+let intervals t = t
+
+let total_bytes t = List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 t

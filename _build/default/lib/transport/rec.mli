@@ -1,0 +1,45 @@
+(** The record (security) sublayer — the paper's §5 QUIC observation
+    ("QUIC ... has a clean sub-layering between networking (the transport
+    layer) and security (the record layer)") made concrete: a sublayer
+    {e inserted} between CM and DM that encrypts and authenticates every
+    PDU above the ports.
+
+    Insertion is the strongest form of the replaceability claim: because
+    this module's up and down ports are both opaque byte strings,
+    [Machine.Stack (Cm) (Machine.Stack (Rec) (Dm))] composes with
+    {e zero} changes to DM, CM, RD or OSR — none of them can tell the
+    records are encrypted (test T3: the record fields are invisible bits
+    to every other sublayer).
+
+    Wire record: [seq:64 LE | ciphertext | tag:64]. Confidentiality is
+    ChaCha20 (RFC 8439) keyed per direction (the nonce binds the sender's
+    port and sequence number, so the two directions of a connection never
+    reuse a nonce under the shared key); integrity is a SipHash-2-4 tag
+    over the sender port, sequence number and ciphertext. Records that
+    fail authentication are dropped silently — RD's retransmission
+    machinery repairs the hole, so a corrupting channel needs no separate
+    CRC guard under this stack. Keys are preshared (the simulator has no
+    PKI); replay is harmless because CM/RD deduplicate above. *)
+
+type t
+
+val initial : key:string -> local_port:int -> remote_port:int -> t
+(** [key] is the 32-byte shared secret. *)
+
+val records_sent : t -> int
+val auth_failures : t -> int
+
+val seal : t -> string -> t * string
+(** Encrypt-and-authenticate one PDU (exposed for unit tests). *)
+
+val open_ : t -> string -> string option
+(** Verify-and-decrypt one record; [None] if forged or damaged. *)
+
+include
+  Sublayer.Machine.S
+    with type t := t
+     and type up_req = string
+     and type up_ind = string
+     and type down_req = string
+     and type down_ind = string
+     and type timer = Sublayer.Machine.Nothing.t

@@ -1,0 +1,186 @@
+module W = Bitkit.Bitio.Writer
+module R = Bitkit.Bitio.Reader
+
+let catch_truncated f = match f () with v -> Some v | exception R.Truncated -> None
+
+(* DM: src_port:16 dst_port:16 *)
+
+type dm = { src_port : int; dst_port : int }
+
+let dm_header_bytes = 4
+
+let encode_dm t ~payload =
+  let w = W.create () in
+  W.uint16 w t.src_port;
+  W.uint16 w t.dst_port;
+  W.bytes w payload;
+  W.contents w
+
+let decode_dm s =
+  catch_truncated (fun () ->
+      let r = R.of_string s in
+      let src_port = R.uint16 r in
+      let dst_port = R.uint16 r in
+      ({ src_port; dst_port }, R.rest r))
+
+let peek_ports s =
+  catch_truncated (fun () ->
+      let r = R.of_string s in
+      let src = R.uint16 r in
+      let dst = R.uint16 r in
+      (src, dst))
+
+(* CM: flags:8 (syn|ack|fin|rst|0000) isn_local:32 isn_remote:32 *)
+
+type cm_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+let no_cm_flags = { syn = false; ack = false; fin = false; rst = false }
+
+type cm = { flags : cm_flags; isn_local : int; isn_remote : int }
+
+let cm_header_bytes = 9
+
+let encode_cm t ~payload =
+  let w = W.create () in
+  let f = t.flags in
+  W.bit w f.syn;
+  W.bit w f.ack;
+  W.bit w f.fin;
+  W.bit w f.rst;
+  W.bits w 0 4;
+  W.uint32 w (t.isn_local land 0xFFFFFFFF);
+  W.uint32 w (t.isn_remote land 0xFFFFFFFF);
+  W.bytes w payload;
+  W.contents w
+
+let decode_cm s =
+  catch_truncated (fun () ->
+      let r = R.of_string s in
+      let syn = R.bit r in
+      let ack = R.bit r in
+      let fin = R.bit r in
+      let rst = R.bit r in
+      let _pad = R.bits r 4 in
+      let isn_local = R.uint32 r in
+      let isn_remote = R.uint32 r in
+      ({ flags = { syn; ack; fin; rst }; isn_local; isn_remote }, R.rest r))
+
+(* RD: seq:32 ack:32 flags:8 (has_data|has_ack|sack_count:2|0000),
+   then sack_count * (start:32 end:32) *)
+
+type sack_block = { sack_start : int; sack_end : int }
+
+type rd = {
+  seq : int;
+  ack : int;
+  len : int;
+  has_data : bool;
+  has_ack : bool;
+  sacks : sack_block list;
+}
+
+let rd_header_bytes = 11
+
+let encode_rd t ~payload =
+  let sacks = if List.length t.sacks > 3 then invalid_arg "encode_rd: >3 sacks" else t.sacks in
+  let w = W.create () in
+  W.uint32 w (t.seq land 0xFFFFFFFF);
+  W.uint32 w (t.ack land 0xFFFFFFFF);
+  W.uint16 w (t.len land 0xFFFF);
+  W.bit w t.has_data;
+  W.bit w t.has_ack;
+  W.bits w (List.length sacks) 2;
+  W.bits w 0 4;
+  List.iter
+    (fun b ->
+      W.uint32 w (b.sack_start land 0xFFFFFFFF);
+      W.uint32 w (b.sack_end land 0xFFFFFFFF))
+    sacks;
+  W.bytes w payload;
+  W.contents w
+
+let decode_rd s =
+  catch_truncated (fun () ->
+      let r = R.of_string s in
+      let seq = R.uint32 r in
+      let ack = R.uint32 r in
+      let len = R.uint16 r in
+      let has_data = R.bit r in
+      let has_ack = R.bit r in
+      let nsacks = R.bits r 2 in
+      let _pad = R.bits r 4 in
+      let sacks =
+        List.init nsacks (fun _ ->
+            let sack_start = R.uint32 r in
+            let sack_end = R.uint32 r in
+            { sack_start; sack_end })
+      in
+      ({ seq; ack; len; has_data; has_ack; sacks }, R.rest r))
+
+(* OSR: window:16 flags:8 (ecn_echo|ecn_ce|000000) *)
+
+type osr = { window : int; ecn_echo : bool; ecn_ce : bool }
+
+let default_osr = { window = 0xFFFF; ecn_echo = false; ecn_ce = false }
+
+let osr_header_bytes = 3
+
+let encode_osr t ~payload =
+  let w = W.create () in
+  W.uint16 w t.window;
+  W.bit w t.ecn_echo;
+  W.bit w t.ecn_ce;
+  W.bits w 0 6;
+  W.bytes w payload;
+  W.contents w
+
+let decode_osr s =
+  catch_truncated (fun () ->
+      let r = R.of_string s in
+      let window = R.uint16 r in
+      let ecn_echo = R.bit r in
+      let ecn_ce = R.bit r in
+      let _pad = R.bits r 6 in
+      ({ window; ecn_echo; ecn_ce }, R.rest r))
+
+let header_bytes = dm_header_bytes + cm_header_bytes + rd_header_bytes + osr_header_bytes
+
+let layout =
+  let f fname owner offset width = { Sublayer.Layout.fname; owner; offset; width } in
+  Sublayer.Layout.make_exn ~total_bits:(8 * header_bytes)
+    [
+      f "src_port" "dm" 0 16;
+      f "dst_port" "dm" 16 16;
+      f "cm_flags" "cm" 32 8;
+      f "isn_local" "cm" 40 32;
+      f "isn_remote" "cm" 72 32;
+      f "seq" "rd" 104 32;
+      f "ack" "rd" 136 32;
+      f "len" "rd" 168 16;
+      f "rd_flags" "rd" 184 8;
+      f "window" "osr" 192 16;
+      f "osr_flags" "osr" 208 8;
+    ]
+
+(* Rewrite the OSR header's CE bit inside a full wire segment — what an
+   ECN-capable router does to a packet it would otherwise have dropped.
+   Non-data segments (CM controls) are returned unchanged. *)
+let mark_ce wire =
+  match decode_dm wire with
+  | None -> wire
+  | Some (dm, rest) -> (
+      match decode_cm rest with
+      | None -> wire
+      | Some (cm, rd_pdu) ->
+          if cm.flags <> no_cm_flags then wire
+          else begin
+            match decode_rd rd_pdu with
+            | None -> wire
+            | Some (rd, osr_pdu) -> (
+                match decode_osr osr_pdu with
+                | None -> wire
+                | Some (osr, payload) ->
+                    let osr_pdu = encode_osr { osr with ecn_ce = true } ~payload in
+                    let rd_pdu = encode_rd rd ~payload:osr_pdu in
+                    encode_dm dm ~payload:(encode_cm cm ~payload:rd_pdu))
+          end)

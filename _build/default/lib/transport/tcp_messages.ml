@@ -1,0 +1,29 @@
+module Machine = Sublayer.Machine
+
+(* Identical lower stack to Tcp_sublayered; only the top module differs. *)
+module Lower = Machine.Stack (Cm) (Dm)
+module Middle = Machine.Stack (Rd) (Lower)
+module Full = Machine.Stack (Msg) (Middle)
+module R = Sublayer.Runtime.Make (Full)
+
+type t = R.t
+
+let create engine ?trace ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let now () = Sim.Engine.now engine in
+  let isn = Config.make_isn cfg engine in
+  let msg = Msg.initial cfg ~now in
+  let rd = Rd.initial cfg ~now in
+  let cm = Cm.initial cfg ~isn ~local_port ~remote_port in
+  let dm = { Dm.local_port; remote_port } in
+  R.create engine ?trace ~name ~transmit ~deliver:events (msg, (rd, (cm, dm)))
+
+let connect t = R.from_above t `Connect
+let listen t = R.from_above t `Listen
+let send t body = R.from_above t (`Send body)
+let close t = R.from_above t `Close
+let from_wire t wire = R.from_below t wire
+
+let msg_state t = fst (R.state t)
+let messages_sent t = Msg.messages_sent (msg_state t)
+let messages_delivered t = Msg.messages_delivered (msg_state t)
+let finished t = Msg.stream_finished (msg_state t)

@@ -1,0 +1,52 @@
+module Machine = Sublayer.Machine
+
+(* Tcp_sublayered with one extra module slotted in below CM. *)
+module Bottom = Machine.Stack (Rec) (Dm)
+module Lower = Machine.Stack (Cm) (Bottom)
+module Middle = Machine.Stack (Rd) (Lower)
+module Full = Machine.Stack (Osr) (Middle)
+module R = Sublayer.Runtime.Make (Full)
+
+type t = R.t
+
+let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
+
+let create engine ?trace ~key ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let now () = Sim.Engine.now engine in
+  let isn = Config.make_isn cfg engine in
+  let osr = Osr.initial cfg ~now in
+  let rd = Rd.initial cfg ~now in
+  let cm = Cm.initial cfg ~isn ~local_port ~remote_port in
+  let rec_ = Rec.initial ~key ~local_port ~remote_port in
+  let dm = { Dm.local_port; remote_port } in
+  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, (rec_, dm))))
+
+let connect t = R.from_above t `Connect
+let listen t = R.from_above t `Listen
+let write t s = R.from_above t (`Write s)
+let read t n = R.from_above t (`Read n)
+let close t = R.from_above t `Close
+let from_wire t wire = R.from_below t wire
+let stream_finished t = Osr.stream_finished (fst (R.state t))
+
+let rec_state t = fst (snd (snd (snd (R.state t))))
+let records_sent t = Rec.records_sent (rec_state t)
+let auth_failures t = Rec.auth_failures (rec_state t)
+
+let factory ~key =
+  {
+    Host.fname = "sublayered-secure";
+    peek = Segment.peek_ports;
+    make =
+      (fun engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+        let t = create engine ~key ~name cfg ~local_port ~remote_port ~transmit ~events in
+        {
+          Host.ep_from_wire = from_wire t;
+          ep_connect = (fun () -> connect t);
+          ep_listen = (fun () -> listen t);
+          ep_write = write t;
+          ep_read = read t;
+          ep_close = (fun () -> close t);
+          ep_finished = (fun () -> stream_finished t);
+        });
+  }

@@ -1,0 +1,42 @@
+module Machine = Sublayer.Machine
+
+(* The Figure 5 stack, composed bottom-up: CM over DM, RD over that, OSR
+   on top. The functor composition type-checks the narrow interfaces of
+   Iface: any module with the same ports drops in. *)
+module Lower = Machine.Stack (Cm) (Dm)
+module Middle = Machine.Stack (Rd) (Lower)
+module Full = Machine.Stack (Osr) (Middle)
+module R = Sublayer.Runtime.Make (Full)
+
+type t = R.t
+
+let create engine ?trace ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let now () = Sim.Engine.now engine in
+  let isn = Config.make_isn cfg engine in
+  let osr = Osr.initial cfg ~now in
+  let rd = Rd.initial cfg ~now in
+  let cm = Cm.initial cfg ~isn ~local_port ~remote_port in
+  let dm = { Dm.local_port; remote_port } in
+  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, dm)))
+
+let connect t = R.from_above t `Connect
+let listen t = R.from_above t `Listen
+let write t s = R.from_above t (`Write s)
+let read t n = R.from_above t (`Read n)
+let close t = R.from_above t `Close
+let from_wire t wire = R.from_below t wire
+
+let osr_state t = fst (R.state t)
+let rd_state t = fst (snd (R.state t))
+let cm_state t = fst (snd (snd (R.state t)))
+
+let cm_phase t = Cm.phase_name (cm_state t)
+let rd_stats t = Rd.stats (rd_state t)
+let osr_stats t = Osr.stats (osr_state t)
+let cwnd t = Osr.cwnd (osr_state t)
+let peer_window_of t = Osr.peer_window (osr_state t)
+let srtt t = Rd.srtt (rd_state t)
+let outstanding t = Rd.outstanding (rd_state t)
+let unsent_bytes t = Osr.unsent_bytes (osr_state t)
+let stream_finished t = Osr.stream_finished (osr_state t)
+let cc_name t = Osr.cc_name (osr_state t)

@@ -1,0 +1,43 @@
+(** The sublayered TCP endpoint: {!Osr} / {!Rd} / {!Cm} / {!Dm} composed
+    with {!Sublayer.Machine.Stack} (Figure 5). One value of {!t} is one
+    end of one connection; multi-connection port demultiplexing lives in
+    {!Host}. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?trace:Sim.Trace.t ->
+  name:string ->
+  Config.t ->
+  local_port:int ->
+  remote_port:int ->
+  transmit:(string -> unit) ->
+  events:(Iface.app_ind -> unit) ->
+  t
+(** [transmit] sends a wire segment; [events] receives application-level
+    indications ([`Established], [`Data], ...). *)
+
+val connect : t -> unit
+val listen : t -> unit
+val write : t -> string -> unit
+
+val read : t -> int -> unit
+(** Tell OSR the application consumed [n] delivered bytes (flow-control
+    credit; {!Host} calls this automatically unless auto-read is off). *)
+
+val close : t -> unit
+val from_wire : t -> string -> unit
+
+(** Inspection (used by tests and benches). *)
+
+val cm_phase : t -> string
+val rd_stats : t -> Rd.stats
+val osr_stats : t -> Osr.stats
+val cwnd : t -> float
+val peer_window_of : t -> int
+val srtt : t -> float option
+val outstanding : t -> int
+val unsent_bytes : t -> int
+val stream_finished : t -> bool
+val cc_name : t -> string

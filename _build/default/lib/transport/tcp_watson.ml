@@ -1,0 +1,49 @@
+module Machine = Sublayer.Machine
+
+(* Only the CM module differs from Tcp_sublayered. *)
+module Lower = Machine.Stack (Cm_timer) (Dm)
+module Middle = Machine.Stack (Rd) (Lower)
+module Full = Machine.Stack (Osr) (Middle)
+module R = Sublayer.Runtime.Make (Full)
+
+type t = R.t
+
+let create engine ?trace ?(idle_timeout = 6.0) ~name cfg ~local_port ~remote_port
+    ~transmit ~events =
+  let now () = Sim.Engine.now engine in
+  let isn = Config.make_isn cfg engine in
+  let osr = Osr.initial cfg ~now in
+  let rd = Rd.initial cfg ~now in
+  let cm = Cm_timer.initial cfg ~isn ~local_port ~remote_port ~idle_timeout in
+  let dm = { Dm.local_port; remote_port } in
+  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, dm)))
+
+let connect t = R.from_above t `Connect
+let listen t = R.from_above t `Listen
+let write t s = R.from_above t (`Write s)
+let read t n = R.from_above t (`Read n)
+let close t = R.from_above t `Close
+let from_wire t wire = R.from_below t wire
+let cm_phase t = Cm_timer.phase_name (fst (snd (snd (R.state t))))
+let stream_finished t = Osr.stream_finished (fst (R.state t))
+
+let factory ?idle_timeout () =
+  {
+    Host.fname = "sublayered-watson";
+    peek = Segment.peek_ports;
+    make =
+      (fun engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+        let t =
+          create engine ?idle_timeout ~name cfg ~local_port ~remote_port ~transmit
+            ~events
+        in
+        {
+          Host.ep_from_wire = from_wire t;
+          ep_connect = (fun () -> connect t);
+          ep_listen = (fun () -> listen t);
+          ep_write = write t;
+          ep_read = read t;
+          ep_close = (fun () -> close t);
+          ep_finished = (fun () -> stream_finished t);
+        });
+  }

@@ -1,0 +1,100 @@
+type flags = { urg : bool; ack : bool; psh : bool; rst : bool; syn : bool; fin : bool }
+
+let no_flags = { urg = false; ack = false; psh = false; rst = false; syn = false; fin = false }
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : flags;
+  window : int;
+}
+
+let header_bytes = 20
+
+let encode_raw t ~payload ~checksum =
+  let w = Bitkit.Bitio.Writer.create () in
+  let open Bitkit.Bitio.Writer in
+  uint16 w t.src_port;
+  uint16 w t.dst_port;
+  uint32 w (t.seq land 0xFFFFFFFF);
+  uint32 w (t.ack land 0xFFFFFFFF);
+  bits w 5 4 (* data offset: 5 words *);
+  bits w 0 6 (* reserved *);
+  bit w t.flags.urg;
+  bit w t.flags.ack;
+  bit w t.flags.psh;
+  bit w t.flags.rst;
+  bit w t.flags.syn;
+  bit w t.flags.fin;
+  uint16 w t.window;
+  uint16 w checksum;
+  uint16 w 0 (* urgent pointer *);
+  bytes w payload;
+  contents w
+
+let encode t ~payload =
+  let raw = encode_raw t ~payload ~checksum:0 in
+  encode_raw t ~payload ~checksum:(Bitkit.Checksum.internet raw)
+
+let decode s =
+  if String.length s < header_bytes then None
+  else if not (Bitkit.Checksum.internet_valid s) then None
+  else begin
+    match
+      let r = Bitkit.Bitio.Reader.of_string s in
+      let open Bitkit.Bitio.Reader in
+      let src_port = uint16 r in
+      let dst_port = uint16 r in
+      let seq = uint32 r in
+      let ack = uint32 r in
+      let data_offset = bits r 4 in
+      let _reserved = bits r 6 in
+      let urg = bit r in
+      let ackf = bit r in
+      let psh = bit r in
+      let rst = bit r in
+      let syn = bit r in
+      let fin = bit r in
+      let window = uint16 r in
+      let _checksum = uint16 r in
+      let _urgent = uint16 r in
+      if data_offset < 5 then None
+      else begin
+        (* Skip any options. *)
+        let opts = 4 * (data_offset - 5) in
+        if 8 * opts > remaining_bits r then None
+        else begin
+          let (_ : string) = bytes r opts in
+          Some
+            ( { src_port; dst_port; seq; ack;
+                flags = { urg; ack = ackf; psh; rst; syn; fin }; window },
+              rest r )
+        end
+      end
+    with
+    | v -> v
+    | exception Bitkit.Bitio.Reader.Truncated -> None
+  end
+
+let peek_ports s =
+  match
+    let r = Bitkit.Bitio.Reader.of_string s in
+    let src = Bitkit.Bitio.Reader.uint16 r in
+    let dst = Bitkit.Bitio.Reader.uint16 r in
+    (src, dst)
+  with
+  | v -> Some v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
+let pp fmt t =
+  let f = t.flags in
+  Format.fprintf fmt "%d>%d seq=%d ack=%d [%s%s%s%s%s] win=%d" t.src_port t.dst_port
+    t.seq t.ack
+    (if f.syn then "S" else "")
+    (if f.ack then "A" else "")
+    (if f.fin then "F" else "")
+    (if f.rst then "R" else "")
+    (if f.psh then "P" else "")
+    t.window

@@ -1,0 +1,36 @@
+(** The standard TCP header (RFC 793, 20 bytes, no options), used by the
+    monolithic baseline and as the {!Shim}'s interop target. The checksum
+    is the Internet checksum over the header and payload (no pseudo-header
+    — the simulator has no IP layer underneath these experiments). *)
+
+type flags = {
+  urg : bool;
+  ack : bool;
+  psh : bool;
+  rst : bool;
+  syn : bool;
+  fin : bool;
+}
+
+val no_flags : flags
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;      (** 32-bit absolute *)
+  ack : int;
+  flags : flags;
+  window : int;
+}
+
+val header_bytes : int
+
+val encode : t -> payload:string -> string
+(** Fills in the checksum. *)
+
+val decode : string -> (t * string) option
+(** Validates the checksum; [None] for corrupt or short segments. *)
+
+val peek_ports : string -> (int * int) option
+
+val pp : Format.formatter -> t -> unit

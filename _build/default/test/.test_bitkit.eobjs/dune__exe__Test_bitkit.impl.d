@@ -1,0 +1,1 @@
+test/test_bitkit.ml: Alcotest Array Bitio Bitkit Bitseq Bytes Chacha20 Char Checksum Crc Float Fun Hexdump List QCheck2 QCheck_alcotest Rng Siphash String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bitkit Buffer Char Datalink Float List Network QCheck2 QCheck_alcotest Queue Sim String Transport

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Checker Entangle List Mcheck Model_cm Model_mono Model_msg Model_osr Model_rd Printf

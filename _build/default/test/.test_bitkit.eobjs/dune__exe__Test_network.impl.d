@@ -1,0 +1,1 @@
+test/test_network.ml: Addr Alcotest Array Bitkit Distance_vector Fib Format Hello Link_state List Network Option Packet Path_vector Printf QCheck2 QCheck_alcotest Router Sim Topology

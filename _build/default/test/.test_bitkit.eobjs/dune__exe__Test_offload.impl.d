@@ -1,0 +1,1 @@
+test/test_offload.ml: Alcotest List Offload Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bitkit Float List Printf Sim String

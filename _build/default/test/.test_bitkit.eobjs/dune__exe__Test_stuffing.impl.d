@@ -1,0 +1,1 @@
+test/test_stuffing.ml: Alcotest Automaton Bitkit Codec Fast Float Format Lemmas List Overhead QCheck2 QCheck_alcotest Rule Search Stuffing

@@ -1,0 +1,1 @@
+test/test_sublayer.ml: Alcotest Either Int Layout List Machine QCheck2 QCheck_alcotest Runtime Seqspace Sim String Sublayer

@@ -1,0 +1,341 @@
+(* Unit and property tests for the bit-level substrate. *)
+
+open Bitkit
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let bits_gen =
+  QCheck2.Gen.(map (fun l -> Bitseq.of_bool_list l) (list_size (0 -- 200) bool))
+
+let string_gen = QCheck2.Gen.(string_size ~gen:char (0 -- 200))
+
+(* --- Bitseq --- *)
+
+let test_bitseq_literals () =
+  let b = Bitseq.of_bits "0110101" in
+  check Alcotest.int "length" 7 (Bitseq.length b);
+  check Alcotest.string "roundtrip" "0110101" (Bitseq.to_bits b);
+  check Alcotest.bool "get 0" false (Bitseq.get b 0);
+  check Alcotest.bool "get 1" true (Bitseq.get b 1);
+  check Alcotest.bool "get 6" true (Bitseq.get b 6);
+  Alcotest.check_raises "oob" (Invalid_argument "Bitseq.get") (fun () ->
+      ignore (Bitseq.get b 7))
+
+let test_bitseq_bytes () =
+  let b = Bitseq.of_string "\x80\x01" in
+  check Alcotest.int "length" 16 (Bitseq.length b);
+  check Alcotest.string "bits" "1000000000000001" (Bitseq.to_bits b);
+  check Alcotest.string "bytes roundtrip" "\x80\x01" (Bitseq.to_string b)
+
+let test_bitseq_ops () =
+  let a = Bitseq.of_bits "101" and b = Bitseq.of_bits "01" in
+  check Alcotest.string "append" "10101" (Bitseq.to_bits (Bitseq.append a b));
+  check Alcotest.string "cons" "1101" (Bitseq.to_bits (Bitseq.cons true (Bitseq.of_bits "101")));
+  check Alcotest.string "snoc" "1010" (Bitseq.to_bits (Bitseq.snoc a false));
+  check Alcotest.string "sub" "01" (Bitseq.to_bits (Bitseq.sub a 1 2));
+  check Alcotest.string "rev" "101" (Bitseq.to_bits (Bitseq.rev a));
+  check Alcotest.int "popcount" 2 (Bitseq.popcount a);
+  check Alcotest.string "repeat" "101101101" (Bitseq.to_bits (Bitseq.repeat a 3));
+  check Alcotest.bool "prefix yes" true (Bitseq.is_prefix ~prefix:(Bitseq.of_bits "10") a);
+  check Alcotest.bool "prefix no" false (Bitseq.is_prefix ~prefix:(Bitseq.of_bits "11") a)
+
+let test_bitseq_find_sub () =
+  let hay = Bitseq.of_bits "0011010011" in
+  check Alcotest.(option int) "found" (Some 2)
+    (Bitseq.find_sub ~pattern:(Bitseq.of_bits "1101") hay);
+  check Alcotest.(option int) "missing" None
+    (Bitseq.find_sub ~pattern:(Bitseq.of_bits "11111") hay);
+  check Alcotest.(option int) "empty pattern" (Some 0)
+    (Bitseq.find_sub ~pattern:Bitseq.empty hay);
+  check Alcotest.(option int) "first of several" (Some 2)
+    (Bitseq.find_sub ~pattern:(Bitseq.of_bits "11") hay);
+  check Alcotest.(option int) "at end" (Some 5)
+    (Bitseq.find_sub ~pattern:(Bitseq.of_bits "10011") hay)
+
+let test_bitseq_flip () =
+  let b = Bitseq.of_bits "0000" in
+  check Alcotest.string "flip 2" "0010" (Bitseq.to_bits (Bitseq.flip b 2));
+  check Alcotest.bool "flip twice is id" true
+    (Bitseq.equal b (Bitseq.flip (Bitseq.flip b 1) 1))
+
+let prop_bitseq_roundtrip =
+  qtest "bool list roundtrip" QCheck2.Gen.(list_size (0 -- 100) bool) (fun l ->
+      Bitseq.to_bool_list (Bitseq.of_bool_list l) = l)
+
+let prop_bitseq_equal_structural =
+  qtest "equality ignores construction path" bits_gen (fun b ->
+      let rebuilt = Bitseq.concat (List.map (fun x -> Bitseq.of_bool_list [ x ]) (Bitseq.to_bool_list b)) in
+      Bitseq.equal b rebuilt && Bitseq.compare b rebuilt = 0)
+
+let prop_bitseq_append_length =
+  qtest "append length" QCheck2.Gen.(pair bits_gen bits_gen) (fun (a, b) ->
+      Bitseq.length (Bitseq.append a b) = Bitseq.length a + Bitseq.length b)
+
+let prop_bitseq_of_bytes_bits =
+  qtest "of_bytes_bits prefix view" QCheck2.Gen.(pair string_gen (0 -- 64)) (fun (s, n) ->
+      let n = min n (8 * String.length s) in
+      let whole = Bitseq.of_string s in
+      Bitseq.equal (Bitseq.of_bytes_bits (Bytes.of_string s) n) (Bitseq.sub whole 0 n))
+
+(* --- Bitio --- *)
+
+let test_bitio_fields () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w 0b101 3;
+  Bitio.Writer.bits w 0b01 2;
+  Bitio.Writer.bits w 0b110 3;
+  Bitio.Writer.uint16 w 0xBEEF;
+  let s = Bitio.Writer.contents w in
+  check Alcotest.int "packed length" 3 (String.length s);
+  let r = Bitio.Reader.of_string s in
+  check Alcotest.int "f1" 0b101 (Bitio.Reader.bits r 3);
+  check Alcotest.int "f2" 0b01 (Bitio.Reader.bits r 2);
+  check Alcotest.int "f3" 0b110 (Bitio.Reader.bits r 3);
+  check Alcotest.int "u16" 0xBEEF (Bitio.Reader.uint16 r)
+
+let test_bitio_truncated () =
+  let r = Bitio.Reader.of_string "\x01" in
+  ignore (Bitio.Reader.uint8 r);
+  Alcotest.check_raises "truncated" Bitio.Reader.Truncated (fun () ->
+      ignore (Bitio.Reader.bit r))
+
+let test_bitio_alignment () =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bit w true;
+  Alcotest.check_raises "unaligned bytes"
+    (Invalid_argument "Bitio.Writer.bytes: not byte-aligned") (fun () ->
+      Bitio.Writer.bytes w "x");
+  Bitio.Writer.pad_to_byte w;
+  Bitio.Writer.bytes w "x";
+  check Alcotest.int "bits" 16 (Bitio.Writer.bit_length w)
+
+let prop_bitio_u32_roundtrip =
+  qtest "uint32 roundtrip" QCheck2.Gen.(0 -- 0xFFFFFF) (fun v ->
+      let w = Bitio.Writer.create () in
+      Bitio.Writer.uint32 w v;
+      let r = Bitio.Reader.of_string (Bitio.Writer.contents w) in
+      Bitio.Reader.uint32 r = v)
+
+(* --- Crc --- *)
+
+let test_crc_catalogue () =
+  List.iter
+    (fun p ->
+      let t = Crc.make p in
+      check Alcotest.bool (p.Crc.name ^ " self test") true (Crc.self_test t))
+    Crc.all
+
+let test_crc_detects_flip () =
+  let t = Crc.make Crc.crc32 in
+  let msg = "the quick brown fox jumps over the lazy dog" in
+  let base = Crc.digest t msg in
+  for byte = 0 to String.length msg - 1 do
+    let corrupted = Bytes.of_string msg in
+    Bytes.set corrupted byte (Char.chr (Char.code msg.[byte] lxor 0x10));
+    if Crc.digest t (Bytes.to_string corrupted) = base then
+      Alcotest.failf "flip at byte %d undetected" byte
+  done
+
+let test_crc_digest_sub () =
+  let t = Crc.make Crc.crc16_ccitt in
+  check Alcotest.bool "sub matches" true
+    (Crc.digest_sub t "xx123456789yy" 2 9 = Crc.digest t "123456789")
+
+let prop_crc_incremental_disjoint =
+  qtest "different strings different crc (mostly)" QCheck2.Gen.(pair string_gen string_gen)
+    (fun (a, b) ->
+      let t = Crc.make Crc.crc64_xz in
+      a = b || Crc.digest t a <> Crc.digest t b)
+
+(* --- Checksum --- *)
+
+let test_internet_checksum () =
+  (* classic example from RFC 1071 derivations *)
+  let s = "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check Alcotest.int "value" 0x220d (Checksum.internet s);
+  (* embedding the checksum verifies *)
+  let c = Checksum.internet s in
+  let framed = s ^ String.init 2 (fun i -> Char.chr ((c lsr (8 * (1 - i))) land 0xFF)) in
+  check Alcotest.bool "self-verifies" true (Checksum.internet_valid framed)
+
+let test_parity () =
+  check Alcotest.bool "odd ones" true (Checksum.parity "\x01");
+  check Alcotest.bool "even ones" false (Checksum.parity "\x03");
+  check Alcotest.bool "empty" false (Checksum.parity "")
+
+let test_fletcher_adler () =
+  check Alcotest.int "fletcher16 abcde" 0xC8F0 (Checksum.fletcher16 "abcde");
+  check Alcotest.bool "adler32 Wikipedia" true
+    (Checksum.adler32 "Wikipedia" = 0x11E60398l)
+
+let prop_internet_valid =
+  qtest "internet checksum self-verification" string_gen (fun s ->
+      let c = Checksum.internet s in
+      let tail = String.init 2 (fun i -> Char.chr ((c lsr (8 * (1 - i))) land 0xFF)) in
+      (* Zero-pads odd bodies, so restrict to even length. *)
+      String.length s land 1 = 1 || Checksum.internet_valid (s ^ tail))
+
+(* --- Chacha20 / Siphash (RFC vectors) --- *)
+
+let test_chacha_quarter_round () =
+  (* RFC 8439 §2.1.1 *)
+  let a, b, c, d =
+    Chacha20.quarter_round (0x11111111, 0x01020304, 0x9b8d6f43, 0x01234567)
+  in
+  check Alcotest.int "a" 0xea2a92f4 a;
+  check Alcotest.int "b" 0xcb1cf8ce b;
+  check Alcotest.int "c" 0x4581472e c;
+  check Alcotest.int "d" 0x5881c4bb d
+
+let test_chacha_block_vector () =
+  (* RFC 8439 §2.3.2 *)
+  let key = String.init 32 Char.chr in
+  let nonce = Hexdump.to_string "000000090000004a00000000" in
+  let blk = Chacha20.block ~key ~counter:1 ~nonce in
+  check Alcotest.string "first 16 keystream bytes" "10f1e7e4d13b5915500fdd1fa32071c4"
+    (Hexdump.of_string (String.sub blk 0 16))
+
+let test_chacha_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Chacha20.block ~key:"short" ~counter:0 ~nonce:(String.make 12 'n')));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Chacha20: nonce must be 12 bytes")
+    (fun () -> ignore (Chacha20.block ~key:(String.make 32 'k') ~counter:0 ~nonce:"n"))
+
+let prop_chacha_involution =
+  qtest "encrypt . encrypt = id" string_gen (fun s ->
+      let key = String.make 32 'k' and nonce = String.make 12 'n' in
+      Chacha20.encrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce s) = s)
+
+let prop_chacha_key_sensitivity =
+  qtest "different keys, different ciphertext" QCheck2.Gen.(string_size ~gen:char (1 -- 100))
+    (fun s ->
+      let nonce = String.make 12 'n' in
+      Chacha20.encrypt ~key:(String.make 32 'a') ~nonce s
+      <> Chacha20.encrypt ~key:(String.make 32 'b') ~nonce s)
+
+let test_siphash_vectors () =
+  (* reference vectors from the SipHash paper's appendix *)
+  let key = String.init 16 Char.chr in
+  check Alcotest.bool "empty" true (Siphash.hash ~key "" = 0x726fdb47dd0e0e31L);
+  check Alcotest.bool "one byte" true (Siphash.hash ~key "\x00" = 0x74f839c593dc67fdL);
+  check Alcotest.int "tag is 8 bytes" 8 (String.length (Siphash.tag ~key ""))
+
+let prop_siphash_avalanche =
+  qtest "single-bit changes flip the hash" QCheck2.Gen.(string_size ~gen:char (1 -- 64))
+    (fun s ->
+      let key = String.init 16 Char.chr in
+      let flipped = Bytes.of_string s in
+      Bytes.set flipped 0 (Char.chr (Char.code s.[0] lxor 1));
+      Siphash.hash ~key s <> Siphash.hash ~key (Bytes.to_string flipped))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "same stream" true (Rng.int64 a = Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  check Alcotest.bool "split differs" true (Rng.int64 a <> Rng.int64 c)
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "int out of bounds: %d" v;
+    let f = Rng.float r in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_coin_bias () =
+  let r = Rng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.coin r 0.3 then incr hits
+  done;
+  let p = Float.of_int !hits /. 10_000. in
+  if p < 0.27 || p > 0.33 then Alcotest.failf "coin(0.3) measured %.3f" p
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.bool "permutation" true (sorted = Array.init 50 Fun.id)
+
+(* --- Hexdump --- *)
+
+let test_hex_roundtrip () =
+  check Alcotest.string "encode" "01ab" (Hexdump.of_string "\x01\xab");
+  check Alcotest.string "decode" "\x01\xab" (Hexdump.to_string "01ab");
+  check Alcotest.string "case" "\x01\xab" (Hexdump.to_string "01AB")
+
+let prop_hex_roundtrip =
+  qtest "hex roundtrip" string_gen (fun s -> Hexdump.to_string (Hexdump.of_string s) = s)
+
+let () =
+  Alcotest.run "bitkit"
+    [
+      ( "bitseq",
+        [
+          Alcotest.test_case "literals" `Quick test_bitseq_literals;
+          Alcotest.test_case "bytes" `Quick test_bitseq_bytes;
+          Alcotest.test_case "ops" `Quick test_bitseq_ops;
+          Alcotest.test_case "find_sub" `Quick test_bitseq_find_sub;
+          Alcotest.test_case "flip" `Quick test_bitseq_flip;
+          prop_bitseq_roundtrip;
+          prop_bitseq_equal_structural;
+          prop_bitseq_append_length;
+          prop_bitseq_of_bytes_bits;
+        ] );
+      ( "bitio",
+        [
+          Alcotest.test_case "fields" `Quick test_bitio_fields;
+          Alcotest.test_case "truncated" `Quick test_bitio_truncated;
+          Alcotest.test_case "alignment" `Quick test_bitio_alignment;
+          prop_bitio_u32_roundtrip;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "catalogue vectors" `Quick test_crc_catalogue;
+          Alcotest.test_case "detects single flips" `Quick test_crc_detects_flip;
+          Alcotest.test_case "digest_sub" `Quick test_crc_digest_sub;
+          prop_crc_incremental_disjoint;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "internet" `Quick test_internet_checksum;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "fletcher/adler" `Quick test_fletcher_adler;
+          prop_internet_valid;
+        ] );
+      ( "crypto",
+        [
+          Alcotest.test_case "chacha quarter round (RFC)" `Quick test_chacha_quarter_round;
+          Alcotest.test_case "chacha block (RFC)" `Quick test_chacha_block_vector;
+          Alcotest.test_case "chacha sizes" `Quick test_chacha_bad_sizes;
+          prop_chacha_involution;
+          prop_chacha_key_sensitivity;
+          Alcotest.test_case "siphash vectors" `Quick test_siphash_vectors;
+          prop_siphash_avalanche;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "coin bias" `Quick test_rng_coin_bias;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "hexdump",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          prop_hex_roundtrip;
+        ] );
+    ]

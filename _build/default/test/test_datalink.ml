@@ -1,0 +1,428 @@
+(* Tests for the data-link sublayers: detectors, framers, line codes,
+   the three ARQ machines, MAC, and the composed stack with every
+   mechanism swapped (experiments E1 and E14). *)
+
+open Datalink
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let payload_gen = QCheck2.Gen.(string_size ~gen:char (0 -- 300))
+
+(* --- Detectors --- *)
+
+let detectors =
+  [ Detector.parity; Detector.internet; Detector.fletcher16;
+    Detector.crc Bitkit.Crc.crc16_ccitt; Detector.crc Bitkit.Crc.crc32;
+    Detector.crc Bitkit.Crc.crc64_xz ]
+
+let test_detector_roundtrip () =
+  List.iter
+    (fun d ->
+      let msg = "hello sublayers" in
+      match d.Detector.verify (d.Detector.protect msg) with
+      | Some got -> check Alcotest.string (d.Detector.name ^ " roundtrip") msg got
+      | None -> Alcotest.failf "%s rejected its own frame" d.Detector.name)
+    detectors
+
+let test_detector_rejects_flip () =
+  List.iter
+    (fun d ->
+      let msg = "hello sublayers" in
+      let frame = Bytes.of_string (d.Detector.protect msg) in
+      Bytes.set frame 3 (Char.chr (Char.code (Bytes.get frame 3) lxor 0x04));
+      match d.Detector.verify (Bytes.to_string frame) with
+      | Some _ -> Alcotest.failf "%s accepted a corrupted frame" d.Detector.name
+      | None -> ())
+    detectors
+
+let test_detector_short_frames () =
+  List.iter
+    (fun d ->
+      match d.Detector.verify "" with
+      | Some _ when d.Detector.overhead_bytes > 0 -> Alcotest.failf "%s accepted empty" d.Detector.name
+      | _ -> ())
+    detectors
+
+let test_detector_residual_rates () =
+  let rng = Bitkit.Rng.create 77 in
+  (* Parity misses all even-weight errors; CRC-32 essentially none. *)
+  let parity2 =
+    Detector.residual_error_rate Detector.parity rng ~trials:400 ~payload_len:64 ~flips:2
+  in
+  let crc2 =
+    Detector.residual_error_rate (Detector.crc Bitkit.Crc.crc32) rng ~trials:400
+      ~payload_len:64 ~flips:2
+  in
+  check Alcotest.bool "parity blind to double flips" true (parity2 > 0.5);
+  check (Alcotest.float 1e-9) "crc32 catches double flips" 0. crc2
+
+let prop_detector_verify_protect =
+  qtest "verify . protect = Some" payload_gen (fun s ->
+      List.for_all (fun d -> d.Detector.verify (d.Detector.protect s) = Some s) detectors)
+
+(* --- Framers --- *)
+
+let framers =
+  [ Framer.hdlc Stuffing.Rule.hdlc; Framer.hdlc Stuffing.Rule.paper_best; Framer.cobs;
+    Framer.dle_stx; Framer.length_prefix ]
+
+let prop_framer_roundtrip =
+  qtest "deframe . frame = Some" payload_gen (fun s ->
+      List.for_all (fun f -> f.Framer.deframe (f.Framer.frame s) = Some s) framers)
+
+let test_framer_special_payloads () =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          match f.Framer.deframe (f.Framer.frame s) with
+          | Some got when got = s -> ()
+          | _ -> Alcotest.failf "%s failed on %S" f.Framer.name s)
+        [ ""; "\x00"; "\x00\x00\x00"; "\x10\x02\x10\x03"; "\x7e\x7e";
+          String.make 300 '\xff'; String.make 254 'a'; String.make 255 'b';
+          String.init 256 Char.chr ])
+    framers
+
+let test_cobs_overhead_bound () =
+  (* COBS adds at most one byte per 254 plus the terminator and leading code. *)
+  let s = String.make 1000 'x' in
+  let framed_bytes = Bitkit.Bitseq.length (Framer.cobs.Framer.frame s) / 8 in
+  check Alcotest.bool "bounded overhead" true (framed_bytes <= 1000 + (1000 / 254) + 2)
+
+let test_hdlc_rejects_nonbyte () =
+  let f = Framer.hdlc Stuffing.Rule.hdlc in
+  (* A framed stream with a truncated body does not decode. *)
+  let framed = f.Framer.frame "abc" in
+  let broken = Bitkit.Bitseq.sub framed 0 (Bitkit.Bitseq.length framed - 9) in
+  check Alcotest.bool "truncated rejected" true (f.Framer.deframe broken = None)
+
+(* --- Line codes --- *)
+
+let bits_gen = QCheck2.Gen.(map Bitkit.Bitseq.of_bool_list (list_size (0 -- 128) bool))
+
+let prop_linecode_roundtrip =
+  qtest "decode . encode = Some" bits_gen (fun b ->
+      List.for_all
+        (fun c ->
+          match c.Linecode.decode (c.Linecode.encode b) with
+          | Some got -> Bitkit.Bitseq.equal got b
+          | None -> false)
+        [ Linecode.nrz; Linecode.nrzi; Linecode.manchester ])
+
+let prop_4b5b_roundtrip =
+  qtest "4b5b roundtrip on nibble-aligned input"
+    QCheck2.Gen.(map Bitkit.Bitseq.of_string (string_size ~gen:char (0 -- 40)))
+    (fun b ->
+      match Linecode.four_b_five_b.Linecode.decode (Linecode.four_b_five_b.Linecode.encode b) with
+      | Some got -> Bitkit.Bitseq.equal got b
+      | None -> false)
+
+let test_manchester_properties () =
+  let e = Linecode.manchester.Linecode.encode (Bitkit.Bitseq.of_bits "0101") in
+  check Alcotest.string "encoding" "10011001" (Bitkit.Bitseq.to_bits e);
+  (* illegal symbol pair 11 rejected *)
+  check Alcotest.bool "illegal rejected" true
+    (Linecode.manchester.Linecode.decode (Bitkit.Bitseq.of_bits "11") = None);
+  check Alcotest.bool "odd length rejected" true
+    (Linecode.manchester.Linecode.decode (Bitkit.Bitseq.of_bits "100") = None)
+
+let test_nrzi_transitions () =
+  (* NRZI encodes 1 as a transition: 111 -> 1,0,1 starting from level 0 *)
+  let e = Linecode.nrzi.Linecode.encode (Bitkit.Bitseq.of_bits "111") in
+  check Alcotest.string "transitions" "101" (Bitkit.Bitseq.to_bits e)
+
+let test_4b5b_no_long_zero_runs () =
+  (* 4B/5B guarantees at most three consecutive zeros inside any encoded
+     stream (that is its purpose: clock recovery). *)
+  let b = Bitkit.Bitseq.of_string (String.make 32 '\x00') in
+  let e = Linecode.four_b_five_b.Linecode.encode b in
+  check Alcotest.(option int) "no 0000 run" None
+    (Bitkit.Bitseq.find_sub ~pattern:(Bitkit.Bitseq.of_bits "00000") e)
+
+(* --- ARQ machines over the composed stack --- *)
+
+let arqs : (string * (module Arq.S)) list =
+  [ ("stop-and-wait", (module Arq_stop_and_wait));
+    ("go-back-n", (module Arq_go_back_n));
+    ("selective-repeat", (module Arq_selective_repeat)) ]
+
+let transfer_with spec channel payloads seed =
+  let engine = Sim.Engine.create ~seed () in
+  let link = Stack.link engine channel spec in
+  let got = Stack.transfer engine link payloads in
+  (got, link)
+
+let payloads = List.init 40 (Printf.sprintf "payload-%04d")
+
+let test_arq_reliable_delivery () =
+  List.iter
+    (fun (name, arq) ->
+      let spec = { Stack.default_spec with arq } in
+      let channel = { Sim.Channel.harsh with corruption = 0.03 } in
+      let got, _ = transfer_with spec channel payloads 42 in
+      if got <> payloads then
+        Alcotest.failf "%s: delivered %d/%d (or out of order)" name (List.length got)
+          (List.length payloads))
+    arqs
+
+let test_arq_ideal_no_retransmissions () =
+  List.iter
+    (fun (name, arq) ->
+      let spec = { Stack.default_spec with arq } in
+      let got, link = transfer_with spec Sim.Channel.ideal payloads 1 in
+      check Alcotest.bool (name ^ " delivered") true (got = payloads);
+      check Alcotest.int (name ^ " no retx")
+        0 (Stack.arq_stats link.Stack.a).Arq.retransmissions)
+    arqs
+
+let test_arq_efficiency_ordering () =
+  (* Under loss, selective repeat retransmits no more than go-back-N. *)
+  let channel = Sim.Channel.lossy 0.1 in
+  let stats_for arq =
+    let spec = { Stack.default_spec with arq; arq_config = { Arq.window = 8; rto = 0.1 } } in
+    let got, link = transfer_with spec channel payloads 7 in
+    check Alcotest.bool "delivered" true (got = payloads);
+    (Stack.arq_stats link.Stack.a).Arq.data_sent
+  in
+  let gbn = stats_for (module Arq_go_back_n : Arq.S) in
+  let sr = stats_for (module Arq_selective_repeat : Arq.S) in
+  check Alcotest.bool (Printf.sprintf "sr (%d) <= gbn (%d)" sr gbn) true (sr <= gbn)
+
+let test_arq_duplicate_suppression () =
+  List.iter
+    (fun (name, arq) ->
+      let spec = { Stack.default_spec with arq } in
+      let channel = { Sim.Channel.ideal with duplication = 0.4 } in
+      let got, _ = transfer_with spec channel payloads 3 in
+      if got <> payloads then Alcotest.failf "%s under duplication" name)
+    arqs
+
+let test_arq_bidirectional () =
+  let engine = Sim.Engine.create ~seed:5 () in
+  let link = Stack.link engine (Sim.Channel.lossy 0.05) Stack.default_spec in
+  List.iter (fun p -> Stack.send link.Stack.a p) payloads;
+  List.iter (fun p -> Stack.send link.Stack.b (p ^ "-rev")) payloads;
+  Sim.Engine.run ~until:60. engine;
+  check Alcotest.bool "a->b" true
+    (List.of_seq (Queue.to_seq link.Stack.received_at_b) = payloads);
+  check Alcotest.bool "b->a" true
+    (List.of_seq (Queue.to_seq link.Stack.received_at_a)
+    = List.map (fun p -> p ^ "-rev") payloads)
+
+let test_pdu_codec () =
+  let roundtrip p = Arq.decode_pdu (Arq.encode_pdu p) = Some p in
+  check Alcotest.bool "data" true (roundtrip (Arq.Data (12345, "hello")));
+  check Alcotest.bool "empty data" true (roundtrip (Arq.Data (0, "")));
+  check Alcotest.bool "ack" true (roundtrip (Arq.Ack 65535));
+  check Alcotest.bool "garbage" true (Arq.decode_pdu "\xFF" = None);
+  check Alcotest.bool "bad kind" true (Arq.decode_pdu "\x07\x00\x01" = None)
+
+(* --- Replaceability: every (detector, framer, linecode) combination
+   works without touching the other sublayers (E1). --- *)
+
+let test_mechanism_matrix () =
+  let short = List.init 8 (Printf.sprintf "m%d") in
+  List.iter
+    (fun detector ->
+      List.iter
+        (fun framer ->
+          let byte_oriented =
+            framer.Framer.name <> "hdlc[01111110]" && framer.Framer.name <> "hdlc[00000010]"
+          in
+          List.iter
+            (fun linecode ->
+              (* 4b5b requires byte-aligned frames *)
+              if linecode.Linecode.name <> "4b5b" || byte_oriented then begin
+                let spec = { Stack.default_spec with detector; framer; linecode } in
+                let got, _ = transfer_with spec (Sim.Channel.lossy 0.05) short 9 in
+                if got <> short then
+                  Alcotest.failf "combo %s/%s/%s failed" detector.Detector.name
+                    framer.Framer.name linecode.Linecode.name
+              end)
+            Linecode.all)
+        framers)
+    [ Detector.crc Bitkit.Crc.crc32; Detector.crc Bitkit.Crc.crc64_xz; Detector.internet ]
+
+let test_corruption_needs_detection () =
+  (* With the null detector and a corrupting channel, damaged payloads
+     reach the application; with CRC-32 they never do. *)
+  let channel = { Sim.Channel.ideal with corruption = 0.3 } in
+  let with_detector detector =
+    let spec = { Stack.default_spec with detector } in
+    let got, _ = transfer_with spec channel payloads 13 in
+    got
+  in
+  let protected = with_detector (Detector.crc Bitkit.Crc.crc32) in
+  check Alcotest.bool "crc32 delivers exactly" true (protected = payloads);
+  let unprotected = with_detector Detector.none in
+  check Alcotest.bool "no detection lets damage through" true (unprotected <> payloads)
+
+(* --- Deframer (continuous bit stream) --- *)
+
+let hdlc_framer = Framer.hdlc Stuffing.Rule.hdlc
+
+let feed_in_chunks d stream chunk =
+  let n = Bitkit.Bitseq.length stream in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let len = min chunk (n - !i) in
+    out := !out @ Deframer.push d (Bitkit.Bitseq.sub stream !i len);
+    i := !i + len
+  done;
+  !out
+
+let test_deframer_basic_stream () =
+  let d = Deframer.create () in
+  let payloads = [ "alpha"; "beta"; "gamma" ] in
+  let stream = Bitkit.Bitseq.concat (List.map hdlc_framer.Framer.frame payloads) in
+  check Alcotest.(list string) "all frames" payloads (feed_in_chunks d stream 5)
+
+let test_deframer_noise_and_idle () =
+  let d = Deframer.create () in
+  let stream =
+    Bitkit.Bitseq.concat
+      [ Bitkit.Bitseq.of_bits "110010101";      (* line noise before sync *)
+        hdlc_framer.Framer.frame "first";
+        Bitkit.Bitseq.of_bits "1111111111111"; (* idle ones between frames *)
+        hdlc_framer.Framer.frame "second" ]
+  in
+  check Alcotest.(list string) "frames through noise" [ "first"; "second" ]
+    (feed_in_chunks d stream 3);
+  check Alcotest.bool "noise counted" true (Deframer.noise_discarded d >= 1)
+
+let test_deframer_shared_flag () =
+  (* back-to-back frames sharing one flag, as HDLC allows on the wire *)
+  let d = Deframer.create () in
+  let flag = Bitkit.Bitseq.of_bool_list Stuffing.Rule.hdlc.Stuffing.Rule.flag in
+  let body p =
+    Stuffing.Fast.stuff Stuffing.Rule.hdlc.Stuffing.Rule.rule
+      (Bitkit.Bitseq.of_string p)
+  in
+  let stream =
+    Bitkit.Bitseq.concat [ flag; body "one"; flag; body "two"; flag ]
+  in
+  check Alcotest.(list string) "shared flags" [ "one"; "two" ] (feed_in_chunks d stream 4)
+
+let test_deframer_chunking_invariance () =
+  let payloads = List.init 10 (Printf.sprintf "payload-%d") in
+  let stream = Bitkit.Bitseq.concat (List.map hdlc_framer.Framer.frame payloads) in
+  List.iter
+    (fun chunk ->
+      let d = Deframer.create () in
+      if feed_in_chunks d stream chunk <> payloads then
+        Alcotest.failf "chunk size %d changed the result" chunk)
+    [ 1; 3; 8; 64; 100_000 ]
+
+let test_deframer_partial_then_complete () =
+  let d = Deframer.create () in
+  let framed = hdlc_framer.Framer.frame "split" in
+  let n = Bitkit.Bitseq.length framed in
+  let first = Bitkit.Bitseq.sub framed 0 (n - 4) in
+  let rest = Bitkit.Bitseq.sub framed (n - 4) 4 in
+  check Alcotest.(list string) "incomplete" [] (Deframer.push d first);
+  check Alcotest.bool "buffering" true (Deframer.buffered_bits d > 0);
+  check Alcotest.(list string) "completed" [ "split" ] (Deframer.push d rest)
+
+let prop_deframer_roundtrip =
+  qtest ~count:100 "deframer recovers framed payload streams"
+    QCheck2.Gen.(list_size (1 -- 8) (string_size ~gen:char (1 -- 40)))
+    (fun payloads ->
+      let d = Deframer.create () in
+      let stream = Bitkit.Bitseq.concat (List.map hdlc_framer.Framer.frame payloads) in
+      feed_in_chunks d stream 11 = payloads)
+
+(* --- MAC --- *)
+
+let test_aloha_peak_throughput () =
+  (* Saturated slotted ALOHA with p = 1/N approximates G=1: S = 1/e. *)
+  let n = 20 in
+  let r =
+    Mac.simulate ~seed:2 ~stations:n ~slots:60_000 ~arrival:1.0
+      (Mac.Aloha (1. /. Float.of_int n))
+  in
+  let expected = 1. /. Float.exp 1. in
+  if Float.abs (r.Mac.throughput -. expected) > 0.03 then
+    Alcotest.failf "aloha throughput %.3f vs 1/e=%.3f" r.Mac.throughput expected
+
+let test_csma_beats_aloha () =
+  (* With multi-slot packets, sensing the carrier avoids most collisions. *)
+  let n = 10 in
+  let run policy =
+    (Mac.simulate ~seed:3 ~plen:5 ~stations:n ~slots:50_000 ~arrival:0.05 policy)
+      .Mac.utilisation
+  in
+  let aloha = run (Mac.Aloha 0.1) in
+  let csma = run (Mac.Csma 0.1) in
+  check Alcotest.bool (Printf.sprintf "csma %.3f > aloha %.3f" csma aloha) true
+    (csma > aloha)
+
+let test_mac_fairness () =
+  let r = Mac.simulate ~seed:4 ~stations:8 ~slots:40_000 ~arrival:0.05 (Mac.Aloha 0.12) in
+  check Alcotest.bool (Printf.sprintf "fair (%.3f)" r.Mac.fairness) true (r.Mac.fairness > 0.95)
+
+let test_mac_low_load_delivers () =
+  let r = Mac.simulate ~seed:5 ~stations:4 ~slots:20_000 ~arrival:0.02 (Mac.Csma 0.3) in
+  (* At 8% total offered load nearly everything should get through. *)
+  check Alcotest.bool "keeps up" true (r.Mac.throughput > 0.07);
+  check Alcotest.bool "queues stay short" true (r.Mac.mean_backlog < 1.0)
+
+let () =
+  Alcotest.run "datalink"
+    [
+      ( "detector",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_detector_roundtrip;
+          Alcotest.test_case "rejects flips" `Quick test_detector_rejects_flip;
+          Alcotest.test_case "short frames" `Quick test_detector_short_frames;
+          Alcotest.test_case "residual rates" `Slow test_detector_residual_rates;
+          prop_detector_verify_protect;
+        ] );
+      ( "framer",
+        [
+          prop_framer_roundtrip;
+          Alcotest.test_case "special payloads" `Quick test_framer_special_payloads;
+          Alcotest.test_case "cobs overhead" `Quick test_cobs_overhead_bound;
+          Alcotest.test_case "hdlc truncation" `Quick test_hdlc_rejects_nonbyte;
+        ] );
+      ( "linecode",
+        [
+          prop_linecode_roundtrip;
+          prop_4b5b_roundtrip;
+          Alcotest.test_case "manchester" `Quick test_manchester_properties;
+          Alcotest.test_case "nrzi" `Quick test_nrzi_transitions;
+          Alcotest.test_case "4b5b zero runs" `Quick test_4b5b_no_long_zero_runs;
+        ] );
+      ( "arq",
+        [
+          Alcotest.test_case "pdu codec" `Quick test_pdu_codec;
+          Alcotest.test_case "reliable under harsh channel" `Slow test_arq_reliable_delivery;
+          Alcotest.test_case "ideal: no retransmissions" `Quick test_arq_ideal_no_retransmissions;
+          Alcotest.test_case "sr <= gbn retransmissions" `Slow test_arq_efficiency_ordering;
+          Alcotest.test_case "duplicate suppression" `Quick test_arq_duplicate_suppression;
+          Alcotest.test_case "bidirectional" `Quick test_arq_bidirectional;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "mechanism matrix (E1)" `Slow test_mechanism_matrix;
+          Alcotest.test_case "corruption needs detection" `Quick test_corruption_needs_detection;
+        ] );
+      ( "deframer",
+        [
+          Alcotest.test_case "basic stream" `Quick test_deframer_basic_stream;
+          Alcotest.test_case "noise and idle" `Quick test_deframer_noise_and_idle;
+          Alcotest.test_case "shared flags" `Quick test_deframer_shared_flag;
+          Alcotest.test_case "chunking invariance" `Quick test_deframer_chunking_invariance;
+          Alcotest.test_case "partial frames buffer" `Quick test_deframer_partial_then_complete;
+          prop_deframer_roundtrip;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "aloha 1/e peak" `Slow test_aloha_peak_throughput;
+          Alcotest.test_case "csma >= aloha" `Slow test_csma_beats_aloha;
+          Alcotest.test_case "fairness" `Slow test_mac_fairness;
+          Alcotest.test_case "low load" `Quick test_mac_low_load_delivers;
+        ] );
+    ]

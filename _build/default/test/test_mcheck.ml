@@ -1,0 +1,212 @@
+(* Tests for the model checker, the protocol models (E8), and the
+   entanglement metric (E9). *)
+
+open Mcheck
+
+let check = Alcotest.check
+
+(* --- Checker on toy systems --- *)
+
+module Counter = struct
+  type state = int
+
+  let name = "counter"
+  let initial = [ 0 ]
+  let next s = if s >= 5 then [] else [ ("inc", s + 1) ]
+  let invariant s = if s > 5 then Some "overflow" else None
+  let accepting s = s = 5
+end
+
+module Buggy = struct
+  type state = int
+
+  let name = "buggy"
+  let initial = [ 0 ]
+  let next s = [ ("inc", s + 1) ]
+  let invariant s = if s = 3 then Some "hit three" else None
+  let accepting _ = false
+end
+
+module Deadlocky = struct
+  type state = int
+
+  let name = "deadlocky"
+  let initial = [ 0 ]
+  let next s = if s = 2 then [] else [ ("step", s + 1) ]
+  let invariant _ = None
+  let accepting _ = false
+end
+
+let test_checker_exhausts () =
+  let r = Checker.run (module Counter) in
+  check Alcotest.int "states" 6 r.Checker.states;
+  check Alcotest.int "depth" 5 r.Checker.max_depth;
+  check Alcotest.bool "no violation" true (r.Checker.violation = None);
+  check Alcotest.int "no deadlock (accepting end)" 0 r.Checker.deadlocks
+
+let test_checker_finds_violation_with_shortest_trace () =
+  let r = Checker.run (module Buggy) in
+  match r.Checker.violation with
+  | Some (msg, trace) ->
+      check Alcotest.string "message" "hit three" msg;
+      check Alcotest.(list string) "shortest trace" [ "inc"; "inc"; "inc" ] trace
+  | None -> Alcotest.fail "missed violation"
+
+let test_checker_counts_deadlocks () =
+  let r = Checker.run (module Deadlocky) in
+  check Alcotest.int "one deadlock" 1 r.Checker.deadlocks
+
+let test_checker_truncation () =
+  let module Infinite = struct
+    type state = int
+
+    let name = "infinite"
+    let initial = [ 0 ]
+    let next s = [ ("inc", s + 1) ]
+    let invariant _ = None
+    let accepting _ = false
+  end in
+  let r = Checker.run ~max_states:100 (module Infinite) in
+  check Alcotest.bool "truncated" true r.Checker.truncated
+
+(* --- Protocol models (E8) --- *)
+
+let test_rd_model_holds () =
+  let r = Checker.run (Model_rd.model Model_rd.default) in
+  check Alcotest.bool "invariants hold" true (r.Checker.violation = None);
+  check Alcotest.int "no deadlocks" 0 r.Checker.deadlocks;
+  check Alcotest.bool "non-trivial space" true (r.Checker.states > 100)
+
+let test_rd_model_no_retransmit_deadlocks () =
+  let r = Checker.run (Model_rd.model { Model_rd.default with retransmit = false }) in
+  check Alcotest.bool "deadlocks without retransmission" true (r.Checker.deadlocks > 0)
+
+let test_rd_model_bigger_windows () =
+  List.iter
+    (fun (n, w) ->
+      let r = Checker.run (Model_rd.model { Model_rd.default with n; window = w }) in
+      if r.Checker.violation <> None then Alcotest.failf "violation at n=%d w=%d" n w;
+      if r.Checker.deadlocks <> 0 then Alcotest.failf "deadlock at n=%d w=%d" n w)
+    [ (4, 2); (3, 3); (4, 3) ]
+
+let test_osr_model_holds () =
+  let r = Checker.run (Model_osr.model ~n:8) in
+  check Alcotest.bool "holds" true (r.Checker.violation = None);
+  check Alcotest.int "states = subsets" 256 r.Checker.states
+
+let test_cm_model_rejects_stale_isn () =
+  let r = Checker.run (Model_cm.model Model_cm.default) in
+  check Alcotest.bool "safety holds with stale SYN in flight" true
+    (r.Checker.violation = None);
+  check Alcotest.int "no deadlock" 0 r.Checker.deadlocks
+
+let test_cm_model_without_stale () =
+  let r = Checker.run (Model_cm.model { Model_cm.default with stale_syn = false }) in
+  check Alcotest.bool "holds" true (r.Checker.violation = None)
+
+let test_cm_teardown_no_deadlock () =
+  let r = Checker.run (Model_cm.close_model ~capacity:2) in
+  check Alcotest.bool "holds" true (r.Checker.violation = None);
+  check Alcotest.int "no deadlock (needs CLOSING retx + FW2 timeout)" 0
+    r.Checker.deadlocks
+
+let test_msg_model_hol_freedom () =
+  let r = Checker.run (Model_msg.model ~messages:3 ~frags:2) in
+  check Alcotest.bool "holds" true (r.Checker.violation = None);
+  check Alcotest.int "states = subsets of fragments" 64 r.Checker.states;
+  check Alcotest.int "no deadlocks" 0 r.Checker.deadlocks
+
+let test_mono_model_holds () =
+  let r = Checker.run (Model_mono.model Model_mono.default) in
+  check Alcotest.bool "holds" true (r.Checker.violation = None)
+
+let test_compositional_vs_monolithic_sizes () =
+  (* E8's quantitative claim: the sum of the per-sublayer state spaces is
+     far smaller than the joint monolithic space for the same
+     functionality bounds. *)
+  let states m = (Checker.run m).Checker.states in
+  let rd = states (Model_rd.model { Model_rd.default with n = 2 }) in
+  let cm = states (Model_cm.model Model_cm.default) in
+  let osr = states (Model_osr.model ~n:2) in
+  let close = states (Model_cm.close_model ~capacity:2) in
+  let mono = states (Model_mono.model Model_mono.default) in
+  let compositional = rd + cm + osr + close in
+  if mono <= 2 * compositional then
+    Alcotest.failf "monolithic %d not much larger than compositional %d" mono
+      compositional
+
+(* --- Entanglement (E9) --- *)
+
+let test_entanglement_counts () =
+  let mono_pairs = Entangle.entangled_pairs Entangle.monolithic in
+  let sub_pairs =
+    List.fold_left (fun a i -> a + Entangle.entangled_pairs i) 0 Entangle.sublayered
+  in
+  check Alcotest.bool
+    (Printf.sprintf "monolithic (%d) > sublayered total (%d)" mono_pairs sub_pairs)
+    true
+    (mono_pairs > sub_pairs);
+  check Alcotest.int "cross-sublayer shared fields" 0
+    (Entangle.cross_sublayer_shared_fields ())
+
+let test_entanglement_inventory_consistent () =
+  (* Every field an access mentions must be declared in its module. *)
+  List.iter
+    (fun inv ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun f ->
+              if not (List.mem f inv.Entangle.fields) then
+                Alcotest.failf "%s.%s mentions undeclared field %s" inv.Entangle.mname
+                  a.Entangle.func f)
+            a.Entangle.fields)
+        inv.Entangle.accesses)
+    (Entangle.monolithic :: Entangle.sublayered)
+
+let test_monolithic_input_touches_everything () =
+  (* The lwIP-style tcp_input really does touch the whole PCB. *)
+  let input =
+    List.find (fun a -> a.Entangle.func = "from_wire") Entangle.monolithic.Entangle.accesses
+  in
+  check Alcotest.int "touches all fields"
+    (List.length Entangle.monolithic.Entangle.fields)
+    (List.length input.Entangle.fields)
+
+let test_interface_widths_small () =
+  List.iter
+    (fun (name, n) ->
+      if n > 12 then Alcotest.failf "interface %s too wide: %d" name n)
+    Entangle.interface_widths
+
+let () =
+  Alcotest.run "mcheck"
+    [
+      ( "checker",
+        [
+          Alcotest.test_case "exhausts" `Quick test_checker_exhausts;
+          Alcotest.test_case "shortest counterexample" `Quick test_checker_finds_violation_with_shortest_trace;
+          Alcotest.test_case "deadlock detection" `Quick test_checker_counts_deadlocks;
+          Alcotest.test_case "truncation" `Quick test_checker_truncation;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "rd holds (E8)" `Quick test_rd_model_holds;
+          Alcotest.test_case "rd needs retransmission" `Quick test_rd_model_no_retransmit_deadlocks;
+          Alcotest.test_case "rd larger bounds" `Slow test_rd_model_bigger_windows;
+          Alcotest.test_case "osr reassembly" `Quick test_osr_model_holds;
+          Alcotest.test_case "cm stale-syn safety" `Quick test_cm_model_rejects_stale_isn;
+          Alcotest.test_case "cm without stale" `Quick test_cm_model_without_stale;
+          Alcotest.test_case "cm teardown live" `Quick test_cm_teardown_no_deadlock;
+          Alcotest.test_case "msg reassembly HOL-free (E15)" `Quick test_msg_model_hol_freedom;
+          Alcotest.test_case "monolithic holds" `Slow test_mono_model_holds;
+          Alcotest.test_case "compositional advantage (E8)" `Slow test_compositional_vs_monolithic_sizes;
+        ] );
+      ( "entangle",
+        [
+          Alcotest.test_case "monolithic > sublayered (E9)" `Quick test_entanglement_counts;
+          Alcotest.test_case "inventory consistent" `Quick test_entanglement_inventory_consistent;
+          Alcotest.test_case "tcp_input touches everything" `Quick test_monolithic_input_touches_everything;
+          Alcotest.test_case "interfaces narrow (T2)" `Quick test_interface_widths_small;
+        ] );
+    ]

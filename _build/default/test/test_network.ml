@@ -1,0 +1,366 @@
+(* Tests for the network sublayers: addresses, the LPM trie, hello,
+   distance-vector and link-state route computation (swappable, E2),
+   forwarding, and failure/heal reconvergence. *)
+
+open Network
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Addr --- *)
+
+let test_addr_parse () =
+  check Alcotest.int "10.0.0.1" 0x0A000001 (Addr.of_string "10.0.0.1");
+  check Alcotest.string "roundtrip" "192.168.1.254" (Addr.to_string (Addr.of_string "192.168.1.254"));
+  Alcotest.check_raises "octet range" (Invalid_argument "Addr.of_string: octet out of range")
+    (fun () -> ignore (Addr.of_string "1.2.3.256"));
+  Alcotest.check_raises "shape" (Invalid_argument "Addr.of_string: expected a.b.c.d")
+    (fun () -> ignore (Addr.of_string "1.2.3"))
+
+let test_addr_prefix () =
+  let p = Addr.prefix_of_string "10.1.2.3/16" in
+  check Alcotest.string "normalised" "10.1.0.0/16" (Format.asprintf "%a" Addr.pp_prefix p);
+  check Alcotest.bool "matches inside" true (Addr.matches p (Addr.of_string "10.1.200.7"));
+  check Alcotest.bool "rejects outside" false (Addr.matches p (Addr.of_string "10.2.0.1"));
+  check Alcotest.bool "len 0 matches all" true
+    (Addr.matches (Addr.prefix 0 0) (Addr.of_string "255.255.255.255"))
+
+let prop_addr_roundtrip =
+  qtest "string roundtrip" QCheck2.Gen.(0 -- 0xFFFFFF) (fun a ->
+      Addr.of_string (Addr.to_string a) = a)
+
+(* --- Fib (LPM trie) --- *)
+
+let test_fib_lpm () =
+  let fib = Fib.create () in
+  Fib.insert fib (Addr.prefix_of_string "10.0.0.0/8") 1;
+  Fib.insert fib (Addr.prefix_of_string "10.1.0.0/16") 2;
+  Fib.insert fib (Addr.prefix_of_string "10.1.2.0/24") 3;
+  check Alcotest.(option int) "/8 wins" (Some 1) (Fib.lookup fib (Addr.of_string "10.9.9.9"));
+  check Alcotest.(option int) "/16 wins" (Some 2) (Fib.lookup fib (Addr.of_string "10.1.9.9"));
+  check Alcotest.(option int) "/24 wins" (Some 3) (Fib.lookup fib (Addr.of_string "10.1.2.9"));
+  check Alcotest.(option int) "miss" None (Fib.lookup fib (Addr.of_string "11.0.0.1"));
+  check Alcotest.int "size" 3 (Fib.size fib)
+
+let test_fib_default_route () =
+  let fib = Fib.create () in
+  Fib.insert fib (Addr.prefix 0 0) 9;
+  check Alcotest.(option int) "default" (Some 9) (Fib.lookup fib (Addr.of_string "1.2.3.4"))
+
+let test_fib_replace_remove () =
+  let fib = Fib.create () in
+  let p = Addr.prefix_of_string "10.0.0.0/8" in
+  Fib.insert fib p 1;
+  Fib.insert fib p 2;
+  check Alcotest.(option int) "replaced" (Some 2) (Fib.lookup fib (Addr.of_string "10.0.0.1"));
+  check Alcotest.int "size stays 1" 1 (Fib.size fib);
+  Fib.remove fib p;
+  check Alcotest.(option int) "removed" None (Fib.lookup fib (Addr.of_string "10.0.0.1"));
+  Fib.remove fib p;
+  check Alcotest.int "idempotent remove" 0 (Fib.size fib)
+
+let test_fib_host_routes () =
+  let fib = Fib.create () in
+  for i = 0 to 63 do
+    Fib.insert fib (Addr.host (Addr.node i)) i
+  done;
+  let ok = ref true in
+  for i = 0 to 63 do
+    if Fib.lookup fib (Addr.node i) <> Some i then ok := false
+  done;
+  check Alcotest.bool "all hosts resolve" true !ok;
+  check Alcotest.int "entries" 64 (List.length (Fib.entries fib))
+
+let prop_fib_lpm_reference =
+  (* Compare trie lookups against a naive longest-prefix scan. *)
+  let prefix_gen =
+    QCheck2.Gen.(map2 (fun a len -> Addr.prefix a len) (0 -- 0xFFFFFF) (0 -- 32))
+  in
+  qtest "trie = naive scan" QCheck2.Gen.(pair (list_size (0 -- 30) prefix_gen) (0 -- 0xFFFFFF))
+    (fun (prefixes, addr) ->
+      let fib = Fib.create () in
+      List.iteri (fun i p -> Fib.insert fib p i) prefixes;
+      let naive =
+        (* Last insert wins for equal prefixes, as in the trie. *)
+        List.fold_left
+          (fun best (i, p) ->
+            if Addr.matches p addr then
+              match best with
+              | Some (_, bl) when bl > p.Addr.len -> best
+              | _ -> Some (i, p.Addr.len)
+            else best)
+          None
+          (List.mapi (fun i p -> (i, p)) prefixes)
+      in
+      Fib.lookup fib addr = Option.map fst naive)
+
+(* --- Packet --- *)
+
+let test_packet_ttl () =
+  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  check Alcotest.int "default ttl" 64 p.Packet.ttl;
+  check Alcotest.int "size" 13 (Packet.size p);
+  (match Packet.decrement_ttl p with
+  | Some p' -> check Alcotest.int "decremented" 63 p'.Packet.ttl
+  | None -> Alcotest.fail "ttl died early");
+  let dying = Packet.make ~ttl:1 ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  check Alcotest.bool "expires at 1" true (Packet.decrement_ttl dying = None)
+
+let prop_random_topology_connected =
+  qtest ~count:50 "random topologies are connected"
+    QCheck2.Gen.(pair (2 -- 20) (0 -- 200))
+    (fun (n, seed) ->
+      let edges = Topology.random ~n ~extra:(seed mod 5) ~seed in
+      let d = Topology.reference_distances ~n edges in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if d.(i).(j) = max_int then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Hello --- *)
+
+let test_hello_up_down () =
+  let engine = Sim.Engine.create () in
+  let events = ref [] in
+  let lost = ref false in
+  let h =
+    Hello.create engine Hello.default_config ~self:(Addr.node 0)
+      ~send:(fun _ _ -> ())
+      ~notify:(fun e -> events := e :: !events)
+  in
+  (* Simulate the peer's hellos arriving every second until "failure". *)
+  let rec peer_hello t =
+    ignore
+      (Sim.Engine.at engine ~time:t (fun () ->
+           if not !lost then begin
+             let w = Bitkit.Bitio.Writer.create () in
+             Bitkit.Bitio.Writer.uint8 w 0x48;
+             Bitkit.Bitio.Writer.uint32 w (Addr.node 1);
+             Hello.on_pdu h ~ifindex:0 (Bitkit.Bitio.Writer.contents w);
+             peer_hello (t +. 1.0)
+           end))
+  in
+  Hello.add_interface h 0;
+  peer_hello 0.5;
+  ignore (Sim.Engine.at engine ~time:5.2 (fun () -> lost := true));
+  Sim.Engine.run ~until:15. engine;
+  Hello.stop h;
+  let ups = List.filter (function Hello.Up _ -> true | _ -> false) !events in
+  let downs = List.filter (function Hello.Down _ -> true | _ -> false) !events in
+  check Alcotest.int "one up" 1 (List.length ups);
+  check Alcotest.int "one down after hold expiry" 1 (List.length downs);
+  check Alcotest.(list (pair int bool)) "no neighbors left" []
+    (List.map (fun (i, a) -> (i, Addr.equal a (Addr.node 1))) (Hello.neighbors h))
+
+let test_hello_ignores_garbage () =
+  let engine = Sim.Engine.create () in
+  let events = ref 0 in
+  let h =
+    Hello.create engine Hello.default_config ~self:(Addr.node 0)
+      ~send:(fun _ _ -> ())
+      ~notify:(fun _ -> incr events)
+  in
+  Hello.on_pdu h ~ifindex:0 "junk";
+  Hello.on_pdu h ~ifindex:0 "";
+  check Alcotest.int "no events" 0 !events
+
+(* --- Routing protocols over topologies (E2) --- *)
+
+let protocols =
+  [ ("dv", Distance_vector.factory ()); ("ls", Link_state.factory ());
+    ("pv", Path_vector.factory ()) ]
+
+let build_and_converge ?(seed = 3) routing n edges =
+  let engine = Sim.Engine.create ~seed () in
+  let net = Topology.build engine ~routing ~n edges in
+  let t = Topology.converge net in
+  (engine, net, t)
+
+let test_convergence_canonical_topologies () =
+  List.iter
+    (fun (pname, routing) ->
+      List.iter
+        (fun (tname, n, edges) ->
+          let _, net, t = build_and_converge routing n edges in
+          (match t with
+          | Some _ -> ()
+          | None -> Alcotest.failf "%s did not converge on %s" pname tname);
+          Topology.stop net)
+        [ ("line6", 6, Topology.line 6); ("ring7", 7, Topology.ring 7);
+          ("grid3x3", 9, Topology.grid 3 3);
+          ("random12", 12, Topology.random ~n:12 ~extra:6 ~seed:9) ])
+    protocols
+
+let test_paths_are_shortest () =
+  List.iter
+    (fun (pname, routing) ->
+      let n = 9 in
+      let edges = Topology.grid 3 3 in
+      let _, net, _ = build_and_converge routing n edges in
+      let d = Topology.reference_distances ~n edges in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            match Topology.fib_path net ~src:i ~dst:j with
+            | Some path ->
+                if List.length path - 1 <> d.(i).(j) then
+                  Alcotest.failf "%s: %d->%d path length %d, shortest %d" pname i j
+                    (List.length path - 1) d.(i).(j)
+            | None -> Alcotest.failf "%s: no path %d->%d" pname i j
+          end
+        done
+      done;
+      Topology.stop net)
+    protocols
+
+let test_forwarding_delivers () =
+  List.iter
+    (fun (pname, routing) ->
+      let engine, net, _ = build_and_converge routing 7 (Topology.ring 7) in
+      for i = 0 to 6 do
+        Topology.send net ~src:i ~dst:((i + 3) mod 7) (Printf.sprintf "hi-%d" i)
+      done;
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 2.) engine;
+      for i = 0 to 6 do
+        let inbox = Topology.received net ((i + 3) mod 7) in
+        if not (List.exists (fun p -> p.Packet.payload = Printf.sprintf "hi-%d" i) inbox)
+        then Alcotest.failf "%s: packet %d lost" pname i
+      done;
+      Topology.stop net)
+    protocols
+
+let test_failure_reconvergence () =
+  List.iter
+    (fun (pname, routing) ->
+      let _, net, _ = build_and_converge routing 8 (Topology.ring 8) in
+      Topology.fail_link net 0 1;
+      (match Topology.converge net with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: no reconvergence after failure" pname);
+      (* Traffic now routes the long way round. *)
+      (match Topology.fib_path net ~src:0 ~dst:1 with
+      | Some path -> check Alcotest.int (pname ^ " long way") 8 (List.length path)
+      | None -> Alcotest.failf "%s: 0->1 unroutable" pname);
+      Topology.heal_link net 0 1;
+      (match Topology.converge net with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: no reconvergence after heal" pname);
+      (match Topology.fib_path net ~src:0 ~dst:1 with
+      | Some path -> check Alcotest.int (pname ^ " direct again") 2 (List.length path)
+      | None -> Alcotest.failf "%s: 0->1 unroutable after heal" pname);
+      Topology.stop net)
+    protocols
+
+let test_partition_detected () =
+  List.iter
+    (fun (pname, routing) ->
+      let _, net, _ = build_and_converge routing 6 (Topology.line 6) in
+      Topology.fail_link net 2 3;
+      (match Topology.converge net with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%s: partition not converged" pname);
+      check Alcotest.(option (list int)) (pname ^ " unreachable") None
+        (Topology.fib_path net ~src:0 ~dst:5);
+      Topology.stop net)
+    protocols
+
+let test_ttl_prevents_loops () =
+  (* During transients forwarding may loop; TTL must kill such packets.
+     Build a ring, fail a link, and immediately send before convergence. *)
+  let engine = Sim.Engine.create ~seed:21 () in
+  let net = Topology.build engine ~routing:(Distance_vector.factory ()) ~n:6 (Topology.ring 6) in
+  ignore (Topology.converge net);
+  Topology.fail_link net 0 5;
+  (* send before reconvergence *)
+  Topology.send net ~src:1 ~dst:5 "maybe-loops";
+  Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.2) engine;
+  (* The engine terminating at all (no infinite event cascade) plus
+     bounded forwarded counts shows TTL works. *)
+  let total_forwarded =
+    let s = ref 0 in
+    for i = 0 to 5 do
+      s := !s + (Router.stats (Topology.router net i)).Router.forwarded
+    done;
+    !s
+  in
+  check Alcotest.bool "bounded forwarding" true (total_forwarded < 200);
+  Topology.stop net
+
+let test_dv_and_ls_agree () =
+  (* All protocols must install the same path lengths everywhere —
+     swapping route computation does not change the forwarding outcome. *)
+  let n = 10 in
+  let edges = Topology.random ~n:10 ~extra:5 ~seed:31 in
+  let paths routing =
+    let _, net, t = build_and_converge routing n edges in
+    check Alcotest.bool "converged" true (t <> None);
+    let m = Array.make_matrix n n 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        m.(i).(j) <-
+          (match Topology.fib_path net ~src:i ~dst:j with
+          | Some p -> List.length p
+          | None -> -1)
+      done
+    done;
+    Topology.stop net;
+    m
+  in
+  let dv = paths (Distance_vector.factory ()) in
+  let ls = paths (Link_state.factory ()) in
+  let pv = paths (Path_vector.factory ()) in
+  check Alcotest.bool "dv = ls" true (dv = ls);
+  check Alcotest.bool "ls = pv" true (ls = pv)
+
+let test_router_stats () =
+  let engine, net, _ = build_and_converge (Link_state.factory ()) 4 (Topology.line 4) in
+  Topology.send net ~src:0 ~dst:3 "x";
+  Sim.Engine.run ~until:(Sim.Engine.now engine +. 1.) engine;
+  check Alcotest.int "delivered at 3" 1 (Router.stats (Topology.router net 3)).Router.delivered;
+  check Alcotest.int "forwarded by 1" 1 (Router.stats (Topology.router net 1)).Router.forwarded;
+  check Alcotest.int "originated by 0" 1 (Router.stats (Topology.router net 0)).Router.originated;
+  Topology.stop net
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "parse" `Quick test_addr_parse;
+          Alcotest.test_case "prefix" `Quick test_addr_prefix;
+          prop_addr_roundtrip;
+        ] );
+      ( "fib",
+        [
+          Alcotest.test_case "longest prefix match" `Quick test_fib_lpm;
+          Alcotest.test_case "default route" `Quick test_fib_default_route;
+          Alcotest.test_case "replace/remove" `Quick test_fib_replace_remove;
+          Alcotest.test_case "host routes" `Quick test_fib_host_routes;
+          prop_fib_lpm_reference;
+        ] );
+      ( "packet",
+        [
+          Alcotest.test_case "ttl" `Quick test_packet_ttl;
+          prop_random_topology_connected;
+        ] );
+      ( "hello",
+        [
+          Alcotest.test_case "up/down lifecycle" `Quick test_hello_up_down;
+          Alcotest.test_case "garbage ignored" `Quick test_hello_ignores_garbage;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "convergence (E2)" `Slow test_convergence_canonical_topologies;
+          Alcotest.test_case "shortest paths" `Slow test_paths_are_shortest;
+          Alcotest.test_case "forwarding delivers" `Quick test_forwarding_delivers;
+          Alcotest.test_case "failure reconvergence" `Slow test_failure_reconvergence;
+          Alcotest.test_case "partition detected" `Quick test_partition_detected;
+          Alcotest.test_case "ttl bounds transients" `Quick test_ttl_prevents_loops;
+          Alcotest.test_case "dv = ls = pv outcomes (E2)" `Slow test_dv_and_ls_agree;
+          Alcotest.test_case "router stats" `Quick test_router_stats;
+        ] );
+    ]

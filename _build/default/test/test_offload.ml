@@ -1,0 +1,108 @@
+(* Tests for the hardware-offload partition study (E11). *)
+
+open Offload
+
+let check = Alcotest.check
+
+let w = workload_of_transfer ~segments:1000 ~loss:0.02
+
+let test_all_software_no_crossings () =
+  (* rx packets enter from the hardware (NIC) side and cross once into
+     software; tx packets start in software and never cross. *)
+  let r = simulate all_software w in
+  check Alcotest.int "only rx entry crossings" (w.acks_rx + w.control) r.crossings;
+  check (Alcotest.float 1e-9) "speedup is 1 by definition" 1.0 r.speedup_vs_software
+
+let test_all_hardware_crossing_free_inside () =
+  let r = simulate all_hardware w in
+  (* Everything processed on the NIC: only fresh tx entries cross
+     (app->NIC); retransmissions originate at RD, already on the NIC. *)
+  check Alcotest.int "tx-side crossings only" w.data_tx r.crossings
+
+let test_datapath_partition_cheapest_crossings () =
+  let dp = simulate datapath_hw w in
+  let rd = simulate rd_only_hw w in
+  check Alcotest.bool
+    (Printf.sprintf "dm+cm+rd-hw (%d) fewer crossings than rd-only (%d)" dp.crossings
+       rd.crossings)
+    true (dp.crossings < rd.crossings)
+
+let test_hw_partitions_beat_software () =
+  List.iter
+    (fun p ->
+      let r = simulate p w in
+      if p.pname <> "all-software" && r.speedup_vs_software <= 1.0 then
+        Alcotest.failf "%s speedup %.2f" p.pname r.speedup_vs_software)
+    partitions
+
+let test_rd_only_still_wins () =
+  (* The paper's "with more finagling, only RD in hardware" still beats
+     pure software under the default cost model. *)
+  let r = simulate rd_only_hw w in
+  check Alcotest.bool (Printf.sprintf "speedup %.2f > 1" r.speedup_vs_software) true
+    (r.speedup_vs_software > 1.0)
+
+let test_fast_slow_baseline_degrades_with_slow_fraction () =
+  let low = fast_slow_path ~slow_fraction:0.01 w in
+  let high = fast_slow_path ~slow_fraction:0.3 w in
+  check Alcotest.bool "more slow-path, more cost" true
+    (high.total_cost > low.total_cost);
+  check Alcotest.bool "more slow-path, more crossings" true
+    (high.crossings > low.crossings)
+
+let test_sublayer_partition_beats_fastslow_under_churn () =
+  (* With a meaningful slow fraction, the clean sublayer cut wins. *)
+  let dp = simulate datapath_hw w in
+  let fs = fast_slow_path ~slow_fraction:0.2 w in
+  check Alcotest.bool
+    (Printf.sprintf "datapath (%.0f) cheaper than fast/slow (%.0f)" dp.total_cost
+       fs.total_cost)
+    true (dp.total_cost < fs.total_cost)
+
+let test_workload_shape () =
+  let w = workload_of_transfer ~segments:100 ~loss:0.1 in
+  check Alcotest.int "data" 100 w.data_tx;
+  check Alcotest.int "acks" 100 w.acks_rx;
+  check Alcotest.bool "retx proportional" true (w.retx >= 10);
+  check Alcotest.bool "control constant" true (w.control > 0)
+
+let test_partition_enumeration () =
+  check Alcotest.int "sixteen assignments" 16 (List.length all_partitions);
+  let names = List.map (fun p -> p.pname) all_partitions in
+  check Alcotest.int "distinct names" 16 (List.length (List.sort_uniq compare names));
+  let best, speedup = best_partition w in
+  (* Under the default cost model the full-NIC assignment wins. *)
+  check Alcotest.string "optimum" "hw{dm,cm,rd,osr}" best.pname;
+  check Alcotest.bool "speedup sensible" true (speedup > 1.0)
+
+let test_cost_model_sensitivity () =
+  (* If crossings were free, rd-only would approach datapath_hw. *)
+  let free = { default_costs with crossing = 0.; sync = 0. } in
+  let dp = simulate ~costs:free datapath_hw w in
+  let rd = simulate ~costs:free rd_only_hw w in
+  check Alcotest.bool "cheap crossings narrow the gap" true
+    (rd.total_cost < 2. *. dp.total_cost)
+
+let () =
+  Alcotest.run "offload"
+    [
+      ( "partitions",
+        [
+          Alcotest.test_case "all-software crossings" `Quick test_all_software_no_crossings;
+          Alcotest.test_case "all-hardware crossings" `Quick test_all_hardware_crossing_free_inside;
+          Alcotest.test_case "datapath < rd-only crossings" `Quick test_datapath_partition_cheapest_crossings;
+          Alcotest.test_case "hw partitions beat software" `Quick test_hw_partitions_beat_software;
+          Alcotest.test_case "rd-only still wins" `Quick test_rd_only_still_wins;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "fast/slow degrades" `Quick test_fast_slow_baseline_degrades_with_slow_fraction;
+          Alcotest.test_case "sublayer cut beats fast/slow" `Quick test_sublayer_partition_beats_fastslow_under_churn;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "workload shape" `Quick test_workload_shape;
+          Alcotest.test_case "cost sensitivity" `Quick test_cost_model_sensitivity;
+          Alcotest.test_case "partition enumeration" `Quick test_partition_enumeration;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Tests for the discrete-event engine and the impaired channels. *)
+
+let check = Alcotest.check
+
+(* --- Engine --- *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~after:0.3 (fun () -> log := 3 :: !log));
+  ignore (Sim.Engine.schedule e ~after:0.1 (fun () -> log := 1 :: !log));
+  ignore (Sim.Engine.schedule e ~after:0.2 (fun () -> log := 2 :: !log));
+  Sim.Engine.run e;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check (Alcotest.float 1e-9) "clock at last event" 0.3 (Sim.Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.Engine.run e;
+  check Alcotest.(list int) "insertion order on ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~after:0.1 (fun () -> fired := true) in
+  Sim.Engine.cancel h;
+  check Alcotest.bool "cancelled flag" true (Sim.Engine.cancelled h);
+  Sim.Engine.run e;
+  check Alcotest.bool "did not fire" false !fired
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~after:0.1 (fun () ->
+         log := "outer" :: !log;
+         ignore (Sim.Engine.schedule e ~after:0.1 (fun () -> log := "inner" :: !log))));
+  Sim.Engine.run e;
+  check Alcotest.(list string) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "time" 0.2 (Sim.Engine.now e)
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  ignore (Sim.Engine.schedule e ~after:1.0 (fun () -> incr fired));
+  ignore (Sim.Engine.schedule e ~after:2.0 (fun () -> incr fired));
+  Sim.Engine.run ~until:1.5 e;
+  check Alcotest.int "only first" 1 !fired;
+  check (Alcotest.float 1e-9) "clock clamped" 1.5 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check Alcotest.int "resumed" 2 !fired
+
+let test_engine_max_events () =
+  let e = Sim.Engine.create () in
+  let rec tick () = ignore (Sim.Engine.schedule e ~after:0.1 (fun () -> tick ())) in
+  tick ();
+  Sim.Engine.run ~max_events:100 e;
+  check Alcotest.int "bounded" 100 (Sim.Engine.events_fired e)
+
+let test_engine_negative_delay_rejected () =
+  let e = Sim.Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Sim.Engine.schedule e ~after:(-1.0) ignore))
+
+let test_engine_pending () =
+  let e = Sim.Engine.create () in
+  let h = Sim.Engine.schedule e ~after:1.0 ignore in
+  ignore (Sim.Engine.schedule e ~after:2.0 ignore);
+  check Alcotest.int "two pending" 2 (Sim.Engine.pending e);
+  Sim.Engine.cancel h;
+  check Alcotest.int "one pending" 1 (Sim.Engine.pending e)
+
+let test_engine_heap_stress () =
+  (* Thousands of events in random order still fire monotonically. *)
+  let e = Sim.Engine.create ~seed:99 () in
+  let rng = Bitkit.Rng.create 1 in
+  let last = ref 0. in
+  let monotone = ref true in
+  for _ = 1 to 5000 do
+    let at = Bitkit.Rng.float rng *. 100. in
+    ignore
+      (Sim.Engine.schedule e ~after:at (fun () ->
+           if Sim.Engine.now e < !last then monotone := false;
+           last := Sim.Engine.now e))
+  done;
+  Sim.Engine.run e;
+  check Alcotest.bool "monotone" true !monotone;
+  check Alcotest.int "all fired" 5000 (Sim.Engine.events_fired e)
+
+(* --- Channel --- *)
+
+let collect_channel cfg n =
+  let e = Sim.Engine.create ~seed:5 () in
+  let got = ref [] in
+  let ch =
+    Sim.Channel.create e cfg ~size:String.length
+      ~corrupt:Sim.Channel.corrupt_string
+      ~deliver:(fun m -> got := m :: !got)
+      ()
+  in
+  for i = 1 to n do
+    Sim.Channel.send ch (Printf.sprintf "msg%04d" i)
+  done;
+  Sim.Engine.run e;
+  (List.rev !got, Sim.Channel.stats ch)
+
+let test_channel_ideal_delivers_in_order () =
+  let got, stats = collect_channel Sim.Channel.ideal 100 in
+  check Alcotest.int "all delivered" 100 (List.length got);
+  check Alcotest.int "none dropped" 0 stats.Sim.Channel.dropped;
+  check Alcotest.bool "in order" true
+    (got = List.init 100 (fun i -> Printf.sprintf "msg%04d" (i + 1)))
+
+let test_channel_loss_rate () =
+  let got, stats = collect_channel (Sim.Channel.lossy 0.3) 2000 in
+  let rate = 1. -. (Float.of_int (List.length got) /. 2000.) in
+  if rate < 0.25 || rate > 0.35 then Alcotest.failf "loss rate %.3f" rate;
+  check Alcotest.int "sent counted" 2000 stats.Sim.Channel.sent
+
+let test_channel_duplication () =
+  let got, stats = collect_channel { Sim.Channel.ideal with duplication = 0.5 } 1000 in
+  check Alcotest.bool "more than sent" true (List.length got > 1000);
+  check Alcotest.bool "dup stat" true (stats.Sim.Channel.duplicated > 300)
+
+let test_channel_corruption_changes_payload () =
+  let got, stats = collect_channel { Sim.Channel.ideal with corruption = 1.0 } 50 in
+  check Alcotest.int "all delivered" 50 (List.length got);
+  check Alcotest.int "all corrupted" 50 stats.Sim.Channel.corrupted;
+  let originals = List.init 50 (fun i -> Printf.sprintf "msg%04d" (i + 1)) in
+  (* A single flipped bit always changes the payload (though it may turn
+     one valid message into another, so compare pairwise in order). *)
+  check Alcotest.bool "every payload damaged" true
+    (List.for_all2 (fun m o -> m <> o) got originals)
+
+let test_channel_reorder () =
+  let got, _ =
+    collect_channel { Sim.Channel.ideal with reorder = 0.5; reorder_extra = 0.05 } 200
+  in
+  check Alcotest.int "all delivered" 200 (List.length got);
+  check Alcotest.bool "out of order observed" true
+    (got <> List.sort compare got)
+
+let test_channel_bandwidth_serialisation () =
+  (* 1000 bytes/s: ten 100-byte messages take about a second overall. *)
+  let e = Sim.Engine.create () in
+  let done_at = ref 0. in
+  let ch =
+    Sim.Channel.create e
+      { Sim.Channel.ideal with bandwidth = Some 1000.; delay = 0. }
+      ~size:String.length
+      ~deliver:(fun _ -> done_at := Sim.Engine.now e)
+      ()
+  in
+  for _ = 1 to 10 do
+    Sim.Channel.send ch (String.make 100 'x')
+  done;
+  Sim.Engine.run e;
+  if !done_at < 0.9 || !done_at > 1.1 then Alcotest.failf "serialised in %.3fs" !done_at
+
+let test_channel_set_config_kills_link () =
+  let e = Sim.Engine.create () in
+  let got = ref 0 in
+  let ch = Sim.Channel.create e Sim.Channel.ideal ~deliver:(fun () -> incr got) () in
+  Sim.Channel.send ch ();
+  Sim.Engine.run e;
+  Sim.Channel.set_config ch { (Sim.Channel.config ch) with loss = 1.0 };
+  Sim.Channel.send ch ();
+  Sim.Engine.run e;
+  check Alcotest.int "only first" 1 !got
+
+(* --- Trace --- *)
+
+let test_trace () =
+  let t = Sim.Trace.create () in
+  Sim.Trace.record t ~time:1.0 ~actor:"a" "send x";
+  Sim.Trace.record t ~time:2.0 ~actor:"b" "recv x";
+  Sim.Trace.record t ~time:3.0 ~actor:"a" "send y";
+  check Alcotest.int "count prefix" 2 (Sim.Trace.count t "send");
+  check Alcotest.int "count actor" 1 (Sim.Trace.count t ~actor:"b" "recv");
+  check Alcotest.int "entries" 3 (List.length (Sim.Trace.entries t));
+  let first = List.hd (Sim.Trace.entries t) in
+  check Alcotest.string "chronological" "send x" first.Sim.Trace.event;
+  Sim.Trace.clear t;
+  check Alcotest.int "cleared" 0 (List.length (Sim.Trace.entries t))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "FIFO on ties" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "cancellation" `Quick test_engine_cancel;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run ~until" `Quick test_engine_until;
+          Alcotest.test_case "run ~max_events" `Quick test_engine_max_events;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+          Alcotest.test_case "pending count" `Quick test_engine_pending;
+          Alcotest.test_case "heap stress" `Quick test_engine_heap_stress;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "ideal in-order" `Quick test_channel_ideal_delivers_in_order;
+          Alcotest.test_case "loss rate" `Quick test_channel_loss_rate;
+          Alcotest.test_case "duplication" `Quick test_channel_duplication;
+          Alcotest.test_case "corruption" `Quick test_channel_corruption_changes_payload;
+          Alcotest.test_case "reordering" `Quick test_channel_reorder;
+          Alcotest.test_case "bandwidth" `Quick test_channel_bandwidth_serialisation;
+          Alcotest.test_case "mid-run reconfig" `Quick test_channel_set_config_kills_link;
+        ] );
+      ("trace", [ Alcotest.test_case "record/count" `Quick test_trace ]);
+    ]
