@@ -33,7 +33,8 @@ let () =
       | `Data reply -> Printf.printf "[client] got reply %S\n" reply
       | `Peer_closed -> Printf.printf "[client] server finished sending\n"
       | `Closed -> Printf.printf "[client] closed\n"
-      | `Reset -> Printf.printf "[client] connection reset!\n");
+      | `Reset -> Printf.printf "[client] connection reset!\n"
+      | `Aborted -> Printf.printf "[client] connection aborted (timed out)\n");
   Transport.Host.write conn "ping";
 
   (* Run the virtual world. *)

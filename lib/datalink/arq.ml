@@ -1,6 +1,6 @@
-type config = { window : int; rto : float }
+type config = { window : int; rto : float; max_retries : int }
 
-let default_config = { window = 8; rto = 0.25 }
+let default_config = { window = 8; rto = 0.25; max_retries = 30 }
 
 type pdu = Data of int * string | Ack of int
 
@@ -52,4 +52,5 @@ module type S = sig
   val initial : config -> t
   val stats : t -> stats
   val idle : t -> bool
+  val gave_up : t -> bool
 end

@@ -13,6 +13,9 @@
 type config = {
   window : int;  (** sender window (ignored by stop-and-wait) *)
   rto : float;   (** retransmission timeout, seconds *)
+  max_retries : int;
+      (** consecutive timeouts without forward progress before the
+          sender declares the link dead and discards its backlog *)
 }
 
 val default_config : config
@@ -48,6 +51,10 @@ module type S = sig
   val stats : t -> stats
   val idle : t -> bool
   (** No unacknowledged or queued data (transfer complete). *)
+
+  val gave_up : t -> bool
+  (** The sender exhausted [max_retries] consecutive timeouts and
+      dropped its backlog; the link should be considered down. *)
 end
 
 val seqspace : Sublayer.Seqspace.t

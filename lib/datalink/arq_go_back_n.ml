@@ -14,6 +14,8 @@ type t = {
   buf : (int * string) list;  (** unacked, ascending seq, = [base..next) *)
   queue : string list;
   rx_expected : int;
+  retries : int;  (* consecutive timeouts with no window slide *)
+  dead : bool;    (* max_retries exhausted; backlog was discarded *)
 }
 
 type up_req = string
@@ -24,10 +26,11 @@ type timer = Rto
 
 let initial cfg =
   { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
-    rx_expected = 0 }
+    rx_expected = 0; retries = 0; dead = false }
 
 let stats t = t.stats
 let idle t = t.buf = [] && t.queue = []
+let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
@@ -52,15 +55,21 @@ let with_timer t acts =
   else (t, acts @ [ Set_timer (Rto, t.cfg.rto) ])
 
 let handle_up_req t payload =
-  let t = { t with queue = t.queue @ [ payload ] } in
-  let t, acts = admit t [] in
-  if acts = [] then (t, []) else with_timer t acts
+  if t.dead then (t, [ Note "link declared dead; payload dropped" ])
+  else begin
+    let t = { t with queue = t.queue @ [ payload ] } in
+    let t, acts = admit t [] in
+    if acts = [] then (t, []) else with_timer t acts
+  end
 
 let handle_ack t seq16 =
   let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
   if a <= t.base || a > t.next then (t, [ Note "stale ack" ])
   else begin
-    let t = { t with base = a; buf = List.filter (fun (s, _) -> s >= a) t.buf } in
+    let t =
+      { t with base = a; buf = List.filter (fun (s, _) -> s >= a) t.buf;
+        retries = 0 }
+    in
     let t, acts = admit t [] in
     with_timer t acts
   end
@@ -85,7 +94,11 @@ let handle_down_ind t pdu_bytes =
 
 let handle_timer t Rto =
   if t.buf = [] then (t, [])
+  else if t.retries >= t.cfg.max_retries then
+    ( { t with buf = []; queue = []; dead = true },
+      [ Note "give up: max_retries exhausted" ] )
   else begin
+    let t = { t with retries = t.retries + 1 } in
     let resends =
       List.map
         (fun (seq, payload) ->

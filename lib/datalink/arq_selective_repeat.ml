@@ -14,6 +14,8 @@ type t = {
   queue : string list;
   rx_expected : int;
   rx_buf : (int * string) list;  (** out-of-order, ascending seq *)
+  retries : int;  (* consecutive timeouts with no ack activity *)
+  dead : bool;    (* max_retries exhausted; backlog was discarded *)
 }
 
 type up_req = string
@@ -24,10 +26,11 @@ type timer = Rto of int
 
 let initial cfg =
   { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
-    rx_expected = 0; rx_buf = [] }
+    rx_expected = 0; rx_buf = []; retries = 0; dead = false }
 
 let stats t = t.stats
 let idle t = t.buf = [] && t.queue = []
+let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
@@ -45,7 +48,9 @@ let rec admit t acts =
       admit t (Set_timer (Rto seq, t.cfg.rto) :: transmit t seq payload :: acts)
   | _ -> (t, List.rev acts)
 
-let handle_up_req t payload = admit { t with queue = t.queue @ [ payload ] } []
+let handle_up_req t payload =
+  if t.dead then (t, [ Note "link declared dead; payload dropped" ])
+  else admit { t with queue = t.queue @ [ payload ] } []
 
 let handle_ack t seq16 =
   let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
@@ -60,7 +65,7 @@ let handle_ack t seq16 =
       | rest -> (base, rest)
     in
     let base, buf = slide t.base buf in
-    let t = { t with base; buf } in
+    let t = { t with base; buf; retries = 0 } in
     let t, acts = admit t [] in
     (t, (Cancel_timer (Rto a) :: acts))
   end
@@ -96,6 +101,17 @@ let handle_down_ind t pdu_bytes =
 let handle_timer t (Rto seq) =
   match List.find_opt (fun (s, _, acked) -> s = seq && not acked) t.buf with
   | None -> (t, [])
+  | Some _ when t.retries >= t.cfg.max_retries ->
+      (* Cancel the surviving per-sequence timers so the engine can
+         quiesce; the one for [seq] just fired and is gone already. *)
+      let cancels =
+        List.filter_map
+          (fun (s, _, acked) -> if acked || s = seq then None else Some (Cancel_timer (Rto s)))
+          t.buf
+      in
+      ( { t with buf = []; queue = []; dead = true },
+        Note "give up: max_retries exhausted" :: cancels )
   | Some (_, payload, _) ->
       t.stats.retransmissions <- t.stats.retransmissions + 1;
-      (t, [ transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ])
+      ( { t with retries = t.retries + 1 },
+        [ transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ] )

@@ -12,6 +12,8 @@ type t = {
   outstanding : (int * string) option;
   queue : string list;
   rx_expected : int;
+  retries : int;      (* consecutive timeouts for the outstanding PDU *)
+  dead : bool;        (* max_retries exhausted; backlog was discarded *)
 }
 
 type up_req = string
@@ -22,10 +24,11 @@ type timer = Rto
 
 let initial cfg =
   { cfg; stats = Arq.fresh_stats (); next = 0; outstanding = None; queue = [];
-    rx_expected = 0 }
+    rx_expected = 0; retries = 0; dead = false }
 
 let stats t = t.stats
 let idle t = t.outstanding = None && t.queue = []
+let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
@@ -39,15 +42,17 @@ let start_send t payload =
     [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )
 
 let handle_up_req t payload =
-  match t.outstanding with
-  | None -> start_send t payload
-  | Some _ -> ({ t with queue = t.queue @ [ payload ] }, [])
+  if t.dead then (t, [ Note "link declared dead; payload dropped" ])
+  else
+    match t.outstanding with
+    | None -> start_send t payload
+    | Some _ -> ({ t with queue = t.queue @ [ payload ] }, [])
 
 let handle_ack t seq16 =
   match t.outstanding with
   | Some (seq, _)
     when Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:seq seq16 = seq -> (
-      let t = { t with outstanding = None } in
+      let t = { t with outstanding = None; retries = 0 } in
       match t.queue with
       | [] -> (t, [ Cancel_timer Rto ])
       | payload :: rest ->
@@ -74,6 +79,10 @@ let handle_down_ind t pdu_bytes =
 let handle_timer t Rto =
   match t.outstanding with
   | None -> (t, [])
+  | Some _ when t.retries >= t.cfg.max_retries ->
+      ( { t with outstanding = None; queue = []; dead = true },
+        [ Note "give up: max_retries exhausted" ] )
   | Some (seq, payload) ->
       t.stats.retransmissions <- t.stats.retransmissions + 1;
-      (t, [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ])
+      ( { t with retries = t.retries + 1 },
+        [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )

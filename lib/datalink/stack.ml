@@ -23,12 +23,14 @@ type endpoint = {
   from_wire : Bitkit.Bitseq.t -> unit;
   arq_stats : Arq.stats;
   is_idle : unit -> bool;
+  arq_gave_up : unit -> bool;
 }
 
 let send t payload = t.send payload
 let from_wire t bits = t.from_wire bits
 let arq_stats t = t.arq_stats
 let is_idle t = t.is_idle ()
+let gave_up t = t.arq_gave_up ()
 
 let endpoint engine ?trace ~name spec ~transmit ~deliver =
   let module A = (val spec.arq : Arq.S) in
@@ -43,6 +45,7 @@ let endpoint engine ?trace ~name spec ~transmit ~deliver =
     from_wire = R.from_below r;
     arq_stats = A.stats (fst (R.state r));
     is_idle = (fun () -> A.idle (fst (R.state r)));
+    arq_gave_up = (fun () -> A.gave_up (fst (R.state r)));
   }
 
 type link = {

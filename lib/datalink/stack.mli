@@ -25,6 +25,9 @@ val from_wire : endpoint -> Bitkit.Bitseq.t -> unit
 val arq_stats : endpoint -> Arq.stats
 val is_idle : endpoint -> bool
 
+val gave_up : endpoint -> bool
+(** The ARQ sender exhausted its retries and declared the link dead. *)
+
 val endpoint :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->

@@ -128,6 +128,11 @@ let heal_link t a b =
     Sim.Channel.set_config l.rev l.saved
   end
 
+let flap_link t a b ~at ~duration =
+  let e = engine t in
+  ignore (Sim.Engine.at e ~time:at (fun () -> fail_link t a b));
+  ignore (Sim.Engine.at e ~time:(at +. duration) (fun () -> heal_link t a b))
+
 let alive_edges t =
   Hashtbl.fold (fun e l acc -> if l.up then e :: acc else acc) t.link_tbl []
   |> List.sort compare

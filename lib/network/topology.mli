@@ -38,6 +38,10 @@ val fail_link : t -> int -> int -> unit
 
 val heal_link : t -> int -> int -> unit
 
+val flap_link : t -> int -> int -> at:float -> duration:float -> unit
+(** Schedule a failure at virtual time [at] and the matching heal
+    [duration] seconds later (both on the topology's engine). *)
+
 val alive_edges : t -> (int * int) list
 
 val reference_distances : n:int -> (int * int) list -> int array array

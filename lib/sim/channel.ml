@@ -1,3 +1,10 @@
+type gilbert_elliott = {
+  p_good_to_bad : float;
+  p_bad_to_good : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
 type config = {
   delay : float;
   jitter : float;
@@ -8,13 +15,27 @@ type config = {
   reorder_extra : float;
   bandwidth : float option;
   marking : float;
+  burst : gilbert_elliott option;
 }
 
 let ideal =
   { delay = 0.001; jitter = 0.; loss = 0.; duplication = 0.; corruption = 0.;
-    reorder = 0.; reorder_extra = 0.; bandwidth = None; marking = 0. }
+    reorder = 0.; reorder_extra = 0.; bandwidth = None; marking = 0.;
+    burst = None }
 
 let lossy p = { ideal with loss = p }
+
+(* Stationary loss of the two-state chain is
+   p_gb / (p_gb + p_bg) * loss_bad (+ the good-state term, zero here), so
+   matching an i.i.d. rate [loss] at mean burst length [burst_len] pins
+   both transition probabilities. *)
+let burst_lossy ~loss ~burst_len =
+  if loss <= 0. || loss >= 1. then invalid_arg "Channel.burst_lossy: loss in (0,1)";
+  if burst_len < 1. then invalid_arg "Channel.burst_lossy: burst_len >= 1";
+  let p_bad_to_good = 1. /. burst_len in
+  let p_good_to_bad = loss *. p_bad_to_good /. (1. -. loss) in
+  { ideal with
+    burst = Some { p_good_to_bad; p_bad_to_good; loss_good = 0.; loss_bad = 1. } }
 
 let harsh =
   { ideal with loss = 0.05; duplication = 0.02; reorder = 0.05; reorder_extra = 0.01 }
@@ -37,6 +58,7 @@ type 'a t = {
   deliver : 'a -> unit;
   stats : stats;
   mutable busy_until : float;
+  mutable burst_bad : bool;
 }
 
 let create engine cfg ?(size = fun _ -> 0) ?(corrupt = fun _ m -> m)
@@ -44,15 +66,29 @@ let create engine cfg ?(size = fun _ -> 0) ?(corrupt = fun _ m -> m)
   { engine; cfg; size; corrupt; mark; deliver;
     stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0;
               corrupted = 0; bytes_sent = 0 };
-    busy_until = 0. }
+    busy_until = 0.; burst_bad = false }
 
 let stats t = t.stats
 let set_config t cfg = t.cfg <- cfg
 let config t = t.cfg
 
+(* Per-transmission state step, then the current state's loss rate.
+   Always composed with the i.i.d. [loss] (either can drop), so a fault
+   plan overlaying [loss = 1.0] blacks out a bursty link too. *)
+let burst_drops t rng =
+  match t.cfg.burst with
+  | None -> false
+  | Some g ->
+      t.burst_bad <-
+        (if t.burst_bad then not (Bitkit.Rng.coin rng g.p_bad_to_good)
+         else Bitkit.Rng.coin rng g.p_good_to_bad);
+      Bitkit.Rng.coin rng (if t.burst_bad then g.loss_bad else g.loss_good)
+
 let transmit_once t msg =
   let rng = Engine.rng t.engine in
-  if Bitkit.Rng.coin rng t.cfg.loss then t.stats.dropped <- t.stats.dropped + 1
+  let burst_drop = burst_drops t rng in
+  if Bitkit.Rng.coin rng t.cfg.loss || burst_drop then
+    t.stats.dropped <- t.stats.dropped + 1
   else begin
     let msg =
       if Bitkit.Rng.coin rng t.cfg.corruption then begin

@@ -7,16 +7,29 @@
     is applied through a user-supplied [corrupt] function since only the
     caller knows the payload representation. *)
 
+(** Two-state Gilbert–Elliott burst-loss model: the channel walks between
+    a good and a bad state once per transmission and drops with the
+    current state's loss rate. Equal average loss to an i.i.d. channel,
+    but concentrated in bursts of mean length [1 /. p_bad_to_good]. *)
+type gilbert_elliott = {
+  p_good_to_bad : float;
+  p_bad_to_good : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
 type config = {
   delay : float;        (** propagation delay, seconds *)
   jitter : float;       (** uniform extra delay in [0, jitter) *)
-  loss : float;         (** drop probability *)
+  loss : float;         (** i.i.d. drop probability *)
   duplication : float;  (** duplicate probability *)
   corruption : float;   (** corruption probability *)
   reorder : float;      (** probability of an extra reordering delay *)
   reorder_extra : float;(** reordering delay magnitude *)
   bandwidth : float option; (** bytes/second serialisation rate, if modelled *)
   marking : float;      (** ECN-style congestion-mark probability *)
+  burst : gilbert_elliott option;
+      (** burst loss, composed with [loss] (either can drop) *)
 }
 
 val ideal : config
@@ -24,6 +37,12 @@ val ideal : config
 
 val lossy : float -> config
 (** [lossy p] is {!ideal} with loss probability [p]. *)
+
+val burst_lossy : loss:float -> burst_len:float -> config
+(** [burst_lossy ~loss ~burst_len] is {!ideal} with a Gilbert–Elliott
+    process whose stationary loss rate equals [loss] but arrives in
+    bursts of mean length [burst_len] (loss-free good state, total loss
+    in the bad state) — the equal-average comparison E18 benches. *)
 
 val harsh : config
 (** 5% loss, 2% duplication, 5% reorder — a stress configuration. *)

@@ -1,0 +1,96 @@
+type target = {
+  tname : string;
+  get : unit -> Channel.config;
+  set : Channel.config -> unit;
+}
+
+let target ?(name = "link") ch =
+  { tname = name;
+    get = (fun () -> Channel.config ch);
+    set = (fun cfg -> Channel.set_config ch cfg) }
+
+type event =
+  | Flap of { at : float; duration : float }
+  | Partition of { at : float }
+  | Heal of { at : float }
+  | Brownout of { at : float; duration : float; bandwidth : float }
+  | Burst_loss of {
+      at : float;
+      duration : float;
+      params : Channel.gilbert_elliott;
+    }
+  | Corrupt_storm of { at : float; duration : float; corruption : float }
+
+type t = event list
+
+let time_of = function
+  | Flap { at; _ } | Partition { at } | Heal { at } | Brownout { at; _ }
+  | Burst_loss { at; _ } | Corrupt_storm { at; _ } ->
+      at
+
+let pp_event ppf = function
+  | Flap { at; duration } -> Format.fprintf ppf "%.2fs flap %.2fs" at duration
+  | Partition { at } -> Format.fprintf ppf "%.2fs partition" at
+  | Heal { at } -> Format.fprintf ppf "%.2fs heal" at
+  | Brownout { at; duration; bandwidth } ->
+      Format.fprintf ppf "%.2fs brownout %.2fs @%.0fB/s" at duration bandwidth
+  | Burst_loss { at; duration; params } ->
+      Format.fprintf ppf "%.2fs burst-loss %.2fs (bad len %.1f)" at duration
+        (1. /. params.Channel.p_bad_to_good)
+  | Corrupt_storm { at; duration; corruption } ->
+      Format.fprintf ppf "%.2fs corrupt-storm %.2fs p=%.2f" at duration corruption
+
+let pp ppf plan =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf plan
+
+let apply engine plan targets =
+  List.iter
+    (fun tgt ->
+      let baseline = tgt.get () in
+      let impair at mutate =
+        ignore (Engine.at engine ~time:at (fun () -> tgt.set (mutate (tgt.get ()))))
+      and restore at =
+        ignore (Engine.at engine ~time:at (fun () -> tgt.set baseline))
+      in
+      List.iter
+        (function
+          | Flap { at; duration } ->
+              impair at (fun c -> { c with Channel.loss = 1.0 });
+              restore (at +. duration)
+          | Partition { at } -> impair at (fun c -> { c with Channel.loss = 1.0 })
+          | Heal { at } -> restore at
+          | Brownout { at; duration; bandwidth } ->
+              impair at (fun c -> { c with Channel.bandwidth = Some bandwidth });
+              restore (at +. duration)
+          | Burst_loss { at; duration; params } ->
+              impair at (fun c -> { c with Channel.burst = Some params });
+              restore (at +. duration)
+          | Corrupt_storm { at; duration; corruption } ->
+              impair at (fun c -> { c with Channel.corruption });
+              restore (at +. duration))
+        plan)
+    targets
+
+let random rng ~horizon ?(events = 6) () =
+  let episode i =
+    (* Spread start times over the horizon, keep every episode short
+       relative to its slot so the link is mostly up. *)
+    let slot = horizon /. Float.of_int events in
+    let at = (Float.of_int i +. Bitkit.Rng.float rng *. 0.5) *. slot in
+    let duration = (0.1 +. (Bitkit.Rng.float rng *. 0.3)) *. slot in
+    match Bitkit.Rng.int rng 4 with
+    | 0 -> Flap { at; duration }
+    | 1 ->
+        Brownout { at; duration; bandwidth = 2_000. +. Bitkit.Rng.float rng *. 8_000. }
+    | 2 ->
+        let burst_len = 2. +. Bitkit.Rng.float rng *. 6. in
+        let loss = 0.05 +. (Bitkit.Rng.float rng *. 0.15) in
+        let p_bad_to_good = 1. /. burst_len in
+        Burst_loss
+          { at; duration;
+            params =
+              { Channel.p_good_to_bad = loss *. p_bad_to_good /. (1. -. loss);
+                p_bad_to_good; loss_good = 0.; loss_bad = 1. } }
+    | _ -> Corrupt_storm { at; duration; corruption = 0.02 +. Bitkit.Rng.float rng *. 0.1 }
+  in
+  List.init events episode @ [ Heal { at = horizon } ]

@@ -1,0 +1,55 @@
+(** Scripted fault injection for channels.
+
+    A fault plan is a timeline of link events — flaps, partitions,
+    brownouts, burst-loss episodes, corruption storms — applied to one or
+    more channels through {!Channel.set_config} on the seeded engine, so
+    every chaos run is exactly reproducible. The plan is data: tests and
+    benches can print it, store it next to a failing seed, and replay it.
+
+    Events restore the channel to the {e baseline} configuration captured
+    when {!apply} was called; overlapping episodes therefore end with the
+    baseline, not with each other's impairments (documented simple
+    semantics — schedule disjoint episodes if you need composition). *)
+
+(** A channel being injected, erased to its configuration interface
+    (channels are polymorphic in their payload type; a fault plan does not
+    care). Build one with {!target} or {!Channel.target}-style wrappers. *)
+type target = {
+  tname : string;
+  get : unit -> Channel.config;
+  set : Channel.config -> unit;
+}
+
+val target : ?name:string -> 'a Channel.t -> target
+
+type event =
+  | Flap of { at : float; duration : float }
+      (** total loss for [duration], then restore *)
+  | Partition of { at : float }
+      (** total loss until a subsequent {!Heal} *)
+  | Heal of { at : float }  (** restore the baseline configuration *)
+  | Brownout of { at : float; duration : float; bandwidth : float }
+      (** squeeze serialisation to [bandwidth] bytes/s *)
+  | Burst_loss of {
+      at : float;
+      duration : float;
+      params : Channel.gilbert_elliott;
+    }  (** a Gilbert–Elliott burst-loss episode *)
+  | Corrupt_storm of { at : float; duration : float; corruption : float }
+
+type t = event list
+
+val time_of : event -> float
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val apply : Engine.t -> t -> target list -> unit
+(** Capture each target's current configuration as its baseline and
+    schedule every event (and its restore) at absolute virtual times.
+    Events before [Engine.now] are rejected by the engine. *)
+
+val random : Bitkit.Rng.t -> horizon:float -> ?events:int -> unit -> t
+(** A randomized-but-seeded scenario schedule: [events] (default 6)
+    episodes drawn uniformly over kind, spread over [0, horizon), with
+    durations short enough that the link is up more than half the time
+    and a final {!Heal} at [horizon] so runs can always finish. *)

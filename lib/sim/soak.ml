@@ -1,0 +1,49 @@
+type report = {
+  sname : string;
+  vtime : float;
+  events_fired : int;
+  pending : int;
+  finished : bool;
+  violations : string list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s" r.sname
+    (if r.finished then "finished" else "DID NOT FINISH")
+    r.vtime r.events_fired r.pending
+    (match r.violations with
+    | [] -> ""
+    | vs -> Format.asprintf ", violations: %s" (String.concat "; " vs))
+
+let ok r = r.finished && r.violations = [] && r.pending = 0
+
+let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
+    ~name ~engine ~finished () =
+  let violations = ref [] in
+  let record msg = if not (List.mem msg !violations) then violations := msg :: !violations
+  in
+  let rec drive () =
+    if (not (finished ())) && !violations = [] && Engine.now engine < until then begin
+      Engine.run ~until:(Engine.now engine +. step) engine;
+      (match invariant () with None -> () | Some msg -> record msg);
+      drive ()
+    end
+  in
+  drive ();
+  let fin = finished () in
+  let vtime = Engine.now engine in
+  (* Let a finished stack's remaining timers (TIME_WAIT, idle timeouts,
+     straggler acks) expire: a hardened stack must quiesce, not tick
+     forever. Cap the drain so a livelocked stack still reports. *)
+  if quiesce && fin then Engine.run ~until:(vtime +. until) engine;
+  { sname = name;
+    vtime;
+    events_fired = Engine.events_fired engine;
+    pending = Engine.pending engine;
+    finished = fin;
+    violations = List.rev !violations }
+
+let reproducible scenario ~seed =
+  let a = scenario seed in
+  let b = scenario seed in
+  a = b

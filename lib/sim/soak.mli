@@ -1,0 +1,49 @@
+(** Chaos soak harness.
+
+    Drives a seeded simulation through a fault schedule in bounded slices
+    of virtual time, checking caller-supplied safety invariants at every
+    slice and liveness at the end. The harness is stack-agnostic: the
+    protocol stacks under test (data link, routed network, transport) are
+    reached only through closures, so one harness soaks them all.
+
+    Determinism contract: a report is a pure function of (seed, scenario
+    construction), so running the same scenario twice must produce equal
+    reports — {!reproducible} asserts exactly that. *)
+
+type report = {
+  sname : string;
+  vtime : float;        (** virtual time when the run ended *)
+  events_fired : int;   (** engine events executed *)
+  pending : int;        (** events still scheduled at the end *)
+  finished : bool;      (** the [finished] predicate held before [until] *)
+  violations : string list;
+      (** invariant failures, oldest first, deduplicated *)
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val ok : report -> bool
+(** Finished, no violations, and the engine quiesced ([pending = 0]). *)
+
+val run :
+  ?step:float ->
+  ?until:float ->
+  ?invariant:(unit -> string option) ->
+  ?quiesce:bool ->
+  name:string ->
+  engine:Engine.t ->
+  finished:(unit -> bool) ->
+  unit ->
+  report
+(** [run ~name ~engine ~finished ()] advances [engine] in slices of
+    [step] (default 0.5) virtual seconds until [finished ()] or virtual
+    time [until] (default 120), evaluating [invariant] after every slice
+    (a [Some msg] result is recorded as a violation and ends the run).
+    When [quiesce] is true (default), the remaining queue is drained
+    after finishing — timers a correct stack no longer needs — and the
+    leftover [pending] count is reported. *)
+
+val reproducible : (int -> report) -> seed:int -> bool
+(** [reproducible scenario ~seed] runs [scenario seed] twice and checks
+    the two reports are structurally equal (bit-reproducibility of the
+    whole soak, E18's determinism criterion). *)

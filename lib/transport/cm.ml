@@ -101,6 +101,14 @@ let handle_up_req t (req : up_req) =
       (t, [ control t fin; Set_timer (Fin_retx, t.cfg.Config.syn_rto) ])
   | `Close, (Closed | Listen) -> ({ t with phase = Closed }, [ Up `Closed ])
   | `Close, _ -> (t, [ Note "close ignored in this phase" ])
+  | `Abort, (Closed | Listen) -> ({ t with phase = Closed }, [])
+  | `Abort, _ ->
+      (* RD gave up (or the application demanded an abort): RST the peer
+         and drop every timer. No upward indication — the requester is
+         the one who initiated the abort. *)
+      ( { t with phase = Closed },
+        [ Note "ABORT (local)"; control t rst; Cancel_timer Handshake;
+          Cancel_timer Fin_retx; Cancel_timer Time_wait_expiry ] )
   | `Pdu payload, (Established | Fin_wait_1 _ | Fin_wait_2 | Close_wait | Closing _) ->
       (* Data path: stamp the connection's identity on the segment. *)
       let header =

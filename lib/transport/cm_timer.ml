@@ -63,6 +63,10 @@ let handle_up_req t (req : up_req) =
         [ Set_timer (Idle, t.idle_timeout) ] )
   | `Close, (Closed | Listening) -> ({ t with phase = Closed }, [ Up `Closed ])
   | `Close, Draining _ -> (t, [])
+  | `Abort, _ ->
+      (* Watson-style CM keeps no peer state worth resetting: evaporate
+         immediately instead of waiting out the quiet period. *)
+      ({ t with phase = Closed }, [ Cancel_timer Idle ])
   | `Pdu payload, (Active { isn_local; isn_remote } | Draining { isn_local; isn_remote })
     -> (t, [ stamp ~isn_local ~isn_remote payload ])
   | `Pdu _, _ -> (t, [ Note "data while closed dropped" ])

@@ -10,6 +10,8 @@ type t = {
   syn_retries : int;
   fin_retries : int;
   msl : float;
+  max_retries : int;
+  give_up_after : float;
   dupack_threshold : int;
   use_sack : bool;
   nagle : bool;
@@ -30,6 +32,8 @@ let default =
     syn_retries = 8;
     fin_retries = 8;
     msl = 2.0;
+    max_retries = 12;
+    give_up_after = 60.0;
     dupack_threshold = 3;
     use_sack = true;
     nagle = false;

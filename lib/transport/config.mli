@@ -12,6 +12,12 @@ type t = {
   syn_retries : int;
   fin_retries : int;
   msl : float;               (** TIME_WAIT lasts 2 × msl *)
+  max_retries : int;
+      (** consecutive RTO firings without cumulative progress before RD
+          gives up and aborts the connection *)
+  give_up_after : float;
+      (** seconds without cumulative progress on outstanding data before
+          RD aborts (ETIMEDOUT semantics); [infinity] disables *)
   dupack_threshold : int;
   use_sack : bool;
   nagle : bool;          (** coalesce sub-MSS writes while data is in flight *)

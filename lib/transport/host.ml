@@ -54,6 +54,7 @@ type conn = {
   mutable c_peer_closed : bool;
   mutable c_closed : bool;
   mutable c_reset : bool;
+  mutable c_aborted : bool;
   mutable user_data : (string -> unit) option;
   mutable user_event : (Iface.app_ind -> unit) option;
 }
@@ -90,6 +91,9 @@ let handle_event host c (e : Iface.app_ind) =
   | `Closed -> c.c_closed <- true
   | `Reset ->
       c.c_reset <- true;
+      c.c_closed <- true
+  | `Aborted ->
+      c.c_aborted <- true;
       c.c_closed <- true);
   match c.user_event with Some cb -> cb e | None -> ()
 
@@ -107,7 +111,8 @@ let make_conn host ~local_port ~remote_port ~accepted =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
       auto_read = true; buf = Buffer.create 256; c_established = false;
       c_peer_closed = false;
-      c_closed = false; c_reset = false; user_data = None; user_event = None }
+      c_closed = false; c_reset = false; c_aborted = false;
+      user_data = None; user_event = None }
   in
   cref := Some c;
   Hashtbl.replace host.conns (local_port, remote_port) c;
@@ -165,6 +170,7 @@ let established c = c.c_established
 let peer_closed c = c.c_peer_closed
 let closed c = c.c_closed
 let was_reset c = c.c_reset
+let aborted c = c.c_aborted
 let finished c = c.ep.ep_finished ()
 let local_port c = c.c_local
 let remote_port c = c.c_remote
@@ -191,7 +197,7 @@ let guard_verify s =
     if guard_protect body = s then Some body else None
   end
 
-let pair engine ?(config = Config.default) ?(factory_a = sublayered)
+let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) channel_config =
   let to_a = ref (fun (_ : string) -> ()) in
   let to_b = ref (fun (_ : string) -> ()) in
@@ -216,4 +222,10 @@ let pair engine ?(config = Config.default) ?(factory_a = sublayered)
   let b = create engine ~config ~factory:factory_b ~name:"B" ~transmit:(tx ba) () in
   to_a := from_wire a;
   to_b := from_wire b;
+  (a, b, ab, ba)
+
+let pair engine ?config ?factory_a ?factory_b ?guard channel_config =
+  let a, b, _, _ =
+    pair_channels engine ?config ?factory_a ?factory_b ?guard channel_config
+  in
   (a, b)

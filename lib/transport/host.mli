@@ -84,6 +84,11 @@ val established : conn -> bool
 val peer_closed : conn -> bool
 val closed : conn -> bool
 val was_reset : conn -> bool
+
+val aborted : conn -> bool
+(** The stack gave up on the peer (retransmission exhausted — the
+    ETIMEDOUT analogue) and tore the connection down locally. *)
+
 val finished : conn -> bool
 val local_port : conn -> int
 val remote_port : conn -> int
@@ -106,3 +111,14 @@ val pair :
     false) wraps the wire with a CRC-32 error-detection shim — the
     data-link service transport normally relies on — so corrupting
     channels drop rather than silently deliver damaged segments. *)
+
+val pair_channels :
+  Sim.Engine.t ->
+  ?config:Config.t ->
+  ?factory_a:factory ->
+  ?factory_b:factory ->
+  ?guard:bool ->
+  Sim.Channel.config ->
+  t * t * string Sim.Channel.t * string Sim.Channel.t
+(** Like {!pair}, but also return the two directed channels (a→b then
+    b→a) so fault plans can impair them mid-run. *)

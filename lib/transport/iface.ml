@@ -1,7 +1,7 @@
 type app_req = [ `Connect | `Listen | `Write of string | `Read of int | `Close ]
 
 type app_ind =
-  [ `Established | `Data of string | `Peer_closed | `Closed | `Reset ]
+  [ `Established | `Data of string | `Peer_closed | `Closed | `Reset | `Aborted ]
 
 type rd_req =
   [ `Connect
@@ -18,9 +18,10 @@ type rd_ind =
   | `Loss of Cc.loss
   | `Peer_fin
   | `Closed
-  | `Reset ]
+  | `Reset
+  | `Aborted ]
 
-type cm_req = [ `Connect | `Listen | `Close | `Pdu of string ]
+type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of string ]
 
 type cm_ind =
   [ `Established of int * int

@@ -23,7 +23,10 @@ type app_ind =
   | `Data of string   (** in-order stream bytes *)
   | `Peer_closed      (** peer finished sending *)
   | `Closed           (** connection fully closed *)
-  | `Reset ]
+  | `Reset
+  | `Aborted
+    (** the stack gave up: retransmission exhausted with no sign of the
+        peer (ETIMEDOUT semantics) — local state is gone *) ]
 
 (** OSR ⇄ RD. [`Transmit (offset, len, osr_pdu)] releases a segment that
     is "ready" (rate control's decision); [`Set_block] keeps RD supplied
@@ -49,11 +52,13 @@ type rd_ind =
   | `Loss of Cc.loss
   | `Peer_fin
   | `Closed
-  | `Reset ]
+  | `Reset
+  | `Aborted  (** RD exhausted retransmission and dropped its state *) ]
 
 (** RD ⇄ CM. CM stamps every [`Pdu] with the connection's ISNs and flags,
-    and runs the SYN/FIN bootstrap machinery itself. *)
-type cm_req = [ `Connect | `Listen | `Close | `Pdu of string ]
+    and runs the SYN/FIN bootstrap machinery itself. [`Abort] tears the
+    connection down unilaterally (RST to the peer, no upward echo). *)
+type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of string ]
 
 type cm_ind =
   [ `Established of int * int  (** (isn_local, isn_remote) *)

@@ -32,7 +32,7 @@ let decode_header s =
 type up_req = [ `Connect | `Listen | `Send of string | `Close ]
 
 type up_ind =
-  [ `Established | `Msg of string | `Peer_closed | `Closed | `Reset ]
+  [ `Established | `Msg of string | `Peer_closed | `Closed | `Reset | `Aborted ]
 
 type down_req = Iface.rd_req
 type down_ind = Iface.rd_ind
@@ -226,7 +226,8 @@ let handle_down_ind t (ind : down_ind) =
       (t, [])
   | `Peer_fin, Some _ -> (t, [ Up `Peer_closed ])
   | `Closed, _ -> (t, [ Up `Closed ])
-  | `Reset, _ -> (t, [ Up `Reset ])
+  | `Reset, _ -> ({ t with conn = None }, [ Up `Reset ])
+  | `Aborted, _ -> ({ t with conn = None }, [ Up `Aborted ])
   | (`Segment _ | `Acked _ | `Loss _ | `Peer_fin), None ->
       (t, [ Note "indication before establishment" ])
 

@@ -23,7 +23,8 @@ type up_ind =
   | `Msg of string  (** a complete message; arrival order, not send order *)
   | `Peer_closed
   | `Closed
-  | `Reset ]
+  | `Reset
+  | `Aborted ]
 
 type t
 

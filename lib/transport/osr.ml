@@ -290,8 +290,14 @@ let handle_down_ind t (ind : down_ind) =
       (t, [])
   | `Peer_fin, Some c ->
       ({ t with conn = Some { c with peer_fin_seen = true } }, [ Up `Peer_closed ])
-  | `Closed, _ -> (t, [ Up `Closed ])
-  | `Reset, _ -> (t, [ Up `Reset ])
+  | `Closed, _ -> (t, [ Cancel_timer Persist; Up `Closed ])
+  | `Reset, _ ->
+      (* A reset connection will never reopen its window: without
+         clearing state here the persist timer would probe a corpse
+         forever and the engine could never quiesce. *)
+      ({ t with conn = None }, [ Cancel_timer Persist; Up `Reset ])
+  | `Aborted, _ ->
+      ({ t with conn = None }, [ Cancel_timer Persist; Up `Aborted ])
   | (`Segment _ | `Acked _ | `Loss _ | `Peer_fin), None ->
       (t, [ Note "indication before establishment dropped" ])
 

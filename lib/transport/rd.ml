@@ -32,6 +32,8 @@ type conn = {
   srtt : float option;
   rttvar : float;
   rto : float;
+  backoffs : int;        (* consecutive RTO firings without cumulative progress *)
+  last_progress : float; (* when the cumulative ack last advanced (or data was queued) *)
   block : string;    (* OSR's current header block, opaque *)
   (* receiver *)
   rcv : Ranges.t;
@@ -121,7 +123,17 @@ let update_rtt c sample cfg =
   in
   { c with srtt = Some srtt; rttvar; rto }
 
-let arm_rto c = Set_timer (Rto, c.rto)
+(* ETIMEDOUT semantics: no cumulative progress for [give_up_after]
+   seconds, or [max_retries] consecutive backoffs, aborts the
+   connection. The RTO delay is clamped to the deadline so the abort
+   lands within [give_up_after] rather than one backed-off RTO late. *)
+let deadline t c = c.last_progress +. t.cfg.Config.give_up_after
+
+let arm_rto t c =
+  Set_timer (Rto, Float.min c.rto (Float.max 0.001 (deadline t c -. t.now ())))
+
+let give_up t c =
+  c.backoffs >= t.cfg.Config.max_retries || t.now () >= deadline t c
 
 let with_conn t f =
   match t.conn with
@@ -150,13 +162,19 @@ let handle_up_req t (req : up_req) =
               s_retx = false; s_sacked = false }
           in
           let act = send_data t c sent in
+          let was_idle = c.sndq = [] in
           let c =
             { c with sndq = c.sndq @ [ sent ];
               snd_max = max c.snd_max (offset + len);
+              (* an idle sender's give-up clock starts when data is
+                 queued, not at establishment — else the first write
+                 after a long quiet period aborts spuriously *)
+              last_progress = (if was_idle then t.now () else c.last_progress);
+              backoffs = (if was_idle then 0 else c.backoffs);
               (* the data segment piggybacks our cumulative ack *)
               ack_pending = false }
           in
-          let acts = if List.length c.sndq = 1 then [ act; arm_rto c ] else [ act ] in
+          let acts = if was_idle then [ act; arm_rto t c ] else [ act ] in
           let acts = if t.cfg.Config.delayed_ack then Cancel_timer Ack_delay :: acts else acts in
           ({ t with conn = Some c }, acts))
 
@@ -246,8 +264,11 @@ let handle_ack t c (rd : Segment.rd) osr_pdu =
           in
           { c with rto = Float.min t.cfg.Config.rto_max (Float.max t.cfg.Config.rto_min base) }
     in
-    let c = { c with sndq = remaining; snd_acked = acked_off; dup_acks = 0 } in
-    let timer_act = if remaining = [] then Cancel_timer Rto else arm_rto c in
+    let c =
+      { c with sndq = remaining; snd_acked = acked_off; dup_acks = 0;
+        backoffs = 0; last_progress = t.now () }
+    in
+    let timer_act = if remaining = [] then Cancel_timer Rto else arm_rto t c in
     (* The timer action must precede the [`Acked] indication: delivering
        it makes OSR release new segments synchronously, and those arm the
        RTO — a stale Cancel_timer sequenced afterwards would silently
@@ -277,7 +298,7 @@ let handle_ack t c (rd : Segment.rd) osr_pdu =
           ( c,
             Note (Printf.sprintf "fast retransmit offset=%d" victim.s_off)
             :: (send_data t c resend :: loss_acts)
-            @ [ arm_rto c ] )
+            @ [ arm_rto t c ] )
     end
     else (c, [])
   end
@@ -296,6 +317,7 @@ let handle_down_ind t (ind : down_ind) =
             { isn_local; isn_remote; sndq = []; snd_acked = 0; snd_max = 0;
               dup_acks = 0; recover = 0; srtt = None; rttvar = 0.;
               rto = t.cfg.Config.rto_init;
+              backoffs = 0; last_progress = t.now ();
               block = Segment.encode_osr Segment.default_osr ~payload:"";
               rcv = Ranges.empty; ack_pending = false }
           in
@@ -307,8 +329,14 @@ let handle_down_ind t (ind : down_ind) =
           ({ t with conn = Some { c with isn_local; isn_remote } }, [])
       | Some _ -> (t, [ Note "late establishment ignored" ]))
   | `Peer_fin -> (t, [ Up `Peer_fin ])
-  | `Closed -> (t, [ Up `Closed ])
-  | `Reset -> (t, [ Up `Reset ])
+  | `Closed ->
+      (* CM is done with this connection: stop our timers so the engine
+         can quiesce, but keep the record for stats/srtt readers. *)
+      (t, [ Cancel_timer Rto; Cancel_timer Ack_delay; Up `Closed ])
+  | `Reset ->
+      (* The peer refused or tore down the connection; retransmitting
+         into it would livelock, so drop all state and timers. *)
+      ({ t with conn = None }, [ Cancel_timer Rto; Cancel_timer Ack_delay; Up `Reset ])
   | `Pdu pdu ->
       with_conn t (fun c ->
           match Segment.decode_rd pdu with
@@ -331,6 +359,17 @@ let handle_timer t tm =
           else (t, []))
   | Rto ->
   with_conn t (fun c ->
+      if c.sndq <> [] && give_up t c then
+        (* Retransmission exhausted: the path is (as far as RD can tell)
+           a blackhole. Abort upward with ETIMEDOUT semantics and tell
+           CM to tear the connection down — all within this sublayer's
+           own vocabulary; no layer violation needed (T3). *)
+        ( { t with conn = None },
+          [ Note
+              (Printf.sprintf "giving up after %d backoffs, %.1fs stalled"
+                 c.backoffs (t.now () -. c.last_progress));
+            Cancel_timer Ack_delay; Up `Aborted; Down `Abort ] )
+      else
       match List.find_opt (fun s -> not s.s_sacked) c.sndq with
       | None -> (
           match c.sndq with
@@ -344,8 +383,11 @@ let handle_timer t tm =
               let sndq =
                 List.map (fun s -> if s.s_off = resend.s_off then resend else s) c.sndq
               in
-              let c = { c with sndq; rto = Float.min (2. *. c.rto) t.cfg.Config.rto_max } in
-              ({ t with conn = Some c }, [ send_data t c resend; Up (`Loss Cc.Timeout); arm_rto c ]))
+              let c =
+                { c with sndq; backoffs = c.backoffs + 1;
+                  rto = Float.min (2. *. c.rto) t.cfg.Config.rto_max }
+              in
+              ({ t with conn = Some c }, [ send_data t c resend; Up (`Loss Cc.Timeout); arm_rto t c ]))
       | Some victim ->
           t.stats.retransmits <- t.stats.retransmits + 1;
           t.stats.timeouts <- t.stats.timeouts + 1;
@@ -353,7 +395,10 @@ let handle_timer t tm =
           let sndq =
             List.map (fun s -> if s.s_off = victim.s_off then resend else s) c.sndq
           in
-          let c = { c with sndq; rto = Float.min (2. *. c.rto) t.cfg.Config.rto_max } in
+          let c =
+            { c with sndq; backoffs = c.backoffs + 1;
+              rto = Float.min (2. *. c.rto) t.cfg.Config.rto_max }
+          in
           ( { t with conn = Some c },
             [ Note (Printf.sprintf "rto retransmit offset=%d rto=%.2f" victim.s_off c.rto);
-              send_data t c resend; Up (`Loss Cc.Timeout); arm_rto c ] ))
+              send_data t c resend; Up (`Loss Cc.Timeout); arm_rto t c ] ))

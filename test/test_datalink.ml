@@ -181,7 +181,7 @@ let test_arq_efficiency_ordering () =
   (* Under loss, selective repeat retransmits no more than go-back-N. *)
   let channel = Sim.Channel.lossy 0.1 in
   let stats_for arq =
-    let spec = { Stack.default_spec with arq; arq_config = { Arq.window = 8; rto = 0.1 } } in
+    let spec = { Stack.default_spec with arq; arq_config = { Arq.window = 8; rto = 0.1; max_retries = 30 } } in
     let got, link = transfer_with spec channel payloads 7 in
     check Alcotest.bool "delivered" true (got = payloads);
     (Stack.arq_stats link.Stack.a).Arq.data_sent

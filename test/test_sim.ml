@@ -172,6 +172,73 @@ let test_channel_set_config_kills_link () =
   Sim.Engine.run e;
   check Alcotest.int "only first" 1 !got
 
+let test_channel_set_config_midflight () =
+  (* Pinned semantics: impairment decisions are made at [send] time, so a
+     reconfiguration affects only subsequent sends — messages already in
+     flight keep the delay and fate they were given. *)
+  let e = Sim.Engine.create () in
+  let arrivals = ref [] in
+  let ch =
+    Sim.Channel.create e
+      { Sim.Channel.ideal with delay = 0.5 }
+      ~size:String.length
+      ~deliver:(fun m -> arrivals := (m, Sim.Engine.now e) :: !arrivals)
+      ()
+  in
+  Sim.Channel.send ch "old-config";
+  (* While "old-config" is still in flight, make the link slow and dead
+     for new traffic. *)
+  Sim.Channel.set_config ch { (Sim.Channel.config ch) with delay = 2.0; loss = 1.0 };
+  Sim.Channel.send ch "dropped";
+  Sim.Channel.set_config ch { (Sim.Channel.config ch) with loss = 0.0 };
+  Sim.Channel.send ch "new-config";
+  Sim.Engine.run e;
+  let arrivals = List.rev !arrivals in
+  check Alcotest.(list string) "old keeps old fate, new sees new config"
+    [ "old-config"; "new-config" ]
+    (List.map fst arrivals);
+  check (Alcotest.float 1e-6) "old delay honoured" 0.5 (List.assoc "old-config" arrivals);
+  check (Alcotest.float 1e-6) "new delay honoured" 2.0 (List.assoc "new-config" arrivals)
+
+let drop_run_lengths cfg n =
+  (* Which of [n] sequenced messages never arrived, grouped into
+     consecutive runs (the channel preserves order at fixed delay). *)
+  let got, _ = collect_channel cfg n in
+  let arrived = Array.make n false in
+  List.iter
+    (fun m -> Scanf.sscanf m "msg%d" (fun i -> arrived.(i - 1) <- true))
+    got;
+  let runs = ref [] and cur = ref 0 in
+  Array.iter
+    (fun ok ->
+      if ok then begin
+        if !cur > 0 then runs := !cur :: !runs;
+        cur := 0
+      end
+      else incr cur)
+    arrived;
+  if !cur > 0 then runs := !cur :: !runs;
+  !runs
+
+let test_channel_burst_loss () =
+  let n = 4000 in
+  let target = 0.25 in
+  let burst = drop_run_lengths (Sim.Channel.burst_lossy ~loss:target ~burst_len:6.) n in
+  let iid = drop_run_lengths (Sim.Channel.lossy target) n in
+  let total = List.fold_left ( + ) 0 in
+  let mean_run r = Float.of_int (total r) /. Float.of_int (List.length r) in
+  (* Equal average rate… *)
+  let rate r = Float.of_int (total r) /. Float.of_int n in
+  if Float.abs (rate burst -. target) > 0.06 then
+    Alcotest.failf "burst loss rate %.3f, want ~%.2f" (rate burst) target;
+  if Float.abs (rate iid -. target) > 0.06 then
+    Alcotest.failf "iid loss rate %.3f, want ~%.2f" (rate iid) target;
+  (* …but very different clustering: mean drop-run length near burst_len
+     for Gilbert–Elliott, near 1/(1-p) ≈ 1.33 for i.i.d. *)
+  if mean_run burst < 2. *. mean_run iid then
+    Alcotest.failf "burst runs %.2f not longer than iid runs %.2f" (mean_run burst)
+      (mean_run iid)
+
 (* --- Trace --- *)
 
 let test_trace () =
@@ -211,6 +278,9 @@ let () =
           Alcotest.test_case "reordering" `Quick test_channel_reorder;
           Alcotest.test_case "bandwidth" `Quick test_channel_bandwidth_serialisation;
           Alcotest.test_case "mid-run reconfig" `Quick test_channel_set_config_kills_link;
+          Alcotest.test_case "mid-flight reconfig semantics" `Quick
+            test_channel_set_config_midflight;
+          Alcotest.test_case "gilbert-elliott burst loss" `Quick test_channel_burst_loss;
         ] );
       ("trace", [ Alcotest.test_case "record/count" `Quick test_trace ]);
     ]
