@@ -1,4 +1,4 @@
-(* The full experiment harness: one section per experiment E1..E18 of
+(* The full experiment harness: one section per experiment E1..E19 of
    DESIGN.md / EXPERIMENTS.md, regenerating every figure and quantitative
    claim of the paper, plus a Bechamel microbenchmark suite for the
    performance-shape experiments (E6/E12). Run with:
@@ -770,6 +770,87 @@ let e18 () =
     "equal average loss, very different goodput: concentrated bursts are cheap for SACK at low rates but ~10x worse at 10%%; a blackholed sender aborts on deadline and the engine quiesces"
 
 (* ------------------------------------------------------------------ *)
+(* E19 — per-sublayer observability: every machine in the three
+   transport stacks owns named counters; running the E18 fault
+   schedules and diffing against an ideal-channel baseline shows
+   exactly which sublayer absorbed the faults. A JSON report of every
+   snapshot is written for offline comparison (and the CI artifact). *)
+
+let e19 () =
+  section "E19" "per-sublayer stats: counter deltas under E18 fault schedules";
+  let open Transport in
+  let run ~factory ~seed ~bytes channel =
+    let stats_a = Sublayer.Stats.create ~label:"A" () in
+    let stats_b = Sublayer.Stats.create ~label:"B" () in
+    let engine = Sim.Engine.create ~seed () in
+    let a, b =
+      Host.pair engine ~factory_a:factory ~factory_b:factory ~stats_a ~stats_b channel
+    in
+    Host.listen b ~port:80;
+    let server = ref None in
+    Host.on_accept b (fun c -> server := Some c);
+    let c = Host.connect a ~remote_port:80 () in
+    let data = random_data seed bytes in
+    Host.write c data;
+    Host.close c;
+    let rec drive () =
+      if Sim.Engine.now engine < 600. && not (Host.finished c) then begin
+        Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+        drive ()
+      end
+    in
+    drive ();
+    Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+    let ok = match !server with Some srv -> Host.received srv = data | None -> false in
+    (ok, Sublayer.Stats.snapshot stats_a, Sublayer.Stats.snapshot stats_b)
+  in
+  let schedules =
+    [ ("iid loss=0.05", { (Sim.Channel.lossy 0.05) with delay = 0.02 });
+      ( "burst loss=0.05 len=6",
+        { (Sim.Channel.burst_lossy ~loss:0.05 ~burst_len:6.) with delay = 0.02 } ) ]
+  in
+  let stacks =
+    [ ("sublayered", Host.sublayered);
+      ("watson", Tcp_watson.factory ());
+      ("secure", Tcp_secure.factory ~key:Tcp_secure.demo_key) ]
+  in
+  let json = Buffer.create 4096 in
+  Buffer.add_string json "{";
+  let first_json = ref true in
+  let add_json key snap =
+    if not !first_json then Buffer.add_char json ',';
+    first_json := false;
+    Buffer.add_string json
+      (Printf.sprintf "%S:%s" key (Sublayer.Stats.snapshot_to_json snap))
+  in
+  List.iter
+    (fun (sname, factory) ->
+      Printf.printf "\n  -- stack: %s --\n" sname;
+      let ok0, base, _ =
+        run ~factory ~seed:91 ~bytes:120_000 { Sim.Channel.ideal with delay = 0.02 }
+      in
+      add_json (sname ^ "/baseline") base;
+      Printf.printf "  baseline (ideal channel, 120KB, exact=%b), sender counters:\n" ok0;
+      List.iter (fun (k, v) -> Printf.printf "    %-28s %10d\n" k v) base;
+      List.iter
+        (fun (cname, ch) ->
+          let ok, snap, _ = run ~factory ~seed:91 ~bytes:120_000 ch in
+          let d = Sublayer.Stats.delta ~before:base ~after:snap in
+          add_json (Printf.sprintf "%s/%s" sname cname) d;
+          Printf.printf "  delta vs baseline under %s (exact=%b):\n" cname ok;
+          List.iter (fun (k, v) -> Printf.printf "    %-28s %+10d\n" k v) d)
+        schedules)
+    stacks;
+  Buffer.add_char json '}';
+  let oc = open_out "e19_stats.json" in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to e19_stats.json\n";
+  headline
+    "faults localise in the counters: loss shows up as rd.retransmits/cc.losses, never in dm or rec — the per-sublayer view a monolith cannot give"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
 let microbenches () =
@@ -851,7 +932,7 @@ let () =
     [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
-      ("MICRO", microbenches) ]
+      ("E19", e19); ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
   Printf.printf "\nAll selected experiments complete.\n"

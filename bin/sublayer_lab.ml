@@ -166,6 +166,58 @@ let mcheck_cmd =
   Cmd.v (Cmd.info "mcheck" ~doc:"Model-check the protocol models (paper §4.2).")
     Term.(const run $ const ())
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let run loss bytes stack seed json =
+    let factory =
+      match stack with
+      | "watson" -> Transport.Tcp_watson.factory ()
+      | "secure" -> Transport.Tcp_secure.factory ~key:Transport.Tcp_secure.demo_key
+      | _ -> Transport.Host.sublayered
+    in
+    let stats_a = Sublayer.Stats.create ~label:"client" () in
+    let stats_b = Sublayer.Stats.create ~label:"server" () in
+    let engine = Sim.Engine.create ~seed () in
+    let a, b =
+      Transport.Host.pair engine ~factory_a:factory ~factory_b:factory ~stats_a
+        ~stats_b (Sim.Channel.lossy loss)
+    in
+    Transport.Host.listen b ~port:80;
+    let c = Transport.Host.connect a ~remote_port:80 () in
+    Transport.Host.write c (random_data seed bytes);
+    Transport.Host.close c;
+    let rec drive () =
+      if Sim.Engine.now engine < 600. && not (Transport.Host.finished c) then begin
+        Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+        drive ()
+      end
+    in
+    drive ();
+    Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+    if json then
+      Printf.printf "[%s,\n %s]\n"
+        (Sublayer.Stats.to_json stats_a)
+        (Sublayer.Stats.to_json stats_b)
+    else begin
+      Printf.printf "per-sublayer counters after %d bytes over %.0f%% loss (%s):\n\n"
+        bytes (100. *. loss) stack;
+      Format.printf "%a@.%a" Sublayer.Stats.pp stats_a Sublayer.Stats.pp stats_b
+    end
+  in
+  let loss = Arg.(value & opt float 0.05 & info [ "loss" ] ~doc:"Segment loss probability.") in
+  let bytes = Arg.(value & opt int 100_000 & info [ "bytes" ] ~doc:"Stream size.") in
+  let stack =
+    Arg.(value & opt string "sublayered"
+         & info [ "stack" ] ~doc:"sublayered | watson | secure.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of text.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a lossy transfer and report every sublayer's counters.")
+    Term.(const run $ loss $ bytes $ stack $ seed $ json)
+
 (* --- trace --- *)
 
 let trace_cmd =
@@ -213,4 +265,5 @@ let trace_cmd =
 let () =
   let doc = "sublayered-protocols laboratory (HotNets '24 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "sublayer-lab" ~doc)
-                    [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd; trace_cmd ]))
+                    [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd;
+                      stats_cmd; trace_cmd ]))

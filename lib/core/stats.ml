@@ -1,0 +1,175 @@
+let enabled_flag = ref true
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : int }
+
+(* 63 buckets cover every non-negative OCaml int: bucket [b] holds values
+   [v] with [2^b <= v < 2^(b+1)] (bucket 0 also takes 0). *)
+let n_buckets = 63
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  buckets : int array;
+}
+
+type scope = {
+  s_name : string;
+  mutable counters : counter list; (* newest first *)
+  mutable gauges : gauge list;
+  mutable hists : histogram list;
+}
+
+type registry = { r_label : string; mutable r_scopes : scope list }
+
+let create ?(label = "stats") () = { r_label = label; r_scopes = [] }
+let label r = r.r_label
+
+let scope r name =
+  match List.find_opt (fun s -> s.s_name = name) r.r_scopes with
+  | Some s -> s
+  | None ->
+      let s = { s_name = name; counters = []; gauges = []; hists = [] } in
+      r.r_scopes <- s :: r.r_scopes;
+      s
+
+let unregistered name = { s_name = name; counters = []; gauges = []; hists = [] }
+
+let scope_name s = s.s_name
+
+let scopes r =
+  List.sort (fun a b -> compare a.s_name b.s_name) r.r_scopes
+
+let counter s name =
+  match List.find_opt (fun c -> c.c_name = name) s.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = 0 } in
+      s.counters <- c :: s.counters;
+      c
+
+let incr c = if !enabled_flag then c.c <- c.c + 1
+let add c n = if !enabled_flag then c.c <- c.c + n
+let value c = c.c
+
+let gauge s name =
+  match List.find_opt (fun g -> g.g_name = name) s.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g = 0 } in
+      s.gauges <- g :: s.gauges;
+      g
+
+let set g v = if !enabled_flag then g.g <- v
+let gauge_value g = g.g
+
+let histogram s name =
+  match List.find_opt (fun h -> h.h_name = name) s.hists with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0; buckets = Array.make n_buckets 0 }
+      in
+      s.hists <- h :: s.hists;
+      h
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    (* floor log2, by shifting: allocation-free. *)
+    let b = ref 0 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      b := !b + 1
+    done;
+    if !b >= n_buckets then n_buckets - 1 else !b
+  end
+
+let observe h v =
+  if !enabled_flag then begin
+    let v = if v < 0 then 0 else v in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let hist_buckets h =
+  let out = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    if h.buckets.(b) > 0 then out := (1 lsl b, h.buckets.(b)) :: !out
+  done;
+  !out
+
+type snapshot = (string * int) list
+
+let snapshot r =
+  let entries = ref [] in
+  List.iter
+    (fun s ->
+      let pre = s.s_name ^ "." in
+      List.iter (fun c -> entries := (pre ^ c.c_name, c.c) :: !entries) s.counters;
+      List.iter (fun g -> entries := (pre ^ g.g_name, g.g) :: !entries) s.gauges;
+      List.iter
+        (fun h ->
+          entries :=
+            (pre ^ h.h_name ^ ".sum", h.h_sum)
+            :: (pre ^ h.h_name ^ ".count", h.h_count)
+            :: !entries)
+        s.hists)
+    r.r_scopes;
+  List.sort (fun (a, _) (b, _) -> compare a b) !entries
+
+let delta ~before ~after =
+  let base = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace base k v) before;
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - (try Hashtbl.find base k with Not_found -> 0) in
+      if d = 0 then None else Some (k, d))
+    after
+
+let pp_snapshot fmt snap =
+  let width =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 0 snap
+  in
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %-*s %10d@\n" width k v) snap
+
+let pp fmt r =
+  Format.fprintf fmt "%s:@\n" r.r_label;
+  pp_snapshot fmt (snapshot r)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let snapshot_to_json snap =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (json_escape k) v))
+    snap;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let to_json r =
+  Printf.sprintf "{\"label\":\"%s\",\"stats\":%s}" (json_escape r.r_label)
+    (snapshot_to_json (snapshot r))

@@ -41,6 +41,37 @@ type stats = {
 let fresh_stats () =
   { data_sent = 0; retransmissions = 0; acks_sent = 0; delivered = 0 }
 
+(* Counter bundle shared by the three ARQ variants.  The hot path bumps
+   these [Stats] cells; [snapshot] rebuilds the legacy [stats] record for
+   callers that read fields directly. *)
+type counters = {
+  c_data_sent : Sublayer.Stats.counter;
+  c_retransmissions : Sublayer.Stats.counter;
+  c_acks_sent : Sublayer.Stats.counter;
+  c_delivered : Sublayer.Stats.counter;
+  c_give_ups : Sublayer.Stats.counter;
+}
+
+let counters_in sc =
+  {
+    c_data_sent = Sublayer.Stats.counter sc "data_sent";
+    c_retransmissions = Sublayer.Stats.counter sc "retransmissions";
+    c_acks_sent = Sublayer.Stats.counter sc "acks_sent";
+    c_delivered = Sublayer.Stats.counter sc "delivered";
+    c_give_ups = Sublayer.Stats.counter sc "give_ups";
+  }
+
+let fresh_counters () = counters_in (Sublayer.Stats.unregistered "arq")
+
+let snapshot c =
+  let open Sublayer.Stats in
+  {
+    data_sent = value c.c_data_sent;
+    retransmissions = value c.c_retransmissions;
+    acks_sent = value c.c_acks_sent;
+    delivered = value c.c_delivered;
+  }
+
 module type S = sig
   include
     Sublayer.Machine.S
@@ -49,8 +80,11 @@ module type S = sig
        and type down_req = string
        and type down_ind = string
 
-  val initial : config -> t
+  val initial : ?stats:Sublayer.Stats.scope -> config -> t
+
   val stats : t -> stats
+  (** Snapshot of the machine's counters (fresh record per call). *)
+
   val idle : t -> bool
   val gave_up : t -> bool
 end

@@ -29,7 +29,10 @@ type pdu =
 val encode_pdu : pdu -> string
 val decode_pdu : string -> pdu option
 
-(** Statistics every implementation maintains, for efficiency benches. *)
+(** Statistics every implementation maintains, for efficiency benches.
+    Since the observability PR this is a read-only snapshot of the
+    machine's {!counters}; the mutable fields remain only for
+    compatibility with existing readers. *)
 type stats = {
   mutable data_sent : int;        (** data PDUs sent, incl. retransmissions *)
   mutable retransmissions : int;
@@ -39,6 +42,24 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+(** The counter bundle every ARQ variant owns and bumps on its hot path
+    (fields exposed so the sibling implementations can reach them). *)
+type counters = {
+  c_data_sent : Sublayer.Stats.counter;
+  c_retransmissions : Sublayer.Stats.counter;
+  c_acks_sent : Sublayer.Stats.counter;
+  c_delivered : Sublayer.Stats.counter;
+  c_give_ups : Sublayer.Stats.counter;
+}
+
+val counters_in : Sublayer.Stats.scope -> counters
+(** Find-or-create the five counters in [scope]. *)
+
+val fresh_counters : unit -> counters
+(** Counters in a private unregistered scope. *)
+
+val snapshot : counters -> stats
+
 module type S = sig
   include
     Sublayer.Machine.S
@@ -47,7 +68,11 @@ module type S = sig
        and type down_req = string
        and type down_ind = string
 
-  val initial : config -> t
+  val initial : ?stats:Sublayer.Stats.scope -> config -> t
+  (** [initial ?stats cfg]: when [stats] is given, the machine registers
+      its counters there (names [data_sent], [retransmissions],
+      [acks_sent], [delivered], [give_ups]). *)
+
   val stats : t -> stats
   val idle : t -> bool
   (** No unacknowledged or queued data (transfer complete). *)

@@ -8,7 +8,7 @@ let name = "arq-gbn"
 
 type t = {
   cfg : Arq.config;
-  stats : Arq.stats;
+  ctrs : Arq.counters;
   base : int;
   next : int;
   buf : (int * string) list;  (** unacked, ascending seq, = [base..next) *)
@@ -24,18 +24,23 @@ type down_req = string
 type down_ind = string
 type timer = Rto
 
-let initial cfg =
-  { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
+let initial ?stats cfg =
+  let ctrs =
+    match stats with
+    | Some scope -> Arq.counters_in scope
+    | None -> Arq.fresh_counters ()
+  in
+  { cfg; ctrs; base = 0; next = 0; buf = []; queue = [];
     rx_expected = 0; retries = 0; dead = false }
 
-let stats t = t.stats
+let stats t = Arq.snapshot t.ctrs
 let idle t = t.buf = [] && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
 let transmit t seq payload =
-  t.stats.data_sent <- t.stats.data_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
 
 (* Admit queued payloads while the window has room. The timer is (re)armed
@@ -78,12 +83,12 @@ let handle_data t seq16 payload =
   let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
   let t, deliveries =
     if seq = t.rx_expected then begin
-      t.stats.delivered <- t.stats.delivered + 1;
+      Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
       ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload ])
     end
     else (t, [ Note "out-of-order data discarded" ])
   in
-  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_acks_sent;
   (t, deliveries @ [ Down (Arq.encode_pdu (Arq.Ack (wire t.rx_expected))) ])
 
 let handle_down_ind t pdu_bytes =
@@ -94,16 +99,18 @@ let handle_down_ind t pdu_bytes =
 
 let handle_timer t Rto =
   if t.buf = [] then (t, [])
-  else if t.retries >= t.cfg.max_retries then
+  else if t.retries >= t.cfg.max_retries then begin
+    Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
     ( { t with buf = []; queue = []; dead = true },
       [ Note "give up: max_retries exhausted" ] )
+  end
   else begin
     let t = { t with retries = t.retries + 1 } in
     let resends =
-      List.map
+      List.concat_map
         (fun (seq, payload) ->
-          t.stats.retransmissions <- t.stats.retransmissions + 1;
-          transmit t seq payload)
+          Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
+          [ Note "retransmit"; transmit t seq payload ])
         t.buf
     in
     (t, resends @ [ Set_timer (Rto, t.cfg.rto) ])

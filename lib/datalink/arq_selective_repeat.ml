@@ -7,7 +7,7 @@ let name = "arq-sr"
 
 type t = {
   cfg : Arq.config;
-  stats : Arq.stats;
+  ctrs : Arq.counters;
   base : int;
   next : int;
   buf : (int * string * bool) list;  (** (seq, payload, acked), ascending *)
@@ -24,18 +24,23 @@ type down_req = string
 type down_ind = string
 type timer = Rto of int
 
-let initial cfg =
-  { cfg; stats = Arq.fresh_stats (); base = 0; next = 0; buf = []; queue = [];
+let initial ?stats cfg =
+  let ctrs =
+    match stats with
+    | Some scope -> Arq.counters_in scope
+    | None -> Arq.fresh_counters ()
+  in
+  { cfg; ctrs; base = 0; next = 0; buf = []; queue = [];
     rx_expected = 0; rx_buf = []; retries = 0; dead = false }
 
-let stats t = t.stats
+let stats t = Arq.snapshot t.ctrs
 let idle t = t.buf = [] && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
 let transmit t seq payload =
-  t.stats.data_sent <- t.stats.data_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
 
 let rec admit t acts =
@@ -72,7 +77,7 @@ let handle_ack t seq16 =
 
 let handle_data t seq16 payload =
   let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
-  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_acks_sent;
   let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
   if seq < t.rx_expected then (t, [ Note "duplicate data"; ack ])
   else begin
@@ -88,7 +93,7 @@ let handle_data t seq16 payload =
       | _ -> (expected, rx_buf, List.rev delivered)
     in
     let rx_expected, rx_buf, deliveries = drain t.rx_expected rx_buf [] in
-    t.stats.delivered <- t.stats.delivered + List.length deliveries;
+    Sublayer.Stats.add t.ctrs.Arq.c_delivered (List.length deliveries);
     ({ t with rx_expected; rx_buf }, deliveries @ [ ack ])
   end
 
@@ -109,9 +114,10 @@ let handle_timer t (Rto seq) =
           (fun (s, _, acked) -> if acked || s = seq then None else Some (Cancel_timer (Rto s)))
           t.buf
       in
+      Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
       ( { t with buf = []; queue = []; dead = true },
         Note "give up: max_retries exhausted" :: cancels )
   | Some (_, payload, _) ->
-      t.stats.retransmissions <- t.stats.retransmissions + 1;
+      Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
       ( { t with retries = t.retries + 1 },
-        [ transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ] )
+        [ Note "retransmit"; transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ] )

@@ -7,7 +7,7 @@ let name = "arq-sw"
 
 type t = {
   cfg : Arq.config;
-  stats : Arq.stats;
+  ctrs : Arq.counters;
   next : int;
   outstanding : (int * string) option;
   queue : string list;
@@ -22,18 +22,23 @@ type down_req = string
 type down_ind = string
 type timer = Rto
 
-let initial cfg =
-  { cfg; stats = Arq.fresh_stats (); next = 0; outstanding = None; queue = [];
+let initial ?stats cfg =
+  let ctrs =
+    match stats with
+    | Some scope -> Arq.counters_in scope
+    | None -> Arq.fresh_counters ()
+  in
+  { cfg; ctrs; next = 0; outstanding = None; queue = [];
     rx_expected = 0; retries = 0; dead = false }
 
-let stats t = t.stats
+let stats t = Arq.snapshot t.ctrs
 let idle t = t.outstanding = None && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 
 let transmit t seq payload =
-  t.stats.data_sent <- t.stats.data_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
 
 let start_send t payload =
@@ -62,10 +67,10 @@ let handle_ack t seq16 =
 
 let handle_data t seq16 payload =
   let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
-  t.stats.acks_sent <- t.stats.acks_sent + 1;
+  Sublayer.Stats.incr t.ctrs.Arq.c_acks_sent;
   let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
   if seq = t.rx_expected then begin
-    t.stats.delivered <- t.stats.delivered + 1;
+    Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
     ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload; ack ])
   end
   else (t, [ Note "duplicate data"; ack ])
@@ -80,9 +85,10 @@ let handle_timer t Rto =
   match t.outstanding with
   | None -> (t, [])
   | Some _ when t.retries >= t.cfg.max_retries ->
+      Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
       ( { t with outstanding = None; queue = []; dead = true },
         [ Note "give up: max_retries exhausted" ] )
   | Some (seq, payload) ->
-      t.stats.retransmissions <- t.stats.retransmissions + 1;
+      Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
       ( { t with retries = t.retries + 1 },
-        [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )
+        [ Note "retransmit"; transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )

@@ -5,17 +5,24 @@ type t = {
   flag : Bitseq.t;
   mutable buf : Bitseq.t;
   mutable synced : bool;  (* an opening flag has been consumed *)
-  mutable frames : int;
-  mutable noise : int;
+  frames : Sublayer.Stats.counter;
+  noise : Sublayer.Stats.counter;
 }
 
-let create ?(scheme = Stuffing.Rule.hdlc) () =
+let create ?(scheme = Stuffing.Rule.hdlc) ?stats () =
+  let sc =
+    match stats with
+    | Some sc -> sc
+    | None -> Sublayer.Stats.unregistered "deframer"
+  in
   { scheme; flag = Bitseq.of_bool_list scheme.Stuffing.Rule.flag; buf = Bitseq.empty;
-    synced = false; frames = 0; noise = 0 }
+    synced = false;
+    frames = Sublayer.Stats.counter sc "frames_seen";
+    noise = Sublayer.Stats.counter sc "noise_discarded" }
 
 let buffered_bits t = Bitseq.length t.buf
-let frames_seen t = t.frames
-let noise_discarded t = t.noise
+let frames_seen t = Sublayer.Stats.value t.frames
+let noise_discarded t = Sublayer.Stats.value t.noise
 
 let reset t =
   t.buf <- Bitseq.empty;
@@ -59,9 +66,9 @@ let push t chunk =
           t.buf <- Bitseq.sub t.buf start (Bitseq.length t.buf - start);
           (match decode_body t body with
           | Some payload ->
-              t.frames <- t.frames + 1;
+              Sublayer.Stats.incr t.frames;
               out := payload :: !out
-          | None -> if Bitseq.length body > 0 then t.noise <- t.noise + 1);
+          | None -> if Bitseq.length body > 0 then Sublayer.Stats.incr t.noise);
           progress := true
       | None -> ()
     end

@@ -10,8 +10,9 @@
 
 type t
 
-val create : ?scheme:Stuffing.Rule.scheme -> unit -> t
-(** Default scheme: classic HDLC. *)
+val create : ?scheme:Stuffing.Rule.scheme -> ?stats:Sublayer.Stats.scope -> unit -> t
+(** Default scheme: classic HDLC.  When [stats] is given, the counters
+    [frames_seen] and [noise_discarded] register there. *)
 
 val push : t -> Bitkit.Bitseq.t -> string list
 (** Feed bits; returns the payloads of all frames completed by this

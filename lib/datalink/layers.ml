@@ -1,21 +1,50 @@
 open Sublayer.Machine
 
+(* Each layer machine wraps its codec with an owned pair of counters —
+   the T3 separation applied to observability: the framer's drop count
+   lives in the framer, invisible to its neighbours. *)
+
 module Error_detection = struct
   let name = "error-detection"
 
-  type t = Detector.t
+  type t = {
+    det : Detector.t;
+    protected : Sublayer.Stats.counter;
+    verified : Sublayer.Stats.counter;
+    corrupt : Sublayer.Stats.counter;
+  }
+
   type up_req = string
   type up_ind = string
   type down_req = string
   type down_ind = string
   type timer = Nothing.t
 
-  let handle_up_req det pdu = (det, [ Down (det.Detector.protect pdu) ])
+  let make ?stats det =
+    let scope =
+      match stats with
+      | Some s -> s
+      | None -> Sublayer.Stats.unregistered "detector"
+    in
+    {
+      det;
+      protected = Sublayer.Stats.counter scope "frames_protected";
+      verified = Sublayer.Stats.counter scope "frames_verified";
+      corrupt = Sublayer.Stats.counter scope "frames_corrupt";
+    }
 
-  let handle_down_ind det pdu =
-    match det.Detector.verify pdu with
-    | Some payload -> (det, [ Up payload ])
-    | None -> (det, [ Note "corrupt frame dropped" ])
+  let handle_up_req t pdu =
+    Sublayer.Stats.incr t.protected;
+    (t, [ Down (t.det.Detector.protect pdu) ])
+
+  let handle_down_ind t pdu =
+    match t.det.Detector.verify pdu with
+    | Some payload ->
+        Sublayer.Stats.incr t.verified;
+        (t, [ Up payload ])
+    | None ->
+        Sublayer.Stats.incr t.corrupt;
+        (t, [ Note "corrupt frame dropped" ])
 
   let handle_timer _ t = Nothing.absurd t
 end
@@ -23,19 +52,44 @@ end
 module Framing = struct
   let name = "framing"
 
-  type t = Framer.t
+  type t = {
+    framer : Framer.t;
+    framed : Sublayer.Stats.counter;
+    deframed : Sublayer.Stats.counter;
+    malformed : Sublayer.Stats.counter;
+  }
+
   type up_req = string
   type up_ind = string
   type down_req = Bitkit.Bitseq.t
   type down_ind = Bitkit.Bitseq.t
   type timer = Nothing.t
 
-  let handle_up_req framer pdu = (framer, [ Down (framer.Framer.frame pdu) ])
+  let make ?stats framer =
+    let scope =
+      match stats with
+      | Some s -> s
+      | None -> Sublayer.Stats.unregistered "framer"
+    in
+    {
+      framer;
+      framed = Sublayer.Stats.counter scope "frames_framed";
+      deframed = Sublayer.Stats.counter scope "frames_deframed";
+      malformed = Sublayer.Stats.counter scope "frames_malformed";
+    }
 
-  let handle_down_ind framer bits =
-    match framer.Framer.deframe bits with
-    | Some pdu -> (framer, [ Up pdu ])
-    | None -> (framer, [ Note "malformed frame dropped" ])
+  let handle_up_req t pdu =
+    Sublayer.Stats.incr t.framed;
+    (t, [ Down (t.framer.Framer.frame pdu) ])
+
+  let handle_down_ind t bits =
+    match t.framer.Framer.deframe bits with
+    | Some pdu ->
+        Sublayer.Stats.incr t.deframed;
+        (t, [ Up pdu ])
+    | None ->
+        Sublayer.Stats.incr t.malformed;
+        (t, [ Note "malformed frame dropped" ])
 
   let handle_timer _ t = Nothing.absurd t
 end
@@ -43,19 +97,44 @@ end
 module Line_coding = struct
   let name = "line-coding"
 
-  type t = Linecode.t
+  type t = {
+    code : Linecode.t;
+    encoded : Sublayer.Stats.counter;
+    decoded : Sublayer.Stats.counter;
+    illegal : Sublayer.Stats.counter;
+  }
+
   type up_req = Bitkit.Bitseq.t
   type up_ind = Bitkit.Bitseq.t
   type down_req = Bitkit.Bitseq.t
   type down_ind = Bitkit.Bitseq.t
   type timer = Nothing.t
 
-  let handle_up_req code bits = (code, [ Down (code.Linecode.encode bits) ])
+  let make ?stats code =
+    let scope =
+      match stats with
+      | Some s -> s
+      | None -> Sublayer.Stats.unregistered "linecode"
+    in
+    {
+      code;
+      encoded = Sublayer.Stats.counter scope "blocks_encoded";
+      decoded = Sublayer.Stats.counter scope "blocks_decoded";
+      illegal = Sublayer.Stats.counter scope "illegal_symbols";
+    }
 
-  let handle_down_ind code symbols =
-    match code.Linecode.decode symbols with
-    | Some bits -> (code, [ Up bits ])
-    | None -> (code, [ Note "illegal line symbols dropped" ])
+  let handle_up_req t bits =
+    Sublayer.Stats.incr t.encoded;
+    (t, [ Down (t.code.Linecode.encode bits) ])
+
+  let handle_down_ind t symbols =
+    match t.code.Linecode.decode symbols with
+    | Some bits ->
+        Sublayer.Stats.incr t.decoded;
+        (t, [ Up bits ])
+    | None ->
+        Sublayer.Stats.incr t.illegal;
+        (t, [ Note "illegal line symbols dropped" ])
 
   let handle_timer _ t = Nothing.absurd t
 end

@@ -1,32 +1,45 @@
 (** The stateless data-link sublayers as {!Sublayer.Machine.S} machines,
     ready for {!Sublayer.Machine.Stack} composition. Each machine's state
-    is just its mechanism value ({!Detector.t}, {!Framer.t},
-    {!Linecode.t}), so replacing the mechanism is replacing the state —
-    the surrounding stack code never changes (test T3). *)
+    is its mechanism value ({!Detector.t}, {!Framer.t}, {!Linecode.t})
+    plus its own counters, so replacing the mechanism is replacing the
+    state — the surrounding stack code never changes (test T3) — and
+    every sublayer's drop/pass counts stay private to it. *)
 
-module Error_detection :
-  Sublayer.Machine.S
-    with type t = Detector.t
-     and type up_req = string
-     and type up_ind = string
-     and type down_req = string
-     and type down_ind = string
-     and type timer = Sublayer.Machine.Nothing.t
+module Error_detection : sig
+  include
+    Sublayer.Machine.S
+      with type up_req = string
+       and type up_ind = string
+       and type down_req = string
+       and type down_ind = string
+       and type timer = Sublayer.Machine.Nothing.t
 
-module Framing :
-  Sublayer.Machine.S
-    with type t = Framer.t
-     and type up_req = string
-     and type up_ind = string
-     and type down_req = Bitkit.Bitseq.t
-     and type down_ind = Bitkit.Bitseq.t
-     and type timer = Sublayer.Machine.Nothing.t
+  val make : ?stats:Sublayer.Stats.scope -> Detector.t -> t
+  (** Counters: [frames_protected], [frames_verified], [frames_corrupt]. *)
+end
 
-module Line_coding :
-  Sublayer.Machine.S
-    with type t = Linecode.t
-     and type up_req = Bitkit.Bitseq.t
-     and type up_ind = Bitkit.Bitseq.t
-     and type down_req = Bitkit.Bitseq.t
-     and type down_ind = Bitkit.Bitseq.t
-     and type timer = Sublayer.Machine.Nothing.t
+module Framing : sig
+  include
+    Sublayer.Machine.S
+      with type up_req = string
+       and type up_ind = string
+       and type down_req = Bitkit.Bitseq.t
+       and type down_ind = Bitkit.Bitseq.t
+       and type timer = Sublayer.Machine.Nothing.t
+
+  val make : ?stats:Sublayer.Stats.scope -> Framer.t -> t
+  (** Counters: [frames_framed], [frames_deframed], [frames_malformed]. *)
+end
+
+module Line_coding : sig
+  include
+    Sublayer.Machine.S
+      with type up_req = Bitkit.Bitseq.t
+       and type up_ind = Bitkit.Bitseq.t
+       and type down_req = Bitkit.Bitseq.t
+       and type down_ind = Bitkit.Bitseq.t
+       and type timer = Sublayer.Machine.Nothing.t
+
+  val make : ?stats:Sublayer.Stats.scope -> Linecode.t -> t
+  (** Counters: [blocks_encoded], [blocks_decoded], [illegal_symbols]. *)
+end

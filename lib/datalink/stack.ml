@@ -21,29 +21,37 @@ let default_spec =
 type endpoint = {
   send : string -> unit;
   from_wire : Bitkit.Bitseq.t -> unit;
-  arq_stats : Arq.stats;
+  arq_stats : unit -> Arq.stats;
   is_idle : unit -> bool;
   arq_gave_up : unit -> bool;
 }
 
 let send t payload = t.send payload
 let from_wire t bits = t.from_wire bits
-let arq_stats t = t.arq_stats
+let arq_stats t = t.arq_stats ()
 let is_idle t = t.is_idle ()
 let gave_up t = t.arq_gave_up ()
 
-let endpoint engine ?trace ~name spec ~transmit ~deliver =
+let endpoint engine ?trace ?stats ~name spec ~transmit ~deliver =
   let module A = (val spec.arq : Arq.S) in
   let module Lower = Machine.Stack (Layers.Framing) (Layers.Line_coding) in
   let module Middle = Machine.Stack (Layers.Error_detection) (Lower) in
   let module Full = Machine.Stack (A) (Middle) in
   let module R = Runtime.Make (Full) in
-  let st = (A.initial spec.arq_config, (spec.detector, (spec.framer, spec.linecode))) in
+  (* One scope per sublayer, so the registry reports [arq.*],
+     [detector.*], [framer.*] and [linecode.*] side by side. *)
+  let in_scope sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
+  let st =
+    ( A.initial ?stats:(in_scope "arq") spec.arq_config,
+      ( Layers.Error_detection.make ?stats:(in_scope "detector") spec.detector,
+        ( Layers.Framing.make ?stats:(in_scope "framer") spec.framer,
+          Layers.Line_coding.make ?stats:(in_scope "linecode") spec.linecode ) ) )
+  in
   let r = R.create engine ?trace ~name ~transmit ~deliver st in
   {
     send = R.from_above r;
     from_wire = R.from_below r;
-    arq_stats = A.stats (fst (R.state r));
+    arq_stats = (fun () -> A.stats (fst (R.state r)));
     is_idle = (fun () -> A.idle (fst (R.state r)));
     arq_gave_up = (fun () -> A.gave_up (fst (R.state r)));
   }
@@ -62,7 +70,7 @@ let bit_channel engine config ~deliver =
     ~size:(fun bits -> (Bitkit.Bitseq.length bits + 7) / 8)
     ~corrupt:Sim.Channel.corrupt_bits ~deliver ()
 
-let link engine ?trace config spec =
+let link engine ?trace ?stats_a ?stats_b config spec =
   let received_at_a = Queue.create () in
   let received_at_b = Queue.create () in
   (* Channels and endpoints reference each other; tie the knot with a
@@ -72,12 +80,12 @@ let link engine ?trace config spec =
   let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
   let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
   let a =
-    endpoint engine ?trace ~name:"A" spec
+    endpoint engine ?trace ?stats:stats_a ~name:"A" spec
       ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
       ~deliver:(fun payload -> Queue.add payload received_at_a)
   in
   let b =
-    endpoint engine ?trace ~name:"B" spec
+    endpoint engine ?trace ?stats:stats_b ~name:"B" spec
       ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
       ~deliver:(fun payload -> Queue.add payload received_at_b)
   in

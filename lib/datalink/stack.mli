@@ -23,6 +23,8 @@ val from_wire : endpoint -> Bitkit.Bitseq.t -> unit
 (** Inject received symbols (wire this to a channel's [deliver]). *)
 
 val arq_stats : endpoint -> Arq.stats
+(** Snapshot of the endpoint's ARQ counters (fresh record per call). *)
+
 val is_idle : endpoint -> bool
 
 val gave_up : endpoint -> bool
@@ -31,11 +33,14 @@ val gave_up : endpoint -> bool
 val endpoint :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
+  ?stats:Sublayer.Stats.registry ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
   deliver:(string -> unit) ->
   endpoint
+(** When [stats] is given, the four sublayers register their counters
+    under scopes [arq], [detector], [framer] and [linecode]. *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)
@@ -49,7 +54,13 @@ type link = {
 }
 
 val link :
-  Sim.Engine.t -> ?trace:Sim.Trace.t -> Sim.Channel.config -> spec -> link
+  Sim.Engine.t ->
+  ?trace:Sim.Trace.t ->
+  ?stats_a:Sublayer.Stats.registry ->
+  ?stats_b:Sublayer.Stats.registry ->
+  Sim.Channel.config ->
+  spec ->
+  link
 
 val transfer :
   Sim.Engine.t ->

@@ -16,6 +16,10 @@ type state = {
   neighbors : (int, Addr.t) Hashtbl.t;
   mutable dirty : bool;
   mutable trigger_armed : bool;
+  c_sent : Sublayer.Stats.counter;
+  c_received : Sublayer.Stats.counter;
+  c_undecodable : Sublayer.Stats.counter;
+  c_triggered : Sublayer.Stats.counter;
 }
 
 let magic = 0x44 (* 'D' *)
@@ -64,7 +68,9 @@ let vector_for st i =
 
 let advertise st =
   Hashtbl.iter
-    (fun i _ -> st.env.Routing.send i (encode_vector (vector_for st i)))
+    (fun i _ ->
+      Sublayer.Stats.incr st.c_sent;
+      st.env.Routing.send i (encode_vector (vector_for st i)))
     st.neighbors
 
 let arm_trigger st =
@@ -76,6 +82,7 @@ let arm_trigger st =
            st.trigger_armed <- false;
            if st.dirty then begin
              st.dirty <- false;
+             Sublayer.Stats.incr st.c_triggered;
              advertise st
            end))
   end
@@ -105,6 +112,7 @@ let neighbor_up st ~ifindex peer =
   | Some e when e.metric <= 1 -> ()
   | _ -> set_route st peer 1 ifindex);
   (* Give the new neighbor our view immediately. *)
+  Sublayer.Stats.incr st.c_sent;
   st.env.Routing.send ifindex (encode_vector (vector_for st ifindex))
 
 let neighbor_down st ~ifindex _peer =
@@ -115,8 +123,9 @@ let neighbor_down st ~ifindex _peer =
 
 let on_pdu st ~ifindex pdu =
   match decode_vector pdu with
-  | None -> ()
+  | None -> Sublayer.Stats.incr st.c_undecodable
   | Some entries ->
+      Sublayer.Stats.incr st.c_received;
       List.iter
         (fun (dst, metric) ->
           if not (Addr.equal dst st.env.Routing.self) then begin
@@ -144,7 +153,11 @@ let factory ?(config = default_config) () =
       (fun env ->
         let st =
           { env; cfg = config; table = Hashtbl.create 32; neighbors = Hashtbl.create 8;
-            dirty = false; trigger_armed = false }
+            dirty = false; trigger_armed = false;
+            c_sent = Sublayer.Stats.counter env.Routing.stats "vectors_sent";
+            c_received = Sublayer.Stats.counter env.Routing.stats "vectors_received";
+            c_undecodable = Sublayer.Stats.counter env.Routing.stats "undecodable";
+            c_triggered = Sublayer.Stats.counter env.Routing.stats "triggered_updates" }
         in
         let rec periodic () =
           ignore

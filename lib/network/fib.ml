@@ -4,15 +4,31 @@ type node = {
   mutable one : node option;
 }
 
-type t = { root : node; mutable count : int }
+type t = {
+  root : node;
+  mutable count : int;
+  inserts : Sublayer.Stats.counter;
+  removes : Sublayer.Stats.counter;
+  lookups : Sublayer.Stats.counter;
+  misses : Sublayer.Stats.counter;
+}
 
 let fresh () = { hop = None; zero = None; one = None }
 
-let create () = { root = fresh (); count = 0 }
+let create ?stats () =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "fib"
+  in
+  { root = fresh (); count = 0;
+    inserts = Sublayer.Stats.counter sc "inserts";
+    removes = Sublayer.Stats.counter sc "removes";
+    lookups = Sublayer.Stats.counter sc "lookups";
+    misses = Sublayer.Stats.counter sc "misses" }
 
 let bit addr i = (addr lsr (31 - i)) land 1
 
 let insert t prefix hop =
+  Sublayer.Stats.incr t.inserts;
   let rec go node depth =
     if depth = prefix.Addr.len then begin
       if node.hop = None then t.count <- t.count + 1;
@@ -41,6 +57,7 @@ let insert t prefix hop =
   go t.root 0
 
 let remove t prefix =
+  Sublayer.Stats.incr t.removes;
   (* Leaves empty interior nodes in place; fine for simulation scale. *)
   let rec go node depth =
     match node with
@@ -56,6 +73,7 @@ let remove t prefix =
   go (Some t.root) 0
 
 let lookup t addr =
+  Sublayer.Stats.incr t.lookups;
   let rec go node depth best =
     match node with
     | None -> best
@@ -65,7 +83,9 @@ let lookup t addr =
         else if bit addr depth = 0 then go node.zero (depth + 1) best
         else go node.one (depth + 1) best
   in
-  go (Some t.root) 0 None
+  let hit = go (Some t.root) 0 None in
+  if hit = None then Sublayer.Stats.incr t.misses;
+  hit
 
 let size t = t.count
 

@@ -8,7 +8,9 @@
 
 type t
 
-val create : unit -> t
+val create : ?stats:Sublayer.Stats.scope -> unit -> t
+(** Counters (when [stats] is given): [inserts], [removes], [lookups],
+    [misses]. *)
 
 val insert : t -> Addr.prefix -> int -> unit
 (** [insert t prefix ifindex] installs or replaces a route. *)

@@ -16,6 +16,10 @@ type t = {
   neighbors : (int, neighbor) Hashtbl.t;
   mutable handles : Sim.Engine.handle list;
   mutable stopped : bool;
+  sent : Sublayer.Stats.counter;
+  received : Sublayer.Stats.counter;
+  ups : Sublayer.Stats.counter;
+  downs : Sublayer.Stats.counter;
 }
 
 let magic = 0x48 (* 'H' *)
@@ -35,9 +39,24 @@ let decode s =
   | v -> v
   | exception Bitkit.Bitio.Reader.Truncated -> None
 
-let create engine cfg ~self ~send ~notify =
-  { engine; cfg; self; send; notify; interfaces = []; neighbors = Hashtbl.create 8;
-    handles = []; stopped = false }
+let create engine ?stats cfg ~self ~send ~notify =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "hello"
+  in
+  let counted_notify ups downs event =
+    (match event with
+    | Up _ -> Sublayer.Stats.incr ups
+    | Down _ -> Sublayer.Stats.incr downs);
+    notify event
+  in
+  let ups = Sublayer.Stats.counter sc "neighbor_ups" in
+  let downs = Sublayer.Stats.counter sc "neighbor_downs" in
+  { engine; cfg; self; send; notify = counted_notify ups downs;
+    interfaces = []; neighbors = Hashtbl.create 8;
+    handles = []; stopped = false;
+    sent = Sublayer.Stats.counter sc "hellos_sent";
+    received = Sublayer.Stats.counter sc "hellos_received";
+    ups; downs }
 
 let hold t = t.cfg.interval *. Float.of_int t.cfg.hold_multiplier
 
@@ -66,6 +85,7 @@ let rec arm_hello t ifindex =
   if not t.stopped then begin
     let h =
       Sim.Engine.schedule t.engine ~after:t.cfg.interval (fun () ->
+          Sublayer.Stats.incr t.sent;
           t.send ifindex (encode t.self);
           arm_hello t ifindex)
     in
@@ -75,6 +95,7 @@ let rec arm_hello t ifindex =
 let add_interface t ifindex =
   if not (List.mem ifindex t.interfaces) then begin
     t.interfaces <- ifindex :: t.interfaces;
+    Sublayer.Stats.incr t.sent;
     t.send ifindex (encode t.self);
     arm_hello t ifindex;
     if List.length t.interfaces = 1 then arm_sweep t
@@ -84,6 +105,7 @@ let on_pdu t ~ifindex pdu =
   match decode pdu with
   | None -> ()
   | Some peer -> (
+      Sublayer.Stats.incr t.received;
       let deadline = Sim.Engine.now t.engine +. hold t in
       match Hashtbl.find_opt t.neighbors ifindex with
       | Some n when Addr.equal n.peer peer -> n.deadline <- deadline

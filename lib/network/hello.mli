@@ -17,11 +17,14 @@ type t
 
 val create :
   Sim.Engine.t ->
+  ?stats:Sublayer.Stats.scope ->
   config ->
   self:Addr.t ->
   send:(int -> string -> unit) ->
   notify:(event -> unit) ->
   t
+(** Counters (when [stats] is given): [hellos_sent], [hellos_received],
+    [neighbor_ups], [neighbor_downs]. *)
 
 val add_interface : t -> int -> unit
 (** Start HELLOs on an interface. *)

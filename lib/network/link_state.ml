@@ -11,6 +11,10 @@ type state = {
   neighbors : (int, Addr.t) Hashtbl.t;  (** alive adjacencies *)
   mutable own_seq : int;
   mutable installed : (Addr.t, int) Hashtbl.t;
+  c_sent : Sublayer.Stats.counter;
+  c_received : Sublayer.Stats.counter;
+  c_undecodable : Sublayer.Stats.counter;
+  c_spf_runs : Sublayer.Stats.counter;
 }
 
 let magic = 0x4C (* 'L' *)
@@ -42,7 +46,11 @@ let decode_lsp s =
 let flood st ?except lsp =
   let pdu = encode_lsp lsp in
   Hashtbl.iter
-    (fun i _ -> if Some i <> except then st.env.Routing.send i pdu)
+    (fun i _ ->
+      if Some i <> except then begin
+        Sublayer.Stats.incr st.c_sent;
+        st.env.Routing.send i pdu
+      end)
     st.neighbors
 
 (* Unit-cost SPF from self over two-way-confirmed adjacencies; returns the
@@ -81,6 +89,7 @@ let spf st =
   first_hop
 
 let recompute st =
+  Sublayer.Stats.incr st.c_spf_runs;
   let first_hop = spf st in
   let ifindex_of_peer peer =
     Hashtbl.fold
@@ -117,7 +126,11 @@ let regenerate_own st =
 let neighbor_up st ~ifindex peer =
   Hashtbl.replace st.neighbors ifindex peer;
   (* Database sync: give the new adjacency everything we know. *)
-  Hashtbl.iter (fun _ lsp -> st.env.Routing.send ifindex (encode_lsp lsp)) st.lsdb;
+  Hashtbl.iter
+    (fun _ lsp ->
+      Sublayer.Stats.incr st.c_sent;
+      st.env.Routing.send ifindex (encode_lsp lsp))
+    st.lsdb;
   regenerate_own st
 
 let neighbor_down st ~ifindex _peer =
@@ -126,8 +139,9 @@ let neighbor_down st ~ifindex _peer =
 
 let on_pdu st ~ifindex pdu =
   match decode_lsp pdu with
-  | None -> ()
+  | None -> Sublayer.Stats.incr st.c_undecodable
   | Some lsp ->
+      Sublayer.Stats.incr st.c_received;
       if Addr.equal lsp.origin st.env.Routing.self then begin
         (* A stale copy of our own LSP is circulating; outbid it. *)
         if lsp.seq >= st.own_seq then begin
@@ -158,7 +172,11 @@ let factory ?(config = default_config) () =
       (fun env ->
         let st =
           { env; cfg = config; lsdb = Hashtbl.create 32; neighbors = Hashtbl.create 8;
-            own_seq = 0; installed = Hashtbl.create 32 }
+            own_seq = 0; installed = Hashtbl.create 32;
+            c_sent = Sublayer.Stats.counter env.Routing.stats "lsps_sent";
+            c_received = Sublayer.Stats.counter env.Routing.stats "lsps_received";
+            c_undecodable = Sublayer.Stats.counter env.Routing.stats "undecodable";
+            c_spf_runs = Sublayer.Stats.counter env.Routing.stats "spf_runs" }
         in
         let rec refresh () =
           ignore

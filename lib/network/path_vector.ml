@@ -18,6 +18,10 @@ type state = {
   neighbors : (int, Addr.t) Hashtbl.t;
   mutable dirty : bool;
   mutable trigger_armed : bool;
+  c_sent : Sublayer.Stats.counter;
+  c_received : Sublayer.Stats.counter;
+  c_undecodable : Sublayer.Stats.counter;
+  c_loops_rejected : Sublayer.Stats.counter;
 }
 
 let magic = 0x50 (* 'P' *)
@@ -66,7 +70,11 @@ let vector_for st =
 
 let advertise st =
   let pdu = encode_vector (vector_for st) in
-  Hashtbl.iter (fun i _ -> st.env.Routing.send i pdu) st.neighbors
+  Hashtbl.iter
+    (fun i _ ->
+      Sublayer.Stats.incr st.c_sent;
+      st.env.Routing.send i pdu)
+    st.neighbors
 
 let arm_trigger st =
   st.dirty <- true;
@@ -116,6 +124,7 @@ let neighbor_up st ~ifindex peer =
   (match Hashtbl.find_opt st.table peer with
   | Some e when e.valid && List.length e.path <= 1 -> ()
   | _ -> set_route st peer [ peer ] ifindex);
+  Sublayer.Stats.incr st.c_sent;
   st.env.Routing.send ifindex (encode_vector (vector_for st))
 
 let neighbor_down st ~ifindex _peer =
@@ -124,8 +133,10 @@ let neighbor_down st ~ifindex _peer =
 
 let on_pdu st ~ifindex pdu =
   match (decode_vector pdu, Hashtbl.find_opt st.neighbors ifindex) with
-  | None, _ | _, None -> ()
+  | None, _ -> Sublayer.Stats.incr st.c_undecodable
+  | _, None -> ()
   | Some entries, Some neighbor ->
+      Sublayer.Stats.incr st.c_received;
       List.iter
         (fun (dst, path) ->
           if not (Addr.equal dst st.env.Routing.self) then begin
@@ -145,6 +156,7 @@ let on_pdu st ~ifindex pdu =
               | Some _ | None -> set_route st dst candidate ifindex
             end
             else begin
+              Sublayer.Stats.incr st.c_loops_rejected;
               (* A looping/overlong path from our current next hop means
                  that route is gone. *)
               match Hashtbl.find_opt st.table dst with
@@ -176,7 +188,11 @@ let factory ?(config = default_config) () =
       (fun env ->
         let st =
           { env; cfg = config; table = Hashtbl.create 32; neighbors = Hashtbl.create 8;
-            dirty = false; trigger_armed = false }
+            dirty = false; trigger_armed = false;
+            c_sent = Sublayer.Stats.counter env.Routing.stats "vectors_sent";
+            c_received = Sublayer.Stats.counter env.Routing.stats "vectors_received";
+            c_undecodable = Sublayer.Stats.counter env.Routing.stats "undecodable";
+            c_loops_rejected = Sublayer.Stats.counter env.Routing.stats "loops_rejected" }
         in
         let rec periodic () =
           ignore

@@ -12,6 +12,15 @@ type stats = {
   mutable ttl_expired : int;
 }
 
+(* Counter-backed; [stats] snapshots these into the legacy record. *)
+type counters = {
+  c_forwarded : Sublayer.Stats.counter;
+  c_delivered : Sublayer.Stats.counter;
+  c_originated : Sublayer.Stats.counter;
+  c_no_route : Sublayer.Stats.counter;
+  c_ttl_expired : Sublayer.Stats.counter;
+}
+
 type t = {
   addr : Addr.t;
   fib : Fib.t;
@@ -20,7 +29,7 @@ type t = {
   interfaces : (int, frame -> unit) Hashtbl.t;
   mutable next_ifindex : int;
   deliver : Packet.t -> unit;
-  stats : stats;
+  ctrs : counters;
 }
 
 let transmit t ifindex frame =
@@ -28,19 +37,48 @@ let transmit t ifindex frame =
   | Some send -> send frame
   | None -> ()
 
-let create engine ?(hello_config = Hello.default_config) ~addr ~routing ~deliver () =
-  let t =
-    { addr; fib = Fib.create (); hello = None; routing = None;
-      interfaces = Hashtbl.create 4; next_ifindex = 0; deliver;
-      stats = { forwarded = 0; delivered = 0; originated = 0; no_route = 0; ttl_expired = 0 } }
+let create engine ?(hello_config = Hello.default_config) ?stats ~addr ~routing
+    ~deliver () =
+  (* One scope per network sublayer: forwarding ("router"), the FIB, the
+     hello machinery, and the route-computation protocol under its own
+     name — T3's separation applied to the counters. *)
+  let in_scope sub =
+    match stats with
+    | Some reg -> Sublayer.Stats.scope reg sub
+    | None -> Sublayer.Stats.unregistered sub
   in
+  let rsc = in_scope "router" in
+  let ctrs =
+    {
+      c_forwarded = Sublayer.Stats.counter rsc "forwarded";
+      c_delivered = Sublayer.Stats.counter rsc "delivered";
+      c_originated = Sublayer.Stats.counter rsc "originated";
+      c_no_route = Sublayer.Stats.counter rsc "no_route";
+      c_ttl_expired = Sublayer.Stats.counter rsc "ttl_expired";
+    }
+  in
+  let t =
+    { addr; fib = Fib.create ~stats:(in_scope "fib") (); hello = None;
+      routing = None; interfaces = Hashtbl.create 4; next_ifindex = 0; deliver;
+      ctrs }
+  in
+  let proto_scope = in_scope routing.Routing.protocol in
+  let installed = Sublayer.Stats.counter proto_scope "routes_installed" in
+  let uninstalled = Sublayer.Stats.counter proto_scope "routes_uninstalled" in
   let env =
     {
       Routing.engine;
       self = addr;
       send = (fun i pdu -> transmit t i (Routing_pdu pdu));
-      install = (fun dst ifindex -> Fib.insert t.fib (Addr.host dst) ifindex);
-      uninstall = (fun dst -> Fib.remove t.fib (Addr.host dst));
+      install =
+        (fun dst ifindex ->
+          Sublayer.Stats.incr installed;
+          Fib.insert t.fib (Addr.host dst) ifindex);
+      uninstall =
+        (fun dst ->
+          Sublayer.Stats.incr uninstalled;
+          Fib.remove t.fib (Addr.host dst));
+      stats = proto_scope;
     }
   in
   let instance = routing.Routing.make env in
@@ -49,7 +87,7 @@ let create engine ?(hello_config = Hello.default_config) ~addr ~routing ~deliver
     | Hello.Down { ifindex; peer } -> instance.Routing.neighbor_down ~ifindex peer
   in
   let hello =
-    Hello.create engine hello_config ~self:addr
+    Hello.create engine hello_config ~stats:(in_scope "hello") ~self:addr
       ~send:(fun i pdu -> transmit t i (Hello_pdu pdu))
       ~notify
   in
@@ -60,7 +98,14 @@ let create engine ?(hello_config = Hello.default_config) ~addr ~routing ~deliver
 let addr t = t.addr
 let fib t = t.fib
 let routing t = Option.get t.routing
-let stats t = t.stats
+let stats t =
+  {
+    forwarded = Sublayer.Stats.value t.ctrs.c_forwarded;
+    delivered = Sublayer.Stats.value t.ctrs.c_delivered;
+    originated = Sublayer.Stats.value t.ctrs.c_originated;
+    no_route = Sublayer.Stats.value t.ctrs.c_no_route;
+    ttl_expired = Sublayer.Stats.value t.ctrs.c_ttl_expired;
+  }
 let neighbors t = Hello.neighbors (Option.get t.hello)
 
 let add_interface t ~transmit:send =
@@ -74,17 +119,17 @@ let add_interface t ~transmit:send =
    Route computation is invisible here except through the FIB. *)
 let route t packet =
   if Addr.equal packet.Packet.dst t.addr then begin
-    t.stats.delivered <- t.stats.delivered + 1;
+    Sublayer.Stats.incr t.ctrs.c_delivered;
     t.deliver packet
   end
   else begin
     match Fib.lookup t.fib packet.Packet.dst with
-    | None -> t.stats.no_route <- t.stats.no_route + 1
+    | None -> Sublayer.Stats.incr t.ctrs.c_no_route
     | Some ifindex -> (
         match Packet.decrement_ttl packet with
-        | None -> t.stats.ttl_expired <- t.stats.ttl_expired + 1
+        | None -> Sublayer.Stats.incr t.ctrs.c_ttl_expired
         | Some packet ->
-            t.stats.forwarded <- t.stats.forwarded + 1;
+            Sublayer.Stats.incr t.ctrs.c_forwarded;
             transmit t ifindex (Data packet))
   end
 
@@ -95,7 +140,7 @@ let on_frame t ~ifindex frame =
   | Data packet -> route t packet
 
 let originate t ~dst payload =
-  t.stats.originated <- t.stats.originated + 1;
+  Sublayer.Stats.incr t.ctrs.c_originated;
   route t (Packet.make ~src:t.addr ~dst payload)
 
 let stop t = Hello.stop (Option.get t.hello)

@@ -27,11 +27,16 @@ type t
 val create :
   Sim.Engine.t ->
   ?hello_config:Hello.config ->
+  ?stats:Sublayer.Stats.registry ->
   addr:Addr.t ->
   routing:Routing.factory ->
   deliver:(Packet.t -> unit) ->
   unit ->
   t
+(** When [stats] is given, each network sublayer registers its counters
+    under its own scope: [router.*] (the forwarding path), [fib.*],
+    [hello.*], and a scope named after the routing protocol (e.g.
+    [distance-vector.*]). *)
 
 val addr : t -> Addr.t
 
@@ -48,4 +53,6 @@ val fib : t -> Fib.t
 val routing : t -> Routing.instance
 val neighbors : t -> (int * Addr.t) list
 val stats : t -> stats
+(** Snapshot of the forwarding-path counters (fresh record per call). *)
+
 val stop : t -> unit

@@ -12,6 +12,10 @@ type env = {
   send : int -> string -> unit;
   install : Addr.t -> int -> unit;
   uninstall : Addr.t -> unit;
+  stats : Sublayer.Stats.scope;
+      (* The protocol's own counter scope (named after the protocol);
+         the router also counts [routes_installed]/[routes_uninstalled]
+         here, since install churn is the protocol's doing. *)
 }
 
 type factory = { protocol : string; make : env -> instance }

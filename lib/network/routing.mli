@@ -24,6 +24,9 @@ type env = {
   send : int -> string -> unit;  (** send a routing PDU on an interface *)
   install : Addr.t -> int -> unit;  (** (re)install a host route *)
   uninstall : Addr.t -> unit;
+  stats : Sublayer.Stats.scope;
+      (** the protocol instance's own counter scope, named after the
+          protocol; the router also counts route-install churn here *)
 }
 
 type factory = { protocol : string; make : env -> instance }

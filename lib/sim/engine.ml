@@ -1,8 +1,12 @@
 type event = {
   time : float;
   seq : int;
-  fn : unit -> unit;
+  mutable fn : unit -> unit;
   mutable dead : bool;
+  (* Shared with the owning engine so [cancel] (which only sees the
+     handle) can keep the accounting straight. *)
+  live : int ref;
+  dead_in_heap : int ref;
 }
 
 type handle = event
@@ -13,15 +17,20 @@ type t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
-  mutable live : int;
+  live : int ref;
+  dead_in_heap : int ref;
+  mutable compactions : int;
   random : Bitkit.Rng.t;
 }
 
-let dummy = { time = 0.; seq = -1; fn = ignore; dead = true }
+let dummy =
+  { time = 0.; seq = -1; fn = ignore; dead = true; live = ref 0;
+    dead_in_heap = ref 0 }
 
 let create ?(seed = 42) () =
   { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0;
-    fired = 0; live = 0; random = Bitkit.Rng.create seed }
+    fired = 0; live = ref 0; dead_in_heap = ref 0; compactions = 0;
+    random = Bitkit.Rng.create seed }
 
 let now t = t.clock
 let rng t = t.random
@@ -73,12 +82,43 @@ let pop t =
     Some top
   end
 
+(* Drop cancelled entries and re-establish the heap property in place.
+   Long soaks cancel far more timers than ever fire (every ack cancels a
+   retransmission timer), so without this the heap is mostly garbage and
+   [pending] scans it all. *)
+let compact t =
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).dead then begin
+      t.heap.(!kept) <- t.heap.(i);
+      incr kept
+    end
+  done;
+  for i = !kept to t.size - 1 do
+    t.heap.(i) <- dummy
+  done;
+  t.size <- !kept;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t.dead_in_heap := 0;
+  t.compactions <- t.compactions + 1
+
+let maybe_compact t =
+  if t.size > 64 && 2 * !(t.dead_in_heap) > t.size then compact t
+
 let at t ~time fn =
   if time < t.clock then invalid_arg "Engine.at: time in the past";
-  let ev = { time; seq = t.next_seq; fn; dead = false } in
+  let ev =
+    { time; seq = t.next_seq; fn; dead = false; live = t.live;
+      dead_in_heap = t.dead_in_heap }
+  in
   t.next_seq <- t.next_seq + 1;
-  t.live <- t.live + 1;
+  incr t.live;
   push t ev;
+  (* [cancel] can't reach the engine through the handle, so dead-entry
+     pressure is relieved on the next schedule (or [pending] scan). *)
+  maybe_compact t;
   ev
 
 let schedule t ~after fn =
@@ -86,19 +126,39 @@ let schedule t ~after fn =
   at t ~time:(t.clock +. after) fn
 
 let cancel ev =
-  if not ev.dead then ev.dead <- true
+  if not ev.dead then begin
+    ev.dead <- true;
+    (* Drop the closure so cancelled timers don't retain whatever state
+       they captured for the rest of a long soak. *)
+    ev.fn <- ignore;
+    decr ev.live;
+    incr ev.dead_in_heap
+  end
 
 let cancelled ev = ev.dead
+
+(* Fire [ev]: mark it dead first so a late [cancel] on a kept handle is a
+   no-op instead of corrupting the accounting, and drop the closure so the
+   handle does not retain it. *)
+let fire t ev =
+  let f = ev.fn in
+  ev.dead <- true;
+  ev.fn <- ignore;
+  t.clock <- ev.time;
+  t.fired <- t.fired + 1;
+  decr t.live;
+  f ()
 
 let rec step t =
   match pop t with
   | None -> false
-  | Some ev when ev.dead -> step t
+  | Some ev when ev.dead ->
+      (* Cancelled: [cancel] already decremented [live]; it just left
+         the heap. *)
+      decr t.dead_in_heap;
+      step t
   | Some ev ->
-      t.clock <- ev.time;
-      t.fired <- t.fired + 1;
-      t.live <- t.live - 1;
-      ev.fn ();
+      fire t ev;
       true
 
 let run ?until ?max_events t =
@@ -113,25 +173,26 @@ let run ?until ?max_events t =
            progress. *)
         if Float.is_finite horizon && horizon > t.clock then t.clock <- horizon;
         continue := false
-    | Some ev when ev.dead -> ()
+    | Some ev when ev.dead -> decr t.dead_in_heap
     | Some ev when ev.time > horizon ->
         (* Put it back: the caller may resume later. *)
         push t ev;
         t.clock <- horizon;
         continue := false
     | Some ev ->
-        t.clock <- ev.time;
-        t.fired <- t.fired + 1;
-        t.live <- t.live - 1;
         decr budget;
-        ev.fn ()
+        fire t ev
   done
 
+let live t = !(t.live)
+
 let pending t =
+  maybe_compact t;
   let n = ref 0 in
   for i = 0 to t.size - 1 do
     if not t.heap.(i).dead then incr n
   done;
   !n
 
+let compactions t = t.compactions
 let events_fired t = t.fired

@@ -40,7 +40,15 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     [until] or after [max_events] events. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled) events. *)
+(** Number of scheduled (uncancelled) events, by scanning the queue.
+    Agrees with {!live}; kept separate so tests can cross-check the
+    cancellation accounting. *)
+
+val live : t -> int
+(** Number of scheduled (uncancelled) events, from the O(1) counter. *)
+
+val compactions : t -> int
+(** How many times the queue compacted away cancelled entries. *)
 
 val events_fired : t -> int
 (** Total events executed so far (a cheap work measure). *)

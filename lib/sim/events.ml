@@ -1,0 +1,70 @@
+type event = { at : float; actor : string; kind : string; detail : string }
+
+let nil = { at = 0.; actor = ""; kind = ""; detail = "" }
+
+type t = {
+  ring : event array;
+  mutable head : int; (* index of oldest retained event *)
+  mutable len : int;
+  mutable recorded : int;
+  index : (string * string, int ref) Hashtbl.t;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Events.create: capacity must be positive";
+  { ring = Array.make capacity nil; head = 0; len = 0; recorded = 0;
+    index = Hashtbl.create 64 }
+
+let capacity t = Array.length t.ring
+
+let emit t ~at ~actor ?(detail = "") kind =
+  let cap = Array.length t.ring in
+  let e = { at; actor; kind; detail } in
+  if t.len = cap then begin
+    (* Overwrite the oldest slot. *)
+    t.ring.(t.head) <- e;
+    t.head <- (t.head + 1) mod cap
+  end else begin
+    t.ring.((t.head + t.len) mod cap) <- e;
+    t.len <- t.len + 1
+  end;
+  t.recorded <- t.recorded + 1;
+  let key = (actor, kind) in
+  (match Hashtbl.find_opt t.index key with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.index key (ref 1))
+
+let length t = t.len
+let recorded t = t.recorded
+let dropped t = t.recorded - t.len
+
+let to_list t =
+  let cap = Array.length t.ring in
+  List.init t.len (fun i -> t.ring.((t.head + i) mod cap))
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let count t ?actor ~prefix () =
+  Hashtbl.fold
+    (fun (a, kind) r acc ->
+      if
+        starts_with ~prefix kind
+        && (match actor with None -> true | Some want -> want = a)
+      then acc + !r
+      else acc)
+    t.index 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0;
+  t.recorded <- 0;
+  Array.fill t.ring 0 (Array.length t.ring) nil;
+  Hashtbl.reset t.index
+
+let pp fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%10.6f %-12s %s%s@\n" e.at e.actor e.kind e.detail)
+    (to_list t)

@@ -1,0 +1,49 @@
+(** Bounded, indexed structured event log.
+
+    Replaces the old unbounded string list behind {!Trace}: events live
+    in a fixed-capacity ring buffer (oldest entries are evicted, a
+    counter remembers how many), and an index keyed by [(actor, kind)]
+    keeps running totals so prefix-count queries — what [Soak] and the
+    tests hammer once per slice — are proportional to the number of
+    *distinct* event kinds, not the number of events.
+
+    An event is [kind] (a stable, low-cardinality label: ["send"],
+    ["fast retransmit offset="], ...) plus an optional free-form
+    [detail] carrying the variable part.  Only [kind] is indexed, so the
+    index stays bounded no matter how chatty the run is. *)
+
+type event = { at : float; actor : string; kind : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 4096 retained events. *)
+
+val capacity : t -> int
+
+val emit : t -> at:float -> actor:string -> ?detail:string -> string -> unit
+(** [emit t ~at ~actor kind] appends an event; evicts the oldest entry
+    when the ring is full. *)
+
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val recorded : t -> int
+(** Total events ever emitted (monotonic, survives eviction). *)
+
+val dropped : t -> int
+(** Events evicted from the ring ([recorded - length]). *)
+
+val to_list : t -> event list
+(** Retained window, oldest first. *)
+
+val count : t -> ?actor:string -> prefix:string -> unit -> int
+(** All-time count of events whose [kind] starts with [prefix],
+    optionally restricted to one actor.  O(distinct kinds), counts
+    evicted events too. *)
+
+val clear : t -> unit
+(** Forget everything, index included; [recorded]/[dropped] reset. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained event; no per-line flush. *)

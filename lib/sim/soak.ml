@@ -5,6 +5,7 @@ type report = {
   pending : int;
   finished : bool;
   violations : string list;
+  samples : (float * (string * int) list) list;
 }
 
 let pp_report ppf r =
@@ -18,13 +19,24 @@ let pp_report ppf r =
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
 let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
-    ~name ~engine ~finished () =
+    ?sample ?(sample_every = 1) ~name ~engine ~finished () =
   let violations = ref [] in
   let record msg = if not (List.mem msg !violations) then violations := msg :: !violations
+  in
+  let samples = ref [] in
+  let slices = ref 0 in
+  let take_sample () =
+    match sample with
+    | None -> ()
+    | Some f ->
+        if !slices mod sample_every = 0 then
+          samples := (Engine.now engine, f ()) :: !samples
   in
   let rec drive () =
     if (not (finished ())) && !violations = [] && Engine.now engine < until then begin
       Engine.run ~until:(Engine.now engine +. step) engine;
+      incr slices;
+      take_sample ();
       (match invariant () with None -> () | Some msg -> record msg);
       drive ()
     end
@@ -41,7 +53,8 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
     events_fired = Engine.events_fired engine;
     pending = Engine.pending engine;
     finished = fin;
-    violations = List.rev !violations }
+    violations = List.rev !violations;
+    samples = List.rev !samples }
 
 let reproducible scenario ~seed =
   let a = scenario seed in

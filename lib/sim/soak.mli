@@ -18,6 +18,9 @@ type report = {
   finished : bool;      (** the [finished] predicate held before [until] *)
   violations : string list;
       (** invariant failures, oldest first, deduplicated *)
+  samples : (float * (string * int) list) list;
+      (** periodic stats samples [(vtime, snapshot)], oldest first —
+          whatever the caller's [sample] closure returned each period *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -30,6 +33,8 @@ val run :
   ?until:float ->
   ?invariant:(unit -> string option) ->
   ?quiesce:bool ->
+  ?sample:(unit -> (string * int) list) ->
+  ?sample_every:int ->
   name:string ->
   engine:Engine.t ->
   finished:(unit -> bool) ->
@@ -41,7 +46,15 @@ val run :
     (a [Some msg] result is recorded as a violation and ends the run).
     When [quiesce] is true (default), the remaining queue is drained
     after finishing — timers a correct stack no longer needs — and the
-    leftover [pending] count is reported. *)
+    leftover [pending] count is reported.
+
+    [sample] (e.g. a [Sublayer.Stats] snapshot thunk — the closure keeps
+    this library free of a dependency on the stats module) is evaluated
+    every [sample_every]-th slice (default 1) and the [(vtime, result)]
+    pairs land in the report's [samples], so a regression can be
+    localised to the slice where its counters diverged.  Samples are
+    part of the report, so they must be deterministic for
+    {!reproducible} scenarios. *)
 
 val reproducible : (int -> report) -> seed:int -> bool
 (** [reproducible scenario ~seed] runs [scenario seed] twice and checks

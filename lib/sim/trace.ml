@@ -1,28 +1,63 @@
 type entry = { time : float; actor : string; event : string }
 
-type t = { mutable entries : entry list }
+type t = Events.t
 
-let create () = { entries = [] }
+(* Legacy callers hand us one free-form string per event.  The indexed
+   store wants a stable low-cardinality [kind], so split at the first
+   digit: "fast retransmit offset=172" indexes as "fast retransmit
+   offset=" with detail "172".  The concatenation is the identity, so
+   [entries] round-trips exactly. *)
+let split_event s =
+  let n = String.length s in
+  let cut = ref n in
+  (try
+     for i = 0 to n - 1 do
+       match s.[i] with
+       | '0' .. '9' ->
+           cut := i;
+           raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  if !cut = n then (s, "") else (String.sub s 0 !cut, String.sub s !cut (n - !cut))
 
-let record t ~time ~actor event = t.entries <- { time; actor; event } :: t.entries
+let create ?capacity () = Events.create ?capacity ()
 
-let entries t = List.rev t.entries
+let record t ~time ~actor event =
+  let kind, detail = split_event event in
+  Events.emit t ~at:time ~actor ~detail kind
+
+let entries t =
+  List.map
+    (fun (e : Events.event) ->
+      { time = e.at; actor = e.actor; event = e.kind ^ e.detail })
+    (Events.to_list t)
+
+let has_digit s =
+  let found = ref false in
+  String.iter (function '0' .. '9' -> found := true | _ -> ()) s;
+  !found
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
 let count t ?actor prefix =
-  List.length
-    (List.filter
-       (fun e ->
-         starts_with ~prefix e.event
-         && match actor with None -> true | Some a -> a = e.actor)
-       t.entries)
+  if has_digit prefix then
+    (* A digit in the prefix crosses the kind/detail split, so the index
+       can't answer; scan the retained window (bounded by capacity). *)
+    List.length
+      (List.filter
+         (fun e ->
+           starts_with ~prefix e.event
+           && match actor with None -> true | Some a -> a = e.actor)
+         (entries t))
+  else Events.count t ?actor ~prefix ()
 
-let clear t = t.entries <- []
+let dropped = Events.dropped
+let clear = Events.clear
 
 let pp fmt t =
   List.iter
-    (fun e -> Format.fprintf fmt "%10.6f %-12s %s@." e.time e.actor e.event)
+    (fun e -> Format.fprintf fmt "%10.6f %-12s %s@\n" e.time e.actor e.event)
     (entries t)

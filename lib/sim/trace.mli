@@ -1,21 +1,35 @@
-(** In-memory event traces.
+(** In-memory event traces (legacy string API).
 
     Protocol endpoints record interesting events here; tests assert on
-    traces and examples print them. Keeping traces structured (rather than
-    printing directly) keeps simulation output deterministic and greppable. *)
+    traces and examples print them.  Since the observability PR this is
+    a thin shim over {!Events}: storage is a bounded ring (default 4096
+    entries — check {!dropped} if you need the full history of a very
+    long run), and [count] answers from a running index instead of
+    scanning, so per-slice soak checks are no longer O(entries²). *)
 
 type entry = { time : float; actor : string; event : string }
 
-type t
+type t = Events.t
+(** A trace {e is} a structured event buffer; new code can use the
+    {!Events} API on the same value. *)
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained entries (default 4096); older entries are
+    evicted, counted by {!dropped}. *)
+
 val record : t -> time:float -> actor:string -> string -> unit
+
 val entries : t -> entry list
-(** In chronological (insertion) order. *)
+(** Retained entries in chronological (insertion) order. *)
 
 val count : t -> ?actor:string -> string -> int
 (** [count t ~actor prefix] counts entries whose event starts with
-    [prefix], optionally filtered by actor. *)
+    [prefix], optionally filtered by actor.  All-time (eviction-proof)
+    and indexed when [prefix] contains no digit; otherwise falls back to
+    scanning the retained window. *)
+
+val dropped : t -> int
+(** Entries evicted from the bounded ring so far. *)
 
 val clear : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -157,3 +157,33 @@ let aimd ~alpha ~beta =
   }
 
 let all = [ reno; cubic; vegas; fixed 8; aimd ~alpha:1.0 ~beta:0.5 ]
+
+(* Wrap an instance's callbacks so any algorithm is observable without
+   touching its implementation: signal counters plus a cwnd gauge sampled
+   after every event that can move the window. *)
+let instrument sc inst =
+  let open Sublayer.Stats in
+  let acks = counter sc "acks" in
+  let losses = counter sc "losses" in
+  let ecn_marks = counter sc "ecn_marks" in
+  let cwnd = gauge sc "cwnd_bytes" in
+  let update () = set cwnd (int_of_float (inst.window ())) in
+  update ();
+  {
+    inst with
+    on_ack =
+      (fun ~bytes ~rtt ->
+        incr acks;
+        inst.on_ack ~bytes ~rtt;
+        update ());
+    on_loss =
+      (fun kind ->
+        incr losses;
+        inst.on_loss kind;
+        update ());
+    on_ecn =
+      (fun () ->
+        incr ecn_marks;
+        inst.on_ecn ();
+        update ());
+  }

@@ -42,3 +42,8 @@ val aimd : alpha:float -> beta:float -> algo
 (** Textbook AIMD with configurable increase/decrease. *)
 
 val all : algo list
+
+val instrument : Sublayer.Stats.scope -> instance -> instance
+(** Wrap an instance so its congestion events are counted ([acks],
+    [losses], [ecn_marks]) and its window tracked as a [cwnd_bytes]
+    gauge, whatever the algorithm. *)

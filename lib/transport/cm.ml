@@ -15,6 +15,14 @@ type phase =
   | Close_wait
   | Last_ack of int
 
+type counters = {
+  c_established : Sublayer.Stats.counter;
+  c_resets_sent : Sublayer.Stats.counter;
+  c_resets_received : Sublayer.Stats.counter;
+  c_handshake_retx : Sublayer.Stats.counter;
+  c_dropped : Sublayer.Stats.counter;
+}
+
 type t = {
   cfg : Config.t;
   isn : Isn.t;
@@ -23,6 +31,7 @@ type t = {
   phase : phase;
   isn_local : int option;
   isn_remote : int option;
+  ctrs : counters;
 }
 
 type up_req = Iface.cm_req
@@ -31,9 +40,21 @@ type down_req = string
 type down_ind = string
 type timer = Handshake | Fin_retx | Time_wait_expiry
 
-let initial cfg ~isn ~local_port ~remote_port =
+let initial ?stats cfg ~isn ~local_port ~remote_port =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "cm"
+  in
+  let ctrs =
+    {
+      c_established = Sublayer.Stats.counter sc "established";
+      c_resets_sent = Sublayer.Stats.counter sc "resets_sent";
+      c_resets_received = Sublayer.Stats.counter sc "resets_received";
+      c_handshake_retx = Sublayer.Stats.counter sc "handshake_retx";
+      c_dropped = Sublayer.Stats.counter sc "segments_dropped";
+    }
+  in
   { cfg; isn; local_port; remote_port; phase = Closed; isn_local = None;
-    isn_remote = None }
+    isn_remote = None; ctrs }
 
 let phase t = t.phase
 
@@ -73,16 +94,23 @@ let rst = { Segment.no_cm_flags with rst = true }
 
 let backoff base n = base *. (2. ** Float.of_int (min n 6))
 
-let established_ind t =
-  match isns t with
-  | Some (l, r) -> [ Up (`Established (l, r)) ]
-  | None -> assert false
-
 (* Abort the connection locally and tell the peer. *)
 let abort t reason =
+  Sublayer.Stats.incr t.ctrs.c_resets_sent;
   ( { t with phase = Closed },
     [ Note reason; control t rst; Cancel_timer Handshake; Cancel_timer Fin_retx;
       Up `Reset ] )
+
+(* Total: a handshake that reaches Established without both ISNs recorded
+   (a peer feeding us a malformed handshake) aborts with an RST instead of
+   crashing the host.  [t] already has [phase = Established] at the call
+   sites; [abort] overrides it back to Closed. *)
+let establish t pre_acts post_acts =
+  match isns t with
+  | Some (l, r) ->
+      Sublayer.Stats.incr t.ctrs.c_established;
+      (t, pre_acts @ (Up (`Established (l, r)) :: post_acts))
+  | None -> abort t "handshake incoherent (missing ISN); reset"
 
 let handle_up_req t (req : up_req) =
   match (req, t.phase) with
@@ -106,6 +134,7 @@ let handle_up_req t (req : up_req) =
       (* RD gave up (or the application demanded an abort): RST the peer
          and drop every timer. No upward indication — the requester is
          the one who initiated the abort. *)
+      Sublayer.Stats.incr t.ctrs.c_resets_sent;
       ( { t with phase = Closed },
         [ Note "ABORT (local)"; control t rst; Cancel_timer Handshake;
           Cancel_timer Fin_retx; Cancel_timer Time_wait_expiry ] )
@@ -129,7 +158,9 @@ let identity_ok t (cm : Segment.cm) =
 
 let handle_down_ind t pdu =
   match Segment.decode_cm pdu with
-  | None -> (t, [ Note "undecodable cm pdu dropped" ])
+  | None ->
+      Sublayer.Stats.incr t.ctrs.c_dropped;
+      (t, [ Note "undecodable cm pdu dropped" ])
   | Some (cm, payload) -> (
       let f = cm.Segment.flags in
       if f.Segment.rst then begin
@@ -139,6 +170,7 @@ let handle_down_ind t pdu =
         match t.phase with
         | Closed | Listen -> (t, [ Note "rst ignored" ])
         | _ when plausible ->
+            Sublayer.Stats.incr t.ctrs.c_resets_received;
             ( { t with phase = Closed },
               [ Cancel_timer Handshake; Cancel_timer Fin_retx; Up `Reset ] )
         | _ -> (t, [ Note "rst with wrong identity ignored" ])
@@ -157,20 +189,23 @@ let handle_down_ind t pdu =
             (t, [ control t syn_ack; Set_timer (Handshake, t.cfg.Config.syn_rto) ])
         | Syn_sent _, true, true, false when cm.Segment.isn_remote = Option.get t.isn_local ->
             let t = { t with phase = Established; isn_remote = Some cm.Segment.isn_local } in
-            ( t,
-              Note "ESTABLISHED (syn|ack received)"
-              :: control t bare_ack :: Cancel_timer Handshake :: established_ind t )
+            establish t
+              [ Note "ESTABLISHED (syn|ack received)"; control t bare_ack;
+                Cancel_timer Handshake ]
+              []
         | Syn_sent _, true, false, false ->
             (* Simultaneous open. *)
             let t = { t with phase = Syn_rcvd 0; isn_remote = Some cm.Segment.isn_local } in
             (t, [ control t syn_ack; Set_timer (Handshake, t.cfg.Config.syn_rto) ])
         | Syn_rcvd _, false, true, false when identity_ok t cm ->
             let t = { t with phase = Established } in
-            (t, Note "ESTABLISHED (handshake ack)" :: Cancel_timer Handshake :: established_ind t)
+            establish t
+              [ Note "ESTABLISHED (handshake ack)"; Cancel_timer Handshake ]
+              []
         | Syn_rcvd _, true, true, false when identity_ok t cm ->
             (* Simultaneous open completing. *)
             let t = { t with phase = Established } in
-            (t, (control t bare_ack :: Cancel_timer Handshake :: established_ind t))
+            establish t [ control t bare_ack; Cancel_timer Handshake ] []
         | Syn_rcvd _, true, false, false ->
             (* Duplicate SYN: repeat our SYN|ACK. *)
             (t, [ control t syn_ack ])
@@ -181,7 +216,7 @@ let handle_down_ind t pdu =
            proves the peer got our SYN|ACK (its identity embeds our ISN). --- *)
         | Syn_rcvd _, false, false, false when identity_ok t cm ->
             let t = { t with phase = Established } in
-            (t, Cancel_timer Handshake :: established_ind t @ [ Up (`Pdu payload) ])
+            establish t [ Cancel_timer Handshake ] [ Up (`Pdu payload) ]
         | (Established | Fin_wait_1 _ | Fin_wait_2 | Closing _ | Close_wait), false, false, false
           when identity_ok t cm ->
             (t, [ Up (`Pdu payload) ])
@@ -216,21 +251,27 @@ let handle_down_ind t pdu =
         | (Close_wait | Last_ack _ | Closing _), false, false, true when identity_ok t cm ->
             (* Duplicate FIN. *)
             (t, [ control t bare_ack ])
-        | _ -> (t, [ Note "segment dropped (wrong phase or identity)" ]))
+        | _ ->
+            Sublayer.Stats.incr t.ctrs.c_dropped;
+            (t, [ Note "segment dropped (wrong phase or identity)" ]))
 
 let handle_timer t (tm : timer) =
   match (tm, t.phase) with
   | Handshake, Syn_sent n ->
       if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
-      else
+      else begin
+        Sublayer.Stats.incr t.ctrs.c_handshake_retx;
         ( { t with phase = Syn_sent (n + 1) },
           [ Note (Printf.sprintf "SYN retransmit #%d" (n + 1)); control t syn;
             Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+      end
   | Handshake, Syn_rcvd n ->
       if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
-      else
+      else begin
+        Sublayer.Stats.incr t.ctrs.c_handshake_retx;
         ( { t with phase = Syn_rcvd (n + 1) },
           [ control t syn_ack; Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
+      end
   | Fin_retx, Fin_wait_1 n ->
       if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
       else

@@ -27,7 +27,16 @@ type phase =
 
 type t
 
-val initial : Config.t -> isn:Isn.t -> local_port:int -> remote_port:int -> t
+val initial :
+  ?stats:Sublayer.Stats.scope ->
+  Config.t ->
+  isn:Isn.t ->
+  local_port:int ->
+  remote_port:int ->
+  t
+(** Counters (when [stats] is given): [established], [resets_sent],
+    [resets_received], [handshake_retx], [segments_dropped]. *)
+
 val phase : t -> phase
 val phase_name : t -> string
 val isns : t -> (int * int) option

@@ -10,12 +10,20 @@ type phase =
   | Draining of { isn_local : int; isn_remote : int option }
       (** Local close requested; waiting out the quiet period. *)
 
+type counters = {
+  c_established : Sublayer.Stats.counter;
+  c_stamped : Sublayer.Stats.counter;
+  c_dropped : Sublayer.Stats.counter;
+  c_idle_closes : Sublayer.Stats.counter;
+}
+
 type t = {
   cfg : Config.t;
   isn : Isn.t;
   local_port : int;
   remote_port : int;
   idle_timeout : float;
+  ctrs : counters;
   phase : phase;
 }
 
@@ -25,8 +33,19 @@ type down_req = string
 type down_ind = string
 type timer = Idle
 
-let initial cfg ~isn ~local_port ~remote_port ~idle_timeout =
-  { cfg; isn; local_port; remote_port; idle_timeout; phase = Closed }
+let initial ?stats cfg ~isn ~local_port ~remote_port ~idle_timeout =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "cm-timer"
+  in
+  let ctrs =
+    {
+      c_established = Sublayer.Stats.counter sc "established";
+      c_stamped = Sublayer.Stats.counter sc "segments_stamped";
+      c_dropped = Sublayer.Stats.counter sc "segments_dropped";
+      c_idle_closes = Sublayer.Stats.counter sc "idle_closes";
+    }
+  in
+  { cfg; isn; local_port; remote_port; idle_timeout; ctrs; phase = Closed }
 
 let phase_name t =
   match t.phase with
@@ -54,6 +73,7 @@ let handle_up_req t (req : up_req) =
       let isn_local =
         t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port
       in
+      Sublayer.Stats.incr t.ctrs.c_established;
       ( { t with phase = Active { isn_local; isn_remote = None } },
         [ Up (`Established (isn_local, 0)); touch t ] )
   | `Listen, Closed -> ({ t with phase = Listening }, [])
@@ -68,13 +88,19 @@ let handle_up_req t (req : up_req) =
          immediately instead of waiting out the quiet period. *)
       ({ t with phase = Closed }, [ Cancel_timer Idle ])
   | `Pdu payload, (Active { isn_local; isn_remote } | Draining { isn_local; isn_remote })
-    -> (t, [ stamp ~isn_local ~isn_remote payload ])
-  | `Pdu _, _ -> (t, [ Note "data while closed dropped" ])
+    ->
+      Sublayer.Stats.incr t.ctrs.c_stamped;
+      (t, [ stamp ~isn_local ~isn_remote payload ])
+  | `Pdu _, _ ->
+      Sublayer.Stats.incr t.ctrs.c_dropped;
+      (t, [ Note "data while closed dropped" ])
   | (`Connect | `Listen), _ -> (t, [ Note "open ignored in this phase" ])
 
 let handle_down_ind t pdu =
   match Segment.decode_cm pdu with
-  | None -> (t, [ Note "undecodable cm pdu dropped" ])
+  | None ->
+      Sublayer.Stats.incr t.ctrs.c_dropped;
+      (t, [ Note "undecodable cm pdu dropped" ])
   | Some (cm, payload) -> (
       let peer_isn = cm.Segment.isn_local in
       let echoed = cm.Segment.isn_remote in
@@ -86,11 +112,13 @@ let handle_down_ind t pdu =
             t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port
           in
           let t = { t with phase = Active { isn_local; isn_remote = Some peer_isn } } in
+          Sublayer.Stats.incr t.ctrs.c_established;
           ( t,
             [ Up (`Established (isn_local, peer_isn)); Up (`Pdu payload); touch t ] )
       | Active { isn_local; isn_remote = None } when echoed = isn_local || echoed = 0 ->
           (* Learning the responder's ISN from its first segment. *)
           let t = { t with phase = Active { isn_local; isn_remote = Some peer_isn } } in
+          Sublayer.Stats.incr t.ctrs.c_established;
           ( t,
             [ Up (`Established (isn_local, peer_isn)); Up (`Pdu payload); touch t ] )
       | Active { isn_local; isn_remote = Some r } when peer_isn = r && echoed = isn_local
@@ -100,13 +128,16 @@ let handle_down_ind t pdu =
         ->
           (* Still acking the peer's stragglers during the quiet period. *)
           (t, [ Up (`Pdu payload); Set_timer (Idle, t.idle_timeout) ])
-      | _ -> (t, [ Note "segment with stale identity dropped (delta-t trust)" ]))
+      | _ ->
+          Sublayer.Stats.incr t.ctrs.c_dropped;
+          (t, [ Note "segment with stale identity dropped (delta-t trust)" ]))
 
 let handle_timer t Idle =
   match t.phase with
   | Active _ ->
       (* Silence for a full idle period: the peer is gone (or merely
          quiet — Watson's trade-off). *)
+      Sublayer.Stats.incr t.ctrs.c_idle_closes;
       ({ t with phase = Closed }, [ Up `Peer_fin; Up `Closed ])
   | Draining _ -> ({ t with phase = Closed }, [ Up `Closed ])
   | Closed | Listening -> (t, [])

@@ -25,7 +25,15 @@
 type t
 
 val initial :
-  Config.t -> isn:Isn.t -> local_port:int -> remote_port:int -> idle_timeout:float -> t
+  ?stats:Sublayer.Stats.scope ->
+  Config.t ->
+  isn:Isn.t ->
+  local_port:int ->
+  remote_port:int ->
+  idle_timeout:float ->
+  t
+(** Counters (when [stats] is given): [established], [segments_stamped],
+    [segments_dropped], [idle_closes]. *)
 
 val phase_name : t -> string
 

@@ -4,23 +4,54 @@ let name = "dm"
 
 type conn = { local_port : int; remote_port : int }
 
-type t = conn
+type t = {
+  conn : conn;
+  segments_out : Sublayer.Stats.counter;
+  segments_in : Sublayer.Stats.counter;
+  rejected : Sublayer.Stats.counter;
+}
+
 type up_req = string
 type up_ind = string
 type down_req = string
 type down_ind = string
 type timer = Nothing.t
 
+let make ?stats ~local_port ~remote_port () =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "dm"
+  in
+  {
+    conn = { local_port; remote_port };
+    segments_out = Sublayer.Stats.counter sc "segments_out";
+    segments_in = Sublayer.Stats.counter sc "segments_in";
+    rejected = Sublayer.Stats.counter sc "rejected";
+  }
+
+let conn t = t.conn
+
 let handle_up_req t pdu =
-  let header = { Segment.src_port = t.local_port; dst_port = t.remote_port } in
+  let header =
+    { Segment.src_port = t.conn.local_port; dst_port = t.conn.remote_port }
+  in
+  Sublayer.Stats.incr t.segments_out;
   (t, [ Down (Segment.encode_dm header ~payload:pdu) ])
 
 let handle_down_ind t wire =
   match Segment.decode_dm wire with
-  | None -> (t, [ Note "short segment dropped" ])
+  | None ->
+      Sublayer.Stats.incr t.rejected;
+      (t, [ Note "short segment dropped" ])
   | Some (dm, payload) ->
-      if dm.Segment.dst_port = t.local_port && dm.Segment.src_port = t.remote_port then
+      if dm.Segment.dst_port = t.conn.local_port
+         && dm.Segment.src_port = t.conn.remote_port
+      then begin
+        Sublayer.Stats.incr t.segments_in;
         (t, [ Up payload ])
-      else (t, [ Note "segment for another connection dropped" ])
+      end
+      else begin
+        Sublayer.Stats.incr t.rejected;
+        (t, [ Note "segment for another connection dropped" ])
+      end
 
 let handle_timer _ t = Nothing.absurd t

@@ -8,9 +8,15 @@ type conn = { local_port : int; remote_port : int }
 
 include
   Sublayer.Machine.S
-    with type t = conn
-     and type up_req = string
+    with type up_req = string
      and type up_ind = string
      and type down_req = string
      and type down_ind = string
      and type timer = Sublayer.Machine.Nothing.t
+
+val make :
+  ?stats:Sublayer.Stats.scope -> local_port:int -> remote_port:int -> unit -> t
+(** Counters (when [stats] is given): [segments_out], [segments_in],
+    [rejected]. *)
+
+val conn : t -> conn

@@ -27,6 +27,7 @@ type factory = {
       (** (src_port, dst_port) of a wire segment in this endpoint's
           format. *)
   make :
+    ?stats:Sublayer.Stats.registry ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -45,10 +46,16 @@ val create :
   Sim.Engine.t ->
   ?config:Config.t ->
   ?factory:factory ->
+  ?stats:Sublayer.Stats.registry ->
   name:string ->
   transmit:(string -> unit) ->
   unit ->
   t
+(** When [stats] is given, every connection's sublayers register their
+    counters in it; connections sharing the host aggregate into the same
+    per-sublayer scopes. *)
+
+val stats_registry : t -> Sublayer.Stats.registry option
 
 val from_wire : t -> string -> unit
 
@@ -105,6 +112,8 @@ val pair :
   ?factory_a:factory ->
   ?factory_b:factory ->
   ?guard:bool ->
+  ?stats_a:Sublayer.Stats.registry ->
+  ?stats_b:Sublayer.Stats.registry ->
   Sim.Channel.config ->
   t * t
 (** Two hosts joined by a duplex impaired channel. [guard] (default
@@ -118,6 +127,8 @@ val pair_channels :
   ?factory_a:factory ->
   ?factory_b:factory ->
   ?guard:bool ->
+  ?stats_a:Sublayer.Stats.registry ->
+  ?stats_b:Sublayer.Stats.registry ->
   Sim.Channel.config ->
   t * t * string Sim.Channel.t * string Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then

@@ -58,21 +58,33 @@ type conn = {
   advertised : int;
 }
 
+type counters = {
+  c_messages_sent : Sublayer.Stats.counter;
+  c_messages_delivered : Sublayer.Stats.counter;
+}
+
 type t = {
   cfg : Config.t;
   now : unit -> float;
-  mutable sent : int;
-  mutable delivered : int;
+  ctrs : counters;
+  cc_stats : Sublayer.Stats.scope option;
   pre_sends : string list;  (* reversed *)
   pre_close : bool;
   conn : conn option;
 }
 
-let initial cfg ~now =
-  { cfg; now; sent = 0; delivered = 0; pre_sends = []; pre_close = false; conn = None }
+let initial ?stats ?cc_stats cfg ~now =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "msg"
+  in
+  { cfg; now;
+    ctrs =
+      { c_messages_sent = Sublayer.Stats.counter sc "messages_sent";
+        c_messages_delivered = Sublayer.Stats.counter sc "messages_delivered" };
+    cc_stats; pre_sends = []; pre_close = false; conn = None }
 
-let messages_delivered t = t.delivered
-let messages_sent t = t.sent
+let messages_delivered t = Sublayer.Stats.value t.ctrs.c_messages_delivered
+let messages_sent t = Sublayer.Stats.value t.ctrs.c_messages_sent
 
 let stream_finished t =
   match t.conn with
@@ -131,7 +143,7 @@ let maybe_fin c =
   else (c, [])
 
 let enqueue t c body =
-  t.sent <- t.sent + 1;
+  Sublayer.Stats.incr t.ctrs.c_messages_sent;
   if String.length body > 0xFFFF then invalid_arg "Msg: message too long";
   { c with sendq = c.sendq @ [ (c.next_id, body) ]; next_id = (c.next_id + 1) land 0xFFFF }
 
@@ -173,7 +185,7 @@ let accept_fragment t c (h : header) payload =
   in
   if partial.p_got >= partial.p_len then begin
     Hashtbl.remove c.partials h.msg_id;
-    t.delivered <- t.delivered + 1;
+    Sublayer.Stats.incr t.ctrs.c_messages_delivered;
     let body = Bytes.to_string partial.p_buf in
     let body = if h.msg_len = 0 then "" else body in
     let c = { c with buffered = max 0 (c.buffered - (partial.p_len - n)) } in
@@ -190,6 +202,9 @@ let handle_down_ind t (ind : down_ind) =
   match (ind, t.conn) with
   | `Established, None ->
       let cc = t.cfg.Config.cc.Cc.create ~mss:t.cfg.Config.mss ~now:t.now in
+      let cc =
+        match t.cc_stats with Some sc -> Cc.instrument sc cc | None -> cc
+      in
       let c =
         { cc; sendq = []; sendq_off = 0; next_id = 0; next_off = 0; acked = 0;
           peer_window = 0xFFFF; fin_requested = t.pre_close; fin_sent = false;

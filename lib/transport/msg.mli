@@ -28,7 +28,15 @@ type up_ind =
 
 type t
 
-val initial : Config.t -> now:(unit -> float) -> t
+val initial :
+  ?stats:Sublayer.Stats.scope ->
+  ?cc_stats:Sublayer.Stats.scope ->
+  Config.t ->
+  now:(unit -> float) ->
+  t
+(** Counters (when [stats] is given): [messages_sent],
+    [messages_delivered]. [cc_stats] instruments the congestion-control
+    instance as in {!Osr.initial}. *)
 
 val messages_delivered : t -> int
 val messages_sent : t -> int

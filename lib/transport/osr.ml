@@ -8,6 +8,19 @@ type stats = {
   mutable segments_out : int;
 }
 
+type counters = {
+  c_bytes_written : Sublayer.Stats.counter;
+  c_bytes_delivered : Sublayer.Stats.counter;
+  c_segments_out : Sublayer.Stats.counter;
+}
+
+let counters_in sc =
+  {
+    c_bytes_written = Sublayer.Stats.counter sc "bytes_written";
+    c_bytes_delivered = Sublayer.Stats.counter sc "bytes_delivered";
+    c_segments_out = Sublayer.Stats.counter sc "segments_out";
+  }
+
 (* The outgoing byte stream not yet segmented: a chunk queue with a
    partially-consumed head. Mutable by design (like [stats]); the
    surrounding state record is threaded immutably. *)
@@ -67,7 +80,8 @@ type conn = {
 type t = {
   cfg : Config.t;
   now : unit -> float;
-  stats : stats;
+  ctrs : counters;
+  cc_stats : Sublayer.Stats.scope option;
   pre_writes : string list;  (* reversed; writes before establishment *)
   pre_close : bool;
   conn : conn option;
@@ -82,11 +96,19 @@ type timer = Persist
 (* Zero-window probe interval. *)
 let persist_interval = 0.5
 
-let initial cfg ~now =
-  { cfg; now; stats = { bytes_written = 0; bytes_delivered = 0; segments_out = 0 };
+let initial ?stats ?cc_stats cfg ~now =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "osr"
+  in
+  { cfg; now; ctrs = counters_in sc; cc_stats;
     pre_writes = []; pre_close = false; conn = None }
 
-let stats t = t.stats
+(* Fresh snapshot of the counters in the legacy record shape. *)
+let stats t =
+  let v c = Sublayer.Stats.value c in
+  { bytes_written = v t.ctrs.c_bytes_written;
+    bytes_delivered = v t.ctrs.c_bytes_delivered;
+    segments_out = v t.ctrs.c_segments_out }
 
 let cc_name t = match t.conn with None -> t.cfg.Config.cc.Cc.algo_name | Some c -> c.cc.Cc.name
 let cwnd t =
@@ -147,7 +169,7 @@ let try_send t c =
     else begin
       let payload = Outbuf.take cn.outbuf want in
       let osr_pdu = Segment.encode_osr (my_header t cn) ~payload in
-      t.stats.segments_out <- t.stats.segments_out + 1;
+      Sublayer.Stats.incr t.ctrs.c_segments_out;
       acts := `Transmit (cn.next_off, want, osr_pdu) :: !acts;
       c := { cn with next_off = cn.next_off + want }
     end
@@ -185,10 +207,10 @@ let handle_up_req t (req : up_req) =
   | `Connect, _ -> (t, [ Down `Connect ])
   | `Listen, _ -> (t, [ Down `Listen ])
   | `Write s, None ->
-      t.stats.bytes_written <- t.stats.bytes_written + String.length s;
+      Sublayer.Stats.add t.ctrs.c_bytes_written (String.length s);
       ({ t with pre_writes = s :: t.pre_writes }, [])
   | `Write s, Some c ->
-      t.stats.bytes_written <- t.stats.bytes_written + String.length s;
+      Sublayer.Stats.add t.ctrs.c_bytes_written (String.length s);
       Outbuf.push c.outbuf s;
       let c, acts = try_send t c in
       ({ t with conn = Some c }, acts)
@@ -222,7 +244,7 @@ let accept_segment t c offset payload =
     let fresh_bytes =
       List.fold_left (fun acc b -> acc + String.length b) 0 delivered
     in
-    t.stats.bytes_delivered <- t.stats.bytes_delivered + fresh_bytes;
+    Sublayer.Stats.add t.ctrs.c_bytes_delivered fresh_bytes;
     let c = { c with reasm; rcv_cum; unread = c.unread + fresh_bytes } in
     let c, window_acts = refresh_window t c in
     (c, List.map (fun bytes -> Up (`Data bytes)) delivered @ window_acts)
@@ -232,6 +254,9 @@ let handle_down_ind t (ind : down_ind) =
   match (ind, t.conn) with
   | `Established, None ->
       let cc = t.cfg.Config.cc.Cc.create ~mss:t.cfg.Config.mss ~now:t.now in
+      let cc =
+        match t.cc_stats with Some sc -> Cc.instrument sc cc | None -> cc
+      in
       let c =
         { cc; outbuf = Outbuf.create (); next_off = 0; acked = 0; peer_window = 0xFFFF;
           fin_requested = t.pre_close; fin_sent = false; peer_fin_seen = false;
@@ -309,7 +334,7 @@ let handle_timer t Persist =
          window. *)
       let payload = Outbuf.take c.outbuf 1 in
       let osr_pdu = Segment.encode_osr (my_header t c) ~payload in
-      t.stats.segments_out <- t.stats.segments_out + 1;
+      Sublayer.Stats.incr t.ctrs.c_segments_out;
       let c = { c with next_off = c.next_off + 1 } in
       ( { t with conn = Some c },
         [ Down (`Transmit (c.next_off - 1, 1, osr_pdu));

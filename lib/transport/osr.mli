@@ -12,7 +12,16 @@
 
 type t
 
-val initial : Config.t -> now:(unit -> float) -> t
+val initial :
+  ?stats:Sublayer.Stats.scope ->
+  ?cc_stats:Sublayer.Stats.scope ->
+  Config.t ->
+  now:(unit -> float) ->
+  t
+(** Counters (when [stats] is given): [bytes_written], [bytes_delivered],
+    [segments_out]. When [cc_stats] is given the congestion-control
+    instance created at establishment is wrapped with {!Cc.instrument}
+    under that scope. *)
 
 type stats = {
   mutable bytes_written : int;    (** accepted from the application *)
@@ -21,6 +30,8 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Fresh snapshot per call. *)
+
 val cc_name : t -> string
 val cwnd : t -> float
 (** Current congestion window in bytes (MSS-sized before establishment). *)

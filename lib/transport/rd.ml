@@ -11,6 +11,25 @@ type stats = {
   mutable dup_segments : int;
 }
 
+type counters = {
+  c_segments_sent : Sublayer.Stats.counter;
+  c_retransmits : Sublayer.Stats.counter;
+  c_fast_retransmits : Sublayer.Stats.counter;
+  c_timeouts : Sublayer.Stats.counter;
+  c_acks_only : Sublayer.Stats.counter;
+  c_dup_segments : Sublayer.Stats.counter;
+}
+
+let counters_in sc =
+  {
+    c_segments_sent = Sublayer.Stats.counter sc "segments_sent";
+    c_retransmits = Sublayer.Stats.counter sc "retransmits";
+    c_fast_retransmits = Sublayer.Stats.counter sc "fast_retransmits";
+    c_timeouts = Sublayer.Stats.counter sc "timeouts";
+    c_acks_only = Sublayer.Stats.counter sc "acks_only";
+    c_dup_segments = Sublayer.Stats.counter sc "dup_segments";
+  }
+
 type sent = {
   s_off : int;
   s_len : int;
@@ -43,7 +62,7 @@ type conn = {
 type t = {
   cfg : Config.t;
   now : unit -> float;
-  stats : stats;
+  ctrs : counters;
   conn : conn option;
 }
 
@@ -53,14 +72,21 @@ type down_req = Iface.cm_req
 type down_ind = Iface.cm_ind
 type timer = Rto | Ack_delay
 
-let initial cfg ~now =
-  { cfg; now;
-    stats =
-      { segments_sent = 0; retransmits = 0; fast_retransmits = 0; timeouts = 0;
-        acks_only = 0; dup_segments = 0 };
-    conn = None }
+let initial ?stats cfg ~now =
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "rd"
+  in
+  { cfg; now; ctrs = counters_in sc; conn = None }
 
-let stats t = t.stats
+(* Fresh snapshot of the counters in the legacy record shape. *)
+let stats t =
+  let v c = Sublayer.Stats.value c in
+  { segments_sent = v t.ctrs.c_segments_sent;
+    retransmits = v t.ctrs.c_retransmits;
+    fast_retransmits = v t.ctrs.c_fast_retransmits;
+    timeouts = v t.ctrs.c_timeouts;
+    acks_only = v t.ctrs.c_acks_only;
+    dup_segments = v t.ctrs.c_dup_segments }
 
 let outstanding t =
   match t.conn with None -> 0 | Some c -> c.snd_max - c.snd_acked
@@ -100,11 +126,11 @@ let pure_ack t c =
     sacks = rcv_sacks t c }
 
 let send_data t c sent =
-  t.stats.segments_sent <- t.stats.segments_sent + 1;
+  Sublayer.Stats.incr t.ctrs.c_segments_sent;
   Down (`Pdu (Segment.encode_rd (data_segment t c sent) ~payload:sent.s_pdu))
 
 let send_ack t c =
-  t.stats.acks_only <- t.stats.acks_only + 1;
+  Sublayer.Stats.incr t.ctrs.c_acks_only;
   Down (`Pdu (Segment.encode_rd (pure_ack t c) ~payload:c.block))
 
 let update_rtt c sample cfg =
@@ -208,7 +234,7 @@ let handle_data t c (rd : Segment.rd) osr_pdu =
           [ Up (`Segment (offset, osr_pdu)); send_ack t c; Cancel_timer Ack_delay ] )
     end
     else begin
-      t.stats.dup_segments <- t.stats.dup_segments + 1;
+      Sublayer.Stats.incr t.ctrs.c_dup_segments;
       ({ c with ack_pending = false }, [ send_ack t c; Cancel_timer Ack_delay ])
     end
   end
@@ -286,8 +312,8 @@ let handle_ack t c (rd : Segment.rd) osr_pdu =
       match List.find_opt (fun s -> not (s.s_sacked || s.s_retx)) c.sndq with
       | None -> (c, [])
       | Some victim ->
-          t.stats.retransmits <- t.stats.retransmits + 1;
-          t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+          Sublayer.Stats.incr t.ctrs.c_retransmits;
+          Sublayer.Stats.incr t.ctrs.c_fast_retransmits;
           let resend = { victim with s_retx = true; s_sent_at = t.now () } in
           let sndq =
             List.map (fun s -> if s.s_off = victim.s_off then resend else s) c.sndq
@@ -377,8 +403,8 @@ let handle_timer t tm =
           | all_sacked :: _ ->
               (* Everything outstanding is sacked but not cumulatively
                  acked: resend the oldest anyway. *)
-              t.stats.retransmits <- t.stats.retransmits + 1;
-              t.stats.timeouts <- t.stats.timeouts + 1;
+              Sublayer.Stats.incr t.ctrs.c_retransmits;
+              Sublayer.Stats.incr t.ctrs.c_timeouts;
               let resend = { all_sacked with s_retx = true; s_sent_at = t.now () } in
               let sndq =
                 List.map (fun s -> if s.s_off = resend.s_off then resend else s) c.sndq
@@ -389,8 +415,8 @@ let handle_timer t tm =
               in
               ({ t with conn = Some c }, [ send_data t c resend; Up (`Loss Cc.Timeout); arm_rto t c ]))
       | Some victim ->
-          t.stats.retransmits <- t.stats.retransmits + 1;
-          t.stats.timeouts <- t.stats.timeouts + 1;
+          Sublayer.Stats.incr t.ctrs.c_retransmits;
+          Sublayer.Stats.incr t.ctrs.c_timeouts;
           let resend = { victim with s_retx = true; s_sent_at = t.now () } in
           let sndq =
             List.map (fun s -> if s.s_off = victim.s_off then resend else s) c.sndq

@@ -15,7 +15,9 @@
 
 type t
 
-val initial : Config.t -> now:(unit -> float) -> t
+val initial : ?stats:Sublayer.Stats.scope -> Config.t -> now:(unit -> float) -> t
+(** Counters (when [stats] is given): [segments_sent], [retransmits],
+    [fast_retransmits], [timeouts], [acks_only], [dup_segments]. *)
 
 type stats = {
   mutable segments_sent : int;
@@ -27,6 +29,8 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Fresh snapshot per call. *)
+
 val outstanding : t -> int
 (** Unacknowledged stream bytes. *)
 

@@ -8,8 +8,8 @@ type t = {
   local_port : int;
   remote_port : int;
   seq : int;
-  mutable sent : int;
-  mutable failures : int;
+  c_sent : Sublayer.Stats.counter;
+  c_failures : Sublayer.Stats.counter;
 }
 
 (* The MAC key is derived from the cipher key so callers manage one
@@ -18,13 +18,17 @@ type t = {
 let derive_mac_key key =
   String.sub (Bitkit.Chacha20.block ~key ~counter:0 ~nonce:(String.make 12 '\000')) 0 16
 
-let initial ~key ~local_port ~remote_port =
+let initial ?stats ~key ~local_port ~remote_port () =
   if String.length key <> 32 then invalid_arg "Rec: key must be 32 bytes";
-  { key; mac_key = derive_mac_key key; local_port; remote_port; seq = 0; sent = 0;
-    failures = 0 }
+  let sc =
+    match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "rec"
+  in
+  { key; mac_key = derive_mac_key key; local_port; remote_port; seq = 0;
+    c_sent = Sublayer.Stats.counter sc "records_sent";
+    c_failures = Sublayer.Stats.counter sc "auth_failures" }
 
-let records_sent t = t.sent
-let auth_failures t = t.failures
+let records_sent t = Sublayer.Stats.value t.c_sent
+let auth_failures t = Sublayer.Stats.value t.c_failures
 
 type up_req = string
 type up_ind = string
@@ -52,7 +56,7 @@ let seal t pdu =
   let tag =
     Bitkit.Siphash.tag ~key:t.mac_key (tag_input ~port:t.local_port ~seq ciphertext)
   in
-  t.sent <- t.sent + 1;
+  Sublayer.Stats.incr t.c_sent;
   ({ t with seq = seq + 1 }, le64 seq ^ ciphertext ^ tag)
 
 let open_ t record =
@@ -66,7 +70,7 @@ let open_ t record =
       Bitkit.Siphash.tag ~key:t.mac_key (tag_input ~port:t.remote_port ~seq ciphertext)
     in
     if not (String.equal tag expected) then begin
-      t.failures <- t.failures + 1;
+      Sublayer.Stats.incr t.c_failures;
       None
     end
     else

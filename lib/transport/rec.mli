@@ -23,8 +23,15 @@
 
 type t
 
-val initial : key:string -> local_port:int -> remote_port:int -> t
-(** [key] is the 32-byte shared secret. *)
+val initial :
+  ?stats:Sublayer.Stats.scope ->
+  key:string ->
+  local_port:int ->
+  remote_port:int ->
+  unit ->
+  t
+(** [key] is the 32-byte shared secret. Counters (when [stats] is
+    given): [records_sent], [auth_failures]. *)
 
 val records_sent : t -> int
 val auth_failures : t -> int

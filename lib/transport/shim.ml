@@ -196,7 +196,7 @@ let factory =
     Host.fname = "sublayered+shim";
     peek = Wire.peek_ports;
     make =
-      (fun engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let shim = create () in
         let inner_ref = ref None in
         let pump () =
@@ -209,7 +209,7 @@ let factory =
           pump ()
         in
         let inner =
-          Host.sublayered.Host.make engine ~name cfg ~local_port ~remote_port
+          Host.sublayered.Host.make ?stats engine ~name cfg ~local_port ~remote_port
             ~transmit:inner_transmit ~events
         in
         inner_ref := Some inner;

@@ -8,13 +8,14 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let msg = Msg.initial cfg ~now in
-  let rd = Rd.initial cfg ~now in
-  let cm = Cm.initial cfg ~isn ~local_port ~remote_port in
-  let dm = { Dm.local_port; remote_port } in
+  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
+  let msg = Msg.initial ?stats:(sc "msg") ?cc_stats:(sc "cc") cfg ~now in
+  let rd = Rd.initial ?stats:(sc "rd") cfg ~now in
+  let cm = Cm.initial ?stats:(sc "cm") cfg ~isn ~local_port ~remote_port in
+  let dm = Dm.make ?stats:(sc "dm") ~local_port ~remote_port () in
   R.create engine ?trace ~name ~transmit ~deliver:events (msg, (rd, (cm, dm)))
 
 let connect t = R.from_above t `Connect

@@ -8,6 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
+  ?stats:Sublayer.Stats.registry ->
   name:string ->
   Config.t ->
   local_port:int ->

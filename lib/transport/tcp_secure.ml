@@ -11,14 +11,16 @@ type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ~key ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ~key ~name cfg ~local_port ~remote_port ~transmit
+    ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let osr = Osr.initial cfg ~now in
-  let rd = Rd.initial cfg ~now in
-  let cm = Cm.initial cfg ~isn ~local_port ~remote_port in
-  let rec_ = Rec.initial ~key ~local_port ~remote_port in
-  let dm = { Dm.local_port; remote_port } in
+  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
+  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") cfg ~now in
+  let rd = Rd.initial ?stats:(sc "rd") cfg ~now in
+  let cm = Cm.initial ?stats:(sc "cm") cfg ~isn ~local_port ~remote_port in
+  let rec_ = Rec.initial ?stats:(sc "rec") ~key ~local_port ~remote_port () in
+  let dm = Dm.make ?stats:(sc "dm") ~local_port ~remote_port () in
   R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, (rec_, dm))))
 
 let connect t = R.from_above t `Connect
@@ -38,8 +40,11 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
-        let t = create engine ~key ~name cfg ~local_port ~remote_port ~transmit ~events in
+      (fun ?stats engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+        let t =
+          create engine ?stats ~key ~name cfg ~local_port ~remote_port ~transmit
+            ~events
+        in
         {
           Host.ep_from_wire = from_wire t;
           ep_connect = (fun () -> connect t);

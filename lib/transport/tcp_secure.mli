@@ -8,6 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
+  ?stats:Sublayer.Stats.registry ->
   key:string ->
   name:string ->
   Config.t ->

@@ -8,6 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
+  ?stats:Sublayer.Stats.registry ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -16,7 +17,9 @@ val create :
   events:(Iface.app_ind -> unit) ->
   t
 (** [transmit] sends a wire segment; [events] receives application-level
-    indications ([`Established], [`Data], ...). *)
+    indications ([`Established], [`Data], ...). When [stats] is given,
+    each sublayer registers its counters under its own scope: [osr.*],
+    [rd.*], [cm.*], [dm.*] plus [cc.*] for the congestion controller. *)
 
 val connect : t -> unit
 val listen : t -> unit

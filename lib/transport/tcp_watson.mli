@@ -7,6 +7,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
+  ?stats:Sublayer.Stats.registry ->
   ?idle_timeout:float ->
   name:string ->
   Config.t ->

@@ -91,6 +91,64 @@ let test_engine_heap_stress () =
   check Alcotest.bool "monotone" true !monotone;
   check Alcotest.int "all fired" 5000 (Sim.Engine.events_fired e)
 
+let test_engine_live_accounting () =
+  (* 10k schedule/cancel cycles: the O(1) live counter must agree with
+     the O(n) queue scan throughout, cancels included. *)
+  let e = Sim.Engine.create ~seed:3 () in
+  let rng = Bitkit.Rng.create 17 in
+  let handles = ref [] in
+  for i = 1 to 10_000 do
+    let h = Sim.Engine.schedule e ~after:(Bitkit.Rng.float rng *. 10.) ignore in
+    if Bitkit.Rng.int rng 2 = 0 then Sim.Engine.cancel h else handles := h :: !handles;
+    if i mod 1000 = 0 then
+      check Alcotest.int
+        (Printf.sprintf "live = pending after %d cycles" i)
+        (Sim.Engine.pending e) (Sim.Engine.live e)
+  done;
+  (* Cancel half of the survivors, including double-cancels. *)
+  List.iteri
+    (fun i h ->
+      if i mod 2 = 0 then begin
+        Sim.Engine.cancel h;
+        Sim.Engine.cancel h
+      end)
+    !handles;
+  check Alcotest.int "live = pending after mass cancel" (Sim.Engine.pending e)
+    (Sim.Engine.live e);
+  Sim.Engine.run e;
+  check Alcotest.int "empty: live" 0 (Sim.Engine.live e);
+  check Alcotest.int "empty: pending" 0 (Sim.Engine.pending e)
+
+let test_engine_cancel_after_fire () =
+  (* Cancelling a handle that already fired must not corrupt the live
+     count (no double decrement). *)
+  let e = Sim.Engine.create () in
+  let h = Sim.Engine.schedule e ~after:0.1 ignore in
+  ignore (Sim.Engine.schedule e ~after:1.0 ignore);
+  Sim.Engine.run ~until:0.5 e;
+  Sim.Engine.cancel h;
+  check Alcotest.int "live unaffected" 1 (Sim.Engine.live e);
+  check Alcotest.int "pending agrees" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e;
+  check Alcotest.int "drained" 0 (Sim.Engine.live e)
+
+let test_engine_compaction () =
+  (* Cancelling most of a large queue triggers compaction: dead entries
+     are dropped from the heap rather than retained until their time. *)
+  let e = Sim.Engine.create () in
+  let handles =
+    List.init 10_000 (fun i ->
+        Sim.Engine.schedule e ~after:(Float.of_int i +. 1.) ignore)
+  in
+  List.iteri (fun i h -> if i mod 10 <> 0 then Sim.Engine.cancel h) handles;
+  (* A fresh schedule after the mass cancel gives the engine a chance to
+     compact. *)
+  ignore (Sim.Engine.schedule e ~after:0.5 ignore);
+  check Alcotest.bool "compacted at least once" true (Sim.Engine.compactions e > 0);
+  check Alcotest.int "live survivors" 1001 (Sim.Engine.live e);
+  Sim.Engine.run e;
+  check Alcotest.int "survivors fired" 1001 (Sim.Engine.events_fired e)
+
 (* --- Channel --- *)
 
 let collect_channel cfg n =
@@ -254,6 +312,36 @@ let test_trace () =
   Sim.Trace.clear t;
   check Alcotest.int "cleared" 0 (List.length (Sim.Trace.entries t))
 
+let test_trace_bounded () =
+  (* The ring retains at most [capacity] entries but counts stay
+     all-time. *)
+  let t = Sim.Trace.create ~capacity:100 () in
+  for i = 1 to 250 do
+    Sim.Trace.record t ~time:(Float.of_int i) ~actor:"a" "send x"
+  done;
+  check Alcotest.int "retained bounded" 100 (List.length (Sim.Trace.entries t));
+  check Alcotest.int "dropped counted" 150 (Sim.Trace.dropped t);
+  check Alcotest.int "count survives eviction" 250 (Sim.Trace.count t "send");
+  let oldest = List.hd (Sim.Trace.entries t) in
+  check (Alcotest.float 1e-9) "oldest evicted first" 151. oldest.Sim.Trace.time;
+  Sim.Trace.clear t;
+  check Alcotest.int "cleared" 0 (Sim.Trace.count t "send");
+  check Alcotest.int "dropped reset" 0 (Sim.Trace.dropped t)
+
+let test_events_indexed_count () =
+  let t = Sim.Events.create ~capacity:64 () in
+  for i = 1 to 1000 do
+    Sim.Events.emit t ~at:(Float.of_int i) ~actor:(if i mod 2 = 0 then "a" else "b")
+      ~detail:(string_of_int i) "retransmit"
+  done;
+  Sim.Events.emit t ~at:1001. ~actor:"a" "give-up";
+  check Alcotest.int "all-time prefix count" 1000
+    (Sim.Events.count t ~prefix:"retrans" ());
+  check Alcotest.int "per-actor count" 500 (Sim.Events.count t ~actor:"a" ~prefix:"retransmit" ());
+  check Alcotest.int "other kind" 1 (Sim.Events.count t ~prefix:"give" ());
+  check Alcotest.int "window bounded" 64 (Sim.Events.length t);
+  check Alcotest.int "recorded all-time" 1001 (Sim.Events.recorded t)
+
 let () =
   Alcotest.run "sim"
     [
@@ -268,6 +356,10 @@ let () =
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
           Alcotest.test_case "pending count" `Quick test_engine_pending;
           Alcotest.test_case "heap stress" `Quick test_engine_heap_stress;
+          Alcotest.test_case "live accounting 10k cycles" `Quick
+            test_engine_live_accounting;
+          Alcotest.test_case "cancel after fire" `Quick test_engine_cancel_after_fire;
+          Alcotest.test_case "heap compaction" `Quick test_engine_compaction;
         ] );
       ( "channel",
         [
@@ -282,5 +374,10 @@ let () =
             test_channel_set_config_midflight;
           Alcotest.test_case "gilbert-elliott burst loss" `Quick test_channel_burst_loss;
         ] );
-      ("trace", [ Alcotest.test_case "record/count" `Quick test_trace ]);
+      ( "trace",
+        [
+          Alcotest.test_case "record/count" `Quick test_trace;
+          Alcotest.test_case "bounded ring" `Quick test_trace_bounded;
+          Alcotest.test_case "events indexed count" `Quick test_events_indexed_count;
+        ] );
     ]

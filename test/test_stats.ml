@@ -1,0 +1,165 @@
+(* Unit tests for the Sublayer.Stats instruments, plus one integration
+   check that a lossy ARQ run's retransmit counter agrees with the
+   structured trace. *)
+
+let check = Alcotest.check
+module Stats = Sublayer.Stats
+
+let test_counters () =
+  let reg = Stats.create ~label:"t" () in
+  let sc = Stats.scope reg "arq" in
+  let c = Stats.counter sc "data_sent" in
+  check Alcotest.int "starts at zero" 0 (Stats.value c);
+  Stats.incr c;
+  Stats.incr c;
+  Stats.add c 40;
+  check Alcotest.int "incr + add" 42 (Stats.value c);
+  (* Find-or-create: the same name must alias the same cell. *)
+  let c' = Stats.counter sc "data_sent" in
+  Stats.incr c';
+  check Alcotest.int "aliased by name" 43 (Stats.value c);
+  let other = Stats.counter (Stats.scope reg "arq") "data_sent" in
+  Stats.incr other;
+  check Alcotest.int "scope aliased by name too" 44 (Stats.value c);
+  check Alcotest.int "distinct names distinct cells" 0
+    (Stats.value (Stats.counter sc "acks_sent"))
+
+let test_gauges () =
+  let sc = Stats.scope (Stats.create ()) "cc" in
+  let g = Stats.gauge sc "cwnd_bytes" in
+  check Alcotest.int "starts at zero" 0 (Stats.gauge_value g);
+  Stats.set g 1460;
+  Stats.set g 2920;
+  check Alcotest.int "last set wins" 2920 (Stats.gauge_value g)
+
+let test_histograms () =
+  let sc = Stats.scope (Stats.create ()) "rd" in
+  let h = Stats.histogram sc "rtt_us" in
+  List.iter (Stats.observe h) [ 0; 1; 2; 3; 5; 8; 1000 ];
+  check Alcotest.int "count" 7 (Stats.hist_count h);
+  check Alcotest.int "sum" 1019 (Stats.hist_sum h);
+  (* log2 lower bounds: 0,1 -> 1; 2,3 -> 2; 5 -> 4; 8 -> 8; 1000 -> 512. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "bucket layout"
+    [ (1, 2); (2, 2); (4, 1); (8, 1); (512, 1) ]
+    (Stats.hist_buckets h)
+
+let test_enabled_switch () =
+  let sc = Stats.scope (Stats.create ()) "arq" in
+  let c = Stats.counter sc "data_sent" in
+  let g = Stats.gauge sc "w" in
+  let h = Stats.histogram sc "d" in
+  Stats.set_enabled false;
+  Fun.protect ~finally:(fun () -> Stats.set_enabled true) (fun () ->
+      Stats.incr c;
+      Stats.add c 10;
+      Stats.set g 5;
+      Stats.observe h 3;
+      check Alcotest.bool "reports disabled" false (Stats.enabled ());
+      check Alcotest.int "counter frozen" 0 (Stats.value c);
+      check Alcotest.int "gauge frozen" 0 (Stats.gauge_value g);
+      check Alcotest.int "histogram frozen" 0 (Stats.hist_count h));
+  Stats.incr c;
+  check Alcotest.int "counts again once re-enabled" 1 (Stats.value c)
+
+let test_unregistered_scope () =
+  (* Machines fall back to an unregistered scope when the caller passes
+     no registry: instruments still count, nothing is enumerable. *)
+  let sc = Stats.unregistered "arq" in
+  let c = Stats.counter sc "data_sent" in
+  Stats.incr c;
+  check Alcotest.int "still counts" 1 (Stats.value c);
+  check Alcotest.string "keeps its name" "arq" (Stats.scope_name sc)
+
+let snapshot_t = Alcotest.(list (pair string int))
+
+let test_snapshot_and_delta () =
+  let reg = Stats.create ~label:"host" () in
+  let arq = Stats.scope reg "arq" in
+  let cm = Stats.scope reg "cm" in
+  Stats.add (Stats.counter arq "data_sent") 5;
+  Stats.incr (Stats.counter cm "established");
+  Stats.set (Stats.gauge cm "phase") 3;
+  let before = Stats.snapshot reg in
+  check snapshot_t "name-sorted flat pairs"
+    [ ("arq.data_sent", 5); ("cm.established", 1); ("cm.phase", 3) ]
+    before;
+  Stats.add (Stats.counter arq "data_sent") 2;
+  Stats.incr (Stats.counter arq "retransmissions");
+  let after = Stats.snapshot reg in
+  check snapshot_t "delta drops zeros, counts new names from 0"
+    [ ("arq.data_sent", 2); ("arq.retransmissions", 1) ]
+    (Stats.delta ~before ~after);
+  let h = Stats.histogram arq "burst" in
+  Stats.observe h 4;
+  Stats.observe h 6;
+  let snap = Stats.snapshot reg in
+  check Alcotest.int "histogram count entry" 2 (List.assoc "arq.burst.count" snap);
+  check Alcotest.int "histogram sum entry" 10 (List.assoc "arq.burst.sum" snap)
+
+let test_json () =
+  let reg = Stats.create ~label:"a" () in
+  Stats.incr (Stats.counter (Stats.scope reg "arq") "data_sent");
+  check Alcotest.string "snapshot json" {|{"arq.data_sent":1}|}
+    (Stats.snapshot_to_json (Stats.snapshot reg));
+  check Alcotest.string "registry json" {|{"label":"a","stats":{"arq.data_sent":1}}|}
+    (Stats.to_json reg)
+
+(* --- Integration: counters vs. the structured trace --- *)
+
+let test_arq_retransmits_match_trace () =
+  (* Drive a go-back-n link over a lossy channel with both a trace and a
+     stats registry attached; the [arq.retransmissions] counter must
+     agree with the all-time count of "retransmit" trace events, per
+     endpoint. *)
+  let engine = Sim.Engine.create ~seed:7 () in
+  let trace = Sim.Trace.create ~capacity:64 () in
+  let stats_a = Stats.create ~label:"A" () in
+  let stats_b = Stats.create ~label:"B" () in
+  let link =
+    Datalink.Stack.link engine ~trace ~stats_a ~stats_b
+      (Sim.Channel.lossy 0.2) Datalink.Stack.default_spec
+  in
+  let payloads = List.init 40 (Printf.sprintf "payload %d") in
+  let received = Datalink.Stack.transfer engine link payloads in
+  check Alcotest.int "transfer completed" 40 (List.length received);
+  let retx reg = List.assoc_opt "arq.retransmissions" (Stats.snapshot reg) in
+  let counted r = Option.value ~default:0 (retx r) in
+  check Alcotest.bool "lossy run actually retransmitted" true
+    (counted stats_a > 0);
+  (* The stack combinator prefixes machine notes with the sublayer name,
+     so the ARQ's note indexes as "arq-gbn: retransmit". *)
+  check Alcotest.int "A counter matches trace"
+    (Sim.Trace.count trace ~actor:"A" "arq-gbn: retransmit")
+    (counted stats_a);
+  check Alcotest.int "B counter matches trace"
+    (Sim.Trace.count trace ~actor:"B" "arq-gbn: retransmit")
+    (counted stats_b);
+  (* The capacity-64 ring has long since evicted the early entries; the
+     all-time indexed count must not care. *)
+  check Alcotest.bool "trace window is bounded" true
+    (List.length (Sim.Trace.entries trace) <= 64)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "instruments",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "histograms" `Quick test_histograms;
+          Alcotest.test_case "enabled switch" `Quick test_enabled_switch;
+          Alcotest.test_case "unregistered scope" `Quick test_unregistered_scope;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "snapshot + delta" `Quick test_snapshot_and_delta;
+          Alcotest.test_case "json" `Quick test_json;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "arq retransmits match trace" `Quick
+            test_arq_retransmits_match_trace;
+        ] );
+    ]

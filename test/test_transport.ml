@@ -375,6 +375,64 @@ let test_cm_simultaneous_open () =
   check Alcotest.string "a est" "ESTABLISHED" (Cm.phase_name a);
   check Alcotest.string "b est" "ESTABLISHED" (Cm.phase_name b)
 
+let rst_sent acts =
+  List.exists
+    (fun s ->
+      match Segment.decode_cm s with
+      | Some (cm, _) -> cm.Segment.flags.Segment.rst
+      | None -> false)
+    (downs acts)
+
+let test_cm_malformed_handshake_rst () =
+  (* Regression: a peer driving the handshake with forged or incoherent
+     segments must never raise — bogus segments are dropped, and when the
+     handshake cannot complete CM aborts through the RST path. *)
+  let b = mk_cm () in
+  let b, _ = Cm.handle_up_req b `Listen in
+  let forged flags ~isn_local ~isn_remote payload =
+    Segment.encode_cm { Segment.flags; isn_local; isn_remote } ~payload
+  in
+  (* A handshake ACK out of nowhere (no SYN first): dropped, no raise. *)
+  let b, acts = Cm.handle_down_ind b
+      (forged { Segment.no_cm_flags with ack = true } ~isn_local:7 ~isn_remote:9 "")
+  in
+  check Alcotest.string "listener unmoved by stray ack" "LISTEN" (Cm.phase_name b);
+  check Alcotest.bool "stray ack not upped" true
+    (List.for_all (function Sublayer.Machine.Up _ -> false | _ -> true) acts);
+  (* Real SYN arrives; then the attacker tries to complete with an ACK
+     carrying the wrong echoed ISN. *)
+  let b, _ = Cm.handle_down_ind b
+      (forged { Segment.no_cm_flags with syn = true } ~isn_local:100 ~isn_remote:0 "")
+  in
+  check Alcotest.string "syn-rcvd" "SYN_RCVD" (Cm.phase_name b);
+  let b, _ = Cm.handle_down_ind b
+      (forged { Segment.no_cm_flags with ack = true } ~isn_local:100 ~isn_remote:424242 "")
+  in
+  check Alcotest.string "wrong echoed isn rejected" "SYN_RCVD" (Cm.phase_name b);
+  (* Nonsense flag combination with the right identity: dropped too. *)
+  let b, _ = Cm.handle_down_ind b
+      (forged { Segment.syn = true; ack = false; fin = true; rst = false }
+         ~isn_local:100 ~isn_remote:424242 "")
+  in
+  check Alcotest.string "syn|fin rejected" "SYN_RCVD" (Cm.phase_name b);
+  (* Undecodable bytes: dropped. *)
+  let b, _ = Cm.handle_down_ind b "\x00" in
+  check Alcotest.string "garbage rejected" "SYN_RCVD" (Cm.phase_name b);
+  (* The handshake can never complete; exhausting the retries must abort
+     with an RST on the wire and a reset indication upward — the seed
+     crashed here instead. *)
+  let rec exhaust b n =
+    if n > Config.default.Config.syn_retries then (b, [])
+    else
+      let b, acts = Cm.handle_timer b Cm.Handshake in
+      if Cm.phase_name b = "CLOSED" then (b, acts) else exhaust b (n + 1)
+  in
+  let b, acts = exhaust b 0 in
+  check Alcotest.string "aborted to closed" "CLOSED" (Cm.phase_name b);
+  check Alcotest.bool "rst on the wire" true (rst_sent acts);
+  check Alcotest.bool "reset indicated upward" true
+    (List.exists (function Sublayer.Machine.Up `Reset -> true | _ -> false) acts)
+
 (* --- End-to-end transfers over Host --- *)
 
 let random_data seed n =
@@ -1040,8 +1098,8 @@ let test_nagle_delack_pathology () =
 (* --- The record (security) sublayer and the secure stack --- *)
 
 let test_rec_seal_open () =
-  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 in
-  let b = Rec.initial ~key:Tcp_secure.demo_key ~local_port:2 ~remote_port:1 in
+  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 () in
+  let b = Rec.initial ~key:Tcp_secure.demo_key ~local_port:2 ~remote_port:1 () in
   let a, record = Rec.seal a "hello record layer" in
   check Alcotest.(option string) "roundtrip" (Some "hello record layer")
     (Rec.open_ b record);
@@ -1050,8 +1108,8 @@ let test_rec_seal_open () =
   check Alcotest.bool "nonce advances" true (record <> record2)
 
 let test_rec_tamper_rejected () =
-  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 in
-  let b = Rec.initial ~key:Tcp_secure.demo_key ~local_port:2 ~remote_port:1 in
+  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 () in
+  let b = Rec.initial ~key:Tcp_secure.demo_key ~local_port:2 ~remote_port:1 () in
   let _, record = Rec.seal a "payload" in
   for i = 0 to String.length record - 1 do
     let forged = Bytes.of_string record in
@@ -1063,9 +1121,9 @@ let test_rec_tamper_rejected () =
   check Alcotest.bool "failures counted" true (Rec.auth_failures b >= String.length record)
 
 let test_rec_wrong_key_and_direction () =
-  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 in
+  let a = Rec.initial ~key:Tcp_secure.demo_key ~local_port:1 ~remote_port:2 () in
   let wrong =
-    Rec.initial ~key:(String.make 32 'x') ~local_port:2 ~remote_port:1
+    Rec.initial ~key:(String.make 32 'x') ~local_port:2 ~remote_port:1 ()
   in
   let a', record = Rec.seal a "secret" in
   check Alcotest.(option string) "wrong key" None (Rec.open_ wrong record);
@@ -1329,6 +1387,8 @@ let () =
           Alcotest.test_case "old incarnation rejected" `Quick test_cm_rejects_old_incarnation;
           Alcotest.test_case "syn retx + give up" `Quick test_cm_syn_retransmission_and_give_up;
           Alcotest.test_case "simultaneous open" `Quick test_cm_simultaneous_open;
+          Alcotest.test_case "malformed handshake rsts" `Quick
+            test_cm_malformed_handshake_rst;
         ] );
       ( "e2e",
         [
