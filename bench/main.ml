@@ -12,9 +12,21 @@ let section id title =
 
 let headline fmt = Printf.ksprintf (fun s -> Printf.printf "  ** %s\n%!" s) fmt
 
+let args = Array.to_list Sys.argv |> List.tl
+
+let smoke = List.mem "--smoke" args
+(* --smoke shrinks the workloads so CI can run an experiment in seconds. *)
+
 let selected =
-  let args = Array.to_list Sys.argv |> List.tl in
-  fun id -> args = [] || List.mem id args
+  let ids = List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args in
+  fun id -> ids = [] || List.mem id ids
+
+(* Every file artifact lands under _bench_out/ (gitignored), never the
+   repo root. *)
+let out_path name =
+  let dir = "_bench_out" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir name
 
 let random_data seed n =
   let rng = Bitkit.Rng.create seed in
@@ -842,13 +854,106 @@ let e19 () =
         schedules)
     stacks;
   Buffer.add_char json '}';
-  let oc = open_out "e19_stats.json" in
+  let path = out_path "e19_stats.json" in
+  let oc = open_out path in
   output_string oc (Buffer.contents json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\n  JSON report written to e19_stats.json\n";
+  Printf.printf "\n  JSON report written to %s\n" path;
   headline
     "faults localise in the counters: loss shows up as rd.retransmits/cc.losses, never in dm or rec — the per-sublayer view a monolith cannot give"
+
+(* ------------------------------------------------------------------ *)
+(* E20 — causal span tracing: where does a byte's latency go? The
+   sublayered stack runs the E18 fault schedules with a shared tracer;
+   every finished span is a sojourn in one sublayer, so grouping span
+   durations by sublayer.name is a latency-attribution table, and the
+   whole run exports as Chrome trace_event JSON for Perfetto. *)
+
+let e20 () =
+  section "E20" "span tracing: per-sublayer latency attribution under E18 faults";
+  let open Transport in
+  let bytes = if smoke then 20_000 else 120_000 in
+  let was_enabled = Sim.Tracer.enabled () in
+  Sim.Tracer.set_enabled true;
+  let schedules =
+    [ ("iid loss=0.05", { (Sim.Channel.lossy 0.05) with delay = 0.02 });
+      ( "burst loss=0.05 len=6",
+        { (Sim.Channel.burst_lossy ~loss:0.05 ~burst_len:6.) with delay = 0.02 } ) ]
+  in
+  let last_trace = ref None in
+  List.iter
+    (fun (cname, channel) ->
+      let tracer = Sim.Tracer.create ~capacity:65536 () in
+      let engine = Sim.Engine.create ~seed:91 () in
+      let a, b = Host.pair engine ~tracer channel in
+      Host.listen b ~port:80;
+      let server = ref None in
+      Host.on_accept b (fun c -> server := Some c);
+      let c = Host.connect a ~remote_port:80 () in
+      let data = random_data 91 bytes in
+      Host.write c data;
+      Host.close c;
+      let rec drive () =
+        if Sim.Engine.now engine < 600. && not (Host.finished c) then begin
+          Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+          drive ()
+        end
+      in
+      drive ();
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+      let ok = match !server with Some srv -> Host.received srv = data | None -> false in
+      (* Each finished interval span is one sojourn; instants (duration 0)
+         are markers, not waiting time, and stay out of the table. *)
+      let spans =
+        List.filter
+          (fun s ->
+            Float.is_finite s.Sim.Tracer.sp_end && Sim.Tracer.duration s > 0.)
+          (Sim.Tracer.spans tracer)
+      in
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun s ->
+          let k = s.Sim.Tracer.sp_sublayer ^ "." ^ s.Sim.Tracer.sp_name in
+          let l = Option.value ~default:[] (Hashtbl.find_opt groups k) in
+          Hashtbl.replace groups k (Sim.Tracer.duration s :: l))
+        spans;
+      let total =
+        Hashtbl.fold (fun _ ds acc -> acc +. List.fold_left ( +. ) 0. ds) groups 0.
+      in
+      let pct sorted p =
+        let n = Array.length sorted in
+        sorted.(min (n - 1) (int_of_float (Float.of_int n *. p)))
+      in
+      Printf.printf "\n  %s (exact=%b, %d interval spans, %d evicted from ring):\n"
+        cname ok (List.length spans) (Sim.Tracer.dropped tracer);
+      Printf.printf "  %-24s %8s %12s %12s %8s\n" "sublayer.span" "count"
+        "p50(ms)" "p99(ms)" "share";
+      let rows = Hashtbl.fold (fun k ds acc -> (k, ds) :: acc) groups [] in
+      List.iter
+        (fun (k, ds) ->
+          let a = Array.of_list (List.sort Float.compare ds) in
+          let sum = Array.fold_left ( +. ) 0. a in
+          Printf.printf "  %-24s %8d %12.2f %12.2f %7.1f%%\n" k (Array.length a)
+            (pct a 0.5 *. 1e3) (pct a 0.99 *. 1e3)
+            (100. *. sum /. total))
+        (List.sort compare rows);
+      last_trace := Some (Sim.Tracer.to_chrome_json tracer))
+    schedules;
+  (match !last_trace with
+  | Some json ->
+      let path = out_path "e20_trace.json" in
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf
+        "\n  Chrome trace written to %s (open in ui.perfetto.dev or chrome://tracing)\n"
+        path
+  | None -> ());
+  Sim.Tracer.set_enabled was_enabled;
+  headline
+    "burst loss moves latency share from osr.buffer into rd.flight and osr.reasm — the trace names the sublayer that held the byte"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
@@ -932,7 +1037,7 @@ let () =
     [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
-      ("E19", e19); ("MICRO", microbenches) ]
+      ("E19", e19); ("E20", e20); ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
   Printf.printf "\nAll selected experiments complete.\n"

@@ -172,9 +172,14 @@ let stats_cmd =
   let run loss bytes stack seed json =
     let factory =
       match stack with
+      | "sublayered" -> Transport.Host.sublayered
       | "watson" -> Transport.Tcp_watson.factory ()
       | "secure" -> Transport.Tcp_secure.factory ~key:Transport.Tcp_secure.demo_key
-      | _ -> Transport.Host.sublayered
+      | other ->
+          Printf.eprintf
+            "sublayer-lab stats: unknown stack %S (expected sublayered | watson | secure)\n"
+            other;
+          exit 2
     in
     let stats_a = Sublayer.Stats.create ~label:"client" () in
     let stats_b = Sublayer.Stats.create ~label:"server" () in

@@ -80,7 +80,7 @@ module type S = sig
        and type down_req = string
        and type down_ind = string
 
-  val initial : ?stats:Sublayer.Stats.scope -> config -> t
+  val initial : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> config -> t
 
   val stats : t -> stats
   (** Snapshot of the machine's counters (fresh record per call). *)

@@ -68,10 +68,12 @@ module type S = sig
        and type down_req = string
        and type down_ind = string
 
-  val initial : ?stats:Sublayer.Stats.scope -> config -> t
-  (** [initial ?stats cfg]: when [stats] is given, the machine registers
-      its counters there (names [data_sent], [retransmissions],
-      [acks_sent], [delivered], [give_ups]). *)
+  val initial : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> config -> t
+  (** [initial ?stats ?span cfg]: when [stats] is given, the machine
+      registers its counters there (names [data_sent], [retransmissions],
+      [acks_sent], [delivered], [give_ups]). When [span] is given, each
+      admitted payload gets a "flight" span (send → ack) with
+      retransmissions recorded as child spans of the original send. *)
 
   val stats : t -> stats
   val idle : t -> bool

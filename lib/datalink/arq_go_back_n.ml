@@ -9,6 +9,7 @@ let name = "arq-gbn"
 type t = {
   cfg : Arq.config;
   ctrs : Arq.counters;
+  sp : Sublayer.Span.ctx;
   base : int;
   next : int;
   buf : (int * string) list;  (** unacked, ascending seq, = [base..next) *)
@@ -24,13 +25,14 @@ type down_req = string
 type down_ind = string
 type timer = Rto
 
-let initial ?stats cfg =
+let initial ?stats ?span cfg =
   let ctrs =
     match stats with
     | Some scope -> Arq.counters_in scope
     | None -> Arq.fresh_counters ()
   in
-  { cfg; ctrs; base = 0; next = 0; buf = []; queue = [];
+  let sp = Option.value span ~default:(Sublayer.Span.disabled name) in
+  { cfg; ctrs; sp; base = 0; next = 0; buf = []; queue = [];
     rx_expected = 0; retries = 0; dead = false }
 
 let stats t = Arq.snapshot t.ctrs
@@ -38,6 +40,7 @@ let idle t = t.buf = [] && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+let skey seq = "s:" ^ string_of_int seq
 
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
@@ -52,6 +55,9 @@ let rec admit t acts =
       let t =
         { t with next = t.next + 1; buf = t.buf @ [ (seq, payload) ]; queue = rest }
       in
+      if Sublayer.Span.active t.sp then
+        Sublayer.Span.open_ t.sp ~key:(skey seq)
+          ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
       admit t (transmit t seq payload :: acts)
   | _ -> (t, List.rev acts)
 
@@ -71,10 +77,15 @@ let handle_ack t seq16 =
   let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
   if a <= t.base || a > t.next then (t, [ Note "stale ack" ])
   else begin
+    let old_base = t.base in
     let t =
       { t with base = a; buf = List.filter (fun (s, _) -> s >= a) t.buf;
         retries = 0 }
     in
+    if Sublayer.Span.active t.sp then
+      for s = old_base to a - 1 do
+        Sublayer.Span.close t.sp ~key:(skey s) ~detail:"acked" ()
+      done;
     let t, acts = admit t [] in
     with_timer t acts
   end
@@ -84,6 +95,7 @@ let handle_data t seq16 payload =
   let t, deliveries =
     if seq = t.rx_expected then begin
       Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
+      Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int seq) "deliver";
       ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload ])
     end
     else (t, [ Note "out-of-order data discarded" ])
@@ -101,6 +113,7 @@ let handle_timer t Rto =
   if t.buf = [] then (t, [])
   else if t.retries >= t.cfg.max_retries then begin
     Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
+    Sublayer.Span.close_all t.sp ~detail:"dead" ();
     ( { t with buf = []; queue = []; dead = true },
       [ Note "give up: max_retries exhausted" ] )
   end
@@ -110,6 +123,7 @@ let handle_timer t Rto =
       List.concat_map
         (fun (seq, payload) ->
           Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
+          Sublayer.Span.child t.sp ~key:(skey seq) ~detail:"rto" "retx";
           [ Note "retransmit"; transmit t seq payload ])
         t.buf
     in

@@ -8,6 +8,7 @@ let name = "arq-sr"
 type t = {
   cfg : Arq.config;
   ctrs : Arq.counters;
+  sp : Sublayer.Span.ctx;
   base : int;
   next : int;
   buf : (int * string * bool) list;  (** (seq, payload, acked), ascending *)
@@ -24,13 +25,14 @@ type down_req = string
 type down_ind = string
 type timer = Rto of int
 
-let initial ?stats cfg =
+let initial ?stats ?span cfg =
   let ctrs =
     match stats with
     | Some scope -> Arq.counters_in scope
     | None -> Arq.fresh_counters ()
   in
-  { cfg; ctrs; base = 0; next = 0; buf = []; queue = [];
+  let sp = Option.value span ~default:(Sublayer.Span.disabled name) in
+  { cfg; ctrs; sp; base = 0; next = 0; buf = []; queue = [];
     rx_expected = 0; rx_buf = []; retries = 0; dead = false }
 
 let stats t = Arq.snapshot t.ctrs
@@ -38,6 +40,7 @@ let idle t = t.buf = [] && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+let skey seq = "s:" ^ string_of_int seq
 
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
@@ -50,6 +53,9 @@ let rec admit t acts =
       let t =
         { t with next = t.next + 1; buf = t.buf @ [ (seq, payload, false) ]; queue = rest }
       in
+      if Sublayer.Span.active t.sp then
+        Sublayer.Span.open_ t.sp ~key:(skey seq)
+          ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
       admit t (Set_timer (Rto seq, t.cfg.rto) :: transmit t seq payload :: acts)
   | _ -> (t, List.rev acts)
 
@@ -61,6 +67,9 @@ let handle_ack t seq16 =
   let a = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.base seq16 in
   if a < t.base || a >= t.next then (t, [ Note "stale ack" ])
   else begin
+    (* Individual acks: close the one sequence this ack covers (repeats
+       for an already-acked seq find no live span and are no-ops). *)
+    Sublayer.Span.close t.sp ~key:(skey a) ~detail:"acked" ();
     let buf =
       List.map (fun (s, p, acked) -> if s = a then (s, p, true) else (s, p, acked)) t.buf
     in
@@ -94,6 +103,10 @@ let handle_data t seq16 payload =
     in
     let rx_expected, rx_buf, deliveries = drain t.rx_expected rx_buf [] in
     Sublayer.Stats.add t.ctrs.Arq.c_delivered (List.length deliveries);
+    if Sublayer.Span.active t.sp then
+      for s = t.rx_expected to rx_expected - 1 do
+        Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int s) "deliver"
+      done;
     ({ t with rx_expected; rx_buf }, deliveries @ [ ack ])
   end
 
@@ -115,9 +128,11 @@ let handle_timer t (Rto seq) =
           t.buf
       in
       Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
+      Sublayer.Span.close_all t.sp ~detail:"dead" ();
       ( { t with buf = []; queue = []; dead = true },
         Note "give up: max_retries exhausted" :: cancels )
   | Some (_, payload, _) ->
       Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
+      Sublayer.Span.child t.sp ~key:(skey seq) ~detail:"rto" "retx";
       ( { t with retries = t.retries + 1 },
         [ Note "retransmit"; transmit t seq payload; Set_timer (Rto seq, t.cfg.rto) ] )

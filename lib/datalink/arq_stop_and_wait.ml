@@ -8,6 +8,7 @@ let name = "arq-sw"
 type t = {
   cfg : Arq.config;
   ctrs : Arq.counters;
+  sp : Sublayer.Span.ctx;
   next : int;
   outstanding : (int * string) option;
   queue : string list;
@@ -22,13 +23,14 @@ type down_req = string
 type down_ind = string
 type timer = Rto
 
-let initial ?stats cfg =
+let initial ?stats ?span cfg =
   let ctrs =
     match stats with
     | Some scope -> Arq.counters_in scope
     | None -> Arq.fresh_counters ()
   in
-  { cfg; ctrs; next = 0; outstanding = None; queue = [];
+  let sp = Option.value span ~default:(Sublayer.Span.disabled name) in
+  { cfg; ctrs; sp; next = 0; outstanding = None; queue = [];
     rx_expected = 0; retries = 0; dead = false }
 
 let stats t = Arq.snapshot t.ctrs
@@ -36,6 +38,7 @@ let idle t = t.outstanding = None && t.queue = []
 let gave_up t = t.dead
 
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
+let skey seq = "s:" ^ string_of_int seq
 
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
@@ -43,6 +46,9 @@ let transmit t seq payload =
 
 let start_send t payload =
   let seq = t.next in
+  if Sublayer.Span.active t.sp then
+    Sublayer.Span.open_ t.sp ~key:(skey seq)
+      ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
   ( { t with next = t.next + 1; outstanding = Some (seq, payload) },
     [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )
 
@@ -57,6 +63,7 @@ let handle_ack t seq16 =
   match t.outstanding with
   | Some (seq, _)
     when Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:seq seq16 = seq -> (
+      Sublayer.Span.close t.sp ~key:(skey seq) ~detail:"acked" ();
       let t = { t with outstanding = None; retries = 0 } in
       match t.queue with
       | [] -> (t, [ Cancel_timer Rto ])
@@ -71,6 +78,7 @@ let handle_data t seq16 payload =
   let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
   if seq = t.rx_expected then begin
     Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
+    Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int seq) "deliver";
     ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload; ack ])
   end
   else (t, [ Note "duplicate data"; ack ])
@@ -86,9 +94,11 @@ let handle_timer t Rto =
   | None -> (t, [])
   | Some _ when t.retries >= t.cfg.max_retries ->
       Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
+      Sublayer.Span.close_all t.sp ~detail:"dead" ();
       ( { t with outstanding = None; queue = []; dead = true },
         [ Note "give up: max_retries exhausted" ] )
   | Some (seq, payload) ->
       Sublayer.Stats.incr t.ctrs.Arq.c_retransmissions;
+      Sublayer.Span.child t.sp ~key:(skey seq) ~detail:"rto" "retx";
       ( { t with retries = t.retries + 1 },
         [ Note "retransmit"; transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )

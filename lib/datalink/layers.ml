@@ -9,6 +9,7 @@ module Error_detection = struct
 
   type t = {
     det : Detector.t;
+    sp : Sublayer.Span.ctx;
     protected : Sublayer.Stats.counter;
     verified : Sublayer.Stats.counter;
     corrupt : Sublayer.Stats.counter;
@@ -20,7 +21,7 @@ module Error_detection = struct
   type down_ind = string
   type timer = Nothing.t
 
-  let make ?stats det =
+  let make ?stats ?span det =
     let scope =
       match stats with
       | Some s -> s
@@ -28,6 +29,7 @@ module Error_detection = struct
     in
     {
       det;
+      sp = Option.value span ~default:(Sublayer.Span.disabled name);
       protected = Sublayer.Stats.counter scope "frames_protected";
       verified = Sublayer.Stats.counter scope "frames_verified";
       corrupt = Sublayer.Stats.counter scope "frames_corrupt";
@@ -35,15 +37,18 @@ module Error_detection = struct
 
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.protected;
+    Sublayer.Span.instant t.sp "protect";
     (t, [ Down (t.det.Detector.protect pdu) ])
 
   let handle_down_ind t pdu =
     match t.det.Detector.verify pdu with
     | Some payload ->
         Sublayer.Stats.incr t.verified;
+        Sublayer.Span.instant t.sp "verify";
         (t, [ Up payload ])
     | None ->
         Sublayer.Stats.incr t.corrupt;
+        Sublayer.Span.instant t.sp ~detail:"dropped" "corrupt";
         (t, [ Note "corrupt frame dropped" ])
 
   let handle_timer _ t = Nothing.absurd t
@@ -54,6 +59,7 @@ module Framing = struct
 
   type t = {
     framer : Framer.t;
+    sp : Sublayer.Span.ctx;
     framed : Sublayer.Stats.counter;
     deframed : Sublayer.Stats.counter;
     malformed : Sublayer.Stats.counter;
@@ -65,7 +71,7 @@ module Framing = struct
   type down_ind = Bitkit.Bitseq.t
   type timer = Nothing.t
 
-  let make ?stats framer =
+  let make ?stats ?span framer =
     let scope =
       match stats with
       | Some s -> s
@@ -73,6 +79,7 @@ module Framing = struct
     in
     {
       framer;
+      sp = Option.value span ~default:(Sublayer.Span.disabled name);
       framed = Sublayer.Stats.counter scope "frames_framed";
       deframed = Sublayer.Stats.counter scope "frames_deframed";
       malformed = Sublayer.Stats.counter scope "frames_malformed";
@@ -80,15 +87,18 @@ module Framing = struct
 
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.framed;
+    Sublayer.Span.instant t.sp "frame";
     (t, [ Down (t.framer.Framer.frame pdu) ])
 
   let handle_down_ind t bits =
     match t.framer.Framer.deframe bits with
     | Some pdu ->
         Sublayer.Stats.incr t.deframed;
+        Sublayer.Span.instant t.sp "deframe";
         (t, [ Up pdu ])
     | None ->
         Sublayer.Stats.incr t.malformed;
+        Sublayer.Span.instant t.sp ~detail:"dropped" "malformed";
         (t, [ Note "malformed frame dropped" ])
 
   let handle_timer _ t = Nothing.absurd t
@@ -99,6 +109,7 @@ module Line_coding = struct
 
   type t = {
     code : Linecode.t;
+    sp : Sublayer.Span.ctx;
     encoded : Sublayer.Stats.counter;
     decoded : Sublayer.Stats.counter;
     illegal : Sublayer.Stats.counter;
@@ -110,7 +121,7 @@ module Line_coding = struct
   type down_ind = Bitkit.Bitseq.t
   type timer = Nothing.t
 
-  let make ?stats code =
+  let make ?stats ?span code =
     let scope =
       match stats with
       | Some s -> s
@@ -118,6 +129,7 @@ module Line_coding = struct
     in
     {
       code;
+      sp = Option.value span ~default:(Sublayer.Span.disabled name);
       encoded = Sublayer.Stats.counter scope "blocks_encoded";
       decoded = Sublayer.Stats.counter scope "blocks_decoded";
       illegal = Sublayer.Stats.counter scope "illegal_symbols";
@@ -125,15 +137,18 @@ module Line_coding = struct
 
   let handle_up_req t bits =
     Sublayer.Stats.incr t.encoded;
+    Sublayer.Span.instant t.sp "encode";
     (t, [ Down (t.code.Linecode.encode bits) ])
 
   let handle_down_ind t symbols =
     match t.code.Linecode.decode symbols with
     | Some bits ->
         Sublayer.Stats.incr t.decoded;
+        Sublayer.Span.instant t.sp "decode";
         (t, [ Up bits ])
     | None ->
         Sublayer.Stats.incr t.illegal;
+        Sublayer.Span.instant t.sp ~detail:"dropped" "illegal";
         (t, [ Note "illegal line symbols dropped" ])
 
   let handle_timer _ t = Nothing.absurd t

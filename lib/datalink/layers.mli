@@ -14,8 +14,10 @@ module Error_detection : sig
        and type down_ind = string
        and type timer = Sublayer.Machine.Nothing.t
 
-  val make : ?stats:Sublayer.Stats.scope -> Detector.t -> t
-  (** Counters: [frames_protected], [frames_verified], [frames_corrupt]. *)
+  val make : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> Detector.t -> t
+  (** Counters: [frames_protected], [frames_verified], [frames_corrupt].
+      With [span], every crossing is an instant marker ([protect], [verify],
+      [corrupt]). *)
 end
 
 module Framing : sig
@@ -27,8 +29,9 @@ module Framing : sig
        and type down_ind = Bitkit.Bitseq.t
        and type timer = Sublayer.Machine.Nothing.t
 
-  val make : ?stats:Sublayer.Stats.scope -> Framer.t -> t
-  (** Counters: [frames_framed], [frames_deframed], [frames_malformed]. *)
+  val make : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> Framer.t -> t
+  (** Counters: [frames_framed], [frames_deframed], [frames_malformed].
+      With [span], instant markers [frame], [deframe], [malformed]. *)
 end
 
 module Line_coding : sig
@@ -40,6 +43,7 @@ module Line_coding : sig
        and type down_ind = Bitkit.Bitseq.t
        and type timer = Sublayer.Machine.Nothing.t
 
-  val make : ?stats:Sublayer.Stats.scope -> Linecode.t -> t
-  (** Counters: [blocks_encoded], [blocks_decoded], [illegal_symbols]. *)
+  val make : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> Linecode.t -> t
+  (** Counters: [blocks_encoded], [blocks_decoded], [illegal_symbols].
+      With [span], instant markers [encode], [decode], [illegal]. *)
 end

@@ -34,13 +34,17 @@ val endpoint :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
   deliver:(string -> unit) ->
   endpoint
 (** When [stats] is given, the four sublayers register their counters
-    under scopes [arq], [detector], [framer] and [linecode]. *)
+    under scopes [arq], [detector], [framer] and [linecode]. When
+    [tracer] is given, each sublayer opens spans on its track [name]:
+    ARQ "flight" spans with retransmission children, instant markers for
+    the stateless codecs below. *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)
@@ -58,9 +62,11 @@ val link :
   ?trace:Sim.Trace.t ->
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   Sim.Channel.config ->
   spec ->
   link
+(** The two endpoints get tracks ["A"] and ["B"] on the shared [tracer]. *)
 
 val transfer :
   Sim.Engine.t ->

@@ -30,15 +30,24 @@ type t = {
   mutable next_ifindex : int;
   deliver : Packet.t -> unit;
   ctrs : counters;
+  sp : Sublayer.Span.ctx;
 }
+
+(* Correlation key for one data packet's network transit: every router it
+   crosses can rebuild the key from the packet alone, so the origin's
+   "transit" span is closed by whichever router terminates the packet
+   (delivery, no-route, TTL expiry). *)
+let pkey (p : Packet.t) =
+  Printf.sprintf "pkt:%s:%s:%s"
+    (Addr.to_string p.Packet.src) (Addr.to_string p.Packet.dst) p.Packet.payload
 
 let transmit t ifindex frame =
   match Hashtbl.find_opt t.interfaces ifindex with
   | Some send -> send frame
   | None -> ()
 
-let create engine ?(hello_config = Hello.default_config) ?stats ~addr ~routing
-    ~deliver () =
+let create engine ?(hello_config = Hello.default_config) ?stats ?tracer ~addr
+    ~routing ~deliver () =
   (* One scope per network sublayer: forwarding ("router"), the FIB, the
      hello machinery, and the route-computation protocol under its own
      name — T3's separation applied to the counters. *)
@@ -57,10 +66,18 @@ let create engine ?(hello_config = Hello.default_config) ?stats ~addr ~routing
       c_ttl_expired = Sublayer.Stats.counter rsc "ttl_expired";
     }
   in
+  let sp =
+    match tracer with
+    | Some tr ->
+        Sublayer.Span.make ~tracer:tr ~stats:rsc
+          ~now:(fun () -> Sim.Engine.now engine)
+          ~track:(Addr.to_string addr) "router"
+    | None -> Sublayer.Span.disabled "router"
+  in
   let t =
     { addr; fib = Fib.create ~stats:(in_scope "fib") (); hello = None;
       routing = None; interfaces = Hashtbl.create 4; next_ifindex = 0; deliver;
-      ctrs }
+      ctrs; sp }
   in
   let proto_scope = in_scope routing.Routing.protocol in
   let installed = Sublayer.Stats.counter proto_scope "routes_installed" in
@@ -120,16 +137,41 @@ let add_interface t ~transmit:send =
 let route t packet =
   if Addr.equal packet.Packet.dst t.addr then begin
     Sublayer.Stats.incr t.ctrs.c_delivered;
+    if Sublayer.Span.active t.sp then
+      ignore
+        (Sublayer.Span.close_id t.sp
+           ~id:(Sublayer.Span.take t.sp (pkey packet))
+           ~detail:"delivered" ());
     t.deliver packet
   end
   else begin
     match Fib.lookup t.fib packet.Packet.dst with
-    | None -> Sublayer.Stats.incr t.ctrs.c_no_route
+    | None ->
+        Sublayer.Stats.incr t.ctrs.c_no_route;
+        if Sublayer.Span.active t.sp then
+          ignore
+            (Sublayer.Span.close_id t.sp
+               ~id:(Sublayer.Span.take t.sp (pkey packet))
+               ~detail:"no_route" ())
     | Some ifindex -> (
         match Packet.decrement_ttl packet with
-        | None -> Sublayer.Stats.incr t.ctrs.c_ttl_expired
+        | None ->
+            Sublayer.Stats.incr t.ctrs.c_ttl_expired;
+            if Sublayer.Span.active t.sp then
+              ignore
+                (Sublayer.Span.close_id t.sp
+                   ~id:(Sublayer.Span.take t.sp (pkey packet))
+                   ~detail:"ttl_expired" ())
         | Some packet ->
             Sublayer.Stats.incr t.ctrs.c_forwarded;
+            if Sublayer.Span.active t.sp then begin
+              (* Lookup, not take: the transit span stays bound until a
+                 terminating router closes it. *)
+              let id = Sublayer.Span.lookup t.sp (pkey packet) in
+              Sublayer.Span.instant t.sp ~parent:id
+                ~trace:(Sublayer.Span.trace_of_id t.sp ~id)
+                ~detail:("ttl=" ^ string_of_int packet.Packet.ttl) "forward"
+            end;
             transmit t ifindex (Data packet))
   end
 
@@ -141,6 +183,14 @@ let on_frame t ~ifindex frame =
 
 let originate t ~dst payload =
   Sublayer.Stats.incr t.ctrs.c_originated;
-  route t (Packet.make ~src:t.addr ~dst payload)
+  let packet = Packet.make ~src:t.addr ~dst payload in
+  if Sublayer.Span.active t.sp then begin
+    let id =
+      Sublayer.Span.start_free t.sp
+        ~trace:(Sublayer.Span.fresh_trace t.sp) "transit"
+    in
+    Sublayer.Span.bind t.sp (pkey packet) id
+  end;
+  route t packet
 
 let stop t = Hello.stop (Option.get t.hello)

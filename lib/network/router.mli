@@ -28,6 +28,7 @@ val create :
   Sim.Engine.t ->
   ?hello_config:Hello.config ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   addr:Addr.t ->
   routing:Routing.factory ->
   deliver:(Packet.t -> unit) ->
@@ -36,7 +37,13 @@ val create :
 (** When [stats] is given, each network sublayer registers its counters
     under its own scope: [router.*] (the forwarding path), [fib.*],
     [hello.*], and a scope named after the routing protocol (e.g.
-    [distance-vector.*]). *)
+    [distance-vector.*]).
+
+    When [tracer] is given (share one across the topology), the origin of
+    every data packet opens a "transit" span on the track named by its
+    address; intermediate routers add "forward" instants parented on it,
+    and the terminating router closes it with detail [delivered],
+    [no_route] or [ttl_expired]. *)
 
 val addr : t -> Addr.t
 

@@ -19,10 +19,13 @@ val random : n:int -> extra:int -> seed:int -> (int * int) list
 val build :
   Sim.Engine.t ->
   ?channel:Sim.Channel.config ->
+  ?tracer:Sim.Tracer.t ->
   routing:Routing.factory ->
   n:int ->
   (int * int) list ->
   t
+(** [tracer] is shared by every router so packet transit spans opened at
+    the origin are closed wherever the packet terminates. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Originate a data packet at node [src] for node [dst]'s address. *)

@@ -6,6 +6,7 @@ type report = {
   finished : bool;
   violations : string list;
   samples : (float * (string * int) list) list;
+  flight : string list;
 }
 
 let pp_report ppf r =
@@ -19,9 +20,45 @@ let pp_report ppf r =
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
 let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
-    ?sample ?(sample_every = 1) ~name ~engine ~finished () =
+    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ~name ~engine ~finished
+    () =
   let violations = ref [] in
-  let record msg = if not (List.mem msg !violations) then violations := msg :: !violations
+  let flight = ref [] in
+  (* Flight recorder: at the FIRST violation, freeze the last spans the
+     tracer still holds — preferring those on a track the violation
+     message names, so the dump is about the offending connection. *)
+  let capture_flight msg =
+    match tracer with
+    | None -> ()
+    | Some tr when !flight = [] ->
+        let recent = Tracer.last tr (8 * flight_n) in
+        let touching =
+          List.filter
+            (fun s ->
+              let track = s.Tracer.sp_track in
+              let tlen = String.length track and mlen = String.length msg in
+              tlen > 0 && tlen <= mlen
+              && (let found = ref false in
+                  for i = 0 to mlen - tlen do
+                    if String.sub msg i tlen = track then found := true
+                  done;
+                  !found))
+            recent
+        in
+        let chosen = if touching = [] then recent else touching in
+        let n = List.length chosen in
+        let chosen =
+          if n <= flight_n then chosen
+          else List.filteri (fun i _ -> i >= n - flight_n) chosen
+        in
+        flight := List.map Tracer.span_to_string chosen
+    | Some _ -> ()
+  in
+  let record msg =
+    if not (List.mem msg !violations) then begin
+      capture_flight msg;
+      violations := msg :: !violations
+    end
   in
   let samples = ref [] in
   let slices = ref 0 in
@@ -54,7 +91,8 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
     pending = Engine.pending engine;
     finished = fin;
     violations = List.rev !violations;
-    samples = List.rev !samples }
+    samples = List.rev !samples;
+    flight = !flight }
 
 let reproducible scenario ~seed =
   let a = scenario seed in

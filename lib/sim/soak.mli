@@ -21,6 +21,10 @@ type report = {
   samples : (float * (string * int) list) list;
       (** periodic stats samples [(vtime, snapshot)], oldest first —
           whatever the caller's [sample] closure returned each period *)
+  flight : string list;
+      (** flight-recorder dump: the formatted spans captured at the first
+          invariant violation (empty when no [tracer] was passed or no
+          violation occurred), oldest first *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -35,6 +39,8 @@ val run :
   ?quiesce:bool ->
   ?sample:(unit -> (string * int) list) ->
   ?sample_every:int ->
+  ?tracer:Tracer.t ->
+  ?flight_n:int ->
   name:string ->
   engine:Engine.t ->
   finished:(unit -> bool) ->
@@ -54,7 +60,13 @@ val run :
     pairs land in the report's [samples], so a regression can be
     localised to the slice where its counters diverged.  Samples are
     part of the report, so they must be deterministic for
-    {!reproducible} scenarios. *)
+    {!reproducible} scenarios.
+
+    When [tracer] is given, the run doubles as a flight recorder: the
+    first invariant violation freezes the last [flight_n] (default 32)
+    spans into the report's [flight] — preferring spans whose track
+    appears in the violation message, so the dump follows the offending
+    connection. *)
 
 val reproducible : (int -> report) -> seed:int -> bool
 (** [reproducible scenario ~seed] runs [scenario seed] twice and checks

@@ -1,0 +1,110 @@
+(** Causal per-packet span tracing.
+
+    A tracer collects {e spans}: named intervals of virtual time opened
+    and closed at sublayer boundaries, linked into causal lineages by a
+    {e trace id} (one per payload entering a stack) and a {e parent span}
+    (a retransmission is a child of the original send). Finished spans
+    live in a bounded ring; a string-keyed correlation table lets the
+    receiving end of a link close a span the sending end opened — the
+    cross-host linkage is out of band, so no wire format changes.
+
+    The module is deliberately ignorant of the sublayer library (sim does
+    not depend on it); [Sublayer.Span] layers the per-machine ergonomics
+    and Stats histograms on top. *)
+
+type span = {
+  sp_id : int;          (** unique per tracer, from 1 *)
+  sp_trace : int;       (** causal lineage; 0 = unknown *)
+  sp_parent : int;      (** parent span id; 0 = root *)
+  sp_track : string;    (** endpoint/host the span belongs to *)
+  sp_sublayer : string; (** machine that opened it *)
+  sp_name : string;
+  sp_start : float;
+  mutable sp_end : float; (** NaN while the span is live *)
+  mutable sp_detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 8192 finished spans; older spans are
+    evicted, counted by {!dropped}. *)
+
+val set_enabled : bool -> unit
+(** Global kill switch shared by all tracers: with tracing disabled the
+    instrumented hot paths reduce to a single boolean load. *)
+
+val enabled : unit -> bool
+
+val fresh_trace : t -> int
+(** Allocate a new trace id (never 0). *)
+
+val start :
+  t ->
+  at:float ->
+  track:string ->
+  sublayer:string ->
+  ?trace:int ->
+  ?parent:int ->
+  string ->
+  int
+(** Open a span; returns its id. *)
+
+val finish : t -> at:float -> ?detail:string -> int -> span option
+(** Close a live span by id and move it to the ring. [None] if the id is
+    unknown (already finished, or evicted). *)
+
+val instant :
+  t ->
+  at:float ->
+  track:string ->
+  sublayer:string ->
+  ?trace:int ->
+  ?parent:int ->
+  ?detail:string ->
+  string ->
+  unit
+(** A zero-duration span, recorded directly. *)
+
+val trace_of : t -> int -> int option
+(** Trace id of a live span. *)
+
+val bind : t -> string -> int -> unit
+(** Correlation table: associate a span or trace id with a key both ends
+    of a link can compute (e.g. ISN pair + stream offset). *)
+
+val lookup : t -> string -> int option
+val unbind : t -> string -> unit
+
+val capacity : t -> int
+val length : t -> int
+(** Finished spans currently retained. *)
+
+val recorded : t -> int
+(** Finished spans ever recorded (monotonic). *)
+
+val dropped : t -> int
+val spans : t -> span list
+(** Retained finished spans, oldest first. *)
+
+val live_spans : t -> span list
+(** Still-open spans, unordered. *)
+
+val last : t -> int -> span list
+(** The most recent [n] finished spans, oldest first. *)
+
+val clear : t -> unit
+val duration : span -> float
+val span_to_string : span -> string
+val pp_span : Format.formatter -> span -> unit
+
+val to_chrome_json : t -> string
+(** Chrome [trace_event] JSON (an object with a [traceEvents] array of
+    complete ["ph":"X"] events, microsecond timestamps) loadable in
+    chrome://tracing or https://ui.perfetto.dev. Tracks map to processes
+    and sublayers to threads; events are sorted so [ts] is non-decreasing
+    on every track. *)
+
+val biography : t -> trace:int -> string
+(** Text "packet biography": every retained span of one trace, in order,
+    with parent links and details. *)

@@ -32,6 +32,7 @@ type t = {
   isn_local : int option;
   isn_remote : int option;
   ctrs : counters;
+  sp : Sublayer.Span.ctx;
 }
 
 type up_req = Iface.cm_req
@@ -40,9 +41,12 @@ type down_req = string
 type down_ind = string
 type timer = Handshake | Fin_retx | Time_wait_expiry
 
-let initial ?stats cfg ~isn ~local_port ~remote_port =
+let initial ?stats ?span cfg ~isn ~local_port ~remote_port =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "cm"
+  in
+  let sp =
+    match span with Some sp -> sp | None -> Sublayer.Span.disabled name
   in
   let ctrs =
     {
@@ -54,7 +58,7 @@ let initial ?stats cfg ~isn ~local_port ~remote_port =
     }
   in
   { cfg; isn; local_port; remote_port; phase = Closed; isn_local = None;
-    isn_remote = None; ctrs }
+    isn_remote = None; ctrs; sp }
 
 let phase t = t.phase
 
@@ -97,6 +101,8 @@ let backoff base n = base *. (2. ** Float.of_int (min n 6))
 (* Abort the connection locally and tell the peer. *)
 let abort t reason =
   Sublayer.Stats.incr t.ctrs.c_resets_sent;
+  Sublayer.Span.instant t.sp ~detail:reason "rst_out";
+  Sublayer.Span.close_all t.sp ~detail:"reset" ();
   ( { t with phase = Closed },
     [ Note reason; control t rst; Cancel_timer Handshake; Cancel_timer Fin_retx;
       Up `Reset ] )
@@ -109,6 +115,7 @@ let establish t pre_acts post_acts =
   match isns t with
   | Some (l, r) ->
       Sublayer.Stats.incr t.ctrs.c_established;
+      Sublayer.Span.close t.sp ~key:"hs" ~detail:"established" ();
       (t, pre_acts @ (Up (`Established (l, r)) :: post_acts))
   | None -> abort t "handshake incoherent (missing ISN); reset"
 
@@ -117,15 +124,21 @@ let handle_up_req t (req : up_req) =
   | `Connect, Closed ->
       let isn_local = t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port in
       let t = { t with phase = Syn_sent 0; isn_local = Some isn_local } in
+      Sublayer.Span.open_ t.sp ~key:"hs"
+        ~trace:(Sublayer.Span.fresh_trace t.sp) "handshake";
       (t, [ Note "SYN_SENT (active open)"; control t syn;
             Set_timer (Handshake, t.cfg.Config.syn_rto) ])
   | `Listen, Closed -> ({ t with phase = Listen }, [])
   | `Close, Established ->
       let t = { t with phase = Fin_wait_1 0 } in
+      Sublayer.Span.open_ t.sp ~key:"td"
+        ~trace:(Sublayer.Span.fresh_trace t.sp) "teardown";
       (t, [ Note "FIN_WAIT_1 (local close)"; control t fin;
             Set_timer (Fin_retx, t.cfg.Config.syn_rto) ])
   | `Close, Close_wait ->
       let t = { t with phase = Last_ack 0 } in
+      Sublayer.Span.open_ t.sp ~key:"td"
+        ~trace:(Sublayer.Span.fresh_trace t.sp) "teardown";
       (t, [ control t fin; Set_timer (Fin_retx, t.cfg.Config.syn_rto) ])
   | `Close, (Closed | Listen) -> ({ t with phase = Closed }, [ Up `Closed ])
   | `Close, _ -> (t, [ Note "close ignored in this phase" ])
@@ -135,6 +148,8 @@ let handle_up_req t (req : up_req) =
          and drop every timer. No upward indication — the requester is
          the one who initiated the abort. *)
       Sublayer.Stats.incr t.ctrs.c_resets_sent;
+      Sublayer.Span.instant t.sp ~detail:"local abort" "rst_out";
+      Sublayer.Span.close_all t.sp ~detail:"reset" ();
       ( { t with phase = Closed },
         [ Note "ABORT (local)"; control t rst; Cancel_timer Handshake;
           Cancel_timer Fin_retx; Cancel_timer Time_wait_expiry ] )
@@ -171,6 +186,8 @@ let handle_down_ind t pdu =
         | Closed | Listen -> (t, [ Note "rst ignored" ])
         | _ when plausible ->
             Sublayer.Stats.incr t.ctrs.c_resets_received;
+            Sublayer.Span.instant t.sp "rst_in";
+            Sublayer.Span.close_all t.sp ~detail:"reset" ();
             ( { t with phase = Closed },
               [ Cancel_timer Handshake; Cancel_timer Fin_retx; Up `Reset ] )
         | _ -> (t, [ Note "rst with wrong identity ignored" ])
@@ -186,6 +203,8 @@ let handle_down_ind t pdu =
               { t with phase = Syn_rcvd 0; isn_local = Some isn_local;
                 isn_remote = Some cm.Segment.isn_local }
             in
+            Sublayer.Span.open_ t.sp ~key:"hs"
+              ~trace:(Sublayer.Span.fresh_trace t.sp) "handshake";
             (t, [ control t syn_ack; Set_timer (Handshake, t.cfg.Config.syn_rto) ])
         | Syn_sent _, true, true, false when cm.Segment.isn_remote = Option.get t.isn_local ->
             let t = { t with phase = Established; isn_remote = Some cm.Segment.isn_local } in
@@ -236,13 +255,16 @@ let handle_down_ind t pdu =
             ({ t with phase = Closing n }, [ control t bare_ack; Up `Peer_fin ])
         | Fin_wait_2, false, false, true when identity_ok t cm ->
             let t = { t with phase = Time_wait } in
+            Sublayer.Span.close t.sp ~key:"td" ~detail:"time_wait" ();
             ( t,
               [ control t bare_ack; Up `Peer_fin;
                 Set_timer (Time_wait_expiry, 2. *. t.cfg.Config.msl) ] )
         | Closing _, false, true, false when identity_ok t cm ->
+            Sublayer.Span.close t.sp ~key:"td" ~detail:"time_wait" ();
             ( { t with phase = Time_wait },
               [ Cancel_timer Fin_retx; Set_timer (Time_wait_expiry, 2. *. t.cfg.Config.msl) ] )
         | Last_ack _, false, true, false when identity_ok t cm ->
+            Sublayer.Span.close t.sp ~key:"td" ~detail:"closed" ();
             ( { t with phase = Closed },
               [ Cancel_timer Fin_retx; Up `Closed ] )
         | Time_wait, false, false, true when identity_ok t cm ->
@@ -261,6 +283,7 @@ let handle_timer t (tm : timer) =
       if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
       else begin
         Sublayer.Stats.incr t.ctrs.c_handshake_retx;
+        Sublayer.Span.child t.sp ~key:"hs" ~detail:"syn" "retx";
         ( { t with phase = Syn_sent (n + 1) },
           [ Note (Printf.sprintf "SYN retransmit #%d" (n + 1)); control t syn;
             Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
@@ -269,27 +292,38 @@ let handle_timer t (tm : timer) =
       if n >= t.cfg.Config.syn_retries then abort t "handshake gave up"
       else begin
         Sublayer.Stats.incr t.ctrs.c_handshake_retx;
+        Sublayer.Span.child t.sp ~key:"hs" ~detail:"synack" "retx";
         ( { t with phase = Syn_rcvd (n + 1) },
           [ control t syn_ack; Set_timer (Handshake, backoff t.cfg.Config.syn_rto (n + 1)) ] )
       end
   | Fin_retx, Fin_wait_1 n ->
-      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      if n >= t.cfg.Config.fin_retries then begin
+        Sublayer.Span.close t.sp ~key:"td" ~detail:"gave_up" ();
+        ({ t with phase = Closed }, [ Up `Closed ])
+      end
       else
         ( { t with phase = Fin_wait_1 (n + 1) },
           [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
   | Fin_retx, Closing n ->
       (* A FIN lost during simultaneous close must still be repaired
          here, or both peers deadlock in CLOSING / FIN_WAIT_2. *)
-      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      if n >= t.cfg.Config.fin_retries then begin
+        Sublayer.Span.close t.sp ~key:"td" ~detail:"gave_up" ();
+        ({ t with phase = Closed }, [ Up `Closed ])
+      end
       else
         ( { t with phase = Closing (n + 1) },
           [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
   | Fin_retx, Last_ack n ->
-      if n >= t.cfg.Config.fin_retries then ({ t with phase = Closed }, [ Up `Closed ])
+      if n >= t.cfg.Config.fin_retries then begin
+        Sublayer.Span.close t.sp ~key:"td" ~detail:"gave_up" ();
+        ({ t with phase = Closed }, [ Up `Closed ])
+      end
       else
         ( { t with phase = Last_ack (n + 1) },
           [ control t fin; Set_timer (Fin_retx, backoff t.cfg.Config.syn_rto (n + 1)) ] )
   | Time_wait_expiry, Time_wait -> ({ t with phase = Closed }, [ Up `Closed ])
   | Time_wait_expiry, Fin_wait_2 ->
+      Sublayer.Span.close t.sp ~key:"td" ~detail:"idle_timeout" ();
       ({ t with phase = Closed }, [ Up `Closed ])
   | (Handshake | Fin_retx | Time_wait_expiry), _ -> (t, [])

@@ -29,13 +29,16 @@ type t
 
 val initial :
   ?stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
   Config.t ->
   isn:Isn.t ->
   local_port:int ->
   remote_port:int ->
   t
 (** Counters (when [stats] is given): [established], [resets_sent],
-    [resets_received], [handshake_retx], [segments_dropped]. *)
+    [resets_received], [handshake_retx], [segments_dropped]. When [span]
+    is given, [handshake] and [teardown] spans cover the control
+    exchanges, with instant [rst_in]/[rst_out]/[retx] markers. *)
 
 val phase : t -> phase
 val phase_name : t -> string

@@ -24,6 +24,7 @@ type t = {
   remote_port : int;
   idle_timeout : float;
   ctrs : counters;
+  sp : Sublayer.Span.ctx;
   phase : phase;
 }
 
@@ -33,7 +34,7 @@ type down_req = string
 type down_ind = string
 type timer = Idle
 
-let initial ?stats cfg ~isn ~local_port ~remote_port ~idle_timeout =
+let initial ?stats ?span cfg ~isn ~local_port ~remote_port ~idle_timeout =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "cm-timer"
   in
@@ -45,7 +46,9 @@ let initial ?stats cfg ~isn ~local_port ~remote_port ~idle_timeout =
       c_idle_closes = Sublayer.Stats.counter sc "idle_closes";
     }
   in
-  { cfg; isn; local_port; remote_port; idle_timeout; ctrs; phase = Closed }
+  { cfg; isn; local_port; remote_port; idle_timeout; ctrs;
+    sp = (match span with Some sp -> sp | None -> Sublayer.Span.disabled name);
+    phase = Closed }
 
 let phase_name t =
   match t.phase with
@@ -74,6 +77,7 @@ let handle_up_req t (req : up_req) =
         t.isn.Isn.next ~local_port:t.local_port ~remote_port:t.remote_port
       in
       Sublayer.Stats.incr t.ctrs.c_established;
+      Sublayer.Span.instant t.sp ~detail:"active open" "established";
       ( { t with phase = Active { isn_local; isn_remote = None } },
         [ Up (`Established (isn_local, 0)); touch t ] )
   | `Listen, Closed -> ({ t with phase = Listening }, [])
@@ -113,12 +117,14 @@ let handle_down_ind t pdu =
           in
           let t = { t with phase = Active { isn_local; isn_remote = Some peer_isn } } in
           Sublayer.Stats.incr t.ctrs.c_established;
+          Sublayer.Span.instant t.sp ~detail:"first contact" "established";
           ( t,
             [ Up (`Established (isn_local, peer_isn)); Up (`Pdu payload); touch t ] )
       | Active { isn_local; isn_remote = None } when echoed = isn_local || echoed = 0 ->
           (* Learning the responder's ISN from its first segment. *)
           let t = { t with phase = Active { isn_local; isn_remote = Some peer_isn } } in
           Sublayer.Stats.incr t.ctrs.c_established;
+          Sublayer.Span.instant t.sp ~detail:"peer isn learned" "established";
           ( t,
             [ Up (`Established (isn_local, peer_isn)); Up (`Pdu payload); touch t ] )
       | Active { isn_local; isn_remote = Some r } when peer_isn = r && echoed = isn_local
@@ -138,6 +144,7 @@ let handle_timer t Idle =
       (* Silence for a full idle period: the peer is gone (or merely
          quiet — Watson's trade-off). *)
       Sublayer.Stats.incr t.ctrs.c_idle_closes;
+      Sublayer.Span.instant t.sp "idle_close";
       ({ t with phase = Closed }, [ Up `Peer_fin; Up `Closed ])
   | Draining _ -> ({ t with phase = Closed }, [ Up `Closed ])
   | Closed | Listening -> (t, [])

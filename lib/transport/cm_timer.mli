@@ -26,6 +26,7 @@ type t
 
 val initial :
   ?stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
   Config.t ->
   isn:Isn.t ->
   local_port:int ->
@@ -33,7 +34,8 @@ val initial :
   idle_timeout:float ->
   t
 (** Counters (when [stats] is given): [established], [segments_stamped],
-    [segments_dropped], [idle_closes]. *)
+    [segments_dropped], [idle_closes]. When [span] is given, instant
+    [established]/[idle_close] markers record the delta-t lifecycle. *)
 
 val phase_name : t -> string
 

@@ -9,6 +9,7 @@ type t = {
   segments_out : Sublayer.Stats.counter;
   segments_in : Sublayer.Stats.counter;
   rejected : Sublayer.Stats.counter;
+  sp : Sublayer.Span.ctx;
 }
 
 type up_req = string
@@ -17,7 +18,7 @@ type down_req = string
 type down_ind = string
 type timer = Nothing.t
 
-let make ?stats ~local_port ~remote_port () =
+let make ?stats ?span ~local_port ~remote_port () =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "dm"
   in
@@ -26,6 +27,7 @@ let make ?stats ~local_port ~remote_port () =
     segments_out = Sublayer.Stats.counter sc "segments_out";
     segments_in = Sublayer.Stats.counter sc "segments_in";
     rejected = Sublayer.Stats.counter sc "rejected";
+    sp = (match span with Some sp -> sp | None -> Sublayer.Span.disabled name);
   }
 
 let conn t = t.conn
@@ -35,6 +37,9 @@ let handle_up_req t pdu =
     { Segment.src_port = t.conn.local_port; dst_port = t.conn.remote_port }
   in
   Sublayer.Stats.incr t.segments_out;
+  (* Demultiplexing is synchronous, so these mark T2 crossings rather
+     than measure time; they carry no trace (DM cannot see one). *)
+  Sublayer.Span.instant t.sp "segment_out";
   (t, [ Down (Segment.encode_dm header ~payload:pdu) ])
 
 let handle_down_ind t wire =
@@ -47,6 +52,7 @@ let handle_down_ind t wire =
          && dm.Segment.src_port = t.conn.remote_port
       then begin
         Sublayer.Stats.incr t.segments_in;
+        Sublayer.Span.instant t.sp "segment_in";
         (t, [ Up payload ])
       end
       else begin

@@ -15,8 +15,14 @@ include
      and type timer = Sublayer.Machine.Nothing.t
 
 val make :
-  ?stats:Sublayer.Stats.scope -> local_port:int -> remote_port:int -> unit -> t
+  ?stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
+  local_port:int ->
+  remote_port:int ->
+  unit ->
+  t
 (** Counters (when [stats] is given): [segments_out], [segments_in],
-    [rejected]. *)
+    [rejected]. When [span] is given, instant [segment_out]/[segment_in]
+    markers record the T2 crossings. *)
 
 val conn : t -> conn

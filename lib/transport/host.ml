@@ -13,6 +13,7 @@ type factory = {
   peek : string -> (int * int) option;
   make :
     ?stats:Sublayer.Stats.registry ->
+    ?tracer:Sim.Tracer.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -28,10 +29,10 @@ let sublayered =
     fname = "sublayered";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let t =
-          Tcp_sublayered.create engine ?stats ~name cfg ~local_port ~remote_port
-            ~transmit ~events
+          Tcp_sublayered.create engine ?stats ?tracer ~name cfg ~local_port
+            ~remote_port ~transmit ~events
         in
         {
           ep_from_wire = Tcp_sublayered.from_wire t;
@@ -67,15 +68,17 @@ type t = {
   name : string;
   transmit : string -> unit;
   stats : Sublayer.Stats.registry option;
+  tracer : Sim.Tracer.t option;
   conns : (int * int, conn) Hashtbl.t;
   listeners : (int, unit) Hashtbl.t;
   mutable accept_cb : (conn -> unit) option;
   mutable next_ephemeral : int;
 }
 
-let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ~name
-    ~transmit () =
-  { engine; config; factory; name; transmit; stats; conns = Hashtbl.create 8;
+let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ?tracer
+    ~name ~transmit () =
+  { engine; config; factory; name; transmit; stats; tracer;
+    conns = Hashtbl.create 8;
     listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
 
 let stats_registry host = host.stats
@@ -109,8 +112,8 @@ let make_conn host ~local_port ~remote_port ~accepted =
   in
   let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
   let ep =
-    host.factory.make ?stats:host.stats host.engine ~name host.config ~local_port
-      ~remote_port ~transmit:host.transmit ~events
+    host.factory.make ?stats:host.stats ?tracer:host.tracer host.engine ~name
+      host.config ~local_port ~remote_port ~transmit:host.transmit ~events
   in
   let c =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
@@ -203,7 +206,8 @@ let guard_verify s =
   end
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
-    ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b channel_config =
+    ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
+    channel_config =
   let to_a = ref (fun (_ : string) -> ()) in
   let to_b = ref (fun (_ : string) -> ()) in
   let deliver target s =
@@ -223,21 +227,24 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
       ()
   in
   let tx ch s = Sim.Channel.send ch (if guard then guard_protect s else s) in
+  (* One shared tracer: the cross-host span correlation (RD's flight
+     spans closed by the receiving end) needs both hosts on it. *)
   let a =
-    create engine ~config ~factory:factory_a ?stats:stats_a ~name:"A"
+    create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ~name:"A"
       ~transmit:(tx ab) ()
   in
   let b =
-    create engine ~config ~factory:factory_b ?stats:stats_b ~name:"B"
+    create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ~name:"B"
       ~transmit:(tx ba) ()
   in
   to_a := from_wire a;
   to_b := from_wire b;
   (a, b, ab, ba)
 
-let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b channel_config =
+let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b ?tracer
+    channel_config =
   let a, b, _, _ =
     pair_channels engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b
-      channel_config
+      ?tracer channel_config
   in
   (a, b)

@@ -28,6 +28,7 @@ type factory = {
           format. *)
   make :
     ?stats:Sublayer.Stats.registry ->
+    ?tracer:Sim.Tracer.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -47,13 +48,16 @@ val create :
   ?config:Config.t ->
   ?factory:factory ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   name:string ->
   transmit:(string -> unit) ->
   unit ->
   t
 (** When [stats] is given, every connection's sublayers register their
     counters in it; connections sharing the host aggregate into the same
-    per-sublayer scopes. *)
+    per-sublayer scopes. When [tracer] is given, every connection's
+    sublayers record causal spans on it, tracked per connection as
+    ["<host>:<lport>><rport>"]. *)
 
 val stats_registry : t -> Sublayer.Stats.registry option
 
@@ -114,12 +118,15 @@ val pair :
   ?guard:bool ->
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   Sim.Channel.config ->
   t * t
 (** Two hosts joined by a duplex impaired channel. [guard] (default
     false) wraps the wire with a CRC-32 error-detection shim — the
     data-link service transport normally relies on — so corrupting
-    channels drop rather than silently deliver damaged segments. *)
+    channels drop rather than silently deliver damaged segments.
+    [tracer] is shared by both hosts, so a segment's flight span opened
+    on the sender is closed by the receiver (causal cross-host spans). *)
 
 val pair_channels :
   Sim.Engine.t ->
@@ -129,6 +136,7 @@ val pair_channels :
   ?guard:bool ->
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   Sim.Channel.config ->
   t * t * string Sim.Channel.t * string Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then

@@ -68,12 +68,13 @@ type t = {
   now : unit -> float;
   ctrs : counters;
   cc_stats : Sublayer.Stats.scope option;
+  sp : Sublayer.Span.ctx;
   pre_sends : string list;  (* reversed *)
   pre_close : bool;
   conn : conn option;
 }
 
-let initial ?stats ?cc_stats cfg ~now =
+let initial ?stats ?cc_stats ?span cfg ~now =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "msg"
   in
@@ -81,7 +82,9 @@ let initial ?stats ?cc_stats cfg ~now =
     ctrs =
       { c_messages_sent = Sublayer.Stats.counter sc "messages_sent";
         c_messages_delivered = Sublayer.Stats.counter sc "messages_delivered" };
-    cc_stats; pre_sends = []; pre_close = false; conn = None }
+    cc_stats;
+    sp = (match span with Some sp -> sp | None -> Sublayer.Span.disabled name);
+    pre_sends = []; pre_close = false; conn = None }
 
 let messages_delivered t = Sublayer.Stats.value t.ctrs.c_messages_delivered
 let messages_sent t = Sublayer.Stats.value t.ctrs.c_messages_sent
@@ -126,8 +129,22 @@ let try_send t c =
             my_header cn ~msg_id ~frag_off:cn.sendq_off ~msg_len:(String.length original)
           in
           let pdu = encode_header header ~payload:fragment in
+          if Sublayer.Span.active t.sp then begin
+            (* Fragments inherit the message's trace; RD picks it up
+               under the local offset key. *)
+            let trace =
+              Sublayer.Span.trace_of t.sp ~key:("m:" ^ string_of_int msg_id)
+            in
+            if trace <> 0 then
+              Sublayer.Span.bind_local t.sp
+                ("off:" ^ string_of_int cn.next_off) trace
+          end;
           acts := Down (`Transmit (cn.next_off, want, pdu)) :: !acts;
           let finished_msg = cn.sendq_off + want >= String.length body in
+          if finished_msg then
+            Sublayer.Span.close t.sp
+              ~key:("m:" ^ string_of_int msg_id)
+              ~detail:"fragmented" ();
           c :=
             { cn with
               next_off = cn.next_off + want;
@@ -145,6 +162,9 @@ let maybe_fin c =
 let enqueue t c body =
   Sublayer.Stats.incr t.ctrs.c_messages_sent;
   if String.length body > 0xFFFF then invalid_arg "Msg: message too long";
+  Sublayer.Span.open_ t.sp
+    ~key:("m:" ^ string_of_int c.next_id)
+    ~trace:(Sublayer.Span.fresh_trace t.sp) "msg_send";
   { c with sendq = c.sendq @ [ (c.next_id, body) ]; next_id = (c.next_id + 1) land 0xFFFF }
 
 let handle_up_req t (req : up_req) =
@@ -162,7 +182,7 @@ let handle_up_req t (req : up_req) =
       let c, acts = maybe_fin c in
       ({ t with conn = Some c }, acts)
 
-let accept_fragment t c (h : header) payload =
+let accept_fragment t c ~frag_trace (h : header) payload =
   let partial =
     match Hashtbl.find_opt c.partials h.msg_id with
     | Some p -> p
@@ -186,6 +206,9 @@ let accept_fragment t c (h : header) payload =
   if partial.p_got >= partial.p_len then begin
     Hashtbl.remove c.partials h.msg_id;
     Sublayer.Stats.incr t.ctrs.c_messages_delivered;
+    Sublayer.Span.instant t.sp ~trace:frag_trace
+      ~detail:(Printf.sprintf "msg_id=%d len=%d" h.msg_id h.msg_len)
+      "msg_delivered";
     let body = Bytes.to_string partial.p_buf in
     let body = if h.msg_len = 0 then "" else body in
     let c = { c with buffered = max 0 (c.buffered - (partial.p_len - n)) } in
@@ -217,12 +240,15 @@ let handle_down_ind t (ind : down_ind) =
       ( { t with conn = Some c; pre_sends = [] },
         (Up `Established :: Down (`Set_block (block c)) :: send_acts) @ fin_acts )
   | `Established, Some _ -> (t, [ Note "duplicate establishment" ])
-  | `Segment (_offset, pdu), Some c -> (
+  | `Segment (offset, pdu), Some c -> (
       match decode_header pdu with
       | None -> (t, [ Note "undecodable msg pdu" ])
       | Some (h, payload) ->
+          let frag_trace =
+            Sublayer.Span.take_local t.sp ("off:" ^ string_of_int offset)
+          in
           let c = { c with peer_window = h.window } in
-          let c, acts = accept_fragment t c h payload in
+          let c, acts = accept_fragment t c ~frag_trace h payload in
           ({ t with conn = Some c }, acts))
   | `Acked (upto, block_bytes, rtt), Some c ->
       let c =
@@ -241,8 +267,12 @@ let handle_down_ind t (ind : down_ind) =
       (t, [])
   | `Peer_fin, Some _ -> (t, [ Up `Peer_closed ])
   | `Closed, _ -> (t, [ Up `Closed ])
-  | `Reset, _ -> ({ t with conn = None }, [ Up `Reset ])
-  | `Aborted, _ -> ({ t with conn = None }, [ Up `Aborted ])
+  | `Reset, _ ->
+      Sublayer.Span.close_all t.sp ~detail:"reset" ();
+      ({ t with conn = None }, [ Up `Reset ])
+  | `Aborted, _ ->
+      Sublayer.Span.close_all t.sp ~detail:"aborted" ();
+      ({ t with conn = None }, [ Up `Aborted ])
   | (`Segment _ | `Acked _ | `Loss _ | `Peer_fin), None ->
       (t, [ Note "indication before establishment" ])
 

@@ -31,12 +31,15 @@ type t
 val initial :
   ?stats:Sublayer.Stats.scope ->
   ?cc_stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
   Config.t ->
   now:(unit -> float) ->
   t
 (** Counters (when [stats] is given): [messages_sent],
     [messages_delivered]. [cc_stats] instruments the congestion-control
-    instance as in {!Osr.initial}. *)
+    instance as in {!Osr.initial}. When [span] is given, each message
+    opens a fresh-trace [msg_send] span (closed when fully fragmented)
+    and delivery records an instant [msg_delivered]. *)
 
 val messages_delivered : t -> int
 val messages_sent : t -> int

@@ -62,6 +62,7 @@ end
 type conn = {
   cc : Cc.instance;
   outbuf : Outbuf.t;
+  wq : (int * int * int) Queue.t; (* (base, len, trace) per pending write *)
   next_off : int;
   acked : int;
   peer_window : int;
@@ -82,6 +83,7 @@ type t = {
   now : unit -> float;
   ctrs : counters;
   cc_stats : Sublayer.Stats.scope option;
+  sp : Sublayer.Span.ctx;
   pre_writes : string list;  (* reversed; writes before establishment *)
   pre_close : bool;
   conn : conn option;
@@ -96,11 +98,14 @@ type timer = Persist
 (* Zero-window probe interval. *)
 let persist_interval = 0.5
 
-let initial ?stats ?cc_stats cfg ~now =
+let initial ?stats ?cc_stats ?span cfg ~now =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "osr"
   in
-  { cfg; now; ctrs = counters_in sc; cc_stats;
+  let sp =
+    match span with Some sp -> sp | None -> Sublayer.Span.disabled name
+  in
+  { cfg; now; ctrs = counters_in sc; cc_stats; sp;
     pre_writes = []; pre_close = false; conn = None }
 
 (* Fresh snapshot of the counters in the legacy record shape. *)
@@ -140,6 +145,37 @@ let my_header t c =
 
 let block t c = Segment.encode_osr (my_header t c) ~payload:""
 
+(* Each write gets a fresh trace and a "buffer" span covering its wait in
+   the outbound stream; [wq] remembers (offset, length, trace) so the
+   segmenter below can find it. Benign mutation, like [Outbuf] itself. *)
+let note_write t c base len =
+  if Sublayer.Span.active t.sp && len > 0 then begin
+    let trace = Sublayer.Span.fresh_trace t.sp in
+    Sublayer.Span.open_ t.sp ~key:("w:" ^ string_of_int base) ~trace "buffer";
+    Queue.add (base, len, trace) c.wq
+  end
+
+(* A segment [off, off+len) leaves: hand its trace down to RD under the
+   endpoint-local offset key, and close the buffer spans of writes this
+   segment finishes consuming. *)
+let note_segment t c ~off ~len =
+  if Sublayer.Span.active t.sp then begin
+    (match Queue.peek_opt c.wq with
+    | Some (_, _, trace) when trace <> 0 ->
+        Sublayer.Span.bind_local t.sp ("off:" ^ string_of_int off) trace
+    | Some _ | None -> ());
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt c.wq with
+      | Some (base, wlen, _) when base + wlen <= off + len ->
+          ignore (Queue.pop c.wq);
+          Sublayer.Span.close t.sp
+            ~key:("w:" ^ string_of_int base)
+            ~detail:"segmented" ()
+      | Some _ | None -> continue := false
+    done
+  end
+
 (* Release segments while both windows have room. A single segment is
    always allowed when nothing is in flight, so a tiny window cannot
    deadlock the connection. *)
@@ -170,6 +206,7 @@ let try_send t c =
       let payload = Outbuf.take cn.outbuf want in
       let osr_pdu = Segment.encode_osr (my_header t cn) ~payload in
       Sublayer.Stats.incr t.ctrs.c_segments_out;
+      note_segment t cn ~off:cn.next_off ~len:want;
       acts := `Transmit (cn.next_off, want, osr_pdu) :: !acts;
       c := { cn with next_off = cn.next_off + want }
     end
@@ -211,6 +248,7 @@ let handle_up_req t (req : up_req) =
       ({ t with pre_writes = s :: t.pre_writes }, [])
   | `Write s, Some c ->
       Sublayer.Stats.add t.ctrs.c_bytes_written (String.length s);
+      note_write t c (c.next_off + Outbuf.length c.outbuf) (String.length s);
       Outbuf.push c.outbuf s;
       let c, acts = try_send t c in
       ({ t with conn = Some c }, acts)
@@ -231,6 +269,14 @@ let handle_up_req t (req : up_req) =
 let accept_segment t c offset payload =
   if offset < c.rcv_cum || List.mem_assoc offset c.reasm then (c, [])
   else begin
+    (* RD bound this offset's trace locally on fresh delivery; the reasm
+       span covers the wait for in-order release. *)
+    if Sublayer.Span.active t.sp then begin
+      let trace = Sublayer.Span.take_local t.sp ("off:" ^ string_of_int offset) in
+      Sublayer.Span.open_ t.sp
+        ~key:("r:" ^ string_of_int offset)
+        ~trace "reasm"
+    end;
     let reasm =
       List.sort (fun (a, _) (b, _) -> Int.compare a b) ((offset, payload) :: c.reasm)
     in
@@ -241,6 +287,15 @@ let accept_segment t c offset payload =
       | _ -> (cum, reasm, List.rev delivered)
     in
     let rcv_cum, reasm, delivered = drain c.rcv_cum reasm [] in
+    if Sublayer.Span.active t.sp then
+      ignore
+        (List.fold_left
+           (fun off bytes ->
+             Sublayer.Span.close t.sp
+               ~key:("r:" ^ string_of_int off)
+               ~detail:"delivered" ();
+             off + String.length bytes)
+           c.rcv_cum delivered);
     let fresh_bytes =
       List.fold_left (fun acc b -> acc + String.length b) 0 delivered
     in
@@ -258,12 +313,21 @@ let handle_down_ind t (ind : down_ind) =
         match t.cc_stats with Some sc -> Cc.instrument sc cc | None -> cc
       in
       let c =
-        { cc; outbuf = Outbuf.create (); next_off = 0; acked = 0; peer_window = 0xFFFF;
+        { cc; outbuf = Outbuf.create (); wq = Queue.create ();
+          next_off = 0; acked = 0; peer_window = 0xFFFF;
           fin_requested = t.pre_close; fin_sent = false; peer_fin_seen = false;
           reasm = []; rcv_cum = 0; unread = 0;
           advertised = min 0xFFFF t.cfg.Config.rcv_buf;
           last_ce = Float.neg_infinity; last_ecn_reaction = Float.neg_infinity }
       in
+      (* Pre-establishment writes get their buffer spans now — their wait
+         only becomes attributable once a connection exists. *)
+      ignore
+        (List.fold_left
+           (fun base s ->
+             note_write t c base (String.length s);
+             base + String.length s)
+           0 (List.rev t.pre_writes));
       List.iter (Outbuf.push c.outbuf) (List.rev t.pre_writes);
       let c, send_acts = try_send t c in
       let c, fin_acts = maybe_fin c in
@@ -320,8 +384,10 @@ let handle_down_ind t (ind : down_ind) =
       (* A reset connection will never reopen its window: without
          clearing state here the persist timer would probe a corpse
          forever and the engine could never quiesce. *)
+      Sublayer.Span.close_all t.sp ~detail:"reset" ();
       ({ t with conn = None }, [ Cancel_timer Persist; Up `Reset ])
   | `Aborted, _ ->
+      Sublayer.Span.close_all t.sp ~detail:"aborted" ();
       ({ t with conn = None }, [ Cancel_timer Persist; Up `Aborted ])
   | (`Segment _ | `Acked _ | `Loss _ | `Peer_fin), None ->
       (t, [ Note "indication before establishment dropped" ])
@@ -335,6 +401,7 @@ let handle_timer t Persist =
       let payload = Outbuf.take c.outbuf 1 in
       let osr_pdu = Segment.encode_osr (my_header t c) ~payload in
       Sublayer.Stats.incr t.ctrs.c_segments_out;
+      note_segment t c ~off:c.next_off ~len:1;
       let c = { c with next_off = c.next_off + 1 } in
       ( { t with conn = Some c },
         [ Down (`Transmit (c.next_off - 1, 1, osr_pdu));

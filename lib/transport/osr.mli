@@ -15,13 +15,17 @@ type t
 val initial :
   ?stats:Sublayer.Stats.scope ->
   ?cc_stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
   Config.t ->
   now:(unit -> float) ->
   t
 (** Counters (when [stats] is given): [bytes_written], [bytes_delivered],
     [segments_out]. When [cc_stats] is given the congestion-control
     instance created at establishment is wrapped with {!Cc.instrument}
-    under that scope. *)
+    under that scope. When [span] is given, every write opens a
+    fresh-trace [buffer] span (closed when segmented) and every accepted
+    segment a [reasm] span (closed at in-order delivery); traces are
+    handed to RD under local offset keys. *)
 
 type stats = {
   mutable bytes_written : int;    (** accepted from the application *)

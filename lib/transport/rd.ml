@@ -63,6 +63,7 @@ type t = {
   cfg : Config.t;
   now : unit -> float;
   ctrs : counters;
+  sp : Sublayer.Span.ctx;
   conn : conn option;
 }
 
@@ -72,11 +73,22 @@ type down_req = Iface.cm_req
 type down_ind = Iface.cm_ind
 type timer = Rto | Ack_delay
 
-let initial ?stats cfg ~now =
+let initial ?stats ?span cfg ~now =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "rd"
   in
-  { cfg; now; ctrs = counters_in sc; conn = None }
+  let sp =
+    match span with Some sp -> sp | None -> Sublayer.Span.disabled name
+  in
+  { cfg; now; ctrs = counters_in sc; sp; conn = None }
+
+(* The flight span of a segment is correlated across hosts by a key both
+   ends can compute: the connection's ISN pair (swapped on the receiver)
+   plus the stream offset. No wire format changes. *)
+let xh_key ~isn_local ~isn_remote offset =
+  Printf.sprintf "xh:%d:%d:%d" isn_local isn_remote offset
+
+let fkey offset = "f:" ^ string_of_int offset
 
 (* Fresh snapshot of the counters in the legacy record shape. *)
 let stats t =
@@ -187,6 +199,17 @@ let handle_up_req t (req : up_req) =
             { s_off = offset; s_len = len; s_pdu = osr_pdu; s_sent_at = t.now ();
               s_retx = false; s_sacked = false }
           in
+          if Sublayer.Span.active t.sp then begin
+            (* OSR handed us this offset's trace under the local key;
+               the flight span runs until the peer RD delivers it. *)
+            let trace =
+              Sublayer.Span.take_local t.sp ("off:" ^ string_of_int offset)
+            in
+            Sublayer.Span.open_ t.sp ~key:(fkey offset) ~trace "flight";
+            Sublayer.Span.bind t.sp
+              (xh_key ~isn_local:c.isn_local ~isn_remote:c.isn_remote offset)
+              (Sublayer.Span.id_of t.sp ~key:(fkey offset))
+          end;
           let act = send_data t c sent in
           let was_idle = c.sndq = [] in
           let c =
@@ -222,6 +245,18 @@ let handle_data t c (rd : Segment.rd) osr_pdu =
     let c = { c with rcv } in
     let advanced = Ranges.cumulative rcv > before in
     if fresh then begin
+      if Sublayer.Span.active t.sp then begin
+        (* Close the sender's flight span here, at delivery — the span
+           measures network sojourn, not ack round-trip — and bind the
+           trace locally for OSR's reassembly span. *)
+        let id =
+          Sublayer.Span.take t.sp
+            (xh_key ~isn_local:c.isn_remote ~isn_remote:c.isn_local offset)
+        in
+        let trace = Sublayer.Span.close_id t.sp ~id ~detail:"delivered" () in
+        if trace <> 0 then
+          Sublayer.Span.bind_local t.sp ("off:" ^ string_of_int offset) trace
+      end;
       (* Delayed acks apply only to in-order data; gaps must be acked
          immediately (they are the sender's dupack signal), and at most
          one ack may be owed at a time (ack every second segment). *)
@@ -271,6 +306,16 @@ let handle_ack t c (rd : Segment.rd) osr_pdu =
     let newly, remaining =
       List.partition (fun s -> s.s_off + s.s_len <= acked_off) c.sndq
     in
+    if Sublayer.Span.active t.sp then
+      List.iter
+        (fun s ->
+          (* Usually a no-op forget: the receiver already closed the span
+             at delivery. It only finishes here (duration = full RTT)
+             when the two ends do not share a tracer. *)
+          Sublayer.Span.close t.sp ~key:(fkey s.s_off) ~detail:"acked" ();
+          Sublayer.Span.unbind t.sp
+            (xh_key ~isn_local:c.isn_local ~isn_remote:c.isn_remote s.s_off))
+        newly;
     let rtt_sample =
       List.fold_left
         (fun acc s -> if s.s_retx then acc else Some (t.now () -. s.s_sent_at))
@@ -314,6 +359,7 @@ let handle_ack t c (rd : Segment.rd) osr_pdu =
       | Some victim ->
           Sublayer.Stats.incr t.ctrs.c_retransmits;
           Sublayer.Stats.incr t.ctrs.c_fast_retransmits;
+          Sublayer.Span.child t.sp ~key:(fkey victim.s_off) ~detail:"fast" "retx";
           let resend = { victim with s_retx = true; s_sent_at = t.now () } in
           let sndq =
             List.map (fun s -> if s.s_off = victim.s_off then resend else s) c.sndq
@@ -362,6 +408,7 @@ let handle_down_ind t (ind : down_ind) =
   | `Reset ->
       (* The peer refused or tore down the connection; retransmitting
          into it would livelock, so drop all state and timers. *)
+      Sublayer.Span.close_all t.sp ~detail:"reset" ();
       ({ t with conn = None }, [ Cancel_timer Rto; Cancel_timer Ack_delay; Up `Reset ])
   | `Pdu pdu ->
       with_conn t (fun c ->
@@ -385,16 +432,18 @@ let handle_timer t tm =
           else (t, []))
   | Rto ->
   with_conn t (fun c ->
-      if c.sndq <> [] && give_up t c then
+      if c.sndq <> [] && give_up t c then begin
         (* Retransmission exhausted: the path is (as far as RD can tell)
            a blackhole. Abort upward with ETIMEDOUT semantics and tell
            CM to tear the connection down — all within this sublayer's
            own vocabulary; no layer violation needed (T3). *)
+        Sublayer.Span.close_all t.sp ~detail:"aborted" ();
         ( { t with conn = None },
           [ Note
               (Printf.sprintf "giving up after %d backoffs, %.1fs stalled"
                  c.backoffs (t.now () -. c.last_progress));
             Cancel_timer Ack_delay; Up `Aborted; Down `Abort ] )
+      end
       else
       match List.find_opt (fun s -> not s.s_sacked) c.sndq with
       | None -> (
@@ -405,6 +454,7 @@ let handle_timer t tm =
                  acked: resend the oldest anyway. *)
               Sublayer.Stats.incr t.ctrs.c_retransmits;
               Sublayer.Stats.incr t.ctrs.c_timeouts;
+              Sublayer.Span.child t.sp ~key:(fkey all_sacked.s_off) ~detail:"rto" "retx";
               let resend = { all_sacked with s_retx = true; s_sent_at = t.now () } in
               let sndq =
                 List.map (fun s -> if s.s_off = resend.s_off then resend else s) c.sndq
@@ -417,6 +467,7 @@ let handle_timer t tm =
       | Some victim ->
           Sublayer.Stats.incr t.ctrs.c_retransmits;
           Sublayer.Stats.incr t.ctrs.c_timeouts;
+          Sublayer.Span.child t.sp ~key:(fkey victim.s_off) ~detail:"rto" "retx";
           let resend = { victim with s_retx = true; s_sent_at = t.now () } in
           let sndq =
             List.map (fun s -> if s.s_off = victim.s_off then resend else s) c.sndq

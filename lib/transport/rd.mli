@@ -15,9 +15,18 @@
 
 type t
 
-val initial : ?stats:Sublayer.Stats.scope -> Config.t -> now:(unit -> float) -> t
+val initial :
+  ?stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
+  Config.t ->
+  now:(unit -> float) ->
+  t
 (** Counters (when [stats] is given): [segments_sent], [retransmits],
-    [fast_retransmits], [timeouts], [acks_only], [dup_segments]. *)
+    [fast_retransmits], [timeouts], [acks_only], [dup_segments]. When
+    [span] is given, each first transmission opens a [flight] span
+    (closed by the {e receiving} RD at fresh delivery, correlated
+    cross-host by ISN pair + offset); retransmissions record instant
+    [retx] children of the original flight span. *)
 
 type stats = {
   mutable segments_sent : int;

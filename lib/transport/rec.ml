@@ -10,6 +10,7 @@ type t = {
   seq : int;
   c_sent : Sublayer.Stats.counter;
   c_failures : Sublayer.Stats.counter;
+  sp : Sublayer.Span.ctx;
 }
 
 (* The MAC key is derived from the cipher key so callers manage one
@@ -18,14 +19,15 @@ type t = {
 let derive_mac_key key =
   String.sub (Bitkit.Chacha20.block ~key ~counter:0 ~nonce:(String.make 12 '\000')) 0 16
 
-let initial ?stats ~key ~local_port ~remote_port () =
+let initial ?stats ?span ~key ~local_port ~remote_port () =
   if String.length key <> 32 then invalid_arg "Rec: key must be 32 bytes";
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "rec"
   in
   { key; mac_key = derive_mac_key key; local_port; remote_port; seq = 0;
     c_sent = Sublayer.Stats.counter sc "records_sent";
-    c_failures = Sublayer.Stats.counter sc "auth_failures" }
+    c_failures = Sublayer.Stats.counter sc "auth_failures";
+    sp = (match span with Some sp -> sp | None -> Sublayer.Span.disabled name) }
 
 let records_sent t = Sublayer.Stats.value t.c_sent
 let auth_failures t = Sublayer.Stats.value t.c_failures
@@ -81,11 +83,17 @@ let open_ t record =
 
 let handle_up_req t pdu =
   let t, record = seal t pdu in
+  Sublayer.Span.instant t.sp
+    ~detail:(Printf.sprintf "seq=%d" (t.seq - 1)) "seal";
   (t, [ Down record ])
 
 let handle_down_ind t record =
   match open_ t record with
-  | Some pdu -> (t, [ Up pdu ])
-  | None -> (t, [ Note "record failed authentication; dropped" ])
+  | Some pdu ->
+      Sublayer.Span.instant t.sp "open";
+      (t, [ Up pdu ])
+  | None ->
+      Sublayer.Span.instant t.sp "auth_fail";
+      (t, [ Note "record failed authentication; dropped" ])
 
 let handle_timer _ (tm : timer) = Nothing.absurd tm

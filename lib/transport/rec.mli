@@ -25,13 +25,15 @@ type t
 
 val initial :
   ?stats:Sublayer.Stats.scope ->
+  ?span:Sublayer.Span.ctx ->
   key:string ->
   local_port:int ->
   remote_port:int ->
   unit ->
   t
 (** [key] is the 32-byte shared secret. Counters (when [stats] is
-    given): [records_sent], [auth_failures]. *)
+    given): [records_sent], [auth_failures]. When [span] is given,
+    instant [seal]/[open]/[auth_fail] markers record each record. *)
 
 val records_sent : t -> int
 val auth_failures : t -> int

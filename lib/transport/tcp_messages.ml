@@ -8,14 +8,19 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let msg = Msg.initial ?stats:(sc "msg") ?cc_stats:(sc "cc") cfg ~now in
-  let rd = Rd.initial ?stats:(sc "rd") cfg ~now in
-  let cm = Cm.initial ?stats:(sc "cm") cfg ~isn ~local_port ~remote_port in
-  let dm = Dm.make ?stats:(sc "dm") ~local_port ~remote_port () in
+  let sp sub =
+    Option.map
+      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
+      tracer
+  in
+  let msg = Msg.initial ?stats:(sc "msg") ?cc_stats:(sc "cc") ?span:(sp "msg") cfg ~now in
+  let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
+  let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
   R.create engine ?trace ~name ~transmit ~deliver:events (msg, (rd, (cm, dm)))
 
 let connect t = R.from_above t `Connect

@@ -9,6 +9,7 @@ val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   name:string ->
   Config.t ->
   local_port:int ->

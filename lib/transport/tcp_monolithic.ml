@@ -499,9 +499,9 @@ let factory =
     Host.fname = "monolithic";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats:_ ?tracer:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         (* The monolith is deliberately opaque: no per-sublayer counters
-           exist to register (that contrast is the point of E19). *)
+           or spans exist to register (that contrast is the point of E19). *)
         let t = create engine ~name cfg ~local_port ~remote_port ~transmit ~events in
         {
           Host.ep_from_wire = from_wire t;

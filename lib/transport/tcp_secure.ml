@@ -11,16 +11,23 @@ type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ?stats ~key ~name cfg ~local_port ~remote_port ~transmit
-    ~events =
+let create engine ?trace ?stats ?tracer ~key ~name cfg ~local_port ~remote_port
+    ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") cfg ~now in
-  let rd = Rd.initial ?stats:(sc "rd") cfg ~now in
-  let cm = Cm.initial ?stats:(sc "cm") cfg ~isn ~local_port ~remote_port in
-  let rec_ = Rec.initial ?stats:(sc "rec") ~key ~local_port ~remote_port () in
-  let dm = Dm.make ?stats:(sc "dm") ~local_port ~remote_port () in
+  let sp sub =
+    Option.map
+      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
+      tracer
+  in
+  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
+  let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
+  let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
+  let rec_ =
+    Rec.initial ?stats:(sc "rec") ?span:(sp "rec") ~key ~local_port ~remote_port ()
+  in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
   R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, (rec_, dm))))
 
 let connect t = R.from_above t `Connect
@@ -40,10 +47,10 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let t =
-          create engine ?stats ~key ~name cfg ~local_port ~remote_port ~transmit
-            ~events
+          create engine ?stats ?tracer ~key ~name cfg ~local_port ~remote_port
+            ~transmit ~events
         in
         {
           Host.ep_from_wire = from_wire t;

@@ -9,6 +9,7 @@ val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   key:string ->
   name:string ->
   Config.t ->

@@ -9,6 +9,7 @@ val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -19,7 +20,10 @@ val create :
 (** [transmit] sends a wire segment; [events] receives application-level
     indications ([`Established], [`Data], ...). When [stats] is given,
     each sublayer registers its counters under its own scope: [osr.*],
-    [rd.*], [cm.*], [dm.*] plus [cc.*] for the congestion controller. *)
+    [rd.*], [cm.*], [dm.*] plus [cc.*] for the congestion controller.
+    When [tracer] is given, every sublayer opens causal spans on it
+    (track = [name]), with per-sublayer sojourn histograms recorded into
+    [stats] as well. *)
 
 val connect : t -> unit
 val listen : t -> unit

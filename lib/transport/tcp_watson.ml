@@ -8,18 +8,23 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?(idle_timeout = 6.0) ~name cfg ~local_port
+let create engine ?trace ?stats ?tracer ?(idle_timeout = 6.0) ~name cfg ~local_port
     ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") cfg ~now in
-  let rd = Rd.initial ?stats:(sc "rd") cfg ~now in
-  let cm =
-    Cm_timer.initial ?stats:(sc "cm-timer") cfg ~isn ~local_port ~remote_port
-      ~idle_timeout
+  let sp sub =
+    Option.map
+      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
+      tracer
   in
-  let dm = Dm.make ?stats:(sc "dm") ~local_port ~remote_port () in
+  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
+  let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
+  let cm =
+    Cm_timer.initial ?stats:(sc "cm-timer") ?span:(sp "cm-timer") cfg ~isn
+      ~local_port ~remote_port ~idle_timeout
+  in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
   R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, dm)))
 
 let connect t = R.from_above t `Connect
@@ -36,10 +41,10 @@ let factory ?idle_timeout () =
     Host.fname = "sublayered-watson";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let t =
-          create engine ?stats ?idle_timeout ~name cfg ~local_port ~remote_port
-            ~transmit ~events
+          create engine ?stats ?tracer ?idle_timeout ~name cfg ~local_port
+            ~remote_port ~transmit ~events
         in
         {
           Host.ep_from_wire = from_wire t;

@@ -8,6 +8,7 @@ val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
   ?idle_timeout:float ->
   name:string ->
   Config.t ->

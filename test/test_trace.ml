@@ -1,0 +1,374 @@
+(* Tests for the span-tracing subsystem: retransmission lineage (a
+   re-sent segment is a child of the original send, in the same trace),
+   the Chrome trace_event exporter, the sum-of-sojourns identity, and
+   the zero-cost disabled path. *)
+
+let check = Alcotest.check
+module Tracer = Sim.Tracer
+
+let all_spans tracer = Tracer.spans tracer @ Tracer.live_spans tracer
+
+(* --- shared harnesses --- *)
+
+let transport_run ?(loss = 0.0) ?(delay = 0.02) ?(bytes = 30_000) ~seed tracer =
+  let open Transport in
+  let engine = Sim.Engine.create ~seed () in
+  let a, b = Host.pair engine ~tracer { (Sim.Channel.lossy loss) with delay } in
+  Host.listen b ~port:80;
+  let server = ref None in
+  Host.on_accept b (fun c -> server := Some c);
+  let c = Host.connect a ~remote_port:80 () in
+  let data = String.init bytes (fun i -> Char.chr (i land 0xFF)) in
+  Host.write c data;
+  Host.close c;
+  let rec drive () =
+    if Sim.Engine.now engine < 600. && not (Host.finished c) then begin
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+      drive ()
+    end
+  in
+  drive ();
+  Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+  match !server with Some srv -> Host.received srv = data | None -> false
+
+(* Every "retx" marker that carries a trace must be the child of a live
+   "flight" span in that same trace — the causal lineage the tracer
+   promises. (A retransmission of a segment whose first copy was already
+   delivered, its ack lost, legitimately has no live original to link
+   to; those markers carry trace 0 and are excluded.) *)
+let assert_retx_lineage ~sublayer tracer =
+  let all = all_spans tracer in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Tracer.sp_id s) all;
+  let retx =
+    List.filter
+      (fun s -> s.Tracer.sp_sublayer = sublayer && s.Tracer.sp_name = "retx")
+      all
+  in
+  check Alcotest.bool "lossy run retransmitted" true (retx <> []);
+  let linked = List.filter (fun r -> r.Tracer.sp_trace <> 0) retx in
+  check Alcotest.bool "retransmissions carry their original trace" true
+    (linked <> []);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "linked retx has a parent span" true
+        (r.Tracer.sp_parent <> 0);
+      match Hashtbl.find_opt by_id r.Tracer.sp_parent with
+      | None -> Alcotest.fail "retx parent evicted from the ring"
+      | Some p ->
+          check Alcotest.string "parent is the original flight span" "flight"
+            p.Tracer.sp_name;
+          check Alcotest.int "retx shares the original's trace id"
+            p.Tracer.sp_trace r.Tracer.sp_trace)
+    linked
+
+let test_rd_retx_lineage () =
+  let tracer = Tracer.create ~capacity:65536 () in
+  let ok = transport_run ~loss:0.2 ~seed:7 ~bytes:30_000 tracer in
+  check Alcotest.bool "transfer exact" true ok;
+  assert_retx_lineage ~sublayer:"rd" tracer
+
+let test_gbn_retx_lineage () =
+  let engine = Sim.Engine.create ~seed:7 () in
+  let tracer = Tracer.create ~capacity:65536 () in
+  let link =
+    Datalink.Stack.link engine ~tracer (Sim.Channel.lossy 0.2)
+      Datalink.Stack.default_spec
+  in
+  let payloads = List.init 40 (Printf.sprintf "payload %d") in
+  let received = Datalink.Stack.transfer engine link payloads in
+  check Alcotest.int "transfer completed" 40 (List.length received);
+  assert_retx_lineage ~sublayer:"arq" tracer
+
+(* --- Chrome exporter --- *)
+
+(* A deliberately tiny JSON reader — just enough to round-trip the
+   exporter's output and fail loudly on malformed text. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Bad_json "eof") in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then
+      raise (Bad_json (Printf.sprintf "expected '%c' at %d" c !pos));
+    advance ()
+  in
+  let literal lit v =
+    if !pos + String.length lit <= n && String.sub s !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      v
+    end
+    else raise (Bad_json "bad literal")
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+          let e = peek () in
+          advance ();
+          (match e with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              if !pos + 4 > n then raise (Bad_json "truncated \\u escape");
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* the exporter only escapes single bytes *)
+              if code < 0x100 then Buffer.add_char buf (Char.chr code)
+              else raise (Bad_json "unexpected wide \\u escape")
+          | _ -> raise (Bad_json "bad escape"));
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then raise (Bad_json "expected a value");
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad_json "bad object")
+          in
+          members []
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> raise (Bad_json "bad array")
+          in
+          elems []
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let test_chrome_export () =
+  let tracer = Tracer.create ~capacity:65536 () in
+  let ok = transport_run ~loss:0.1 ~seed:11 ~bytes:20_000 tracer in
+  check Alcotest.bool "transfer exact" true ok;
+  let events =
+    match parse_json (Tracer.to_chrome_json tracer) with
+    | Obj [ ("traceEvents", Arr evs) ] -> evs
+    | _ -> Alcotest.fail "top level is not {\"traceEvents\": [...]}"
+    | exception Bad_json msg -> Alcotest.failf "exporter JSON invalid: %s" msg
+  in
+  check Alcotest.bool "exporter emitted events" true (events <> []);
+  let field name = function Obj kvs -> List.assoc_opt name kvs | _ -> None in
+  let last_ts = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match field "ph" ev with
+      | Some (Str "M") -> ()
+      | Some (Str "X") ->
+          let num k =
+            match field k ev with
+            | Some (Num f) -> f
+            | _ -> Alcotest.failf "X event missing numeric %S" k
+          in
+          let pid = num "pid" and tid = num "tid" and ts = num "ts" in
+          check Alcotest.bool "ts is an integer microsecond count" true
+            (Float.is_integer ts && Float.is_integer (num "dur"));
+          let prev =
+            Option.value ~default:neg_infinity
+              (Hashtbl.find_opt last_ts (pid, tid))
+          in
+          if ts < prev then
+            Alcotest.failf "ts went backwards on track (%.0f,%.0f): %.0f < %.0f"
+              pid tid ts prev;
+          Hashtbl.replace last_ts (pid, tid) ts
+      | _ -> Alcotest.fail "event with unexpected phase")
+    events
+
+(* --- the sum-of-sojourns identity --- *)
+
+let test_sojourn_identity () =
+  let open Transport in
+  let tracer = Tracer.create ~capacity:65536 () in
+  let engine = Sim.Engine.create ~seed:3 () in
+  let a, b = Host.pair engine ~tracer { Sim.Channel.ideal with delay = 0.03 } in
+  Host.listen b ~port:80;
+  let c = Host.connect a ~remote_port:80 () in
+  (* One sub-MSS write per 100 ms: each write becomes exactly one
+     segment, so its trace consists of one buffer, one flight and one
+     reasm span that abut in virtual time. *)
+  for i = 0 to 9 do
+    ignore
+      (Sim.Engine.at engine
+         ~time:(1.0 +. (0.1 *. Float.of_int i))
+         (fun () -> Host.write c (String.make 500 (Char.chr (Char.code 'a' + i)))))
+  done;
+  ignore (Sim.Engine.at engine ~time:2.5 (fun () -> Host.close c));
+  Sim.Engine.run ~until:30. engine;
+  let interesting s =
+    match (s.Tracer.sp_sublayer, s.Tracer.sp_name) with
+    | "osr", "buffer" | "rd", "flight" | "osr", "reasm" -> true
+    | _ -> false
+  in
+  let by_trace = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      if interesting s && s.Tracer.sp_trace <> 0 then
+        Hashtbl.replace by_trace s.Tracer.sp_trace
+          (s :: Option.value ~default:[] (Hashtbl.find_opt by_trace s.Tracer.sp_trace)))
+    (Tracer.spans tracer);
+  let checked = ref 0 in
+  Hashtbl.iter
+    (fun trace ss ->
+      let has name = List.exists (fun s -> s.Tracer.sp_name = name) ss in
+      if List.length ss = 3 && has "buffer" && has "flight" && has "reasm" then begin
+        incr checked;
+        let sum = List.fold_left (fun acc s -> acc +. Tracer.duration s) 0. ss in
+        let t0 =
+          List.fold_left (fun acc s -> Float.min acc s.Tracer.sp_start) infinity ss
+        in
+        let t1 =
+          List.fold_left (fun acc s -> Float.max acc s.Tracer.sp_end) neg_infinity
+            ss
+        in
+        (* Intra-event processing is zero virtual time, so the sublayer
+           sojourns tile the end-to-end interval exactly; the slack only
+           absorbs float noise. *)
+        if Float.abs (sum -. (t1 -. t0)) > 1e-6 then
+          Alcotest.failf
+            "trace %d: sojourns sum to %.9f but end-to-end latency is %.9f"
+            trace sum (t1 -. t0);
+        (* The text biography of the same trace names every sojourn. *)
+        let bio = Tracer.biography tracer ~trace in
+        let contains needle =
+          let nl = String.length needle and hl = String.length bio in
+          let rec at i =
+            i + nl <= hl && (String.sub bio i nl = needle || at (i + 1))
+          in
+          at 0
+        in
+        List.iter
+          (fun name ->
+            check Alcotest.bool (name ^ " appears in the biography") true
+              (contains name))
+          [ "buffer"; "flight"; "reasm" ]
+      end)
+    by_trace;
+  check Alcotest.bool "at least 8 traced messages checked" true (!checked >= 8)
+
+(* --- disabled path --- *)
+
+let test_disabled_records_nothing () =
+  let tracer = Tracer.create () in
+  Tracer.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Tracer.set_enabled true)
+    (fun () ->
+      let ok = transport_run ~loss:0.05 ~seed:5 ~bytes:10_000 tracer in
+      check Alcotest.bool "transfer exact" true ok;
+      check Alcotest.int "nothing recorded" 0 (Tracer.recorded tracer);
+      check Alcotest.int "nothing live" 0 (List.length (Tracer.live_spans tracer)))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "lineage",
+        [
+          Alcotest.test_case "rd retransmit links to original" `Quick
+            test_rd_retx_lineage;
+          Alcotest.test_case "gbn re-send links to original" `Quick
+            test_gbn_retx_lineage;
+        ] );
+      ( "exporters",
+        [ Alcotest.test_case "chrome json round-trips" `Quick test_chrome_export ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "sojourns sum to end-to-end latency" `Quick
+            test_sojourn_identity;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "disabled tracer records nothing" `Quick
+            test_disabled_records_nothing;
+        ] );
+    ]
