@@ -267,8 +267,52 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print the sublayer event trace of a lossy transfer.")
     Term.(const run $ loss $ bytes)
 
+(* --- scale --- *)
+
+let scale_cmd =
+  let run flows hosts bytes loss backend seed =
+    let backend =
+      match backend with
+      | "wheel" -> `Wheel
+      | "heap" -> `Heap
+      | other ->
+          Printf.eprintf
+            "sublayer-lab scale: unknown backend %S (expected wheel | heap)\n"
+            other;
+          exit 2
+    in
+    let engine = Sim.Engine.create ~seed ~backend () in
+    let channel = { (Sim.Channel.lossy loss) with Sim.Channel.delay = 0.02 } in
+    let fabric =
+      Transport.Fabric.create engine ~hosts ~channel ~flows ~bytes ()
+    in
+    let wall0 = Sys.time () in
+    let r =
+      Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"scale" ~engine ~flows
+        (Transport.Fabric.ops fabric)
+    in
+    let wall = Sys.time () -. wall0 in
+    Format.printf "%a@." Sim.Workload.pp_report r;
+    let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+    Printf.printf "%d events in %.3fs wall = %.0f events/sec\n" fired wall
+      (if wall > 0. then float_of_int fired /. wall else 0.);
+    if not (Sim.Workload.ok r) then exit 1
+  in
+  let flows = Arg.(value & opt int 1000 & info [ "flows" ] ~doc:"Concurrent flows.") in
+  let hosts = Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"Hosts on the fabric.") in
+  let bytes = Arg.(value & opt int 8_000 & info [ "bytes" ] ~doc:"Bytes per flow.") in
+  let loss = Arg.(value & opt float 0.01 & info [ "loss" ] ~doc:"Segment loss probability.") in
+  let backend =
+    Arg.(value & opt string "wheel" & info [ "backend" ] ~doc:"Scheduler: wheel | heap.")
+  in
+  let seed = Arg.(value & opt int 67 & info [ "seed" ] ~doc:"Simulation seed.") in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Soak thousands of concurrent flows on the N-host fabric.")
+    Term.(const run $ flows $ hosts $ bytes $ loss $ backend $ seed)
+
 let () =
   let doc = "sublayered-protocols laboratory (HotNets '24 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "sublayer-lab" ~doc)
                     [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd;
-                      stats_cmd; trace_cmd ]))
+                      stats_cmd; trace_cmd; scale_cmd ]))

@@ -1,6 +1,20 @@
-type t = { src : Addr.t; dst : Addr.t; ttl : int; payload : string }
+type t = { src : Addr.t; dst : Addr.t; ttl : int; nonce : int; payload : string }
 
-let make ?(ttl = 64) ~src ~dst payload = { src; dst; ttl; payload }
+(* Process-wide, so two packets are never confused with each other no
+   matter which router minted them. Only ever used for correlation keys
+   (never serialised into reports or span output), so seeded runs stay
+   reproducible. *)
+let next_nonce = ref 0
+
+let make ?(ttl = 64) ?nonce ~src ~dst payload =
+  let nonce =
+    match nonce with
+    | Some n -> n
+    | None ->
+        incr next_nonce;
+        !next_nonce
+  in
+  { src; dst; ttl; nonce; payload }
 
 let decrement_ttl p = if p.ttl <= 1 then None else Some { p with ttl = p.ttl - 1 }
 

@@ -9,11 +9,15 @@ type t = {
   src : Addr.t;
   dst : Addr.t;
   ttl : int;
+  nonce : int;  (** unique per packet; survives forwarding *)
   payload : string;
 }
 
-val make : ?ttl:int -> src:Addr.t -> dst:Addr.t -> string -> t
-(** Default TTL 64. *)
+val make : ?ttl:int -> ?nonce:int -> src:Addr.t -> dst:Addr.t -> string -> t
+(** Default TTL 64. The nonce identifies {e this} packet even when an
+    identical payload is in flight between the same pair (tracing keys
+    correlation state on it); it defaults to a fresh process-wide value
+    and is preserved across TTL decrements. *)
 
 val decrement_ttl : t -> t option
 (** [None] when the TTL expires. *)

@@ -36,10 +36,10 @@ type t = {
 (* Correlation key for one data packet's network transit: every router it
    crosses can rebuild the key from the packet alone, so the origin's
    "transit" span is closed by whichever router terminates the packet
-   (delivery, no-route, TTL expiry). *)
-let pkey (p : Packet.t) =
-  Printf.sprintf "pkt:%s:%s:%s"
-    (Addr.to_string p.Packet.src) (Addr.to_string p.Packet.dst) p.Packet.payload
+   (delivery, no-route, TTL expiry). Keyed on the per-packet nonce —
+   src/dst/payload collide when identical payloads are in flight between
+   the same pair, which left the first packet's span open forever. *)
+let pkey (p : Packet.t) = Printf.sprintf "pkt:%d" p.Packet.nonce
 
 let transmit t ifindex frame =
   match Hashtbl.find_opt t.interfaces ifindex with

@@ -1,4 +1,18 @@
-type event = {
+(* The scheduler behind every experiment: virtual time, (time,
+   insertion-seq) firing order, seeded randomness. Two interchangeable
+   queue backends share the event representation and the lazy-delete
+   cancellation accounting:
+
+   - [`Wheel] (default): the hierarchical timing wheel — O(1) schedule
+     and cancel for the near horizon, where RTO/delayed-ack/ARQ timers
+     overwhelmingly live and die.
+   - [`Heap]: the original binary heap, kept as the reference the
+     equivalence property test drives in lockstep against the wheel.
+
+   Both fire the exact same (time, seq) stream, so seeded runs are
+   bit-identical across backends. *)
+
+type event = Wheel.event = {
   time : float;
   seq : int;
   mutable fn : unit -> unit;
@@ -11,101 +25,65 @@ type event = {
 
 type handle = event
 
+type backend = [ `Heap | `Wheel ]
+
+(* The reference backend: one binary heap, dead tops purged lazily. *)
+module Heapq = struct
+  type t = { heap : Wheel.Eheap.t; mutable compactions : int }
+
+  let create () = { heap = Wheel.Eheap.create ~capacity:64 (); compactions = 0 }
+
+  let rec purge q =
+    match Wheel.Eheap.peek q.heap with
+    | Some ev when ev.dead ->
+        ignore (Wheel.Eheap.pop q.heap);
+        decr ev.dead_in_heap;
+        purge q
+    | _ -> ()
+
+  (* Drop cancelled entries and re-establish the heap property in place.
+     Long soaks cancel far more timers than ever fire (every ack cancels
+     a retransmission timer), so without this the heap is mostly garbage
+     and [pending] scans it all. *)
+  let compact q =
+    Wheel.Eheap.compact q.heap ~on_drop:(fun ev -> decr ev.dead_in_heap);
+    q.compactions <- q.compactions + 1
+end
+
+type queue = Q_heap of Heapq.t | Q_wheel of Wheel.t
+
 type t = {
-  mutable heap : event array;
-  mutable size : int;
+  queue : queue;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
   live : int ref;
   dead_in_heap : int ref;
-  mutable compactions : int;
   random : Bitkit.Rng.t;
 }
 
-let dummy =
-  { time = 0.; seq = -1; fn = ignore; dead = true; live = ref 0;
-    dead_in_heap = ref 0 }
-
-let create ?(seed = 42) () =
-  { heap = Array.make 64 dummy; size = 0; clock = 0.; next_seq = 0;
-    fired = 0; live = ref 0; dead_in_heap = ref 0; compactions = 0;
+let create ?(seed = 42) ?(backend = `Wheel) () =
+  { queue =
+      (match backend with
+      | `Heap -> Q_heap (Heapq.create ())
+      | `Wheel -> Q_wheel (Wheel.create ()));
+    clock = 0.; next_seq = 0; fired = 0; live = ref 0; dead_in_heap = ref 0;
     random = Bitkit.Rng.create seed }
 
+let backend t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 let now t = t.clock
 let rng t = t.random
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if earlier t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
-let push t ev =
-  if t.size = Array.length t.heap then begin
-    let bigger = Array.make (2 * t.size) dummy in
-    Array.blit t.heap 0 bigger 0 t.size;
-    t.heap <- bigger
-  end;
-  t.heap.(t.size) <- ev;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
-
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    if t.size > 0 then sift_down t 0;
-    Some top
-  end
-
-(* Drop cancelled entries and re-establish the heap property in place.
-   Long soaks cancel far more timers than ever fire (every ack cancels a
-   retransmission timer), so without this the heap is mostly garbage and
-   [pending] scans it all. *)
-let compact t =
-  let kept = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).dead then begin
-      t.heap.(!kept) <- t.heap.(i);
-      incr kept
-    end
-  done;
-  for i = !kept to t.size - 1 do
-    t.heap.(i) <- dummy
-  done;
-  t.size <- !kept;
-  for i = (t.size / 2) - 1 downto 0 do
-    sift_down t i
-  done;
-  t.dead_in_heap := 0;
-  t.compactions <- t.compactions + 1
+let queue_total t =
+  match t.queue with
+  | Q_heap q -> Wheel.Eheap.size q.Heapq.heap
+  | Q_wheel w -> Wheel.total w
 
 let maybe_compact t =
-  if t.size > 64 && 2 * !(t.dead_in_heap) > t.size then compact t
+  if queue_total t > 64 && 2 * !(t.dead_in_heap) > queue_total t then
+    match t.queue with
+    | Q_heap q -> Heapq.compact q
+    | Q_wheel w -> Wheel.compact w
 
 let at t ~time fn =
   if time < t.clock then invalid_arg "Engine.at: time in the past";
@@ -115,7 +93,9 @@ let at t ~time fn =
   in
   t.next_seq <- t.next_seq + 1;
   incr t.live;
-  push t ev;
+  (match t.queue with
+  | Q_heap q -> Wheel.Eheap.push q.Heapq.heap ev
+  | Q_wheel w -> Wheel.add w ev);
   (* [cancel] can't reach the engine through the handle, so dead-entry
      pressure is relieved on the next schedule (or [pending] scan). *)
   maybe_compact t;
@@ -137,6 +117,21 @@ let cancel ev =
 
 let cancelled ev = ev.dead
 
+(* The earliest live event, left in place: [horizon] bounds how far the
+   wheel's cursor advances (the heap ignores it). The returned event may
+   still have [time > horizon] — callers compare. *)
+let peek t ~horizon =
+  match t.queue with
+  | Q_heap q ->
+      Heapq.purge q;
+      Wheel.Eheap.peek q.Heapq.heap
+  | Q_wheel w -> Wheel.peek w ~horizon
+
+let drop_top t =
+  match t.queue with
+  | Q_heap q -> ignore (Wheel.Eheap.pop q.Heapq.heap)
+  | Q_wheel w -> ignore (Wheel.pop w)
+
 (* Fire [ev]: mark it dead first so a late [cancel] on a kept handle is a
    no-op instead of corrupting the accounting, and drop the closure so the
    handle does not retain it. *)
@@ -149,15 +144,11 @@ let fire t ev =
   decr t.live;
   f ()
 
-let rec step t =
-  match pop t with
+let step t =
+  match peek t ~horizon:infinity with
   | None -> false
-  | Some ev when ev.dead ->
-      (* Cancelled: [cancel] already decremented [live]; it just left
-         the heap. *)
-      decr t.dead_in_heap;
-      step t
   | Some ev ->
+      drop_top t;
       fire t ev;
       true
 
@@ -166,20 +157,19 @@ let run ?until ?max_events t =
   let horizon = match until with Some u -> u | None -> infinity in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match pop t with
+    match peek t ~horizon with
     | None ->
         (* "Run until T" leaves the clock at T even if nothing is left to
            do, so callers polling in fixed virtual-time slices always make
            progress. *)
         if Float.is_finite horizon && horizon > t.clock then t.clock <- horizon;
         continue := false
-    | Some ev when ev.dead -> decr t.dead_in_heap
     | Some ev when ev.time > horizon ->
-        (* Put it back: the caller may resume later. *)
-        push t ev;
+        (* Leave it queued: the caller may resume later. *)
         t.clock <- horizon;
         continue := false
     | Some ev ->
+        drop_top t;
         decr budget;
         fire t ev
   done
@@ -189,10 +179,15 @@ let live t = !(t.live)
 let pending t =
   maybe_compact t;
   let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).dead then incr n
-  done;
+  let count ev = if not ev.dead then incr n in
+  (match t.queue with
+  | Q_heap q -> Wheel.Eheap.iter q.Heapq.heap count
+  | Q_wheel w -> Wheel.iter w count);
   !n
 
-let compactions t = t.compactions
+let compactions t =
+  match t.queue with
+  | Q_heap q -> q.Heapq.compactions
+  | Q_wheel w -> Wheel.compactions w
+
 let events_fired t = t.fired

@@ -10,8 +10,17 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ~seed ()] makes an engine with virtual time 0. *)
+type backend = [ `Heap | `Wheel ]
+(** Event-queue implementation: the hierarchical timing wheel (default —
+    O(1) schedule/cancel near the horizon) or the original binary heap,
+    kept as the reference the equivalence property test runs against.
+    Both fire the exact same (time, insertion-seq) stream. *)
+
+val create : ?seed:int -> ?backend:backend -> unit -> t
+(** [create ~seed ()] makes an engine with virtual time 0.
+    [backend] defaults to [`Wheel]. *)
+
+val backend : t -> backend
 
 val now : t -> float
 (** Current virtual time in seconds. *)

@@ -6,31 +6,38 @@ type report = {
   finished : bool;
   violations : string list;
   samples : (float * (string * int) list) list;
-  flight : string list;
+  flights : (string * string list) list;
+  flight_cap : int;
 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s" r.sname
+  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s%s" r.sname
     (if r.finished then "finished" else "DID NOT FINISH")
     r.vtime r.events_fired r.pending
     (match r.violations with
     | [] -> ""
     | vs -> Format.asprintf ", violations: %s" (String.concat "; " vs))
+    (match r.flights with
+    | [] -> ""
+    | fs ->
+        Format.asprintf ", %d/%d flight dump%s" (List.length fs) r.flight_cap
+          (if List.length fs = 1 then "" else "s"))
 
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
 let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
-    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ~name ~engine ~finished
-    () =
+    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ?(flight_cap = 8) ~name
+    ~engine ~finished () =
   let violations = ref [] in
-  let flight = ref [] in
-  (* Flight recorder: at the FIRST violation, freeze the last spans the
-     tracer still holds — preferring those on a track the violation
-     message names, so the dump is about the offending connection. *)
+  let flights = ref [] in
+  (* Flight recorder: at every distinct violation (up to [flight_cap] of
+     them), freeze the last spans the tracer still holds — preferring
+     those on a track the violation message names, so each dump is about
+     the offending connection. *)
   let capture_flight msg =
     match tracer with
     | None -> ()
-    | Some tr when !flight = [] ->
+    | Some tr when List.length !flights < flight_cap ->
         let recent = Tracer.last tr (8 * flight_n) in
         let touching =
           List.filter
@@ -51,7 +58,7 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
           if n <= flight_n then chosen
           else List.filteri (fun i _ -> i >= n - flight_n) chosen
         in
-        flight := List.map Tracer.span_to_string chosen
+        flights := (msg, List.map Tracer.span_to_string chosen) :: !flights
     | Some _ -> ()
   in
   let record msg =
@@ -69,8 +76,11 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
         if !slices mod sample_every = 0 then
           samples := (Engine.now engine, f ()) :: !samples
   in
+  (* Keep driving through violations: a soak that stops at the first one
+     hides every later, possibly distinct, failure — each distinct
+     violation is recorded (and flight-dumped) as it appears. *)
   let rec drive () =
-    if (not (finished ())) && !violations = [] && Engine.now engine < until then begin
+    if (not (finished ())) && Engine.now engine < until then begin
       Engine.run ~until:(Engine.now engine +. step) engine;
       incr slices;
       take_sample ();
@@ -92,7 +102,8 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
     finished = fin;
     violations = List.rev !violations;
     samples = List.rev !samples;
-    flight = !flight }
+    flights = List.rev !flights;
+    flight_cap }
 
 let reproducible scenario ~seed =
   let a = scenario seed in

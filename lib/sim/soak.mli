@@ -21,10 +21,15 @@ type report = {
   samples : (float * (string * int) list) list;
       (** periodic stats samples [(vtime, snapshot)], oldest first —
           whatever the caller's [sample] closure returned each period *)
-  flight : string list;
-      (** flight-recorder dump: the formatted spans captured at the first
-          invariant violation (empty when no [tracer] was passed or no
-          violation occurred), oldest first *)
+  flights : (string * string list) list;
+      (** flight-recorder dumps, one [(violation, spans)] pair per
+          distinct invariant violation up to [flight_cap], oldest
+          violation first, spans oldest first (empty when no [tracer]
+          was passed or no violation occurred) *)
+  flight_cap : int;
+      (** maximum number of dumps this run was allowed to capture; when
+          [List.length flights = flight_cap], later violations went
+          un-dumped (they are still in [violations]) *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -41,6 +46,7 @@ val run :
   ?sample_every:int ->
   ?tracer:Tracer.t ->
   ?flight_n:int ->
+  ?flight_cap:int ->
   name:string ->
   engine:Engine.t ->
   finished:(unit -> bool) ->
@@ -48,8 +54,11 @@ val run :
   report
 (** [run ~name ~engine ~finished ()] advances [engine] in slices of
     [step] (default 0.5) virtual seconds until [finished ()] or virtual
-    time [until] (default 120), evaluating [invariant] after every slice
-    (a [Some msg] result is recorded as a violation and ends the run).
+    time [until] (default 120), evaluating [invariant] after every slice.
+    A [Some msg] result is recorded as a violation (deduplicated); the
+    run keeps driving, so every distinct failure the scenario produces is
+    reported, not just the first.
+
     When [quiesce] is true (default), the remaining queue is drained
     after finishing — timers a correct stack no longer needs — and the
     leftover [pending] count is reported.
@@ -62,11 +71,11 @@ val run :
     part of the report, so they must be deterministic for
     {!reproducible} scenarios.
 
-    When [tracer] is given, the run doubles as a flight recorder: the
-    first invariant violation freezes the last [flight_n] (default 32)
-    spans into the report's [flight] — preferring spans whose track
-    appears in the violation message, so the dump follows the offending
-    connection. *)
+    When [tracer] is given, the run doubles as a flight recorder: each
+    distinct invariant violation freezes the last [flight_n] (default 32)
+    spans into the report's [flights], up to [flight_cap] (default 8)
+    dumps per run — preferring spans whose track appears in the violation
+    message, so each dump follows the offending connection. *)
 
 val reproducible : (int -> report) -> seed:int -> bool
 (** [reproducible scenario ~seed] runs [scenario seed] twice and checks

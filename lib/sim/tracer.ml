@@ -88,10 +88,25 @@ let instant t ~at ~track ~sublayer ?(trace = 0) ?(parent = 0) ?(detail = "") nam
       sp_sublayer = sublayer; sp_name = name; sp_start = at; sp_end = at;
       sp_detail = detail }
 
+(* Live spans first; fall back to a newest-first ring scan so lineage
+   survives the span finishing. A retransmit of a segment that was
+   already delivered (but not yet acked) asks for the trace of a span
+   that closed when the first copy arrived — answering [None] here is
+   what used to break its lineage. Bounded by the ring, like every other
+   lookback in this module. *)
 let trace_of t id =
   match Hashtbl.find_opt t.live id with
   | Some sp -> Some sp.sp_trace
-  | None -> None
+  | None ->
+      let cap = Array.length t.ring in
+      let rec scan i =
+        if i >= t.len then None
+        else
+          match t.ring.((t.head + t.len - 1 - i + cap) mod cap) with
+          | Some sp when sp.sp_id = id -> Some sp.sp_trace
+          | _ -> scan (i + 1)
+      in
+      scan 0
 
 (* String-keyed correlation table: a sublayer binds an id (span or trace)
    under a key only it and its peer can reconstruct — e.g. the canonical

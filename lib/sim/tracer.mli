@@ -67,7 +67,10 @@ val instant :
 (** A zero-duration span, recorded directly. *)
 
 val trace_of : t -> int -> int option
-(** Trace id of a live span. *)
+(** Trace id of a span: live spans first, then the finished-span ring
+    (newest first), so a retransmission of a segment whose original send
+    span already closed still inherits the lineage. [None] only once the
+    span has been evicted from the ring. *)
 
 val bind : t -> string -> int -> unit
 (** Correlation table: associate a span or trace id with a key both ends

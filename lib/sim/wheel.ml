@@ -1,0 +1,336 @@
+(* Hierarchical timing wheel: the engine's default event queue.
+
+   RTO, delayed-ack and ARQ timers are overwhelmingly scheduled and then
+   cancelled before they fire; a binary heap pays O(log n) to admit every
+   one of them and scans dead entries on the way out. The wheel admits a
+   near-horizon timer in O(1): two levels of [slots] buckets of [tick]
+   seconds each (L0 covers one window of [slots] ticks, L1 one window of
+   [slots] windows), a small "front" heap holding the already-reached
+   ticks in exact order, and an overflow heap for timers beyond L1's
+   horizon (with the default 1 ms tick and 1024 slots: ~1 s and ~17 min).
+
+   Ordering argument: the tick of an event, trunc(time / tick), is
+   monotone in its time, so bucketing by tick can never invert the order
+   of events in different ticks — float rounding can only place a
+   boundary event one tick late, which delays when its bucket drains but
+   not its position relative to other events. Within a tick (and in the
+   overflow), the (time, insertion-seq) heaps restore the engine's exact
+   firing order, so the wheel is observationally identical to the
+   reference heap.
+
+   Cancellation is lazy, exactly as in the heap backend: a dead event
+   stays where it is, counted by the shared [dead_in_heap] ref, until it
+   is swept out by a drain, a purge or a [compact]. *)
+
+type event = {
+  time : float;
+  seq : int;
+  mutable fn : unit -> unit;
+  mutable dead : bool;
+  (* Shared with the owning engine so [Engine.cancel] (which only sees
+     the handle) can keep the accounting straight. *)
+  live : int ref;
+  dead_in_heap : int ref;
+}
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let dummy =
+  { time = 0.; seq = -1; fn = ignore; dead = true; live = ref 0;
+    dead_in_heap = ref 0 }
+
+(* A plain binary min-heap on (time, seq): the front and overflow queues,
+   and the engine's reference backend. *)
+module Eheap = struct
+  type t = { mutable arr : event array; mutable size : int }
+
+  let create ?(capacity = 16) () = { arr = Array.make capacity dummy; size = 0 }
+  let size h = h.size
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if earlier h.arr.(i) h.arr.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.size && earlier h.arr.(l) h.arr.(!smallest) then smallest := l;
+    if r < h.size && earlier h.arr.(r) h.arr.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h ev =
+    if h.size = Array.length h.arr then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.arr 0 bigger 0 h.size;
+      h.arr <- bigger
+    end;
+    h.arr.(h.size) <- ev;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let peek h = if h.size = 0 then None else Some h.arr.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.arr.(0) in
+      h.size <- h.size - 1;
+      h.arr.(0) <- h.arr.(h.size);
+      h.arr.(h.size) <- dummy;
+      if h.size > 0 then sift_down h 0;
+      Some top
+    end
+
+  let iter h f =
+    for i = 0 to h.size - 1 do
+      f h.arr.(i)
+    done
+
+  (* Drop dead entries in place and re-establish the heap property. *)
+  let compact h ~on_drop =
+    let kept = ref 0 in
+    for i = 0 to h.size - 1 do
+      if h.arr.(i).dead then on_drop h.arr.(i)
+      else begin
+        h.arr.(!kept) <- h.arr.(i);
+        incr kept
+      end
+    done;
+    for i = !kept to h.size - 1 do
+      h.arr.(i) <- dummy
+    done;
+    h.size <- !kept;
+    for i = (h.size / 2) - 1 downto 0 do
+      sift_down h i
+    done
+end
+
+type t = {
+  tick : float;
+  n : int;                    (* slots per level *)
+  l0 : event list array;      (* ticks of the current window *)
+  l1 : event list array;      (* one bucket per window, the next [n - 1] *)
+  mutable l0_count : int;     (* entries (dead included) in l0 / l1 *)
+  mutable l1_count : int;
+  front : Eheap.t;            (* reached ticks, exact (time, seq) order *)
+  overflow : Eheap.t;         (* beyond the L1 horizon *)
+  mutable w0 : int;           (* current window number *)
+  mutable cur : int;          (* highest tick drained into [front] *)
+  mutable total : int;        (* entries (dead included) everywhere *)
+  mutable compactions : int;
+}
+
+let create ?(tick = 1e-3) ?(slots = 1024) () =
+  if tick <= 0. then invalid_arg "Wheel.create: tick must be positive";
+  if slots < 2 then invalid_arg "Wheel.create: need at least two slots";
+  { tick; n = slots; l0 = Array.make slots []; l1 = Array.make slots [];
+    l0_count = 0; l1_count = 0; front = Eheap.create ();
+    overflow = Eheap.create (); w0 = 0; cur = -1; total = 0; compactions = 0 }
+
+(* Absolute tick of a virtual time. Monotone in [time] (see the header
+   comment). Times past ~1e12 virtual seconds pin to [max_int] so the
+   window arithmetic below never overflows; such events live in the
+   overflow heap and are served straight from it once everything nearer
+   has fired. *)
+let tick_of t time =
+  let q = time /. t.tick in
+  if q >= 1e15 then max_int else int_of_float q
+
+let total t = t.total
+let compactions t = t.compactions
+
+let drop_dead t ev =
+  t.total <- t.total - 1;
+  decr ev.dead_in_heap
+
+let add t ev =
+  t.total <- t.total + 1;
+  let k = tick_of t ev.time in
+  if k <= t.cur then Eheap.push t.front ev
+  else begin
+    let w = k / t.n in
+    if w = t.w0 then begin
+      let s = k mod t.n in
+      t.l0.(s) <- ev :: t.l0.(s);
+      t.l0_count <- t.l0_count + 1
+    end
+    else if w - t.w0 < t.n then begin
+      let s = w mod t.n in
+      t.l1.(s) <- ev :: t.l1.(s);
+      t.l1_count <- t.l1_count + 1
+    end
+    else Eheap.push t.overflow ev
+  end
+
+(* Move every event of the l0 slot holding tick [cur] into the front
+   heap; dead entries are swept out here instead. *)
+let drain_l0 t s =
+  let evs = t.l0.(s) in
+  t.l0.(s) <- [];
+  List.iter
+    (fun ev ->
+      t.l0_count <- t.l0_count - 1;
+      if ev.dead then drop_dead t ev else Eheap.push t.front ev)
+    evs
+
+(* Entering window [w]: spread its l1 bucket over the l0 tick slots. *)
+let cascade t w =
+  let s = w mod t.n in
+  let evs = t.l1.(s) in
+  t.l1.(s) <- [];
+  List.iter
+    (fun ev ->
+      t.l1_count <- t.l1_count - 1;
+      if ev.dead then drop_dead t ev
+      else begin
+        let k = tick_of t ev.time in
+        t.l0.(k mod t.n) <- ev :: t.l0.(k mod t.n);
+        t.l0_count <- t.l0_count + 1
+      end)
+    evs
+
+let rec overflow_top t =
+  match Eheap.peek t.overflow with
+  | Some ev when ev.dead ->
+      ignore (Eheap.pop t.overflow);
+      drop_dead t ev;
+      overflow_top t
+  | other -> other
+
+let rec purge_front t =
+  match Eheap.peek t.front with
+  | Some ev when ev.dead ->
+      ignore (Eheap.pop t.front);
+      drop_dead t ev;
+      purge_front t
+  | _ -> ()
+
+(* Jump the cursor to the start of window [w] (which must be ahead of
+   [w0]): pull newly-near overflow entries into the wheels, then cascade
+   the window's l1 bucket. *)
+let enter_window t w =
+  t.w0 <- w;
+  t.cur <- (w * t.n) - 1;
+  let continue = ref true in
+  while !continue do
+    match overflow_top t with
+    | Some top when tick_of t top.time / t.n - w < t.n ->
+        ignore (Eheap.pop t.overflow);
+        t.total <- t.total - 1;
+        (* [add] re-counts it and routes it to l0 or l1. *)
+        add t top
+    | _ -> continue := false
+  done;
+  cascade t w
+
+(* Advance the cursor until the front heap holds a live event, the
+   horizon tick is passed, or the queue is exhausted. The cursor never
+   moves past [htick], so a bounded [run ~until] cannot leave the wheel
+   degenerated for events scheduled after it returns. *)
+let advance t htick =
+  let continue = ref true in
+  while !continue do
+    purge_front t;
+    if Eheap.size t.front > 0 || t.cur >= htick then continue := false
+    else if t.l0_count > 0 then begin
+      let wend = (t.w0 + 1) * t.n in
+      let stop = min (wend - 1) htick in
+      let k = ref (t.cur + 1) and found = ref false in
+      while (not !found) && !k <= stop do
+        if t.l0.(!k mod t.n) <> [] then found := true else incr k
+      done;
+      if !found then begin
+        t.cur <- !k;
+        drain_l0 t (!k mod t.n)
+      end
+      else begin
+        (* l0 only holds ticks of the current window, so an empty scan
+           means the horizon cut it short. *)
+        assert (stop = htick);
+        t.cur <- htick
+      end
+    end
+    else if t.l1_count > 0 then begin
+      let d = ref 1 in
+      while !d < t.n && t.l1.((t.w0 + !d) mod t.n) = [] do incr d done;
+      let w = t.w0 + !d in
+      if !d >= t.n || w * t.n > htick then continue := false
+      else enter_window t w
+    end
+    else begin
+      match overflow_top t with
+      | Some top ->
+          let k = tick_of t top.time in
+          if k > htick || k = max_int then continue := false
+          else enter_window t (k / t.n)
+      | None -> continue := false
+    end
+  done
+
+(* The earliest event whose tick is within [horizon]'s tick (it may still
+   have [time > horizon]: same tick, later in the slot — the engine
+   compares times). [None] means no event at or before that tick. When
+   the wheels are empty the overflow top is the global minimum and is
+   served in place, covering the beyond-arithmetic-range tail. *)
+let peek t ~horizon =
+  advance t (tick_of t horizon);
+  match Eheap.peek t.front with
+  | Some _ as r -> r
+  | None -> if t.l0_count = 0 && t.l1_count = 0 then overflow_top t else None
+
+(* Remove the event the last [peek] returned. *)
+let pop t =
+  purge_front t;
+  match Eheap.pop t.front with
+  | Some ev ->
+      t.total <- t.total - 1;
+      Some ev
+  | None -> (
+      match overflow_top t with
+      | Some _ ->
+          let ev = Eheap.pop t.overflow in
+          t.total <- t.total - 1;
+          ev
+      | None -> None)
+
+let iter t f =
+  Eheap.iter t.front f;
+  Array.iter (fun l -> List.iter f l) t.l0;
+  Array.iter (fun l -> List.iter f l) t.l1;
+  Eheap.iter t.overflow f
+
+(* Sweep dead entries out of every structure (the >50%-dead trigger lives
+   in the engine, shared with the heap backend). *)
+let compact t =
+  let drop ev = drop_dead t ev in
+  let sweep arr =
+    let kept_total = ref 0 in
+    for i = 0 to Array.length arr - 1 do
+      let kept =
+        List.filter
+          (fun ev -> if ev.dead then (drop ev; false) else true)
+          arr.(i)
+      in
+      arr.(i) <- kept;
+      kept_total := !kept_total + List.length kept
+    done;
+    !kept_total
+  in
+  t.l0_count <- sweep t.l0;
+  t.l1_count <- sweep t.l1;
+  Eheap.compact t.front ~on_drop:drop;
+  Eheap.compact t.overflow ~on_drop:drop;
+  t.compactions <- t.compactions + 1

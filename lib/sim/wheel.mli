@@ -1,0 +1,72 @@
+(** Hierarchical timing wheel — the engine's default event queue.
+
+    Two levels of [slots] buckets of [tick] seconds (≈1 s and ≈17 min of
+    horizon at the defaults), a "front" heap holding already-reached
+    ticks in exact [(time, seq)] order, and an overflow heap for timers
+    beyond the second level. Schedule and cancel are O(1) for the near
+    horizon; the firing order is identical to a binary heap ordered by
+    [(time, insertion-seq)], which {!Engine} keeps around as the
+    reference backend.
+
+    Cancellation is lazy: a cancelled event stays bucketed (counted by
+    the engine-shared [dead_in_heap] ref) until a drain or {!compact}
+    sweeps it out. *)
+
+type event = {
+  time : float;
+  seq : int;
+  mutable fn : unit -> unit;
+  mutable dead : bool;
+  live : int ref;          (** engine-shared count of uncancelled events *)
+  dead_in_heap : int ref;  (** engine-shared count of dead-but-queued *)
+}
+
+val earlier : event -> event -> bool
+(** [(time, seq)] order. *)
+
+(** Binary min-heap on [(time, seq)] — the wheel's front/overflow queues
+    and the engine's reference backend. *)
+module Eheap : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val size : t -> int
+  (** Entries, dead included. *)
+
+  val push : t -> event -> unit
+  val peek : t -> event option
+  val pop : t -> event option
+  val iter : t -> (event -> unit) -> unit
+
+  val compact : t -> on_drop:(event -> unit) -> unit
+  (** Drop dead entries in place ([on_drop] is called for each) and
+      restore the heap property. *)
+end
+
+type t
+
+val create : ?tick:float -> ?slots:int -> unit -> t
+(** Defaults: 1 ms ticks, 1024 slots per level. *)
+
+val add : t -> event -> unit
+
+val peek : t -> horizon:float -> event option
+(** Earliest event whose tick is within [horizon]'s tick (its [time] may
+    still exceed [horizon]: same tick, later within the slot — the
+    caller compares times). [None] means no event at or before that
+    tick. The internal cursor never advances past [horizon]'s tick, so
+    bounded peeks do not degrade later near-horizon scheduling. *)
+
+val pop : t -> event option
+(** Remove the event the last {!peek} returned. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Every queued entry, dead included, in no particular order. *)
+
+val total : t -> int
+(** Entries queued, dead included (the compaction trigger input). *)
+
+val compact : t -> unit
+(** Sweep dead entries out of every bucket and heap. *)
+
+val compactions : t -> int

@@ -1,0 +1,105 @@
+(* N-host port-switched fabric: the transport side of the E21 scale
+   workload. Every host gets one ingress channel (its "NIC"); a shared
+   transmit closure peeks the destination port of each wire segment and
+   forwards it to the owning host's channel — a learning switch whose
+   forwarding table is filled in at flow-setup time. Ports are allocated
+   globally (flow [f] serves on [1024 + 2f], connects from [1025 + 2f]),
+   so 5k flows stay well clear of the hosts' 49152+ ephemeral range. *)
+
+type flow = {
+  f_data : string;
+  mutable f_client : Host.conn option;
+  mutable f_server : Host.conn option;
+}
+
+type t = { hosts : Host.t array; flows : flow array }
+
+let server_port f = 1024 + (2 * f)
+let client_port f = 1025 + (2 * f)
+
+let create engine ?(hosts = 8) ?(config = Config.default)
+    ?(factory = Host.sublayered) ?stats ?tracer ?(seed = 7) ~channel ~flows
+    ~bytes () =
+  if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
+  if flows < 0 then invalid_arg "Fabric.create: negative flow count";
+  if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
+  let port_host = Hashtbl.create (2 * flows) in
+  let ingress = Array.make hosts (fun (_ : string) -> ()) in
+  let chans =
+    Array.init hosts (fun h ->
+        Sim.Channel.create engine channel ~size:String.length
+          ~corrupt:Sim.Channel.corrupt_string
+          ~deliver:(fun s -> ingress.(h) s)
+          ())
+  in
+  let transmit s =
+    match factory.Host.peek s with
+    | None -> ()
+    | Some (_src_port, dst_port) -> (
+        match Hashtbl.find_opt port_host dst_port with
+        | Some h -> Sim.Channel.send chans.(h) s
+        | None -> ())
+  in
+  let harr =
+    Array.init hosts (fun h ->
+        Host.create engine ~config ~factory ?stats ?tracer
+          ~name:(Printf.sprintf "H%d" h) ~transmit ())
+  in
+  Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
+  (* Per-flow payloads come from one seeded stream, so runs are exactly
+     reproducible and the exact-delivery check is content-sensitive. *)
+  let rng = Bitkit.Rng.create seed in
+  let farr =
+    Array.init flows (fun _ ->
+        { f_data = String.init bytes (fun _ -> Char.chr (Bitkit.Rng.int rng 256));
+          f_client = None; f_server = None })
+  in
+  let by_server_port = Hashtbl.create (max 1 flows) in
+  for f = 0 to flows - 1 do
+    let sh = (f + 1) mod hosts and ch = f mod hosts in
+    Hashtbl.replace port_host (server_port f) sh;
+    Hashtbl.replace port_host (client_port f) ch;
+    Host.listen harr.(sh) ~port:(server_port f);
+    Hashtbl.replace by_server_port (server_port f) f
+  done;
+  Array.iter
+    (fun host ->
+      Host.on_accept host (fun c ->
+          match Hashtbl.find_opt by_server_port (Host.local_port c) with
+          | None -> ()
+          | Some f ->
+              farr.(f).f_server <- Some c;
+              Host.on_event c (function
+                | `Peer_closed -> Host.close c
+                | _ -> ())))
+    harr;
+  { hosts = harr; flows = farr }
+
+let hosts t = t.hosts
+
+let ops t =
+  let nh = Array.length t.hosts in
+  let launch f =
+    let fl = t.flows.(f) in
+    let c =
+      Host.connect t.hosts.(f mod nh) ~local_port:(client_port f)
+        ~remote_port:(server_port f) ()
+    in
+    fl.f_client <- Some c;
+    Host.write c fl.f_data;
+    Host.close c
+  in
+  let flow_finished f =
+    let fl = t.flows.(f) in
+    match (fl.f_client, fl.f_server) with
+    | Some c, Some s ->
+        Host.received_length s = String.length fl.f_data && Host.finished c
+    | _ -> false
+  in
+  let flow_exact f =
+    let fl = t.flows.(f) in
+    match fl.f_server with
+    | Some s -> Host.received s = fl.f_data
+    | None -> false
+  in
+  { Sim.Workload.launch; flow_finished; flow_exact }

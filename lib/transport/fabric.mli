@@ -1,0 +1,36 @@
+(** N-host TCP fabric for the many-flow scale workload (E21).
+
+    [hosts] {!Host}s share one virtual switch: each host owns an ingress
+    {!Sim.Channel} built from [channel], and segments are forwarded to
+    whichever host owns the destination port. Flow [f] runs from host
+    [f mod hosts] to host [(f+1) mod hosts] on globally unique ports, so
+    thousands of connections coexist without colliding.
+
+    Use {!ops} to hand the fabric to {!Sim.Workload.run}. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?hosts:int ->
+  ?config:Config.t ->
+  ?factory:Host.factory ->
+  ?stats:Sublayer.Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
+  ?seed:int ->
+  channel:Sim.Channel.config ->
+  flows:int ->
+  bytes:int ->
+  unit ->
+  t
+(** [create engine ~channel ~flows ~bytes ()] builds [hosts] (default 8)
+    hosts and sets up [flows] listener/payload pairs of [bytes] seeded
+    random bytes each ([seed] defaults to 7; payloads are deterministic
+    in it). Nothing is connected until the workload launches a flow. *)
+
+val ops : t -> Sim.Workload.ops
+(** Launch = connect + write the flow's payload + close; finished = the
+    server received the full length and the client's stream drained;
+    exact = the received bytes equal the payload. *)
+
+val hosts : t -> Host.t array

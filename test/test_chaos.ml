@@ -20,6 +20,48 @@ let ge ~loss ~burst_len =
   | Some g -> g
   | None -> assert false
 
+(* --- Soak flight recorder --- *)
+
+(* Each distinct violation must get its own flight dump, up to the cap —
+   the recorder used to freeze only the first one, and the run used to
+   stop there, hiding every later failure. *)
+let test_soak_per_violation_flights () =
+  let engine = Sim.Engine.create ~seed:1 () in
+  let tracer = Sim.Tracer.create () in
+  (* Distinctly-named tracked activity so each dump has spans to freeze. *)
+  for i = 0 to 9 do
+    ignore
+      (Sim.Engine.at engine
+         ~time:(float_of_int i +. 0.25)
+         (fun () ->
+           Sim.Tracer.instant tracer ~at:(Sim.Engine.now engine)
+             ~track:(Printf.sprintf "conn%d" i) ~sublayer:"rd" "tick"))
+  done;
+  let violation_no = ref 0 in
+  let invariant () =
+    incr violation_no;
+    if !violation_no <= 5 then
+      Some (Printf.sprintf "conn%d misbehaved" (!violation_no - 1))
+    else None
+  in
+  let r =
+    Sim.Soak.run ~step:1.0 ~until:10. ~invariant ~tracer ~flight_cap:3
+      ~name:"flights" ~engine
+      ~finished:(fun () -> false)
+      ()
+  in
+  check Alcotest.int "all distinct violations recorded" 5
+    (List.length r.Sim.Soak.violations);
+  check Alcotest.int "dumps capped" 3 (List.length r.Sim.Soak.flights);
+  check Alcotest.int "cap surfaced in the report" 3 r.Sim.Soak.flight_cap;
+  List.iteri
+    (fun i (msg, spans) ->
+      check Alcotest.string "dump keyed by its violation"
+        (Printf.sprintf "conn%d misbehaved" i)
+        msg;
+      check Alcotest.bool "dump has spans" true (spans <> []))
+    r.Sim.Soak.flights
+
 (* --- Faultplan semantics --- *)
 
 let test_faultplan_restores_baseline () =
@@ -344,6 +386,11 @@ let test_cm_timer_partition () =
 let () =
   Alcotest.run "chaos"
     [
+      ( "soak",
+        [
+          Alcotest.test_case "per-violation flight dumps" `Quick
+            test_soak_per_violation_flights;
+        ] );
       ( "faultplan",
         [
           Alcotest.test_case "apply restores baseline" `Quick

@@ -107,6 +107,52 @@ let test_packet_ttl () =
   let dying = Packet.make ~ttl:1 ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
   check Alcotest.bool "expires at 1" true (Packet.decrement_ttl dying = None)
 
+let test_packet_nonce () =
+  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  let q = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  check Alcotest.bool "identical twins get distinct nonces" true
+    (p.Packet.nonce <> q.Packet.nonce);
+  (match Packet.decrement_ttl p with
+  | Some p' -> check Alcotest.int "nonce survives forwarding" p.Packet.nonce p'.Packet.nonce
+  | None -> Alcotest.fail "ttl died early");
+  let forged = Packet.make ~nonce:41 ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  check Alcotest.int "explicit nonce kept" 41 forged.Packet.nonce
+
+(* Two identical payloads in flight between the same pair used to share
+   one src/dst/payload correlation key, so the first packet's "transit"
+   span was overwritten and left open forever. Nonce-keyed correlation
+   must close one span per packet. *)
+let test_transit_spans_of_identical_payloads () =
+  let engine = Sim.Engine.create ~seed:4 () in
+  let tracer = Sim.Tracer.create () in
+  let net =
+    Topology.build engine ~tracer ~routing:(Distance_vector.factory ()) ~n:3
+      (Topology.line 3)
+  in
+  (match Topology.converge net with
+  | Some _ -> ()
+  | None -> Alcotest.fail "did not converge");
+  Topology.send net ~src:0 ~dst:2 "dup";
+  Topology.send net ~src:0 ~dst:2 "dup";
+  Sim.Engine.run ~until:(Sim.Engine.now engine +. 5.) engine;
+  check Alcotest.int "both packets delivered" 2
+    (List.length (Topology.received net 2));
+  let transit =
+    List.filter
+      (fun s -> s.Sim.Tracer.sp_name = "transit")
+      (Sim.Tracer.spans tracer)
+  in
+  check Alcotest.int "one closed transit span per packet" 2 (List.length transit);
+  List.iter
+    (fun s -> check Alcotest.string "delivered" "delivered" s.Sim.Tracer.sp_detail)
+    transit;
+  check Alcotest.int "no transit span left open" 0
+    (List.length
+       (List.filter
+          (fun s -> s.Sim.Tracer.sp_name = "transit")
+          (Sim.Tracer.live_spans tracer)));
+  Topology.stop net
+
 let prop_random_topology_connected =
   qtest ~count:50 "random topologies are connected"
     QCheck2.Gen.(pair (2 -- 20) (0 -- 200))
@@ -345,6 +391,9 @@ let () =
       ( "packet",
         [
           Alcotest.test_case "ttl" `Quick test_packet_ttl;
+          Alcotest.test_case "nonce" `Quick test_packet_nonce;
+          Alcotest.test_case "identical payloads, distinct transit spans"
+            `Quick test_transit_spans_of_identical_payloads;
           prop_random_topology_connected;
         ] );
       ( "hello",

@@ -1,0 +1,65 @@
+(* Many-flow scale harness: Sim.Workload driving Transport.Fabric. Small
+   flow counts here (CI-sized); E21 pushes the same harness to 1k/5k. *)
+
+let run_workload ?(flows = 40) ?(bytes = 512) ?(loss = 0.) ~backend ~seed () =
+  let engine = Sim.Engine.create ~seed ~backend () in
+  let channel =
+    if loss = 0. then Sim.Channel.ideal else Sim.Channel.lossy loss
+  in
+  let fabric =
+    Transport.Fabric.create engine ~hosts:4 ~channel ~flows ~bytes ()
+  in
+  Sim.Workload.run ~spacing:0.01 ~name:"scale" ~engine ~flows
+    (Transport.Fabric.ops fabric)
+
+let test_exact_delivery () =
+  List.iter
+    (fun backend ->
+      let r = run_workload ~backend ~seed:11 () in
+      if not (Sim.Workload.ok r) then
+        Alcotest.failf "workload not ok: %a" Sim.Workload.pp_report r;
+      Alcotest.(check int) "all flows exact" r.Sim.Workload.flows
+        r.Sim.Workload.exact;
+      Alcotest.(check bool) "live hwm positive" true
+        (r.Sim.Workload.live_hwm > 0))
+    [ `Wheel; `Heap ]
+
+let test_exact_under_loss () =
+  let r = run_workload ~loss:0.02 ~backend:`Wheel ~seed:12 () in
+  if not (Sim.Workload.ok r) then
+    Alcotest.failf "lossy workload not ok: %a" Sim.Workload.pp_report r
+
+(* Same seed, same harness, twice: the whole many-flow run must be
+   bit-reproducible, wheel included. *)
+let test_reproducible () =
+  let scenario seed =
+    (run_workload ~loss:0.02 ~backend:`Wheel ~seed ()).Sim.Workload.soak
+  in
+  Alcotest.(check bool) "reproducible" true
+    (Sim.Soak.reproducible scenario ~seed:13)
+
+(* Both backends must tell the same story at the soak level too: equal
+   virtual end time and events fired for the identical scenario. *)
+let test_backend_agreement () =
+  let report backend = run_workload ~loss:0.02 ~backend ~seed:14 () in
+  let w = report `Wheel and h = report `Heap in
+  Alcotest.(check int) "events fired equal"
+    h.Sim.Workload.soak.Sim.Soak.events_fired
+    w.Sim.Workload.soak.Sim.Soak.events_fired;
+  Alcotest.(check bool) "end clocks equal" true
+    (w.Sim.Workload.soak.Sim.Soak.vtime = h.Sim.Workload.soak.Sim.Soak.vtime)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "exact delivery on both backends" `Quick
+            test_exact_delivery;
+          Alcotest.test_case "exact delivery under loss" `Quick
+            test_exact_under_loss;
+          Alcotest.test_case "bit-reproducible" `Quick test_reproducible;
+          Alcotest.test_case "wheel and heap agree" `Quick
+            test_backend_agreement;
+        ] );
+    ]

@@ -31,11 +31,11 @@ let transport_run ?(loss = 0.0) ?(delay = 0.02) ?(bytes = 30_000) ~seed tracer =
   Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
   match !server with Some srv -> Host.received srv = data | None -> false
 
-(* Every "retx" marker that carries a trace must be the child of a live
-   "flight" span in that same trace — the causal lineage the tracer
-   promises. (A retransmission of a segment whose first copy was already
-   delivered, its ack lost, legitimately has no live original to link
-   to; those markers carry trace 0 and are excluded.) *)
+(* Every "retx" marker must be the child of a "flight" span in that same
+   trace — the causal lineage the tracer promises. This includes a
+   retransmission of a segment whose first copy was already delivered
+   (ack lost): its original flight span has finished, and [trace_of]'s
+   ring fallback is what keeps the lineage intact. *)
 let assert_retx_lineage ~sublayer tracer =
   let all = all_spans tracer in
   let by_id = Hashtbl.create 256 in
@@ -46,12 +46,11 @@ let assert_retx_lineage ~sublayer tracer =
       all
   in
   check Alcotest.bool "lossy run retransmitted" true (retx <> []);
-  let linked = List.filter (fun r -> r.Tracer.sp_trace <> 0) retx in
-  check Alcotest.bool "retransmissions carry their original trace" true
-    (linked <> []);
   List.iter
     (fun r ->
-      check Alcotest.bool "linked retx has a parent span" true
+      check Alcotest.bool "every retx carries its original trace" true
+        (r.Tracer.sp_trace <> 0);
+      check Alcotest.bool "every retx has a parent span" true
         (r.Tracer.sp_parent <> 0);
       match Hashtbl.find_opt by_id r.Tracer.sp_parent with
       | None -> Alcotest.fail "retx parent evicted from the ring"
@@ -60,7 +59,7 @@ let assert_retx_lineage ~sublayer tracer =
             p.Tracer.sp_name;
           check Alcotest.int "retx shares the original's trace id"
             p.Tracer.sp_trace r.Tracer.sp_trace)
-    linked
+    retx
 
 let test_rd_retx_lineage () =
   let tracer = Tracer.create ~capacity:65536 () in
@@ -336,6 +335,29 @@ let test_sojourn_identity () =
     by_trace;
   check Alcotest.bool "at least 8 traced messages checked" true (!checked >= 8)
 
+(* --- trace_of ring fallback --- *)
+
+(* [trace_of] must answer for finished spans too (newest-first ring
+   scan): the trace of a span that closed is recoverable until the ring
+   evicts it, and only then does the lookup give up. *)
+let test_trace_of_finished_span () =
+  let tracer = Tracer.create ~capacity:4 () in
+  let tr = Tracer.fresh_trace tracer in
+  let id = Tracer.start tracer ~at:0. ~track:"A" ~sublayer:"rd" ~trace:tr "flight" in
+  check Alcotest.(option int) "live span found" (Some tr)
+    (Tracer.trace_of tracer id);
+  ignore (Tracer.finish tracer ~at:1. id);
+  check Alcotest.(option int) "finished span still found" (Some tr)
+    (Tracer.trace_of tracer id);
+  (* Fill the ring until the span is evicted; then — and only then — the
+     lineage is genuinely gone. *)
+  for i = 0 to 3 do
+    Tracer.instant tracer ~at:(2. +. float_of_int i) ~track:"A" ~sublayer:"x"
+      "filler"
+  done;
+  check Alcotest.(option int) "evicted span unknown" None
+    (Tracer.trace_of tracer id)
+
 (* --- disabled path --- *)
 
 let test_disabled_records_nothing () =
@@ -358,6 +380,8 @@ let () =
             test_rd_retx_lineage;
           Alcotest.test_case "gbn re-send links to original" `Quick
             test_gbn_retx_lineage;
+          Alcotest.test_case "trace_of survives span finish" `Quick
+            test_trace_of_finished_span;
         ] );
       ( "exporters",
         [ Alcotest.test_case "chrome json round-trips" `Quick test_chrome_export ] );

@@ -1,0 +1,178 @@
+(* Scheduler-backend equivalence: the timing wheel must fire the exact
+   same (label, time) stream as the reference binary heap under
+   randomized schedule/cancel interleavings — including same-tick ties,
+   zero and sub-tick delays, far-future overflow timers, nested
+   scheduling from inside callbacks, and bounded runs — with the
+   [live = pending] accounting invariant holding on both throughout. *)
+
+open Sim
+
+(* One randomized episode against the given backend: returns the fired
+   (label, time) stream plus final clock/fired counters. All randomness
+   comes from a seeded side stream, never from engine state, so the heap
+   and wheel episodes for one seed see identical operation sequences. *)
+let scenario backend seed =
+  let engine = Engine.create ~seed:42 ~backend () in
+  let rng = Bitkit.Rng.create seed in
+  let log = ref [] in
+  let handles = ref [] in
+  let next_label = ref 0 in
+  let delay rng =
+    match Bitkit.Rng.int rng 6 with
+    | 0 -> 0.
+    | 1 -> 1e-9
+    (* Exact multiples of the wheel's 1 ms tick: same-tick ties. *)
+    | 2 -> float_of_int (Bitkit.Rng.int rng 50) *. 1e-3
+    | 3 -> Bitkit.Rng.float rng *. 2.
+    (* Beyond the ~1 s L0 window. *)
+    | 4 -> 2. +. (Bitkit.Rng.float rng *. 600.)
+    (* Beyond the ~17 min L1 horizon: overflow-heap territory. *)
+    | _ -> 2000. +. (Bitkit.Rng.float rng *. 5000.)
+  in
+  for _round = 1 to 40 do
+    let burst = 1 + Bitkit.Rng.int rng 12 in
+    for _ = 1 to burst do
+      let label = !next_label in
+      incr next_label;
+      let h =
+        Engine.schedule engine ~after:(delay rng) (fun () ->
+            log := (label, Engine.now engine) :: !log;
+            if label mod 7 = 0 then
+              ignore
+                (Engine.schedule engine
+                   ~after:(float_of_int (label mod 5) *. 1e-3)
+                   (fun () -> log := (-label - 1, Engine.now engine) :: !log)))
+      in
+      handles := h :: !handles
+    done;
+    (* Cancel a random subset; fired handles stay in the list on purpose,
+       so cancel-after-fire no-ops are exercised too. *)
+    handles :=
+      List.filter
+        (fun h ->
+          if Bitkit.Rng.coin rng 0.3 then begin
+            Engine.cancel h;
+            false
+          end
+          else true)
+        !handles;
+    (match Bitkit.Rng.int rng 4 with
+    | 0 -> Engine.run ~until:(Engine.now engine +. Bitkit.Rng.float rng) engine
+    | 1 ->
+        Engine.run
+          ~until:(Engine.now engine +. (Bitkit.Rng.float rng *. 50.))
+          engine
+    | 2 -> Engine.run ~max_events:(1 + Bitkit.Rng.int rng 20) engine
+    | _ -> ());
+    Alcotest.(check int)
+      "live = pending" (Engine.live engine) (Engine.pending engine)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "drained live" 0 (Engine.live engine);
+  Alcotest.(check int) "drained pending" 0 (Engine.pending engine);
+  (List.rev !log, Engine.now engine, Engine.events_fired engine)
+
+let test_equivalence () =
+  for seed = 1 to 8 do
+    let wheel = scenario `Wheel seed in
+    let heap = scenario `Heap seed in
+    let w_log, w_clock, w_fired = wheel in
+    let h_log, h_clock, h_fired = heap in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: fired counts" seed)
+      h_fired w_fired;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: final clocks equal" seed)
+      true
+      (w_clock = h_clock);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d: identical (label, time) streams" seed)
+      true (w_log = h_log)
+  done
+
+(* Same tick, different insertion order: the wheel's front heap must
+   restore exact FIFO-on-ties, across an L1 cascade and an overflow
+   migration as well as direct L0 drains. *)
+let test_same_tick_ties () =
+  List.iter
+    (fun base ->
+      let engine = Engine.create () in
+      let order = ref [] in
+      for i = 0 to 9 do
+        ignore
+          (Engine.at engine ~time:base (fun () -> order := i :: !order))
+      done;
+      Engine.run engine;
+      Alcotest.(check (list int))
+        (Printf.sprintf "FIFO at t=%g" base)
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (List.rev !order);
+      Alcotest.(check bool)
+        (Printf.sprintf "clock at t=%g" base)
+        true
+        (Engine.now engine = base))
+    [ 0.5; 700.; 3600. ]
+
+(* Far-future timers park in the overflow heap; cancelling most of them
+   must still compact, and the survivors fire in order. *)
+let test_overflow_cancel_compact () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  let handles =
+    List.init 1000 (fun i ->
+        ( i,
+          Engine.at engine
+            ~time:(3000. +. float_of_int i)
+            (fun () -> fired := i :: !fired) ))
+  in
+  List.iter (fun (i, h) -> if i mod 10 <> 0 then Engine.cancel h) handles;
+  Alcotest.(check int) "live after cancels" 100 (Engine.live engine);
+  Alcotest.(check int) "pending agrees" 100 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check int) "survivors fired" 100 (List.length !fired);
+  Alcotest.(check (list int))
+    "in order"
+    (List.init 100 (fun i -> 10 * i))
+    (List.rev !fired);
+  Alcotest.(check bool) "compacted" true (Engine.compactions engine > 0)
+
+(* A bounded run must not degrade the wheel: events scheduled after a
+   long empty [run ~until] still fire in exact order. *)
+let test_schedule_after_bounded_run () =
+  let engine = Engine.create () in
+  Engine.run ~until:100. engine;
+  Alcotest.(check bool) "clock advanced" true (Engine.now engine = 100.);
+  let order = ref [] in
+  ignore (Engine.schedule engine ~after:0.002 (fun () -> order := 2 :: !order));
+  ignore (Engine.schedule engine ~after:0.001 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule engine ~after:5000. (fun () -> order := 3 :: !order));
+  Engine.run engine;
+  Alcotest.(check (list int)) "order kept" [ 1; 2; 3 ] (List.rev !order)
+
+let test_default_backend () =
+  Alcotest.(check bool)
+    "default is the wheel" true
+    (Engine.backend (Engine.create ()) = `Wheel);
+  Alcotest.(check bool)
+    "heap on request" true
+    (Engine.backend (Engine.create ~backend:`Heap ()) = `Heap)
+
+let () =
+  Alcotest.run "wheel"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "wheel = heap on random interleavings" `Quick
+            test_equivalence;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "same-tick FIFO across levels" `Quick
+            test_same_tick_ties;
+          Alcotest.test_case "overflow cancel + compaction" `Quick
+            test_overflow_cancel_compact;
+          Alcotest.test_case "schedule after bounded run" `Quick
+            test_schedule_after_bounded_run;
+          Alcotest.test_case "backend selection" `Quick test_default_backend;
+        ] );
+    ]
