@@ -1,4 +1,4 @@
-(* The full experiment harness: one section per experiment E1..E21 of
+(* The full experiment harness: one section per experiment E1..E22 of
    DESIGN.md / EXPERIMENTS.md, regenerating every figure and quantitative
    claim of the paper, plus a Bechamel microbenchmark suite for the
    performance-shape experiments (E6/E12). Run with:
@@ -427,10 +427,10 @@ let e13 () =
         (fun cb ->
           let engine = Sim.Engine.create ~seed:91 () in
           let open Transport in
-          let to_a = ref (fun (_ : string) -> ()) in
-          let to_b = ref (fun (_ : string) -> ()) in
+          let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+          let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
           let ch dir =
-            Sim.Channel.create engine (Sim.Channel.lossy 0.02) ~size:String.length
+            Sim.Channel.create engine (Sim.Channel.lossy 0.02) ~size:Bitkit.Slice.length
               ~deliver:(fun s -> !dir s) ()
           in
           let ab = ch to_b and ba = ch to_a in
@@ -493,16 +493,16 @@ let e15 () =
   let ecn marking =
     let engine = Sim.Engine.create ~seed:5 () in
     let b_ref = ref None in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ab =
-      Sim.Channel.create engine { Sim.Channel.ideal with marking } ~size:String.length
+      Sim.Channel.create engine { Sim.Channel.ideal with marking } ~size:Bitkit.Slice.length
         ~mark:Transport.Segment.mark_ce
         ~deliver:(fun s -> !to_b s)
         ()
     in
     let ba =
-      Sim.Channel.create engine Sim.Channel.ideal ~size:String.length
+      Sim.Channel.create engine Sim.Channel.ideal ~size:Bitkit.Slice.length
         ~deliver:(fun s -> !to_a s)
         ()
     in
@@ -584,10 +584,10 @@ let e15 () =
   in
   let msg_mode loss =
     let engine = Sim.Engine.create ~seed:99 () in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ch dir =
-      Sim.Channel.create engine (hol_channel loss) ~size:String.length
+      Sim.Channel.create engine (hol_channel loss) ~size:Bitkit.Slice.length
         ~deliver:(fun s -> !dir s)
         ()
     in
@@ -648,10 +648,10 @@ let e16 () =
     let config = { Transport.Config.default with nagle; delayed_ack } in
     let engine = Sim.Engine.create ~seed:61 () in
     let channel = { Sim.Channel.ideal with delay = 0.005 } in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ch dir =
-      Sim.Channel.create engine channel ~size:String.length
+      Sim.Channel.create engine channel ~size:Bitkit.Slice.length
         ~deliver:(fun s -> !dir s)
         ()
     in
@@ -1030,6 +1030,119 @@ let e21 () =
     "wheel vs heap at %d flows: %.0f vs %.0f events/sec (%.2fx) — O(1) schedule/cancel is what survives contact with thousands of RTO timers"
     biggest w h (if h > 0. then w /. h else 0.)
 
+(* E22 — zero-copy data path: the wirebuf/slice path (one buffer per
+   packet, headers pushed, views narrowed on rx) vs the legacy
+   copy-per-sublayer mode ([Wirebuf.set_eager true], bit-identical wire
+   bytes) on both scheduler backends. Reports bytes copied per delivered
+   segment (from [Slice]'s process-wide copy accounting over DM's
+   [segments_in] counter) and events/sec; same-seed cells must fire the
+   same event count in both modes. *)
+
+let e22 () =
+  section "E22" "zero-copy slice path vs copy-per-sublayer at 100/1k/5k flows";
+  let flow_counts = if smoke then [ 20; 100 ] else [ 100; 1000; 5000 ] in
+  let bytes = if smoke then 2_000 else 8_000 in
+  let cell ~backend ~eager ~flows =
+    Bitkit.Wirebuf.set_eager eager;
+    Fun.protect
+      ~finally:(fun () -> Bitkit.Wirebuf.set_eager false)
+      (fun () ->
+        let engine = Sim.Engine.create ~seed:68 ~backend () in
+        let channel =
+          { (Sim.Channel.lossy 0.01) with Sim.Channel.delay = 0.02 }
+        in
+        let stats = Sublayer.Stats.create ~label:"e22" () in
+        let fabric =
+          Transport.Fabric.create engine ~hosts:8 ~stats ~channel ~flows ~bytes
+            ()
+        in
+        Bitkit.Slice.reset_copied ();
+        let wall0 = Sys.time () in
+        let r =
+          Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e22" ~engine
+            ~flows
+            (Transport.Fabric.ops fabric)
+        in
+        let wall = Sys.time () -. wall0 in
+        let copied = Bitkit.Slice.copied_bytes () in
+        let segments =
+          List.fold_left
+            (fun acc (name, v) ->
+              if Filename.check_suffix name "dm.segments_in" then acc + v
+              else acc)
+            0
+            (Sublayer.Stats.snapshot stats)
+        in
+        let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+        let eps = if wall > 0. then float_of_int fired /. wall else 0. in
+        if not (Sim.Workload.ok r) then
+          Printf.printf "  !! %s/%s/%d NOT CLEAN: %s\n"
+            (match backend with `Wheel -> "wheel" | `Heap -> "heap")
+            (if eager then "copy" else "slice")
+            flows
+            (Format.asprintf "%a" Sim.Workload.pp_report r);
+        (r, wall, copied, segments, fired, eps))
+  in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\"cells\":[";
+  let first = ref true in
+  Printf.printf "  %-7s %-6s %7s %10s %12s %12s %12s %10s\n" "backend" "mode"
+    "flows" "events" "events/sec" "copied(B)" "segments" "B/segment";
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun flows ->
+      List.iter
+        (fun backend ->
+          let bname = match backend with `Wheel -> "wheel" | `Heap -> "heap" in
+          List.iter
+            (fun eager ->
+              let mode = if eager then "copy" else "slice" in
+              let r, wall, copied, segments, fired, eps =
+                cell ~backend ~eager ~flows
+              in
+              let per_seg =
+                if segments > 0 then
+                  float_of_int copied /. float_of_int segments
+                else 0.
+              in
+              Hashtbl.replace table (bname, mode, flows) (per_seg, eps, fired);
+              Printf.printf "  %-7s %-6s %7d %10d %12.0f %12d %12d %10.1f\n"
+                bname mode flows fired eps copied segments per_seg;
+              if not !first then Buffer.add_char json ',';
+              first := false;
+              Buffer.add_string json
+                (Printf.sprintf
+                   "{\"backend\":%S,\"mode\":%S,\"flows\":%d,\"events\":%d,\"wall_s\":%.6f,\"events_per_sec\":%.0f,\"copied_bytes\":%d,\"segments\":%d,\"bytes_per_segment\":%.1f,\"exact\":%d,\"ok\":%b}"
+                   bname mode flows fired wall eps copied segments per_seg
+                   r.Sim.Workload.exact (Sim.Workload.ok r)))
+            [ true; false ];
+          (* Same seed, same backend: the two modes must be step-for-step
+             identical simulations. *)
+          let fired_of mode =
+            let _, _, f = Hashtbl.find table (bname, mode, flows) in
+            f
+          in
+          if fired_of "copy" <> fired_of "slice" then
+            Printf.printf "  !! %s/%d: copy and slice runs diverged (%d vs %d events)\n"
+              bname flows (fired_of "copy") (fired_of "slice"))
+        [ `Heap; `Wheel ])
+    flow_counts;
+  Buffer.add_string json "]}";
+  let path = out_path "e22_zerocopy.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  let biggest = List.fold_left max 0 flow_counts in
+  let copy_ps, copy_eps, _ = Hashtbl.find table ("wheel", "copy", biggest) in
+  let slice_ps, slice_eps, _ = Hashtbl.find table ("wheel", "slice", biggest) in
+  headline
+    "copy vs slice at %d flows (wheel): %.0f vs %.0f bytes copied per delivered segment (%.1fx less), %.0f vs %.0f events/sec — one buffer per packet, headers pushed, views narrowed"
+    biggest copy_ps slice_ps
+    (if slice_ps > 0. then copy_ps /. slice_ps else 0.)
+    copy_eps slice_eps
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
@@ -1112,7 +1225,7 @@ let () =
     [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
-      ("E19", e19); ("E20", e20); ("E21", e21); ("MICRO", microbenches) ]
+      ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
   Printf.printf "\nAll selected experiments complete.\n"

@@ -229,10 +229,10 @@ let trace_cmd =
   let run loss bytes =
     let engine = Sim.Engine.create ~seed:2 () in
     let trace = Sim.Trace.create () in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ch dir =
-      Sim.Channel.create engine (Sim.Channel.lossy loss) ~size:String.length
+      Sim.Channel.create engine (Sim.Channel.lossy loss) ~size:Bitkit.Slice.length
         ~deliver:(fun s -> !dir s)
         ()
     in

@@ -7,12 +7,13 @@
 *)
 
 let describe wire =
-  match Transport.Wire.decode wire with
+  match Transport.Wire.decode_slice wire with
   | Some (h, payload) ->
       Printf.sprintf "%s + %d bytes payload"
         (Format.asprintf "%a" Transport.Wire.pp h)
-        (String.length payload)
-  | None -> Printf.sprintf "<undecodable %d bytes>" (String.length wire)
+        (Bitkit.Slice.length payload)
+  | None ->
+      Printf.sprintf "<undecodable %d bytes>" (Bitkit.Slice.length wire)
 
 let () =
   let engine = Sim.Engine.create ~seed:31 () in
@@ -24,10 +25,10 @@ let () =
     end
   in
   (* Wire the two hosts manually so we can put a spy on the channel. *)
-  let to_client = ref (fun (_ : string) -> ()) in
-  let to_server = ref (fun (_ : string) -> ()) in
+  let to_client = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_server = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let mk dir target =
-    Sim.Channel.create engine (Sim.Channel.lossy 0.01) ~size:String.length
+    Sim.Channel.create engine (Sim.Channel.lossy 0.01) ~size:Bitkit.Slice.length
       ~deliver:(fun s ->
         spy dir s;
         !target s)

@@ -41,7 +41,7 @@ let () =
   Sim.Engine.run ~until:(Sim.Engine.now engine +. 2.) engine;
   List.iter
     (fun p -> Printf.printf "  node %d delivered: %S (ttl %d left)\n" (n - 1)
-        p.Network.Packet.payload p.Network.Packet.ttl)
+        (Bitkit.Slice.to_string p.Network.Packet.payload) p.Network.Packet.ttl)
     (Network.Topology.received net (n - 1));
 
   (* Break the first link on that path and watch the control plane heal. *)
@@ -59,6 +59,8 @@ let () =
   Network.Topology.send net ~src:0 ~dst:(n - 1) "hello again, the long way";
   Sim.Engine.run ~until:(Sim.Engine.now engine +. 2.) engine;
   List.iter
-    (fun p -> Printf.printf "  node %d delivered: %S\n" (n - 1) p.Network.Packet.payload)
+    (fun p ->
+      Printf.printf "  node %d delivered: %S\n" (n - 1)
+        (Bitkit.Slice.to_string p.Network.Packet.payload))
     (Network.Topology.received net (n - 1));
   Network.Topology.stop net

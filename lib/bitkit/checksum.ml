@@ -1,39 +1,43 @@
-let parity s =
+let parity_sub s ~pos ~len =
   let p = ref 0 in
-  String.iter
-    (fun c ->
-      let b = ref (Char.code c) in
-      while !b <> 0 do
-        p := !p lxor (!b land 1);
-        b := !b lsr 1
-      done)
-    s;
+  for i = pos to pos + len - 1 do
+    let b = ref (Char.code s.[i]) in
+    while !b <> 0 do
+      p := !p lxor (!b land 1);
+      b := !b lsr 1
+    done
+  done;
   !p = 1
 
-let internet s =
-  let n = String.length s in
+let parity s = parity_sub s ~pos:0 ~len:(String.length s)
+
+let internet_sub s ~pos ~len =
   let sum = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < n do
+  let i = ref pos in
+  let fin = pos + len in
+  while !i + 1 < fin do
     sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
     i := !i + 2
   done;
-  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  if len land 1 = 1 then sum := !sum + (Char.code s.[fin - 1] lsl 8);
   while !sum lsr 16 <> 0 do
     sum := (!sum land 0xFFFF) + (!sum lsr 16)
   done;
   lnot !sum land 0xFFFF
 
+let internet s = internet_sub s ~pos:0 ~len:(String.length s)
+
 let internet_valid s = internet s = 0
 
-let fletcher16 s =
+let fletcher16_sub s ~pos ~len =
   let a = ref 0 and b = ref 0 in
-  String.iter
-    (fun c ->
-      a := (!a + Char.code c) mod 255;
-      b := (!b + !a) mod 255)
-    s;
+  for i = pos to pos + len - 1 do
+    a := (!a + Char.code s.[i]) mod 255;
+    b := (!b + !a) mod 255
+  done;
   (!b lsl 8) lor !a
+
+let fletcher16 s = fletcher16_sub s ~pos:0 ~len:(String.length s)
 
 let fletcher32 s =
   (* Operates on 16-bit words, zero-padding odd input. *)

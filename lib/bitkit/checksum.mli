@@ -7,14 +7,25 @@
 val parity : string -> bool
 (** Even parity over all bits: [true] iff the number of 1 bits is odd. *)
 
+val parity_sub : string -> pos:int -> len:int -> bool
+(** {!parity} over the substring [pos, pos+len) without copying it. *)
+
 val internet : string -> int
 (** RFC 1071 16-bit one's-complement checksum (as used by IP/TCP/UDP).
     Odd-length input is zero-padded. Result is in [0, 0xFFFF]. *)
+
+val internet_sub : string -> pos:int -> len:int -> int
+(** {!internet} over the substring [pos, pos+len) without copying it —
+    how a {!Slice} view is validated in place. *)
 
 val internet_valid : string -> bool
 (** [internet_valid s] checks a buffer that embeds its own checksum:
     the sum over the whole buffer must be zero. *)
 
 val fletcher16 : string -> int
+
+val fletcher16_sub : string -> pos:int -> len:int -> int
+(** {!fletcher16} over the substring [pos, pos+len) without copying it. *)
+
 val fletcher32 : string -> int32
 val adler32 : string -> int32

@@ -1,0 +1,80 @@
+(* An immutable view into a string: the currency of the zero-copy data
+   path. Narrowing ([sub]) is free; materializing ([to_string]) or
+   blitting is what costs, and every such copy is charged to a global
+   byte counter so benches can report bytes-copied-per-packet. *)
+
+type t = { base : string; off : int; len : int }
+
+let copied = ref 0
+let note_copy n = copied := !copied + n
+let copied_bytes () = !copied
+let reset_copied () = copied := 0
+
+let empty = { base = ""; off = 0; len = 0 }
+
+let of_string base = { base; off = 0; len = String.length base }
+
+let make base ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length base then
+    invalid_arg "Slice.make: out of bounds";
+  { base; off; len }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Slice.get: out of bounds";
+  String.unsafe_get t.base (t.off + i)
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg "Slice.sub: out of bounds";
+  { base = t.base; off = t.off + pos; len }
+
+let to_string t =
+  (* A whole-string view hands back its base: still zero-copy. *)
+  if t.off = 0 && t.len = String.length t.base then t.base
+  else begin
+    note_copy t.len;
+    String.sub t.base t.off t.len
+  end
+
+let blit t dst dstoff =
+  note_copy t.len;
+  Bytes.blit_string t.base t.off dst dstoff t.len
+
+let equal a b =
+  a.len = b.len
+  && (a.base == b.base && a.off = b.off
+     ||
+     let rec go i =
+       i = a.len
+       || String.unsafe_get a.base (a.off + i)
+          = String.unsafe_get b.base (b.off + i)
+          && go (i + 1)
+     in
+     go 0)
+
+let equal_string t s =
+  t.len = String.length s
+  &&
+  let rec go i =
+    i = t.len || String.unsafe_get t.base (t.off + i) = String.unsafe_get s i && go (i + 1)
+  in
+  go 0
+
+let concat parts =
+  let n = List.fold_left (fun acc p -> acc + p.len) 0 parts in
+  let b = Bytes.create n in
+  let _ =
+    List.fold_left
+      (fun pos p ->
+        blit p b pos;
+        pos + p.len)
+      0 parts
+  in
+  of_string (Bytes.unsafe_to_string b)
+
+let hexdump t = Format.asprintf "%a" Hexdump.pp (String.sub t.base t.off t.len)
+
+let pp fmt t = Format.fprintf fmt "slice[%d..%d)" t.off (t.off + t.len)

@@ -1,0 +1,46 @@
+(** Immutable string views: the currency of the zero-copy data path.
+
+    A slice is [base] plus a window [\[off, off+len)]. Narrowing with
+    {!sub} shares the base and costs nothing; only {!to_string}, {!blit}
+    and {!concat} actually move bytes, and each such move is charged to a
+    process-wide counter ({!copied_bytes}) so benchmarks can report exact
+    bytes-copied-per-packet figures. The record is exposed read-only so
+    readers ({!Bitio.Reader.of_slice}) can be built without a copy; never
+    mutate [base] through other aliases. *)
+
+type t = private { base : string; off : int; len : int }
+
+val empty : t
+val of_string : string -> t
+(** Zero-copy whole-string view. *)
+
+val make : string -> off:int -> len:int -> t
+val length : t -> int
+val is_empty : t -> bool
+val get : t -> int -> char
+val sub : t -> pos:int -> len:int -> t
+(** Zero-copy narrowing; [pos] is relative to the slice. *)
+
+val to_string : t -> string
+(** Materializes the view. A whole-string view returns [base] without
+    copying; anything narrower copies (and is counted). *)
+
+val blit : t -> Bytes.t -> int -> unit
+(** [blit t dst pos] copies the viewed bytes into [dst] (counted). *)
+
+val equal : t -> t -> bool
+(** Content equality, copy-free. *)
+
+val equal_string : t -> string -> bool
+val concat : t list -> t
+val hexdump : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** {1 Copy accounting} *)
+
+val note_copy : int -> unit
+(** Charge [n] bytes to the copy counter (used by {!Bitio} and channel
+    corruption, which copy through other paths). *)
+
+val copied_bytes : unit -> int
+val reset_copied : unit -> unit

@@ -1,0 +1,80 @@
+(* The transmit-side half of the zero-copy data path: a packet under
+   construction, as a payload slice plus a stack of already-packed
+   headers (outermost first). Each sublayer [push]es its own header; the
+   bytes only come together once, in [emit], when the packet reaches the
+   wire. The value is persistent — pushing returns a new wirebuf sharing
+   the tail — so a retransmit queue can hold one level's view while lower
+   sublayers keep wrapping fresh copies of it.
+
+   Headers are packed eagerly into small strings (never closures), so
+   wirebufs remain safe for structural comparison and hashing.
+
+   [set_eager true] switches the whole process to the legacy
+   copy-per-sublayer behaviour: [push] materializes immediately, so every
+   crossing pays the copy the old string codecs paid. The wire bytes are
+   identical by construction, which is what lets E22 compare the two
+   modes on bit-identical seeded runs. *)
+
+type header = { h_owner : string; h_bytes : string; h_bits : int }
+type t = { headers : header list; hdr_len : int; payload : Slice.t }
+
+let eager_mode = ref false
+let set_eager b = eager_mode := b
+let eager () = !eager_mode
+
+let of_slice payload = { headers = []; hdr_len = 0; payload }
+let of_string s = of_slice (Slice.of_string s)
+let empty = of_slice Slice.empty
+
+let length t = t.hdr_len + Slice.length t.payload
+
+let emit_into t b pos0 =
+  let pos = ref pos0 in
+  List.iter
+    (fun h ->
+      let k = String.length h.h_bytes in
+      Bytes.blit_string h.h_bytes 0 b !pos k;
+      Slice.note_copy k;
+      pos := !pos + k)
+    t.headers;
+  Slice.blit t.payload b !pos
+
+let emit t =
+  let b = Bytes.create (length t) in
+  emit_into t b 0;
+  Bytes.unsafe_to_string b
+
+let to_slice t =
+  if t.headers = [] then t.payload else Slice.of_string (emit t)
+
+let to_string t =
+  if t.headers = [] then Slice.to_string t.payload else emit t
+
+let pack f =
+  let w = Bitio.Writer.create ~size:32 () in
+  f w;
+  Bitio.Writer.pad_to_byte w;
+  (Bitio.Writer.contents w, Bitio.Writer.bit_length w)
+
+let push t ~owner f =
+  let h_bytes, h_bits = pack f in
+  if !eager_mode then begin
+    (* Legacy path: materialize on every crossing. *)
+    let k = String.length h_bytes in
+    let b = Bytes.create (k + length t) in
+    Bytes.blit_string h_bytes 0 b 0 k;
+    Slice.note_copy k;
+    emit_into t b k;
+    of_string (Bytes.unsafe_to_string b)
+  end
+  else
+    { headers = { h_owner = owner; h_bytes; h_bits } :: t.headers;
+      hdr_len = t.hdr_len + String.length h_bytes;
+      payload = t.payload }
+
+let appendices t = List.map (fun h -> (h.h_owner, h.h_bits)) t.headers
+
+let outer_header t =
+  match t.headers with
+  | [] -> None
+  | h :: _ -> Some (Slice.of_string h.h_bytes)

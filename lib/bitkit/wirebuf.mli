@@ -1,0 +1,51 @@
+(** A packet under construction: one payload slice plus a stack of
+    already-packed sublayer headers, outermost first.
+
+    This is the transmit half of the zero-copy data path. Each descending
+    sublayer {!push}es its header bits; nothing is concatenated until the
+    packet reaches the wire and {!emit}/{!to_slice} lays headers and
+    payload into a single buffer. Values are persistent: [push] returns a
+    new wirebuf sharing the tail, so retransmit queues can safely hold a
+    mid-stack view. Headers are packed eagerly into strings (never
+    closures), keeping wirebufs safe for structural comparison. *)
+
+type t
+
+val empty : t
+val of_slice : Slice.t -> t
+val of_string : string -> t
+val length : t -> int
+(** Total bytes: headers plus payload. *)
+
+val push : t -> owner:string -> (Bitio.Writer.t -> unit) -> t
+(** [push t ~owner f] runs [f] on a fresh writer and makes the packed
+    (byte-padded) result the new outermost header. [owner] names the
+    sublayer for {!appendices} audits. *)
+
+val emit : t -> string
+(** Lay the packet into one fresh buffer: headers outermost-first, then
+    the payload, blitted exactly once. *)
+
+val to_slice : t -> Slice.t
+(** Like {!emit} but returns the payload slice unchanged (zero-copy)
+    when no headers have been pushed. *)
+
+val to_string : t -> string
+(** Like {!to_slice} but materialized. *)
+
+val appendices : t -> (string * int) list
+(** [(owner, bits)] per pushed header, outermost first — the input to
+    {!Sublayer.Layout.check_appendix}. *)
+
+val outer_header : t -> Slice.t option
+(** The outermost pushed header's packed bytes, if any (zero-copy). *)
+
+(** {1 Legacy copy-per-sublayer mode}
+
+    With eager mode on, {!push} materializes immediately — every sublayer
+    crossing pays the copy the old string codecs paid, while producing
+    bit-identical wire bytes. E22 uses this to compare the two data paths
+    on identical seeded runs. *)
+
+val set_eager : bool -> unit
+val eager : unit -> bool

@@ -45,6 +45,49 @@ let owner_of_bit t i =
   | Some f -> Some f.owner
   | None -> None
 
+(* Runtime audit of the real transmit path: [appendix] is the
+   [(owner, bits)] list a Wirebuf accumulated, outermost header first.
+   Each pushed header must belong to a registered owner, appear in the
+   same wire order as that owner's registered fields, and be at least as
+   wide as its registered bits (wider is allowed: variable-length
+   extensions such as SACK blocks live inside the owner's region). *)
+let check_appendix t appendix =
+  let start_of owner =
+    List.fold_left
+      (fun acc f -> if f.owner = owner then min acc f.offset else acc)
+      max_int t.fields
+  in
+  let rec go prev_start seen = function
+    | [] -> Ok ()
+    | (owner, bits) :: rest ->
+        if List.mem owner seen then
+          Error (Printf.sprintf "appendix: owner %s pushed twice" owner)
+        else begin
+          let start = start_of owner in
+          if start = max_int then
+            Error (Printf.sprintf "appendix: owner %s not in layout" owner)
+          else if start < prev_start then
+            Error
+              (Printf.sprintf
+                 "appendix: owner %s out of wire order (offset %d)" owner start)
+          else begin
+            let registered = bits_of t owner in
+            if bits < registered then
+              Error
+                (Printf.sprintf
+                   "appendix: owner %s wrote %d bits, owns %d" owner bits
+                   registered)
+            else go start (owner :: seen) rest
+          end
+        end
+  in
+  go min_int [] appendix
+
+let check_appendix_exn t appendix =
+  match check_appendix t appendix with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Layout.check_appendix: " ^ msg)
+
 let pp fmt t =
   Format.fprintf fmt "header (%d bits):@." t.total;
   List.iter

@@ -39,4 +39,14 @@ val covered_bits : t -> int
 val owner_of_bit : t -> int -> string option
 (** Which sublayer owns a given bit position, if any. *)
 
+val check_appendix : t -> (string * int) list -> (unit, string) result
+(** [check_appendix t appendix] audits a real transmit: [appendix] is the
+    [(owner, bits)] header stack a {!Bitkit.Wirebuf} accumulated,
+    outermost first. Every owner must be registered, owners must appear
+    in registered wire order, and each must have written at least its
+    registered bits (more is allowed for variable-length extensions such
+    as SACK blocks, which live inside the owner's region). *)
+
+val check_appendix_exn : t -> (string * int) list -> unit
+
 val pp : Format.formatter -> t -> unit

@@ -31,6 +31,40 @@ let decode_pdu s =
   | v -> v
   | exception Bitkit.Bitio.Reader.Truncated -> None
 
+(* The zero-copy wire crossing: data PDUs start the packet's wirebuf
+   (the detector below appends its trailer at materialisation), and
+   received PDUs decode as views of the frame — the payload only becomes
+   an owned string when the ARQ delivers it to the application. *)
+
+let write_data_header seq w =
+  Bitkit.Bitio.Writer.uint8 w 0;
+  Bitkit.Bitio.Writer.uint16 w (seq land 0xFFFF)
+
+let data_wirebuf ~seq payload =
+  Bitkit.Wirebuf.push
+    (Bitkit.Wirebuf.of_string payload)
+    ~owner:"arq" (write_data_header seq)
+
+let ack_wirebuf seq =
+  Bitkit.Wirebuf.push Bitkit.Wirebuf.empty ~owner:"arq" (fun w ->
+      Bitkit.Bitio.Writer.uint8 w 1;
+      Bitkit.Bitio.Writer.uint16 w (seq land 0xFFFF))
+
+type rx = Rx_data of int * Bitkit.Slice.t | Rx_ack of int
+
+let decode_pdu_slice sl =
+  match
+    let r = Bitkit.Bitio.Reader.of_slice sl in
+    let kind = Bitkit.Bitio.Reader.uint8 r in
+    let seq = Bitkit.Bitio.Reader.uint16 r in
+    match kind with
+    | 0 -> Some (Rx_data (seq, Bitkit.Bitio.Reader.rest_slice r))
+    | 1 -> if Bitkit.Bitio.Reader.remaining_bits r = 0 then Some (Rx_ack seq) else None
+    | _ -> None
+  with
+  | v -> v
+  | exception Bitkit.Bitio.Reader.Truncated -> None
+
 type stats = {
   mutable data_sent : int;
   mutable retransmissions : int;
@@ -77,8 +111,8 @@ module type S = sig
     Sublayer.Machine.S
       with type up_req = string
        and type up_ind = string
-       and type down_req = string
-       and type down_ind = string
+       and type down_req = Bitkit.Wirebuf.t
+       and type down_ind = Bitkit.Slice.t
 
   val initial : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> config -> t
 

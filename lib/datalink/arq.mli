@@ -29,6 +29,24 @@ type pdu =
 val encode_pdu : pdu -> string
 val decode_pdu : string -> pdu option
 
+(** {2 Zero-copy wire crossing}
+
+    On transmit the ARQ starts the packet's {!Bitkit.Wirebuf} — its
+    header is pushed in front of the payload view without copying either
+    — and on receive it decodes a {!Bitkit.Slice} of the verified frame,
+    materialising the payload only at delivery. [encode_pdu]/[decode_pdu]
+    remain as the reference string codec (and property tests check the
+    two agree). *)
+
+val data_wirebuf : seq:int -> string -> Bitkit.Wirebuf.t
+val ack_wirebuf : int -> Bitkit.Wirebuf.t
+
+type rx =
+  | Rx_data of int * Bitkit.Slice.t  (** payload as a view of the frame *)
+  | Rx_ack of int
+
+val decode_pdu_slice : Bitkit.Slice.t -> rx option
+
 (** Statistics every implementation maintains, for efficiency benches.
     Since the observability PR this is a read-only snapshot of the
     machine's {!counters}; the mutable fields remain only for
@@ -65,8 +83,8 @@ module type S = sig
     Sublayer.Machine.S
       with type up_req = string
        and type up_ind = string
-       and type down_req = string
-       and type down_ind = string
+       and type down_req = Bitkit.Wirebuf.t
+       and type down_ind = Bitkit.Slice.t
 
   val initial : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> config -> t
   (** [initial ?stats ?span cfg]: when [stats] is given, the machine

@@ -21,8 +21,8 @@ type t = {
 
 type up_req = string
 type up_ind = string
-type down_req = string
-type down_ind = string
+type down_req = Bitkit.Wirebuf.t
+type down_ind = Bitkit.Slice.t
 type timer = Rto
 
 let initial ?stats ?span cfg =
@@ -44,7 +44,7 @@ let skey seq = "s:" ^ string_of_int seq
 
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
-  Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
+  Down (Arq.data_wirebuf ~seq:(wire seq) payload)
 
 (* Admit queued payloads while the window has room. The timer is (re)armed
    iff anything is outstanding. *)
@@ -96,18 +96,20 @@ let handle_data t seq16 payload =
     if seq = t.rx_expected then begin
       Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
       Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int seq) "deliver";
-      ({ t with rx_expected = t.rx_expected + 1 }, [ Up payload ])
+      (* Delivery is the app boundary: the payload view materialises here. *)
+      ( { t with rx_expected = t.rx_expected + 1 },
+        [ Up (Bitkit.Slice.to_string payload) ] )
     end
     else (t, [ Note "out-of-order data discarded" ])
   in
   Sublayer.Stats.incr t.ctrs.Arq.c_acks_sent;
-  (t, deliveries @ [ Down (Arq.encode_pdu (Arq.Ack (wire t.rx_expected))) ])
+  (t, deliveries @ [ Down (Arq.ack_wirebuf (wire t.rx_expected)) ])
 
 let handle_down_ind t pdu_bytes =
-  match Arq.decode_pdu pdu_bytes with
+  match Arq.decode_pdu_slice pdu_bytes with
   | None -> (t, [ Note "undecodable pdu dropped" ])
-  | Some (Arq.Data (seq16, payload)) -> handle_data t seq16 payload
-  | Some (Arq.Ack seq16) -> handle_ack t seq16
+  | Some (Arq.Rx_data (seq16, payload)) -> handle_data t seq16 payload
+  | Some (Arq.Rx_ack seq16) -> handle_ack t seq16
 
 let handle_timer t Rto =
   if t.buf = [] then (t, [])

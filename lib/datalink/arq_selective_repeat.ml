@@ -14,15 +14,16 @@ type t = {
   buf : (int * string * bool) list;  (** (seq, payload, acked), ascending *)
   queue : string list;
   rx_expected : int;
-  rx_buf : (int * string) list;  (** out-of-order, ascending seq *)
+  rx_buf : (int * Bitkit.Slice.t) list;
+      (** out-of-order views of received frames, ascending seq *)
   retries : int;  (* consecutive timeouts with no ack activity *)
   dead : bool;    (* max_retries exhausted; backlog was discarded *)
 }
 
 type up_req = string
 type up_ind = string
-type down_req = string
-type down_ind = string
+type down_req = Bitkit.Wirebuf.t
+type down_ind = Bitkit.Slice.t
 type timer = Rto of int
 
 let initial ?stats ?span cfg =
@@ -44,7 +45,7 @@ let skey seq = "s:" ^ string_of_int seq
 
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
-  Down (Arq.encode_pdu (Arq.Data (wire seq, payload)))
+  Down (Arq.data_wirebuf ~seq:(wire seq) payload)
 
 let rec admit t acts =
   match t.queue with
@@ -87,7 +88,7 @@ let handle_ack t seq16 =
 let handle_data t seq16 payload =
   let seq = Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:t.rx_expected seq16 in
   Sublayer.Stats.incr t.ctrs.Arq.c_acks_sent;
-  let ack = Down (Arq.encode_pdu (Arq.Ack seq16)) in
+  let ack = Down (Arq.ack_wirebuf seq16) in
   if seq < t.rx_expected then (t, [ Note "duplicate data"; ack ])
   else begin
     (* Insert into the reordering buffer (dedup), then deliver any
@@ -98,7 +99,9 @@ let handle_data t seq16 payload =
     in
     let rec drain expected rx_buf delivered =
       match rx_buf with
-      | (s, p) :: rest when s = expected -> drain (expected + 1) rest (Up p :: delivered)
+      (* Delivery is the app boundary: buffered views materialise here. *)
+      | (s, p) :: rest when s = expected ->
+          drain (expected + 1) rest (Up (Bitkit.Slice.to_string p) :: delivered)
       | _ -> (expected, rx_buf, List.rev delivered)
     in
     let rx_expected, rx_buf, deliveries = drain t.rx_expected rx_buf [] in
@@ -111,10 +114,10 @@ let handle_data t seq16 payload =
   end
 
 let handle_down_ind t pdu_bytes =
-  match Arq.decode_pdu pdu_bytes with
+  match Arq.decode_pdu_slice pdu_bytes with
   | None -> (t, [ Note "undecodable pdu dropped" ])
-  | Some (Arq.Data (seq16, payload)) -> handle_data t seq16 payload
-  | Some (Arq.Ack seq16) -> handle_ack t seq16
+  | Some (Arq.Rx_data (seq16, payload)) -> handle_data t seq16 payload
+  | Some (Arq.Rx_ack seq16) -> handle_ack t seq16
 
 let handle_timer t (Rto seq) =
   match List.find_opt (fun (s, _, acked) -> s = seq && not acked) t.buf with

@@ -3,10 +3,23 @@ type t = {
   overhead_bytes : int;
   protect : string -> string;
   verify : string -> string option;
+  verify_slice : Bitkit.Slice.t -> Bitkit.Slice.t option;
 }
 
+let slice_body sl n =
+  let len = Bitkit.Slice.length sl in
+  if len < n then None else Some (Bitkit.Slice.sub sl ~pos:0 ~len:(len - n))
+
+let int_of_be_slice sl pos n =
+  let v = ref 0 in
+  for i = 0 to n - 1 do
+    v := (!v lsl 8) lor Char.code (Bitkit.Slice.get sl (pos + i))
+  done;
+  !v
+
 let none =
-  { name = "none"; overhead_bytes = 0; protect = Fun.id; verify = (fun s -> Some s) }
+  { name = "none"; overhead_bytes = 0; protect = Fun.id;
+    verify = (fun s -> Some s); verify_slice = (fun sl -> Some sl) }
 
 let split_tail s n =
   let len = String.length s in
@@ -30,9 +43,26 @@ let parity =
         | Some (body, tag) ->
             let expect = if Bitkit.Checksum.parity body then '\001' else '\000' in
             if tag.[0] = expect then Some body else None);
+    verify_slice =
+      (fun sl ->
+        match slice_body sl 1 with
+        | None -> None
+        | Some body ->
+            let expect =
+              if
+                Bitkit.Checksum.parity_sub body.Bitkit.Slice.base
+                  ~pos:body.Bitkit.Slice.off ~len:body.Bitkit.Slice.len
+              then '\001'
+              else '\000'
+            in
+            if Bitkit.Slice.get sl (Bitkit.Slice.length sl - 1) = expect then
+              Some body
+            else None);
   }
 
-let tagged name n digest =
+(* [digest_sub] computes the same digest as [digest] over a substring in
+   place, so slice verification never copies the frame body. *)
+let tagged name n digest digest_sub =
   {
     name;
     overhead_bytes = n;
@@ -42,43 +72,62 @@ let tagged name n digest =
         match split_tail s n with
         | None -> None
         | Some (body, tag) -> if int_of_be tag = digest body then Some body else None);
+    verify_slice =
+      (fun sl ->
+        match slice_body sl n with
+        | None -> None
+        | Some body ->
+            let d =
+              digest_sub body.Bitkit.Slice.base ~pos:body.Bitkit.Slice.off
+                ~len:body.Bitkit.Slice.len
+            in
+            if int_of_be_slice sl (Bitkit.Slice.length sl - n) n = d then
+              Some body
+            else None);
   }
 
-let internet = tagged "internet" 2 Bitkit.Checksum.internet
+let internet = tagged "internet" 2 Bitkit.Checksum.internet Bitkit.Checksum.internet_sub
 
-let fletcher16 = tagged "fletcher16" 2 Bitkit.Checksum.fletcher16
+let fletcher16 =
+  tagged "fletcher16" 2 Bitkit.Checksum.fletcher16 Bitkit.Checksum.fletcher16_sub
 
 let crc params =
   let engine = Bitkit.Crc.make params in
   let bytes = (params.Bitkit.Crc.width + 7) / 8 in
+  let tag_of d =
+    String.init bytes (fun i ->
+        Char.chr
+          (Int64.to_int
+             (Int64.logand (Int64.shift_right_logical d (8 * (bytes - 1 - i))) 0xFFL)))
+  in
   {
     name = params.Bitkit.Crc.name;
     overhead_bytes = bytes;
-    protect =
-      (fun s ->
-        let d = Bitkit.Crc.digest engine s in
-        s
-        ^ String.init bytes (fun i ->
-              Char.chr
-                (Int64.to_int
-                   (Int64.logand
-                      (Int64.shift_right_logical d (8 * (bytes - 1 - i)))
-                      0xFFL))));
+    protect = (fun s -> s ^ tag_of (Bitkit.Crc.digest engine s));
     verify =
       (fun s ->
         match split_tail s bytes with
         | None -> None
         | Some (body, tag) ->
-            let d = Bitkit.Crc.digest engine body in
-            let expect =
-              String.init bytes (fun i ->
-                  Char.chr
-                    (Int64.to_int
-                       (Int64.logand
-                          (Int64.shift_right_logical d (8 * (bytes - 1 - i)))
-                          0xFFL)))
+            if String.equal tag (tag_of (Bitkit.Crc.digest engine body)) then
+              Some body
+            else None);
+    verify_slice =
+      (fun sl ->
+        match slice_body sl bytes with
+        | None -> None
+        | Some body ->
+            let d =
+              Bitkit.Crc.digest_sub engine body.Bitkit.Slice.base
+                body.Bitkit.Slice.off body.Bitkit.Slice.len
             in
-            if String.equal tag expect then Some body else None);
+            let tag = tag_of d in
+            let tag_pos = Bitkit.Slice.length sl - bytes in
+            let ok = ref true in
+            for i = 0 to bytes - 1 do
+              if Bitkit.Slice.get sl (tag_pos + i) <> tag.[i] then ok := false
+            done;
+            if !ok then Some body else None);
   }
 
 let residual_error_rate det rng ~trials ~payload_len ~flips =

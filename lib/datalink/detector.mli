@@ -12,6 +12,10 @@ type t = {
   protect : string -> string;
   verify : string -> string option;
       (** [Some payload] if the check passes; [None] for corrupt PDUs. *)
+  verify_slice : Bitkit.Slice.t -> Bitkit.Slice.t option;
+      (** {!verify} over a slice view: the digest is computed in place and
+          the returned body is a narrowed view of the input — no copy on
+          the receive path. *)
 }
 
 val none : t

@@ -15,10 +15,10 @@ module Error_detection = struct
     corrupt : Sublayer.Stats.counter;
   }
 
-  type up_req = string
-  type up_ind = string
+  type up_req = Bitkit.Wirebuf.t
+  type up_ind = Bitkit.Slice.t
   type down_req = string
-  type down_ind = string
+  type down_ind = Bitkit.Slice.t
   type timer = Nothing.t
 
   let make ?stats ?span det =
@@ -35,13 +35,18 @@ module Error_detection = struct
       corrupt = Sublayer.Stats.counter scope "frames_corrupt";
     }
 
+  (* Protection appends a trailer over the whole PDU, so this sublayer is
+     the transmit path's forced materialisation point: the accumulated
+     wirebuf is emitted once, here, with the check bits. Verification is
+     the opposite — computed in place over the frame view, returning a
+     narrowed slice. *)
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.protected;
     Sublayer.Span.instant t.sp "protect";
-    (t, [ Down (t.det.Detector.protect pdu) ])
+    (t, [ Down (t.det.Detector.protect (Bitkit.Wirebuf.to_string pdu)) ])
 
   let handle_down_ind t pdu =
-    match t.det.Detector.verify pdu with
+    match t.det.Detector.verify_slice pdu with
     | Some payload ->
         Sublayer.Stats.incr t.verified;
         Sublayer.Span.instant t.sp "verify";
@@ -66,7 +71,7 @@ module Framing = struct
   }
 
   type up_req = string
-  type up_ind = string
+  type up_ind = Bitkit.Slice.t
   type down_req = Bitkit.Bitseq.t
   type down_ind = Bitkit.Bitseq.t
   type timer = Nothing.t
@@ -95,7 +100,10 @@ module Framing = struct
     | Some pdu ->
         Sublayer.Stats.incr t.deframed;
         Sublayer.Span.instant t.sp "deframe";
-        (t, [ Up pdu ])
+        (* Deframing just materialised bytes out of the bit domain;
+           wrapping them as a whole-string view costs nothing, and every
+           sublayer above narrows this one buffer. *)
+        (t, [ Up (Bitkit.Slice.of_string pdu) ])
     | None ->
         Sublayer.Stats.incr t.malformed;
         Sublayer.Span.instant t.sp ~detail:"dropped" "malformed";

@@ -8,10 +8,10 @@
 module Error_detection : sig
   include
     Sublayer.Machine.S
-      with type up_req = string
-       and type up_ind = string
+      with type up_req = Bitkit.Wirebuf.t
+       and type up_ind = Bitkit.Slice.t
        and type down_req = string
-       and type down_ind = string
+       and type down_ind = Bitkit.Slice.t
        and type timer = Sublayer.Machine.Nothing.t
 
   val make : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> Detector.t -> t
@@ -24,7 +24,7 @@ module Framing : sig
   include
     Sublayer.Machine.S
       with type up_req = string
-       and type up_ind = string
+       and type up_ind = Bitkit.Slice.t
        and type down_req = Bitkit.Bitseq.t
        and type down_ind = Bitkit.Bitseq.t
        and type timer = Sublayer.Machine.Nothing.t

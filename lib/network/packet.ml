@@ -1,4 +1,4 @@
-type t = { src : Addr.t; dst : Addr.t; ttl : int; nonce : int; payload : string }
+type t = { src : Addr.t; dst : Addr.t; ttl : int; nonce : int; payload : Bitkit.Slice.t }
 
 (* Process-wide, so two packets are never confused with each other no
    matter which router minted them. Only ever used for correlation keys
@@ -18,8 +18,8 @@ let make ?(ttl = 64) ?nonce ~src ~dst payload =
 
 let decrement_ttl p = if p.ttl <= 1 then None else Some { p with ttl = p.ttl - 1 }
 
-let size p = 12 + String.length p.payload
+let size p = 12 + Bitkit.Slice.length p.payload
 
 let pp fmt p =
   Format.fprintf fmt "%a -> %a ttl=%d (%d bytes)" Addr.pp p.src Addr.pp p.dst p.ttl
-    (String.length p.payload)
+    (Bitkit.Slice.length p.payload)

@@ -10,10 +10,13 @@ type t = {
   dst : Addr.t;
   ttl : int;
   nonce : int;  (** unique per packet; survives forwarding *)
-  payload : string;
+  payload : Bitkit.Slice.t;
+      (** carried by reference: forwarding never copies the payload, and
+          a transport segment originated as a slice reaches the far
+          host's [from_wire] as the same buffer *)
 }
 
-val make : ?ttl:int -> ?nonce:int -> src:Addr.t -> dst:Addr.t -> string -> t
+val make : ?ttl:int -> ?nonce:int -> src:Addr.t -> dst:Addr.t -> Bitkit.Slice.t -> t
 (** Default TTL 64. The nonce identifies {e this} packet even when an
     identical payload is in flight between the same pair (tracing keys
     correlation state on it); it defaults to a fresh process-wide value

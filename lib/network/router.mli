@@ -53,7 +53,7 @@ val add_interface : t -> transmit:(frame -> unit) -> int
 val on_frame : t -> ifindex:int -> frame -> unit
 (** Wire this as the link's delivery callback. *)
 
-val originate : t -> dst:Addr.t -> string -> unit
+val originate : t -> dst:Addr.t -> Bitkit.Slice.t -> unit
 (** Send a locally-generated data packet. *)
 
 val fib : t -> Fib.t

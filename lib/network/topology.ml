@@ -98,8 +98,10 @@ let build engine ?(channel = Sim.Channel.ideal) ?tracer ~routing ~n edges =
     edges;
   t
 
+(* String convenience for tests; [of_string] wraps without copying. *)
 let send t ~src ~dst payload =
-  Router.originate t.nodes.(src).router ~dst:(Addr.node dst) payload
+  Router.originate t.nodes.(src).router ~dst:(Addr.node dst)
+    (Bitkit.Slice.of_string payload)
 
 let received t i = List.of_seq (Queue.to_seq t.nodes.(i).received)
 

@@ -57,16 +57,18 @@ type 'a t = {
   mark : 'a -> 'a;
   deliver : 'a -> unit;
   stats : stats;
+  tracer : Tracer.t option;
+  label : string;
   mutable busy_until : float;
   mutable burst_bad : bool;
 }
 
 let create engine cfg ?(size = fun _ -> 0) ?(corrupt = fun _ m -> m)
-    ?(mark = fun m -> m) ~deliver () =
+    ?(mark = fun m -> m) ?tracer ?(label = "channel") ~deliver () =
   { engine; cfg; size; corrupt; mark; deliver;
     stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0;
               corrupted = 0; bytes_sent = 0 };
-    busy_until = 0.; burst_bad = false }
+    tracer; label; busy_until = 0.; burst_bad = false }
 
 let stats t = t.stats
 let set_config t cfg = t.cfg <- cfg
@@ -114,6 +116,27 @@ let transmit_once t msg =
       +. (if Bitkit.Rng.coin rng t.cfg.reorder then t.cfg.reorder_extra else 0.)
       +. serialisation
     in
+    (* The link's own latency decomposition, recorded at send time with
+       explicit timestamps so no extra engine events (and hence no
+       determinism perturbation) are introduced: [channel.queue] covers
+       serialisation plus the wait behind earlier messages, and
+       [channel.prop] the propagation that follows. *)
+    (match t.tracer with
+    | Some tr when Tracer.enabled () ->
+        let t0 = Engine.now t.engine in
+        if serialisation > 0. then begin
+          let id =
+            Tracer.start tr ~at:t0 ~track:t.label ~sublayer:"channel"
+              "channel.queue"
+          in
+          ignore (Tracer.finish tr ~at:(t0 +. serialisation) id)
+        end;
+        let id =
+          Tracer.start tr ~at:(t0 +. serialisation) ~track:t.label
+            ~sublayer:"channel" "channel.prop"
+        in
+        ignore (Tracer.finish tr ~at:(t0 +. latency) id)
+    | Some _ | None -> ());
     ignore
       (Engine.schedule t.engine ~after:latency (fun () ->
            t.stats.delivered <- t.stats.delivered + 1;
@@ -137,6 +160,18 @@ let corrupt_string rng s =
     let b = Bytes.of_string s in
     Bytes.set b i (Char.chr (Char.code s.[i] lxor (1 lsl bit)));
     Bytes.to_string b
+  end
+
+let corrupt_slice rng sl =
+  if Bitkit.Slice.is_empty sl then sl
+  else begin
+    let n = Bitkit.Slice.length sl in
+    let i = Bitkit.Rng.int rng n in
+    let bit = Bitkit.Rng.int rng 8 in
+    let b = Bytes.create n in
+    Bitkit.Slice.blit sl b 0;
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bitkit.Slice.of_string (Bytes.unsafe_to_string b)
   end
 
 let corrupt_bits rng bits =

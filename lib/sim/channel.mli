@@ -64,6 +64,8 @@ val create :
   ?size:('a -> int) ->
   ?corrupt:(Bitkit.Rng.t -> 'a -> 'a) ->
   ?mark:('a -> 'a) ->
+  ?tracer:Tracer.t ->
+  ?label:string ->
   deliver:('a -> unit) ->
   unit ->
   'a t
@@ -72,7 +74,14 @@ val create :
     bandwidth model and statistics; [corrupt] (default: identity) mutates a
     message chosen for corruption; [mark] (default: identity) applies an
     ECN-style congestion mark to messages chosen with probability
-    [marking] — an AQM that signals instead of dropping. *)
+    [marking] — an AQM that signals instead of dropping.
+
+    When [tracer] is given, each delivered message records two spans on
+    track [label] (default ["channel"]): [channel.queue], covering
+    serialisation plus the wait behind earlier messages on the link (only
+    when a [bandwidth] is modelled), and [channel.prop], the propagation
+    delay that follows. Both use explicit timestamps taken at send time,
+    so tracing adds no engine events and cannot perturb determinism. *)
 
 val send : 'a t -> 'a -> unit
 val stats : 'a t -> stats
@@ -84,6 +93,11 @@ val config : 'a t -> config
 
 val corrupt_string : Bitkit.Rng.t -> string -> string
 (** Flip one random bit of a byte string (helper for [?corrupt]). *)
+
+val corrupt_slice : Bitkit.Rng.t -> Bitkit.Slice.t -> Bitkit.Slice.t
+(** Flip one random bit of a wire slice. The result is freshly owned —
+    the original buffer (possibly shared with a duplicate in flight) is
+    never mutated. *)
 
 val corrupt_bits : Bitkit.Rng.t -> Bitkit.Bitseq.t -> Bitkit.Bitseq.t
 (** Flip one random bit of a bit string. *)

@@ -49,12 +49,16 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     [until] or after [max_events] events. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled) events, by scanning the queue.
-    Agrees with {!live}; kept separate so tests can cross-check the
-    cancellation accounting. *)
+(** Number of scheduled (uncancelled) events, from the O(1) live
+    counter — cheap enough to sample every soak slice. *)
+
+val pending_scan : t -> int
+(** The same count by scanning the whole queue, O(total). Kept as the
+    audit the property tests cross-check the cancellation accounting
+    against after randomized cancel storms. *)
 
 val live : t -> int
-(** Number of scheduled (uncancelled) events, from the O(1) counter. *)
+(** Alias view of the O(1) counter (= {!pending}). *)
 
 val compactions : t -> int
 (** How many times the queue compacted away cancelled entries. *)

@@ -69,12 +69,15 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
   in
   let samples = ref [] in
   let slices = ref 0 in
+  (* [Engine.pending] is O(1), so every slice gets a pending sample —
+     the leak telltale — with the caller's snapshot merged in. *)
   let take_sample () =
-    match sample with
-    | None -> ()
-    | Some f ->
-        if !slices mod sample_every = 0 then
-          samples := (Engine.now engine, f ()) :: !samples
+    if !slices mod sample_every = 0 then begin
+      let extra = match sample with None -> [] | Some f -> f () in
+      samples :=
+        (Engine.now engine, ("pending", Engine.pending engine) :: extra)
+        :: !samples
+    end
   in
   (* Keep driving through violations: a soak that stops at the first one
      hides every later, possibly distinct, failure — each distinct

@@ -19,8 +19,10 @@ type report = {
   violations : string list;
       (** invariant failures, oldest first, deduplicated *)
   samples : (float * (string * int) list) list;
-      (** periodic stats samples [(vtime, snapshot)], oldest first —
-          whatever the caller's [sample] closure returned each period *)
+      (** periodic stats samples [(vtime, snapshot)], oldest first — a
+          ["pending"] entry (the engine's O(1) live-timer count, the leak
+          telltale) followed by whatever the caller's [sample] closure
+          returned that period *)
   flights : (string * string list) list;
       (** flight-recorder dumps, one [(violation, spans)] pair per
           distinct invariant violation up to [flight_cap], oldest

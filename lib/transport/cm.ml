@@ -37,8 +37,8 @@ type t = {
 
 type up_req = Iface.cm_req
 type up_ind = Iface.cm_ind
-type down_req = string
-type down_ind = string
+type down_req = Bitkit.Wirebuf.t
+type down_ind = Bitkit.Slice.t
 type timer = Handshake | Fin_retx | Time_wait_expiry
 
 let initial ?stats ?span cfg ~isn ~local_port ~remote_port =
@@ -88,7 +88,7 @@ let control t flags =
       isn_local = Option.value ~default:0 t.isn_local;
       isn_remote = Option.value ~default:0 t.isn_remote }
   in
-  Down (Segment.encode_cm header ~payload:"")
+  Down (Bitkit.Wirebuf.push Bitkit.Wirebuf.empty ~owner:"cm" (Segment.write_cm header))
 
 let syn = { Segment.no_cm_flags with syn = true }
 let syn_ack = { Segment.no_cm_flags with syn = true; ack = true }
@@ -160,7 +160,7 @@ let handle_up_req t (req : up_req) =
           isn_local = Option.get t.isn_local;
           isn_remote = Option.get t.isn_remote }
       in
-      (t, [ Down (Segment.encode_cm header ~payload) ])
+      (t, [ Down (Bitkit.Wirebuf.push payload ~owner:"cm" (Segment.write_cm header)) ])
   | `Pdu _, _ -> (t, [ Note "data before establishment dropped" ])
   | (`Connect | `Listen), _ -> (t, [ Note "open in non-closed phase ignored" ])
 
@@ -172,7 +172,7 @@ let identity_ok t (cm : Segment.cm) =
   | _ -> false
 
 let handle_down_ind t pdu =
-  match Segment.decode_cm pdu with
+  match Segment.decode_cm_slice pdu with
   | None ->
       Sublayer.Stats.incr t.ctrs.c_dropped;
       (t, [ Note "undecodable cm pdu dropped" ])

@@ -52,6 +52,6 @@ include
     with type t := t
      and type up_req = Iface.cm_req
      and type up_ind = Iface.cm_ind
-     and type down_req = string
-     and type down_ind = string
+     and type down_req = Bitkit.Wirebuf.t
+     and type down_ind = Bitkit.Slice.t
      and type timer := timer

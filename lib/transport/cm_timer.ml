@@ -30,8 +30,8 @@ type t = {
 
 type up_req = Iface.cm_req
 type up_ind = Iface.cm_ind
-type down_req = string
-type down_ind = string
+type down_req = Bitkit.Wirebuf.t
+type down_ind = Bitkit.Slice.t
 type timer = Idle
 
 let initial ?stats ?span cfg ~isn ~local_port ~remote_port ~idle_timeout =
@@ -59,11 +59,11 @@ let phase_name t =
 
 let stamp ~isn_local ~isn_remote payload =
   Down
-    (Segment.encode_cm
-       { Segment.flags = Segment.no_cm_flags;
-         isn_local;
-         isn_remote = Option.value ~default:0 isn_remote }
-       ~payload)
+    (Bitkit.Wirebuf.push payload ~owner:"cm"
+       (Segment.write_cm
+          { Segment.flags = Segment.no_cm_flags;
+            isn_local;
+            isn_remote = Option.value ~default:0 isn_remote }))
 
 let touch t = Set_timer (Idle, t.idle_timeout)
 
@@ -101,7 +101,7 @@ let handle_up_req t (req : up_req) =
   | (`Connect | `Listen), _ -> (t, [ Note "open ignored in this phase" ])
 
 let handle_down_ind t pdu =
-  match Segment.decode_cm pdu with
+  match Segment.decode_cm_slice pdu with
   | None ->
       Sublayer.Stats.incr t.ctrs.c_dropped;
       (t, [ Note "undecodable cm pdu dropped" ])

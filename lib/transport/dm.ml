@@ -12,10 +12,10 @@ type t = {
   sp : Sublayer.Span.ctx;
 }
 
-type up_req = string
-type up_ind = string
-type down_req = string
-type down_ind = string
+type up_req = Bitkit.Wirebuf.t
+type up_ind = Bitkit.Slice.t
+type down_req = Bitkit.Slice.t
+type down_ind = Bitkit.Slice.t
 type timer = Nothing.t
 
 let make ?stats ?span ~local_port ~remote_port () =
@@ -40,10 +40,12 @@ let handle_up_req t pdu =
   (* Demultiplexing is synchronous, so these mark T2 crossings rather
      than measure time; they carry no trace (DM cannot see one). *)
   Sublayer.Span.instant t.sp "segment_out";
-  (t, [ Down (Segment.encode_dm header ~payload:pdu) ])
+  let wb = Bitkit.Wirebuf.push pdu ~owner:"dm" (Segment.write_dm header) in
+  Segment.audit_wirebuf wb;
+  (t, [ Down (Bitkit.Wirebuf.to_slice wb) ])
 
 let handle_down_ind t wire =
-  match Segment.decode_dm wire with
+  match Segment.decode_dm_slice wire with
   | None ->
       Sublayer.Stats.incr t.rejected;
       (t, [ Note "short segment dropped" ])

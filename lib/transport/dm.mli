@@ -8,10 +8,10 @@ type conn = { local_port : int; remote_port : int }
 
 include
   Sublayer.Machine.S
-    with type up_req = string
-     and type up_ind = string
-     and type down_req = string
-     and type down_ind = string
+    with type up_req = Bitkit.Wirebuf.t
+     and type up_ind = Bitkit.Slice.t
+     and type down_req = Bitkit.Slice.t
+     and type down_ind = Bitkit.Slice.t
      and type timer = Sublayer.Machine.Nothing.t
 
 val make :

@@ -18,27 +18,57 @@ let server_port f = 1024 + (2 * f)
 let client_port f = 1025 + (2 * f)
 
 let create engine ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?(seed = 7) ~channel ~flows
-    ~bytes () =
+    ?(factory = Host.sublayered) ?stats ?tracer ?(seed = 7) ?link_faults
+    ~channel ~flows ~bytes () =
   if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
   if flows < 0 then invalid_arg "Fabric.create: negative flow count";
   if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
   let port_host = Hashtbl.create (2 * flows) in
-  let ingress = Array.make hosts (fun (_ : string) -> ()) in
-  let chans =
-    Array.init hosts (fun h ->
-        Sim.Channel.create engine channel ~size:String.length
-          ~corrupt:Sim.Channel.corrupt_string
-          ~deliver:(fun s -> ingress.(h) s)
-          ())
+  let ingress = Array.make hosts (fun (_ : Bitkit.Slice.t) -> ()) in
+  let mk_chan dst =
+    Sim.Channel.create engine channel ~size:Bitkit.Slice.length
+      ~corrupt:Sim.Channel.corrupt_slice
+      ~deliver:(fun s -> ingress.(dst) s)
+      ()
+  in
+  let chan =
+    match link_faults with
+    | None ->
+        (* One shared ingress channel per host (its "NIC"). *)
+        let per_host = Array.init hosts mk_chan in
+        fun ~src:_ ~dst -> per_host.(dst)
+    | Some faults ->
+        (* A channel per directed host pair, so a fault plan can impair
+           individual links — a partial partition leaves the rest of the
+           fabric untouched. *)
+        let matrix =
+          Array.init hosts (fun src ->
+              Array.init hosts (fun dst ->
+                  let ch = mk_chan dst in
+                  (match faults (src, dst) with
+                  | Some plan ->
+                      Sim.Faultplan.apply engine plan
+                        [ Sim.Faultplan.target
+                            ~name:(Printf.sprintf "link:%d->%d" src dst)
+                            ch ]
+                  | None -> ());
+                  ch))
+        in
+        fun ~src ~dst -> matrix.(src).(dst)
   in
   let transmit s =
     match factory.Host.peek s with
     | None -> ()
-    | Some (_src_port, dst_port) -> (
+    | Some (src_port, dst_port) -> (
         match Hashtbl.find_opt port_host dst_port with
-        | Some h -> Sim.Channel.send chans.(h) s
-        | None -> ())
+        | None -> ()
+        | Some dst ->
+            (* Every fabric port is registered at setup, so the source
+               lookup only falls back when a foreign factory is probing. *)
+            let src =
+              Option.value ~default:dst (Hashtbl.find_opt port_host src_port)
+            in
+            Sim.Channel.send (chan ~src ~dst) s)
   in
   let harr =
     Array.init hosts (fun h ->

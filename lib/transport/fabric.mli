@@ -18,6 +18,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?seed:int ->
+  ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->
   flows:int ->
   bytes:int ->
@@ -26,7 +27,13 @@ val create :
 (** [create engine ~channel ~flows ~bytes ()] builds [hosts] (default 8)
     hosts and sets up [flows] listener/payload pairs of [bytes] seeded
     random bytes each ([seed] defaults to 7; payloads are deterministic
-    in it). Nothing is connected until the workload launches a flow. *)
+    in it). Nothing is connected until the workload launches a flow.
+
+    When [link_faults] is given, the fabric switches from one shared
+    ingress channel per host to one channel per {e directed} host pair,
+    and [link_faults (src, dst)] may return a {!Sim.Faultplan} applied to
+    that link alone — partial partitions impair some host pairs while the
+    rest of the fabric keeps running. *)
 
 val ops : t -> Sim.Workload.ops
 (** Launch = connect + write the flow's payload + close; finished = the

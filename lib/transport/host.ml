@@ -1,5 +1,5 @@
 type endpoint = {
-  ep_from_wire : string -> unit;
+  ep_from_wire : Bitkit.Slice.t -> unit;
   ep_connect : unit -> unit;
   ep_listen : unit -> unit;
   ep_write : string -> unit;
@@ -10,7 +10,7 @@ type endpoint = {
 
 type factory = {
   fname : string;
-  peek : string -> (int * int) option;
+  peek : Bitkit.Slice.t -> (int * int) option;
   make :
     ?stats:Sublayer.Stats.registry ->
     ?tracer:Sim.Tracer.t ->
@@ -19,7 +19,7 @@ type factory = {
     Config.t ->
     local_port:int ->
     remote_port:int ->
-    transmit:(string -> unit) ->
+    transmit:(Bitkit.Slice.t -> unit) ->
     events:(Iface.app_ind -> unit) ->
     endpoint;
 }
@@ -66,7 +66,7 @@ type t = {
   config : Config.t;
   factory : factory;
   name : string;
-  transmit : string -> unit;
+  transmit : Bitkit.Slice.t -> unit;
   stats : Sublayer.Stats.registry option;
   tracer : Sim.Tracer.t option;
   conns : (int * int, conn) Hashtbl.t;
@@ -188,41 +188,60 @@ let on_event c cb = c.user_event <- Some cb
 let connections host = Hashtbl.fold (fun _ c acc -> c :: acc) host.conns []
 
 (* A CRC-32 guard standing in for the data link's error-detection
-   sublayer: corrupted wire segments are dropped, never delivered. *)
+   sublayer: corrupted wire segments are dropped, never delivered. The
+   digest is computed in place over the slice view ([digest_sub]); only
+   protection materialises a new buffer (it must append the trailer). *)
 let crc_engine = lazy (Bitkit.Crc.make Bitkit.Crc.crc32)
 
-let guard_protect s =
-  let d = Bitkit.Crc.digest (Lazy.force crc_engine) s in
-  s
-  ^ String.init 4 (fun i ->
-        Char.chr (Int64.to_int (Int64.shift_right_logical d (8 * (3 - i))) land 0xFF))
+let guard_digest sl =
+  Bitkit.Crc.digest_sub (Lazy.force crc_engine) sl.Bitkit.Slice.base
+    sl.Bitkit.Slice.off sl.Bitkit.Slice.len
 
-let guard_verify s =
-  let n = String.length s in
+let guard_protect sl =
+  let d = guard_digest sl in
+  let n = Bitkit.Slice.length sl in
+  let b = Bytes.create (n + 4) in
+  Bitkit.Slice.blit sl b 0;
+  for i = 0 to 3 do
+    Bytes.set b (n + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical d (8 * (3 - i))) land 0xFF))
+  done;
+  Bitkit.Slice.of_string (Bytes.unsafe_to_string b)
+
+let guard_verify sl =
+  let n = Bitkit.Slice.length sl in
   if n < 4 then None
   else begin
-    let body = String.sub s 0 (n - 4) in
-    if guard_protect body = s then Some body else None
+    let body = Bitkit.Slice.sub sl ~pos:0 ~len:(n - 4) in
+    let d = guard_digest body in
+    let ok = ref true in
+    for i = 0 to 3 do
+      let expect =
+        Int64.to_int (Int64.shift_right_logical d (8 * (3 - i))) land 0xFF
+      in
+      if Char.code (Bitkit.Slice.get sl (n - 4 + i)) <> expect then ok := false
+    done;
+    if !ok then Some body else None
   end
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
     channel_config =
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let deliver target s =
     if guard then match guard_verify s with Some body -> !target body | None -> ()
     else !target s
   in
   let ab =
-    Sim.Channel.create engine channel_config ~size:String.length
-      ~corrupt:Sim.Channel.corrupt_string
+    Sim.Channel.create engine channel_config ~size:Bitkit.Slice.length
+      ~corrupt:Sim.Channel.corrupt_slice
       ~deliver:(fun s -> deliver to_b s)
       ()
   in
   let ba =
-    Sim.Channel.create engine channel_config ~size:String.length
-      ~corrupt:Sim.Channel.corrupt_string
+    Sim.Channel.create engine channel_config ~size:Bitkit.Slice.length
+      ~corrupt:Sim.Channel.corrupt_slice
       ~deliver:(fun s -> deliver to_a s)
       ()
   in

@@ -9,9 +9,11 @@
     for the standard one); everything else in the segment is the owning
     connection's business. *)
 
-(** What the host needs from an endpoint implementation. *)
+(** What the host needs from an endpoint implementation. Wire segments
+    cross this boundary as {!Bitkit.Slice} views of the received buffer
+    — no copy per hop. *)
 type endpoint = {
-  ep_from_wire : string -> unit;
+  ep_from_wire : Bitkit.Slice.t -> unit;
   ep_connect : unit -> unit;
   ep_listen : unit -> unit;
   ep_write : string -> unit;
@@ -23,7 +25,7 @@ type endpoint = {
 
 type factory = {
   fname : string;
-  peek : string -> (int * int) option;
+  peek : Bitkit.Slice.t -> (int * int) option;
       (** (src_port, dst_port) of a wire segment in this endpoint's
           format. *)
   make :
@@ -34,7 +36,7 @@ type factory = {
     Config.t ->
     local_port:int ->
     remote_port:int ->
-    transmit:(string -> unit) ->
+    transmit:(Bitkit.Slice.t -> unit) ->
     events:(Iface.app_ind -> unit) ->
     endpoint;
 }
@@ -50,7 +52,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   name:string ->
-  transmit:(string -> unit) ->
+  transmit:(Bitkit.Slice.t -> unit) ->
   unit ->
   t
 (** When [stats] is given, every connection's sublayers register their
@@ -61,7 +63,7 @@ val create :
 
 val stats_registry : t -> Sublayer.Stats.registry option
 
-val from_wire : t -> string -> unit
+val from_wire : t -> Bitkit.Slice.t -> unit
 
 (** {1 Connections} *)
 
@@ -138,6 +140,6 @@ val pair_channels :
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   Sim.Channel.config ->
-  t * t * string Sim.Channel.t * string Sim.Channel.t
+  t * t * Bitkit.Slice.t Sim.Channel.t * Bitkit.Slice.t Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then
     b→a) so fault plans can impair them mid-run. *)

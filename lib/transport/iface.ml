@@ -7,25 +7,25 @@ type rd_req =
   [ `Connect
   | `Listen
   | `Close
-  | `Transmit of int * int * string
+  | `Transmit of int * int * Bitkit.Wirebuf.t
   | `Set_block of string
   | `Announce_block of string ]
 
 type rd_ind =
   [ `Established
-  | `Segment of int * string
-  | `Acked of int * string * float option
+  | `Segment of int * Bitkit.Slice.t
+  | `Acked of int * Bitkit.Slice.t * float option
   | `Loss of Cc.loss
   | `Peer_fin
   | `Closed
   | `Reset
   | `Aborted ]
 
-type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of string ]
+type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of Bitkit.Wirebuf.t ]
 
 type cm_ind =
   [ `Established of int * int
-  | `Pdu of string
+  | `Pdu of Bitkit.Slice.t
   | `Peer_fin
   | `Closed
   | `Reset ]

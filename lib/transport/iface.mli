@@ -29,17 +29,20 @@ type app_ind =
         peer (ETIMEDOUT semantics) — local state is gone *) ]
 
 (** OSR ⇄ RD. [`Transmit (offset, len, osr_pdu)] releases a segment that
-    is "ready" (rate control's decision); [`Set_block] keeps RD supplied
-    with the current 3-byte OSR header to stamp on every outgoing segment
-    (including pure acks) — RD never looks inside it. Upward, [`Segment]
-    delivers exactly-once (possibly out of order), [`Acked (upto, block,
-    rtt)] reports cumulative progress together with the peer's OSR block
-    and an RTT sample, and [`Loss] summarises congestion signals. *)
+    is "ready" (rate control's decision) — the PDU travels as a
+    {!Bitkit.Wirebuf} so each lower sublayer appends its header without
+    copying the payload. [`Set_block] keeps RD supplied with the current
+    3-byte OSR header to stamp on every outgoing segment (including pure
+    acks) — RD never looks inside it. Upward, [`Segment] delivers
+    exactly-once (possibly out of order) as a zero-copy {!Bitkit.Slice}
+    view of the received wire buffer, [`Acked (upto, block, rtt)] reports
+    cumulative progress together with the peer's OSR block and an RTT
+    sample, and [`Loss] summarises congestion signals. *)
 type rd_req =
   [ `Connect
   | `Listen
   | `Close
-  | `Transmit of int * int * string
+  | `Transmit of int * int * Bitkit.Wirebuf.t
   | `Set_block of string
   | `Announce_block of string
     (** like [`Set_block], but also emit a pure ack immediately — the
@@ -47,8 +50,8 @@ type rd_req =
 
 type rd_ind =
   [ `Established
-  | `Segment of int * string        (** (stream offset, osr_pdu) *)
-  | `Acked of int * string * float option
+  | `Segment of int * Bitkit.Slice.t  (** (stream offset, osr_pdu) *)
+  | `Acked of int * Bitkit.Slice.t * float option
   | `Loss of Cc.loss
   | `Peer_fin
   | `Closed
@@ -57,12 +60,14 @@ type rd_ind =
 
 (** RD ⇄ CM. CM stamps every [`Pdu] with the connection's ISNs and flags,
     and runs the SYN/FIN bootstrap machinery itself. [`Abort] tears the
-    connection down unilaterally (RST to the peer, no upward echo). *)
-type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of string ]
+    connection down unilaterally (RST to the peer, no upward echo).
+    Downward PDUs are wirebufs (headers still accumulating); upward PDUs
+    are slices of the received wire buffer. *)
+type cm_req = [ `Connect | `Listen | `Close | `Abort | `Pdu of Bitkit.Wirebuf.t ]
 
 type cm_ind =
   [ `Established of int * int  (** (isn_local, isn_remote) *)
-  | `Pdu of string
+  | `Pdu of Bitkit.Slice.t
   | `Peer_fin
   | `Closed
   | `Reset ]

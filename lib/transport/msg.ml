@@ -8,23 +8,30 @@ type header = { window : int; msg_id : int; frag_off : int; msg_len : int }
 
 let header_bytes = 8
 
-let encode_header h ~payload =
-  let w = Bitkit.Bitio.Writer.create () in
+let write_header h w =
   Bitkit.Bitio.Writer.uint16 w h.window;
   Bitkit.Bitio.Writer.uint16 w h.msg_id;
   Bitkit.Bitio.Writer.uint16 w h.frag_off;
-  Bitkit.Bitio.Writer.uint16 w h.msg_len;
+  Bitkit.Bitio.Writer.uint16 w h.msg_len
+
+let encode_header h ~payload =
+  let w = Bitkit.Bitio.Writer.create () in
+  write_header h w;
   Bitkit.Bitio.Writer.bytes w payload;
   Bitkit.Bitio.Writer.contents w
 
-let decode_header s =
+let read_header r =
+  let window = Bitkit.Bitio.Reader.uint16 r in
+  let msg_id = Bitkit.Bitio.Reader.uint16 r in
+  let frag_off = Bitkit.Bitio.Reader.uint16 r in
+  let msg_len = Bitkit.Bitio.Reader.uint16 r in
+  { window; msg_id; frag_off; msg_len }
+
+let decode_header_slice sl =
   match
-    let r = Bitkit.Bitio.Reader.of_string s in
-    let window = Bitkit.Bitio.Reader.uint16 r in
-    let msg_id = Bitkit.Bitio.Reader.uint16 r in
-    let frag_off = Bitkit.Bitio.Reader.uint16 r in
-    let msg_len = Bitkit.Bitio.Reader.uint16 r in
-    ({ window; msg_id; frag_off; msg_len }, Bitkit.Bitio.Reader.rest r)
+    let r = Bitkit.Bitio.Reader.of_slice sl in
+    let h = read_header r in
+    (h, Bitkit.Bitio.Reader.rest_slice r)
   with
   | v -> Some v
   | exception Bitkit.Bitio.Reader.Truncated -> None
@@ -128,7 +135,13 @@ let try_send t c =
           let header =
             my_header cn ~msg_id ~frag_off:cn.sendq_off ~msg_len:(String.length original)
           in
-          let pdu = encode_header header ~payload:fragment in
+          (* Msg replaces OSR at the top of the stack, so it starts the
+             packet's wirebuf; RD/CM/DM push below without copying. *)
+          let pdu =
+            Bitkit.Wirebuf.push
+              (Bitkit.Wirebuf.of_string fragment)
+              ~owner:"msg" (write_header header)
+          in
           if Sublayer.Span.active t.sp then begin
             (* Fragments inherit the message's trace; RD picks it up
                under the local offset key. *)
@@ -241,18 +254,22 @@ let handle_down_ind t (ind : down_ind) =
         (Up `Established :: Down (`Set_block (block c)) :: send_acts) @ fin_acts )
   | `Established, Some _ -> (t, [ Note "duplicate establishment" ])
   | `Segment (offset, pdu), Some c -> (
-      match decode_header pdu with
+      match decode_header_slice pdu with
       | None -> (t, [ Note "undecodable msg pdu" ])
       | Some (h, payload) ->
           let frag_trace =
             Sublayer.Span.take_local t.sp ("off:" ^ string_of_int offset)
           in
           let c = { c with peer_window = h.window } in
-          let c, acts = accept_fragment t c ~frag_trace h payload in
+          (* App boundary: the fragment materialises to an owned string
+             here, the receive path's one copy. *)
+          let c, acts =
+            accept_fragment t c ~frag_trace h (Bitkit.Slice.to_string payload)
+          in
           ({ t with conn = Some c }, acts))
   | `Acked (upto, block_bytes, rtt), Some c ->
       let c =
-        match decode_header block_bytes with
+        match decode_header_slice block_bytes with
         | Some (h, _) -> { c with peer_window = h.window }
         | None -> c
       in

@@ -16,6 +16,22 @@
     Message ids wrap at 2^16, bounding one connection to 65535 in-flight
     messages — ample for simulation workloads. *)
 
+type header = { window : int; msg_id : int; frag_off : int; msg_len : int }
+
+val header_bytes : int
+
+val write_header : header -> Bitkit.Bitio.Writer.t -> unit
+(** Append just the header bits — the {!Bitkit.Wirebuf.push} form used on
+    the zero-copy transmit path. *)
+
+val encode_header : header -> payload:string -> string
+(** Legacy string codec (header + copied payload), kept as the reference
+    the slice decoder is property-tested against. *)
+
+val decode_header_slice : Bitkit.Slice.t -> (header * Bitkit.Slice.t) option
+(** Peel the header off a slice view; the returned payload is a narrowed
+    view of the input (no copy). [None] on truncation. *)
+
 type up_req = [ `Connect | `Listen | `Send of string | `Close ]
 
 type up_ind =

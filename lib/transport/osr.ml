@@ -204,7 +204,12 @@ let try_send t c =
     else if want = 0 || nagled || (room < want && in_flight > 0) then continue := false
     else begin
       let payload = Outbuf.take cn.outbuf want in
-      let osr_pdu = Segment.encode_osr (my_header t cn) ~payload in
+      let osr_pdu =
+        Bitkit.Wirebuf.push
+          (Bitkit.Wirebuf.of_string payload)
+          ~owner:"osr"
+          (Segment.write_osr (my_header t cn))
+      in
       Sublayer.Stats.incr t.ctrs.c_segments_out;
       note_segment t cn ~off:cn.next_off ~len:want;
       acts := `Transmit (cn.next_off, want, osr_pdu) :: !acts;
@@ -335,7 +340,7 @@ let handle_down_ind t (ind : down_ind) =
         (Up `Established :: Down (`Set_block (block t c)) :: send_acts) @ fin_acts )
   | `Established, Some _ -> (t, [ Note "duplicate establishment ignored" ])
   | `Segment (offset, osr_pdu), Some c -> (
-      match Segment.decode_osr osr_pdu with
+      match Segment.decode_osr_slice osr_pdu with
       | None -> (t, [ Note "undecodable osr pdu dropped" ])
       | Some (hdr, payload) ->
           let c = { c with peer_window = hdr.Segment.window } in
@@ -344,7 +349,9 @@ let handle_down_ind t (ind : down_ind) =
           let c =
             if hdr.Segment.ecn_ce then { c with last_ce = t.now () } else c
           in
-          let c, acts = accept_segment t c offset payload in
+          (* The app boundary: the payload slice materialises to an owned
+             string here, the receive path's one copy. *)
+          let c, acts = accept_segment t c offset (Bitkit.Slice.to_string payload) in
           let acts =
             if hdr.Segment.ecn_ce then acts @ [ Down (`Set_block (block t c)) ]
             else acts
@@ -352,7 +359,7 @@ let handle_down_ind t (ind : down_ind) =
           ({ t with conn = Some c }, acts))
   | `Acked (upto, block_bytes, rtt), Some c ->
       let c =
-        match Segment.decode_osr block_bytes with
+        match Segment.decode_osr_slice block_bytes with
         | Some (hdr, _) ->
             let c =
               if hdr.Segment.ecn_echo && t.now () -. c.last_ecn_reaction > echo_period
@@ -399,7 +406,12 @@ let handle_timer t Persist =
       (* 1-byte window probe; the ack it provokes carries the current
          window. *)
       let payload = Outbuf.take c.outbuf 1 in
-      let osr_pdu = Segment.encode_osr (my_header t c) ~payload in
+      let osr_pdu =
+        Bitkit.Wirebuf.push
+          (Bitkit.Wirebuf.of_string payload)
+          ~owner:"osr"
+          (Segment.write_osr (my_header t c))
+      in
       Sublayer.Stats.incr t.ctrs.c_segments_out;
       note_segment t c ~off:c.next_off ~len:1;
       let c = { c with next_off = c.next_off + 1 } in

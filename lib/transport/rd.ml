@@ -33,7 +33,7 @@ let counters_in sc =
 type sent = {
   s_off : int;
   s_len : int;
-  s_pdu : string;
+  s_pdu : Bitkit.Wirebuf.t;  (* OSR's wirebuf; RD pushes its header per (re)send *)
   s_sent_at : float;
   s_retx : bool;
   s_sacked : bool;
@@ -137,13 +137,25 @@ let pure_ack t c =
     has_ack = true;
     sacks = rcv_sacks t c }
 
+(* [push] is persistent, so stamping a fresh RD header on the stored OSR
+   wirebuf at every (re)transmit costs one cons and never touches the
+   payload; the header is recomputed so retransmits carry the current
+   cumulative ack and SACK view. *)
 let send_data t c sent =
   Sublayer.Stats.incr t.ctrs.c_segments_sent;
-  Down (`Pdu (Segment.encode_rd (data_segment t c sent) ~payload:sent.s_pdu))
+  Down
+    (`Pdu
+      (Bitkit.Wirebuf.push sent.s_pdu ~owner:"rd"
+         (Segment.write_rd (data_segment t c sent))))
 
 let send_ack t c =
   Sublayer.Stats.incr t.ctrs.c_acks_only;
-  Down (`Pdu (Segment.encode_rd (pure_ack t c) ~payload:c.block))
+  Down
+    (`Pdu
+      (Bitkit.Wirebuf.push
+         (Bitkit.Wirebuf.of_string c.block)
+         ~owner:"rd"
+         (Segment.write_rd (pure_ack t c))))
 
 let update_rtt c sample cfg =
   let srtt, rttvar =
@@ -237,7 +249,7 @@ let handle_data t c (rd : Segment.rd) osr_pdu =
   let offset = seq_abs - c.isn_remote - 1 in
   (* RD cannot know the upper sublayer's header size (T3), so the only
      sanity check available is that the claimed extent fits in the PDU. *)
-  if offset < 0 || rd.Segment.len > String.length osr_pdu then
+  if offset < 0 || rd.Segment.len > Bitkit.Slice.length osr_pdu then
     (c, [ Note "implausible data segment dropped" ])
   else begin
     let before = Ranges.cumulative c.rcv in
@@ -412,7 +424,7 @@ let handle_down_ind t (ind : down_ind) =
       ({ t with conn = None }, [ Cancel_timer Rto; Cancel_timer Ack_delay; Up `Reset ])
   | `Pdu pdu ->
       with_conn t (fun c ->
-          match Segment.decode_rd pdu with
+          match Segment.decode_rd_slice pdu with
           | None -> (t, [ Note "undecodable rd pdu dropped" ])
           | Some (rd, osr_pdu) ->
               let c, acts1 =

@@ -32,10 +32,10 @@ let initial ?stats ?span ~key ~local_port ~remote_port () =
 let records_sent t = Sublayer.Stats.value t.c_sent
 let auth_failures t = Sublayer.Stats.value t.c_failures
 
-type up_req = string
-type up_ind = string
-type down_req = string
-type down_ind = string
+type up_req = Bitkit.Wirebuf.t
+type up_ind = Bitkit.Slice.t
+type down_req = Bitkit.Wirebuf.t
+type down_ind = Bitkit.Slice.t
 type timer = Nothing.t
 
 let le64 v = String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xFF))
@@ -81,17 +81,20 @@ let open_ t record =
            ciphertext)
   end
 
+(* Encryption transforms every byte, so this sublayer is a forced
+   materialisation point either way: the accumulated wirebuf is emitted,
+   sealed, and re-wrapped as the payload of a fresh wirebuf for DM. *)
 let handle_up_req t pdu =
-  let t, record = seal t pdu in
+  let t, record = seal t (Bitkit.Wirebuf.to_string pdu) in
   Sublayer.Span.instant t.sp
     ~detail:(Printf.sprintf "seq=%d" (t.seq - 1)) "seal";
-  (t, [ Down record ])
+  (t, [ Down (Bitkit.Wirebuf.of_string record) ])
 
 let handle_down_ind t record =
-  match open_ t record with
+  match open_ t (Bitkit.Slice.to_string record) with
   | Some pdu ->
       Sublayer.Span.instant t.sp "open";
-      (t, [ Up pdu ])
+      (t, [ Up (Bitkit.Slice.of_string pdu) ])
   | None ->
       Sublayer.Span.instant t.sp "auth_fail";
       (t, [ Note "record failed authentication; dropped" ])

@@ -5,7 +5,8 @@
     PDU above the ports.
 
     Insertion is the strongest form of the replaceability claim: because
-    this module's up and down ports are both opaque byte strings,
+    this module's up and down ports are the same opaque wirebuf/slice
+    pair every other sublayer crossing uses,
     [Machine.Stack (Cm) (Machine.Stack (Rec) (Dm))] composes with
     {e zero} changes to DM, CM, RD or OSR — none of them can tell the
     records are encrypted (test T3: the record fields are invisible bits
@@ -47,8 +48,8 @@ val open_ : t -> string -> string option
 include
   Sublayer.Machine.S
     with type t := t
-     and type up_req = string
-     and type up_ind = string
-     and type down_req = string
-     and type down_ind = string
+     and type up_req = Bitkit.Wirebuf.t
+     and type up_ind = Bitkit.Slice.t
+     and type down_req = Bitkit.Wirebuf.t
+     and type down_ind = Bitkit.Slice.t
      and type timer = Sublayer.Machine.Nothing.t

@@ -1,7 +1,16 @@
 module W = Bitkit.Bitio.Writer
 module R = Bitkit.Bitio.Reader
+module Slice = Bitkit.Slice
+module Wirebuf = Bitkit.Wirebuf
 
 let catch_truncated f = match f () with v -> Some v | exception R.Truncated -> None
+
+(* Each sublayer's codec comes in three forms sharing one header writer:
+   [write_x] appends just the header bits (the wirebuf push used by the
+   zero-copy transmit path), [encode_x] is the legacy string codec
+   (header + copied payload), and [decode_x_slice]/[decode_x] peel the
+   header off a slice/string, the slice form returning a zero-copy view
+   of the rest. *)
 
 (* DM: src_port:16 dst_port:16 *)
 
@@ -9,23 +18,36 @@ type dm = { src_port : int; dst_port : int }
 
 let dm_header_bytes = 4
 
+let write_dm t w =
+  W.uint16 w t.src_port;
+  W.uint16 w t.dst_port
+
 let encode_dm t ~payload =
   let w = W.create () in
-  W.uint16 w t.src_port;
-  W.uint16 w t.dst_port;
+  write_dm t w;
   W.bytes w payload;
   W.contents w
+
+let read_dm r =
+  let src_port = R.uint16 r in
+  let dst_port = R.uint16 r in
+  { src_port; dst_port }
 
 let decode_dm s =
   catch_truncated (fun () ->
       let r = R.of_string s in
-      let src_port = R.uint16 r in
-      let dst_port = R.uint16 r in
-      ({ src_port; dst_port }, R.rest r))
+      let h = read_dm r in
+      (h, R.rest r))
 
-let peek_ports s =
+let decode_dm_slice sl =
   catch_truncated (fun () ->
-      let r = R.of_string s in
+      let r = R.of_slice sl in
+      let h = read_dm r in
+      (h, R.rest_slice r))
+
+let peek_ports sl =
+  catch_truncated (fun () ->
+      let r = R.of_slice sl in
       let src = R.uint16 r in
       let dst = R.uint16 r in
       (src, dst))
@@ -40,8 +62,7 @@ type cm = { flags : cm_flags; isn_local : int; isn_remote : int }
 
 let cm_header_bytes = 9
 
-let encode_cm t ~payload =
-  let w = W.create () in
+let write_cm t w =
   let f = t.flags in
   W.bit w f.syn;
   W.bit w f.ack;
@@ -49,21 +70,35 @@ let encode_cm t ~payload =
   W.bit w f.rst;
   W.bits w 0 4;
   W.uint32 w (t.isn_local land 0xFFFFFFFF);
-  W.uint32 w (t.isn_remote land 0xFFFFFFFF);
+  W.uint32 w (t.isn_remote land 0xFFFFFFFF)
+
+let encode_cm t ~payload =
+  let w = W.create () in
+  write_cm t w;
   W.bytes w payload;
   W.contents w
+
+let read_cm r =
+  let syn = R.bit r in
+  let ack = R.bit r in
+  let fin = R.bit r in
+  let rst = R.bit r in
+  let _pad = R.bits r 4 in
+  let isn_local = R.uint32 r in
+  let isn_remote = R.uint32 r in
+  { flags = { syn; ack; fin; rst }; isn_local; isn_remote }
 
 let decode_cm s =
   catch_truncated (fun () ->
       let r = R.of_string s in
-      let syn = R.bit r in
-      let ack = R.bit r in
-      let fin = R.bit r in
-      let rst = R.bit r in
-      let _pad = R.bits r 4 in
-      let isn_local = R.uint32 r in
-      let isn_remote = R.uint32 r in
-      ({ flags = { syn; ack; fin; rst }; isn_local; isn_remote }, R.rest r))
+      let h = read_cm r in
+      (h, R.rest r))
+
+let decode_cm_slice sl =
+  catch_truncated (fun () ->
+      let r = R.of_slice sl in
+      let h = read_cm r in
+      (h, R.rest_slice r))
 
 (* RD: seq:32 ack:32 flags:8 (has_data|has_ack|sack_count:2|0000),
    then sack_count * (start:32 end:32) *)
@@ -81,9 +116,10 @@ type rd = {
 
 let rd_header_bytes = 11
 
-let encode_rd t ~payload =
-  let sacks = if List.length t.sacks > 3 then invalid_arg "encode_rd: >3 sacks" else t.sacks in
-  let w = W.create () in
+let write_rd t w =
+  let sacks =
+    if List.length t.sacks > 3 then invalid_arg "encode_rd: >3 sacks" else t.sacks
+  in
   W.uint32 w (t.seq land 0xFFFFFFFF);
   W.uint32 w (t.ack land 0xFFFFFFFF);
   W.uint16 w (t.len land 0xFFFF);
@@ -95,27 +131,41 @@ let encode_rd t ~payload =
     (fun b ->
       W.uint32 w (b.sack_start land 0xFFFFFFFF);
       W.uint32 w (b.sack_end land 0xFFFFFFFF))
-    sacks;
+    sacks
+
+let encode_rd t ~payload =
+  let w = W.create () in
+  write_rd t w;
   W.bytes w payload;
   W.contents w
+
+let read_rd r =
+  let seq = R.uint32 r in
+  let ack = R.uint32 r in
+  let len = R.uint16 r in
+  let has_data = R.bit r in
+  let has_ack = R.bit r in
+  let nsacks = R.bits r 2 in
+  let _pad = R.bits r 4 in
+  let sacks =
+    List.init nsacks (fun _ ->
+        let sack_start = R.uint32 r in
+        let sack_end = R.uint32 r in
+        { sack_start; sack_end })
+  in
+  { seq; ack; len; has_data; has_ack; sacks }
 
 let decode_rd s =
   catch_truncated (fun () ->
       let r = R.of_string s in
-      let seq = R.uint32 r in
-      let ack = R.uint32 r in
-      let len = R.uint16 r in
-      let has_data = R.bit r in
-      let has_ack = R.bit r in
-      let nsacks = R.bits r 2 in
-      let _pad = R.bits r 4 in
-      let sacks =
-        List.init nsacks (fun _ ->
-            let sack_start = R.uint32 r in
-            let sack_end = R.uint32 r in
-            { sack_start; sack_end })
-      in
-      ({ seq; ack; len; has_data; has_ack; sacks }, R.rest r))
+      let h = read_rd r in
+      (h, R.rest r))
+
+let decode_rd_slice sl =
+  catch_truncated (fun () ->
+      let r = R.of_slice sl in
+      let h = read_rd r in
+      (h, R.rest_slice r))
 
 (* OSR: window:16 flags:8 (ecn_echo|ecn_ce|000000) *)
 
@@ -125,23 +175,36 @@ let default_osr = { window = 0xFFFF; ecn_echo = false; ecn_ce = false }
 
 let osr_header_bytes = 3
 
-let encode_osr t ~payload =
-  let w = W.create () in
+let write_osr t w =
   W.uint16 w t.window;
   W.bit w t.ecn_echo;
   W.bit w t.ecn_ce;
-  W.bits w 0 6;
+  W.bits w 0 6
+
+let encode_osr t ~payload =
+  let w = W.create () in
+  write_osr t w;
   W.bytes w payload;
   W.contents w
+
+let read_osr r =
+  let window = R.uint16 r in
+  let ecn_echo = R.bit r in
+  let ecn_ce = R.bit r in
+  let _pad = R.bits r 6 in
+  { window; ecn_echo; ecn_ce }
 
 let decode_osr s =
   catch_truncated (fun () ->
       let r = R.of_string s in
-      let window = R.uint16 r in
-      let ecn_echo = R.bit r in
-      let ecn_ce = R.bit r in
-      let _pad = R.bits r 6 in
-      ({ window; ecn_echo; ecn_ce }, R.rest r))
+      let h = read_osr r in
+      (h, R.rest r))
+
+let decode_osr_slice sl =
+  catch_truncated (fun () ->
+      let r = R.of_slice sl in
+      let h = read_osr r in
+      (h, R.rest_slice r))
 
 let header_bytes = dm_header_bytes + cm_header_bytes + rd_header_bytes + osr_header_bytes
 
@@ -162,25 +225,43 @@ let layout =
       f "osr_flags" "osr" 208 8;
     ]
 
+(* T3 asserted on the real wire path: with the audit armed (tests), every
+   emitted wirebuf's header stack must match the registered bit
+   ownership. Eager mode flattens headers away, so there is nothing to
+   audit there — the wire bytes are identical by construction. *)
+let audit_tx = ref false
+
+let audit_wirebuf wb =
+  if !audit_tx then begin
+    match Wirebuf.appendices wb with
+    | [] -> ()
+    | appendix -> Sublayer.Layout.check_appendix_exn layout appendix
+  end
+
 (* Rewrite the OSR header's CE bit inside a full wire segment — what an
    ECN-capable router does to a packet it would otherwise have dropped.
    Non-data segments (CM controls) are returned unchanged. *)
 let mark_ce wire =
-  match decode_dm wire with
+  match decode_dm_slice wire with
   | None -> wire
   | Some (dm, rest) -> (
-      match decode_cm rest with
+      match decode_cm_slice rest with
       | None -> wire
       | Some (cm, rd_pdu) ->
           if cm.flags <> no_cm_flags then wire
           else begin
-            match decode_rd rd_pdu with
+            match decode_rd_slice rd_pdu with
             | None -> wire
             | Some (rd, osr_pdu) -> (
-                match decode_osr osr_pdu with
+                match decode_osr_slice osr_pdu with
                 | None -> wire
                 | Some (osr, payload) ->
-                    let osr_pdu = encode_osr { osr with ecn_ce = true } ~payload in
-                    let rd_pdu = encode_rd rd ~payload:osr_pdu in
-                    encode_dm dm ~payload:(encode_cm cm ~payload:rd_pdu))
+                    Wirebuf.of_slice payload
+                    |> (fun wb ->
+                         Wirebuf.push wb ~owner:"osr"
+                           (write_osr { osr with ecn_ce = true }))
+                    |> (fun wb -> Wirebuf.push wb ~owner:"rd" (write_rd rd))
+                    |> (fun wb -> Wirebuf.push wb ~owner:"cm" (write_cm cm))
+                    |> (fun wb -> Wirebuf.push wb ~owner:"dm" (write_dm dm))
+                    |> Wirebuf.to_slice)
           end)

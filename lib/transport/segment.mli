@@ -6,6 +6,13 @@
     after them as an opaque payload — test T3 holds by construction, and
     {!layout} lets tests audit the bit-level field map.
 
+    Each codec comes in three forms sharing one header writer: [write_x]
+    appends just the header bits to a caller-supplied writer (what a
+    {!Bitkit.Wirebuf} push uses on the zero-copy transmit path),
+    [encode_x] is the legacy string codec (header plus a copied payload),
+    and [decode_x_slice]/[decode_x] peel the header off a slice/string —
+    the slice form hands back a zero-copy view of the rest.
+
     Sequence and acknowledgement numbers are absolute 32-bit values
     ([ISN + 1 + byte offset], as in standard TCP) so that the {!Shim} can
     translate to the RFC 793 header without arithmetic on hidden state. *)
@@ -15,9 +22,11 @@
 type dm = { src_port : int; dst_port : int }
 
 val dm_header_bytes : int
+val write_dm : dm -> Bitkit.Bitio.Writer.t -> unit
 val encode_dm : dm -> payload:string -> string
 val decode_dm : string -> (dm * string) option
-val peek_ports : string -> (int * int) option
+val decode_dm_slice : Bitkit.Slice.t -> (dm * Bitkit.Slice.t) option
+val peek_ports : Bitkit.Slice.t -> (int * int) option
 (** Ports of a wire segment without consuming it (the mux's view). *)
 
 (** {1 CM: connection management} *)
@@ -33,8 +42,10 @@ type cm = {
 }
 
 val cm_header_bytes : int
+val write_cm : cm -> Bitkit.Bitio.Writer.t -> unit
 val encode_cm : cm -> payload:string -> string
 val decode_cm : string -> (cm * string) option
+val decode_cm_slice : Bitkit.Slice.t -> (cm * Bitkit.Slice.t) option
 
 (** {1 RD: reliable delivery} *)
 
@@ -53,8 +64,10 @@ type rd = {
 val rd_header_bytes : int
 (** Fixed part, without SACK blocks. *)
 
+val write_rd : rd -> Bitkit.Bitio.Writer.t -> unit
 val encode_rd : rd -> payload:string -> string
 val decode_rd : string -> (rd * string) option
+val decode_rd_slice : Bitkit.Slice.t -> (rd * Bitkit.Slice.t) option
 
 (** {1 OSR: ordering, segmenting and rate control} *)
 
@@ -66,10 +79,12 @@ type osr = {
 
 val default_osr : osr
 val osr_header_bytes : int
+val write_osr : osr -> Bitkit.Bitio.Writer.t -> unit
 val encode_osr : osr -> payload:string -> string
 val decode_osr : string -> (osr * string) option
+val decode_osr_slice : Bitkit.Slice.t -> (osr * Bitkit.Slice.t) option
 
-val mark_ce : string -> string
+val mark_ce : Bitkit.Slice.t -> Bitkit.Slice.t
 (** Set the CE (congestion-experienced) bit in the OSR header of a full
     wire segment, leaving everything else intact — the action of an
     ECN-capable queue. Control segments pass through unchanged. Wire this
@@ -84,3 +99,11 @@ val layout : Sublayer.Layout.t
 
 val header_bytes : int
 (** Total fixed header: [dm + cm + rd + osr]. *)
+
+val audit_tx : bool ref
+(** With the audit armed, {!audit_wirebuf} (called by DM on every
+    transmitted segment) checks the wirebuf's header stack against
+    {!layout} via {!Sublayer.Layout.check_appendix_exn} — T3 asserted on
+    the real wire path. Off by default; tests arm it. *)
+
+val audit_wirebuf : Bitkit.Wirebuf.t -> unit

@@ -199,13 +199,21 @@ let factory =
       (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let shim = create () in
         let inner_ref = ref None in
+        (* The shim's codecs translate between formats, which means
+           re-encoding either way — so it bridges the slice boundary by
+           materialising; translation is inherently a copying path. *)
         let pump () =
           match !inner_ref with
           | None -> ()
-          | Some inner -> List.iter inner.Host.ep_from_wire (drain_inbound shim)
+          | Some inner ->
+              List.iter
+                (fun s -> inner.Host.ep_from_wire (Bitkit.Slice.of_string s))
+                (drain_inbound shim)
         in
         let inner_transmit seg =
-          List.iter transmit (sub_to_std shim seg);
+          List.iter
+            (fun s -> transmit (Bitkit.Slice.of_string s))
+            (sub_to_std shim (Bitkit.Slice.to_string seg));
           pump ()
         in
         let inner =
@@ -216,7 +224,9 @@ let factory =
         {
           Host.ep_from_wire =
             (fun wire ->
-              List.iter inner.Host.ep_from_wire (std_to_sub shim wire);
+              List.iter
+                (fun s -> inner.Host.ep_from_wire (Bitkit.Slice.of_string s))
+                (std_to_sub shim (Bitkit.Slice.to_string wire));
               pump ());
           ep_connect = inner.Host.ep_connect;
           ep_listen = inner.Host.ep_listen;

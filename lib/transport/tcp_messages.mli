@@ -14,7 +14,7 @@ val create :
   Config.t ->
   local_port:int ->
   remote_port:int ->
-  transmit:(string -> unit) ->
+  transmit:(Bitkit.Slice.t -> unit) ->
   events:(Msg.up_ind -> unit) ->
   t
 
@@ -25,7 +25,7 @@ val send : t -> string -> unit
     exactly once, but not necessarily in send order. *)
 
 val close : t -> unit
-val from_wire : t -> string -> unit
+val from_wire : t -> Bitkit.Slice.t -> unit
 val messages_sent : t -> int
 val messages_delivered : t -> int
 val finished : t -> bool

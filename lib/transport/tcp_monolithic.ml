@@ -501,10 +501,13 @@ let factory =
     make =
       (fun ?stats:_ ?tracer:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         (* The monolith is deliberately opaque: no per-sublayer counters
-           or spans exist to register (that contrast is the point of E19). *)
+           or spans exist to register (that contrast is the point of E19).
+           It also keeps its string-based wire handling — it is the
+           copying baseline — so the slice boundary is bridged here. *)
+        let transmit s = transmit (Bitkit.Slice.of_string s) in
         let t = create engine ~name cfg ~local_port ~remote_port ~transmit ~events in
         {
-          Host.ep_from_wire = from_wire t;
+          Host.ep_from_wire = (fun sl -> from_wire t (Bitkit.Slice.to_string sl));
           ep_connect = (fun () -> connect t);
           ep_listen = (fun () -> listen t);
           ep_write = write t;

@@ -15,7 +15,7 @@ val create :
   Config.t ->
   local_port:int ->
   remote_port:int ->
-  transmit:(string -> unit) ->
+  transmit:(Bitkit.Slice.t -> unit) ->
   events:(Iface.app_ind -> unit) ->
   t
 
@@ -28,7 +28,7 @@ val read : t -> int -> unit
     credit; {!Host} calls this automatically unless auto-read is off). *)
 
 val close : t -> unit
-val from_wire : t -> string -> unit
+val from_wire : t -> Bitkit.Slice.t -> unit
 val stream_finished : t -> bool
 val records_sent : t -> int
 val auth_failures : t -> int

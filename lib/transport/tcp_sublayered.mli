@@ -14,7 +14,7 @@ val create :
   Config.t ->
   local_port:int ->
   remote_port:int ->
-  transmit:(string -> unit) ->
+  transmit:(Bitkit.Slice.t -> unit) ->
   events:(Iface.app_ind -> unit) ->
   t
 (** [transmit] sends a wire segment; [events] receives application-level
@@ -34,7 +34,7 @@ val read : t -> int -> unit
     credit; {!Host} calls this automatically unless auto-read is off). *)
 
 val close : t -> unit
-val from_wire : t -> string -> unit
+val from_wire : t -> Bitkit.Slice.t -> unit
 
 (** Inspection (used by tests and benches). *)
 

@@ -14,7 +14,7 @@ val create :
   Config.t ->
   local_port:int ->
   remote_port:int ->
-  transmit:(string -> unit) ->
+  transmit:(Bitkit.Slice.t -> unit) ->
   events:(Iface.app_ind -> unit) ->
   t
 (** [idle_timeout] defaults to 6 s of virtual time (above the maximum RTO, so loss recovery is never mistaken for a dead peer). *)
@@ -28,7 +28,7 @@ val read : t -> int -> unit
     credit; {!Host} calls this automatically unless auto-read is off). *)
 
 val close : t -> unit
-val from_wire : t -> string -> unit
+val from_wire : t -> Bitkit.Slice.t -> unit
 val cm_phase : t -> string
 val stream_finished : t -> bool
 

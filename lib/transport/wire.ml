@@ -13,8 +13,12 @@ type t = {
 
 let header_bytes = 20
 
-let encode_raw t ~payload ~checksum =
-  let w = Bitkit.Bitio.Writer.create () in
+(* Single-pass encode: the checksum field is reserved while the header
+   and payload stream through, then patched with the RFC 1071 sum over
+   the whole buffer (the reserved zeros contribute nothing), so no second
+   encoding pass is needed. *)
+let encode t ~payload =
+  let w = Bitkit.Bitio.Writer.create ~size:(header_bytes + String.length payload) () in
   let open Bitkit.Bitio.Writer in
   uint16 w t.src_port;
   uint16 w t.dst_port;
@@ -29,14 +33,41 @@ let encode_raw t ~payload ~checksum =
   bit w t.flags.syn;
   bit w t.flags.fin;
   uint16 w t.window;
-  uint16 w checksum;
+  let cks = reserve_uint16 w in
   uint16 w 0 (* urgent pointer *);
   bytes w payload;
+  patch_uint16 w cks (internet_checksum w);
   contents w
 
-let encode t ~payload =
-  let raw = encode_raw t ~payload ~checksum:0 in
-  encode_raw t ~payload ~checksum:(Bitkit.Checksum.internet raw)
+let decode_fields r =
+  let open Bitkit.Bitio.Reader in
+  let src_port = uint16 r in
+  let dst_port = uint16 r in
+  let seq = uint32 r in
+  let ack = uint32 r in
+  let data_offset = bits r 4 in
+  let _reserved = bits r 6 in
+  let urg = bit r in
+  let ackf = bit r in
+  let psh = bit r in
+  let rst = bit r in
+  let syn = bit r in
+  let fin = bit r in
+  let window = uint16 r in
+  let _checksum = uint16 r in
+  let _urgent = uint16 r in
+  if data_offset < 5 then None
+  else begin
+    (* Skip any options. *)
+    let opts = 4 * (data_offset - 5) in
+    if 8 * opts > remaining_bits r then None
+    else begin
+      let (_ : string) = bytes r opts in
+      Some
+        { src_port; dst_port; seq; ack;
+          flags = { urg; ack = ackf; psh; rst; syn; fin }; window }
+    end
+  end
 
 let decode s =
   if String.length s < header_bytes then None
@@ -44,43 +75,35 @@ let decode s =
   else begin
     match
       let r = Bitkit.Bitio.Reader.of_string s in
-      let open Bitkit.Bitio.Reader in
-      let src_port = uint16 r in
-      let dst_port = uint16 r in
-      let seq = uint32 r in
-      let ack = uint32 r in
-      let data_offset = bits r 4 in
-      let _reserved = bits r 6 in
-      let urg = bit r in
-      let ackf = bit r in
-      let psh = bit r in
-      let rst = bit r in
-      let syn = bit r in
-      let fin = bit r in
-      let window = uint16 r in
-      let _checksum = uint16 r in
-      let _urgent = uint16 r in
-      if data_offset < 5 then None
-      else begin
-        (* Skip any options. *)
-        let opts = 4 * (data_offset - 5) in
-        if 8 * opts > remaining_bits r then None
-        else begin
-          let (_ : string) = bytes r opts in
-          Some
-            ( { src_port; dst_port; seq; ack;
-                flags = { urg; ack = ackf; psh; rst; syn; fin }; window },
-              rest r )
-        end
-      end
+      match decode_fields r with
+      | None -> None
+      | Some t -> Some (t, Bitkit.Bitio.Reader.rest r)
     with
     | v -> v
     | exception Bitkit.Bitio.Reader.Truncated -> None
   end
 
-let peek_ports s =
+let decode_slice sl =
+  if Bitkit.Slice.length sl < header_bytes then None
+  else if
+    Bitkit.Checksum.internet_sub sl.Bitkit.Slice.base ~pos:sl.Bitkit.Slice.off
+      ~len:sl.Bitkit.Slice.len
+    <> 0
+  then None
+  else begin
+    match
+      let r = Bitkit.Bitio.Reader.of_slice sl in
+      match decode_fields r with
+      | None -> None
+      | Some t -> Some (t, Bitkit.Bitio.Reader.rest_slice r)
+    with
+    | v -> v
+    | exception Bitkit.Bitio.Reader.Truncated -> None
+  end
+
+let peek_ports sl =
   match
-    let r = Bitkit.Bitio.Reader.of_string s in
+    let r = Bitkit.Bitio.Reader.of_slice sl in
     let src = Bitkit.Bitio.Reader.uint16 r in
     let dst = Bitkit.Bitio.Reader.uint16 r in
     (src, dst)

@@ -26,11 +26,16 @@ type t = {
 val header_bytes : int
 
 val encode : t -> payload:string -> string
-(** Fills in the checksum. *)
+(** Fills in the checksum, single pass: the field is reserved while the
+    header and payload stream through, then patched in place. *)
 
 val decode : string -> (t * string) option
 (** Validates the checksum; [None] for corrupt or short segments. *)
 
-val peek_ports : string -> (int * int) option
+val decode_slice : Bitkit.Slice.t -> (t * Bitkit.Slice.t) option
+(** Like {!decode}, validating the checksum in place over the viewed
+    bytes and returning the payload as a zero-copy view. *)
+
+val peek_ports : Bitkit.Slice.t -> (int * int) option
 
 val pp : Format.formatter -> t -> unit

@@ -380,7 +380,7 @@ let test_cm_timer_partition () =
                 ~payload:(Segment.encode_osr Segment.default_osr ~payload:"ghost")))
   in
   let before = Host.received_length srv1 in
-  Host.from_wire b stale;
+  Host.from_wire b (Bitkit.Slice.of_string stale);
   check Alcotest.int "stale incarnation rejected" before (Host.received_length srv1)
 
 let () =

@@ -105,21 +105,25 @@ let test_transport_over_datalink () =
   let client = ref None and server = ref None in
   let ch =
     Transport.Host.create engine ~name:"client"
-      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.a w)
+      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.a (Bitkit.Slice.to_string w))
       ()
   in
   let sh =
     Transport.Host.create engine ~name:"server"
-      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.b w)
+      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.b (Bitkit.Slice.to_string w))
       ()
   in
   client := Some ch;
   server := Some sh;
   (* The data-link queues deliver transport segments in order. *)
   let rec pump_loop () =
-    Queue.iter (Transport.Host.from_wire ch) link.Datalink.Stack.received_at_a;
+    Queue.iter
+      (fun w -> Transport.Host.from_wire ch (Bitkit.Slice.of_string w))
+      link.Datalink.Stack.received_at_a;
     Queue.clear link.Datalink.Stack.received_at_a;
-    Queue.iter (Transport.Host.from_wire sh) link.Datalink.Stack.received_at_b;
+    Queue.iter
+      (fun w -> Transport.Host.from_wire sh (Bitkit.Slice.of_string w))
+      link.Datalink.Stack.received_at_b;
     Queue.clear link.Datalink.Stack.received_at_b;
     ignore (Sim.Engine.schedule engine ~after:0.001 pump_loop)
   in

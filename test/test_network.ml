@@ -98,24 +98,24 @@ let prop_fib_lpm_reference =
 (* --- Packet --- *)
 
 let test_packet_ttl () =
-  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) (Bitkit.Slice.of_string "x") in
   check Alcotest.int "default ttl" 64 p.Packet.ttl;
   check Alcotest.int "size" 13 (Packet.size p);
   (match Packet.decrement_ttl p with
   | Some p' -> check Alcotest.int "decremented" 63 p'.Packet.ttl
   | None -> Alcotest.fail "ttl died early");
-  let dying = Packet.make ~ttl:1 ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  let dying = Packet.make ~ttl:1 ~src:(Addr.node 1) ~dst:(Addr.node 2) (Bitkit.Slice.of_string "x") in
   check Alcotest.bool "expires at 1" true (Packet.decrement_ttl dying = None)
 
 let test_packet_nonce () =
-  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
-  let q = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  let p = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) (Bitkit.Slice.of_string "x") in
+  let q = Packet.make ~src:(Addr.node 1) ~dst:(Addr.node 2) (Bitkit.Slice.of_string "x") in
   check Alcotest.bool "identical twins get distinct nonces" true
     (p.Packet.nonce <> q.Packet.nonce);
   (match Packet.decrement_ttl p with
   | Some p' -> check Alcotest.int "nonce survives forwarding" p.Packet.nonce p'.Packet.nonce
   | None -> Alcotest.fail "ttl died early");
-  let forged = Packet.make ~nonce:41 ~src:(Addr.node 1) ~dst:(Addr.node 2) "x" in
+  let forged = Packet.make ~nonce:41 ~src:(Addr.node 1) ~dst:(Addr.node 2) (Bitkit.Slice.of_string "x") in
   check Alcotest.int "explicit nonce kept" 41 forged.Packet.nonce
 
 (* Two identical payloads in flight between the same pair used to share
@@ -273,7 +273,7 @@ let test_forwarding_delivers () =
       Sim.Engine.run ~until:(Sim.Engine.now engine +. 2.) engine;
       for i = 0 to 6 do
         let inbox = Topology.received net ((i + 3) mod 7) in
-        if not (List.exists (fun p -> p.Packet.payload = Printf.sprintf "hi-%d" i) inbox)
+        if not (List.exists (fun p -> Bitkit.Slice.equal_string p.Packet.payload (Printf.sprintf "hi-%d" i)) inbox)
         then Alcotest.failf "%s: packet %d lost" pname i
       done;
       Topology.stop net)

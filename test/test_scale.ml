@@ -49,6 +49,34 @@ let test_backend_agreement () =
   Alcotest.(check bool) "end clocks equal" true
     (w.Sim.Workload.soak.Sim.Soak.vtime = h.Sim.Workload.soak.Sim.Soak.vtime)
 
+(* Partial partition at 1k flows: the links out of host 0 go dark for two
+   virtual seconds while the rest of the fabric keeps running. Every flow
+   must still deliver exactly — the partitioned ones by retransmitting
+   after the heal, the others without ever noticing. *)
+let test_partial_partition () =
+  let engine = Sim.Engine.create ~seed:15 () in
+  let partition = [ Sim.Faultplan.Partition { at = 0.5 }; Sim.Faultplan.Heal { at = 2.5 } ] in
+  let link_faults (src, dst) =
+    if src = 0 || dst = 0 then Some partition else None
+  in
+  let fabric =
+    Transport.Fabric.create engine ~hosts:8 ~link_faults
+      ~channel:(Sim.Channel.lossy 0.01) ~flows:1000 ~bytes:256 ()
+  in
+  let r =
+    Sim.Workload.run ~spacing:0.002 ~name:"partial-partition" ~engine
+      ~flows:1000
+      (Transport.Fabric.ops fabric)
+  in
+  if not (Sim.Workload.ok r) then
+    Alcotest.failf "partitioned workload not ok: %a" Sim.Workload.pp_report r;
+  Alcotest.(check int) "all 1k flows exact" r.Sim.Workload.flows
+    r.Sim.Workload.exact;
+  (* The partitioned flows cannot finish before the heal: a run that ends
+     earlier means the faults were never applied. *)
+  Alcotest.(check bool) "run outlives the partition" true
+    (r.Sim.Workload.soak.Sim.Soak.vtime > 2.5)
+
 let () =
   Alcotest.run "scale"
     [
@@ -61,5 +89,7 @@ let () =
           Alcotest.test_case "bit-reproducible" `Quick test_reproducible;
           Alcotest.test_case "wheel and heap agree" `Quick
             test_backend_agreement;
+          Alcotest.test_case "partial partition at 1k flows" `Quick
+            test_partial_partition;
         ] );
     ]

@@ -23,7 +23,7 @@ let test_dm_codec () =
       check Alcotest.bool "fields" true (got = dm);
       check Alcotest.string "payload" "rest" payload
   | None -> Alcotest.fail "decode failed");
-  check Alcotest.(option (pair int int)) "peek" (Some (1234, 80)) (Segment.peek_ports s);
+  check Alcotest.(option (pair int int)) "peek" (Some (1234, 80)) (Segment.peek_ports (Bitkit.Slice.of_string s));
   check Alcotest.bool "short rejected" true (Segment.decode_dm "\x01" = None)
 
 let test_cm_codec () =
@@ -299,10 +299,14 @@ let prop_ranges_model =
 let mk_cm () =
   Cm.initial Config.default ~isn:(Isn.counter ()) ~local_port:1 ~remote_port:2
 
+(* CM emits wirebufs downward; feeding them back in means crossing the
+   wire, i.e. flattening to a slice view. *)
+let wire_of wb = Bitkit.Wirebuf.to_slice wb
+
 let rec feed cm = function
   | [] -> (cm, [])
   | input :: rest ->
-      let cm, acts = Cm.handle_down_ind cm input in
+      let cm, acts = Cm.handle_down_ind cm (wire_of input) in
       let cm, more = feed cm rest in
       (cm, acts @ more)
 
@@ -316,7 +320,7 @@ let test_cm_handshake_pure () =
   let a, acts = Cm.handle_up_req a `Connect in
   check Alcotest.string "a syn-sent" "SYN_SENT" (Cm.phase_name a);
   let syn = List.hd (downs acts) in
-  let b, acts_b = Cm.handle_down_ind b syn in
+  let b, acts_b = Cm.handle_down_ind b (wire_of syn) in
   check Alcotest.string "b syn-rcvd" "SYN_RCVD" (Cm.phase_name b);
   let a, acts_a = feed a (downs acts_b) in
   check Alcotest.string "a established" "ESTABLISHED" (Cm.phase_name a);
@@ -332,7 +336,7 @@ let test_cm_rejects_old_incarnation () =
   let a = mk_cm () and b = mk_cm () in
   let b, _ = Cm.handle_up_req b `Listen in
   let a, acts = Cm.handle_up_req a `Connect in
-  let b, acts_b = Cm.handle_down_ind b (List.hd (downs acts)) in
+  let b, acts_b = Cm.handle_down_ind b (wire_of (List.hd (downs acts))) in
   let a, acts_a = feed a (downs acts_b) in
   let b, _ = feed b (downs acts_a) in
   let stale =
@@ -340,7 +344,7 @@ let test_cm_rejects_old_incarnation () =
       { Segment.flags = Segment.no_cm_flags; isn_local = 424242; isn_remote = 515151 }
       ~payload:"ghost"
   in
-  let _, acts = Cm.handle_down_ind b stale in
+  let _, acts = Cm.handle_down_ind b (Bitkit.Slice.of_string stale) in
   check Alcotest.bool "no Up for stale identity" true
     (List.for_all (function Sublayer.Machine.Up (`Pdu _) -> false | _ -> true) acts);
   ignore a
@@ -378,7 +382,7 @@ let test_cm_simultaneous_open () =
 let rst_sent acts =
   List.exists
     (fun s ->
-      match Segment.decode_cm s with
+      match Segment.decode_cm_slice (wire_of s) with
       | Some (cm, _) -> cm.Segment.flags.Segment.rst
       | None -> false)
     (downs acts)
@@ -390,7 +394,8 @@ let test_cm_malformed_handshake_rst () =
   let b = mk_cm () in
   let b, _ = Cm.handle_up_req b `Listen in
   let forged flags ~isn_local ~isn_remote payload =
-    Segment.encode_cm { Segment.flags; isn_local; isn_remote } ~payload
+    Bitkit.Slice.of_string
+      (Segment.encode_cm { Segment.flags; isn_local; isn_remote } ~payload)
   in
   (* A handshake ACK out of nowhere (no SYN first): dropped, no raise. *)
   let b, acts = Cm.handle_down_ind b
@@ -416,7 +421,7 @@ let test_cm_malformed_handshake_rst () =
   in
   check Alcotest.string "syn|fin rejected" "SYN_RCVD" (Cm.phase_name b);
   (* Undecodable bytes: dropped. *)
-  let b, _ = Cm.handle_down_ind b "\x00" in
+  let b, _ = Cm.handle_down_ind b (Bitkit.Slice.of_string "\x00") in
   check Alcotest.string "garbage rejected" "SYN_RCVD" (Cm.phase_name b);
   (* The handshake can never complete; exhausting the retries must abort
      with an RST on the wire and a reset indication upward — the seed
@@ -545,9 +550,9 @@ let test_peering_mixed_mechanisms () =
   let engine = Sim.Engine.create ~seed:11 () in
   let cfg_a = { Config.default with cc = Cc.cubic; isn = Config.Clock } in
   let cfg_b = { Config.default with cc = Cc.vegas; isn = Config.Hashed 5 } in
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
-  let ch dir = Sim.Channel.create engine (Sim.Channel.lossy 0.02) ~size:String.length
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let ch dir = Sim.Channel.create engine (Sim.Channel.lossy 0.02) ~size:Bitkit.Slice.length
       ~deliver:(fun s -> !dir s) () in
   let ab = ch to_b and ba = ch to_a in
   let a = Host.create engine ~config:cfg_a ~name:"A"
@@ -593,7 +598,7 @@ let test_mark_ce_rewrites_only_osr () =
       ~payload:rd
   in
   let wire = Segment.encode_dm { Segment.src_port = 1; dst_port = 2 } ~payload:cm in
-  let marked = Segment.mark_ce wire in
+  let marked = Bitkit.Slice.to_string (Segment.mark_ce (Bitkit.Slice.of_string wire)) in
   check Alcotest.bool "changed" true (marked <> wire);
   (match Segment.decode_dm marked with
   | Some (dm, rest) -> (
@@ -620,21 +625,22 @@ let test_mark_ce_rewrites_only_osr () =
              isn_remote = 0 }
            ~payload:"")
   in
-  check Alcotest.string "syn unchanged" syn (Segment.mark_ce syn)
+  check Alcotest.string "syn unchanged" syn
+    (Bitkit.Slice.to_string (Segment.mark_ce (Bitkit.Slice.of_string syn)))
 
 let ecn_transfer marking =
   let engine = Sim.Engine.create ~seed:5 () in
   let b_ref = ref None in
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let ab =
-    Sim.Channel.create engine { Sim.Channel.ideal with marking } ~size:String.length
+    Sim.Channel.create engine { Sim.Channel.ideal with marking } ~size:Bitkit.Slice.length
       ~mark:Segment.mark_ce
       ~deliver:(fun s -> !to_b s)
       ()
   in
   let ba =
-    Sim.Channel.create engine Sim.Channel.ideal ~size:String.length
+    Sim.Channel.create engine Sim.Channel.ideal ~size:Bitkit.Slice.length
       ~deliver:(fun s -> !to_a s)
       ()
   in
@@ -680,10 +686,10 @@ let test_ecn_marks_slow_sender_without_loss () =
 
 let msg_pair ~seed ~loss =
   let engine = Sim.Engine.create ~seed () in
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let ch dir =
-    Sim.Channel.create engine (Sim.Channel.lossy loss) ~size:String.length
+    Sim.Channel.create engine (Sim.Channel.lossy loss) ~size:Bitkit.Slice.length
       ~deliver:(fun s -> !dir s)
       ()
   in
@@ -825,10 +831,10 @@ let test_zero_window_survives_long_stall () =
 
 let test_window_shrinks_with_backlog () =
   let engine = Sim.Engine.create ~seed:84 () in
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let ch dir =
-    Sim.Channel.create engine Sim.Channel.ideal ~size:String.length
+    Sim.Channel.create engine Sim.Channel.ideal ~size:Bitkit.Slice.length
       ~deliver:(fun s -> !dir s) ()
   in
   let ab = ch to_b and ba = ch to_a in
@@ -941,7 +947,8 @@ let test_watson_rejects_stale_identity () =
   Tcp_watson.listen b;
   (* First contact with identity (111, 0). *)
   let seg ~isn_local ~isn_remote seq payload =
-    Segment.encode_dm { Segment.src_port = 1; dst_port = 80 }
+    Bitkit.Slice.of_string
+    @@ Segment.encode_dm { Segment.src_port = 1; dst_port = 80 }
       ~payload:
         (Segment.encode_cm
            { Segment.flags = Segment.no_cm_flags; isn_local; isn_remote }
@@ -966,10 +973,10 @@ let test_nagle_coalesces_tinygrams () =
     let config = { Config.default with nagle } in
     let engine = Sim.Engine.create ~seed:62 () in
     let channel = { Sim.Channel.ideal with delay = 0.01 } in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ch dir =
-      Sim.Channel.create engine channel ~size:String.length
+      Sim.Channel.create engine channel ~size:Bitkit.Slice.length
         ~deliver:(fun s -> !dir s) ()
     in
     let ab = ch to_b and ba = ch to_a in
@@ -1011,11 +1018,11 @@ let test_delayed_ack_halves_pure_acks () =
     let config = { Config.default with delayed_ack } in
     let engine = Sim.Engine.create ~seed:63 () in
     let b_ref = ref None in
-    let to_a = ref (fun (_ : string) -> ()) in
-    let to_b = ref (fun (_ : string) -> ()) in
+    let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
     let ch dir =
       Sim.Channel.create engine { Sim.Channel.ideal with delay = 0.005 }
-        ~size:String.length ~deliver:(fun s -> !dir s) ()
+        ~size:Bitkit.Slice.length ~deliver:(fun s -> !dir s) ()
     in
     let ab = ch to_b and ba = ch to_a in
     let received = Buffer.create 256 in
@@ -1171,12 +1178,12 @@ let test_secure_wrong_key_no_connection () =
 let test_secure_no_plaintext_on_wire () =
   let engine = Sim.Engine.create ~seed:53 () in
   let seen = Buffer.create 4096 in
-  let to_a = ref (fun (_ : string) -> ()) in
-  let to_b = ref (fun (_ : string) -> ()) in
+  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let ch dir =
-    Sim.Channel.create engine Sim.Channel.ideal ~size:String.length
+    Sim.Channel.create engine Sim.Channel.ideal ~size:Bitkit.Slice.length
       ~deliver:(fun s ->
-        Buffer.add_string seen s;
+        Buffer.add_string seen (Bitkit.Slice.to_string s);
         !dir s)
       ()
   in

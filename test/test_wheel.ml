@@ -136,6 +136,48 @@ let test_overflow_cancel_compact () =
     (List.rev !fired);
   Alcotest.(check bool) "compacted" true (Engine.compactions engine > 0)
 
+(* The O(1) [pending] counter must agree with the O(total) [pending_scan]
+   audit at every point of a randomized cancel storm — including double
+   cancels, cancel-after-fire, and cancels that land in the overflow
+   heap — on both backends. *)
+let test_pending_counter_audit () =
+  List.iter
+    (fun backend ->
+      let engine = Engine.create ~backend () in
+      let rng = Bitkit.Rng.create 99 in
+      let handles = ref [] in
+      for _round = 1 to 30 do
+        for _ = 1 to 1 + Bitkit.Rng.int rng 40 do
+          let h =
+            Engine.schedule engine
+              ~after:(Bitkit.Rng.float rng *. 4000.)
+              ignore
+          in
+          handles := h :: !handles
+        done;
+        (* Storm: cancel a random subset, then re-cancel some of the very
+           same handles (no-ops) and some already-fired ones. *)
+        List.iter
+          (fun h -> if Bitkit.Rng.coin rng 0.5 then Engine.cancel h)
+          !handles;
+        List.iter
+          (fun h -> if Bitkit.Rng.coin rng 0.2 then Engine.cancel h)
+          !handles;
+        if Bitkit.Rng.coin rng 0.5 then
+          Engine.run ~until:(Engine.now engine +. Bitkit.Rng.float rng) engine;
+        Alcotest.(check int)
+          (Printf.sprintf "counter = scan (%s)"
+             (match backend with `Wheel -> "wheel" | `Heap -> "heap"))
+          (Engine.pending_scan engine)
+          (Engine.pending engine)
+      done;
+      Engine.run engine;
+      Alcotest.(check int) "drained: counter = scan"
+        (Engine.pending_scan engine)
+        (Engine.pending engine);
+      Alcotest.(check int) "drained: counter = 0" 0 (Engine.pending engine))
+    [ `Wheel; `Heap ]
+
 (* A bounded run must not degrade the wheel: events scheduled after a
    long empty [run ~until] still fire in exact order. *)
 let test_schedule_after_bounded_run () =
@@ -171,6 +213,8 @@ let () =
             test_same_tick_ties;
           Alcotest.test_case "overflow cancel + compaction" `Quick
             test_overflow_cancel_compact;
+          Alcotest.test_case "pending counter survives cancel storms" `Quick
+            test_pending_counter_audit;
           Alcotest.test_case "schedule after bounded run" `Quick
             test_schedule_after_bounded_run;
           Alcotest.test_case "backend selection" `Quick test_default_backend;

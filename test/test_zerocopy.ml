@@ -1,0 +1,364 @@
+(* Property tests for the zero-copy data path: every sublayer's slice
+   decoder must agree with its legacy string codec on random inputs
+   (including truncated and garbage ones, without raising), the wirebuf
+   push path must emit bit-identical bytes to the string encoders, slice
+   decoding must be position-independent (a view into the middle of a
+   larger buffer decodes the same), and whole seeded runs must be
+   bit-identical between the copying (eager) and zero-copy (lazy) wirebuf
+   modes on both scheduler backends. *)
+
+open Transport
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let payload_gen = QCheck2.Gen.(string_size ~gen:char (0 -- 64))
+let garbage_gen = QCheck2.Gen.(string_size ~gen:char (0 -- 24))
+
+(* --- Generators for each sublayer's header --- *)
+
+let u16 = QCheck2.Gen.(0 -- 0xFFFF)
+let u32 = QCheck2.Gen.(0 -- 0xFFFFFFFF)
+
+let dm_gen =
+  QCheck2.Gen.(
+    map (fun (s, d) -> { Segment.src_port = s; dst_port = d }) (pair u16 u16))
+
+let cm_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((syn, ack, fin, rst), (il, ir)) ->
+        { Segment.flags = { syn; ack; fin; rst }; isn_local = il; isn_remote = ir })
+      (pair (quad bool bool bool bool) (pair u32 u32)))
+
+let rd_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((seq, ack, len), (has_data, has_ack), sacks) ->
+        { Segment.seq; ack; len; has_data; has_ack;
+          sacks =
+            List.map
+              (fun (a, b) -> { Segment.sack_start = a; sack_end = b })
+              sacks })
+      (triple (triple u32 u32 u16) (pair bool bool)
+         (list_size (0 -- 3) (pair u32 u32))))
+
+let osr_gen =
+  QCheck2.Gen.(
+    map
+      (fun (window, ecn_echo, ecn_ce) -> { Segment.window; ecn_echo; ecn_ce })
+      (triple u16 bool bool))
+
+let wire_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((sp, dp, seq, ack), (urg, a, psh, rst), (syn, fin, window)) ->
+        { Wire.src_port = sp; dst_port = dp; seq; ack;
+          flags = { Wire.urg; ack = a; psh; rst; syn; fin }; window })
+      (triple (quad u16 u16 u32 u32) (quad bool bool bool bool)
+         (triple bool bool u16)))
+
+let msg_gen =
+  QCheck2.Gen.(
+    map
+      (fun ((window, msg_id), (frag_off, msg_len)) ->
+        { Msg.window; msg_id; frag_off; msg_len })
+      (pair (pair u16 u16) (pair u16 u16)))
+
+(* Decode a slice that sits in the middle of a larger buffer, so any
+   confusion of absolute and view-relative offsets shows up. *)
+let offset_slice s =
+  let padded = "\xAA\xBB\xCC" ^ s ^ "\xDD" in
+  Bitkit.Slice.sub (Bitkit.Slice.of_string padded) ~pos:3 ~len:(String.length s)
+
+(* One sublayer codec: string decode, slice decode (at offset 0 and
+   mid-buffer), and the wirebuf push path must all tell the same story. *)
+let codec_props name hgen ~encode ~decode ~decode_slice ~write ~owner =
+  [ qtest (name ^ ": slice decode = string decode")
+      (QCheck2.Gen.pair hgen payload_gen)
+      (fun (h, p) ->
+        let s = encode h ~payload:p in
+        match (decode s, decode_slice (Bitkit.Slice.of_string s)) with
+        | Some (h1, p1), Some (h2, p2) ->
+            h1 = h && h2 = h && p1 = p && Bitkit.Slice.equal_string p2 p
+        | _ -> false);
+    qtest (name ^ ": mid-buffer slice decodes the same")
+      (QCheck2.Gen.pair hgen payload_gen)
+      (fun (h, p) ->
+        let s = encode h ~payload:p in
+        match decode_slice (offset_slice s) with
+        | Some (h', p') -> h' = h && Bitkit.Slice.equal_string p' p
+        | None -> false);
+    qtest (name ^ ": wirebuf push emits identical bytes")
+      (QCheck2.Gen.pair hgen payload_gen)
+      (fun (h, p) ->
+        let wb =
+          Bitkit.Wirebuf.push (Bitkit.Wirebuf.of_string p) ~owner (write h)
+        in
+        Bitkit.Wirebuf.to_string wb = encode h ~payload:p);
+    qtest (name ^ ": garbage never raises, decoders agree") garbage_gen
+      (fun s ->
+        match (decode s, decode_slice (Bitkit.Slice.of_string s)) with
+        | None, None -> true
+        | Some (h1, p1), Some (h2, p2) ->
+            h1 = h2 && Bitkit.Slice.equal_string p2 p1
+        | _ -> false);
+    qtest (name ^ ": truncation -> None without raising")
+      (QCheck2.Gen.pair hgen payload_gen)
+      (fun (h, p) ->
+        let s = encode h ~payload:p in
+        (* every strict prefix short of the fixed header must be rejected
+           the same way by both decoders *)
+        let ok = ref true in
+        for cut = 0 to String.length s - 1 do
+          let short = String.sub s 0 cut in
+          match (decode short, decode_slice (Bitkit.Slice.of_string short)) with
+          | None, None -> ()
+          | Some (h1, p1), Some (h2, p2) ->
+              if not (h1 = h2 && Bitkit.Slice.equal_string p2 p1) then ok := false
+          | _ -> ok := false
+        done;
+        !ok)
+  ]
+
+let dm_props =
+  codec_props "dm" dm_gen ~encode:Segment.encode_dm ~decode:Segment.decode_dm
+    ~decode_slice:Segment.decode_dm_slice ~write:Segment.write_dm ~owner:"dm"
+
+let cm_props =
+  codec_props "cm" cm_gen ~encode:Segment.encode_cm ~decode:Segment.decode_cm
+    ~decode_slice:Segment.decode_cm_slice ~write:Segment.write_cm ~owner:"cm"
+
+let rd_props =
+  codec_props "rd" rd_gen ~encode:Segment.encode_rd ~decode:Segment.decode_rd
+    ~decode_slice:Segment.decode_rd_slice ~write:Segment.write_rd ~owner:"rd"
+
+let osr_props =
+  codec_props "osr" osr_gen ~encode:Segment.encode_osr
+    ~decode:Segment.decode_osr ~decode_slice:Segment.decode_osr_slice
+    ~write:Segment.write_osr ~owner:"osr"
+
+let msg_props =
+  codec_props "msg" msg_gen ~encode:Msg.encode_header
+    ~decode:(fun s ->
+      match Msg.decode_header_slice (Bitkit.Slice.of_string s) with
+      | Some (h, p) -> Some (h, Bitkit.Slice.to_string p)
+      | None -> None)
+    ~decode_slice:Msg.decode_header_slice ~write:Msg.write_header ~owner:"msg"
+
+(* --- The RFC 793 wire codec (checksummed, so garbage mostly fails) --- *)
+
+let wire_props =
+  [ qtest "wire: slice decode = string decode"
+      (QCheck2.Gen.pair wire_gen payload_gen)
+      (fun (h, p) ->
+        let s = Wire.encode h ~payload:p in
+        match (Wire.decode s, Wire.decode_slice (Bitkit.Slice.of_string s)) with
+        | Some (h1, p1), Some (h2, p2) ->
+            h1 = h && h2 = h && p1 = p && Bitkit.Slice.equal_string p2 p
+        | _ -> false);
+    qtest "wire: mid-buffer slice decodes the same"
+      (QCheck2.Gen.pair wire_gen payload_gen)
+      (fun (h, p) ->
+        let s = Wire.encode h ~payload:p in
+        match Wire.decode_slice (offset_slice s) with
+        | Some (h', p') -> h' = h && Bitkit.Slice.equal_string p' p
+        | None -> false);
+    qtest "wire: garbage never raises, decoders agree" garbage_gen
+      (fun s ->
+        match (Wire.decode s, Wire.decode_slice (Bitkit.Slice.of_string s)) with
+        | None, None -> true
+        | Some (h1, p1), Some (h2, p2) ->
+            h1 = h2 && Bitkit.Slice.equal_string p2 p1
+        | _ -> false)
+  ]
+
+(* --- ARQ PDUs --- *)
+
+let arq_pdu_gen =
+  QCheck2.Gen.(
+    bind bool (fun is_data ->
+        if is_data then
+          map (fun (seq, p) -> Datalink.Arq.Data (seq, p)) (pair u16 payload_gen)
+        else map (fun seq -> Datalink.Arq.Ack seq) u16))
+
+let arq_agrees pdu rx =
+  match (pdu, rx) with
+  | Some (Datalink.Arq.Data (s1, p1)), Some (Datalink.Arq.Rx_data (s2, p2)) ->
+      s1 = s2 && Bitkit.Slice.equal_string p2 p1
+  | Some (Datalink.Arq.Ack s1), Some (Datalink.Arq.Rx_ack s2) -> s1 = s2
+  | None, None -> true
+  | _ -> false
+
+let arq_props =
+  [ qtest "arq: slice decode = string decode" arq_pdu_gen (fun pdu ->
+        let s = Datalink.Arq.encode_pdu pdu in
+        arq_agrees (Some pdu)
+          (Datalink.Arq.decode_pdu_slice (Bitkit.Slice.of_string s))
+        && arq_agrees (Datalink.Arq.decode_pdu s)
+             (Datalink.Arq.decode_pdu_slice (Bitkit.Slice.of_string s)));
+    qtest "arq: wirebuf forms emit identical bytes" arq_pdu_gen (fun pdu ->
+        let wb =
+          match pdu with
+          | Datalink.Arq.Data (seq, p) -> Datalink.Arq.data_wirebuf ~seq p
+          | Datalink.Arq.Ack seq -> Datalink.Arq.ack_wirebuf seq
+        in
+        Bitkit.Wirebuf.to_string wb = Datalink.Arq.encode_pdu pdu);
+    qtest "arq: garbage never raises, decoders agree" garbage_gen (fun s ->
+        arq_agrees (Datalink.Arq.decode_pdu s)
+          (Datalink.Arq.decode_pdu_slice (Bitkit.Slice.of_string s)))
+  ]
+
+(* --- Error detectors: verify_slice = verify, in place --- *)
+
+let detectors =
+  [ Datalink.Detector.none; Datalink.Detector.parity;
+    Datalink.Detector.internet; Datalink.Detector.fletcher16;
+    Datalink.Detector.crc Bitkit.Crc.crc16_ccitt;
+    Datalink.Detector.crc Bitkit.Crc.crc32 ]
+
+let detector_props =
+  List.concat_map
+    (fun d ->
+      let name = d.Datalink.Detector.name in
+      [ qtest (name ^ ": verify_slice accepts protect output") payload_gen
+          (fun p ->
+            let f = d.Datalink.Detector.protect p in
+            match
+              ( d.Datalink.Detector.verify f,
+                d.Datalink.Detector.verify_slice (offset_slice f) )
+            with
+            | Some b1, Some b2 -> b1 = p && Bitkit.Slice.equal_string b2 p
+            | _ -> false);
+        qtest (name ^ ": verify_slice = verify on damaged frames")
+          QCheck2.Gen.(pair payload_gen (pair u16 (0 -- 255)))
+          (fun (p, (pos, byte)) ->
+            let f = Bytes.of_string (d.Datalink.Detector.protect p) in
+            if Bytes.length f = 0 then true
+            else begin
+              Bytes.set f (pos mod Bytes.length f) (Char.chr byte);
+              let f = Bytes.to_string f in
+              match
+                ( d.Datalink.Detector.verify f,
+                  d.Datalink.Detector.verify_slice (Bitkit.Slice.of_string f) )
+              with
+              | None, None -> true
+              | Some b1, Some b2 -> Bitkit.Slice.equal_string b2 b1
+              | _ -> false
+            end)
+      ])
+    detectors
+
+(* --- The T3 audit on the real transmit path --- *)
+
+(* Arm [Segment.audit_tx]: DM now checks every outgoing wirebuf's header
+   stack against the Figure 6 layout. A full seeded transfer must pass. *)
+let test_audit_armed () =
+  Segment.audit_tx := true;
+  Fun.protect
+    ~finally:(fun () -> Segment.audit_tx := false)
+    (fun () ->
+      let engine = Sim.Engine.create ~seed:21 () in
+      let fabric =
+        Transport.Fabric.create engine ~hosts:2
+          ~channel:(Sim.Channel.lossy 0.02) ~flows:8 ~bytes:4096 ()
+      in
+      let r =
+        Sim.Workload.run ~name:"audit" ~engine ~flows:8
+          (Transport.Fabric.ops fabric)
+      in
+      if not (Sim.Workload.ok r) then
+        Alcotest.failf "audited workload not ok: %a" Sim.Workload.pp_report r)
+
+(* And the audit itself must reject malformed stacks. *)
+let test_audit_rejects () =
+  let bad stack =
+    match Sublayer.Layout.check_appendix Segment.layout stack with
+    | Ok () -> false
+    | Error _ -> true
+  in
+  Alcotest.(check bool) "wrong order rejected" true
+    (bad [ ("cm", 72); ("dm", 32); ("rd", 88); ("osr", 24) ]);
+  Alcotest.(check bool) "unknown owner rejected" true
+    (bad [ ("msg", 64); ("rd", 88); ("cm", 72); ("dm", 32) ]);
+  Alcotest.(check bool) "short header rejected" true
+    (bad [ ("dm", 16); ("cm", 72); ("rd", 88); ("osr", 24) ]);
+  Alcotest.(check bool) "good stack accepted" false
+    (bad [ ("dm", 32); ("cm", 72); ("rd", 88); ("osr", 24) ])
+
+(* --- Whole-run equivalence: eager (copying) vs lazy (zero-copy) --- *)
+
+let soak_fingerprint ~eager ~backend =
+  Bitkit.Wirebuf.set_eager eager;
+  Fun.protect
+    ~finally:(fun () -> Bitkit.Wirebuf.set_eager false)
+    (fun () ->
+      let engine = Sim.Engine.create ~seed:31 ~backend () in
+      let fabric =
+        Transport.Fabric.create engine ~hosts:4
+          ~channel:(Sim.Channel.lossy 0.03) ~flows:60 ~bytes:1024 ()
+      in
+      let r =
+        Sim.Workload.run ~spacing:0.01 ~name:"fingerprint" ~engine ~flows:60
+          (Transport.Fabric.ops fabric)
+      in
+      if not (Sim.Workload.ok r) then
+        Alcotest.failf "fingerprint workload not ok: %a" Sim.Workload.pp_report
+          r;
+      ( r.Sim.Workload.soak.Sim.Soak.events_fired,
+        r.Sim.Workload.soak.Sim.Soak.vtime,
+        r.Sim.Workload.exact ))
+
+let test_eager_lazy_identical () =
+  List.iter
+    (fun backend ->
+      let lazy_fp = soak_fingerprint ~eager:false ~backend in
+      let eager_fp = soak_fingerprint ~eager:true ~backend in
+      let fired (f, _, _) = f and vtime (_, v, _) = v and exact (_, _, e) = e in
+      Alcotest.(check int) "events fired identical" (fired eager_fp)
+        (fired lazy_fp);
+      Alcotest.(check bool) "virtual end time identical" true
+        (vtime eager_fp = vtime lazy_fp);
+      Alcotest.(check int) "exact flows identical" (exact eager_fp)
+        (exact lazy_fp))
+    [ `Wheel; `Heap ]
+
+(* The copying mode really copies: the same run must move strictly more
+   bytes through [Slice]'s copy accounting in eager mode. *)
+let test_lazy_copies_less () =
+  let copied ~eager =
+    Bitkit.Slice.reset_copied ();
+    ignore (soak_fingerprint ~eager ~backend:`Wheel);
+    Bitkit.Slice.copied_bytes ()
+  in
+  let eager_bytes = copied ~eager:true in
+  let lazy_bytes = copied ~eager:false in
+  if not (lazy_bytes < eager_bytes) then
+    Alcotest.failf "zero-copy path copied %d bytes, copying path %d" lazy_bytes
+      eager_bytes
+
+let () =
+  Alcotest.run "zerocopy"
+    [
+      ("dm", dm_props);
+      ("cm", cm_props);
+      ("rd", rd_props);
+      ("osr", osr_props);
+      ("msg", msg_props);
+      ("wire", wire_props);
+      ("arq", arq_props);
+      ("detector", detector_props);
+      ( "audit",
+        [
+          Alcotest.test_case "armed on the wire path" `Quick test_audit_armed;
+          Alcotest.test_case "rejects malformed stacks" `Quick
+            test_audit_rejects;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "eager = lazy on both backends" `Quick
+            test_eager_lazy_identical;
+          Alcotest.test_case "lazy copies fewer bytes" `Quick
+            test_lazy_copies_less;
+        ] );
+    ]
