@@ -1143,6 +1143,99 @@ let e22 () =
     (if slice_ps > 0. then copy_ps /. slice_ps else 0.)
     copy_eps slice_eps
 
+(* E25 — runtime conformance monitors: the many-flow fabric with every
+   T2 interface probe live vs with no registry attached (the probes stay
+   in the composition either way, carrying no-op closures). Same seed,
+   same backend: the two modes must fire the same event count — monitors
+   observe, they never perturb the schedule. Reports crossings checked,
+   violations (must be zero) and the events/sec overhead. *)
+
+let e25 () =
+  section "E25" "conformance monitors on vs off at 100/1k/5k flows (wheel)";
+  let flow_counts = if smoke then [ 20; 100 ] else [ 100; 1000; 5000 ] in
+  let bytes = if smoke then 2_000 else 8_000 in
+  let cell ~monitored ~flows =
+    let engine = Sim.Engine.create ~seed:67 ~backend:`Wheel () in
+    let channel =
+      { (Sim.Channel.lossy 0.01) with Sim.Channel.delay = 0.02 }
+    in
+    let monitors =
+      if monitored then Some (Monitor.Runtime.create ~label:"e25" ()) else None
+    in
+    let fabric =
+      Transport.Fabric.create engine ?monitors ~hosts:8 ~channel ~flows ~bytes
+        ()
+    in
+    let wall0 = Sys.time () in
+    let r =
+      Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e25" ~engine ~flows
+        ?invariant:(Option.map Monitor.Runtime.invariant monitors)
+        ?verdicts:
+          (Option.map (fun m () -> Monitor.Runtime.verdicts m) monitors)
+        (Transport.Fabric.ops fabric)
+    in
+    let wall = Sys.time () -. wall0 in
+    let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+    let eps = if wall > 0. then float_of_int fired /. wall else 0. in
+    let checked = match monitors with Some m -> Monitor.Runtime.checked m | None -> 0 in
+    let viols =
+      match monitors with Some m -> Monitor.Runtime.violation_count m | None -> 0
+    in
+    (match monitors with
+    | Some m ->
+        List.iter (fun v -> Printf.printf "  !! %s\n" v) (Monitor.Runtime.violations m)
+    | None -> ());
+    if not (Sim.Workload.ok r) then
+      Printf.printf "  !! %s/%d NOT CLEAN: %s\n"
+        (if monitored then "on" else "off")
+        flows
+        (Format.asprintf "%a" Sim.Workload.pp_report r);
+    (r, wall, fired, eps, checked, viols)
+  in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\"cells\":[";
+  let first = ref true in
+  Printf.printf "  %-5s %7s %10s %12s %12s %10s %6s\n" "mode" "flows" "events"
+    "events/sec" "checked" "viols" "exact";
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun flows ->
+      List.iter
+        (fun monitored ->
+          let mode = if monitored then "on" else "off" in
+          let r, wall, fired, eps, checked, viols = cell ~monitored ~flows in
+          Hashtbl.replace table (mode, flows) (eps, fired);
+          Printf.printf "  %-5s %7d %10d %12.0f %12d %10d %5d/%d\n" mode flows
+            fired eps checked viols r.Sim.Workload.exact r.Sim.Workload.flows;
+          if not !first then Buffer.add_char json ',';
+          first := false;
+          Buffer.add_string json
+            (Printf.sprintf
+               "{\"mode\":%S,\"flows\":%d,\"events\":%d,\"wall_s\":%.6f,\"events_per_sec\":%.0f,\"checked\":%d,\"violations\":%d,\"exact\":%d,\"ok\":%b}"
+               mode flows fired wall eps checked viols r.Sim.Workload.exact
+               (Sim.Workload.ok r)))
+        [ false; true ];
+      let fired_of mode = snd (Hashtbl.find table (mode, flows)) in
+      if fired_of "off" <> fired_of "on" then
+        Printf.printf
+          "  !! %d flows: monitored and unmonitored runs diverged (%d vs %d events)\n"
+          flows (fired_of "off") (fired_of "on"))
+    flow_counts;
+  Buffer.add_string json "]}";
+  let path = out_path "e25_monitor.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  let biggest = List.fold_left max 0 flow_counts in
+  let off_eps, _ = Hashtbl.find table ("off", biggest) in
+  let on_eps, _ = Hashtbl.find table ("on", biggest) in
+  headline
+    "monitors at %d flows: %.0f vs %.0f events/sec (%.1f%% overhead) — every T2 crossing conformance-checked, zero violations, same event schedule"
+    biggest off_eps on_eps
+    (if off_eps > 0. then (off_eps -. on_eps) /. off_eps *. 100. else 0.)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
@@ -1225,7 +1318,8 @@ let () =
     [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
-      ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("MICRO", microbenches) ]
+      ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E25", e25);
+      ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;
   Printf.printf "\nAll selected experiments complete.\n"

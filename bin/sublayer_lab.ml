@@ -34,9 +34,10 @@ let tcp_cmd =
     in
     let config = { Transport.Config.default with cc } in
     let engine = Sim.Engine.create ~seed () in
+    let monitors = Monitor.Runtime.create ~label:"tcp" () in
     let a, b =
-      Transport.Host.pair engine ~config ~factory_a:factory ~factory_b:factory
-        (Sim.Channel.lossy loss)
+      Transport.Host.pair engine ~config ~monitors ~factory_a:factory
+        ~factory_b:factory (Sim.Channel.lossy loss)
     in
     Transport.Host.listen b ~port:80;
     let server = ref None in
@@ -59,7 +60,21 @@ let tcp_cmd =
         Printf.printf "transferred %d bytes over %.0f%% loss in %.2fs virtual (%s, %s)\n"
           bytes (100. *. loss) t cc.Transport.Cc.algo_name stack
     | _ -> Printf.printf "TRANSFER FAILED\n");
-    ()
+    Printf.printf "conformance: %s\n"
+      (match Monitor.Runtime.verdicts monitors with
+      | [] -> "(no monitored interfaces)"
+      | vs ->
+          String.concat ", "
+            (List.map
+               (fun (name, checked, violated) ->
+                 Printf.sprintf "%s=%d/%d" name (checked - violated) checked
+                 ^ if violated > 0 then "!" else "")
+               vs));
+    if Monitor.Runtime.violation_count monitors > 0 then begin
+      List.iter (Printf.printf "MONITOR VIOLATION: %s\n")
+        (Monitor.Runtime.violations monitors);
+      exit 1
+    end
   in
   let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Segment loss probability.") in
   let bytes = Arg.(value & opt int 100_000 & info [ "bytes" ] ~doc:"Stream size.") in
@@ -283,12 +298,15 @@ let scale_cmd =
     in
     let engine = Sim.Engine.create ~seed ~backend () in
     let channel = { (Sim.Channel.lossy loss) with Sim.Channel.delay = 0.02 } in
+    let monitors = Monitor.Runtime.create ~label:"scale" () in
     let fabric =
-      Transport.Fabric.create engine ~hosts ~channel ~flows ~bytes ()
+      Transport.Fabric.create engine ~hosts ~channel ~flows ~bytes ~monitors ()
     in
     let wall0 = Sys.time () in
     let r =
       Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"scale" ~engine ~flows
+        ~invariant:(Monitor.Runtime.invariant monitors)
+        ~verdicts:(fun () -> Monitor.Runtime.verdicts monitors)
         (Transport.Fabric.ops fabric)
     in
     let wall = Sys.time () -. wall0 in
@@ -296,6 +314,11 @@ let scale_cmd =
     let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
     Printf.printf "%d events in %.3fs wall = %.0f events/sec\n" fired wall
       (if wall > 0. then float_of_int fired /. wall else 0.);
+    if Monitor.Runtime.violation_count monitors > 0 then begin
+      List.iter (Printf.printf "MONITOR VIOLATION: %s\n")
+        (Monitor.Runtime.violations monitors);
+      exit 1
+    end;
     if not (Sim.Workload.ok r) then exit 1
   in
   let flows = Arg.(value & opt int 1000 & info [ "flows" ] ~doc:"Concurrent flows.") in

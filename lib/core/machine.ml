@@ -110,3 +110,30 @@ struct
   let handle_down_ind () msg = ((), [ Up msg ])
   let handle_timer () t = Nothing.absurd t
 end
+
+module Probe (M : sig
+  type req
+  type ind
+
+  val name : string
+end) =
+struct
+  let name = M.name
+
+  type t = { obs_req : M.req -> unit; obs_ind : M.ind -> unit }
+  type up_req = M.req
+  type up_ind = M.ind
+  type down_req = M.req
+  type down_ind = M.ind
+  type timer = Nothing.t
+
+  let handle_up_req t msg =
+    t.obs_req msg;
+    (t, [ Down msg ])
+
+  let handle_down_ind t msg =
+    t.obs_ind msg;
+    (t, [ Up msg ])
+
+  let handle_timer _ t = Nothing.absurd t
+end

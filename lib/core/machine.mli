@@ -81,3 +81,26 @@ end) :
      and type down_req = M.msg
      and type down_ind = M.msg
      and type timer = Nothing.t
+
+(** A transparent tap on one interface: forwards everything unchanged,
+    calling the observation closures on the way past. Its state is the
+    pair of closures, so the same stack type can carry live monitors or
+    no-op functions — composition and event counts are identical either
+    way. *)
+module Probe (M : sig
+  type req
+  type ind
+
+  val name : string
+end) : sig
+  type t = { obs_req : M.req -> unit; obs_ind : M.ind -> unit }
+
+  include
+    S
+      with type t := t
+       and type up_req = M.req
+       and type up_ind = M.ind
+       and type down_req = M.req
+       and type down_ind = M.ind
+       and type timer = Nothing.t
+end

@@ -65,6 +65,31 @@ let decode_pdu_slice sl =
   | v -> v
   | exception Bitkit.Bitio.Reader.Truncated -> None
 
+(* Frame-identity correlation: a key both ends of the link can
+   reconstruct from the frame content alone — wire sequence number,
+   payload length and a cheap FNV-1a payload digest. The sender binds it
+   to the flight span in the shared tracer; the receiver takes it at
+   first delivery, so the deliver instant lands inside the sending
+   flight's trace. Collisions (the two directions carrying an identical
+   payload at an identical sequence number simultaneously) merely
+   mis-parent one best-effort trace link. *)
+
+let digest_string s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+let digest_slice sl =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bitkit.Slice.length sl - 1 do
+    h := (!h lxor Char.code (Bitkit.Slice.get sl i)) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h
+
+let frame_key ~seq ~len ~digest = Printf.sprintf "dlf:%d:%d:%d" seq len digest
+
 type stats = {
   mutable data_sent : int;
   mutable retransmissions : int;

@@ -47,6 +47,22 @@ type rx =
 
 val decode_pdu_slice : Bitkit.Slice.t -> rx option
 
+(** {2 Frame-identity correlation}
+
+    A key both ends of a link can reconstruct from a data frame alone
+    (wire sequence number, payload length, cheap payload digest). The
+    sender binds it to the flight span in the shared tracer; the
+    receiver {!Sublayer.Span.take}s it at first delivery so the deliver
+    instant joins the sending flight's trace instead of starting an
+    orphan one. *)
+
+val digest_string : string -> int
+val digest_slice : Bitkit.Slice.t -> int
+(** FNV-1a over the payload bytes, truncated to 30 bits; the string and
+    slice variants agree on equal byte content. *)
+
+val frame_key : seq:int -> len:int -> digest:int -> string
+
 (** Statistics every implementation maintains, for efficiency benches.
     Since the observability PR this is a read-only snapshot of the
     machine's {!counters}; the mutable fields remain only for

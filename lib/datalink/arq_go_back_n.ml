@@ -42,6 +42,10 @@ let gave_up t = t.dead
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 let skey seq = "s:" ^ string_of_int seq
 
+let fkey seq payload =
+  Arq.frame_key ~seq:(wire seq) ~len:(String.length payload)
+    ~digest:(Arq.digest_string payload)
+
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.data_wirebuf ~seq:(wire seq) payload)
@@ -55,9 +59,12 @@ let rec admit t acts =
       let t =
         { t with next = t.next + 1; buf = t.buf @ [ (seq, payload) ]; queue = rest }
       in
-      if Sublayer.Span.active t.sp then
+      if Sublayer.Span.active t.sp then begin
         Sublayer.Span.open_ t.sp ~key:(skey seq)
           ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
+        Sublayer.Span.bind t.sp (fkey seq payload)
+          (Sublayer.Span.id_of t.sp ~key:(skey seq))
+      end;
       admit t (transmit t seq payload :: acts)
   | _ -> (t, List.rev acts)
 
@@ -78,14 +85,16 @@ let handle_ack t seq16 =
   if a <= t.base || a > t.next then (t, [ Note "stale ack" ])
   else begin
     let old_base = t.base in
-    let t =
-      { t with base = a; buf = List.filter (fun (s, _) -> s >= a) t.buf;
-        retries = 0 }
-    in
-    if Sublayer.Span.active t.sp then
+    let acked, buf = List.partition (fun (s, _) -> s < a) t.buf in
+    let t = { t with base = a; buf; retries = 0 } in
+    if Sublayer.Span.active t.sp then begin
       for s = old_base to a - 1 do
         Sublayer.Span.close t.sp ~key:(skey s) ~detail:"acked" ()
       done;
+      (* Release unconsumed frame-identity bindings (delivery may have
+         been suppressed as a duplicate, never taking the key). *)
+      List.iter (fun (s, p) -> Sublayer.Span.unbind t.sp (fkey s p)) acked
+    end;
     let t, acts = admit t [] in
     with_timer t acts
   end
@@ -95,7 +104,22 @@ let handle_data t seq16 payload =
   let t, deliveries =
     if seq = t.rx_expected then begin
       Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
-      Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int seq) "deliver";
+      let detail = "seq=" ^ string_of_int seq in
+      if Sublayer.Span.active t.sp then begin
+        (* Correlate with the sending flight via the frame's identity:
+           the peer bound the flight span under a key derivable from the
+           frame content alone. *)
+        let fid =
+          Sublayer.Span.take t.sp
+            (Arq.frame_key ~seq:seq16 ~len:(Bitkit.Slice.length payload)
+               ~digest:(Arq.digest_slice payload))
+        in
+        if fid <> 0 then
+          Sublayer.Span.instant t.sp
+            ~trace:(Sublayer.Span.trace_of_id t.sp ~id:fid)
+            ~parent:fid ~detail "deliver"
+        else Sublayer.Span.instant t.sp ~detail "deliver"
+      end;
       (* Delivery is the app boundary: the payload view materialises here. *)
       ( { t with rx_expected = t.rx_expected + 1 },
         [ Up (Bitkit.Slice.to_string payload) ] )
@@ -116,6 +140,8 @@ let handle_timer t Rto =
   else if t.retries >= t.cfg.max_retries then begin
     Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
     Sublayer.Span.close_all t.sp ~detail:"dead" ();
+    if Sublayer.Span.active t.sp then
+      List.iter (fun (s, p) -> Sublayer.Span.unbind t.sp (fkey s p)) t.buf;
     ( { t with buf = []; queue = []; dead = true },
       [ Note "give up: max_retries exhausted" ] )
   end

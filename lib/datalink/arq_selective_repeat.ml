@@ -14,8 +14,11 @@ type t = {
   buf : (int * string * bool) list;  (** (seq, payload, acked), ascending *)
   queue : string list;
   rx_expected : int;
-  rx_buf : (int * Bitkit.Slice.t) list;
-      (** out-of-order views of received frames, ascending seq *)
+  rx_buf : (int * Bitkit.Slice.t * int) list;
+      (** (seq, payload view, sending-flight span id) of received frames,
+          ascending seq; the frame identity is taken at arrival because
+          the sender's binding may be released (ack received) before a
+          gap fills and the frame is delivered *)
   retries : int;  (* consecutive timeouts with no ack activity *)
   dead : bool;    (* max_retries exhausted; backlog was discarded *)
 }
@@ -43,6 +46,10 @@ let gave_up t = t.dead
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 let skey seq = "s:" ^ string_of_int seq
 
+let fkey seq payload =
+  Arq.frame_key ~seq:(wire seq) ~len:(String.length payload)
+    ~digest:(Arq.digest_string payload)
+
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.data_wirebuf ~seq:(wire seq) payload)
@@ -54,9 +61,12 @@ let rec admit t acts =
       let t =
         { t with next = t.next + 1; buf = t.buf @ [ (seq, payload, false) ]; queue = rest }
       in
-      if Sublayer.Span.active t.sp then
+      if Sublayer.Span.active t.sp then begin
         Sublayer.Span.open_ t.sp ~key:(skey seq)
           ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
+        Sublayer.Span.bind t.sp (fkey seq payload)
+          (Sublayer.Span.id_of t.sp ~key:(skey seq))
+      end;
       admit t (Set_timer (Rto seq, t.cfg.rto) :: transmit t seq payload :: acts)
   | _ -> (t, List.rev acts)
 
@@ -71,6 +81,11 @@ let handle_ack t seq16 =
     (* Individual acks: close the one sequence this ack covers (repeats
        for an already-acked seq find no live span and are no-ops). *)
     Sublayer.Span.close t.sp ~key:(skey a) ~detail:"acked" ();
+    if Sublayer.Span.active t.sp then
+      (* Release the frame-identity binding if delivery never took it. *)
+      List.iter
+        (fun (s, p, _) -> if s = a then Sublayer.Span.unbind t.sp (fkey s p))
+        t.buf;
     let buf =
       List.map (fun (s, p, acked) -> if s = a then (s, p, true) else (s, p, acked)) t.buf
     in
@@ -94,22 +109,43 @@ let handle_data t seq16 payload =
     (* Insert into the reordering buffer (dedup), then deliver any
        in-order prefix. *)
     let rx_buf =
-      if List.mem_assoc seq t.rx_buf then t.rx_buf
-      else List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, payload) :: t.rx_buf)
+      if List.exists (fun (s, _, _) -> s = seq) t.rx_buf then t.rx_buf
+      else begin
+        let fid =
+          if Sublayer.Span.active t.sp then
+            Sublayer.Span.take t.sp
+              (Arq.frame_key ~seq:seq16 ~len:(Bitkit.Slice.length payload)
+                 ~digest:(Arq.digest_slice payload))
+          else 0
+        in
+        List.sort
+          (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          ((seq, payload, fid) :: t.rx_buf)
+      end
     in
     let rec drain expected rx_buf delivered =
       match rx_buf with
-      (* Delivery is the app boundary: buffered views materialise here. *)
-      | (s, p) :: rest when s = expected ->
-          drain (expected + 1) rest (Up (Bitkit.Slice.to_string p) :: delivered)
+      | (s, p, fid) :: rest when s = expected ->
+          drain (expected + 1) rest ((s, p, fid) :: delivered)
       | _ -> (expected, rx_buf, List.rev delivered)
     in
-    let rx_expected, rx_buf, deliveries = drain t.rx_expected rx_buf [] in
-    Sublayer.Stats.add t.ctrs.Arq.c_delivered (List.length deliveries);
+    let rx_expected, rx_buf, delivered = drain t.rx_expected rx_buf [] in
+    Sublayer.Stats.add t.ctrs.Arq.c_delivered (List.length delivered);
     if Sublayer.Span.active t.sp then
-      for s = t.rx_expected to rx_expected - 1 do
-        Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int s) "deliver"
-      done;
+      List.iter
+        (fun (s, _, fid) ->
+          (* Join the sending flight's trace via the frame identity. *)
+          let detail = "seq=" ^ string_of_int s in
+          if fid <> 0 then
+            Sublayer.Span.instant t.sp
+              ~trace:(Sublayer.Span.trace_of_id t.sp ~id:fid)
+              ~parent:fid ~detail "deliver"
+          else Sublayer.Span.instant t.sp ~detail "deliver")
+        delivered;
+    (* Delivery is the app boundary: buffered views materialise here. *)
+    let deliveries =
+      List.map (fun (_, p, _) -> Up (Bitkit.Slice.to_string p)) delivered
+    in
     ({ t with rx_expected; rx_buf }, deliveries @ [ ack ])
   end
 
@@ -132,6 +168,11 @@ let handle_timer t (Rto seq) =
       in
       Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
       Sublayer.Span.close_all t.sp ~detail:"dead" ();
+      if Sublayer.Span.active t.sp then
+        List.iter
+          (fun (s, p, acked) ->
+            if not acked then Sublayer.Span.unbind t.sp (fkey s p))
+          t.buf;
       ( { t with buf = []; queue = []; dead = true },
         Note "give up: max_retries exhausted" :: cancels )
   | Some (_, payload, _) ->

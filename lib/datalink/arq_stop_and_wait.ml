@@ -40,15 +40,22 @@ let gave_up t = t.dead
 let wire seq = Sublayer.Seqspace.wrap Arq.seqspace seq
 let skey seq = "s:" ^ string_of_int seq
 
+let fkey seq payload =
+  Arq.frame_key ~seq:(wire seq) ~len:(String.length payload)
+    ~digest:(Arq.digest_string payload)
+
 let transmit t seq payload =
   Sublayer.Stats.incr t.ctrs.Arq.c_data_sent;
   Down (Arq.data_wirebuf ~seq:(wire seq) payload)
 
 let start_send t payload =
   let seq = t.next in
-  if Sublayer.Span.active t.sp then
+  if Sublayer.Span.active t.sp then begin
     Sublayer.Span.open_ t.sp ~key:(skey seq)
       ~trace:(Sublayer.Span.fresh_trace t.sp) "flight";
+    Sublayer.Span.bind t.sp (fkey seq payload)
+      (Sublayer.Span.id_of t.sp ~key:(skey seq))
+  end;
   ( { t with next = t.next + 1; outstanding = Some (seq, payload) },
     [ transmit t seq payload; Set_timer (Rto, t.cfg.rto) ] )
 
@@ -61,9 +68,12 @@ let handle_up_req t payload =
 
 let handle_ack t seq16 =
   match t.outstanding with
-  | Some (seq, _)
+  | Some (seq, sent)
     when Sublayer.Seqspace.reconstruct Arq.seqspace ~reference:seq seq16 = seq -> (
       Sublayer.Span.close t.sp ~key:(skey seq) ~detail:"acked" ();
+      if Sublayer.Span.active t.sp then
+        (* Release the frame-identity binding if delivery never took it. *)
+        Sublayer.Span.unbind t.sp (fkey seq sent);
       let t = { t with outstanding = None; retries = 0 } in
       match t.queue with
       | [] -> (t, [ Cancel_timer Rto ])
@@ -78,7 +88,20 @@ let handle_data t seq16 payload =
   let ack = Down (Arq.ack_wirebuf seq16) in
   if seq = t.rx_expected then begin
     Sublayer.Stats.incr t.ctrs.Arq.c_delivered;
-    Sublayer.Span.instant t.sp ~detail:("seq=" ^ string_of_int seq) "deliver";
+    let detail = "seq=" ^ string_of_int seq in
+    if Sublayer.Span.active t.sp then begin
+      (* Join the sending flight's trace via the frame's identity key. *)
+      let fid =
+        Sublayer.Span.take t.sp
+          (Arq.frame_key ~seq:seq16 ~len:(Bitkit.Slice.length payload)
+             ~digest:(Arq.digest_slice payload))
+      in
+      if fid <> 0 then
+        Sublayer.Span.instant t.sp
+          ~trace:(Sublayer.Span.trace_of_id t.sp ~id:fid)
+          ~parent:fid ~detail "deliver"
+      else Sublayer.Span.instant t.sp ~detail "deliver"
+    end;
     (* Delivery is the app boundary: the payload view materialises here. *)
     ( { t with rx_expected = t.rx_expected + 1 },
       [ Up (Bitkit.Slice.to_string payload); ack ] )
@@ -94,9 +117,11 @@ let handle_down_ind t pdu_bytes =
 let handle_timer t Rto =
   match t.outstanding with
   | None -> (t, [])
-  | Some _ when t.retries >= t.cfg.max_retries ->
+  | Some (seq, sent) when t.retries >= t.cfg.max_retries ->
       Sublayer.Stats.incr t.ctrs.Arq.c_give_ups;
       Sublayer.Span.close_all t.sp ~detail:"dead" ();
+      if Sublayer.Span.active t.sp then
+        Sublayer.Span.unbind t.sp (fkey seq sent);
       ( { t with outstanding = None; queue = []; dead = true },
         [ Note "give up: max_retries exhausted" ] )
   | Some (seq, payload) ->

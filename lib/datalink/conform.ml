@@ -1,0 +1,99 @@
+module Machine = Sublayer.Machine
+
+module P_arq_det = Machine.Probe (struct
+  type req = Bitkit.Wirebuf.t
+  type ind = Bitkit.Slice.t
+
+  let name = "mon"
+end)
+
+module P_det_frm = Machine.Probe (struct
+  type req = string
+  type ind = Bitkit.Slice.t
+
+  let name = "mon"
+end)
+
+module P_frm_line = Machine.Probe (struct
+  type req = Bitkit.Bitseq.t
+  type ind = Bitkit.Bitseq.t
+
+  let name = "mon"
+end)
+
+let nop _ = ()
+
+let arq_det mon ~key ~variant ~window =
+  match mon with
+  | None -> { P_arq_det.obs_req = nop; obs_ind = nop }
+  | Some reg ->
+      let v =
+        match Monitor.Specs.arq_variant_of_name variant with
+        | Some v -> v
+        | None -> Monitor.Specs.Sr
+      in
+      let spec = Monitor.Specs.arq ~variant:v ~window in
+      let inst = Monitor.Runtime.attach reg ~key spec in
+      let idd m = Monitor.Spec.msg_id spec Monitor.Spec.Down m
+      and idu m = Monitor.Spec.msg_id spec Monitor.Spec.Up m in
+      let d_data = idd "data" and d_ack = idd "ack"
+      and u_data = idu "data" and u_ack = idu "ack" in
+      let ob mid ~a ~b = Monitor.Runtime.observe inst mid ~a ~b in
+      (* The outer header of an outgoing wirebuf is the ARQ's own: a kind
+         byte then a big-endian 16-bit sequence number. *)
+      let obs_req buf =
+        match Bitkit.Wirebuf.outer_header buf with
+        | Some h when Bitkit.Slice.length h >= 3 ->
+            let kind = Char.code (Bitkit.Slice.get h 0) in
+            let seq =
+              (Char.code (Bitkit.Slice.get h 1) lsl 8)
+              lor Char.code (Bitkit.Slice.get h 2)
+            in
+            if kind = 0 then
+              ob d_data ~a:seq ~b:(Bitkit.Wirebuf.length buf - 3)
+            else if kind = 1 then ob d_ack ~a:seq ~b:0
+        | _ -> ()
+      and obs_ind sl =
+        match Arq.decode_pdu_slice sl with
+        | Some (Arq.Rx_data (seq, payload)) ->
+            ob u_data ~a:seq ~b:(Bitkit.Slice.length payload)
+        | Some (Arq.Rx_ack seq) -> ob u_ack ~a:seq ~b:0
+        | None -> ()
+      in
+      { P_arq_det.obs_req; obs_ind }
+
+let spec_det_frm =
+  Monitor.Specs.opaque ~name:"det-frm" ~upper:"detector" ~lower:"framer" ()
+
+let spec_frm_line =
+  Monitor.Specs.opaque ~name:"frm-line" ~upper:"framer" ~lower:"linecode" ()
+
+let det_frm mon ~key =
+  match mon with
+  | None -> { P_det_frm.obs_req = nop; obs_ind = nop }
+  | Some reg ->
+      let spec = spec_det_frm in
+      let inst = Monitor.Runtime.attach reg ~key spec in
+      let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
+      and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
+      let obs_req s =
+        Monitor.Runtime.observe inst down ~a:(String.length s) ~b:0
+      and obs_ind sl =
+        Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length sl) ~b:0
+      in
+      { P_det_frm.obs_req; obs_ind }
+
+let frm_line mon ~key =
+  match mon with
+  | None -> { P_frm_line.obs_req = nop; obs_ind = nop }
+  | Some reg ->
+      let spec = spec_frm_line in
+      let inst = Monitor.Runtime.attach reg ~key spec in
+      let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
+      and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
+      let obs_req bits =
+        Monitor.Runtime.observe inst down ~a:(Bitkit.Bitseq.length bits) ~b:0
+      and obs_ind bits =
+        Monitor.Runtime.observe inst up ~a:(Bitkit.Bitseq.length bits) ~b:0
+      in
+      { P_frm_line.obs_req; obs_ind }

@@ -32,11 +32,15 @@ let arq_stats t = t.arq_stats ()
 let is_idle t = t.is_idle ()
 let gave_up t = t.arq_gave_up ()
 
-let endpoint engine ?trace ?stats ?tracer ~name spec ~transmit ~deliver =
+let endpoint engine ?trace ?stats ?tracer ?monitors ~name spec ~transmit ~deliver =
   let module A = (val spec.arq : Arq.S) in
-  let module Lower = Machine.Stack (Layers.Framing) (Layers.Line_coding) in
-  let module Middle = Machine.Stack (Layers.Error_detection) (Lower) in
-  let module Full = Machine.Stack (A) (Middle) in
+  let module Lower =
+    Machine.Stack (Layers.Framing) (Machine.Stack (Conform.P_frm_line) (Layers.Line_coding))
+  in
+  let module Middle =
+    Machine.Stack (Layers.Error_detection) (Machine.Stack (Conform.P_det_frm) (Lower))
+  in
+  let module Full = Machine.Stack (A) (Machine.Stack (Conform.P_arq_det) (Middle)) in
   let module R = Runtime.Make (Full) in
   (* One scope per sublayer, so the registry reports [arq.*],
      [detector.*], [framer.*] and [linecode.*] side by side. *)
@@ -49,12 +53,16 @@ let endpoint engine ?trace ?stats ?tracer ~name spec ~transmit ~deliver =
   in
   let st =
     ( A.initial ?stats:(in_scope "arq") ?span:(sp "arq") spec.arq_config,
-      ( Layers.Error_detection.make ?stats:(in_scope "detector")
-          ?span:(sp "detector") spec.detector,
-        ( Layers.Framing.make ?stats:(in_scope "framer") ?span:(sp "framer")
-            spec.framer,
-          Layers.Line_coding.make ?stats:(in_scope "linecode")
-            ?span:(sp "linecode") spec.linecode ) ) )
+      ( Conform.arq_det monitors ~key:name ~variant:A.name
+          ~window:spec.arq_config.Arq.window,
+        ( Layers.Error_detection.make ?stats:(in_scope "detector")
+            ?span:(sp "detector") spec.detector,
+          ( Conform.det_frm monitors ~key:name,
+            ( Layers.Framing.make ?stats:(in_scope "framer") ?span:(sp "framer")
+                spec.framer,
+              ( Conform.frm_line monitors ~key:name,
+                Layers.Line_coding.make ?stats:(in_scope "linecode")
+                  ?span:(sp "linecode") spec.linecode ) ) ) ) ) )
   in
   let r = R.create engine ?trace ~name ~transmit ~deliver st in
   {
@@ -79,7 +87,7 @@ let bit_channel engine config ~deliver =
     ~size:(fun bits -> (Bitkit.Bitseq.length bits + 7) / 8)
     ~corrupt:Sim.Channel.corrupt_bits ~deliver ()
 
-let link engine ?trace ?stats_a ?stats_b ?tracer config spec =
+let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors config spec =
   let received_at_a = Queue.create () in
   let received_at_b = Queue.create () in
   (* Channels and endpoints reference each other; tie the knot with a
@@ -89,12 +97,12 @@ let link engine ?trace ?stats_a ?stats_b ?tracer config spec =
   let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
   let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
   let a =
-    endpoint engine ?trace ?stats:stats_a ?tracer ~name:"A" spec
+    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ~name:"A" spec
       ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
       ~deliver:(fun payload -> Queue.add payload received_at_a)
   in
   let b =
-    endpoint engine ?trace ?stats:stats_b ?tracer ~name:"B" spec
+    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ~name:"B" spec
       ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
       ~deliver:(fun payload -> Queue.add payload received_at_b)
   in

@@ -35,6 +35,7 @@ val endpoint :
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
@@ -44,7 +45,9 @@ val endpoint :
     under scopes [arq], [detector], [framer] and [linecode]. When
     [tracer] is given, each sublayer opens spans on its track [name]:
     ARQ "flight" spans with retransmission children, instant markers for
-    the stateless codecs below. *)
+    the stateless codecs below. When [monitors] is given, conformance
+    probes on the ARQ⇄detector, detector⇄framer and framer⇄linecode
+    interfaces check every crossing (keyed by [name]). *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)
@@ -63,6 +66,7 @@ val link :
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   Sim.Channel.config ->
   spec ->
   link

@@ -33,8 +33,14 @@ let rec remove_one m = function
 
 let distinct l = List.sort_uniq compare l
 
-let model p =
-  (module struct
+(* Transparent functor so the conformance wrappers below can see the
+   concrete state type; [model] seals it. *)
+module Make (P : sig
+  val p : params
+end) =
+struct
+    let p = P.p
+
     type nonrec state = state
 
     let name =
@@ -118,7 +124,50 @@ let model p =
       | A_est, B_est _ -> true
       | A_gave_up, _ | _, B_gave_up -> true
       | _ -> false
-  end : Checker.MODEL)
+end
+
+let model p : (module Checker.MODEL) =
+  (module Make (struct
+    let p = p
+  end))
+
+(* --- Assume–guarantee conformance against the RD<->CM spec --- *)
+
+(* Each wrapper watches one endpoint's RD<->CM interface: the handshake
+   may only surface [Established] out of the opening phase (or nothing,
+   if the endpoint gives up), never payload PDUs — the discipline the
+   runtime monitors enforce on the live stacks. *)
+let observed_initiator p : (module Protocol.OBSERVED) =
+  (module struct
+    include Make (struct
+      let p = p
+    end)
+
+    let spec = Monitor.Specs.rd_cm
+    let boot = [ (Monitor.Spec.Down, "connect", 0, 0) ]
+
+    let observe _s label _s' =
+      match label with
+      | "a_est" -> [ (Monitor.Spec.Up, "established", a_isn, b_isn) ]
+      | "a_give_up" -> [ (Monitor.Spec.Up, "closed", 0, 0) ]
+      | _ -> []
+  end)
+
+let observed_responder p : (module Protocol.OBSERVED) =
+  (module struct
+    include Make (struct
+      let p = p
+    end)
+
+    let spec = Monitor.Specs.rd_cm
+    let boot = [ (Monitor.Spec.Down, "listen", 0, 0) ]
+
+    let observe _s label _s' =
+      match label with
+      | "b_est" -> [ (Monitor.Spec.Up, "established", b_isn, 0) ]
+      | "b_give_up" -> [ (Monitor.Spec.Up, "closed", 0, 0) ]
+      | _ -> []
+  end)
 
 (* --- FIN teardown choreography --- *)
 

@@ -19,6 +19,14 @@ val default : params
 
 val model : params -> (module Checker.MODEL)
 
+val observed_initiator : params -> (module Protocol.OBSERVED)
+val observed_responder : params -> (module Protocol.OBSERVED)
+(** The handshake model annotated with one endpoint's RD⇄CM interface
+    crossings, for {!Protocol.conformance} against
+    {!Monitor.Specs.rd_cm}: [Established] may only surface out of the
+    opening phase, and never a payload PDU — the same spec the runtime
+    monitors execute on the live stacks. *)
+
 (** {!model} for the FIN teardown choreography: both sides close
     (including simultaneously); safety is mutual eventual closure without
     deadlock from any interleaving. *)

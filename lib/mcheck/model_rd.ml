@@ -26,8 +26,14 @@ let rec cumulative rcv i = if rcv land (1 lsl i) = 0 then i else cumulative rcv 
 
 let distinct l = List.sort_uniq Int.compare l
 
-let model p =
-  (module struct
+(* The model body lives in a transparent functor so the conformance
+   wrappers below can see the concrete state type; [model] seals it. *)
+module Make (P : sig
+  val p : params
+end) =
+struct
+    let p = P.p
+
     type nonrec state = state
 
     let name =
@@ -93,4 +99,63 @@ let model p =
       else None
 
     let accepting s = s.snd_acked = p.n
-  end : Checker.MODEL)
+end
+
+let model p : (module Checker.MODEL) =
+  (module Make (struct
+    let p = p
+  end))
+
+(* --- Assume–guarantee conformance against the OSR<->RD spec --- *)
+
+(* Parse the trailing integer of labels like "send2" / "dlv_a3". *)
+let labeled prefix label =
+  let pl = String.length prefix in
+  if String.length label > pl && String.sub label 0 pl = prefix then
+    int_of_string_opt (String.sub label pl (String.length label - pl))
+  else None
+
+(* The sending endpoint's OSR<->RD interface: every admitted segment is
+   a contiguous [Transmit], every cumulative-ack advance an [Acked] that
+   is monotone and never overtakes transmission. The model is
+   mid-connection, so the spec boots through connect/established. *)
+let observed_sender p : (module Protocol.OBSERVED) =
+  (module struct
+    include Make (struct
+      let p = p
+    end)
+
+    let spec = Monitor.Specs.osr_rd
+
+    let boot =
+      [ (Monitor.Spec.Down, "connect", 0, 0);
+        (Monitor.Spec.Up, "established", 0, 0) ]
+
+    let observe s label _s' =
+      match labeled "send" label with
+      | Some i -> [ (Monitor.Spec.Down, "transmit", i, 1) ]
+      | None -> (
+          match labeled "dlv_a" label with
+          | Some a when a > s.snd_acked -> [ (Monitor.Spec.Up, "acked", a, 0) ]
+          | _ -> [])
+  end)
+
+(* The receiving endpoint's interface: every delivered segment surfaces
+   as a [Segment] indication. *)
+let observed_receiver p : (module Protocol.OBSERVED) =
+  (module struct
+    include Make (struct
+      let p = p
+    end)
+
+    let spec = Monitor.Specs.osr_rd
+
+    let boot =
+      [ (Monitor.Spec.Down, "listen", 0, 0);
+        (Monitor.Spec.Up, "established", 0, 0) ]
+
+    let observe _s label _s' =
+      match labeled "dlv_d" label with
+      | Some i -> [ (Monitor.Spec.Up, "segment", i, 1) ]
+      | None -> []
+  end)

@@ -19,3 +19,11 @@ val default : params
 (** n = 3, window = 2, capacity = 2, retransmit and duplication on. *)
 
 val model : params -> (module Checker.MODEL)
+
+val observed_sender : params -> (module Protocol.OBSERVED)
+val observed_receiver : params -> (module Protocol.OBSERVED)
+(** The same model annotated with its OSR⇄RD interface crossings, for
+    {!Protocol.conformance}: the sender's transmits must be contiguous
+    and its ack notifications monotone; the receiver's deliveries are
+    [Segment] indications. Both run against {!Monitor.Specs.osr_rd} —
+    the spec the runtime monitors execute. *)

@@ -1,0 +1,62 @@
+module type OBSERVED = sig
+  include Checker.MODEL
+
+  val spec : Monitor.Spec.t
+
+  val boot : (Monitor.Spec.dir * string * int * int) list
+
+  val observe :
+    state -> string -> state -> (Monitor.Spec.dir * string * int * int) list
+end
+
+let conformance (module M : OBSERVED) : (module Checker.MODEL) =
+  (module struct
+    type state = {
+      inner : M.state;
+      cfg : int * int list;
+      err : string option;  (* first spec violation on the path here *)
+    }
+
+    let name = M.name ^ " |= " ^ Monitor.Spec.name M.spec
+
+    let boot_cfg =
+      let c = Monitor.Spec.init M.spec in
+      let cfg0 = (c.Monitor.Spec.cs, Array.to_list c.Monitor.Spec.regs) in
+      List.fold_left
+        (fun cfg (dir, msg, a, b) ->
+          match Monitor.Spec.step_pure M.spec cfg dir msg ~a ~b with
+          | Ok cfg -> cfg
+          | Error e ->
+              invalid_arg
+                (Printf.sprintf "Protocol.conformance: boot violates %s: %s"
+                   (Monitor.Spec.name M.spec) e))
+        cfg0 M.boot
+
+    let initial =
+      List.map (fun s -> { inner = s; cfg = boot_cfg; err = None }) M.initial
+
+    let next s =
+      match s.err with
+      | Some _ -> []  (* nonconformance is terminal; invariant reports it *)
+      | None ->
+          List.map
+            (fun (label, inner) ->
+              let rec thread cfg = function
+                | [] -> Ok cfg
+                | (dir, msg, a, b) :: rest -> (
+                    match Monitor.Spec.step_pure M.spec cfg dir msg ~a ~b with
+                    | Ok cfg -> thread cfg rest
+                    | Error _ as e -> e)
+              in
+              match thread s.cfg (M.observe s.inner label inner) with
+              | Ok cfg -> (label, { inner; cfg; err = None })
+              | Error e -> (label, { inner; cfg = s.cfg; err = Some e }))
+            (M.next s.inner)
+
+    let invariant s =
+      match s.err with
+      | Some e -> Some ("interface conformance: " ^ e)
+      | None -> M.invariant s.inner
+
+    let accepting s = s.err = None && M.accepting s.inner
+  end : Checker.MODEL)

@@ -1,0 +1,30 @@
+(** Assume–guarantee conformance: check that a bounded sublayer model
+    satisfies its own T2 interface specification — the {e same}
+    {!Monitor.Spec.t} objects the runtime monitors execute, so what the
+    checker proves over every reachable state is exactly what the
+    monitors enforce over every observed trace.
+
+    An {!OBSERVED} model annotates each transition with the interface
+    crossings it implies; {!conformance} builds the synchronous product
+    of the model with the spec automaton and hands it to the ordinary
+    {!Checker}. A spec violation surfaces as an invariant failure, so
+    the report carries the shortest event trace to nonconformance. *)
+
+module type OBSERVED = sig
+  include Checker.MODEL
+
+  val spec : Monitor.Spec.t
+
+  val boot : (Monitor.Spec.dir * string * int * int) list
+  (** Crossings implied by reaching the model's initial states (e.g. a
+      mid-connection model boots the spec through connect/established).
+      Raises [Invalid_argument] from {!conformance} if they violate. *)
+
+  val observe :
+    state -> string -> state -> (Monitor.Spec.dir * string * int * int) list
+  (** [observe s label s'] — the interface crossings the labelled
+      transition [s --label--> s'] makes, in order, each as
+      [(dir, msg, a, b)]. Internal moves observe nothing. *)
+end
+
+val conformance : (module OBSERVED) -> (module Checker.MODEL)

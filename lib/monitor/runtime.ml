@@ -1,0 +1,104 @@
+let on = ref true
+let set_enabled v = on := v
+let enabled () = !on
+
+type instance = {
+  spec : Spec.t;
+  key : string;
+  cfg : Spec.config;
+  reg : registry;
+  mutable i_dead : bool;
+  (* per-direction event counts: Down events are the upper sublayer
+     talking, Up events the lower *)
+  mutable checked_down : int;
+  mutable checked_up : int;
+  mutable violated_down : bool;
+  mutable violated_up : bool;
+}
+
+and registry = {
+  rlabel : string;
+  mutable instances : instance list;  (* newest first *)
+  mutable viols : string list;        (* newest first *)
+  mutable nviols : int;
+  mutable unreported : string list;   (* oldest first, drained by Soak *)
+}
+
+type t = registry
+
+let create ?(label = "monitors") () =
+  { rlabel = label; instances = []; viols = []; nviols = 0; unreported = [] }
+
+let label t = t.rlabel
+
+let attach t ~key spec =
+  let inst =
+    { spec; key; cfg = Spec.init spec; reg = t; i_dead = false;
+      checked_down = 0; checked_up = 0; violated_down = false;
+      violated_up = false }
+  in
+  t.instances <- inst :: t.instances;
+  inst
+
+let dead inst = inst.i_dead
+
+(* Cold path: format the violation, blame the sender, silence the
+   instance. The message embeds [key] (the connection/track name) so the
+   soak flight recorder dumps the offending connection's spans. *)
+let violate inst mid ~a ~b =
+  inst.i_dead <- true;
+  let is_down = Spec.msg_dir inst.spec mid = Spec.Down in
+  let guilty =
+    if is_down then Spec.upper inst.spec else Spec.lower inst.spec
+  in
+  if is_down then inst.violated_down <- true else inst.violated_up <- true;
+  let msg =
+    Printf.sprintf "monitor %s[%s]: %s violated: %s a=%d b=%d"
+      (Spec.name inst.spec) inst.key guilty
+      (Spec.explain inst.spec inst.cfg mid ~a ~b)
+      a b
+  in
+  let r = inst.reg in
+  r.viols <- msg :: r.viols;
+  r.nviols <- r.nviols + 1;
+  r.unreported <- r.unreported @ [ msg ]
+
+let observe inst mid ~a ~b =
+  if !on && not inst.i_dead then begin
+    (match Spec.msg_dir inst.spec mid with
+    | Spec.Down -> inst.checked_down <- inst.checked_down + 1
+    | Spec.Up -> inst.checked_up <- inst.checked_up + 1);
+    if not (Spec.step inst.spec inst.cfg mid ~a ~b) then
+      violate inst mid ~a ~b
+  end
+
+let violations t = List.rev t.viols
+let violation_count t = t.nviols
+
+let next_violation t =
+  match t.unreported with
+  | [] -> None
+  | v :: rest ->
+      t.unreported <- rest;
+      Some v
+
+let invariant t () = next_violation t
+
+let checked t =
+  List.fold_left
+    (fun acc i -> acc + i.checked_down + i.checked_up)
+    0 t.instances
+
+let verdicts t =
+  let tbl = Hashtbl.create 16 in
+  let bump name c v =
+    let c0, v0 = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl name) in
+    Hashtbl.replace tbl name (c0 + c, v0 + v)
+  in
+  List.iter
+    (fun i ->
+      bump (Spec.upper i.spec) i.checked_down (Bool.to_int i.violated_down);
+      bump (Spec.lower i.spec) i.checked_up (Bool.to_int i.violated_up))
+    t.instances;
+  Hashtbl.fold (fun name (c, v) acc -> (name, c, v) :: acc) tbl []
+  |> List.sort compare

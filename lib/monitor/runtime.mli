@@ -1,0 +1,61 @@
+(** Runtime conformance monitors.
+
+    A registry holds one monitor {e instance} per (connection, interface
+    spec) pair — the key is the same connection/track name the tracer
+    uses, so a violation message names a track the {!Sim.Soak} flight
+    recorder can follow. Instances are attached at stack construction
+    (cold); {!observe} is the hot path: a boolean load when monitoring is
+    globally disabled, a table walk and integer mutations when enabled,
+    and allocation only on the first violation of an instance (which also
+    silences it, so one bug does not cascade into a report flood).
+
+    Mirrors the global-switch discipline of {!Sublayer.Stats} and
+    {!Sim.Tracer}: {!set_enabled} [false] makes every monitor a no-op. *)
+
+type t
+(** A monitor registry (one per simulation, shared by every endpoint). *)
+
+val create : ?label:string -> unit -> t
+val label : t -> string
+
+val set_enabled : bool -> unit
+(** Globally enable/disable all monitors (default: enabled). *)
+
+val enabled : unit -> bool
+
+type instance
+
+val attach : t -> key:string -> Spec.t -> instance
+(** [attach t ~key spec] creates a fresh monitor for one interface of the
+    connection/endpoint named [key]. *)
+
+val observe : instance -> int -> a:int -> b:int -> unit
+(** [observe inst mid ~a ~b] feeds one interface crossing to the monitor
+    ([mid] from {!Spec.msg_id}, resolved at attach time). On violation the
+    instance records a message naming the guilty sublayer, direction,
+    spec state and offending message, then goes dead. *)
+
+val dead : instance -> bool
+
+(** {2 Verdicts} *)
+
+val violations : t -> string list
+(** All violation messages, oldest first. *)
+
+val violation_count : t -> int
+
+val next_violation : t -> string option
+(** Drain one not-yet-reported violation — the {!Sim.Soak} [invariant]
+    hook: each violation surfaces exactly once. *)
+
+val invariant : t -> unit -> string option
+(** [invariant t] is [fun () -> next_violation t]. *)
+
+val checked : t -> int
+(** Total events checked across all instances. *)
+
+val verdicts : t -> (string * int * int) list
+(** Per-sublayer [(name, checked, violated)] counts, name-sorted: each
+    observed event is attributed to the sublayer that sent it ([Down] →
+    the spec's upper, [Up] → lower). The shape {!Sim.Soak.run}'s
+    [?verdicts] hook expects. *)

@@ -1,0 +1,166 @@
+type dir = Down | Up
+
+type exp =
+  | A
+  | B
+  | Reg of int
+  | Const of int
+  | Add of exp * exp
+  | Sub of exp * exp
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type guard =
+  | True
+  | Cmp of exp * cmp * exp
+  | Within of { x : exp; base : exp; offset : int; modulo : int; bound : int }
+  | All of guard list
+  | Any of guard list
+  | Not of guard
+
+type act = Set of int * exp
+
+type rule = {
+  r_from : string;
+  r_dir : dir;
+  r_msg : string;
+  r_guard : guard;
+  r_acts : act list;
+  r_goto : string;
+}
+
+let rule ?(guard = True) ?(acts = []) from_ (d, msg) goto =
+  { r_from = from_; r_dir = d; r_msg = msg; r_guard = guard; r_acts = acts;
+    r_goto = goto }
+
+let loops state msgs = List.map (fun m -> rule state m state) msgs
+
+(* Compiled transition: state and message names resolved to indices. *)
+type trans = { t_guard : guard; t_acts : act list; t_goto : int }
+
+type t = {
+  s_name : string;
+  s_upper : string;
+  s_lower : string;
+  s_states : string array;
+  s_msgs : (dir * string) array;
+  s_nregs : int;
+  (* table.(state).(mid) = transitions in authoring order *)
+  s_table : trans array array array;
+}
+
+let name t = t.s_name
+let upper t = t.s_upper
+let lower t = t.s_lower
+let msg_count t = Array.length t.s_msgs
+let msg_dir t mid = fst t.s_msgs.(mid)
+let state_name t i = t.s_states.(i)
+
+let dir_name = function Down -> "down" | Up -> "up"
+
+let msg_label t mid =
+  let d, m = t.s_msgs.(mid) in
+  dir_name d ^ " " ^ m
+
+let index what arr eq x =
+  let rec go i =
+    if i = Array.length arr then
+      invalid_arg (Printf.sprintf "Monitor.Spec: unknown %s" what)
+    else if eq arr.(i) x then i
+    else go (i + 1)
+  in
+  go 0
+
+let msg_id t d m =
+  index ("message " ^ dir_name d ^ " " ^ m) t.s_msgs ( = ) (d, m)
+
+let make ~name ~upper ~lower ?(regs = 4) ~states ~msgs rules =
+  if states = [] then invalid_arg "Monitor.Spec.make: no states";
+  let s_states = Array.of_list states in
+  let s_msgs = Array.of_list msgs in
+  let t =
+    { s_name = name; s_upper = upper; s_lower = lower; s_states; s_msgs;
+      s_nregs = regs; s_table = [||] }
+  in
+  let sid s = index ("state " ^ s) s_states String.equal s in
+  let table =
+    Array.init (Array.length s_states) (fun _ ->
+        Array.make (Array.length s_msgs) [])
+  in
+  List.iter
+    (fun r ->
+      let si = sid r.r_from in
+      let mi = msg_id t r.r_dir r.r_msg in
+      let gi = sid r.r_goto in
+      table.(si).(mi) <-
+        table.(si).(mi)
+        @ [ { t_guard = r.r_guard; t_acts = r.r_acts; t_goto = gi } ])
+    rules;
+  { t with s_table = Array.map (Array.map Array.of_list) table }
+
+type config = { mutable cs : int; regs : int array }
+
+let init t = { cs = 0; regs = Array.make t.s_nregs 0 }
+
+let rec eval regs ~a ~b = function
+  | A -> a
+  | B -> b
+  | Reg i -> regs.(i)
+  | Const n -> n
+  | Add (x, y) -> eval regs ~a ~b x + eval regs ~a ~b y
+  | Sub (x, y) -> eval regs ~a ~b x - eval regs ~a ~b y
+
+let rec holds regs ~a ~b = function
+  | True -> true
+  | Cmp (x, op, y) -> (
+      let x = eval regs ~a ~b x and y = eval regs ~a ~b y in
+      match op with
+      | Eq -> x = y
+      | Ne -> x <> y
+      | Lt -> x < y
+      | Le -> x <= y
+      | Gt -> x > y
+      | Ge -> x >= y)
+  | Within { x; base; offset; modulo; bound } ->
+      let x = eval regs ~a ~b x and base = eval regs ~a ~b base in
+      ((x - base + offset) mod modulo + modulo) mod modulo < bound
+  | All gs -> List.for_all (holds regs ~a ~b) gs
+  | Any gs -> List.exists (holds regs ~a ~b) gs
+  | Not g -> not (holds regs ~a ~b g)
+
+let step t cfg mid ~a ~b =
+  let trans = t.s_table.(cfg.cs).(mid) in
+  let n = Array.length trans in
+  let rec go i =
+    if i = n then false
+    else
+      let tr = trans.(i) in
+      if holds cfg.regs ~a ~b tr.t_guard then begin
+        List.iter
+          (fun (Set (r, e)) -> cfg.regs.(r) <- eval cfg.regs ~a ~b e)
+          tr.t_acts;
+        cfg.cs <- tr.t_goto;
+        true
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let explain t cfg mid ~a ~b =
+  let state = t.s_states.(cfg.cs) in
+  let why =
+    if Array.length t.s_table.(cfg.cs).(mid) = 0 then "not allowed"
+    else "guard failed"
+  in
+  ignore (a, b);
+  Printf.sprintf "%s in state %s (%s)" (msg_label t mid) state why
+
+let step_pure t (cs, regs) d m ~a ~b =
+  let cfg = { cs; regs = Array.of_list regs } in
+  let mid = msg_id t d m in
+  if step t cfg mid ~a ~b then Ok (cfg.cs, Array.to_list cfg.regs)
+  else
+    Error
+      (Printf.sprintf "%s: %s violated: %s a=%d b=%d" t.s_name
+         (match d with Down -> t.s_upper | Up -> t.s_lower)
+         (explain t cfg mid ~a ~b) a b)

@@ -1,0 +1,110 @@
+(** Interface-protocol specifications — T2 contracts made executable.
+
+    A spec is a small state machine over the {e directed} message alphabet
+    of one sublayer interface: each observed crossing is a direction
+    (request travelling [Down], indication travelling [Up]), a message
+    name, and up to two integer arguments (lengths, offsets, sequence
+    numbers). Transitions may guard on the arguments and on a handful of
+    integer registers (window bases, high-water marks), so properties
+    like "transmit offsets are contiguous" or "no data before
+    [`Established]" compile to a table walk.
+
+    The same compiled spec drives both the allocation-free runtime
+    monitors ({!Runtime}) and the model-checking conformance products
+    ({!Mcheck.Protocol}): {!step} mutates a config in place for the hot
+    path, {!step_pure} threads immutable configs for state-space
+    exploration. *)
+
+type dir = Down | Up
+
+(** Integer expressions over the event arguments [A]/[B], the instance
+    registers and constants. *)
+type exp =
+  | A
+  | B
+  | Reg of int
+  | Const of int
+  | Add of exp * exp
+  | Sub of exp * exp
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type guard =
+  | True
+  | Cmp of exp * cmp * exp
+  | Within of { x : exp; base : exp; offset : int; modulo : int; bound : int }
+      (** [((x - base + offset) mod modulo) < bound] — the modular-window
+          test for wrap-around sequence spaces. *)
+  | All of guard list
+  | Any of guard list
+  | Not of guard
+
+type act = Set of int * exp  (** [Set (r, e)]: register [r] := [e]. *)
+
+type rule
+(** One transition of the authored spec. *)
+
+val rule :
+  ?guard:guard -> ?acts:act list -> string -> dir * string -> string -> rule
+(** [rule from_state (dir, msg) to_state]: in [from_state], the message
+    [msg] travelling [dir] is legal when [guard] (default [True]) holds;
+    the spec moves to [to_state] applying [acts]. Rules are tried in
+    authoring order; the first whose guard holds wins. An observed
+    alphabet message with {e no} matching rule is a violation. *)
+
+val loops : string -> (dir * string) list -> rule list
+(** [loops state msgs]: unconditional self-loops — everything in [msgs]
+    is legal in [state] and changes nothing. *)
+
+type t
+
+val make :
+  name:string ->
+  upper:string ->
+  lower:string ->
+  ?regs:int ->
+  states:string list ->
+  msgs:(dir * string) list ->
+  rule list ->
+  t
+(** [make ~name ~upper ~lower ~states ~msgs rules] compiles a spec for
+    the interface [name] between sublayer [upper] (sender of [Down]
+    messages, blamed for their violations) and [lower] (sender of [Up]
+    messages). The first state is initial; [regs] (default 4) registers
+    start at 0. Raises [Invalid_argument] on unknown state or message
+    names in [rules]. *)
+
+val name : t -> string
+val upper : t -> string
+val lower : t -> string
+
+val msg_id : t -> dir -> string -> int
+(** Index of a directed message in the alphabet (the id {!step} wants);
+    raises [Invalid_argument] if the message is not in the alphabet —
+    probe glue resolves ids once, at attach time. *)
+
+val msg_count : t -> int
+val msg_dir : t -> int -> dir
+val state_name : t -> int -> string
+val msg_label : t -> int -> string
+(** ["dir msg"] rendering of an alphabet id, for violation reports. *)
+
+(** {2 Configurations} *)
+
+type config = { mutable cs : int; regs : int array }
+
+val init : t -> config
+
+val step : t -> config -> int -> a:int -> b:int -> bool
+(** [step spec cfg mid ~a ~b] advances [cfg] in place; [false] means the
+    event violated the spec ([cfg] is left on the pre-violation state so
+    the report can name it). Allocation-free. *)
+
+val step_pure :
+  t -> int * int list -> dir -> string -> a:int -> b:int ->
+  (int * int list, string) result
+(** Immutable variant keyed by message {e name} (cold path, for model
+    checking): [Error] carries a human-readable violation. *)
+
+val explain : t -> config -> int -> a:int -> b:int -> string
+(** Describe why [step] refused this event from [cfg]'s current state. *)

@@ -31,6 +31,7 @@ type t = {
   deliver : Packet.t -> unit;
   ctrs : counters;
   sp : Sublayer.Span.ctx;
+  probe : Conform.fib_probe;
 }
 
 (* Correlation key for one data packet's network transit: every router it
@@ -46,8 +47,8 @@ let transmit t ifindex frame =
   | Some send -> send frame
   | None -> ()
 
-let create engine ?(hello_config = Hello.default_config) ?stats ?tracer ~addr
-    ~routing ~deliver () =
+let create engine ?(hello_config = Hello.default_config) ?stats ?tracer
+    ?monitors ~addr ~routing ~deliver () =
   (* One scope per network sublayer: forwarding ("router"), the FIB, the
      hello machinery, and the route-computation protocol under its own
      name — T3's separation applied to the counters. *)
@@ -77,7 +78,7 @@ let create engine ?(hello_config = Hello.default_config) ?stats ?tracer ~addr
   let t =
     { addr; fib = Fib.create ~stats:(in_scope "fib") (); hello = None;
       routing = None; interfaces = Hashtbl.create 4; next_ifindex = 0; deliver;
-      ctrs; sp }
+      ctrs; sp; probe = Conform.fib monitors ~key:(Addr.to_string addr) }
   in
   let proto_scope = in_scope routing.Routing.protocol in
   let installed = Sublayer.Stats.counter proto_scope "routes_installed" in
@@ -90,11 +91,15 @@ let create engine ?(hello_config = Hello.default_config) ?stats ?tracer ~addr
       install =
         (fun dst ifindex ->
           Sublayer.Stats.incr installed;
-          Fib.insert t.fib (Addr.host dst) ifindex);
+          let before = Fib.size t.fib in
+          Fib.insert t.fib (Addr.host dst) ifindex;
+          t.probe.Conform.obs_insert ~fresh:(Fib.size t.fib > before));
       uninstall =
         (fun dst ->
           Sublayer.Stats.incr uninstalled;
-          Fib.remove t.fib (Addr.host dst));
+          let before = Fib.size t.fib in
+          Fib.remove t.fib (Addr.host dst);
+          t.probe.Conform.obs_remove ~removed:(Fib.size t.fib < before));
       stats = proto_scope;
     }
   in
@@ -145,7 +150,9 @@ let route t packet =
     t.deliver packet
   end
   else begin
-    match Fib.lookup t.fib packet.Packet.dst with
+    let next = Fib.lookup t.fib packet.Packet.dst in
+    t.probe.Conform.obs_lookup ~hit:(next <> None);
+    match next with
     | None ->
         Sublayer.Stats.incr t.ctrs.c_no_route;
         if Sublayer.Span.active t.sp then

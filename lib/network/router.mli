@@ -29,6 +29,7 @@ val create :
   ?hello_config:Hello.config ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   addr:Addr.t ->
   routing:Routing.factory ->
   deliver:(Packet.t -> unit) ->
@@ -43,7 +44,12 @@ val create :
     every data packet opens a "transit" span on the track named by its
     address; intermediate routers add "forward" instants parented on it,
     and the terminating router closes it with detail [delivered],
-    [no_route] or [ttl_expired]. *)
+    [no_route] or [ttl_expired].
+
+    When [monitors] is given (share one across the topology), a
+    {!Monitor.Specs.fib} instance keyed on the router's address checks
+    the route-computation⇄forwarding interface: FIB writes and data-path
+    lookups must stay consistent with the table size. *)
 
 val addr : t -> Addr.t
 

@@ -55,12 +55,13 @@ let random ~n ~extra ~seed =
 
 let norm (a, b) = if a < b then (a, b) else (b, a)
 
-let build engine ?(channel = Sim.Channel.ideal) ?tracer ~routing ~n edges =
+let build engine ?(channel = Sim.Channel.ideal) ?tracer ?monitors ~routing ~n
+    edges =
   let nodes =
     Array.init n (fun i ->
         let received = Queue.create () in
         let router =
-          Router.create engine ?tracer ~addr:(Addr.node i) ~routing
+          Router.create engine ?tracer ?monitors ~addr:(Addr.node i) ~routing
             ~deliver:(fun p -> Queue.add p received)
             ()
         in

@@ -20,12 +20,15 @@ val build :
   Sim.Engine.t ->
   ?channel:Sim.Channel.config ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   routing:Routing.factory ->
   n:int ->
   (int * int) list ->
   t
 (** [tracer] is shared by every router so packet transit spans opened at
-    the origin are closed wherever the packet terminates. *)
+    the origin are closed wherever the packet terminates. [monitors] is
+    likewise shared: each router attaches a router⇄FIB conformance
+    monitor keyed on its address. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Originate a data packet at node [src] for node [dst]'s address. *)

@@ -8,10 +8,11 @@ type report = {
   samples : (float * (string * int) list) list;
   flights : (string * string list) list;
   flight_cap : int;
+  verdicts : (string * int * int) list;
 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s%s" r.sname
+  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s%s%s" r.sname
     (if r.finished then "finished" else "DID NOT FINISH")
     r.vtime r.events_fired r.pending
     (match r.violations with
@@ -22,12 +23,22 @@ let pp_report ppf r =
     | fs ->
         Format.asprintf ", %d/%d flight dump%s" (List.length fs) r.flight_cap
           (if List.length fs = 1 then "" else "s"))
+    (match r.verdicts with
+    | [] -> ""
+    | vs ->
+        Format.asprintf ", monitors: %s"
+          (String.concat " "
+             (List.map
+                (fun (sub, checked, violated) ->
+                  Printf.sprintf "%s=%d/%d" sub (checked - violated) checked
+                  ^ if violated > 0 then "!" else "")
+                vs)))
 
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
 let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
-    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ?(flight_cap = 8) ~name
-    ~engine ~finished () =
+    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ?(flight_cap = 8)
+    ?(verdicts = fun () -> []) ~name ~engine ~finished () =
   let violations = ref [] in
   let flights = ref [] in
   (* Flight recorder: at every distinct violation (up to [flight_cap] of
@@ -98,6 +109,10 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
      straggler acks) expire: a hardened stack must quiesce, not tick
      forever. Cap the drain so a livelocked stack still reports. *)
   if quiesce && fin then Engine.run ~until:(vtime +. until) engine;
+  (* A violation the invariant hook surfaced only during the quiesce
+     drain would otherwise be lost — poll it once more, then freeze the
+     monitor verdicts into the report. *)
+  (match invariant () with None -> () | Some msg -> record msg);
   { sname = name;
     vtime;
     events_fired = Engine.events_fired engine;
@@ -106,7 +121,8 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
     violations = List.rev !violations;
     samples = List.rev !samples;
     flights = List.rev !flights;
-    flight_cap }
+    flight_cap;
+    verdicts = verdicts () }
 
 let reproducible scenario ~seed =
   let a = scenario seed in

@@ -32,6 +32,11 @@ type report = {
       (** maximum number of dumps this run was allowed to capture; when
           [List.length flights = flight_cap], later violations went
           un-dumped (they are still in [violations]) *)
+  verdicts : (string * int * int) list;
+      (** per-sublayer conformance verdicts [(sublayer, checked,
+          violated)] from the caller's [?verdicts] hook (typically
+          [Monitor.Runtime.verdicts]), evaluated once when the run ends;
+          empty when no hook was passed *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -49,6 +54,7 @@ val run :
   ?tracer:Tracer.t ->
   ?flight_n:int ->
   ?flight_cap:int ->
+  ?verdicts:(unit -> (string * int * int) list) ->
   name:string ->
   engine:Engine.t ->
   finished:(unit -> bool) ->
@@ -77,7 +83,14 @@ val run :
     distinct invariant violation freezes the last [flight_n] (default 32)
     spans into the report's [flights], up to [flight_cap] (default 8)
     dumps per run — preferring spans whose track appears in the violation
-    message, so each dump follows the offending connection. *)
+    message, so each dump follows the offending connection.
+
+    [verdicts] is evaluated once, after the run (and quiesce drain)
+    completes, and its result lands verbatim in the report — the hook for
+    runtime protocol monitors to publish per-sublayer checked/violated
+    counts next to the invariant sections. Reports stay structurally
+    comparable, so the hook must be deterministic for {!reproducible}
+    scenarios. *)
 
 val reproducible : (int -> report) -> seed:int -> bool
 (** [reproducible scenario ~seed] runs [scenario seed] twice and checks

@@ -25,8 +25,8 @@ let pp_report ppf r =
   Format.fprintf ppf "%s: %d/%d flows exact (%d launched), live hwm %d | %a"
     r.wname r.exact r.flows r.launched r.live_hwm Soak.pp_report r.soak
 
-let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer ~name
-    ~engine ~flows ops =
+let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer
+    ?verdicts ~name ~engine ~flows ops =
   if flows < 0 then invalid_arg "Workload.run: negative flow count";
   let launched = ref 0 in
   let base = Engine.now engine in
@@ -48,7 +48,8 @@ let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer ~name
   in
   let sample () = [ ("live", Engine.live engine) ] in
   let soak =
-    Soak.run ~step ~until ?invariant ?tracer ~sample ~name ~engine ~finished ()
+    Soak.run ~step ~until ?invariant ?tracer ?verdicts ~sample ~name ~engine
+      ~finished ()
   in
   let exact = ref 0 in
   for i = 0 to flows - 1 do

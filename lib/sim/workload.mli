@@ -34,6 +34,7 @@ val run :
   ?until:float ->
   ?invariant:(unit -> string option) ->
   ?tracer:Tracer.t ->
+  ?verdicts:(unit -> (string * int * int) list) ->
   name:string ->
   engine:Engine.t ->
   flows:int ->

@@ -1,0 +1,76 @@
+(** Conformance probes for the transport T2 interfaces.
+
+    One {!Sublayer.Machine.Probe} instantiation per boundary the Figure 5
+    stacks expose — app⇄OSR (closures around the endpoint, since the app
+    sits above the stack), OSR⇄RD, RD⇄CM and the opaque PDU boundaries
+    CM⇄DM, CM⇄Rec, Rec⇄DM. The probes are {e always} part of the
+    composition; when no {!Monitor.Runtime.t} is supplied their state is
+    a pair of shared no-op closures, so a monitored and an unmonitored
+    endpoint have identical types, event counts and schedules. *)
+
+module P_osr_rd : sig
+  type t = {
+    obs_req : Iface.rd_req -> unit;
+    obs_ind : Iface.rd_ind -> unit;
+  }
+
+  include
+    Sublayer.Machine.S
+      with type t := t
+       and type up_req = Iface.rd_req
+       and type up_ind = Iface.rd_ind
+       and type down_req = Iface.rd_req
+       and type down_ind = Iface.rd_ind
+       and type timer = Sublayer.Machine.Nothing.t
+end
+
+module P_rd_cm : sig
+  type t = {
+    obs_req : Iface.cm_req -> unit;
+    obs_ind : Iface.cm_ind -> unit;
+  }
+
+  include
+    Sublayer.Machine.S
+      with type t := t
+       and type up_req = Iface.cm_req
+       and type up_ind = Iface.cm_ind
+       and type down_req = Iface.cm_req
+       and type down_ind = Iface.cm_ind
+       and type timer = Sublayer.Machine.Nothing.t
+end
+
+module P_pdu : sig
+  type t = {
+    obs_req : Bitkit.Wirebuf.t -> unit;
+    obs_ind : Bitkit.Slice.t -> unit;
+  }
+
+  include
+    Sublayer.Machine.S
+      with type t := t
+       and type up_req = Bitkit.Wirebuf.t
+       and type up_ind = Bitkit.Slice.t
+       and type down_req = Bitkit.Wirebuf.t
+       and type down_ind = Bitkit.Slice.t
+       and type timer = Sublayer.Machine.Nothing.t
+end
+
+val osr_rd :
+  ?spec:Monitor.Spec.t -> Monitor.Runtime.t option -> conn:string -> P_osr_rd.t
+(** [spec] defaults to {!Monitor.Specs.osr_rd}; the {!Msg} stack passes
+    [Monitor.Specs.stream_rd ~upper:"msg"]. *)
+
+val rd_cm : Monitor.Runtime.t option -> conn:string -> P_rd_cm.t
+
+val cm_dm : Monitor.Runtime.t option -> conn:string -> P_pdu.t
+val cm_rec : Monitor.Runtime.t option -> conn:string -> P_pdu.t
+val rec_dm : Monitor.Runtime.t option -> conn:string -> P_pdu.t
+
+val app :
+  Monitor.Runtime.t option ->
+  conn:string ->
+  (Iface.app_req -> unit) * (Iface.app_ind -> unit)
+(** Observation closures for the application boundary; the endpoint
+    wrappers call them just before handing the request to the stack /
+    the indication to the app. *)

@@ -18,7 +18,7 @@ let server_port f = 1024 + (2 * f)
 let client_port f = 1025 + (2 * f)
 
 let create engine ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?(seed = 7) ?link_faults
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?(seed = 7) ?link_faults
     ~channel ~flows ~bytes () =
   if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
   if flows < 0 then invalid_arg "Fabric.create: negative flow count";
@@ -72,7 +72,7 @@ let create engine ?(hosts = 8) ?(config = Config.default)
   in
   let harr =
     Array.init hosts (fun h ->
-        Host.create engine ~config ~factory ?stats ?tracer
+        Host.create engine ~config ~factory ?stats ?tracer ?monitors
           ~name:(Printf.sprintf "H%d" h) ~transmit ())
   in
   Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;

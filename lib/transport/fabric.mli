@@ -17,6 +17,7 @@ val create :
   ?factory:Host.factory ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   ?seed:int ->
   ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->

@@ -14,6 +14,7 @@ type factory = {
   make :
     ?stats:Sublayer.Stats.registry ->
     ?tracer:Sim.Tracer.t ->
+    ?monitors:Monitor.Runtime.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -29,18 +30,21 @@ let sublayered =
     fname = "sublayered";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
+           ~transmit ~events ->
+        let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          Tcp_sublayered.create engine ?stats ?tracer ~name cfg ~local_port
-            ~remote_port ~transmit ~events
+          Tcp_sublayered.create engine ?stats ?tracer ?monitors ~name cfg
+            ~local_port ~remote_port ~transmit
+            ~events:(fun e -> app_ind e; events e)
         in
         {
           ep_from_wire = Tcp_sublayered.from_wire t;
-          ep_connect = (fun () -> Tcp_sublayered.connect t);
-          ep_listen = (fun () -> Tcp_sublayered.listen t);
-          ep_write = Tcp_sublayered.write t;
-          ep_read = Tcp_sublayered.read t;
-          ep_close = (fun () -> Tcp_sublayered.close t);
+          ep_connect = (fun () -> app_req `Connect; Tcp_sublayered.connect t);
+          ep_listen = (fun () -> app_req `Listen; Tcp_sublayered.listen t);
+          ep_write = (fun str -> app_req (`Write str); Tcp_sublayered.write t str);
+          ep_read = (fun n -> app_req (`Read n); Tcp_sublayered.read t n);
+          ep_close = (fun () -> app_req `Close; Tcp_sublayered.close t);
           ep_finished = (fun () -> Tcp_sublayered.stream_finished t);
         });
   }
@@ -69,6 +73,7 @@ type t = {
   transmit : Bitkit.Slice.t -> unit;
   stats : Sublayer.Stats.registry option;
   tracer : Sim.Tracer.t option;
+  monitors : Monitor.Runtime.t option;
   conns : (int * int, conn) Hashtbl.t;
   listeners : (int, unit) Hashtbl.t;
   mutable accept_cb : (conn -> unit) option;
@@ -76,8 +81,8 @@ type t = {
 }
 
 let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ?tracer
-    ~name ~transmit () =
-  { engine; config; factory; name; transmit; stats; tracer;
+    ?monitors ~name ~transmit () =
+  { engine; config; factory; name; transmit; stats; tracer; monitors;
     conns = Hashtbl.create 8;
     listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
 
@@ -112,8 +117,9 @@ let make_conn host ~local_port ~remote_port ~accepted =
   in
   let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
   let ep =
-    host.factory.make ?stats:host.stats ?tracer:host.tracer host.engine ~name
-      host.config ~local_port ~remote_port ~transmit:host.transmit ~events
+    host.factory.make ?stats:host.stats ?tracer:host.tracer
+      ?monitors:host.monitors host.engine ~name host.config ~local_port
+      ~remote_port ~transmit:host.transmit ~events
   in
   let c =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
@@ -226,7 +232,7 @@ let guard_verify sl =
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
-    channel_config =
+    ?monitors channel_config =
   let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let deliver target s =
@@ -249,21 +255,21 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
   (* One shared tracer: the cross-host span correlation (RD's flight
      spans closed by the receiving end) needs both hosts on it. *)
   let a =
-    create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ~name:"A"
-      ~transmit:(tx ab) ()
+    create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ?monitors
+      ~name:"A" ~transmit:(tx ab) ()
   in
   let b =
-    create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ~name:"B"
-      ~transmit:(tx ba) ()
+    create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ?monitors
+      ~name:"B" ~transmit:(tx ba) ()
   in
   to_a := from_wire a;
   to_b := from_wire b;
   (a, b, ab, ba)
 
 let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b ?tracer
-    channel_config =
+    ?monitors channel_config =
   let a, b, _, _ =
     pair_channels engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b
-      ?tracer channel_config
+      ?tracer ?monitors channel_config
   in
   (a, b)

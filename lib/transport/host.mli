@@ -31,6 +31,7 @@ type factory = {
   make :
     ?stats:Sublayer.Stats.registry ->
     ?tracer:Sim.Tracer.t ->
+    ?monitors:Monitor.Runtime.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -51,6 +52,7 @@ val create :
   ?factory:factory ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   name:string ->
   transmit:(Bitkit.Slice.t -> unit) ->
   unit ->
@@ -121,6 +123,7 @@ val pair :
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   Sim.Channel.config ->
   t * t
 (** Two hosts joined by a duplex impaired channel. [guard] (default
@@ -128,7 +131,9 @@ val pair :
     data-link service transport normally relies on — so corrupting
     channels drop rather than silently deliver damaged segments.
     [tracer] is shared by both hosts, so a segment's flight span opened
-    on the sender is closed by the receiver (causal cross-host spans). *)
+    on the sender is closed by the receiver (causal cross-host spans).
+    [monitors] is likewise shared: one registry collects the conformance
+    verdicts of every interface probe on both ends. *)
 
 val pair_channels :
   Sim.Engine.t ->
@@ -139,6 +144,7 @@ val pair_channels :
   ?stats_a:Sublayer.Stats.registry ->
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   Sim.Channel.config ->
   t * t * Bitkit.Slice.t Sim.Channel.t * Bitkit.Slice.t Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then

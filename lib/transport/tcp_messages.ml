@@ -1,14 +1,14 @@
 module Machine = Sublayer.Machine
 
 (* Identical lower stack to Tcp_sublayered; only the top module differs. *)
-module Lower = Machine.Stack (Cm) (Dm)
-module Middle = Machine.Stack (Rd) (Lower)
-module Full = Machine.Stack (Msg) (Middle)
+module Lower = Machine.Stack (Cm) (Machine.Stack (Conform.P_pdu) (Dm))
+module Middle = Machine.Stack (Rd) (Machine.Stack (Conform.P_rd_cm) (Lower))
+module Full = Machine.Stack (Msg) (Machine.Stack (Conform.P_osr_rd) (Middle))
 module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -21,7 +21,11 @@ let create engine ?trace ?stats ?tracer ~name cfg ~local_port ~remote_port ~tran
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events (msg, (rd, (cm, dm)))
+  R.create engine ?trace ~name ~transmit ~deliver:events
+    ( msg,
+      ( Conform.osr_rd ~spec:(Monitor.Specs.stream_rd ~upper:"msg") monitors
+          ~conn:name,
+        (rd, (Conform.rd_cm monitors ~conn:name, (cm, (Conform.cm_dm monitors ~conn:name, dm)))) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen

@@ -1,18 +1,18 @@
 module Machine = Sublayer.Machine
 
 (* Tcp_sublayered with one extra module slotted in below CM. *)
-module Bottom = Machine.Stack (Rec) (Dm)
-module Lower = Machine.Stack (Cm) (Bottom)
-module Middle = Machine.Stack (Rd) (Lower)
-module Full = Machine.Stack (Osr) (Middle)
+module Bottom = Machine.Stack (Rec) (Machine.Stack (Conform.P_pdu) (Dm))
+module Lower = Machine.Stack (Cm) (Machine.Stack (Conform.P_pdu) (Bottom))
+module Middle = Machine.Stack (Rd) (Machine.Stack (Conform.P_rd_cm) (Lower))
+module Full = Machine.Stack (Osr) (Machine.Stack (Conform.P_osr_rd) (Middle))
 module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ?stats ?tracer ~key ~name cfg ~local_port ~remote_port
-    ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ~key ~name cfg ~local_port
+    ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -28,7 +28,14 @@ let create engine ?trace ?stats ?tracer ~key ~name cfg ~local_port ~remote_port
     Rec.initial ?stats:(sc "rec") ?span:(sp "rec") ~key ~local_port ~remote_port ()
   in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, (rec_, dm))))
+  R.create engine ?trace ~name ~transmit ~deliver:events
+    ( osr,
+      ( Conform.osr_rd monitors ~conn:name,
+        ( rd,
+          ( Conform.rd_cm monitors ~conn:name,
+            ( cm,
+              ( Conform.cm_rec monitors ~conn:name,
+                (rec_, (Conform.rec_dm monitors ~conn:name, dm)) ) ) ) ) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen
@@ -38,7 +45,7 @@ let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
 let stream_finished t = Osr.stream_finished (fst (R.state t))
 
-let rec_state t = fst (snd (snd (snd (R.state t))))
+let rec_state t = fst (snd (snd (snd (snd (snd (snd (R.state t)))))))
 let records_sent t = Rec.records_sent (rec_state t)
 let auth_failures t = Rec.auth_failures (rec_state t)
 
@@ -47,18 +54,21 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
+           ~transmit ~events ->
+        let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ~key ~name cfg ~local_port ~remote_port
-            ~transmit ~events
+          create engine ?stats ?tracer ?monitors ~key ~name cfg ~local_port
+            ~remote_port ~transmit
+            ~events:(fun e -> app_ind e; events e)
         in
         {
           Host.ep_from_wire = from_wire t;
-          ep_connect = (fun () -> connect t);
-          ep_listen = (fun () -> listen t);
-          ep_write = write t;
-          ep_read = read t;
-          ep_close = (fun () -> close t);
+          ep_connect = (fun () -> app_req `Connect; connect t);
+          ep_listen = (fun () -> app_req `Listen; listen t);
+          ep_write = (fun str -> app_req (`Write str); write t str);
+          ep_read = (fun n -> app_req (`Read n); read t n);
+          ep_close = (fun () -> app_req `Close; close t);
           ep_finished = (fun () -> stream_finished t);
         });
   }

@@ -10,6 +10,7 @@ val create :
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   key:string ->
   name:string ->
   Config.t ->

@@ -3,14 +3,14 @@ module Machine = Sublayer.Machine
 (* The Figure 5 stack, composed bottom-up: CM over DM, RD over that, OSR
    on top. The functor composition type-checks the narrow interfaces of
    Iface: any module with the same ports drops in. *)
-module Lower = Machine.Stack (Cm) (Dm)
-module Middle = Machine.Stack (Rd) (Lower)
-module Full = Machine.Stack (Osr) (Middle)
+module Lower = Machine.Stack (Cm) (Machine.Stack (Conform.P_pdu) (Dm))
+module Middle = Machine.Stack (Rd) (Machine.Stack (Conform.P_rd_cm) (Lower))
+module Full = Machine.Stack (Osr) (Machine.Stack (Conform.P_osr_rd) (Middle))
 module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -23,7 +23,10 @@ let create engine ?trace ?stats ?tracer ~name cfg ~local_port ~remote_port ~tran
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, dm)))
+  R.create engine ?trace ~name ~transmit ~deliver:events
+    ( osr,
+      ( Conform.osr_rd monitors ~conn:name,
+        (rd, (Conform.rd_cm monitors ~conn:name, (cm, (Conform.cm_dm monitors ~conn:name, dm)))) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen
@@ -33,8 +36,8 @@ let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
 
 let osr_state t = fst (R.state t)
-let rd_state t = fst (snd (R.state t))
-let cm_state t = fst (snd (snd (R.state t)))
+let rd_state t = fst (snd (snd (R.state t)))
+let cm_state t = fst (snd (snd (snd (snd (R.state t)))))
 
 let cm_phase t = Cm.phase_name (cm_state t)
 let rd_stats t = Rd.stats (rd_state t)

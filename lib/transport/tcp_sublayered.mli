@@ -10,6 +10,7 @@ val create :
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -23,7 +24,9 @@ val create :
     [rd.*], [cm.*], [dm.*] plus [cc.*] for the congestion controller.
     When [tracer] is given, every sublayer opens causal spans on it
     (track = [name]), with per-sublayer sojourn histograms recorded into
-    [stats] as well. *)
+    [stats] as well. When [monitors] is given, conformance probes on the
+    OSR⇄RD, RD⇄CM and CM⇄DM interfaces check every crossing against the
+    {!Monitor.Specs} contracts under the key [name]. *)
 
 val connect : t -> unit
 val listen : t -> unit

@@ -1,15 +1,15 @@
 module Machine = Sublayer.Machine
 
 (* Only the CM module differs from Tcp_sublayered. *)
-module Lower = Machine.Stack (Cm_timer) (Dm)
-module Middle = Machine.Stack (Rd) (Lower)
-module Full = Machine.Stack (Osr) (Middle)
+module Lower = Machine.Stack (Cm_timer) (Machine.Stack (Conform.P_pdu) (Dm))
+module Middle = Machine.Stack (Rd) (Machine.Stack (Conform.P_rd_cm) (Lower))
+module Full = Machine.Stack (Osr) (Machine.Stack (Conform.P_osr_rd) (Middle))
 module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?(idle_timeout = 6.0) ~name cfg ~local_port
-    ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?(idle_timeout = 6.0) ~name cfg
+    ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -25,7 +25,10 @@ let create engine ?trace ?stats ?tracer ?(idle_timeout = 6.0) ~name cfg ~local_p
       ~local_port ~remote_port ~idle_timeout
   in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events (osr, (rd, (cm, dm)))
+  R.create engine ?trace ~name ~transmit ~deliver:events
+    ( osr,
+      ( Conform.osr_rd monitors ~conn:name,
+        (rd, (Conform.rd_cm monitors ~conn:name, (cm, (Conform.cm_dm monitors ~conn:name, dm)))) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen
@@ -33,7 +36,7 @@ let write t s = R.from_above t (`Write s)
 let read t n = R.from_above t (`Read n)
 let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
-let cm_phase t = Cm_timer.phase_name (fst (snd (snd (R.state t))))
+let cm_phase t = Cm_timer.phase_name (fst (snd (snd (snd (snd (R.state t))))))
 let stream_finished t = Osr.stream_finished (fst (R.state t))
 
 let factory ?idle_timeout () =
@@ -41,18 +44,21 @@ let factory ?idle_timeout () =
     Host.fname = "sublayered-watson";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
+           ~transmit ~events ->
+        let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ?idle_timeout ~name cfg ~local_port
-            ~remote_port ~transmit ~events
+          create engine ?stats ?tracer ?monitors ?idle_timeout ~name cfg
+            ~local_port ~remote_port ~transmit
+            ~events:(fun e -> app_ind e; events e)
         in
         {
           Host.ep_from_wire = from_wire t;
-          ep_connect = (fun () -> connect t);
-          ep_listen = (fun () -> listen t);
-          ep_write = write t;
-          ep_read = read t;
-          ep_close = (fun () -> close t);
+          ep_connect = (fun () -> app_req `Connect; connect t);
+          ep_listen = (fun () -> app_req `Listen; listen t);
+          ep_write = (fun str -> app_req (`Write str); write t str);
+          ep_read = (fun n -> app_req (`Read n); read t n);
+          ep_close = (fun () -> app_req `Close; close t);
           ep_finished = (fun () -> stream_finished t);
         });
   }

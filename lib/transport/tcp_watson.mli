@@ -9,6 +9,7 @@ val create :
   ?trace:Sim.Trace.t ->
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
   ?idle_timeout:float ->
   name:string ->
   Config.t ->

@@ -115,7 +115,8 @@ let datalink_soak arq seed =
       arq;
       arq_config = { Datalink.Arq.window = 8; rto = 0.15; max_retries = 60 } }
   in
-  let link = Datalink.Stack.link engine (Sim.Channel.lossy 0.02) spec in
+  let monitors = Monitor.Runtime.create ~label:"datalink" () in
+  let link = Datalink.Stack.link engine ~monitors (Sim.Channel.lossy 0.02) spec in
   let payloads = List.init 120 (Printf.sprintf "payload-%03d") in
   List.iter (Datalink.Stack.send link.Datalink.Stack.a) payloads;
   Sim.Faultplan.apply engine
@@ -134,14 +135,21 @@ let datalink_soak arq seed =
     | _ -> false
   in
   let invariant () =
-    if is_prefix (received ()) payloads then None
-    else Some "delivery is not an exact in-order prefix of the sent payloads"
+    match Monitor.Runtime.next_violation monitors with
+    | Some _ as v -> v
+    | None ->
+        if is_prefix (received ()) payloads then None
+        else Some "delivery is not an exact in-order prefix of the sent payloads"
   in
   let finished () =
     Datalink.Stack.is_idle link.Datalink.Stack.a
     && Queue.length link.Datalink.Stack.received_at_b = List.length payloads
   in
-  let report = Sim.Soak.run ~name:"datalink" ~engine ~until:60. ~invariant ~finished () in
+  let report =
+    Sim.Soak.run ~name:"datalink" ~engine ~until:60. ~invariant ~finished
+      ~verdicts:(fun () -> Monitor.Runtime.verdicts monitors)
+      ()
+  in
   (report, received (), payloads)
 
 let test_datalink_trio_under_faults () =
@@ -150,6 +158,8 @@ let test_datalink_trio_under_faults () =
       let report, got, sent = datalink_soak arq 41 in
       if not (Sim.Soak.ok report) then
         Alcotest.failf "%s: %s" aname (Format.asprintf "%a" Sim.Soak.pp_report report);
+      check Alcotest.bool (aname ^ ": monitors checked traffic") true
+        (List.exists (fun (_, c, _) -> c > 0) report.Sim.Soak.verdicts);
       check Alcotest.bool (aname ^ ": exact delivery") true (got = sent))
     arqs
 
@@ -188,7 +198,11 @@ let test_network_reconverges_across_flap () =
   List.iter
     (fun (pname, routing) ->
       let engine = Sim.Engine.create ~seed:11 () in
-      let net = Network.Topology.build engine ~routing ~n:8 (Network.Topology.ring 8) in
+      let monitors = Monitor.Runtime.create ~label:pname () in
+      let net =
+        Network.Topology.build engine ~monitors ~routing ~n:8
+          (Network.Topology.ring 8)
+      in
       (match Network.Topology.converge net with
       | Some _ -> ()
       | None -> Alcotest.failf "%s: initial convergence failed" pname);
@@ -212,6 +226,14 @@ let test_network_reconverges_across_flap () =
       (match Network.Topology.fib_path net ~src:0 ~dst:1 with
       | Some path -> check Alcotest.int (pname ^ ": direct route back") 2 (List.length path)
       | None -> Alcotest.failf "%s: 0->1 unreachable after heal" pname);
+      (* Route traffic so the forwarding side of the router<->FIB
+         monitor sees lookups, then require a clean verdict. *)
+      Network.Topology.send net ~src:0 ~dst:4 "conformance probe";
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 2.) engine;
+      check Alcotest.bool (pname ^ ": fib monitors checked writes") true
+        (Monitor.Runtime.checked monitors > 0);
+      check Alcotest.int (pname ^ ": no fib violations") 0
+        (Monitor.Runtime.violation_count monitors);
       Network.Topology.stop net)
     [ ("dv", Network.Distance_vector.factory ());
       ("ls", Network.Link_state.factory ()) ]
@@ -221,7 +243,10 @@ let test_network_reconverges_across_flap () =
 let blackhole_scenario ~heal seed =
   let engine = Sim.Engine.create ~seed () in
   let config = { Config.default with give_up_after = 5.0; max_retries = 8 } in
-  let a, b, ab, ba = Host.pair_channels engine ~config Sim.Channel.ideal in
+  let monitors = Monitor.Runtime.create ~label:"blackhole" () in
+  let a, b, ab, ba =
+    Host.pair_channels engine ~config ~monitors Sim.Channel.ideal
+  in
   Host.listen b ~port:80;
   let server = ref None in
   Host.on_accept b (fun c -> server := Some c);
@@ -245,7 +270,12 @@ let blackhole_scenario ~heal seed =
     | `Aborted -> abort_time := Sim.Engine.now engine
     | _ -> ());
   let finished () = if heal then Host.finished c else Host.aborted c in
-  let report = Sim.Soak.run ~name:"blackhole" ~engine ~until:60. ~finished () in
+  let report =
+    Sim.Soak.run ~name:"blackhole" ~engine ~until:60.
+      ~invariant:(Monitor.Runtime.invariant monitors)
+      ~verdicts:(fun () -> Monitor.Runtime.verdicts monitors)
+      ~finished ()
+  in
   let got = match !server with Some s -> Host.received s | None -> "" in
   (report, !abort_time, got, Host.aborted c, first ^ second)
 
@@ -275,9 +305,10 @@ let test_blackhole_reproducible () =
 
 let stack_soak ~fname ~factory seed =
   let engine = Sim.Engine.create ~seed () in
+  let monitors = Monitor.Runtime.create ~label:fname () in
   let a, b, ab, ba =
     Host.pair_channels engine ~factory_a:factory ~factory_b:factory ~guard:true
-      (Sim.Channel.lossy 0.01)
+      ~monitors (Sim.Channel.lossy 0.01)
   in
   Host.listen b ~port:80;
   let server = ref None in
@@ -294,21 +325,28 @@ let stack_soak ~fname ~factory seed =
   Sim.Faultplan.apply engine plan
     [ Sim.Faultplan.target ~name:"a->b" ab; Sim.Faultplan.target ~name:"b->a" ba ];
   let invariant () =
-    match !server with
-    | None -> None
-    | Some s ->
-        let got = Host.received s in
-        if String.length got <= String.length data
-           && got = String.sub data 0 (String.length got)
-        then None
-        else Some (fname ^ ": delivered bytes diverge from the sent stream")
+    match Monitor.Runtime.next_violation monitors with
+    | Some _ as v -> v
+    | None -> (
+        match !server with
+        | None -> None
+        | Some s ->
+            let got = Host.received s in
+            if String.length got <= String.length data
+               && got = String.sub data 0 (String.length got)
+            then None
+            else Some (fname ^ ": delivered bytes diverge from the sent stream"))
   in
   let finished () =
     match !server with
     | Some s -> Host.received_length s = String.length data && Host.finished c
     | None -> false
   in
-  let report = Sim.Soak.run ~name:fname ~engine ~until:120. ~invariant ~finished () in
+  let report =
+    Sim.Soak.run ~name:fname ~engine ~until:120. ~invariant ~finished
+      ~verdicts:(fun () -> Monitor.Runtime.verdicts monitors)
+      ()
+  in
   (report, (match !server with Some s -> Host.received s | None -> ""), data)
 
 let stacks () =
@@ -322,6 +360,8 @@ let test_stack_soaks () =
       let report, got, data = stack_soak ~fname ~factory 61 in
       if not (Sim.Soak.ok report) then
         Alcotest.failf "%s: %s" fname (Format.asprintf "%a" Sim.Soak.pp_report report);
+      check Alcotest.bool (fname ^ ": monitors checked traffic") true
+        (List.exists (fun (_, c, _) -> c > 0) report.Sim.Soak.verdicts);
       check Alcotest.bool (fname ^ ": exact delivery under chaos") true (got = data))
     (stacks ())
 

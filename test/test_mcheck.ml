@@ -120,6 +120,51 @@ let test_mono_model_holds () =
   let r = Checker.run (Model_mono.model Model_mono.default) in
   check Alcotest.bool "holds" true (r.Checker.violation = None)
 
+(* Assume–guarantee conformance (E25): every reachable transition of the
+   bounded sublayer models stays inside the very interface specs the
+   runtime monitors execute. *)
+let test_interface_conformance () =
+  List.iter
+    (fun (what, m) ->
+      let r = Checker.run (Protocol.conformance m) in
+      (match r.Checker.violation with
+      | Some (msg, trace) ->
+          Alcotest.failf "%s: %s (trace: %s)" what msg (String.concat " " trace)
+      | None -> ());
+      check Alcotest.bool (what ^ " exhaustive") false r.Checker.truncated;
+      check Alcotest.bool (what ^ " explored") true (r.Checker.states > 1))
+    [ ("rd sender |= osr-rd", Model_rd.observed_sender Model_rd.default);
+      ("rd receiver |= osr-rd", Model_rd.observed_receiver Model_rd.default);
+      ("cm initiator |= rd-cm", Model_cm.observed_initiator Model_cm.default);
+      ("cm responder |= rd-cm", Model_cm.observed_responder Model_cm.default) ]
+
+(* The product construction actually rejects: a model mutated to emit an
+   out-of-spec crossing yields a shortest trace to nonconformance. *)
+let test_conformance_catches_mutation () =
+  let module Bad = struct
+    type state = int
+
+    let name = "mutant"
+    let initial = [ 0 ]
+    let next s = if s >= 2 then [] else [ ("step" ^ string_of_int s, s + 1) ]
+    let invariant _ = None
+    let accepting s = s = 2
+    let spec = Monitor.Specs.rd_cm
+    let boot = [ (Monitor.Spec.Down, "connect", 0, 0) ]
+
+    let observe _ label _ =
+      (* delivers a payload PDU while the handshake is still opening *)
+      if label = "step1" then [ (Monitor.Spec.Up, "pdu", 5, 0) ] else []
+  end in
+  let r = Checker.run (Protocol.conformance (module Bad)) in
+  match r.Checker.violation with
+  | Some (msg, trace) ->
+      check Alcotest.bool "names conformance" true
+        (String.length msg > 0
+        && String.sub msg 0 (min 9 (String.length msg)) = "interface");
+      check Alcotest.(list string) "shortest trace" [ "step0"; "step1" ] trace
+  | None -> Alcotest.fail "mutant slipped through"
+
 let test_compositional_vs_monolithic_sizes () =
   (* E8's quantitative claim: the sum of the per-sublayer state spaces is
      far smaller than the joint monolithic space for the same
@@ -199,6 +244,8 @@ let () =
           Alcotest.test_case "cm without stale" `Quick test_cm_model_without_stale;
           Alcotest.test_case "cm teardown live" `Quick test_cm_teardown_no_deadlock;
           Alcotest.test_case "msg reassembly HOL-free (E15)" `Quick test_msg_model_hol_freedom;
+          Alcotest.test_case "models conform to interface specs (E25)" `Quick test_interface_conformance;
+          Alcotest.test_case "conformance catches mutation" `Quick test_conformance_catches_mutation;
           Alcotest.test_case "monolithic holds" `Slow test_mono_model_holds;
           Alcotest.test_case "compositional advantage (E8)" `Slow test_compositional_vs_monolithic_sizes;
         ] );

@@ -79,6 +79,50 @@ let test_gbn_retx_lineage () =
   check Alcotest.int "transfer completed" 40 (List.length received);
   assert_retx_lineage ~sublayer:"arq" tracer
 
+(* Receiver-side correlation: a payload delivered at B carries the trace
+   of the flight span opened at A — the deliver instant is a child of the
+   sending flight, not an orphan. *)
+let test_arq_deliver_correlation () =
+  List.iter
+    (fun arq ->
+      let module A = (val arq : Datalink.Arq.S) in
+      let engine = Sim.Engine.create ~seed:11 () in
+      let tracer = Tracer.create ~capacity:65536 () in
+      let link =
+        Datalink.Stack.link engine ~tracer (Sim.Channel.lossy 0.15)
+          { Datalink.Stack.default_spec with arq }
+      in
+      let payloads = List.init 25 (Printf.sprintf "payload %d") in
+      let received = Datalink.Stack.transfer engine link payloads in
+      check Alcotest.int (A.name ^ " completed") 25 (List.length received);
+      let spans = Tracer.spans tracer in
+      let flights_at_a =
+        List.filter_map
+          (fun s ->
+            if s.Tracer.sp_track = "A" && s.Tracer.sp_name = "flight" then
+              Some s.Tracer.sp_trace
+            else None)
+          spans
+      in
+      let delivers_at_b =
+        List.filter
+          (fun s -> s.Tracer.sp_track = "B" && s.Tracer.sp_name = "deliver")
+          spans
+      in
+      check Alcotest.int (A.name ^ " all deliveries traced") 25
+        (List.length delivers_at_b);
+      List.iter
+        (fun s ->
+          if s.Tracer.sp_trace = 0 || s.Tracer.sp_parent = 0 then
+            Alcotest.failf "%s: orphan deliver span %d" A.name s.Tracer.sp_id;
+          if not (List.mem s.Tracer.sp_trace flights_at_a) then
+            Alcotest.failf "%s: deliver trace %d matches no sending flight"
+              A.name s.Tracer.sp_trace)
+        delivers_at_b)
+    [ (module Datalink.Arq_stop_and_wait : Datalink.Arq.S);
+      (module Datalink.Arq_go_back_n);
+      (module Datalink.Arq_selective_repeat) ]
+
 (* --- Chrome exporter --- *)
 
 (* A deliberately tiny JSON reader — just enough to round-trip the
@@ -378,6 +422,8 @@ let () =
         [
           Alcotest.test_case "rd retransmit links to original" `Quick
             test_rd_retx_lineage;
+          Alcotest.test_case "arq deliveries correlate to sending flight"
+            `Quick test_arq_deliver_correlation;
           Alcotest.test_case "gbn re-send links to original" `Quick
             test_gbn_retx_lineage;
           Alcotest.test_case "trace_of survives span finish" `Quick
