@@ -1,4 +1,4 @@
-(* The full experiment harness: one section per experiment E1..E22 of
+(* The full experiment harness: one section per experiment E1..E25 of
    DESIGN.md / EXPERIMENTS.md, regenerating every figure and quantitative
    claim of the paper, plus a Bechamel microbenchmark suite for the
    performance-shape experiments (E6/E12). Run with:
@@ -1143,6 +1143,103 @@ let e22 () =
     (if slice_ps > 0. then copy_ps /. slice_ps else 0.)
     copy_eps slice_eps
 
+(* E23 — sharded parallel engine: the many-flow fabric partitioned
+   across per-domain Sim.Engine shards exchanging cross-shard segments
+   through conservative-lookahead conduits. Every cell must reach exact
+   delivery, and every multi-domain cell must fire exactly the event
+   count of the 1-domain cell on the same seed — the parallelism is
+   free of observable effect by construction, so the only number that
+   may move is events/sec. Speedup needs real cores: the harness prints
+   the host's recommended domain count next to the cells so a
+   single-core container's flat curve reads as what it is. *)
+
+let e23 () =
+  section "E23" "sharded parallel engine: events/sec vs domain count";
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let flow_counts = if smoke then [ 1_000 ] else [ 10_000; 100_000 ] in
+  let bytes = if smoke then 2_000 else 512 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  host reports %d usable core%s\n" cores
+    (if cores = 1 then "" else "s");
+  let cell ~domains ~flows =
+    let channel = { (Sim.Channel.lossy 0.01) with Sim.Channel.delay = 0.02 } in
+    let shard =
+      Sim.Shard.create ~seed:67 ~lookahead:channel.Sim.Channel.delay
+        ~shards:domains ()
+    in
+    let fabric =
+      Transport.Fabric.create_sharded shard ~hosts:16 ~channel ~flows ~bytes ()
+    in
+    let wall0 = Unix.gettimeofday () in
+    let r =
+      Sim.Workload.run_sharded ~spacing:0.0005 ~until:900. ~name:"e23" ~shard
+        ~launch_site:(Transport.Fabric.launch_site fabric)
+        ~flows
+        (Transport.Fabric.ops fabric)
+    in
+    let wall = Unix.gettimeofday () -. wall0 in
+    let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+    let eps = if wall > 0. then float_of_int fired /. wall else 0. in
+    if not (Sim.Workload.ok r) then
+      Printf.printf "  !! %d domains/%d flows NOT CLEAN: %s\n" domains flows
+        (Format.asprintf "%a" Sim.Workload.pp_report r);
+    (r, wall, fired, eps)
+  in
+  let json = Buffer.create 1024 in
+  Buffer.add_string json "{\"cells\":[";
+  let first = ref true in
+  Printf.printf "  %-7s %8s %10s %10s %12s %10s %8s %9s\n" "domains" "flows"
+    "events" "wall(s)" "events/sec" "live_hwm" "exact" "identical";
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun flows ->
+      List.iter
+        (fun domains ->
+          let r, wall, fired, eps = cell ~domains ~flows in
+          Hashtbl.replace table (domains, flows) (fired, eps);
+          let serial_fired, _ = Hashtbl.find table (1, flows) in
+          let identical = fired = serial_fired in
+          if not identical then
+            Printf.printf
+              "  !! %d domains/%d flows diverged from serial (%d vs %d events)\n"
+              domains flows fired serial_fired;
+          Printf.printf "  %-7d %8d %10d %10.3f %12.0f %10d %7d/%d %9s\n"
+            domains flows fired wall eps r.Sim.Workload.live_hwm
+            r.Sim.Workload.exact r.Sim.Workload.flows
+            (if identical then "yes" else "NO");
+          if not !first then Buffer.add_char json ',';
+          first := false;
+          Buffer.add_string json
+            (Printf.sprintf
+               "{\"domains\":%d,\"flows\":%d,\"events\":%d,\"wall_s\":%.6f,\"events_per_sec\":%.0f,\"live_hwm\":%d,\"exact\":%d,\"identical_to_serial\":%b,\"ok\":%b}"
+               domains flows fired wall eps r.Sim.Workload.live_hwm
+               r.Sim.Workload.exact identical (Sim.Workload.ok r)))
+        domain_counts)
+    flow_counts;
+  Buffer.add_string json
+    (Printf.sprintf "],\"cores\":%d}" cores);
+  let path = out_path "e23_shard.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  let biggest = List.fold_left max 0 flow_counts in
+  let _, serial_eps = Hashtbl.find table (1, biggest) in
+  let best_domains, best_eps =
+    List.fold_left
+      (fun (bd, be) d ->
+        let _, eps = Hashtbl.find table (d, biggest) in
+        if eps > be then (d, eps) else (bd, be))
+      (1, serial_eps) domain_counts
+  in
+  headline
+    "sharding at %d flows: %.0f events/sec serial, best %.0f at %d domains (%.2fx on %d core%s) — bit-identical delivery at every domain count"
+    biggest serial_eps best_eps best_domains
+    (if serial_eps > 0. then best_eps /. serial_eps else 0.)
+    cores
+    (if cores = 1 then "" else "s")
+
 (* E25 — runtime conformance monitors: the many-flow fabric with every
    T2 interface probe live vs with no registry attached (the probes stay
    in the composition either way, carrying no-op closures). Same seed,
@@ -1318,7 +1415,8 @@ let () =
     [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
-      ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E25", e25);
+      ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
+      ("E25", e25);
       ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;

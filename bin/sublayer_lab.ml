@@ -334,8 +334,91 @@ let scale_cmd =
        ~doc:"Soak thousands of concurrent flows on the N-host fabric.")
     Term.(const run $ flows $ hosts $ bytes $ loss $ backend $ seed)
 
+(* --- shard --- *)
+
+let shard_cmd =
+  let run flows hosts bytes loss shards seed verify =
+    let workload nshards =
+      let channel = { (Sim.Channel.lossy loss) with Sim.Channel.delay = 0.02 } in
+      let shard =
+        Sim.Shard.create ~seed ~lookahead:channel.Sim.Channel.delay
+          ~shards:nshards ()
+      in
+      let monitors =
+        Array.init nshards (fun i ->
+            Monitor.Runtime.create ~label:(Printf.sprintf "shard%d" i) ())
+      in
+      let fabric =
+        Transport.Fabric.create_sharded shard ~hosts ~channel ~flows ~bytes
+          ~monitors ()
+      in
+      let mons = Array.to_list monitors in
+      let wall0 = Unix.gettimeofday () in
+      let r =
+        Sim.Workload.run_sharded ~spacing:0.005 ~until:900. ~name:"shard"
+          ~shard
+          ~launch_site:(Transport.Fabric.launch_site fabric)
+          ~invariant:(Monitor.Runtime.merged_invariant mons)
+          ~verdicts:(fun () -> Monitor.Runtime.merged_verdicts mons)
+          ~flows
+          (Transport.Fabric.ops fabric)
+      in
+      let wall = Unix.gettimeofday () -. wall0 in
+      (r, wall, mons)
+    in
+    let r, wall, mons = workload shards in
+    Format.printf "%a@." Sim.Workload.pp_report r;
+    let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+    Printf.printf "%d shards: %d events in %.3fs wall = %.0f events/sec\n"
+      shards fired wall
+      (if wall > 0. then float_of_int fired /. wall else 0.);
+    let viols =
+      List.fold_left (fun n m -> n + Monitor.Runtime.violation_count m) 0 mons
+    in
+    if viols > 0 then begin
+      List.iter
+        (fun m ->
+          List.iter (Printf.printf "MONITOR VIOLATION: %s\n")
+            (Monitor.Runtime.violations m))
+        mons;
+      exit 1
+    end;
+    if verify && shards > 1 then begin
+      (* Re-run the identical scenario on one shard (a plain single
+         engine, no domains) and demand the whole report match. *)
+      let serial, swall, _ = workload 1 in
+      Printf.printf "1 shard:  %d events in %.3fs wall = %.0f events/sec\n"
+        serial.Sim.Workload.soak.Sim.Soak.events_fired swall
+        (if swall > 0. then
+           float_of_int serial.Sim.Workload.soak.Sim.Soak.events_fired /. swall
+         else 0.);
+      if r <> serial then begin
+        Printf.printf "DIVERGED: sharded run is not bit-identical to serial\n";
+        exit 1
+      end;
+      Printf.printf "sharded run is bit-identical to the single-engine run\n"
+    end;
+    if not (Sim.Workload.ok r) then exit 1
+  in
+  let flows = Arg.(value & opt int 1000 & info [ "flows" ] ~doc:"Concurrent flows.") in
+  let hosts = Arg.(value & opt int 16 & info [ "hosts" ] ~doc:"Hosts on the fabric.") in
+  let bytes = Arg.(value & opt int 8_000 & info [ "bytes" ] ~doc:"Bytes per flow.") in
+  let loss = Arg.(value & opt float 0.01 & info [ "loss" ] ~doc:"Segment loss probability.") in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"Engine shards (one domain each).")
+  in
+  let seed = Arg.(value & opt int 67 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Also run on one shard and check bit-identity.")
+  in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:"Run the many-flow fabric on parallel per-domain engine shards.")
+    Term.(const run $ flows $ hosts $ bytes $ loss $ shards $ seed $ verify)
+
 let () =
   let doc = "sublayered-protocols laboratory (HotNets '24 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "sublayer-lab" ~doc)
                     [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd;
-                      stats_cmd; trace_cmd; scale_cmd ]))
+                      stats_cmd; trace_cmd; scale_cmd; shard_cmd ]))

@@ -1,14 +1,17 @@
 (* An immutable view into a string: the currency of the zero-copy data
    path. Narrowing ([sub]) is free; materializing ([to_string]) or
-   blitting is what costs, and every such copy is charged to a global
-   byte counter so benches can report bytes-copied-per-packet. *)
+   blitting is what costs, and every such copy is charged to a
+   process-wide byte counter so benches can report
+   bytes-copied-per-packet. The counter is an [Atomic.t]: sharded runs
+   copy from several domains at once, and a plain [ref] would lose
+   updates exactly when the accounting matters most. *)
 
 type t = { base : string; off : int; len : int }
 
-let copied = ref 0
-let note_copy n = copied := !copied + n
-let copied_bytes () = !copied
-let reset_copied () = copied := 0
+let copied = Atomic.make 0
+let note_copy n = ignore (Atomic.fetch_and_add copied n)
+let copied_bytes () = Atomic.get copied
+let reset_copied () = Atomic.set copied 0
 
 let empty = { base = ""; off = 0; len = 0 }
 

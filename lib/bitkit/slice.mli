@@ -40,7 +40,8 @@ val pp : Format.formatter -> t -> unit
 
 val note_copy : int -> unit
 (** Charge [n] bytes to the copy counter (used by {!Bitio} and channel
-    corruption, which copy through other paths). *)
+    corruption, which copy through other paths). The counter is atomic,
+    so domains running shards in parallel never lose updates. *)
 
 val copied_bytes : unit -> int
 val reset_copied : unit -> unit

@@ -18,9 +18,11 @@
 type header = { h_owner : string; h_bytes : string; h_bits : int }
 type t = { headers : header list; hdr_len : int; payload : Slice.t }
 
-let eager_mode = ref false
-let set_eager b = eager_mode := b
-let eager () = !eager_mode
+(* Atomic so sharded runs on several domains read a coherent mode; it is
+   still a process-wide switch, flipped only between runs. *)
+let eager_mode = Atomic.make false
+let set_eager b = Atomic.set eager_mode b
+let eager () = Atomic.get eager_mode
 
 let of_slice payload = { headers = []; hdr_len = 0; payload }
 let of_string s = of_slice (Slice.of_string s)
@@ -58,7 +60,7 @@ let pack f =
 
 let push t ~owner f =
   let h_bytes, h_bits = pack f in
-  if !eager_mode then begin
+  if Atomic.get eager_mode then begin
     (* Legacy path: materialize on every crossing. *)
     let k = String.length h_bytes in
     let b = Bytes.create (k + length t) in

@@ -1,6 +1,9 @@
-let enabled_flag = ref true
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+(* The process-wide kill switch is read on every counter bump from every
+   domain running a shard, so it is an [Atomic.t] (one plain load on the
+   hot path), never a [ref]. *)
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 type counter = { c_name : string; mutable c : int }
 type gauge = { g_name : string; mutable g : int }
@@ -51,8 +54,8 @@ let counter s name =
       s.counters <- c :: s.counters;
       c
 
-let incr c = if !enabled_flag then c.c <- c.c + 1
-let add c n = if !enabled_flag then c.c <- c.c + n
+let incr c = if Atomic.get enabled_flag then c.c <- c.c + 1
+let add c n = if Atomic.get enabled_flag then c.c <- c.c + n
 let value c = c.c
 
 let gauge s name =
@@ -63,7 +66,7 @@ let gauge s name =
       s.gauges <- g :: s.gauges;
       g
 
-let set g v = if !enabled_flag then g.g <- v
+let set g v = if Atomic.get enabled_flag then g.g <- v
 let gauge_value g = g.g
 
 let histogram s name =
@@ -89,7 +92,7 @@ let bucket_of v =
   end
 
 let observe h v =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let v = if v < 0 then 0 else v in
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum + v;

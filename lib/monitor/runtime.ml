@@ -1,6 +1,10 @@
-let on = ref true
-let set_enabled v = on := v
-let enabled () = !on
+(* Process-wide kill switch, read on every probe from every shard
+   domain: atomic load, never a plain [ref]. Registries themselves are
+   per-shard instances — see {!merged_verdicts} for the explicit
+   cross-domain merge. *)
+let on = Atomic.make true
+let set_enabled v = Atomic.set on v
+let enabled () = Atomic.get on
 
 type instance = {
   spec : Spec.t;
@@ -64,7 +68,7 @@ let violate inst mid ~a ~b =
   r.unreported <- r.unreported @ [ msg ]
 
 let observe inst mid ~a ~b =
-  if !on && not inst.i_dead then begin
+  if Atomic.get on && not inst.i_dead then begin
     (match Spec.msg_dir inst.spec mid with
     | Spec.Down -> inst.checked_down <- inst.checked_down + 1
     | Spec.Up -> inst.checked_up <- inst.checked_up + 1);
@@ -102,3 +106,26 @@ let verdicts t =
     t.instances;
   Hashtbl.fold (fun name (c, v) acc -> (name, c, v) :: acc) tbl []
   |> List.sort compare
+
+(* Sharded runs hold one registry per shard (monitors are single-domain
+   mutable state); after the domains join, verdicts are summed here — an
+   explicit merge instead of sharing the registry across domains. *)
+let merged_verdicts ts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, c, v) ->
+          let c0, v0 =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt tbl name)
+          in
+          Hashtbl.replace tbl name (c0 + c, v0 + v))
+        (verdicts t))
+    ts;
+  Hashtbl.fold (fun name (c, v) acc -> (name, c, v) :: acc) tbl []
+  |> List.sort compare
+
+let merged_invariant ts () =
+  List.fold_left
+    (fun acc t -> match acc with Some _ -> acc | None -> next_violation t)
+    None ts

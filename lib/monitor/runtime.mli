@@ -59,3 +59,12 @@ val verdicts : t -> (string * int * int) list
     observed event is attributed to the sublayer that sent it ([Down] →
     the spec's upper, [Up] → lower). The shape {!Sim.Soak.run}'s
     [?verdicts] hook expects. *)
+
+val merged_verdicts : t list -> (string * int * int) list
+(** Sum {!verdicts} across several registries (one per shard in a
+    sharded run) — the explicit cross-domain merge, performed after the
+    shard domains have joined. *)
+
+val merged_invariant : t list -> unit -> string option
+(** A {!Sim.Soak.run} [invariant] hook draining unreported violations
+    from several registries, in registry order. *)

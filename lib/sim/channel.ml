@@ -59,16 +59,38 @@ type 'a t = {
   stats : stats;
   tracer : Tracer.t option;
   label : string;
+  crng : Bitkit.Rng.t option;
+  (* Delivery scheduler: [None] schedules on [engine]; a sharded fabric
+     substitutes a closure posting to the destination shard's conduit.
+     The delivery thunk (including the [delivered] bump, which therefore
+     mutates only destination-side state) runs wherever the closure puts
+     it. *)
+  sched : (after:float -> (unit -> unit) -> unit) option;
   mutable busy_until : float;
   mutable burst_bad : bool;
 }
 
 let create engine cfg ?(size = fun _ -> 0) ?(corrupt = fun _ m -> m)
-    ?(mark = fun m -> m) ?tracer ?(label = "channel") ~deliver () =
+    ?(mark = fun m -> m) ?tracer ?(label = "channel") ?rng ?schedule ~deliver
+    () =
   { engine; cfg; size; corrupt; mark; deliver;
     stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0;
               corrupted = 0; bytes_sent = 0 };
-    tracer; label; busy_until = 0.; burst_bad = false }
+    tracer; label; crng = rng; sched = schedule; busy_until = 0.;
+    burst_bad = false }
+
+(* Every send consumes this stream (coins and jitter draws happen even
+   under [ideal]), so a channel with its own seeded [?rng] makes its
+   behaviour independent of what every other channel does with the
+   engine's stream — the property that lets a sharded fabric, where
+   channels run on different engines, replay the exact single-engine
+   outcome. *)
+let rng_of t = match t.crng with Some r -> r | None -> Engine.rng t.engine
+
+let schedule_delivery t ~after fn =
+  match t.sched with
+  | None -> ignore (Engine.schedule t.engine ~after fn)
+  | Some s -> s ~after fn
 
 let stats t = t.stats
 let set_config t cfg = t.cfg <- cfg
@@ -87,7 +109,7 @@ let burst_drops t rng =
       Bitkit.Rng.coin rng (if t.burst_bad then g.loss_bad else g.loss_good)
 
 let transmit_once t msg =
-  let rng = Engine.rng t.engine in
+  let rng = rng_of t in
   let burst_drop = burst_drops t rng in
   if Bitkit.Rng.coin rng t.cfg.loss || burst_drop then
     t.stats.dropped <- t.stats.dropped + 1
@@ -137,17 +159,16 @@ let transmit_once t msg =
         in
         ignore (Tracer.finish tr ~at:(t0 +. latency) id)
     | Some _ | None -> ());
-    ignore
-      (Engine.schedule t.engine ~after:latency (fun () ->
-           t.stats.delivered <- t.stats.delivered + 1;
-           t.deliver msg))
+    schedule_delivery t ~after:latency (fun () ->
+        t.stats.delivered <- t.stats.delivered + 1;
+        t.deliver msg)
   end
 
 let send t msg =
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes_sent <- t.stats.bytes_sent + t.size msg;
   transmit_once t msg;
-  if Bitkit.Rng.coin (Engine.rng t.engine) t.cfg.duplication then begin
+  if Bitkit.Rng.coin (rng_of t) t.cfg.duplication then begin
     t.stats.duplicated <- t.stats.duplicated + 1;
     transmit_once t msg
   end

@@ -66,6 +66,8 @@ val create :
   ?mark:('a -> 'a) ->
   ?tracer:Tracer.t ->
   ?label:string ->
+  ?rng:Bitkit.Rng.t ->
+  ?schedule:(after:float -> (unit -> unit) -> unit) ->
   deliver:('a -> unit) ->
   unit ->
   'a t
@@ -81,7 +83,20 @@ val create :
     serialisation plus the wait behind earlier messages on the link (only
     when a [bandwidth] is modelled), and [channel.prop], the propagation
     delay that follows. Both use explicit timestamps taken at send time,
-    so tracing adds no engine events and cannot perturb determinism. *)
+    so tracing adds no engine events and cannot perturb determinism.
+
+    [rng] gives the channel a private random stream in place of the
+    engine's. Every send draws from the stream (impairment coins and the
+    jitter draw fire even on an ideal link), so per-link seeded streams
+    make each channel's behaviour independent of global event interleave
+    — the property that lets the sharded fabric replay the exact
+    single-engine outcome.
+
+    [schedule] overrides how deliveries are scheduled ([Engine.schedule]
+    on the channel's engine by default): a sharded fabric substitutes a
+    closure that posts the delivery thunk to the destination shard's
+    conduit. The [delivered] statistic is bumped inside the thunk, so it
+    mutates destination-side state only. *)
 
 val send : 'a t -> 'a -> unit
 val stats : 'a t -> stats

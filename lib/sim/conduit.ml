@@ -1,0 +1,71 @@
+(* A deterministic cross-shard message queue: the only channel through
+   which one shard's domain may touch another shard's engine.
+
+   The design is classic conservative (Chandy–Misra) parallel DES. A
+   conduit connects exactly one (src shard, dst shard) pair and promises
+   a {e lookahead} L: every message carries an absolute delivery time
+   that is >= sender's-clock + L at push time. The shard runner exploits
+   the promise: when every shard's next local event is at >= m, every
+   shard may safely run to m + L, because no message that could still
+   arrive can be timestamped earlier.
+
+   Determinism does not come from the mutex — it comes from the drain
+   discipline. Messages are pushed in the sender's deterministic
+   execution order and drained only at round barriers, in a fixed
+   src-shard order, being re-inserted into the destination engine with
+   [Engine.at] (which breaks timestamp ties by insertion sequence). So
+   the destination's fire order is a pure function of the simulation,
+   never of domain scheduling. The mutex only makes the handoff of the
+   batch memory-safe. *)
+
+type msg = { m_time : float; m_fn : unit -> unit }
+
+type t = {
+  lookahead : float;
+  lock : Mutex.t;
+  mutable q : msg list; (* newest first; reversed on drain *)
+  mutable pushed : int;
+  mutable drained : int;
+}
+
+let create ~lookahead =
+  if not (Float.is_finite lookahead) || lookahead <= 0. then
+    invalid_arg "Conduit.create: lookahead must be positive and finite";
+  { lookahead; lock = Mutex.create (); q = []; pushed = 0; drained = 0 }
+
+let lookahead t = t.lookahead
+
+let push t ~time fn =
+  Mutex.lock t.lock;
+  t.q <- { m_time = time; m_fn = fn } :: t.q;
+  t.pushed <- t.pushed + 1;
+  Mutex.unlock t.lock
+
+(* Hand every queued message to [f], oldest push first, checking the
+   lookahead promise: a message timestamped before [now] would have to
+   fire in the receiving shard's past, which is exactly the causality
+   violation the safe-window protocol exists to rule out — so it is a
+   protocol bug, reported loudly rather than silently reordered. *)
+let drain t ~now f =
+  Mutex.lock t.lock;
+  let batch = List.rev t.q in
+  t.q <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun m ->
+      if m.m_time < now then
+        invalid_arg
+          (Printf.sprintf
+             "Conduit.drain: message at t=%.9f delivered into the past \
+              (shard clock %.9f)"
+             m.m_time now);
+      t.drained <- t.drained + 1;
+      f ~time:m.m_time m.m_fn)
+    batch
+
+let pushed t = t.pushed
+let drained t = t.drained
+
+(* In-flight backlog. Racy by nature (the sender may be pushing); only
+   meaningful at barriers, where the round protocol guarantees quiet. *)
+let backlog t = t.pushed - t.drained

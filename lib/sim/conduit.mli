@@ -1,0 +1,42 @@
+(** Deterministic cross-shard message conduits.
+
+    A conduit carries scheduled events from one shard's domain to
+    another under a conservative-lookahead contract: every message's
+    absolute timestamp is at least the sender's clock plus the conduit's
+    {!lookahead} (in the fabric, the cross-shard link's propagation
+    delay — jitter, serialisation and reordering only ever add to it,
+    and fault plans never shrink it). {!Shard} uses the promise to
+    compute safe execution windows; {!drain} enforces it, rejecting any
+    message that would land in the receiving shard's past.
+
+    Determinism comes from the drain discipline, not the lock: messages
+    are drained only at round barriers, in push order, per conduit in a
+    fixed shard order, and re-inserted via {!Engine.at} whose tie-break
+    is insertion order. The mutex only makes the batch handoff safe. *)
+
+type t
+
+val create : lookahead:float -> t
+(** [lookahead] must be positive and finite. *)
+
+val lookahead : t -> float
+
+val push : t -> time:float -> (unit -> unit) -> unit
+(** Enqueue an event for absolute virtual time [time] (sender side). *)
+
+val drain : t -> now:float -> (time:float -> (unit -> unit) -> unit) -> unit
+(** [drain t ~now f] hands every queued message to [f], oldest push
+    first (receiver side, barriers only). Raises [Invalid_argument] if
+    any message is timestamped before [now] — a violated lookahead
+    promise, i.e. an event that would fire in the receiving shard's
+    past. *)
+
+val pushed : t -> int
+(** Messages ever pushed (monotonic). *)
+
+val drained : t -> int
+(** Messages ever drained (monotonic). *)
+
+val backlog : t -> int
+(** [pushed - drained]: in-flight messages. Only meaningful at round
+    barriers, where the protocol guarantees no concurrent pushes. *)

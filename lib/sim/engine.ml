@@ -148,6 +148,16 @@ let fire t ev =
   decr t.live;
   f ()
 
+(* Timestamp of the earliest live event, event left queued. Used by the
+   shard round protocol to compute the global safe window; the wheel's
+   cursor may advance up to that event, which is harmless — the wheel
+   routes insertions at or before its cursor through the front heap,
+   preserving exact (time, seq) order. *)
+let next_time t =
+  match peek t ~horizon:infinity with
+  | None -> None
+  | Some ev -> Some ev.time
+
 let step t =
   match peek t ~horizon:infinity with
   | None -> false

@@ -41,6 +41,11 @@ val cancel : handle -> unit
 
 val cancelled : handle -> bool
 
+val next_time : t -> float option
+(** Timestamp of the earliest live event, left queued ([None] when the
+    queue is empty). The shard round protocol uses this to compute the
+    global safe window. *)
+
 val step : t -> bool
 (** Fire the next event. Returns [false] if the queue was empty. *)
 

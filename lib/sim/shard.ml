@@ -1,0 +1,205 @@
+(* Sharded parallel simulation: N private engines, one OCaml domain
+   each, advancing in lockstep rounds under a conservative
+   (Chandy–Misra) safe-window rule.
+
+   Invariants the protocol rests on:
+
+   - Shard i's engine is touched only by domain i while a round is
+     running; cross-shard scheduling goes through {!Conduit}s, drained
+     only at barriers.
+   - Every cross-shard message's timestamp is >= sender-clock +
+     lookahead (the fabric guarantees this: lookahead <= the propagation
+     delay of every cross-shard link, and nothing — jitter,
+     serialisation, reordering, fault plans — ever shrinks a delay).
+   - Therefore, when the earliest next event anywhere is at m, every
+     shard may run to horizon = min(m + lookahead, until): any message
+     generated during the round has timestamp >= m + lookahead >=
+     horizon >= every clock at the next drain. Float rounding keeps the
+     inequalities: fl(x +. y) is monotone in both arguments, and the
+     horizon is computed with the same one addition as the senders'
+     timestamps.
+
+   Round protocol, per worker i (main domain runs shard 0):
+
+     drain own inboxes (fixed src order);  publish next.(i)
+     loop:
+       barrier A — last arriver computes the round decision:
+                   m = min over next[];  done if m = inf or m > until
+                   else horizon = min (m +. lookahead) until
+       if done: run to [until] (advances idle clocks) and exit
+       else:    Engine.run ~until:horizon;
+       barrier B — everyone has stopped pushing;
+       drain own inboxes;  publish next.(i)
+
+   Inboxes are drained *before* the leader computes m, so conduits are
+   empty whenever a decision is taken — the min over engine queues alone
+   is the true global minimum.
+
+   Every [run] call spawns fresh worker domains and joins them before
+   returning: spawn/join give the memory ordering that lets the main
+   domain freely read (and mutate) all shard state between calls, and a
+   soak run's few hundred slices cost a few hundred spawns — noise. *)
+
+type t = {
+  engines : Engine.t array;
+  inbox : Conduit.t array array; (* inbox.(dst).(src); diagonal unused *)
+  la : float;
+}
+
+let create ?(seed = 1) ?backend ?(lookahead = 1e-3) ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: shards must be >= 1";
+  if not (Float.is_finite lookahead) || lookahead <= 0. then
+    invalid_arg "Shard.create: lookahead must be positive and finite";
+  {
+    engines =
+      (* Engine i gets seed+i, but engine RNGs are only a fallback: the
+         fabric gives every channel its own per-link stream precisely so
+         results do not depend on which engine hosts which flow. *)
+      Array.init shards (fun i -> Engine.create ~seed:(seed + i) ?backend ());
+    inbox =
+      Array.init shards (fun _ ->
+          Array.init shards (fun _ -> Conduit.create ~lookahead));
+    la = lookahead;
+  }
+
+let shards t = Array.length t.engines
+let engine t i = t.engines.(i)
+let lookahead t = t.la
+
+let now t =
+  Array.fold_left (fun acc e -> Float.max acc (Engine.now e)) 0. t.engines
+
+let events_fired t =
+  Array.fold_left (fun acc e -> acc + Engine.events_fired e) 0 t.engines
+
+let pending t =
+  let q = Array.fold_left (fun acc e -> acc + Engine.pending e) 0 t.engines in
+  Array.fold_left
+    (Array.fold_left (fun acc c -> acc + Conduit.backlog c))
+    q t.inbox
+
+let post t ~src ~dst ~time fn =
+  if src = dst then ignore (Engine.at t.engines.(src) ~time fn)
+  else Conduit.push t.inbox.(dst).(src) ~time fn
+
+(* --- the round barrier ------------------------------------------------ *)
+
+(* A classic generation barrier whose last arriver runs a leader closure
+   while still holding the lock: the closure reads what every worker
+   published before arriving (their lock acquisition ordered those
+   writes) and its own writes are ordered before every release. *)
+type barrier = {
+  b_lock : Mutex.t;
+  b_cond : Condition.t;
+  b_n : int;
+  mutable b_arrived : int;
+  mutable b_gen : int;
+}
+
+let barrier_make n =
+  { b_lock = Mutex.create (); b_cond = Condition.create (); b_n = n;
+    b_arrived = 0; b_gen = 0 }
+
+let barrier_await b leader =
+  Mutex.lock b.b_lock;
+  let gen = b.b_gen in
+  b.b_arrived <- b.b_arrived + 1;
+  if b.b_arrived = b.b_n then begin
+    leader ();
+    b.b_arrived <- 0;
+    b.b_gen <- gen + 1;
+    Condition.broadcast b.b_cond
+  end
+  else
+    while b.b_gen = gen do
+      Condition.wait b.b_cond b.b_lock
+    done;
+  Mutex.unlock b.b_lock
+
+(* Shared round state. All fields are written and read inside barrier
+   critical sections (or before a spawn / after a join), so none need to
+   be atomic. *)
+type round = {
+  bar : barrier;
+  next : float array;        (* per shard: earliest queued event, or inf *)
+  mutable horizon : float;   (* leader's decision for this round *)
+  mutable go : bool;
+  mutable abort : bool;      (* leader saw a recorded failure *)
+  mutable exn : exn option;  (* first failure; poisons the run *)
+}
+
+let worker t ~until shared i =
+  let n = Array.length t.engines in
+  let eng = t.engines.(i) in
+  let record_exn e =
+    Mutex.lock shared.bar.b_lock;
+    if shared.exn = None then shared.exn <- Some e;
+    Mutex.unlock shared.bar.b_lock
+  in
+  let dead = ref false in
+  let guard f = if not !dead then try f () with e -> dead := true; record_exn e in
+  let drain_inboxes () =
+    for src = 0 to n - 1 do
+      if src <> i then
+        Conduit.drain t.inbox.(i).(src) ~now:(Engine.now eng)
+          (fun ~time fn -> ignore (Engine.at eng ~time fn))
+    done
+  in
+  let publish_next () =
+    shared.next.(i) <-
+      (if !dead then infinity
+       else match Engine.next_time eng with Some ti -> ti | None -> infinity)
+  in
+  guard drain_inboxes;
+  publish_next ();
+  let looping = ref true in
+  while !looping do
+    barrier_await shared.bar (fun () ->
+        let m = Array.fold_left Float.min infinity shared.next in
+        shared.abort <- shared.exn <> None;
+        if (not (Float.is_finite m)) || m > until || shared.abort then begin
+          shared.go <- false;
+          shared.horizon <- until
+        end
+        else begin
+          shared.go <- true;
+          shared.horizon <- Float.min (m +. t.la) until
+        end);
+    if not shared.go then begin
+      (* Nothing (reachable) left before [until]: advance the idle clock
+         so fixed-slice callers observe time passing, and stop. *)
+      if (not shared.abort) && Float.is_finite until then
+        guard (fun () -> Engine.run ~until eng);
+      looping := false
+    end
+    else begin
+      let horizon = shared.horizon in
+      guard (fun () -> Engine.run ~until:horizon eng);
+      (* Barrier B: every shard has stopped executing — no more pushes —
+         before anyone drains. *)
+      barrier_await shared.bar (fun () -> ());
+      guard drain_inboxes;
+      publish_next ()
+    end
+  done
+
+let run ?(until = infinity) t =
+  match t.engines with
+  | [| eng |] ->
+      (* One shard is the sequential baseline, run literally on the
+         single engine — this is the reference the identity tests compare
+         multi-shard runs against. *)
+      if Float.is_finite until then Engine.run ~until eng else Engine.run eng
+  | engines ->
+      let n = Array.length engines in
+      let shared =
+        { bar = barrier_make n; next = Array.make n infinity;
+          horizon = until; go = false; abort = false; exn = None }
+      in
+      let doms =
+        Array.init (n - 1) (fun k ->
+            Domain.spawn (fun () -> worker t ~until shared (k + 1)))
+      in
+      worker t ~until shared 0;
+      Array.iter Domain.join doms;
+      match shared.exn with Some e -> raise e | None -> ()

@@ -1,0 +1,53 @@
+(** Sharded parallel simulation — N private {!Engine}s, one OCaml
+    domain each, exchanging cross-shard events through deterministic
+    {!Conduit}s under a conservative (Chandy–Misra) safe-window rule.
+
+    Each round, the shards agree on the earliest queued event time [m]
+    anywhere; every shard then runs independently to
+    [min (m +. lookahead) until], because no cross-shard message can be
+    timestamped earlier than [m +. lookahead]. Conduits are drained only
+    at round barriers, in a fixed shard order, so the event order inside
+    every shard — and hence the whole simulation — is a pure function of
+    the scenario and seed, never of domain scheduling. A sharded run is
+    bit-identical to the [shards = 1] run of the same scenario (the
+    property {!Test_scale} enforces, the same way the wheel backend is
+    held to the heap's event stream). *)
+
+type t
+
+val create :
+  ?seed:int -> ?backend:Engine.backend -> ?lookahead:float -> shards:int ->
+  unit -> t
+(** [create ~shards ()] builds [shards] engines (engine [i] seeded
+    [seed + i]) and a full conduit matrix. [lookahead] (default [1e-3])
+    must be positive, finite, and no larger than the propagation delay
+    of any cross-shard link — {!Transport.Fabric.create_sharded}
+    validates that. [shards = 1] degenerates to a plain single-engine
+    run with no domains and no conduits. *)
+
+val shards : t -> int
+val engine : t -> int -> Engine.t
+val lookahead : t -> float
+
+val now : t -> float
+(** The common virtual clock: max over shard clocks (all equal after
+    {!run} returns with a finite [until]). *)
+
+val events_fired : t -> int
+(** Total events executed, summed over shards. *)
+
+val pending : t -> int
+(** Scheduled events summed over shards, plus conduit backlog. *)
+
+val post : t -> src:int -> dst:int -> time:float -> (unit -> unit) -> unit
+(** Schedule [fn] at absolute time [time] on shard [dst], from code
+    running on shard [src]: same shard goes straight to {!Engine.at},
+    cross-shard goes through the conduit (so [time] must be at least
+    sender-clock [+ lookahead]). *)
+
+val run : ?until:float -> t -> unit
+(** Advance all shards to [until] (or drain everything, if omitted).
+    Spawns [shards - 1] worker domains and joins them before returning,
+    so between calls the caller may freely inspect any shard's state.
+    An exception raised inside any shard aborts the round protocol and
+    is re-raised here. *)

@@ -36,9 +36,30 @@ let pp_report ppf r =
 
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
-let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = true)
-    ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32) ?(flight_cap = 8)
-    ?(verdicts = fun () -> []) ~name ~engine ~finished () =
+(* What the soak loop needs from whatever is advancing virtual time — a
+   single engine or a whole shard group. *)
+type driver = {
+  d_now : unit -> float;
+  d_run : until:float -> unit;
+  d_events : unit -> int;
+  d_pending : unit -> int;
+}
+
+let engine_driver engine =
+  { d_now = (fun () -> Engine.now engine);
+    d_run = (fun ~until -> Engine.run ~until engine);
+    d_events = (fun () -> Engine.events_fired engine);
+    d_pending = (fun () -> Engine.pending engine) }
+
+let shard_driver shard =
+  { d_now = (fun () -> Shard.now shard);
+    d_run = (fun ~until -> Shard.run ~until shard);
+    d_events = (fun () -> Shard.events_fired shard);
+    d_pending = (fun () -> Shard.pending shard) }
+
+let run_driver ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None)
+    ?(quiesce = true) ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32)
+    ?(flight_cap = 8) ?(verdicts = fun () -> []) ~name ~driver ~finished () =
   let violations = ref [] in
   let flights = ref [] in
   (* Flight recorder: at every distinct violation (up to [flight_cap] of
@@ -86,7 +107,7 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
     if !slices mod sample_every = 0 then begin
       let extra = match sample with None -> [] | Some f -> f () in
       samples :=
-        (Engine.now engine, ("pending", Engine.pending engine) :: extra)
+        (driver.d_now (), ("pending", driver.d_pending ()) :: extra)
         :: !samples
     end
   in
@@ -94,8 +115,8 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
      hides every later, possibly distinct, failure — each distinct
      violation is recorded (and flight-dumped) as it appears. *)
   let rec drive () =
-    if (not (finished ())) && Engine.now engine < until then begin
-      Engine.run ~until:(Engine.now engine +. step) engine;
+    if (not (finished ())) && driver.d_now () < until then begin
+      driver.d_run ~until:(driver.d_now () +. step);
       incr slices;
       take_sample ();
       (match invariant () with None -> () | Some msg -> record msg);
@@ -104,25 +125,31 @@ let run ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None) ?(quiesce = 
   in
   drive ();
   let fin = finished () in
-  let vtime = Engine.now engine in
+  let vtime = driver.d_now () in
   (* Let a finished stack's remaining timers (TIME_WAIT, idle timeouts,
      straggler acks) expire: a hardened stack must quiesce, not tick
      forever. Cap the drain so a livelocked stack still reports. *)
-  if quiesce && fin then Engine.run ~until:(vtime +. until) engine;
+  if quiesce && fin then driver.d_run ~until:(vtime +. until);
   (* A violation the invariant hook surfaced only during the quiesce
      drain would otherwise be lost — poll it once more, then freeze the
      monitor verdicts into the report. *)
   (match invariant () with None -> () | Some msg -> record msg);
   { sname = name;
     vtime;
-    events_fired = Engine.events_fired engine;
-    pending = Engine.pending engine;
+    events_fired = driver.d_events ();
+    pending = driver.d_pending ();
     finished = fin;
     violations = List.rev !violations;
     samples = List.rev !samples;
     flights = List.rev !flights;
     flight_cap;
     verdicts = verdicts () }
+
+let run ?step ?until ?invariant ?quiesce ?sample ?sample_every ?tracer
+    ?flight_n ?flight_cap ?verdicts ~name ~engine ~finished () =
+  run_driver ?step ?until ?invariant ?quiesce ?sample ?sample_every ?tracer
+    ?flight_n ?flight_cap ?verdicts ~name ~driver:(engine_driver engine)
+    ~finished ()
 
 let reproducible scenario ~seed =
   let a = scenario seed in

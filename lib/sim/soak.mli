@@ -44,6 +44,37 @@ val pp_report : Format.formatter -> report -> unit
 val ok : report -> bool
 (** Finished, no violations, and the engine quiesced ([pending = 0]). *)
 
+type driver = {
+  d_now : unit -> float;
+  d_run : until:float -> unit;
+  d_events : unit -> int;
+  d_pending : unit -> int;
+}
+(** What the soak loop needs from whatever advances virtual time — a
+    single {!Engine} or a {!Shard} group. *)
+
+val engine_driver : Engine.t -> driver
+val shard_driver : Shard.t -> driver
+
+val run_driver :
+  ?step:float ->
+  ?until:float ->
+  ?invariant:(unit -> string option) ->
+  ?quiesce:bool ->
+  ?sample:(unit -> (string * int) list) ->
+  ?sample_every:int ->
+  ?tracer:Tracer.t ->
+  ?flight_n:int ->
+  ?flight_cap:int ->
+  ?verdicts:(unit -> (string * int * int) list) ->
+  name:string ->
+  driver:driver ->
+  finished:(unit -> bool) ->
+  unit ->
+  report
+(** Generalisation of {!run} over a {!driver}; {!run} is the
+    [engine_driver] instance. *)
+
 val run :
   ?step:float ->
   ?until:float ->

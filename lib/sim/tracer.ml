@@ -5,9 +5,12 @@
    indexed by id so a span opened on one host can be closed on another
    (cross-host causality without touching any wire format). *)
 
-let enabled_flag = ref true
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+(* The kill switch is process-wide and read from every shard domain, so
+   it is atomic; each shard owns a private tracer instance, so the rings
+   themselves are never shared across domains. *)
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 type span = {
   sp_id : int;
@@ -165,9 +168,14 @@ let json_escape s =
 let us time = int_of_float ((time *. 1e6) +. 0.5)
 
 (* Tracks become processes and sublayers threads, so Perfetto renders one
-   swim-lane group per endpoint with one row per sublayer. *)
-let to_chrome_json t =
-  let finished = spans t in
+   swim-lane group per endpoint with one row per sublayer. When
+   [clock_sync] is given, every track also carries a ["clock_sync"]
+   metadata record naming the same sync domain — all tracks share one
+   virtual clock (hosts and shards have no skew in the simulation), and
+   the marker states that explicitly so multi-track traces merged from
+   several tracers align at t=0 instead of being treated as independent
+   clock domains. *)
+let chrome_json_of ?clock_sync finished =
   let tracks = ref [] in
   let tids = ref [] in
   List.iter
@@ -213,6 +221,16 @@ let to_chrome_json t =
            {|{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"%s"}}|}
            (pid_of track) (tid_of track sublayer) (json_escape sublayer)))
     tids;
+  (match clock_sync with
+  | None -> ()
+  | Some sync_id ->
+      List.iter
+        (fun track ->
+          emit
+            (Printf.sprintf
+               {|{"name":"clock_sync","ph":"c","pid":%d,"tid":0,"ts":0,"args":{"sync_id":"%s","issue_ts":0}}|}
+               (pid_of track) (json_escape sync_id)))
+        tracks);
   (* Complete events sorted by timestamp, so [ts] is non-decreasing on
      every track (a property the exporter test asserts). *)
   let sorted =
@@ -237,6 +255,22 @@ let to_chrome_json t =
     sorted;
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+let to_chrome_json ?clock_sync t = chrome_json_of ?clock_sync (spans t)
+
+(* One tracer per shard, merged post-run: each shard's tracks are
+   namespaced under its label and every track gets a clock_sync marker in
+   the same sync domain, so Perfetto renders the shards as aligned
+   process groups on one timeline. *)
+let merged_chrome_json ?(clock_sync = "sim-vclock") tracers =
+  let finished =
+    List.concat_map
+      (fun (label, t) ->
+        List.map (fun sp -> { sp with sp_track = label ^ "/" ^ sp.sp_track })
+          (spans t))
+      tracers
+  in
+  chrome_json_of ~clock_sync finished
 
 (* --- Packet biography: every span of one trace id, as text --- *)
 

@@ -101,12 +101,23 @@ val duration : span -> float
 val span_to_string : span -> string
 val pp_span : Format.formatter -> span -> unit
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?clock_sync:string -> t -> string
 (** Chrome [trace_event] JSON (an object with a [traceEvents] array of
     complete ["ph":"X"] events, microsecond timestamps) loadable in
     chrome://tracing or https://ui.perfetto.dev. Tracks map to processes
     and sublayers to threads; events are sorted so [ts] is non-decreasing
-    on every track. *)
+    on every track. With [?clock_sync:id], every track additionally
+    carries a ["clock_sync"] metadata record naming sync domain [id] —
+    all tracks run on the one virtual clock, and the marker says so
+    explicitly, so viewers align multi-track traces instead of treating
+    each process as an independent clock domain. *)
+
+val merged_chrome_json : ?clock_sync:string -> (string * t) list -> string
+(** Merge several tracers (one per shard in a sharded run) into one
+    Chrome trace: each tracer's tracks are namespaced as
+    ["<label>/<track>"] and every track carries a {!to_chrome_json}
+    [clock_sync] marker in the same sync domain (default
+    ["sim-vclock"]). *)
 
 val biography : t -> trace:int -> string
 (** Text "packet biography": every retained span of one trace, in order,

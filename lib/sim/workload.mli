@@ -45,3 +45,24 @@ val run :
     slices (default 0.5) until every flow is finished or virtual time
     [until] (default 600). The report embeds the {!Soak.report}, whose
     per-slice samples record the engine's live-timer count. *)
+
+val run_sharded :
+  ?spacing:float ->
+  ?step:float ->
+  ?until:float ->
+  ?invariant:(unit -> string option) ->
+  ?tracer:Tracer.t ->
+  ?verdicts:(unit -> (string * int * int) list) ->
+  name:string ->
+  shard:Shard.t ->
+  launch_site:(int -> int) ->
+  flows:int ->
+  ops ->
+  report
+(** {!run} over a {!Shard} group: flow [i]'s launch event is scheduled
+    on shard [launch_site i] (the shard owning its client host —
+    [Transport.Fabric.create_sharded] exposes the placement), and each
+    soak slice advances all shards through the safe-window protocol.
+    The ["live"] sample is the group-wide total, so a [shards = 1]
+    report is structurally identical to a multi-shard one — the
+    bit-identity the scale tests compare. *)

@@ -12,7 +12,11 @@ type flow = {
   mutable f_server : Host.conn option;
 }
 
-type t = { hosts : Host.t array; flows : flow array }
+type t = {
+  hosts : Host.t array;
+  flows : flow array;
+  host_shard : int array; (* host -> owning shard; all zero when unsharded *)
+}
 
 let server_port f = 1024 + (2 * f)
 let client_port f = 1025 + (2 * f)
@@ -103,9 +107,155 @@ let create engine ?(hosts = 8) ?(config = Config.default)
                 | `Peer_closed -> Host.close c
                 | _ -> ())))
     harr;
-  { hosts = harr; flows = farr }
+  { hosts = harr; flows = farr; host_shard = Array.make hosts 0 }
+
+(* --- sharded construction --------------------------------------------- *)
+
+(* The sharded fabric differs from [create] in exactly the ways domain
+   partitioning demands, and in no other:
+
+   - Hosts are placed on shards by contiguous blocks
+     ([h * shards / hosts]), so with flow [f] running from host [f mod
+     hosts] to [(f+1) mod hosts], only the block-boundary host pairs
+     cross shards.
+   - Channels always form the per-directed-pair matrix (a shared ingress
+     channel would be mutated by every source shard at once), each built
+     on the {e source} host's engine — sends draw coins and read the
+     fault-mutable config on the source domain — and each with a private
+     RNG stream seeded by (seed, src, dst). Per-link streams are what
+     make the draw sequence independent of global event interleave, so
+     the [shards = 1] instance of this same construction is the
+     bit-identity baseline for every other shard count.
+   - Cross-shard channels schedule deliveries through {!Sim.Shard.post}:
+     the message timestamp is [now + latency] with [latency >= delay >=
+     lookahead], the conduits' conservative promise (validated here; and
+     fault plans never touch [delay]).
+   - Fault plans for a link run on the source shard's engine, mutating
+     config the source domain reads.
+   - Stats registries, tracers and monitor registries are per shard
+     (single-domain mutable state); host [h] records into its shard's
+     instance. Merge after the run with [Monitor.Runtime.merged_verdicts]
+     / [Tracer.merged_chrome_json]. *)
+let create_sharded shard ?(hosts = 8) ?(config = Config.default)
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?(seed = 7)
+    ?link_faults ~channel ~flows ~bytes () =
+  let nshards = Sim.Shard.shards shard in
+  if hosts < nshards then
+    invalid_arg "Fabric.create_sharded: need at least one host per shard";
+  if flows < 0 then invalid_arg "Fabric.create_sharded: negative flow count";
+  if bytes < 0 then invalid_arg "Fabric.create_sharded: negative flow size";
+  if Sim.Shard.lookahead shard > channel.Sim.Channel.delay then
+    invalid_arg
+      (Printf.sprintf
+         "Fabric.create_sharded: shard lookahead %g exceeds link delay %g"
+         (Sim.Shard.lookahead shard) channel.Sim.Channel.delay);
+  let per_shard label = function
+    | None -> Array.make nshards None
+    | Some arr ->
+        if Array.length arr <> nshards then
+          invalid_arg
+            (Printf.sprintf
+               "Fabric.create_sharded: %s array length %d <> %d shards" label
+               (Array.length arr) nshards);
+        Array.map Option.some arr
+  in
+  let stats = per_shard "stats" stats in
+  let tracer = per_shard "tracer" tracer in
+  let monitors = per_shard "monitors" monitors in
+  let host_shard = Array.init hosts (fun h -> h * nshards / hosts) in
+  let port_host = Hashtbl.create (2 * flows) in
+  let ingress = Array.make hosts (fun (_ : Bitkit.Slice.t) -> ()) in
+  let matrix =
+    Array.init hosts (fun src ->
+        let s_src = host_shard.(src) in
+        let src_engine = Sim.Shard.engine shard s_src in
+        Array.init hosts (fun dst ->
+            let schedule =
+              let s_dst = host_shard.(dst) in
+              if s_dst = s_src then None
+              else
+                Some
+                  (fun ~after fn ->
+                    (* Same arithmetic as [Engine.schedule]. *)
+                    Sim.Shard.post shard ~src:s_src ~dst:s_dst
+                      ~time:(Sim.Engine.now src_engine +. after)
+                      fn)
+            in
+            let ch =
+              Sim.Channel.create src_engine channel ~size:Bitkit.Slice.length
+                ~corrupt:Sim.Channel.corrupt_slice
+                ~rng:(Bitkit.Rng.create (seed + 1 + (src * hosts) + dst))
+                ?schedule
+                ~deliver:(fun s -> ingress.(dst) s)
+                ()
+            in
+            (match link_faults with
+            | None -> ()
+            | Some faults -> (
+                match faults (src, dst) with
+                | Some plan ->
+                    Sim.Faultplan.apply src_engine plan
+                      [ Sim.Faultplan.target
+                          ~name:(Printf.sprintf "link:%d->%d" src dst)
+                          ch ]
+                | None -> ()));
+            ch))
+  in
+  let transmit s =
+    match factory.Host.peek s with
+    | None -> ()
+    | Some (src_port, dst_port) -> (
+        match Hashtbl.find_opt port_host dst_port with
+        | None -> ()
+        | Some dst ->
+            let src =
+              Option.value ~default:dst (Hashtbl.find_opt port_host src_port)
+            in
+            Sim.Channel.send matrix.(src).(dst) s)
+  in
+  let harr =
+    Array.init hosts (fun h ->
+        let s = host_shard.(h) in
+        Host.create
+          (Sim.Shard.engine shard s)
+          ~config ~factory ?stats:stats.(s) ?tracer:tracer.(s)
+          ?monitors:monitors.(s)
+          ~name:(Printf.sprintf "H%d" h)
+          ~transmit ())
+  in
+  Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
+  (* Payloads drawn at construction time on the main domain, from the
+     same stream as [create] — identical contents at every shard count. *)
+  let rng = Bitkit.Rng.create seed in
+  let farr =
+    Array.init flows (fun _ ->
+        { f_data = String.init bytes (fun _ -> Char.chr (Bitkit.Rng.int rng 256));
+          f_client = None; f_server = None })
+  in
+  let by_server_port = Hashtbl.create (max 1 flows) in
+  for f = 0 to flows - 1 do
+    let sh = (f + 1) mod hosts and ch = f mod hosts in
+    Hashtbl.replace port_host (server_port f) sh;
+    Hashtbl.replace port_host (client_port f) ch;
+    Host.listen harr.(sh) ~port:(server_port f);
+    Hashtbl.replace by_server_port (server_port f) f
+  done;
+  Array.iter
+    (fun host ->
+      Host.on_accept host (fun c ->
+          match Hashtbl.find_opt by_server_port (Host.local_port c) with
+          | None -> ()
+          | Some f ->
+              farr.(f).f_server <- Some c;
+              Host.on_event c (function
+                | `Peer_closed -> Host.close c
+                | _ -> ())))
+    harr;
+  { hosts = harr; flows = farr; host_shard }
 
 let hosts t = t.hosts
+let host_shard t h = t.host_shard.(h)
+let launch_site t f = t.host_shard.(f mod Array.length t.hosts)
 
 let ops t =
   let nh = Array.length t.hosts in

@@ -36,6 +36,48 @@ val create :
     that link alone — partial partitions impair some host pairs while the
     rest of the fabric keeps running. *)
 
+val create_sharded :
+  Sim.Shard.t ->
+  ?hosts:int ->
+  ?config:Config.t ->
+  ?factory:Host.factory ->
+  ?stats:Sublayer.Stats.registry array ->
+  ?tracer:Sim.Tracer.t array ->
+  ?monitors:Monitor.Runtime.t array ->
+  ?seed:int ->
+  ?link_faults:(int * int -> Sim.Faultplan.t option) ->
+  channel:Sim.Channel.config ->
+  flows:int ->
+  bytes:int ->
+  unit ->
+  t
+(** The fabric partitioned across a {!Sim.Shard} group: hosts are placed
+    on shards in contiguous blocks, every directed host pair gets its own
+    channel on the {e source} host's engine with a private per-link RNG
+    stream (seeded by [(seed, src, dst)]), and cross-shard channels
+    deliver through the shard conduits. Per-link streams make each
+    link's impairment draws independent of global event interleave, so a
+    run of this construction is bit-identical at every shard count —
+    compare against [shards = 1], which runs the single engine directly.
+
+    Requires [hosts >= shards] and the shard group's lookahead to be at
+    most [channel.delay] (jitter, reordering, serialisation and fault
+    plans only ever add latency, so the conduits' conservative promise
+    holds).
+
+    [stats] / [tracer] / [monitors], when given, must hold one instance
+    per shard — host [h] records into its shard's — and are merged after
+    the run ({!Monitor.Runtime.merged_verdicts},
+    {!Sim.Tracer.merged_chrome_json}). *)
+
+val launch_site : t -> int -> int
+(** Shard owning flow [f]'s client host — where
+    {!Sim.Workload.run_sharded} must schedule its launch. Always 0 for
+    an unsharded fabric. *)
+
+val host_shard : t -> int -> int
+(** Shard owning host [h]. *)
+
 val ops : t -> Sim.Workload.ops
 (** Launch = connect + write the flow's payload + close; finished = the
     server received the full length and the client's stream drained;

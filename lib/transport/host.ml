@@ -197,10 +197,13 @@ let connections host = Hashtbl.fold (fun _ c acc -> c :: acc) host.conns []
    sublayer: corrupted wire segments are dropped, never delivered. The
    digest is computed in place over the slice view ([digest_sub]); only
    protection materialises a new buffer (it must append the trailer). *)
-let crc_engine = lazy (Bitkit.Crc.make Bitkit.Crc.crc32)
+(* Built eagerly at module init: [lazy] is not domain-safe (two shard
+   domains racing to force it raise [Lazy.Undefined]), and the table is
+   1 KiB built once, so there is nothing worth deferring. *)
+let crc_engine = Bitkit.Crc.make Bitkit.Crc.crc32
 
 let guard_digest sl =
-  Bitkit.Crc.digest_sub (Lazy.force crc_engine) sl.Bitkit.Slice.base
+  Bitkit.Crc.digest_sub crc_engine sl.Bitkit.Slice.base
     sl.Bitkit.Slice.off sl.Bitkit.Slice.len
 
 let guard_protect sl =

@@ -77,6 +77,104 @@ let test_partial_partition () =
   Alcotest.(check bool) "run outlives the partition" true
     (r.Sim.Workload.soak.Sim.Soak.vtime > 2.5)
 
+(* --- sharded execution ------------------------------------------------- *)
+
+(* One scenario, parameterised only by the shard count: 8 hosts, 64
+   flows, loss, per-shard monitor registries. [shards = 1] runs the
+   single engine directly with no domains; the whole Workload report
+   (per-flow exactness, events fired, end time, every per-slice sample,
+   merged monitor verdicts) must be structurally identical at every
+   shard count — the same discipline test_wheel applies to heap vs
+   wheel, extended to parallel execution. *)
+let sharded_report ?link_faults ?(loss = 0.02) ~shards ~seed () =
+  let flows = 64 in
+  let shard = Sim.Shard.create ~seed ~lookahead:0.001 ~shards () in
+  let mons =
+    Array.init shards (fun i ->
+        Monitor.Runtime.create ~label:(Printf.sprintf "shard%d" i) ())
+  in
+  let fabric =
+    Transport.Fabric.create_sharded shard ~hosts:8 ~monitors:mons ?link_faults
+      ~channel:(Sim.Channel.lossy loss) ~flows ~bytes:384 ()
+  in
+  Sim.Workload.run_sharded ~spacing:0.01 ~name:"shard-identity" ~shard
+    ~launch_site:(Transport.Fabric.launch_site fabric)
+    ~verdicts:(fun () -> Monitor.Runtime.merged_verdicts (Array.to_list mons))
+    ~flows
+    (Transport.Fabric.ops fabric)
+
+let check_identity ?link_faults ~seed () =
+  let base = sharded_report ?link_faults ~shards:1 ~seed () in
+  if not (Sim.Workload.ok base) then
+    Alcotest.failf "single-shard baseline not ok: %a" Sim.Workload.pp_report
+      base;
+  List.iter
+    (fun shards ->
+      let r = sharded_report ?link_faults ~shards ~seed () in
+      if r <> base then
+        Alcotest.failf "%d-shard run diverged from single-engine: %a vs %a"
+          shards Sim.Workload.pp_report r Sim.Workload.pp_report base)
+    [ 2; 4 ]
+
+let test_shard_identity () = check_identity ~seed:21 ()
+
+(* Same identity with a fault plan partitioning the 3<->4 host pair —
+   cross-shard links at both 2 shards (blocks 0-3 | 4-7) and 4 shards
+   (pairs), so faults land on conduit-fed channels. *)
+let test_shard_identity_faults () =
+  let partition =
+    [ Sim.Faultplan.Partition { at = 0.3 }; Sim.Faultplan.Heal { at = 1.7 } ]
+  in
+  let link_faults (src, dst) =
+    if (src = 3 && dst = 4) || (src = 4 && dst = 3) then Some partition
+    else None
+  in
+  check_identity ~link_faults ~seed:22 ()
+
+(* The conduit's conservative contract, in isolation: messages at or
+   after the receiver's clock drain in push order; a message before it —
+   a violated lookahead promise — is an error, never a silent reorder. *)
+let test_conduit_lookahead () =
+  let c = Sim.Conduit.create ~lookahead:0.5 in
+  let seen = ref [] in
+  Sim.Conduit.push c ~time:1.0 (fun () -> ());
+  Sim.Conduit.push c ~time:1.2 (fun () -> ());
+  Sim.Conduit.push c ~time:1.1 (fun () -> ());
+  Sim.Conduit.drain c ~now:1.0 (fun ~time _fn -> seen := time :: !seen);
+  Alcotest.(check (list (float 0.))) "push order preserved" [ 1.0; 1.2; 1.1 ]
+    (List.rev !seen);
+  Alcotest.(check int) "drained counter" 3 (Sim.Conduit.drained c);
+  Alcotest.(check int) "backlog empty" 0 (Sim.Conduit.backlog c);
+  Sim.Conduit.push c ~time:0.9 (fun () -> ());
+  (match Sim.Conduit.drain c ~now:1.0 (fun ~time:_ _ -> ()) with
+  | () -> Alcotest.fail "past delivery was not rejected"
+  | exception Invalid_argument _ -> ())
+
+(* End to end: a cross-shard post that breaks the lookahead promise must
+   abort the run with the conduit's past-delivery error — proving the
+   running protocol cannot deliver an event into a shard's past. *)
+let test_shard_past_delivery_rejected () =
+  let shard = Sim.Shard.create ~shards:2 ~lookahead:0.1 () in
+  ignore
+    (Sim.Engine.at (Sim.Shard.engine shard 0) ~time:1.0 (fun () ->
+         (* 1.05 < 1.0 + lookahead: an illegal timestamp. *)
+         Sim.Shard.post shard ~src:0 ~dst:1 ~time:1.05 (fun () -> ())));
+  (match Sim.Shard.run ~until:10. shard with
+  | () -> Alcotest.fail "lookahead violation was not detected"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the past delivery" true
+        (String.length msg > 0));
+  (* And the legal boundary case — exactly now + lookahead — is fine. *)
+  let shard = Sim.Shard.create ~shards:2 ~lookahead:0.1 () in
+  let fired = ref false in
+  ignore
+    (Sim.Engine.at (Sim.Shard.engine shard 0) ~time:1.0 (fun () ->
+         Sim.Shard.post shard ~src:0 ~dst:1 ~time:(1.0 +. 0.1) (fun () ->
+             fired := true)));
+  Sim.Shard.run ~until:10. shard;
+  Alcotest.(check bool) "boundary message fired" true !fired;
+  Alcotest.(check int) "events accounted" 2 (Sim.Shard.events_fired shard)
+
 let () =
   Alcotest.run "scale"
     [
@@ -91,5 +189,16 @@ let () =
             test_backend_agreement;
           Alcotest.test_case "partial partition at 1k flows" `Quick
             test_partial_partition;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "sharded == single-engine (1/2/4 shards)" `Quick
+            test_shard_identity;
+          Alcotest.test_case "sharded == single-engine under link faults"
+            `Quick test_shard_identity_faults;
+          Alcotest.test_case "conduit lookahead contract" `Quick
+            test_conduit_lookahead;
+          Alcotest.test_case "no delivery into a shard's past" `Quick
+            test_shard_past_delivery_rejected;
         ] );
     ]

@@ -308,6 +308,65 @@ let test_chrome_export () =
       | _ -> Alcotest.fail "event with unexpected phase")
     events
 
+(* Clock-alignment markers: with [?clock_sync] every track (process)
+   carries a ["clock_sync"] metadata record naming one shared sync
+   domain, and the merged multi-tracer export namespaces each shard's
+   tracks while putting all of them in that domain — so Perfetto aligns
+   shard timelines instead of treating them as independent clocks. *)
+let test_clock_sync_markers () =
+  let mk label =
+    let tr = Tracer.create () in
+    Tracer.instant tr ~at:0.5 ~track:(label ^ "-host") ~sublayer:"s" "ev";
+    tr
+  in
+  let t0 = mk "a" and t1 = mk "b" in
+  let parse js =
+    match parse_json js with
+    | Obj [ ("traceEvents", Arr evs) ] -> evs
+    | _ -> Alcotest.fail "top level is not {\"traceEvents\": [...]}"
+    | exception Bad_json msg -> Alcotest.failf "exporter JSON invalid: %s" msg
+  in
+  let field name = function Obj kvs -> List.assoc_opt name kvs | _ -> None in
+  let sync_records evs =
+    List.filter_map
+      (fun ev ->
+        match (field "name" ev, field "ph" ev, field "args" ev) with
+        | Some (Str "clock_sync"), Some (Str "c"), Some (Obj args) -> (
+            match List.assoc_opt "sync_id" args with
+            | Some (Str id) -> Some (field "pid" ev, id)
+            | _ -> None)
+        | _ -> None)
+      evs
+  in
+  (* Unmerged export never emits markers... *)
+  check Alcotest.int "no marker without clock_sync" 0
+    (List.length (sync_records (parse (Tracer.to_chrome_json t0))));
+  (* ...opting in emits one per track, in the named domain. *)
+  (match sync_records (parse (Tracer.to_chrome_json ~clock_sync:"vclock" t0)) with
+  | [ (_, id) ] -> check Alcotest.string "sync domain" "vclock" id
+  | l -> Alcotest.failf "expected 1 clock_sync record, got %d" (List.length l));
+  let evs = parse (Tracer.merged_chrome_json [ ("shard0", t0); ("shard1", t1) ]) in
+  let syncs = sync_records evs in
+  check Alcotest.int "one marker per merged track" 2 (List.length syncs);
+  List.iter
+    (fun (_, id) -> check Alcotest.string "shared sync domain" "sim-vclock" id)
+    syncs;
+  let tracks =
+    List.filter_map
+      (fun ev ->
+        match (field "ph" ev, field "name" ev, field "args" ev) with
+        | Some (Str "M"), Some (Str "process_name"), Some (Obj [ ("name", Str n) ])
+          ->
+            Some n
+        | _ -> None)
+      evs
+  in
+  check
+    Alcotest.(slist string compare)
+    "tracks namespaced by shard"
+    [ "shard0/a-host"; "shard1/b-host" ]
+    tracks
+
 (* --- the sum-of-sojourns identity --- *)
 
 let test_sojourn_identity () =
@@ -430,7 +489,12 @@ let () =
             test_trace_of_finished_span;
         ] );
       ( "exporters",
-        [ Alcotest.test_case "chrome json round-trips" `Quick test_chrome_export ] );
+        [
+          Alcotest.test_case "chrome json round-trips" `Quick
+            test_chrome_export;
+          Alcotest.test_case "clock_sync markers align merged tracks" `Quick
+            test_clock_sync_markers;
+        ] );
       ( "attribution",
         [
           Alcotest.test_case "sojourns sum to end-to-end latency" `Quick

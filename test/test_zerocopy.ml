@@ -337,6 +337,25 @@ let test_lazy_copies_less () =
     Alcotest.failf "zero-copy path copied %d bytes, copying path %d" lazy_bytes
       eager_bytes
 
+(* The copy counter is shared process state bumped from every shard
+   domain; hammer it from two domains at once and demand the exact sum —
+   a plain [ref] loses updates here (incr is a read-modify-write), the
+   [Atomic.t] must not. *)
+let test_copy_counter_atomic () =
+  Bitkit.Slice.reset_copied ();
+  let iters = 1_000_000 in
+  let hammer () =
+    for _ = 1 to iters do
+      Bitkit.Slice.note_copy 1
+    done
+  in
+  let d = Domain.spawn hammer in
+  hammer ();
+  Domain.join d;
+  Alcotest.(check int) "no lost updates" (2 * iters)
+    (Bitkit.Slice.copied_bytes ());
+  Bitkit.Slice.reset_copied ()
+
 let () =
   Alcotest.run "zerocopy"
     [
@@ -360,5 +379,10 @@ let () =
             test_eager_lazy_identical;
           Alcotest.test_case "lazy copies fewer bytes" `Quick
             test_lazy_copies_less;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "copy counter survives two domains" `Quick
+            test_copy_counter_atomic;
         ] );
     ]
