@@ -1334,6 +1334,180 @@ let e25 () =
     (if off_eps > 0. then (off_eps -. on_eps) /. off_eps *. 100. else 0.)
 
 (* ------------------------------------------------------------------ *)
+(* E26 — continuous telemetry: bounded-ring counter series sampled at
+   the soak's slice boundaries, with per-sublayer allocation attribution
+   (Sublayer.Alloc through the probe taps), under the E18 fault
+   schedules. Reports minor words per delivered segment per sublayer,
+   checks telemetry-on and -off runs fire identical schedules, and that
+   a 2-shard run's merged deterministic series is bit-identical to the
+   single-engine run. *)
+
+let e26 () =
+  section "E26" "continuous telemetry: counter series + per-sublayer allocation";
+  let flow_counts = if smoke then [ 20; 100 ] else [ 100; 1000; 5000 ] in
+  let bytes = if smoke then 2_000 else 8_000 in
+  let channels =
+    [ ("iid loss=0.05", { (Sim.Channel.lossy 0.05) with Sim.Channel.delay = 0.02 });
+      ( "burst loss=0.05 len=6",
+        { (Sim.Channel.burst_lossy ~loss:0.05 ~burst_len:6.) with
+          Sim.Channel.delay = 0.02 } ) ]
+  in
+  let sublayers = [ "osr"; "rd"; "cm"; "dm"; "app"; "wire" ] in
+  let words_of stats sub =
+    Sublayer.Stats.value
+      (Sublayer.Stats.counter (Sublayer.Stats.scope stats sub) "gc.minor_words")
+  in
+  let segments_of stats =
+    Sublayer.Stats.value
+      (Sublayer.Stats.counter (Sublayer.Stats.scope stats "dm") "segments_in")
+  in
+  let cell ~telemetry_on ~flows ~channel =
+    let engine = Sim.Engine.create ~seed:68 ~backend:`Wheel () in
+    let stats = Sublayer.Stats.create ~label:"e26" () in
+    let telemetry =
+      if telemetry_on then Some (Sim.Telemetry.create ~label:"e26" ()) else None
+    in
+    if telemetry_on then Sublayer.Alloc.set_enabled true;
+    Fun.protect ~finally:(fun () -> Sublayer.Alloc.set_enabled false)
+    @@ fun () ->
+    let fabric =
+      Transport.Fabric.create engine ~hosts:8 ~stats ?telemetry ~channel ~flows
+        ~bytes ()
+    in
+    let wall0 = Sys.time () in
+    let r =
+      Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e26" ~engine ~flows
+        ?telemetry:(Option.map (fun t -> [ t ]) telemetry)
+        (Transport.Fabric.ops fabric)
+    in
+    let wall = Sys.time () -. wall0 in
+    if not (Sim.Workload.ok r) then
+      Printf.printf "  !! %s/%d NOT CLEAN: %s\n"
+        (if telemetry_on then "on" else "off")
+        flows
+        (Format.asprintf "%a" Sim.Workload.pp_report r);
+    (r, wall, stats, telemetry)
+  in
+  let json = Buffer.create 4096 in
+  Buffer.add_string json "{\"cells\":[";
+  let first = ref true in
+  Printf.printf "  %-24s %7s %10s %9s |" "channel" "flows" "segments" "samples";
+  List.iter (fun sub -> Printf.printf " %9s" (sub ^ " w/seg")) sublayers;
+  Printf.printf "\n";
+  let last_series = ref None in
+  List.iter
+    (fun (chan_name, channel) ->
+      List.iter
+        (fun flows ->
+          let r_off, _, _, _ = cell ~telemetry_on:false ~flows ~channel in
+          let r, wall, stats, telemetry = cell ~telemetry_on:true ~flows ~channel in
+          let tele = Option.get telemetry in
+          let off_fired = r_off.Sim.Workload.soak.Sim.Soak.events_fired in
+          let on_fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
+          if off_fired <> on_fired then
+            Printf.printf
+              "  !! %s/%d: telemetry perturbed the schedule (%d vs %d events)\n"
+              chan_name flows off_fired on_fired;
+          let segs = segments_of stats in
+          let per_seg sub =
+            if segs = 0 then 0.
+            else float_of_int (words_of stats sub) /. float_of_int segs
+          in
+          Printf.printf "  %-24s %7d %10d %9d |" chan_name flows segs
+            (Sim.Telemetry.recorded tele);
+          List.iter (fun sub -> Printf.printf " %9.1f" (per_seg sub)) sublayers;
+          Printf.printf "\n";
+          last_series := Some (chan_name, flows, tele);
+          if not !first then Buffer.add_char json ',';
+          first := false;
+          Buffer.add_string json
+            (Printf.sprintf
+               "{\"channel\":%S,\"flows\":%d,\"events\":%d,\"wall_s\":%.6f,\"segments\":%d,\"samples\":%d,\"ring_dropped\":%d,\"schedule_identical\":%b,\"minor_words\":{%s},\"exact\":%d,\"ok\":%b}"
+               chan_name flows on_fired wall segs
+               (Sim.Telemetry.recorded tele)
+               (Sim.Telemetry.dropped tele)
+               (off_fired = on_fired)
+               (String.concat ","
+                  (List.map
+                     (fun sub ->
+                       Printf.sprintf "\"%s\":%d" sub (words_of stats sub))
+                     sublayers))
+               r.Sim.Workload.exact (Sim.Workload.ok r)))
+        flow_counts)
+    channels;
+  (* Shard identity: the merged per-shard deterministic series must equal
+     the single-engine series bit for bit (smallest workload — the
+     property, not the scale, is under test here). *)
+  let small = List.fold_left min max_int flow_counts in
+  let sharded_series shards =
+    let shard = Sim.Shard.create ~seed:68 ~lookahead:0.001 ~shards () in
+    let stats =
+      Array.init shards (fun i ->
+          Sublayer.Stats.create ~label:(Printf.sprintf "shard%d" i) ())
+    in
+    let telemetry =
+      Array.init shards (fun i ->
+          Sim.Telemetry.create ~label:(Printf.sprintf "shard%d" i) ())
+    in
+    let fabric =
+      Transport.Fabric.create_sharded shard ~hosts:8 ~stats ~telemetry
+        ~channel:(snd (List.hd channels)) ~flows:small ~bytes ()
+    in
+    let r =
+      Sim.Workload.run_sharded ~spacing:0.005 ~until:900. ~name:"e26-shard"
+        ~shard
+        ~launch_site:(Transport.Fabric.launch_site fabric)
+        ~telemetry:(Array.to_list telemetry) ~flows:small
+        (Transport.Fabric.ops fabric)
+    in
+    if not (Sim.Workload.ok r) then
+      Printf.printf "  !! %d-shard run NOT CLEAN\n" shards;
+    Sim.Telemetry.merged_deterministic (Array.to_list telemetry)
+  in
+  let serial = sharded_series 1 in
+  let sharded = sharded_series 2 in
+  let shard_identical = serial = sharded in
+  if not shard_identical then
+    Printf.printf "  !! 2-shard deterministic series diverged from single-engine\n";
+  Printf.printf "\n  shard identity at %d flows: %s (%d samples)\n" small
+    (if shard_identical then "bit-identical" else "DIVERGED")
+    (List.length serial);
+  (* One counter time series, printed and embedded in the artifact. *)
+  (match !last_series with
+  | Some (chan_name, flows, tele) ->
+      let key = "fabric.osr.bytes_delivered" in
+      let series =
+        List.filter_map
+          (fun (ts, kvs) ->
+            Option.map (fun v -> (ts, v)) (List.assoc_opt key kvs))
+          (Sim.Telemetry.deterministic_series tele)
+      in
+      Printf.printf "\n  %s over virtual time (%s, %d flows, per-slice deltas):\n"
+        key chan_name flows;
+      let n = List.length series in
+      List.iteri
+        (fun i (ts, v) ->
+          if i < 6 || i >= n - 2 then Printf.printf "    t=%7.2f  +%d\n" ts v
+          else if i = 6 then Printf.printf "    ... (%d more slices)\n" (n - 8))
+        series;
+      Buffer.add_string json
+        (Printf.sprintf "],\"shard_identical\":%b,\"series\":%s}" shard_identical
+           (Sim.Telemetry.to_json tele))
+  | None -> Buffer.add_string json "],\"shard_identical\":false}");
+  let path = out_path "e26_telemetry.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  (match !last_series with
+  | Some (_, flows, _) ->
+      headline
+        "per-sublayer allocation attributed through the probe taps at %d flows — counter series sampled at every soak slice, telemetry-on/off schedules identical, 2-shard series bit-identical to single-engine"
+        flows
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
 let microbenches () =
@@ -1416,7 +1590,7 @@ let () =
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
       ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
-      ("E25", e25);
+      ("E25", e25); ("E26", e26);
       ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;

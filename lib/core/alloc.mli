@@ -1,0 +1,60 @@
+(** Per-sublayer allocation attribution.
+
+    The paper's §2.3 argument — every cost attributable to exactly one
+    sublayer — applied to GC pressure: because sublayer transitions are
+    {e pure} ([state -> input -> state * actions], fully evaluated before
+    any action is routed), the code running between two consecutive T2
+    interface crossings is exactly one machine's step.  Reading
+    [Gc.minor_words] at every crossing therefore attributes each
+    allocation to the machine that made it.
+
+    The hooks ride the seams that already exist: {!Runtime} brackets its
+    entry points ([from_above] enters the top machine, [from_below] the
+    bottom one, a timer fire whichever machine owns the timer) and the
+    transparent {!Machine.Probe} taps call {!cross} as messages pass —
+    a [Down] crossing means the machine below is about to run, an [Up]
+    crossing the machine above.
+
+    Discipline (same as [Monitor.Runtime]): disabled (the default), every
+    hook is one atomic load and no allocation; enabled, each hook costs
+    two boxed-float reads whose own words are calibrated away
+    ({!overhead_words}), so the counters converge on the protocol's true
+    allocation.  The attribution context is domain-local, so engine
+    shards running in parallel never share a checkpoint. *)
+
+type cell
+(** Destination of attributed words: the [gc.minor_words] counter of one
+    sublayer's {!Stats.scope}. *)
+
+val set_enabled : bool -> unit
+(** Global switch, default [false]: attribution costs ~6 words per
+    crossing when on, so only telemetry/bench runs enable it. *)
+
+val enabled : unit -> bool
+
+val cell : Stats.scope -> cell
+(** Find-or-create the scope's [gc.minor_words] counter. *)
+
+val cell_value : cell -> int
+(** Minor words attributed so far (reads the underlying counter). *)
+
+val overhead_words : unit -> int
+(** Calibrated self-cost of one [Gc.minor_words] read (boxed float),
+    subtracted from every charged interval. *)
+
+(** {1 Hooks} (no-ops while disabled) *)
+
+val enter : cell option -> unit
+(** Charge the open interval to the current cell, push it, and make
+    [cell] current — used at runtime entry points and around nested
+    excursions (app delivery, wire transmit). [None] runs the interval
+    unattributed. *)
+
+val exit_ : unit -> unit
+(** Charge the open interval to the current cell and pop back to the
+    cell that was current before the matching {!enter}. *)
+
+val cross : cell option -> unit
+(** Charge the open interval to the current cell and make [cell]
+    current, without pushing — used by probe taps as a message passes a
+    T2 boundary. *)

@@ -1,3 +1,16 @@
+type 'timer alloc_spec = {
+  al_top : Alloc.cell option;
+  (* machine that handles [from_above] *)
+  al_bottom : Alloc.cell option;
+  (* machine that handles [from_below] *)
+  al_app : Alloc.cell option;
+  (* the [deliver] excursion above the stack *)
+  al_wire : Alloc.cell option;
+  (* the [transmit] excursion below the stack *)
+  al_timer : 'timer -> Alloc.cell option;
+  (* owner of a firing timer *)
+}
+
 module Make (S : Machine.S) = struct
   type t = {
     engine : Sim.Engine.t;
@@ -5,6 +18,7 @@ module Make (S : Machine.S) = struct
     name : string;
     transmit : S.down_req -> unit;
     deliver : S.up_ind -> unit;
+    alloc : S.timer alloc_spec option;
     mutable st : S.t;
     (* Arming a timer that is already set re-arms it, so at most one event
        per timer value is live. Timers are few per endpoint; an assoc list
@@ -12,8 +26,8 @@ module Make (S : Machine.S) = struct
     mutable timers : (S.timer * Sim.Engine.handle) list;
   }
 
-  let create engine ?trace ~name ~transmit ~deliver st =
-    { engine; trace; name; transmit; deliver; st; timers = [] }
+  let create engine ?trace ?alloc ~name ~transmit ~deliver st =
+    { engine; trace; alloc; name; transmit; deliver; st; timers = [] }
 
   let state t = t.st
 
@@ -29,11 +43,25 @@ module Make (S : Machine.S) = struct
         Sim.Engine.cancel handle;
         t.timers <- List.remove_assoc tm t.timers
 
+  (* Bracket an excursion out of the stack (app delivery, wire transmit)
+     or into it (entry points below) so allocation between two probe
+     crossings lands on the machine actually running. Reentrancy — e.g.
+     delivery calling back into [from_above] — nests via the cell stack. *)
+  let excurse t cell f x =
+    match t.alloc with
+    | None -> f x
+    | Some _ ->
+        Alloc.enter cell;
+        f x;
+        Alloc.exit_ ()
+
   let rec apply t acts = List.iter (apply_one t) acts
 
   and apply_one t = function
-    | Machine.Up ind -> t.deliver ind
-    | Machine.Down req -> t.transmit req
+    | Machine.Up ind ->
+        excurse t (match t.alloc with Some a -> a.al_app | None -> None) t.deliver ind
+    | Machine.Down req ->
+        excurse t (match t.alloc with Some a -> a.al_wire | None -> None) t.transmit req
     | Machine.Note msg -> note t msg
     | Machine.Cancel_timer tm -> cancel_timer t tm
     | Machine.Set_timer (tm, delay) ->
@@ -43,19 +71,25 @@ module Make (S : Machine.S) = struct
 
   and fire t tm =
     t.timers <- List.remove_assoc tm t.timers;
+    (match t.alloc with Some a -> Alloc.enter (a.al_timer tm) | None -> ());
     let st, acts = S.handle_timer t.st tm in
     t.st <- st;
-    apply t acts
+    apply t acts;
+    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
 
   let from_above t req =
+    (match t.alloc with Some a -> Alloc.enter a.al_top | None -> ());
     let st, acts = S.handle_up_req t.st req in
     t.st <- st;
-    apply t acts
+    apply t acts;
+    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
 
   let from_below t ind =
+    (match t.alloc with Some a -> Alloc.enter a.al_bottom | None -> ());
     let st, acts = S.handle_down_ind t.st ind in
     t.st <- st;
-    apply t acts
+    apply t acts;
+    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
 
   let active_timers t = List.length t.timers
 end

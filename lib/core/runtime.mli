@@ -3,18 +3,34 @@
     transmit function (usually a {!Sim.Channel}), [Up] indications go to a
     delivery callback, and [Note]s are recorded in an optional trace. *)
 
+type 'timer alloc_spec = {
+  al_top : Alloc.cell option;  (** machine that handles [from_above] *)
+  al_bottom : Alloc.cell option;  (** machine that handles [from_below] *)
+  al_app : Alloc.cell option;  (** the [deliver] excursion above the stack *)
+  al_wire : Alloc.cell option;  (** the [transmit] excursion below the stack *)
+  al_timer : 'timer -> Alloc.cell option;  (** owner of a firing timer *)
+}
+(** Where {!Alloc} charges the words allocated at the runtime's own
+    seams.  Probe taps inside the stack handle the crossings {e between}
+    machines; this spec covers entry (which machine a [from_above],
+    [from_below] or timer fire starts in) and the excursions out of the
+    stack ([deliver]/[transmit] callbacks). *)
+
 module Make (S : Machine.S) : sig
   type t
 
   val create :
     Sim.Engine.t ->
     ?trace:Sim.Trace.t ->
+    ?alloc:S.timer alloc_spec ->
     name:string ->
     transmit:(S.down_req -> unit) ->
     deliver:(S.up_ind -> unit) ->
     S.t ->
     t
-  (** [name] identifies this endpoint in traces. *)
+  (** [name] identifies this endpoint in traces.  [alloc] enables
+      per-sublayer allocation attribution at the runtime seams (the
+      hooks are no-ops unless {!Alloc.set_enabled} is on). *)
 
   val state : t -> S.t
   (** Current sublayer state (for assertions and inspection). *)

@@ -129,6 +129,44 @@ let snapshot r =
     r.r_scopes;
   List.sort (fun (a, _) (b, _) -> compare a b) !entries
 
+(* Split views for time-series sampling: counters (and histogram
+   count/sum, which only grow) are delta'd per tick, gauges are sampled
+   raw. *)
+let snapshot_counters r =
+  let entries = ref [] in
+  List.iter
+    (fun s ->
+      let pre = s.s_name ^ "." in
+      List.iter (fun c -> entries := (pre ^ c.c_name, c.c) :: !entries) s.counters;
+      List.iter
+        (fun h ->
+          entries :=
+            (pre ^ h.h_name ^ ".sum", h.h_sum)
+            :: (pre ^ h.h_name ^ ".count", h.h_count)
+            :: !entries)
+        s.hists)
+    r.r_scopes;
+  List.sort (fun (a, _) (b, _) -> compare a b) !entries
+
+let snapshot_gauges r =
+  let entries = ref [] in
+  List.iter
+    (fun s ->
+      let pre = s.s_name ^ "." in
+      List.iter (fun g -> entries := (pre ^ g.g_name, g.g) :: !entries) s.gauges)
+    r.r_scopes;
+  List.sort (fun (a, _) (b, _) -> compare a b) !entries
+
+(* One registry = one telemetry source pair. Registration belongs to
+   whoever OWNS the registry: hosts sharing one registry (the fabric)
+   must register it once, not once per host. *)
+let telemetry_source tele ~name r =
+  Sim.Telemetry.add_counters tele ~name (fun () -> snapshot_counters r);
+  (* Registry gauges are last-write-wins scalars (e.g. cwnd of whichever
+     connection set it last), so per-shard readings don't sum to the
+     shared-registry reading — nondeterministic half. *)
+  Sim.Telemetry.add_gauges tele ~det:false ~name (fun () -> snapshot_gauges r)
+
 let delta ~before ~after =
   let base = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace base k v) before;

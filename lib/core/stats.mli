@@ -84,6 +84,22 @@ type snapshot = (string * int) list
 
 val snapshot : registry -> snapshot
 
+val snapshot_counters : registry -> snapshot
+(** Monotone instruments only (counters plus histogram [count]/[sum]) —
+    the part a time-series sampler deltas per tick. *)
+
+val snapshot_gauges : registry -> snapshot
+(** Gauges only — sampled raw per tick. *)
+
+val telemetry_source : Sim.Telemetry.t -> name:string -> registry -> unit
+(** Register this registry with a telemetry instance: counters (and
+    histogram [count]/[sum]) delta'd per sample on the deterministic
+    half; gauges raw on the nondeterministic half (they are
+    last-write-wins scalars, so per-shard readings don't sum to the
+    shared-registry reading).  Keys are prefixed ["<name>."].  Call it
+    once per registry — the registry's owner, not every host sharing
+    it. *)
+
 val delta : before:snapshot -> after:snapshot -> snapshot
 (** Entry-wise [after - before], dropping zero deltas.  Names present
     only in [after] count from 0. *)

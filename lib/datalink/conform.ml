@@ -23,10 +23,28 @@ end)
 
 let nop _ = ()
 
-let arq_det mon ~key ~variant ~window =
-  match mon with
-  | None -> { P_arq_det.obs_req = nop; obs_ind = nop }
-  | Some reg ->
+type alloc_pair = Sublayer.Alloc.cell option * Sublayer.Alloc.cell option
+
+(* Same discipline as the transport probes: a request heading down means
+   the machine below runs next, an indication heading up the machine
+   above; cross first so the observation itself is charged with the
+   destination's step. No-ops while [Sublayer.Alloc] is disabled. *)
+let with_alloc alloc obs_req obs_ind =
+  match alloc with
+  | None -> (obs_req, obs_ind)
+  | Some (above, below) ->
+      ( (fun r ->
+          Sublayer.Alloc.cross below;
+          obs_req r),
+        fun i ->
+          Sublayer.Alloc.cross above;
+          obs_ind i )
+
+let arq_det ?alloc mon ~key ~variant ~window =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : Bitkit.Wirebuf.t -> unit), (nop : Bitkit.Slice.t -> unit))
+    | Some reg ->
       let v =
         match Monitor.Specs.arq_variant_of_name variant with
         | Some v -> v
@@ -59,8 +77,11 @@ let arq_det mon ~key ~variant ~window =
             ob u_data ~a:seq ~b:(Bitkit.Slice.length payload)
         | Some (Arq.Rx_ack seq) -> ob u_ack ~a:seq ~b:0
         | None -> ()
-      in
-      { P_arq_det.obs_req; obs_ind }
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_arq_det.obs_req; obs_ind }
 
 let spec_det_frm =
   Monitor.Specs.opaque ~name:"det-frm" ~upper:"detector" ~lower:"framer" ()
@@ -68,32 +89,40 @@ let spec_det_frm =
 let spec_frm_line =
   Monitor.Specs.opaque ~name:"frm-line" ~upper:"framer" ~lower:"linecode" ()
 
-let det_frm mon ~key =
-  match mon with
-  | None -> { P_det_frm.obs_req = nop; obs_ind = nop }
-  | Some reg ->
-      let spec = spec_det_frm in
-      let inst = Monitor.Runtime.attach reg ~key spec in
-      let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
-      and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
-      let obs_req s =
-        Monitor.Runtime.observe inst down ~a:(String.length s) ~b:0
-      and obs_ind sl =
-        Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length sl) ~b:0
-      in
-      { P_det_frm.obs_req; obs_ind }
+let det_frm ?alloc mon ~key =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : string -> unit), (nop : Bitkit.Slice.t -> unit))
+    | Some reg ->
+        let spec = spec_det_frm in
+        let inst = Monitor.Runtime.attach reg ~key spec in
+        let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
+        and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
+        let obs_req s =
+          Monitor.Runtime.observe inst down ~a:(String.length s) ~b:0
+        and obs_ind sl =
+          Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length sl) ~b:0
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_det_frm.obs_req; obs_ind }
 
-let frm_line mon ~key =
-  match mon with
-  | None -> { P_frm_line.obs_req = nop; obs_ind = nop }
-  | Some reg ->
-      let spec = spec_frm_line in
-      let inst = Monitor.Runtime.attach reg ~key spec in
-      let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
-      and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
-      let obs_req bits =
-        Monitor.Runtime.observe inst down ~a:(Bitkit.Bitseq.length bits) ~b:0
-      and obs_ind bits =
-        Monitor.Runtime.observe inst up ~a:(Bitkit.Bitseq.length bits) ~b:0
-      in
-      { P_frm_line.obs_req; obs_ind }
+let frm_line ?alloc mon ~key =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : Bitkit.Bitseq.t -> unit), (nop : Bitkit.Bitseq.t -> unit))
+    | Some reg ->
+        let spec = spec_frm_line in
+        let inst = Monitor.Runtime.attach reg ~key spec in
+        let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
+        and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
+        let obs_req bits =
+          Monitor.Runtime.observe inst down ~a:(Bitkit.Bitseq.length bits) ~b:0
+        and obs_ind bits =
+          Monitor.Runtime.observe inst up ~a:(Bitkit.Bitseq.length bits) ~b:0
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_frm_line.obs_req; obs_ind }

@@ -49,7 +49,12 @@ module P_frm_line : sig
        and type timer = Sublayer.Machine.Nothing.t
 end
 
+type alloc_pair = Sublayer.Alloc.cell option * Sublayer.Alloc.cell option
+(** [(above, below)] cells for {!Sublayer.Alloc} crossings at this
+    boundary, as in {!Transport.Conform}. *)
+
 val arq_det :
+  ?alloc:alloc_pair ->
   Monitor.Runtime.t option ->
   key:string ->
   variant:string ->
@@ -62,5 +67,8 @@ val arq_det :
     skipped — a frame the detector wrongly let through is not the
     interface's protocol violation. *)
 
-val det_frm : Monitor.Runtime.t option -> key:string -> P_det_frm.t
-val frm_line : Monitor.Runtime.t option -> key:string -> P_frm_line.t
+val det_frm :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> key:string -> P_det_frm.t
+
+val frm_line :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> key:string -> P_frm_line.t

@@ -13,6 +13,7 @@ module Error_detection = struct
     protected : Sublayer.Stats.counter;
     verified : Sublayer.Stats.counter;
     corrupt : Sublayer.Stats.counter;
+    copied_trailer : Sublayer.Stats.counter;
   }
 
   type up_req = Bitkit.Wirebuf.t
@@ -33,6 +34,7 @@ module Error_detection = struct
       protected = Sublayer.Stats.counter scope "frames_protected";
       verified = Sublayer.Stats.counter scope "frames_verified";
       corrupt = Sublayer.Stats.counter scope "frames_corrupt";
+      copied_trailer = Sublayer.Stats.counter scope "copied_trailer_bytes";
     }
 
   (* Protection appends a trailer over the whole PDU, so this sublayer is
@@ -43,7 +45,11 @@ module Error_detection = struct
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.protected;
     Sublayer.Span.instant t.sp "protect";
-    (t, [ Down (t.det.Detector.protect (Bitkit.Wirebuf.to_string pdu)) ])
+    let before = Bitkit.Slice.copied_bytes () in
+    let emitted = Bitkit.Wirebuf.to_string pdu in
+    Sublayer.Stats.add t.copied_trailer
+      (Bitkit.Slice.copied_bytes () - before);
+    (t, [ Down (t.det.Detector.protect emitted) ])
 
   let handle_down_ind t pdu =
     match t.det.Detector.verify_slice pdu with

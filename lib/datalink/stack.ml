@@ -32,7 +32,8 @@ let arq_stats t = t.arq_stats ()
 let is_idle t = t.is_idle ()
 let gave_up t = t.arq_gave_up ()
 
-let endpoint engine ?trace ?stats ?tracer ?monitors ~name spec ~transmit ~deliver =
+let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ~name spec
+    ~transmit ~deliver =
   let module A = (val spec.arq : Arq.S) in
   let module Lower =
     Machine.Stack (Layers.Framing) (Machine.Stack (Conform.P_frm_line) (Layers.Line_coding))
@@ -51,20 +52,54 @@ let endpoint engine ?trace ?stats ?tracer ?monitors ~name spec ~transmit ~delive
       (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(in_scope sub) ~now ~track:name sub)
       tracer
   in
+  (match (telemetry, stats) with
+  | Some tele, Some reg -> Sublayer.Stats.telemetry_source tele ~name reg
+  | _ -> ());
+  let acell sub =
+    match (telemetry, stats) with
+    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
+    | _ -> None
+  in
+  let arq_c = acell "arq" and det_c = acell "detector" and frm_c = acell "framer"
+  and line_c = acell "linecode" and app_c = acell "app"
+  and wire_c = acell "wire" in
+  let alloc =
+    { Sublayer.Runtime.al_top = arq_c; al_bottom = line_c; al_app = app_c;
+      al_wire = wire_c;
+      al_timer =
+        (* Only the ARQ owns timers; every other slot is [Nothing.t]. *)
+        (fun (tm : Full.timer) ->
+        match tm with
+        | Either.Left _ -> arq_c
+        | Either.Right (Either.Left _) -> .
+        | Either.Right (Either.Right (Either.Left _)) -> .
+        | Either.Right (Either.Right (Either.Right (Either.Left _))) -> .
+        | Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))) ->
+            .
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))))
+          ->
+            .
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Right _)))))
+          ->
+            .);
+    }
+  in
   let st =
     ( A.initial ?stats:(in_scope "arq") ?span:(sp "arq") spec.arq_config,
-      ( Conform.arq_det monitors ~key:name ~variant:A.name
+      ( Conform.arq_det ~alloc:(arq_c, det_c) monitors ~key:name ~variant:A.name
           ~window:spec.arq_config.Arq.window,
         ( Layers.Error_detection.make ?stats:(in_scope "detector")
             ?span:(sp "detector") spec.detector,
-          ( Conform.det_frm monitors ~key:name,
+          ( Conform.det_frm ~alloc:(det_c, frm_c) monitors ~key:name,
             ( Layers.Framing.make ?stats:(in_scope "framer") ?span:(sp "framer")
                 spec.framer,
-              ( Conform.frm_line monitors ~key:name,
+              ( Conform.frm_line ~alloc:(frm_c, line_c) monitors ~key:name,
                 Layers.Line_coding.make ?stats:(in_scope "linecode")
                   ?span:(sp "linecode") spec.linecode ) ) ) ) ) )
   in
-  let r = R.create engine ?trace ~name ~transmit ~deliver st in
+  let r = R.create engine ?trace ~alloc ~name ~transmit ~deliver st in
   {
     send = R.from_above r;
     from_wire = R.from_below r;
@@ -87,7 +122,7 @@ let bit_channel engine config ~deliver =
     ~size:(fun bits -> (Bitkit.Bitseq.length bits + 7) / 8)
     ~corrupt:Sim.Channel.corrupt_bits ~deliver ()
 
-let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors config spec =
+let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors ?telemetry config spec =
   let received_at_a = Queue.create () in
   let received_at_b = Queue.create () in
   (* Channels and endpoints reference each other; tie the knot with a
@@ -97,12 +132,14 @@ let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors config spec =
   let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
   let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
   let a =
-    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ~name:"A" spec
+    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ?telemetry ~name:"A"
+      spec
       ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
       ~deliver:(fun payload -> Queue.add payload received_at_a)
   in
   let b =
-    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ~name:"B" spec
+    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ?telemetry ~name:"B"
+      spec
       ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
       ~deliver:(fun payload -> Queue.add payload received_at_b)
   in

@@ -36,6 +36,7 @@ val endpoint :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
@@ -47,7 +48,9 @@ val endpoint :
     ARQ "flight" spans with retransmission children, instant markers for
     the stateless codecs below. When [monitors] is given, conformance
     probes on the ARQ⇄detector, detector⇄framer and framer⇄linecode
-    interfaces check every crossing (keyed by [name]). *)
+    interfaces check every crossing (keyed by [name]). When [telemetry]
+    is given (with [stats]), the registry becomes a sampling source under
+    [name] and {!Sublayer.Alloc} cells are installed at every seam. *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)
@@ -67,6 +70,7 @@ val link :
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   Sim.Channel.config ->
   spec ->
   link

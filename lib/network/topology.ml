@@ -55,13 +55,19 @@ let random ~n ~extra ~seed =
 
 let norm (a, b) = if a < b then (a, b) else (b, a)
 
-let build engine ?(channel = Sim.Channel.ideal) ?tracer ?monitors ~routing ~n
-    edges =
+let build engine ?(channel = Sim.Channel.ideal) ?stats ?tracer ?monitors
+    ?telemetry ~routing ~n edges =
+  (* One shared registry for the whole network, registered once. *)
+  (match (telemetry, stats) with
+  | Some tele, Some reg ->
+      Sublayer.Stats.telemetry_source tele ~name:"net" reg
+  | _ -> ());
   let nodes =
     Array.init n (fun i ->
         let received = Queue.create () in
         let router =
-          Router.create engine ?tracer ?monitors ~addr:(Addr.node i) ~routing
+          Router.create engine ?stats ?tracer ?monitors ~addr:(Addr.node i)
+            ~routing
             ~deliver:(fun p -> Queue.add p received)
             ()
         in

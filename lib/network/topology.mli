@@ -19,8 +19,10 @@ val random : n:int -> extra:int -> seed:int -> (int * int) list
 val build :
   Sim.Engine.t ->
   ?channel:Sim.Channel.config ->
+  ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   routing:Routing.factory ->
   n:int ->
   (int * int) list ->
@@ -28,7 +30,9 @@ val build :
 (** [tracer] is shared by every router so packet transit spans opened at
     the origin are closed wherever the packet terminates. [monitors] is
     likewise shared: each router attaches a router⇄FIB conformance
-    monitor keyed on its address. *)
+    monitor keyed on its address. [stats] is one registry shared by all
+    routers; when [telemetry] is also given, the topology registers it
+    once as the [net.*] sampling source. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Originate a data packet at node [src] for node [dst]'s address. *)

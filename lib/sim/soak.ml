@@ -9,10 +9,11 @@ type report = {
   flights : (string * string list) list;
   flight_cap : int;
   verdicts : (string * int * int) list;
+  drops : (string * int) list;
 }
 
 let pp_report ppf r =
-  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s%s%s" r.sname
+  Format.fprintf ppf "%s: %s at t=%.2fs, %d events, %d pending%s%s%s%s" r.sname
     (if r.finished then "finished" else "DID NOT FINISH")
     r.vtime r.events_fired r.pending
     (match r.violations with
@@ -33,6 +34,12 @@ let pp_report ppf r =
                   Printf.sprintf "%s=%d/%d" sub (checked - violated) checked
                   ^ if violated > 0 then "!" else "")
                 vs)))
+    (match List.filter (fun (_, n) -> n > 0) r.drops with
+    | [] -> ""
+    | ds ->
+        Format.asprintf ", dropped: %s"
+          (String.concat " "
+             (List.map (fun (k, n) -> Printf.sprintf "%s=%d" k n) ds)))
 
 let ok r = r.finished && r.violations = [] && r.pending = 0
 
@@ -59,7 +66,9 @@ let shard_driver shard =
 
 let run_driver ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None)
     ?(quiesce = true) ?sample ?(sample_every = 1) ?tracer ?(flight_n = 32)
-    ?(flight_cap = 8) ?(verdicts = fun () -> []) ~name ~driver ~finished () =
+    ?(flight_cap = 8) ?(verdicts = fun () -> []) ?events
+    ?(telemetry = []) ?(on_slice = fun (_ : float) -> ())
+    ?(drops = fun () -> []) ~name ~driver ~finished () =
   let violations = ref [] in
   let flights = ref [] in
   (* Flight recorder: at every distinct violation (up to [flight_cap] of
@@ -114,11 +123,21 @@ let run_driver ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None)
   (* Keep driving through violations: a soak that stops at the first one
      hides every later, possibly distinct, failure — each distinct
      violation is recorded (and flight-dumped) as it appears. *)
+  (* Telemetry ticks at every slice boundary in virtual time: the ring
+     decides (via its interval) whether the instant becomes a sample, so
+     the series timestamps are slice boundaries — identical whatever is
+     driving (engine or shard group). *)
+  let boundary () =
+    let now = driver.d_now () in
+    List.iter (fun t -> Telemetry.tick t ~now) telemetry;
+    on_slice now
+  in
   let rec drive () =
     if (not (finished ())) && driver.d_now () < until then begin
       driver.d_run ~until:(driver.d_now () +. step);
       incr slices;
       take_sample ();
+      boundary ();
       (match invariant () with None -> () | Some msg -> record msg);
       drive ()
     end
@@ -129,11 +148,25 @@ let run_driver ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None)
   (* Let a finished stack's remaining timers (TIME_WAIT, idle timeouts,
      straggler acks) expire: a hardened stack must quiesce, not tick
      forever. Cap the drain so a livelocked stack still reports. *)
-  if quiesce && fin then driver.d_run ~until:(vtime +. until);
+  if quiesce && fin then begin
+    driver.d_run ~until:(vtime +. until);
+    boundary ()
+  end;
   (* A violation the invariant hook surfaced only during the quiesce
      drain would otherwise be lost — poll it once more, then freeze the
      monitor verdicts into the report. *)
   (match invariant () with None -> () | Some msg -> record msg);
+  (* Lossy-ring accounting: a clean report must say when its own
+     observability was incomplete. *)
+  let ring_drops =
+    (match tracer with
+    | Some tr -> [ ("tracer", Tracer.dropped tr) ]
+    | None -> [])
+    @ (match events with Some ev -> [ ("events", Events.dropped ev) ] | None -> [])
+    @ List.concat_map
+        (fun t -> [ ("telemetry:" ^ Telemetry.label t, Telemetry.dropped t) ])
+        telemetry
+  in
   { sname = name;
     vtime;
     events_fired = driver.d_events ();
@@ -143,13 +176,15 @@ let run_driver ?(step = 0.5) ?(until = 120.) ?(invariant = fun () -> None)
     samples = List.rev !samples;
     flights = List.rev !flights;
     flight_cap;
-    verdicts = verdicts () }
+    verdicts = verdicts ();
+    drops = ring_drops @ drops () }
 
 let run ?step ?until ?invariant ?quiesce ?sample ?sample_every ?tracer
-    ?flight_n ?flight_cap ?verdicts ~name ~engine ~finished () =
+    ?flight_n ?flight_cap ?verdicts ?events ?telemetry ?on_slice ?drops ~name
+    ~engine ~finished () =
   run_driver ?step ?until ?invariant ?quiesce ?sample ?sample_every ?tracer
-    ?flight_n ?flight_cap ?verdicts ~name ~driver:(engine_driver engine)
-    ~finished ()
+    ?flight_n ?flight_cap ?verdicts ?events ?telemetry ?on_slice ?drops ~name
+    ~driver:(engine_driver engine) ~finished ()
 
 let reproducible scenario ~seed =
   let a = scenario seed in

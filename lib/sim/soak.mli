@@ -37,6 +37,14 @@ type report = {
           violated)] from the caller's [?verdicts] hook (typically
           [Monitor.Runtime.verdicts]), evaluated once when the run ends;
           empty when no hook was passed *)
+  drops : (string * int) list;
+      (** how much of the run's own observability was lost to bounded
+          rings: [("tracer", n)] when a [tracer] was passed,
+          [("events", n)] for the [events] log, one
+          [("telemetry:<label>", n)] per telemetry instance, then
+          whatever the [drops] hook returned. Zero entries are kept —
+          "nothing dropped" is itself a result — but {!pp_report} only
+          prints the non-zero ones. *)
 }
 
 val pp_report : Format.formatter -> report -> unit
@@ -67,6 +75,10 @@ val run_driver :
   ?flight_n:int ->
   ?flight_cap:int ->
   ?verdicts:(unit -> (string * int * int) list) ->
+  ?events:Events.t ->
+  ?telemetry:Telemetry.t list ->
+  ?on_slice:(float -> unit) ->
+  ?drops:(unit -> (string * int) list) ->
   name:string ->
   driver:driver ->
   finished:(unit -> bool) ->
@@ -86,6 +98,10 @@ val run :
   ?flight_n:int ->
   ?flight_cap:int ->
   ?verdicts:(unit -> (string * int * int) list) ->
+  ?events:Events.t ->
+  ?telemetry:Telemetry.t list ->
+  ?on_slice:(float -> unit) ->
+  ?drops:(unit -> (string * int) list) ->
   name:string ->
   engine:Engine.t ->
   finished:(unit -> bool) ->
@@ -121,7 +137,16 @@ val run :
     runtime protocol monitors to publish per-sublayer checked/violated
     counts next to the invariant sections. Reports stay structurally
     comparable, so the hook must be deterministic for {!reproducible}
-    scenarios. *)
+    scenarios.
+
+    [telemetry] instances are {!Telemetry.tick}ed at every slice
+    boundary (and once more after the quiesce drain) at the current
+    virtual time, so their sample timestamps are the soak's slice grid —
+    pass every per-shard instance for a sharded run. [on_slice] fires at
+    the same boundaries (live dashboards hook here). [events] and the
+    soak's own [tracer]/[telemetry] rings surface their drop counts in
+    the report's [drops], after which the [drops] hook may append
+    scenario-specific ones. *)
 
 val reproducible : (int -> report) -> seed:int -> bool
 (** [reproducible scenario ~seed] runs [scenario seed] twice and checks

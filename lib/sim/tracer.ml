@@ -175,7 +175,7 @@ let us time = int_of_float ((time *. 1e6) +. 0.5)
    the marker states that explicitly so multi-track traces merged from
    several tracers align at t=0 instead of being treated as independent
    clock domains. *)
-let chrome_json_of ?clock_sync finished =
+let chrome_json_of ?clock_sync ?(extra = []) finished =
   let tracks = ref [] in
   let tids = ref [] in
   List.iter
@@ -253,16 +253,20 @@ let chrome_json_of ?clock_sync finished =
            (json_escape sp.sp_name) (json_escape sp.sp_sublayer) sp.sp_trace
            sp.sp_id sp.sp_parent (json_escape sp.sp_detail)))
     sorted;
+  (* Pre-serialised records from other exporters — telemetry counter
+     tracks, typically — ride along verbatim. *)
+  List.iter emit extra;
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
-let to_chrome_json ?clock_sync t = chrome_json_of ?clock_sync (spans t)
+let to_chrome_json ?clock_sync ?extra t =
+  chrome_json_of ?clock_sync ?extra (spans t)
 
 (* One tracer per shard, merged post-run: each shard's tracks are
    namespaced under its label and every track gets a clock_sync marker in
    the same sync domain, so Perfetto renders the shards as aligned
    process groups on one timeline. *)
-let merged_chrome_json ?(clock_sync = "sim-vclock") tracers =
+let merged_chrome_json ?(clock_sync = "sim-vclock") ?extra tracers =
   let finished =
     List.concat_map
       (fun (label, t) ->
@@ -270,7 +274,7 @@ let merged_chrome_json ?(clock_sync = "sim-vclock") tracers =
           (spans t))
       tracers
   in
-  chrome_json_of ~clock_sync finished
+  chrome_json_of ~clock_sync ?extra finished
 
 (* --- Packet biography: every span of one trace id, as text --- *)
 

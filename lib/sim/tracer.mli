@@ -101,7 +101,7 @@ val duration : span -> float
 val span_to_string : span -> string
 val pp_span : Format.formatter -> span -> unit
 
-val to_chrome_json : ?clock_sync:string -> t -> string
+val to_chrome_json : ?clock_sync:string -> ?extra:string list -> t -> string
 (** Chrome [trace_event] JSON (an object with a [traceEvents] array of
     complete ["ph":"X"] events, microsecond timestamps) loadable in
     chrome://tracing or https://ui.perfetto.dev. Tracks map to processes
@@ -110,9 +110,13 @@ val to_chrome_json : ?clock_sync:string -> t -> string
     carries a ["clock_sync"] metadata record naming sync domain [id] —
     all tracks run on the one virtual clock, and the marker says so
     explicitly, so viewers align multi-track traces instead of treating
-    each process as an independent clock domain. *)
+    each process as an independent clock domain. [extra] records —
+    pre-serialised trace_event objects, e.g.
+    {!Telemetry.chrome_counter_events} — are spliced into the array
+    verbatim, so counter tracks render alongside the spans. *)
 
-val merged_chrome_json : ?clock_sync:string -> (string * t) list -> string
+val merged_chrome_json :
+  ?clock_sync:string -> ?extra:string list -> (string * t) list -> string
 (** Merge several tracers (one per shard in a sharded run) into one
     Chrome trace: each tracer's tracks are namespaced as
     ["<label>/<track>"] and every track carries a {!to_chrome_json}

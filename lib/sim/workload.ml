@@ -50,7 +50,7 @@ let finish_report ~name ~flows ~launched ops soak =
   { wname = name; flows; launched; exact = !exact; live_hwm; soak }
 
 let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer
-    ?verdicts ~name ~engine ~flows ops =
+    ?verdicts ?events ?telemetry ?on_slice ?drops ~name ~engine ~flows ops =
   if flows < 0 then invalid_arg "Workload.run: negative flow count";
   let launched = ref 0 in
   let base = Engine.now engine in
@@ -63,8 +63,8 @@ let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer
   let finished = monotone_finished ops flows in
   let sample () = [ ("live", Engine.live engine) ] in
   let soak =
-    Soak.run ~step ~until ?invariant ?tracer ?verdicts ~sample ~name ~engine
-      ~finished ()
+    Soak.run ~step ~until ?invariant ?tracer ?verdicts ?events ?telemetry
+      ?on_slice ?drops ~sample ~name ~engine ~finished ()
   in
   finish_report ~name ~flows ~launched:!launched ops soak
 
@@ -76,7 +76,8 @@ let run ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant ?tracer
    total, so a [shards = 1] report is structurally identical to a
    multi-shard one. *)
 let run_sharded ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant
-    ?tracer ?verdicts ~name ~shard ~launch_site ~flows ops =
+    ?tracer ?verdicts ?events ?telemetry ?on_slice ?drops ~name ~shard
+    ~launch_site ~flows ops =
   if flows < 0 then invalid_arg "Workload.run_sharded: negative flow count";
   let n = Shard.shards shard in
   let launched = Array.make n 0 in
@@ -95,7 +96,8 @@ let run_sharded ?(spacing = 0.01) ?(step = 0.5) ?(until = 600.) ?invariant
   let finished = monotone_finished ops flows in
   let sample () = [ ("live", Shard.pending shard) ] in
   let soak =
-    Soak.run_driver ~step ~until ?invariant ?tracer ?verdicts ~sample ~name
+    Soak.run_driver ~step ~until ?invariant ?tracer ?verdicts ?events
+      ?telemetry ?on_slice ?drops ~sample ~name
       ~driver:(Soak.shard_driver shard) ~finished ()
   in
   finish_report ~name ~flows ~launched:(Array.fold_left ( + ) 0 launched) ops

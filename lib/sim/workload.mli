@@ -35,6 +35,10 @@ val run :
   ?invariant:(unit -> string option) ->
   ?tracer:Tracer.t ->
   ?verdicts:(unit -> (string * int * int) list) ->
+  ?events:Events.t ->
+  ?telemetry:Telemetry.t list ->
+  ?on_slice:(float -> unit) ->
+  ?drops:(unit -> (string * int) list) ->
   name:string ->
   engine:Engine.t ->
   flows:int ->
@@ -44,7 +48,10 @@ val run :
     [now + i * spacing] (default 10 ms apart) and soaks in [step]-sized
     slices (default 0.5) until every flow is finished or virtual time
     [until] (default 600). The report embeds the {!Soak.report}, whose
-    per-slice samples record the engine's live-timer count. *)
+    per-slice samples record the engine's live-timer count.
+    [events] / [telemetry] / [on_slice] / [drops] pass through to the
+    soak: telemetry ticks at every slice boundary and ring drop counts
+    land in [soak.drops]. *)
 
 val run_sharded :
   ?spacing:float ->
@@ -53,6 +60,10 @@ val run_sharded :
   ?invariant:(unit -> string option) ->
   ?tracer:Tracer.t ->
   ?verdicts:(unit -> (string * int * int) list) ->
+  ?events:Events.t ->
+  ?telemetry:Telemetry.t list ->
+  ?on_slice:(float -> unit) ->
+  ?drops:(unit -> (string * int) list) ->
   name:string ->
   shard:Shard.t ->
   launch_site:(int -> int) ->
@@ -65,4 +76,7 @@ val run_sharded :
     soak slice advances all shards through the safe-window protocol.
     The ["live"] sample is the group-wide total, so a [shards = 1]
     report is structurally identical to a multi-shard one — the
-    bit-identity the scale tests compare. *)
+    bit-identity the scale tests compare. Pass every per-shard telemetry
+    instance in [telemetry]; ticks happen between slices, when the shard
+    domains are parked at the window barrier, so the reads are
+    race-free. *)

@@ -26,13 +26,32 @@ end)
    record itself. *)
 let nop _ = ()
 
+type alloc_pair = Sublayer.Alloc.cell option * Sublayer.Alloc.cell option
+
+(* Allocation attribution at the boundary: a [req] is heading down (the
+   machine below runs next), an [ind] up. The cross happens before the
+   observation so the monitor's own (zero-allocation) work is charged to
+   the destination machine along with its step. The hooks themselves are
+   no-ops while [Sublayer.Alloc] is disabled. *)
+let with_alloc alloc obs_req obs_ind =
+  match alloc with
+  | None -> (obs_req, obs_ind)
+  | Some (above, below) ->
+      ( (fun r ->
+          Sublayer.Alloc.cross below;
+          obs_req r),
+        fun i ->
+          Sublayer.Alloc.cross above;
+          obs_ind i )
+
 (* Resolve the alphabet ids once at attach time; the per-event closures
    then do a constructor match and one [observe] call. *)
 
-let osr_rd ?(spec = Monitor.Specs.osr_rd) mon ~conn =
-  match mon with
-  | None -> { P_osr_rd.obs_req = nop; obs_ind = nop }
-  | Some reg ->
+let osr_rd ?(spec = Monitor.Specs.osr_rd) ?alloc mon ~conn =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : Iface.rd_req -> unit), (nop : Iface.rd_ind -> unit))
+    | Some reg ->
       let inst = Monitor.Runtime.attach reg ~key:conn spec in
       let idd m = Monitor.Spec.msg_id spec Monitor.Spec.Down m
       and idu m = Monitor.Spec.msg_id spec Monitor.Spec.Up m in
@@ -61,13 +80,17 @@ let osr_rd ?(spec = Monitor.Specs.osr_rd) mon ~conn =
         | `Closed -> ob closed ~a:0 ~b:0
         | `Reset -> ob reset ~a:0 ~b:0
         | `Aborted -> ob aborted ~a:0 ~b:0
-      in
-      { P_osr_rd.obs_req; obs_ind }
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_osr_rd.obs_req; obs_ind }
 
-let rd_cm mon ~conn =
-  match mon with
-  | None -> { P_rd_cm.obs_req = nop; obs_ind = nop }
-  | Some reg ->
+let rd_cm ?alloc mon ~conn =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : Iface.cm_req -> unit), (nop : Iface.cm_ind -> unit))
+    | Some reg ->
       let spec = Monitor.Specs.rd_cm in
       let inst = Monitor.Runtime.attach reg ~key:conn spec in
       let idd m = Monitor.Spec.msg_id spec Monitor.Spec.Down m
@@ -90,8 +113,11 @@ let rd_cm mon ~conn =
         | `Peer_fin -> ob peer_fin ~a:0 ~b:0
         | `Closed -> ob closed ~a:0 ~b:0
         | `Reset -> ob reset ~a:0 ~b:0
-      in
-      { P_rd_cm.obs_req; obs_ind }
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_rd_cm.obs_req; obs_ind }
 
 let spec_cm_dm =
   Monitor.Specs.opaque ~name:"cm-dm" ~upper:"cm" ~lower:"dm" ~min_up:1 ()
@@ -102,19 +128,23 @@ let spec_cm_rec =
 let spec_rec_dm =
   Monitor.Specs.opaque ~name:"rec-dm" ~upper:"rec" ~lower:"dm" ~min_up:1 ()
 
-let pdu spec mon ~conn =
-  match mon with
-  | None -> { P_pdu.obs_req = nop; obs_ind = nop }
-  | Some reg ->
-      let inst = Monitor.Runtime.attach reg ~key:conn spec in
-      let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
-      and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
-      let obs_req buf =
-        Monitor.Runtime.observe inst down ~a:(Bitkit.Wirebuf.length buf) ~b:0
-      and obs_ind s =
-        Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length s) ~b:0
-      in
-      { P_pdu.obs_req; obs_ind }
+let pdu spec ?alloc mon ~conn =
+  let obs_req, obs_ind =
+    match mon with
+    | None -> ((nop : Bitkit.Wirebuf.t -> unit), (nop : Bitkit.Slice.t -> unit))
+    | Some reg ->
+        let inst = Monitor.Runtime.attach reg ~key:conn spec in
+        let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
+        and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
+        let obs_req buf =
+          Monitor.Runtime.observe inst down ~a:(Bitkit.Wirebuf.length buf) ~b:0
+        and obs_ind s =
+          Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length s) ~b:0
+        in
+        (obs_req, obs_ind)
+  in
+  let obs_req, obs_ind = with_alloc alloc obs_req obs_ind in
+  { P_pdu.obs_req; obs_ind }
 
 let cm_dm = pdu spec_cm_dm
 let cm_rec = pdu spec_cm_rec

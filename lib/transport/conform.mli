@@ -56,16 +56,33 @@ module P_pdu : sig
        and type timer = Sublayer.Machine.Nothing.t
 end
 
+type alloc_pair = Sublayer.Alloc.cell option * Sublayer.Alloc.cell option
+(** [(above, below)]: where {!Sublayer.Alloc} charges the interval that
+    opens as a message crosses this boundary — a request heading down
+    charges what follows to [below], an indication heading up to
+    [above].  Omitted (or [None] cells), crossings are unattributed; the
+    hooks are free while [Alloc] is globally disabled either way. *)
+
 val osr_rd :
-  ?spec:Monitor.Spec.t -> Monitor.Runtime.t option -> conn:string -> P_osr_rd.t
+  ?spec:Monitor.Spec.t ->
+  ?alloc:alloc_pair ->
+  Monitor.Runtime.t option ->
+  conn:string ->
+  P_osr_rd.t
 (** [spec] defaults to {!Monitor.Specs.osr_rd}; the {!Msg} stack passes
     [Monitor.Specs.stream_rd ~upper:"msg"]. *)
 
-val rd_cm : Monitor.Runtime.t option -> conn:string -> P_rd_cm.t
+val rd_cm :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> conn:string -> P_rd_cm.t
 
-val cm_dm : Monitor.Runtime.t option -> conn:string -> P_pdu.t
-val cm_rec : Monitor.Runtime.t option -> conn:string -> P_pdu.t
-val rec_dm : Monitor.Runtime.t option -> conn:string -> P_pdu.t
+val cm_dm :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> conn:string -> P_pdu.t
+
+val cm_rec :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> conn:string -> P_pdu.t
+
+val rec_dm :
+  ?alloc:alloc_pair -> Monitor.Runtime.t option -> conn:string -> P_pdu.t
 
 val app :
   Monitor.Runtime.t option ->

@@ -21,10 +21,39 @@ type t = {
 let server_port f = 1024 + (2 * f)
 let client_port f = 1025 + (2 * f)
 
+(* The fabric owns its (shared) observability instances, so it also
+   registers the sampling sources: the stats registry (once, not per
+   host), the engine's own gauges, the process-global zero-copy counter
+   and the trace-ring drop counter (per-shard-sized, so nondet), plus
+   the GC source. *)
+let telemetry_sources ?stats ?tracer ~slice_global tele engine =
+  (match stats with
+  | Some reg -> Sublayer.Stats.telemetry_source tele ~name:"fabric" reg
+  | None -> ());
+  Sim.Telemetry.add_counters tele ~name:"engine" (fun () ->
+      [ ("events", Sim.Engine.events_fired engine) ]);
+  Sim.Telemetry.add_gauges tele ~name:"engine" (fun () ->
+      [ ("live", Sim.Engine.live engine); ("pending", Sim.Engine.pending engine) ]);
+  (* [Slice.copied_bytes] is one process-global atomic: in a sharded run
+     only the shard-0 instance may carry it, or the merge counts it once
+     per shard. *)
+  if slice_global then
+    Sim.Telemetry.add_counters tele ~name:"slice" (fun () ->
+        [ ("copied_bytes", Bitkit.Slice.copied_bytes ()) ]);
+  (match tracer with
+  | Some tr ->
+      Sim.Telemetry.add_counters tele ~det:false ~name:"tracer" (fun () ->
+          [ ("dropped", Sim.Tracer.dropped tr) ])
+  | None -> ());
+  Sim.Telemetry.add_gc tele
+
 let create engine ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?(seed = 7) ?link_faults
-    ~channel ~flows ~bytes () =
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?(seed = 7)
+    ?link_faults ~channel ~flows ~bytes () =
   if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
+  (match telemetry with
+  | Some tele -> telemetry_sources ?stats ?tracer ~slice_global:true tele engine
+  | None -> ());
   if flows < 0 then invalid_arg "Fabric.create: negative flow count";
   if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
   let port_host = Hashtbl.create (2 * flows) in
@@ -76,7 +105,7 @@ let create engine ?(hosts = 8) ?(config = Config.default)
   in
   let harr =
     Array.init hosts (fun h ->
-        Host.create engine ~config ~factory ?stats ?tracer ?monitors
+        Host.create engine ~config ~factory ?stats ?tracer ?monitors ?telemetry
           ~name:(Printf.sprintf "H%d" h) ~transmit ())
   in
   Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
@@ -137,7 +166,7 @@ let create engine ?(hosts = 8) ?(config = Config.default)
      instance. Merge after the run with [Monitor.Runtime.merged_verdicts]
      / [Tracer.merged_chrome_json]. *)
 let create_sharded shard ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?(seed = 7)
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?(seed = 7)
     ?link_faults ~channel ~flows ~bytes () =
   let nshards = Sim.Shard.shards shard in
   if hosts < nshards then
@@ -162,6 +191,20 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
   let stats = per_shard "stats" stats in
   let tracer = per_shard "tracer" tracer in
   let monitors = per_shard "monitors" monitors in
+  let telemetry = per_shard "telemetry" telemetry in
+  (* Per-shard instances register the SAME source names as the serial
+     fabric, so summing the deterministic series across shards
+     ([Telemetry.merged_deterministic]) reproduces the single-engine
+     series key for key. *)
+  Array.iteri
+    (fun s tele ->
+      match tele with
+      | Some tele ->
+          telemetry_sources ?stats:stats.(s) ?tracer:tracer.(s)
+            ~slice_global:(s = 0) tele
+            (Sim.Shard.engine shard s)
+      | None -> ())
+    telemetry;
   let host_shard = Array.init hosts (fun h -> h * nshards / hosts) in
   let port_host = Hashtbl.create (2 * flows) in
   let ingress = Array.make hosts (fun (_ : Bitkit.Slice.t) -> ()) in
@@ -219,7 +262,7 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
         Host.create
           (Sim.Shard.engine shard s)
           ~config ~factory ?stats:stats.(s) ?tracer:tracer.(s)
-          ?monitors:monitors.(s)
+          ?monitors:monitors.(s) ?telemetry:telemetry.(s)
           ~name:(Printf.sprintf "H%d" h)
           ~transmit ())
   in

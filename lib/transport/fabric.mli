@@ -18,6 +18,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   ?seed:int ->
   ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->
@@ -34,7 +35,14 @@ val create :
     ingress channel per host to one channel per {e directed} host pair,
     and [link_faults (src, dst)] may return a {!Sim.Faultplan} applied to
     that link alone — partial partitions impair some host pairs while the
-    rest of the fabric keeps running. *)
+    rest of the fabric keeps running.
+
+    When [telemetry] is given, the fabric registers its sampling sources
+    on it: [fabric.*] (the shared [stats] registry), [engine.*] (events
+    fired, live timers, pending events), [slice.copied_bytes],
+    [tracer.dropped] and the [gc.*] source; the host endpoints install
+    {!Sublayer.Alloc} cells.  Drive sampling from the soak loop
+    ({!Sim.Soak.run_driver}'s [?telemetry]). *)
 
 val create_sharded :
   Sim.Shard.t ->
@@ -44,6 +52,7 @@ val create_sharded :
   ?stats:Sublayer.Stats.registry array ->
   ?tracer:Sim.Tracer.t array ->
   ?monitors:Monitor.Runtime.t array ->
+  ?telemetry:Sim.Telemetry.t array ->
   ?seed:int ->
   ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->
@@ -65,10 +74,15 @@ val create_sharded :
     plans only ever add latency, so the conduits' conservative promise
     holds).
 
-    [stats] / [tracer] / [monitors], when given, must hold one instance
-    per shard — host [h] records into its shard's — and are merged after
-    the run ({!Monitor.Runtime.merged_verdicts},
-    {!Sim.Tracer.merged_chrome_json}). *)
+    [stats] / [tracer] / [monitors] / [telemetry], when given, must hold
+    one instance per shard — host [h] records into its shard's — and are
+    merged after the run ({!Monitor.Runtime.merged_verdicts},
+    {!Sim.Tracer.merged_chrome_json},
+    {!Sim.Telemetry.merged_deterministic}). Each shard's telemetry
+    instance registers the same source names as the serial fabric
+    ([slice.copied_bytes] only on shard 0 — the counter is process
+    global), so the pointwise sum of the per-shard deterministic series
+    is comparable key-for-key with a single-engine run. *)
 
 val launch_site : t -> int -> int
 (** Shard owning flow [f]'s client host — where

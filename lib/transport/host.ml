@@ -15,6 +15,7 @@ type factory = {
     ?stats:Sublayer.Stats.registry ->
     ?tracer:Sim.Tracer.t ->
     ?monitors:Monitor.Runtime.t ->
+    ?telemetry:Sim.Telemetry.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -30,12 +31,12 @@ let sublayered =
     fname = "sublayered";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
-           ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+           ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          Tcp_sublayered.create engine ?stats ?tracer ?monitors ~name cfg
-            ~local_port ~remote_port ~transmit
+          Tcp_sublayered.create engine ?stats ?tracer ?monitors ?telemetry ~name
+            cfg ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
@@ -74,6 +75,7 @@ type t = {
   stats : Sublayer.Stats.registry option;
   tracer : Sim.Tracer.t option;
   monitors : Monitor.Runtime.t option;
+  telemetry : Sim.Telemetry.t option;
   conns : (int * int, conn) Hashtbl.t;
   listeners : (int, unit) Hashtbl.t;
   mutable accept_cb : (conn -> unit) option;
@@ -81,8 +83,12 @@ type t = {
 }
 
 let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ?tracer
-    ?monitors ~name ~transmit () =
-  { engine; config; factory; name; transmit; stats; tracer; monitors;
+    ?monitors ?telemetry ~name ~transmit () =
+  (* [telemetry] is only forwarded to the endpoint factory here (it
+     gates the Alloc cells). Registering [stats] as a sampling source is
+     the registry owner's job — hosts can share one registry (the
+     fabric), and it must become one source, not one per host. *)
+  { engine; config; factory; name; transmit; stats; tracer; monitors; telemetry;
     conns = Hashtbl.create 8;
     listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
 
@@ -118,8 +124,8 @@ let make_conn host ~local_port ~remote_port ~accepted =
   let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
   let ep =
     host.factory.make ?stats:host.stats ?tracer:host.tracer
-      ?monitors:host.monitors host.engine ~name host.config ~local_port
-      ~remote_port ~transmit:host.transmit ~events
+      ?monitors:host.monitors ?telemetry:host.telemetry host.engine ~name
+      host.config ~local_port ~remote_port ~transmit:host.transmit ~events
   in
   let c =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
@@ -235,7 +241,7 @@ let guard_verify sl =
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
-    ?monitors channel_config =
+    ?monitors ?telemetry channel_config =
   let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let deliver target s =
@@ -255,24 +261,35 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
       ()
   in
   let tx ch s = Sim.Channel.send ch (if guard then guard_protect s else s) in
+  (* The pair owns the two registries, so it registers them as sampling
+     sources (one per side, prefixed by the host name). *)
+  (match telemetry with
+  | Some tele ->
+      let reg_source name = function
+        | Some reg -> Sublayer.Stats.telemetry_source tele ~name reg
+        | None -> ()
+      in
+      reg_source "A" stats_a;
+      reg_source "B" stats_b
+  | None -> ());
   (* One shared tracer: the cross-host span correlation (RD's flight
      spans closed by the receiving end) needs both hosts on it. *)
   let a =
     create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ?monitors
-      ~name:"A" ~transmit:(tx ab) ()
+      ?telemetry ~name:"A" ~transmit:(tx ab) ()
   in
   let b =
     create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ?monitors
-      ~name:"B" ~transmit:(tx ba) ()
+      ?telemetry ~name:"B" ~transmit:(tx ba) ()
   in
   to_a := from_wire a;
   to_b := from_wire b;
   (a, b, ab, ba)
 
 let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b ?tracer
-    ?monitors channel_config =
+    ?monitors ?telemetry channel_config =
   let a, b, _, _ =
     pair_channels engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b
-      ?tracer ?monitors channel_config
+      ?tracer ?monitors ?telemetry channel_config
   in
   (a, b)

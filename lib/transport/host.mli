@@ -32,6 +32,7 @@ type factory = {
     ?stats:Sublayer.Stats.registry ->
     ?tracer:Sim.Tracer.t ->
     ?monitors:Monitor.Runtime.t ->
+    ?telemetry:Sim.Telemetry.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -53,6 +54,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   name:string ->
   transmit:(Bitkit.Slice.t -> unit) ->
   unit ->
@@ -61,7 +63,13 @@ val create :
     counters in it; connections sharing the host aggregate into the same
     per-sublayer scopes. When [tracer] is given, every connection's
     sublayers record causal spans on it, tracked per connection as
-    ["<host>:<lport>><rport>"]. *)
+    ["<host>:<lport>><rport>"]. [telemetry] is forwarded to the endpoint
+    factory, which installs {!Sublayer.Alloc} cells so allocation
+    attribution can charge [<sub>.gc.minor_words] per sublayer; the
+    caller (or {!pair}, which does it for its two registries) registers
+    [stats] as a sampling source via
+    {!Sublayer.Stats.telemetry_source} — once per registry, since hosts
+    may share one. *)
 
 val stats_registry : t -> Sublayer.Stats.registry option
 
@@ -124,6 +132,7 @@ val pair :
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   Sim.Channel.config ->
   t * t
 (** Two hosts joined by a duplex impaired channel. [guard] (default
@@ -145,6 +154,7 @@ val pair_channels :
   ?stats_b:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   Sim.Channel.config ->
   t * t * Bitkit.Slice.t Sim.Channel.t * Bitkit.Slice.t Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then

@@ -12,6 +12,7 @@ type counters = {
   c_bytes_written : Sublayer.Stats.counter;
   c_bytes_delivered : Sublayer.Stats.counter;
   c_segments_out : Sublayer.Stats.counter;
+  c_copied_app_bytes : Sublayer.Stats.counter;
 }
 
 let counters_in sc =
@@ -19,6 +20,7 @@ let counters_in sc =
     c_bytes_written = Sublayer.Stats.counter sc "bytes_written";
     c_bytes_delivered = Sublayer.Stats.counter sc "bytes_delivered";
     c_segments_out = Sublayer.Stats.counter sc "segments_out";
+    c_copied_app_bytes = Sublayer.Stats.counter sc "copied_app_bytes";
   }
 
 (* The outgoing byte stream not yet segmented: a chunk queue with a
@@ -350,8 +352,13 @@ let handle_down_ind t (ind : down_ind) =
             if hdr.Segment.ecn_ce then { c with last_ce = t.now () } else c
           in
           (* The app boundary: the payload slice materialises to an owned
-             string here, the receive path's one copy. *)
-          let c, acts = accept_segment t c offset (Bitkit.Slice.to_string payload) in
+             string here, the receive path's one copy. Attribute it, so
+             [slice.copied_bytes] breaks down per crossing. *)
+          let before = Bitkit.Slice.copied_bytes () in
+          let payload_s = Bitkit.Slice.to_string payload in
+          Sublayer.Stats.add t.ctrs.c_copied_app_bytes
+            (Bitkit.Slice.copied_bytes () - before);
+          let c, acts = accept_segment t c offset payload_s in
           let acts =
             if hdr.Segment.ecn_ce then acts @ [ Down (`Set_block (block t c)) ]
             else acts

@@ -10,6 +10,7 @@ type t = {
   seq : int;
   c_sent : Sublayer.Stats.counter;
   c_failures : Sublayer.Stats.counter;
+  c_copied_seal : Sublayer.Stats.counter;
   sp : Sublayer.Span.ctx;
 }
 
@@ -27,6 +28,7 @@ let initial ?stats ?span ~key ~local_port ~remote_port () =
   { key; mac_key = derive_mac_key key; local_port; remote_port; seq = 0;
     c_sent = Sublayer.Stats.counter sc "records_sent";
     c_failures = Sublayer.Stats.counter sc "auth_failures";
+    c_copied_seal = Sublayer.Stats.counter sc "copied_seal_bytes";
     sp = (match span with Some sp -> sp | None -> Sublayer.Span.disabled name) }
 
 let records_sent t = Sublayer.Stats.value t.c_sent
@@ -85,7 +87,12 @@ let open_ t record =
    materialisation point either way: the accumulated wirebuf is emitted,
    sealed, and re-wrapped as the payload of a fresh wirebuf for DM. *)
 let handle_up_req t pdu =
-  let t, record = seal t (Bitkit.Wirebuf.to_string pdu) in
+  (* Sealing forces the wirebuf out; attribute that materialisation so
+     [slice.copied_bytes] breaks down per crossing. *)
+  let before = Bitkit.Slice.copied_bytes () in
+  let plain = Bitkit.Wirebuf.to_string pdu in
+  Sublayer.Stats.add t.c_copied_seal (Bitkit.Slice.copied_bytes () - before);
+  let t, record = seal t plain in
   Sublayer.Span.instant t.sp
     ~detail:(Printf.sprintf "seq=%d" (t.seq - 1)) "seal";
   (t, [ Down (Bitkit.Wirebuf.of_string record) ])

@@ -499,7 +499,7 @@ let factory =
     Host.fname = "monolithic";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats:_ ?tracer:_ ?monitors:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats:_ ?tracer:_ ?monitors:_ ?telemetry:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         (* The monolith is deliberately opaque: no per-sublayer counters
            or spans exist to register (that contrast is the point of E19).
            It also keeps its string-based wire handling — it is the

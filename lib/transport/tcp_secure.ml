@@ -11,8 +11,8 @@ type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ?stats ?tracer ?monitors ~key ~name cfg ~local_port
-    ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~key ~name cfg
+    ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -21,6 +21,54 @@ let create engine ?trace ?stats ?tracer ?monitors ~key ~name cfg ~local_port
       (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
       tracer
   in
+  let acell sub =
+    match (telemetry, stats) with
+    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
+    | _ -> None
+  in
+  let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm"
+  and rec_c = acell "rec" and dm_c = acell "dm" and app_c = acell "app"
+  and wire_c = acell "wire" in
+  let alloc =
+    { Sublayer.Runtime.al_top = osr_c; al_bottom = dm_c; al_app = app_c;
+      al_wire = wire_c;
+      al_timer =
+        (* Only OSR, RD and CM own timers; every probe, Rec and DM slot
+           is [Nothing.t], discharged by refutation cases. *)
+        (fun (tm : Full.timer) ->
+        match tm with
+        | Either.Left _ -> osr_c
+        | Either.Right (Either.Left _) -> .
+        | Either.Right (Either.Right (Either.Left _)) -> rd_c
+        | Either.Right (Either.Right (Either.Right (Either.Left _))) -> .
+        | Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))) ->
+            cm_c
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))))
+          ->
+            .
+        | Either.Right
+            (Either.Right
+              (Either.Right
+                (Either.Right (Either.Right (Either.Right (Either.Left _))))))
+          ->
+            .
+        | Either.Right
+            (Either.Right
+              (Either.Right
+                (Either.Right
+                  (Either.Right (Either.Right (Either.Right (Either.Left _)))))))
+          ->
+            .
+        | Either.Right
+            (Either.Right
+              (Either.Right
+                (Either.Right
+                  (Either.Right (Either.Right (Either.Right (Either.Right _)))))))
+          ->
+            .);
+    }
+  in
   let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
@@ -28,14 +76,14 @@ let create engine ?trace ?stats ?tracer ?monitors ~key ~name cfg ~local_port
     Rec.initial ?stats:(sc "rec") ?span:(sp "rec") ~key ~local_port ~remote_port ()
   in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events
+  R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
-      ( Conform.osr_rd monitors ~conn:name,
+      ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,
         ( rd,
-          ( Conform.rd_cm monitors ~conn:name,
+          ( Conform.rd_cm ~alloc:(rd_c, cm_c) monitors ~conn:name,
             ( cm,
-              ( Conform.cm_rec monitors ~conn:name,
-                (rec_, (Conform.rec_dm monitors ~conn:name, dm)) ) ) ) ) ) )
+              ( Conform.cm_rec ~alloc:(cm_c, rec_c) monitors ~conn:name,
+                (rec_, (Conform.rec_dm ~alloc:(rec_c, dm_c) monitors ~conn:name, dm)) ) ) ) ) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen
@@ -54,12 +102,12 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
-           ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+           ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ?monitors ~key ~name cfg ~local_port
-            ~remote_port ~transmit
+          create engine ?stats ?tracer ?monitors ?telemetry ~key ~name cfg
+            ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {

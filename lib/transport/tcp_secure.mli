@@ -11,6 +11,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   key:string ->
   name:string ->
   Config.t ->

@@ -10,7 +10,7 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -19,14 +19,51 @@ let create engine ?trace ?stats ?tracer ?monitors ~name cfg ~local_port ~remote_
       (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
       tracer
   in
+  (* Allocation cells exist only under telemetry (they add a
+     gc.minor_words counter per scope to the registry, which a plain
+     stats run should not see); with all cells [None] the alloc spec is
+     inert beyond one atomic load per crossing. *)
+  let acell sub =
+    match (telemetry, stats) with
+    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
+    | _ -> None
+  in
+  let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm"
+  and dm_c = acell "dm" and app_c = acell "app" and wire_c = acell "wire" in
+  let alloc =
+    { Sublayer.Runtime.al_top = osr_c; al_bottom = dm_c; al_app = app_c;
+      al_wire = wire_c;
+      al_timer =
+        (* Only OSR, RD and CM own timers; probe and DM slots are
+           [Nothing.t], discharged by refutation cases. *)
+        (fun (tm : Full.timer) ->
+        match tm with
+        | Either.Left _ -> osr_c
+        | Either.Right (Either.Left _) -> .
+        | Either.Right (Either.Right (Either.Left _)) -> rd_c
+        | Either.Right (Either.Right (Either.Right (Either.Left _))) -> .
+        | Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))) ->
+            cm_c
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))))
+          ->
+            .
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Right _)))))
+          ->
+            .);
+    }
+  in
   let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events
+  R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
-      ( Conform.osr_rd monitors ~conn:name,
-        (rd, (Conform.rd_cm monitors ~conn:name, (cm, (Conform.cm_dm monitors ~conn:name, dm)))) ) )
+      ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,
+        ( rd,
+          ( Conform.rd_cm ~alloc:(rd_c, cm_c) monitors ~conn:name,
+            (cm, (Conform.cm_dm ~alloc:(cm_c, dm_c) monitors ~conn:name, dm)) ) ) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen

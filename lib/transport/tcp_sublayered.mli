@@ -11,6 +11,7 @@ val create :
   ?stats:Sublayer.Stats.registry ->
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -26,7 +27,11 @@ val create :
     (track = [name]), with per-sublayer sojourn histograms recorded into
     [stats] as well. When [monitors] is given, conformance probes on the
     OSR⇄RD, RD⇄CM and CM⇄DM interfaces check every crossing against the
-    {!Monitor.Specs} contracts under the key [name]. *)
+    {!Monitor.Specs} contracts under the key [name]. When [telemetry]
+    (and [stats]) are given, {!Sublayer.Alloc} cells are installed at
+    every T2 seam so enabling allocation attribution charges
+    [<sub>.gc.minor_words] per sublayer (plus [app.*]/[wire.*] for the
+    excursions outside the stack). *)
 
 val connect : t -> unit
 val listen : t -> unit

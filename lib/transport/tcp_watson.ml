@@ -8,8 +8,8 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ?(idle_timeout = 6.0) ~name cfg
-    ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?(idle_timeout = 6.0)
+    ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -18,6 +18,37 @@ let create engine ?trace ?stats ?tracer ?monitors ?(idle_timeout = 6.0) ~name cf
       (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
       tracer
   in
+  let acell sub =
+    match (telemetry, stats) with
+    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
+    | _ -> None
+  in
+  let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm-timer"
+  and dm_c = acell "dm" and app_c = acell "app" and wire_c = acell "wire" in
+  let alloc =
+    { Sublayer.Runtime.al_top = osr_c; al_bottom = dm_c; al_app = app_c;
+      al_wire = wire_c;
+      al_timer =
+        (* OSR, RD and CM-with-timer own timers (the Watson variant adds
+           [Idle]); probe and DM slots are [Nothing.t]. *)
+        (fun (tm : Full.timer) ->
+        match tm with
+        | Either.Left _ -> osr_c
+        | Either.Right (Either.Left _) -> .
+        | Either.Right (Either.Right (Either.Left _)) -> rd_c
+        | Either.Right (Either.Right (Either.Right (Either.Left _))) -> .
+        | Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))) ->
+            cm_c
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Left _)))))
+          ->
+            .
+        | Either.Right
+            (Either.Right (Either.Right (Either.Right (Either.Right (Either.Right _)))))
+          ->
+            .);
+    }
+  in
   let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm =
@@ -25,10 +56,12 @@ let create engine ?trace ?stats ?tracer ?monitors ?(idle_timeout = 6.0) ~name cf
       ~local_port ~remote_port ~idle_timeout
   in
   let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
-  R.create engine ?trace ~name ~transmit ~deliver:events
+  R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
-      ( Conform.osr_rd monitors ~conn:name,
-        (rd, (Conform.rd_cm monitors ~conn:name, (cm, (Conform.cm_dm monitors ~conn:name, dm)))) ) )
+      ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,
+        ( rd,
+          ( Conform.rd_cm ~alloc:(rd_c, cm_c) monitors ~conn:name,
+            (cm, (Conform.cm_dm ~alloc:(cm_c, dm_c) monitors ~conn:name, dm)) ) ) ) )
 
 let connect t = R.from_above t `Connect
 let listen t = R.from_above t `Listen
@@ -44,12 +77,12 @@ let factory ?idle_timeout () =
     Host.fname = "sublayered-watson";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors engine ~name cfg ~local_port ~remote_port
-           ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+           ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ?monitors ?idle_timeout ~name cfg
-            ~local_port ~remote_port ~transmit
+          create engine ?stats ?tracer ?monitors ?telemetry ?idle_timeout ~name
+            cfg ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
