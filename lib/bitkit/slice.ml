@@ -34,6 +34,9 @@ let sub t ~pos ~len =
     invalid_arg "Slice.sub: out of bounds";
   { base = t.base; off = t.off + pos; len }
 
+let copy_cost t =
+  if t.off = 0 && t.len = String.length t.base then 0 else t.len
+
 let to_string t =
   (* A whole-string view hands back its base: still zero-copy. *)
   if t.off = 0 && t.len = String.length t.base then t.base

@@ -21,6 +21,12 @@ val get : t -> int -> char
 val sub : t -> pos:int -> len:int -> t
 (** Zero-copy narrowing; [pos] is relative to the slice. *)
 
+val copy_cost : t -> int
+(** Bytes {!to_string} would charge: [0] for a whole-string view,
+    {!length} otherwise. Lets callers attribute a materialisation to a
+    local counter without bracketing the shared {!copied_bytes} atomic
+    (which other domains mutate concurrently in sharded runs). *)
+
 val to_string : t -> string
 (** Materializes the view. A whole-string view returns [base] without
     copying; anything narrower copies (and is counted). *)

@@ -49,6 +49,9 @@ let emit t =
 let to_slice t =
   if t.headers = [] then t.payload else Slice.of_string (emit t)
 
+let copy_cost t =
+  if t.headers = [] then Slice.copy_cost t.payload else length t
+
 let to_string t =
   if t.headers = [] then Slice.to_string t.payload else emit t
 

@@ -33,6 +33,13 @@ val to_slice : t -> Slice.t
 val to_string : t -> string
 (** Like {!to_slice} but materialized. *)
 
+val copy_cost : t -> int
+(** Bytes {!to_string}/{!emit} would charge to the copy counter:
+    {!Slice.copy_cost} of the payload when no headers are pushed
+    (including eager mode, whose copies were already paid at [push]),
+    {!length} otherwise. Lets callers attribute the materialisation to a
+    local counter without bracketing the shared process-wide atomic. *)
+
 val appendices : t -> (string * int) list
 (** [(owner, bits)] per pushed header, outermost first — the input to
     {!Sublayer.Layout.check_appendix}. *)

@@ -59,31 +59,41 @@ let charge ctx =
   | None -> ());
   ctx.checkpoint <- now
 
-let enter c =
-  if Atomic.get enabled_flag then begin
-    let ctx = Domain.DLS.get key in
-    charge ctx;
-    if ctx.depth >= Array.length ctx.stack then begin
-      let bigger = Array.make (2 * Array.length ctx.stack) None in
-      Array.blit ctx.stack 0 bigger 0 (Array.length ctx.stack);
-      ctx.stack <- bigger
-    end;
-    ctx.stack.(ctx.depth) <- ctx.cur;
-    ctx.depth <- ctx.depth + 1;
-    ctx.cur <- c
-  end
+let push ctx c =
+  charge ctx;
+  if ctx.depth >= Array.length ctx.stack then begin
+    let bigger = Array.make (2 * Array.length ctx.stack) None in
+    Array.blit ctx.stack 0 bigger 0 (Array.length ctx.stack);
+    ctx.stack <- bigger
+  end;
+  ctx.stack.(ctx.depth) <- ctx.cur;
+  ctx.depth <- ctx.depth + 1;
+  ctx.cur <- c
 
-let exit_ () =
+let pop ctx =
+  charge ctx;
+  if ctx.depth > 0 then begin
+    ctx.depth <- ctx.depth - 1;
+    ctx.cur <- ctx.stack.(ctx.depth);
+    ctx.stack.(ctx.depth) <- None
+  end
+  else ctx.cur <- None
+
+let enter c = if Atomic.get enabled_flag then push (Domain.DLS.get key) c
+let exit_ () = if Atomic.get enabled_flag then pop (Domain.DLS.get key)
+
+(* The enabled decision is taken ONCE per bracket: a [set_enabled] flip
+   mid-step cannot leave an [enter] without its matching exit (or vice
+   versa), and the pop runs even when [f] raises, so an exception in a
+   machine step or callback never skews every later attribution on the
+   domain. *)
+let bracket c f =
   if Atomic.get enabled_flag then begin
     let ctx = Domain.DLS.get key in
-    charge ctx;
-    if ctx.depth > 0 then begin
-      ctx.depth <- ctx.depth - 1;
-      ctx.cur <- ctx.stack.(ctx.depth);
-      ctx.stack.(ctx.depth) <- None
-    end
-    else ctx.cur <- None
+    push ctx c;
+    Fun.protect ~finally:(fun () -> pop ctx) f
   end
+  else f ()
 
 let cross c =
   if Atomic.get enabled_flag then begin

@@ -54,6 +54,13 @@ val exit_ : unit -> unit
 (** Charge the open interval to the current cell and pop back to the
     cell that was current before the matching {!enter}. *)
 
+val bracket : cell option -> (unit -> unit) -> unit
+(** [bracket c f] runs [f] between an {!enter}/{!exit_} pair that is
+    exception-safe (the pop runs even when [f] raises) and immune to a
+    {!set_enabled} flip mid-[f] (the enabled decision is taken once, so
+    the cell stack can never be left unbalanced). Prefer this to calling
+    the pair directly. *)
+
 val cross : cell option -> unit
 (** Charge the open interval to the current cell and make [cell]
     current, without pushing — used by probe taps as a message passes a

@@ -46,14 +46,12 @@ module Make (S : Machine.S) = struct
   (* Bracket an excursion out of the stack (app delivery, wire transmit)
      or into it (entry points below) so allocation between two probe
      crossings lands on the machine actually running. Reentrancy — e.g.
-     delivery calling back into [from_above] — nests via the cell stack. *)
+     delivery calling back into [from_above] — nests via the cell stack;
+     [Alloc.bracket] keeps it balanced when a step or callback raises. *)
   let excurse t cell f x =
     match t.alloc with
     | None -> f x
-    | Some _ ->
-        Alloc.enter cell;
-        f x;
-        Alloc.exit_ ()
+    | Some _ -> Alloc.bracket cell (fun () -> f x)
 
   let rec apply t acts = List.iter (apply_one t) acts
 
@@ -71,25 +69,27 @@ module Make (S : Machine.S) = struct
 
   and fire t tm =
     t.timers <- List.remove_assoc tm t.timers;
-    (match t.alloc with Some a -> Alloc.enter (a.al_timer tm) | None -> ());
-    let st, acts = S.handle_timer t.st tm in
-    t.st <- st;
-    apply t acts;
-    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
+    let body () =
+      let st, acts = S.handle_timer t.st tm in
+      t.st <- st;
+      apply t acts
+    in
+    match t.alloc with
+    | None -> body ()
+    | Some a -> Alloc.bracket (a.al_timer tm) body
 
-  let from_above t req =
-    (match t.alloc with Some a -> Alloc.enter a.al_top | None -> ());
-    let st, acts = S.handle_up_req t.st req in
-    t.st <- st;
-    apply t acts;
-    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
+  let entry t cell step x =
+    let body () =
+      let st, acts = step t.st x in
+      t.st <- st;
+      apply t acts
+    in
+    match t.alloc with
+    | None -> body ()
+    | Some a -> Alloc.bracket (cell a) body
 
-  let from_below t ind =
-    (match t.alloc with Some a -> Alloc.enter a.al_bottom | None -> ());
-    let st, acts = S.handle_down_ind t.st ind in
-    t.st <- st;
-    apply t acts;
-    match t.alloc with Some _ -> Alloc.exit_ () | None -> ()
+  let from_above t req = entry t (fun a -> a.al_top) S.handle_up_req req
+  let from_below t ind = entry t (fun a -> a.al_bottom) S.handle_down_ind ind
 
   let active_timers t = List.length t.timers
 end

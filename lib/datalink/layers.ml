@@ -45,10 +45,11 @@ module Error_detection = struct
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.protected;
     Sublayer.Span.instant t.sp "protect";
-    let before = Bitkit.Slice.copied_bytes () in
+    (* Charge the known emit size directly — bracketing the
+       process-global counter would over-count copies other shards make
+       concurrently. *)
+    Sublayer.Stats.add t.copied_trailer (Bitkit.Wirebuf.copy_cost pdu);
     let emitted = Bitkit.Wirebuf.to_string pdu in
-    Sublayer.Stats.add t.copied_trailer
-      (Bitkit.Slice.copied_bytes () - before);
     (t, [ Down (t.det.Detector.protect emitted) ])
 
   let handle_down_ind t pdu =

@@ -244,12 +244,15 @@ let to_csv t =
     (samples t);
   Buffer.contents b
 
-let chrome_counter_events ?pid t =
-  let pid = match pid with Some p -> p | None -> t.t_label in
+(* The trace_event format specifies integer pids; the default sits well
+   past the tracer exporter's track pids (numbered 1..#tracks), so
+   spliced counter tracks group under their own process row. The label
+   rides in a [process_name] metadata record, as in [chrome_json_of]. *)
+let chrome_counter_events ?(pid = 1000) t =
   let meta =
     Printf.sprintf
-      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":\"%s\",\"args\":{\"name\":\"%s\"}}"
-      (json_escape pid) (json_escape pid)
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+      pid (json_escape t.t_label)
   in
   let events =
     List.concat_map
@@ -258,8 +261,8 @@ let chrome_counter_events ?pid t =
         List.map
           (fun (k, v) ->
             Printf.sprintf
-              "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":\"%s\",\"args\":{\"value\":%d}}"
-              (json_escape k) us (json_escape pid) v)
+              "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"args\":{\"value\":%d}}"
+              (json_escape k) us pid v)
           (s.det @ s.nondet))
       (samples t)
   in

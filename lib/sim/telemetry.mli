@@ -104,9 +104,11 @@ val to_csv : t -> string
 (** Long format, one reading per line: [ts,key,value] with a header —
     loads straight into any plotting tool. *)
 
-val chrome_counter_events : ?pid:string -> t -> string list
+val chrome_counter_events : ?pid:int -> t -> string list
 (** Chrome [trace_event] counter-track records (["ph":"C"], microsecond
     timestamps, one event per sample per key, plus a [process_name]
-    metadata record) ready to splice into
-    {!Tracer.to_chrome_json}'s [?extra] — the counters then render as
-    tracks alongside the span trace in Perfetto. *)
+    metadata record naming the track after {!label}) ready to splice
+    into {!Tracer.to_chrome_json}'s [?extra] — the counters then render
+    as tracks alongside the span trace in Perfetto. [pid] defaults to
+    1000, past the tracer's track pids; pass distinct values to splice
+    several instances. *)

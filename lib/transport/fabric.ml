@@ -51,11 +51,14 @@ let create engine ?(hosts = 8) ?(config = Config.default)
     ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?(seed = 7)
     ?link_faults ~channel ~flows ~bytes () =
   if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
+  if flows < 0 then invalid_arg "Fabric.create: negative flow count";
+  if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
+  (* Register sources only once the arguments are validated, so a raise
+     never leaves the caller's telemetry polluted by a fabric that was
+     never built. *)
   (match telemetry with
   | Some tele -> telemetry_sources ?stats ?tracer ~slice_global:true tele engine
   | None -> ());
-  if flows < 0 then invalid_arg "Fabric.create: negative flow count";
-  if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
   let port_host = Hashtbl.create (2 * flows) in
   let ingress = Array.make hosts (fun (_ : Bitkit.Slice.t) -> ()) in
   let mk_chan dst =

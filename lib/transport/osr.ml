@@ -352,12 +352,12 @@ let handle_down_ind t (ind : down_ind) =
             if hdr.Segment.ecn_ce then { c with last_ce = t.now () } else c
           in
           (* The app boundary: the payload slice materialises to an owned
-             string here, the receive path's one copy. Attribute it, so
-             [slice.copied_bytes] breaks down per crossing. *)
-          let before = Bitkit.Slice.copied_bytes () in
-          let payload_s = Bitkit.Slice.to_string payload in
+             string here, the receive path's one copy. Charge the known
+             size directly — bracketing the process-global counter would
+             over-count copies other shards make concurrently. *)
           Sublayer.Stats.add t.ctrs.c_copied_app_bytes
-            (Bitkit.Slice.copied_bytes () - before);
+            (Bitkit.Slice.copy_cost payload);
+          let payload_s = Bitkit.Slice.to_string payload in
           let c, acts = accept_segment t c offset payload_s in
           let acts =
             if hdr.Segment.ecn_ce then acts @ [ Down (`Set_block (block t c)) ]

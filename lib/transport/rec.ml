@@ -87,11 +87,11 @@ let open_ t record =
    materialisation point either way: the accumulated wirebuf is emitted,
    sealed, and re-wrapped as the payload of a fresh wirebuf for DM. *)
 let handle_up_req t pdu =
-  (* Sealing forces the wirebuf out; attribute that materialisation so
-     [slice.copied_bytes] breaks down per crossing. *)
-  let before = Bitkit.Slice.copied_bytes () in
+  (* Sealing forces the wirebuf out; charge the known emit size directly
+     — bracketing the process-global counter would over-count copies
+     other shards make concurrently. *)
+  Sublayer.Stats.add t.c_copied_seal (Bitkit.Wirebuf.copy_cost pdu);
   let plain = Bitkit.Wirebuf.to_string pdu in
-  Sublayer.Stats.add t.c_copied_seal (Bitkit.Slice.copied_bytes () - before);
   let t, record = seal t plain in
   Sublayer.Span.instant t.sp
     ~detail:(Printf.sprintf "seq=%d" (t.seq - 1)) "seal";

@@ -198,16 +198,20 @@ let check_series_identity ?link_faults ~seed () =
         base_r.Sim.Workload.soak.Sim.Soak.events_fired
         r.Sim.Workload.soak.Sim.Soak.events_fired;
       if series <> base then begin
-        List.iteri
-          (fun i ((tb, vb), (ts, vs)) ->
-            if (tb, vb) <> (ts, vs) then
-              Printf.printf "sample %d: base t=%g %s | sharded t=%g %s\n" i tb
-                (String.concat ","
-                   (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) vb))
-                ts
-                (String.concat ","
-                   (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) vs)))
-          (List.combine base series);
+        if List.length base <> List.length series then
+          Printf.printf "sample counts differ: base %d | sharded %d\n"
+            (List.length base) (List.length series)
+        else
+          List.iteri
+            (fun i ((tb, vb), (ts, vs)) ->
+              if (tb, vb) <> (ts, vs) then
+                Printf.printf "sample %d: base t=%g %s | sharded t=%g %s\n" i tb
+                  (String.concat ","
+                     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) vb))
+                  ts
+                  (String.concat ","
+                     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) vs)))
+            (List.combine base series);
         Alcotest.failf "%d-shard deterministic series diverged" shards
       end)
     [ 2; 4 ]
