@@ -390,10 +390,17 @@ let e11 () =
 (* ------------------------------------------------------------------ *)
 (* E12 — §3.1 performance objection: sublayered vs monolithic cost. *)
 
+(* One clock for every wall-time figure. [Sys.time] is process CPU time:
+   it overstates multi-domain runs (summing across cores) and stalls
+   while the process sleeps, so benches that mixed it with
+   [Unix.gettimeofday] (E23) were not comparable. Every bench below
+   reads this wall clock. *)
+let now_wall = Unix.gettimeofday
+
 let wall f =
-  let t0 = Sys.time () in
+  let t0 = now_wall () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, now_wall () -. t0)
 
 let e12 () =
   section "E12" "performance (§3.1): sublayered vs monolithic processing cost";
@@ -519,9 +526,9 @@ let e15 () =
         ~transmit:(fun s -> Sim.Channel.send ba s)
         ~events:(function
           | `Data s -> (
-              Buffer.add_string received s;
+              Bitkit.Slice.add_to_buffer received s;
               match !b_ref with
-              | Some b -> Transport.Tcp_sublayered.read b (String.length s)
+              | Some b -> Transport.Tcp_sublayered.read b (Bitkit.Slice.length s)
               | None -> ())
           | _ -> ())
     in
@@ -667,7 +674,9 @@ let e16 () =
       Transport.Tcp_sublayered.create engine ~name:"B" config ~local_port:2
         ~remote_port:1
         ~transmit:(fun s -> Sim.Channel.send ba s)
-        ~events:(function `Data s -> Buffer.add_string received s | _ -> ())
+        ~events:(function
+          | `Data s -> Bitkit.Slice.add_to_buffer received s
+          | _ -> ())
     in
     to_a := Transport.Tcp_sublayered.from_wire a;
     to_b := Transport.Tcp_sublayered.from_wire b;
@@ -975,12 +984,12 @@ let e21 () =
       Transport.Fabric.create engine ~hosts:8 ~channel ~flows ~bytes ()
     in
     let alloc0 = Gc.allocated_bytes () in
-    let wall0 = Sys.time () in
+    let wall0 = now_wall () in
     let r =
       Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e21" ~engine ~flows
         (Transport.Fabric.ops fabric)
     in
-    let wall = Sys.time () -. wall0 in
+    let wall = now_wall () -. wall0 in
     let alloc = Gc.allocated_bytes () -. alloc0 in
     let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
     let eps = if wall > 0. then float_of_int fired /. wall else 0. in
@@ -1057,13 +1066,13 @@ let e22 () =
             ()
         in
         Bitkit.Slice.reset_copied ();
-        let wall0 = Sys.time () in
+        let wall0 = now_wall () in
         let r =
           Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e22" ~engine
             ~flows
             (Transport.Fabric.ops fabric)
         in
-        let wall = Sys.time () -. wall0 in
+        let wall = now_wall () -. wall0 in
         let copied = Bitkit.Slice.copied_bytes () in
         let segments =
           List.fold_left
@@ -1170,14 +1179,14 @@ let e23 () =
     let fabric =
       Transport.Fabric.create_sharded shard ~hosts:16 ~channel ~flows ~bytes ()
     in
-    let wall0 = Unix.gettimeofday () in
+    let wall0 = now_wall () in
     let r =
       Sim.Workload.run_sharded ~spacing:0.0005 ~until:900. ~name:"e23" ~shard
         ~launch_site:(Transport.Fabric.launch_site fabric)
         ~flows
         (Transport.Fabric.ops fabric)
     in
-    let wall = Unix.gettimeofday () -. wall0 in
+    let wall = now_wall () -. wall0 in
     let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
     let eps = if wall > 0. then float_of_int fired /. wall else 0. in
     if not (Sim.Workload.ok r) then
@@ -1263,7 +1272,7 @@ let e25 () =
       Transport.Fabric.create engine ?monitors ~hosts:8 ~channel ~flows ~bytes
         ()
     in
-    let wall0 = Sys.time () in
+    let wall0 = now_wall () in
     let r =
       Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e25" ~engine ~flows
         ?invariant:(Option.map Monitor.Runtime.invariant monitors)
@@ -1271,7 +1280,7 @@ let e25 () =
           (Option.map (fun m () -> Monitor.Runtime.verdicts m) monitors)
         (Transport.Fabric.ops fabric)
     in
-    let wall = Sys.time () -. wall0 in
+    let wall = now_wall () -. wall0 in
     let fired = r.Sim.Workload.soak.Sim.Soak.events_fired in
     let eps = if wall > 0. then float_of_int fired /. wall else 0. in
     let checked = match monitors with Some m -> Monitor.Runtime.checked m | None -> 0 in
@@ -1374,13 +1383,13 @@ let e26 () =
       Transport.Fabric.create engine ~hosts:8 ~stats ?telemetry ~channel ~flows
         ~bytes ()
     in
-    let wall0 = Sys.time () in
+    let wall0 = now_wall () in
     let r =
       Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e26" ~engine ~flows
         ?telemetry:(Option.map (fun t -> [ t ]) telemetry)
         (Transport.Fabric.ops fabric)
     in
-    let wall = Sys.time () -. wall0 in
+    let wall = now_wall () -. wall0 in
     if not (Sim.Workload.ok r) then
       Printf.printf "  !! %s/%d NOT CLEAN: %s\n"
         (if telemetry_on then "on" else "off")
@@ -1508,6 +1517,255 @@ let e26 () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* E27 — steady-state pooled data path: Bitkit.Pool arena loans vs
+   per-segment heap emits, with the chain-digest detector trailer. *)
+
+let e27 () =
+  section "E27" "pooled data path: arena loans vs heap emits at 100/1k/5k flows";
+  let flow_counts = if smoke then [ 20; 100 ] else [ 100; 1000; 5000 ] in
+  let bytes = if smoke then 2_000 else 8_000 in
+  let channel = { (Sim.Channel.lossy 0.05) with Sim.Channel.delay = 0.02 } in
+  let sublayers = [ "osr"; "rd"; "cm"; "dm"; "app"; "wire" ] in
+  let counter stats sub name =
+    Sublayer.Stats.value
+      (Sublayer.Stats.counter (Sublayer.Stats.scope stats sub) name)
+  in
+  let cell ~pooled ~flows =
+    let engine = Sim.Engine.create ~seed:68 ~backend:`Wheel () in
+    let stats = Sublayer.Stats.create ~label:"e27" () in
+    (* Telemetry is present only so the endpoints install their
+       allocation cells; nothing samples it — both modes pay the same
+       (inert) probe cost, keeping the comparison fair. *)
+    let telemetry = Sim.Telemetry.create ~label:"e27" () in
+    Sublayer.Alloc.set_enabled true;
+    Fun.protect ~finally:(fun () -> Sublayer.Alloc.set_enabled false)
+    @@ fun () ->
+    let pool =
+      if pooled then Some (Bitkit.Pool.create ~slots:4096 ~slot_bytes:2048 ())
+      else None
+    in
+    Bitkit.Slice.reset_copied ();
+    let fabric =
+      Transport.Fabric.create engine ~hosts:8 ~stats ~telemetry ?pool ~channel
+        ~flows ~bytes ()
+    in
+    let wall0 = now_wall () in
+    let r =
+      Sim.Workload.run ~spacing:0.005 ~until:900. ~name:"e27" ~engine ~flows
+        ~drops:(fun () -> Transport.Fabric.pool_stats fabric)
+        (Transport.Fabric.ops fabric)
+    in
+    let wall = now_wall () -. wall0 in
+    if not (Sim.Workload.ok r) then
+      Printf.printf "  !! %s/%d NOT CLEAN: %s\n"
+        (if pooled then "pool" else "heap")
+        flows
+        (Format.asprintf "%a" Sim.Workload.pp_report r);
+    (r, wall, stats, Bitkit.Slice.copied_bytes (),
+     Transport.Fabric.pool_stats fabric)
+  in
+  let json = Buffer.create 4096 in
+  Buffer.add_string json "{\"fabric\":[";
+  let first = ref true in
+  Printf.printf "  %-5s %7s %10s %8s %12s %8s %8s |" "mode" "flows" "segments"
+    "wall(s)" "copied_B" "hwm" "overrun";
+  List.iter (fun sub -> Printf.printf " %9s" (sub ^ " w/seg")) sublayers;
+  Printf.printf "\n";
+  List.iter
+    (fun flows ->
+      let r_off, wall_off, stats_off, copied_off, _ =
+        cell ~pooled:false ~flows
+      in
+      let r_on, wall_on, stats_on, copied_on, pstats =
+        cell ~pooled:true ~flows
+      in
+      (* Loans must not perturb the run: same events, same virtual
+         time, same per-slice samples, same delivery outcome. *)
+      let identical =
+        r_off.Sim.Workload.soak.Sim.Soak.events_fired
+          = r_on.Sim.Workload.soak.Sim.Soak.events_fired
+        && r_off.Sim.Workload.soak.Sim.Soak.vtime
+             = r_on.Sim.Workload.soak.Sim.Soak.vtime
+        && r_off.Sim.Workload.soak.Sim.Soak.samples
+             = r_on.Sim.Workload.soak.Sim.Soak.samples
+        && r_off.Sim.Workload.exact = r_on.Sim.Workload.exact
+      in
+      if not identical then
+        Printf.printf "  !! %d flows: pool perturbed the schedule\n" flows;
+      let row tag r wall stats copied pstats =
+        let segs = counter stats "dm" "segments_in" in
+        let per_seg sub =
+          if segs = 0 then 0.
+          else float_of_int (counter stats sub "gc.minor_words")
+               /. float_of_int segs
+        in
+        Printf.printf "  %-5s %7d %10d %8.2f %12d %8d %8d |" tag flows segs wall
+          copied
+          (match List.assoc_opt "hwm" pstats with Some v -> v | None -> 0)
+          (match List.assoc_opt "overruns" pstats with Some v -> v | None -> 0);
+        List.iter (fun sub -> Printf.printf " %9.1f" (per_seg sub)) sublayers;
+        Printf.printf "\n";
+        if not !first then Buffer.add_char json ',';
+        first := false;
+        Buffer.add_string json
+          (Printf.sprintf
+             "{\"mode\":%S,\"flows\":%d,\"events\":%d,\"wall_s\":%.6f,\"segments\":%d,\"copied_bytes\":%d,\"copied_app_bytes\":%d,\"schedule_identical\":%b,\"minor_words\":{%s},\"pool\":{%s},\"exact\":%d,\"ok\":%b}"
+             tag flows r.Sim.Workload.soak.Sim.Soak.events_fired wall segs
+             copied
+             (counter stats "osr" "copied_app_bytes")
+             identical
+             (String.concat ","
+                (List.map
+                   (fun sub ->
+                     Printf.sprintf "\"%s\":%d" sub
+                       (counter stats sub "gc.minor_words"))
+                   sublayers))
+             (String.concat ","
+                (List.map (fun (k, v) -> Printf.sprintf "%S:%d" k v) pstats))
+             r.Sim.Workload.exact (Sim.Workload.ok r))
+      in
+      row "heap" r_off wall_off stats_off copied_off [];
+      row "pool" r_on wall_on stats_on copied_on pstats)
+    flow_counts;
+  (* The Rec seal boundary: one secure pair, pooled vs heap. Pool-on,
+     the record is built (and encrypted, and tagged) in the slot the
+     wire sees — [copied_seal_bytes] counts the payload move alone. *)
+  let seal_cell ~pooled =
+    let engine = Sim.Engine.create ~seed:69 () in
+    let stats_a = Sublayer.Stats.create ~label:"A" () in
+    let stats_b = Sublayer.Stats.create ~label:"B" () in
+    let telemetry = Sim.Telemetry.create ~label:"e27s" () in
+    Sublayer.Alloc.set_enabled true;
+    Fun.protect ~finally:(fun () -> Sublayer.Alloc.set_enabled false)
+    @@ fun () ->
+    let factory =
+      Transport.Tcp_secure.factory ~key:Transport.Tcp_secure.demo_key
+    in
+    let pool =
+      if pooled then Some (Bitkit.Pool.create ~slots:256 ~slot_bytes:2048 ())
+      else None
+    in
+    let a, b =
+      Transport.Host.pair engine ~factory_a:factory ~factory_b:factory ~stats_a
+        ~stats_b ~telemetry ?pool Sim.Channel.ideal
+    in
+    Transport.Host.listen b ~port:80;
+    Bitkit.Slice.reset_copied ();
+    let c = Transport.Host.connect a ~remote_port:80 () in
+    Transport.Host.write c (String.make 40_000 's');
+    Transport.Host.close c;
+    Sim.Engine.run ~until:60. engine;
+    let both name =
+      counter stats_a "rec" name + counter stats_b "rec" name
+    in
+    ( Transport.Host.finished c,
+      Sim.Engine.events_fired engine,
+      both "copied_seal_bytes",
+      both "gc.minor_words",
+      both "records_sent",
+      Bitkit.Slice.copied_bytes () )
+  in
+  let ok_off, ev_off, seal_off, rw_off, rec_off, total_off =
+    seal_cell ~pooled:false
+  in
+  let ok_on, ev_on, seal_on, rw_on, rec_on, total_on = seal_cell ~pooled:true in
+  let perr recs v =
+    if recs = 0 then 0. else float_of_int v /. float_of_int recs
+  in
+  Printf.printf
+    "\n  rec seal (40 kB secure pair): heap %d B sealed, %.0f w/record; pool %d \
+     B, %.0f w/record; %d B total both; schedules %s\n"
+    seal_off (perr rec_off rw_off) seal_on (perr rec_on rw_on) total_on
+    (if ev_off = ev_on then "identical" else "DIVERGED");
+  if not (ok_off && ok_on && total_off = total_on) then
+    Printf.printf "  !! seal pair NOT CLEAN\n";
+  Buffer.add_string json
+    (Printf.sprintf
+       "],\"seal\":{\"heap\":{\"copied_seal_bytes\":%d,\"minor_words\":%d,\"records\":%d,\"copied_bytes\":%d},\"pool\":{\"copied_seal_bytes\":%d,\"minor_words\":%d,\"records\":%d,\"copied_bytes\":%d},\"schedule_identical\":%b,\"ok\":%b}"
+       seal_off rw_off rec_off total_off seal_on rw_on rec_on total_on
+       (ev_off = ev_on) (ok_off && ok_on));
+  (* The detector trailer: the chain digest folds over the wirebuf in a
+     loaned slot, so the only bytes this sublayer copies are the trailer
+     itself (2 for Fletcher-16) — heap mode flattens the whole frame. *)
+  let dl_cell ~pooled ~payload_bytes =
+    let engine = Sim.Engine.create ~seed:70 () in
+    let stats_a = Sublayer.Stats.create ~label:"A" () in
+    let telemetry = Sim.Telemetry.create ~label:"e27dl" () in
+    Sublayer.Alloc.set_enabled true;
+    Fun.protect ~finally:(fun () -> Sublayer.Alloc.set_enabled false)
+    @@ fun () ->
+    let pool =
+      if pooled then Some (Bitkit.Pool.create ~slots:64 ~slot_bytes:4096 ())
+      else None
+    in
+    (* Fletcher-16 keeps the fold state in an immediate int, so the
+       pooled protect allocates nothing proportional to the frame — the
+       CRC detectors stream identically but box their Int64 state. *)
+    let spec =
+      { Datalink.Stack.default_spec with
+        Datalink.Stack.detector = Datalink.Detector.fletcher16 }
+    in
+    let link =
+      Datalink.Stack.link engine ~stats_a ~telemetry ?pool Sim.Channel.ideal
+        spec
+    in
+    let payloads =
+      List.init 200 (fun i ->
+          Printf.sprintf "%04d%s" i (String.make (payload_bytes - 4) 'd'))
+    in
+    let got = Datalink.Stack.transfer engine link payloads in
+    let frames = counter stats_a "detector" "frames_protected" in
+    ( List.length got = List.length payloads,
+      frames,
+      counter stats_a "detector" "copied_trailer_bytes",
+      counter stats_a "detector" "gc.minor_words" )
+  in
+  let per fr v = if fr = 0 then 0. else float_of_int v /. float_of_int fr in
+  (* Sweep the frame size: the heap path's per-frame words grow with the
+     frame (it flattens it), the pooled path's stay a constant bit of
+     machinery — the per-byte allocation is gone. *)
+  Printf.printf "\n  detector (200 frames): %8s %12s %12s %12s %12s\n" "bytes"
+    "heap B/frm" "heap w/frm" "pool B/frm" "pool w/frm";
+  Buffer.add_string json ",\"datalink\":[";
+  let dl_first = ref true in
+  let dl_rows =
+    List.map
+      (fun payload_bytes ->
+        let ok_off, fr_off, tr_off, dw_off =
+          dl_cell ~pooled:false ~payload_bytes
+        in
+        let ok_on, fr_on, tr_on, dw_on = dl_cell ~pooled:true ~payload_bytes in
+        Printf.printf "  %21d %12.0f %12.1f %12.0f %12.1f\n" payload_bytes
+          (per fr_off tr_off) (per fr_off dw_off) (per fr_on tr_on)
+          (per fr_on dw_on);
+        if not (ok_off && ok_on) then
+          Printf.printf "  !! datalink link NOT CLEAN at %d B\n" payload_bytes;
+        if not !dl_first then Buffer.add_char json ',';
+        dl_first := false;
+        Buffer.add_string json
+          (Printf.sprintf
+             "{\"payload_bytes\":%d,\"heap\":{\"frames\":%d,\"copied_trailer_bytes\":%d,\"minor_words\":%d},\"pool\":{\"frames\":%d,\"copied_trailer_bytes\":%d,\"minor_words\":%d},\"ok\":%b}"
+             payload_bytes fr_off tr_off dw_off fr_on tr_on dw_on
+             (ok_off && ok_on));
+        (payload_bytes, per fr_off tr_off, per fr_on tr_on))
+      [ 128; 512; 1024 ]
+  in
+  Buffer.add_string json "]}";
+  let _, tr_off_big, tr_on_big =
+    List.nth dl_rows (List.length dl_rows - 1)
+  in
+  let path = out_path "e27_pool.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  headline
+    "arena loans keep the emit path in place — pooled schedules bit-identical \
+     to heap, detector trailer copies drop from %.0f to %.0f B/frame"
+    tr_off_big tr_on_big
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
 let microbenches () =
@@ -1590,7 +1848,7 @@ let () =
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
       ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
-      ("E25", e25); ("E26", e26);
+      ("E25", e25); ("E26", e26); ("E27", e27);
       ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;

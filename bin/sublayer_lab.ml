@@ -263,7 +263,9 @@ let trace_cmd =
       Transport.Tcp_sublayered.create engine ~trace ~name:"server"
         Transport.Config.default ~local_port:80 ~remote_port:1000
         ~transmit:(fun s -> Sim.Channel.send ba s)
-        ~events:(function `Data s -> Buffer.add_string received s | _ -> ())
+        ~events:(function
+          | `Data s -> Bitkit.Slice.add_to_buffer received s
+          | _ -> ())
     in
     to_a := Transport.Tcp_sublayered.from_wire a;
     to_b := Transport.Tcp_sublayered.from_wire b;

@@ -30,7 +30,8 @@ let () =
   Transport.Host.on_event conn (fun event ->
       match event with
       | `Established -> Printf.printf "[client] established\n"
-      | `Data reply -> Printf.printf "[client] got reply %S\n" reply
+      | `Data reply ->
+          Printf.printf "[client] got reply %S\n" (Bitkit.Slice.to_string reply)
       | `Peer_closed -> Printf.printf "[client] server finished sending\n"
       | `Closed -> Printf.printf "[client] closed\n"
       | `Reset -> Printf.printf "[client] connection reset!\n"

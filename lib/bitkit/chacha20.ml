@@ -64,6 +64,25 @@ let block ~key ~counter ~nonce =
   done;
   Bytes.to_string out
 
+(* In-place keystream XOR over a region of [b]: the pooled seal path,
+   where the plaintext was already emitted into an arena slot and the
+   ciphertext replaces it without a fresh buffer. The per-block keystream
+   strings still allocate; eliminating those would mean threading scratch
+   state through the cipher core, which E27 reports honestly instead. *)
+let xor_into ~key ?(counter = 1) ~nonce b ~pos ~len =
+  let i = ref 0 in
+  let blk = ref counter in
+  while !i < len do
+    let ks = block ~key ~counter:!blk ~nonce in
+    let chunk = min 64 (len - !i) in
+    for j = 0 to chunk - 1 do
+      Bytes.set b (pos + !i + j)
+        (Char.chr (Char.code (Bytes.get b (pos + !i + j)) lxor Char.code ks.[j]))
+    done;
+    i := !i + chunk;
+    incr blk
+  done
+
 let encrypt ~key ?(counter = 1) ~nonce plaintext =
   let n = String.length plaintext in
   let out = Bytes.create n in

@@ -13,6 +13,11 @@ val encrypt : key:string -> ?counter:int -> nonce:string -> string -> string
 (** XOR the input with the keystream starting at block [counter]
     (default 1, as in the RFC's AEAD construction). *)
 
+val xor_into :
+  key:string -> ?counter:int -> nonce:string -> Bytes.t -> pos:int -> len:int -> unit
+(** In-place {!encrypt} over [b.[pos..pos+len-1]] — the pooled seal path,
+    transforming bytes already emitted into an arena slot. *)
+
 val quarter_round : int * int * int * int -> int * int * int * int
 (** Exposed for the RFC 8439 §2.1.1 test vector. Operands and results
     are 32-bit values in OCaml ints. *)

@@ -29,6 +29,34 @@ let internet s = internet_sub s ~pos:0 ~len:(String.length s)
 
 let internet_valid s = internet s = 0
 
+(* Streaming form, for digesting a chain of byte regions (a wirebuf's
+   headers then payload) as if they were one buffer. The state packs the
+   folded 16-bit partial sum with a phase bit saying whether the next
+   byte lands in the high or low half of its 16-bit word — chunk
+   boundaries need not be even. All-int, so updates never allocate. *)
+let internet_init = 0
+
+let internet_update st s ~pos ~len =
+  let sum = ref (st lsr 1) and odd = ref (st land 1 = 1) in
+  for i = pos to pos + len - 1 do
+    let c = Char.code (String.unsafe_get s i) in
+    if !odd then begin
+      sum := !sum + c;
+      odd := false
+    end
+    else begin
+      sum := !sum + (c lsl 8);
+      odd := true
+    end
+  done;
+  let sum = ref !sum in
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  done;
+  (!sum lsl 1) lor (if !odd then 1 else 0)
+
+let internet_finish st = lnot (st lsr 1) land 0xFFFF
+
 let fletcher16_sub s ~pos ~len =
   let a = ref 0 and b = ref 0 in
   for i = pos to pos + len - 1 do
@@ -38,6 +66,27 @@ let fletcher16_sub s ~pos ~len =
   (!b lsl 8) lor !a
 
 let fletcher16 s = fletcher16_sub s ~pos:0 ~len:(String.length s)
+
+(* Streaming form: both running sums stay below 255, so the state packs
+   into one int and updates never allocate. *)
+let fletcher16_init = 0
+
+let fletcher16_update st s ~pos ~len =
+  let a = ref (st land 0xFF) and b = ref (st lsr 8) in
+  for i = pos to pos + len - 1 do
+    a := (!a + Char.code (String.unsafe_get s i)) mod 255;
+    b := (!b + !a) mod 255
+  done;
+  (!b lsl 8) lor !a
+
+let fletcher16_finish st = st
+
+let parity_init = false
+
+let parity_update st s ~pos ~len =
+  if parity_sub s ~pos ~len then not st else st
+
+let parity_finish st = st
 
 let fletcher32 s =
   (* Operates on 16-bit words, zero-padding odd input. *)

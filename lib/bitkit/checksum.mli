@@ -29,3 +29,23 @@ val fletcher16_sub : string -> pos:int -> len:int -> int
 
 val fletcher32 : string -> int32
 val adler32 : string -> int32
+
+(** {1 Streaming forms}
+
+    Fold a digest over a chain of byte regions (a wirebuf's headers then
+    payload) as if they were one flat buffer:
+    [finish (update (update init ...) ...)] equals the one-shot digest of
+    the concatenation. States are plain ints/bools, so updating never
+    allocates — the substrate of the chain-digest detectors. *)
+
+val internet_init : int
+val internet_update : int -> string -> pos:int -> len:int -> int
+val internet_finish : int -> int
+
+val fletcher16_init : int
+val fletcher16_update : int -> string -> pos:int -> len:int -> int
+val fletcher16_finish : int -> int
+
+val parity_init : bool
+val parity_update : bool -> string -> pos:int -> len:int -> bool
+val parity_finish : bool -> bool

@@ -60,11 +60,13 @@ let make p =
 
 let params t = t.p
 
-let digest_sub t s pos len =
+let init t = if t.p.refin then reflect t.p.init t.p.width else t.p.init
+
+let update t crc0 s pos len =
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Crc.digest_sub";
+    invalid_arg "Crc.update";
   let p = t.p in
-  let crc = ref (if p.refin then reflect p.init p.width else p.init) in
+  let crc = ref crc0 in
   if p.refin then
     for i = pos to pos + len - 1 do
       let idx =
@@ -84,7 +86,11 @@ let digest_sub t s pos len =
       in
       crc := Int64.logand (Int64.logxor t.table.(idx) (Int64.shift_left !crc 8)) t.mask
     done;
-  Int64.logand (Int64.logxor !crc p.xorout) t.mask
+  !crc
+
+let finish t crc = Int64.logand (Int64.logxor crc t.p.xorout) t.mask
+
+let digest_sub t s pos len = finish t (update t (init t) s pos len)
 
 let digest t s = digest_sub t s 0 (String.length s)
 

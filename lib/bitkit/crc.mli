@@ -35,6 +35,18 @@ val digest_sub : t -> string -> int -> int -> int64
 val self_test : t -> bool
 (** [self_test t] checks [digest t "123456789" = params.check]. *)
 
+(** {1 Streaming form}
+
+    [finish t (update t (init t) s pos len)] equals [digest_sub t s pos
+    len], and consecutive [update]s digest a chain of byte regions as if
+    they were one flat buffer — the substrate of the chain-digest
+    detectors, which fold over a wirebuf's headers and payload without
+    flattening them. *)
+
+val init : t -> int64
+val update : t -> int64 -> string -> int -> int -> int64
+val finish : t -> int64 -> int64
+
 (** Catalogue of standard CRCs. *)
 
 (** CRC-8 (SMBus, poly 0x07); CRC-16/CCITT-FALSE (0x1021); CRC-16/ARC

@@ -30,8 +30,10 @@ let sipround s =
   s.v1 <- Int64.logxor s.v1 s.v2;
   s.v2 <- rotl s.v2 32
 
-let hash ~key msg =
+let hash_sub ~key msg ~pos ~len =
   if String.length key <> 16 then invalid_arg "Siphash: key must be 16 bytes";
+  if pos < 0 || len < 0 || pos + len > String.length msg then
+    invalid_arg "Siphash.hash_sub";
   let k0 = word64_le key 0 and k1 = word64_le key 8 in
   let s =
     { v0 = Int64.logxor 0x736f6d6570736575L k0;
@@ -39,10 +41,10 @@ let hash ~key msg =
       v2 = Int64.logxor 0x6c7967656e657261L k0;
       v3 = Int64.logxor 0x7465646279746573L k1 }
   in
-  let n = String.length msg in
+  let n = len in
   let full = n / 8 in
   for i = 0 to full - 1 do
-    let m = word64_le msg (8 * i) in
+    let m = word64_le msg (pos + (8 * i)) in
     s.v3 <- Int64.logxor s.v3 m;
     sipround s;
     sipround s;
@@ -53,7 +55,9 @@ let hash ~key msg =
   for i = 0 to (n mod 8) - 1 do
     last :=
       Int64.logor !last
-        (Int64.shift_left (Int64.of_int (Char.code msg.[(8 * full) + i])) (8 * i))
+        (Int64.shift_left
+           (Int64.of_int (Char.code msg.[pos + (8 * full) + i]))
+           (8 * i))
   done;
   s.v3 <- Int64.logxor s.v3 !last;
   sipround s;
@@ -65,6 +69,15 @@ let hash ~key msg =
   sipround s;
   sipround s;
   Int64.logxor (Int64.logxor s.v0 s.v1) (Int64.logxor s.v2 s.v3)
+
+let hash ~key msg = hash_sub ~key msg ~pos:0 ~len:(String.length msg)
+
+let tag_into ~key msg ~pos ~len dst dpos =
+  let h = hash_sub ~key msg ~pos ~len in
+  for i = 0 to 7 do
+    Bytes.set dst (dpos + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical h (8 * i)) land 0xFF))
+  done
 
 let tag ~key msg =
   let h = hash ~key msg in

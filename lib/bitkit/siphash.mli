@@ -6,5 +6,13 @@
 val hash : key:string -> string -> int64
 (** [hash ~key msg] with a 16-byte [key]. *)
 
+val hash_sub : key:string -> string -> pos:int -> len:int -> int64
+(** {!hash} over the substring [pos, pos+len) without copying it — how
+    the pooled seal authenticates a record laid out in an arena slot. *)
+
+val tag_into : key:string -> string -> pos:int -> len:int -> Bytes.t -> int -> unit
+(** [tag_into ~key msg ~pos ~len dst dpos] writes the 8-byte tag of the
+    substring directly into [dst] at [dpos]. *)
+
 val tag : key:string -> string -> string
 (** The 8-byte little-endian serialisation of {!hash}. *)

@@ -49,6 +49,10 @@ let blit t dst dstoff =
   note_copy t.len;
   Bytes.blit_string t.base t.off dst dstoff t.len
 
+let add_to_buffer buf t =
+  note_copy t.len;
+  Buffer.add_substring buf t.base t.off t.len
+
 let equal a b =
   a.len = b.len
   && (a.base == b.base && a.off = b.off

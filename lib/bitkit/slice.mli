@@ -32,7 +32,19 @@ val to_string : t -> string
     copying; anything narrower copies (and is counted). *)
 
 val blit : t -> Bytes.t -> int -> unit
-(** [blit t dst pos] copies the viewed bytes into [dst] (counted). *)
+(** [blit t dst pos] copies the viewed bytes into [dst] (counted).
+
+    Accounting rule, shared by every materialisation path: each physical
+    byte copy is charged exactly once, at the operation that performs it.
+    Views are free; {!to_string} of a whole-string view is free (it
+    returns [base]); [blit] always moves bytes so it always charges —
+    including blits into a pool slot, which is why callers emitting
+    through {!Pool} must not ALSO charge {!copy_cost} for the same
+    bytes. *)
+
+val add_to_buffer : Buffer.t -> t -> unit
+(** Append the viewed bytes to a buffer (counted): the app-ingest copy,
+    without materialising an intermediate string. *)
 
 val equal : t -> t -> bool
 (** Content equality, copy-free. *)

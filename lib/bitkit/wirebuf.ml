@@ -52,6 +52,33 @@ let to_slice t =
 let copy_cost t =
   if t.headers = [] then Slice.copy_cost t.payload else length t
 
+let emit_cost t = length t
+
+let fold_chunks t ~init ~f =
+  let acc =
+    List.fold_left (fun acc h -> f acc h.h_bytes 0 (String.length h.h_bytes))
+      init t.headers
+  in
+  f acc t.payload.Slice.base t.payload.Slice.off t.payload.Slice.len
+
+(* The zero-allocation emit: a headerless whole-string payload passes
+   through untouched (exactly [to_slice]'s fast path, so legacy string
+   factories never consume slots); anything else lands in a pool slot,
+   or — on overrun — in an ordinary heap emit. The returned slot carries
+   one reference owned by the caller. *)
+let emit_pooled t pool =
+  if t.headers = [] && Slice.copy_cost t.payload = 0 then
+    (Pool.no_slot, t.payload)
+  else begin
+    let n = length t in
+    let slot = Pool.loan pool ~len:n in
+    if slot = Pool.no_slot then (Pool.no_slot, Slice.of_string (emit t))
+    else begin
+      emit_into t (Pool.buffer pool) (Pool.off pool slot);
+      (slot, Pool.slice pool slot ~len:n)
+    end
+  end
+
 let to_string t =
   if t.headers = [] then Slice.to_string t.payload else emit t
 

@@ -26,6 +26,28 @@ val emit : t -> string
 (** Lay the packet into one fresh buffer: headers outermost-first, then
     the payload, blitted exactly once. *)
 
+val emit_into : t -> Bytes.t -> int -> unit
+(** [emit_into t b pos] lays the packet into [b] at [pos] — the copies
+    are charged here, so do not charge {!copy_cost} again. The caller
+    guarantees [length t] bytes of room. *)
+
+val emit_pooled : t -> Pool.t -> int * Slice.t
+(** Emit into a pool slot: returns [(slot, view)] where [view] is valid
+    until [slot] is released. A headerless whole-string payload skips the
+    pool entirely (zero-copy, [slot = Pool.no_slot]); an exhausted pool
+    falls back to a heap {!emit} (counted as an overrun, also
+    [Pool.no_slot]). *)
+
+val fold_chunks : t -> init:'a -> f:('a -> string -> int -> int -> 'a) -> 'a
+(** Fold [f acc base pos len] over the packet's byte regions in exact
+    emit order — each header outermost-first, then the payload — without
+    materialising anything. The substrate for chain digests. *)
+
+val emit_cost : t -> int
+(** Bytes {!emit}/{!emit_into} charge: always {!length}, a physical copy
+    of every byte — unlike {!copy_cost}, which is what the [to_string]
+    fast paths charge. *)
+
 val to_slice : t -> Slice.t
 (** Like {!emit} but returns the payload slice unchanged (zero-copy)
     when no headers have been pushed. *)

@@ -8,7 +8,7 @@ module P_arq_det = Machine.Probe (struct
 end)
 
 module P_det_frm = Machine.Probe (struct
-  type req = string
+  type req = Bitkit.Slice.t
   type ind = Bitkit.Slice.t
 
   let name = "mon"
@@ -92,14 +92,14 @@ let spec_frm_line =
 let det_frm ?alloc mon ~key =
   let obs_req, obs_ind =
     match mon with
-    | None -> ((nop : string -> unit), (nop : Bitkit.Slice.t -> unit))
+    | None -> ((nop : Bitkit.Slice.t -> unit), (nop : Bitkit.Slice.t -> unit))
     | Some reg ->
         let spec = spec_det_frm in
         let inst = Monitor.Runtime.attach reg ~key spec in
         let down = Monitor.Spec.msg_id spec Monitor.Spec.Down "pdu"
         and up = Monitor.Spec.msg_id spec Monitor.Spec.Up "pdu" in
         let obs_req s =
-          Monitor.Runtime.observe inst down ~a:(String.length s) ~b:0
+          Monitor.Runtime.observe inst down ~a:(Bitkit.Slice.length s) ~b:0
         and obs_ind sl =
           Monitor.Runtime.observe inst up ~a:(Bitkit.Slice.length sl) ~b:0
         in

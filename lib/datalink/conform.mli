@@ -21,14 +21,17 @@ module P_arq_det : sig
 end
 
 module P_det_frm : sig
-  type t = { obs_req : string -> unit; obs_ind : Bitkit.Slice.t -> unit }
+  type t = {
+    obs_req : Bitkit.Slice.t -> unit;
+    obs_ind : Bitkit.Slice.t -> unit;
+  }
 
   include
     Sublayer.Machine.S
       with type t := t
-       and type up_req = string
+       and type up_req = Bitkit.Slice.t
        and type up_ind = Bitkit.Slice.t
-       and type down_req = string
+       and type down_req = Bitkit.Slice.t
        and type down_ind = Bitkit.Slice.t
        and type timer = Sublayer.Machine.Nothing.t
 end

@@ -4,7 +4,15 @@ type t = {
   protect : string -> string;
   verify : string -> string option;
   verify_slice : Bitkit.Slice.t -> Bitkit.Slice.t option;
+  chain_digest_into : Bitkit.Wirebuf.t -> Bytes.t -> int -> unit;
 }
+
+(* Write an [n]-byte big-endian int digest straight into the target —
+   the chain-digest twin of [be_bytes], allocation-free. *)
+let put_be b pos v n =
+  for i = 0 to n - 1 do
+    Bytes.set b (pos + i) (Char.chr ((v lsr (8 * (n - 1 - i))) land 0xFF))
+  done
 
 let slice_body sl n =
   let len = Bitkit.Slice.length sl in
@@ -19,7 +27,8 @@ let int_of_be_slice sl pos n =
 
 let none =
   { name = "none"; overhead_bytes = 0; protect = Fun.id;
-    verify = (fun s -> Some s); verify_slice = (fun sl -> Some sl) }
+    verify = (fun s -> Some s); verify_slice = (fun sl -> Some sl);
+    chain_digest_into = (fun _ _ _ -> ()) }
 
 let split_tail s n =
   let len = String.length s in
@@ -58,11 +67,20 @@ let parity =
             if Bitkit.Slice.get sl (Bitkit.Slice.length sl - 1) = expect then
               Some body
             else None);
+    chain_digest_into =
+      (fun wb b pos ->
+        let odd =
+          Bitkit.Wirebuf.fold_chunks wb ~init:Bitkit.Checksum.parity_init
+            ~f:(fun st base off len -> Bitkit.Checksum.parity_update st base ~pos:off ~len)
+        in
+        Bytes.set b pos (if Bitkit.Checksum.parity_finish odd then '\001' else '\000'));
   }
 
 (* [digest_sub] computes the same digest as [digest] over a substring in
-   place, so slice verification never copies the frame body. *)
-let tagged name n digest digest_sub =
+   place, so slice verification never copies the frame body; [chain]
+   folds the matching streaming digest over a wirebuf's header chain and
+   payload, so transmit-side protection never flattens the packet. *)
+let tagged name n digest digest_sub chain =
   {
     name;
     overhead_bytes = n;
@@ -84,12 +102,24 @@ let tagged name n digest digest_sub =
             if int_of_be_slice sl (Bitkit.Slice.length sl - n) n = d then
               Some body
             else None);
+    chain_digest_into = (fun wb b pos -> put_be b pos (chain wb) n);
   }
 
-let internet = tagged "internet" 2 Bitkit.Checksum.internet Bitkit.Checksum.internet_sub
+let internet =
+  tagged "internet" 2 Bitkit.Checksum.internet Bitkit.Checksum.internet_sub
+    (fun wb ->
+      Bitkit.Checksum.internet_finish
+        (Bitkit.Wirebuf.fold_chunks wb ~init:Bitkit.Checksum.internet_init
+           ~f:(fun st base off len ->
+             Bitkit.Checksum.internet_update st base ~pos:off ~len)))
 
 let fletcher16 =
   tagged "fletcher16" 2 Bitkit.Checksum.fletcher16 Bitkit.Checksum.fletcher16_sub
+    (fun wb ->
+      Bitkit.Checksum.fletcher16_finish
+        (Bitkit.Wirebuf.fold_chunks wb ~init:Bitkit.Checksum.fletcher16_init
+           ~f:(fun st base off len ->
+             Bitkit.Checksum.fletcher16_update st base ~pos:off ~len)))
 
 let crc params =
   let engine = Bitkit.Crc.make params in
@@ -128,6 +158,19 @@ let crc params =
               if Bitkit.Slice.get sl (tag_pos + i) <> tag.[i] then ok := false
             done;
             if !ok then Some body else None);
+    chain_digest_into =
+      (fun wb b pos ->
+        let d =
+          Bitkit.Crc.finish engine
+            (Bitkit.Wirebuf.fold_chunks wb ~init:(Bitkit.Crc.init engine)
+               ~f:(fun st base off len -> Bitkit.Crc.update engine st base off len))
+        in
+        for i = 0 to bytes - 1 do
+          Bytes.set b (pos + i)
+            (Char.chr
+               (Int64.to_int
+                  (Int64.logand (Int64.shift_right_logical d (8 * (bytes - 1 - i))) 0xFFL)))
+        done);
   }
 
 let residual_error_rate det rng ~trials ~payload_len ~flips =

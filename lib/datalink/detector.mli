@@ -16,6 +16,13 @@ type t = {
       (** {!verify} over a slice view: the digest is computed in place and
           the returned body is a narrowed view of the input — no copy on
           the receive path. *)
+  chain_digest_into : Bitkit.Wirebuf.t -> Bytes.t -> int -> unit;
+      (** Write the [overhead_bytes] trailer for a wirebuf at the given
+          position, digesting the header chain and payload slice
+          incrementally (streaming digest folded over the appendix list)
+          — the same bytes {!protect} appends to the flattened packet,
+          computed without flattening anything. The transmit path's
+          answer to [verify_slice]. *)
 }
 
 val none : t

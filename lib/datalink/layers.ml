@@ -9,6 +9,7 @@ module Error_detection = struct
 
   type t = {
     det : Detector.t;
+    pool : Bitkit.Pool.t option;
     sp : Sublayer.Span.ctx;
     protected : Sublayer.Stats.counter;
     verified : Sublayer.Stats.counter;
@@ -18,11 +19,11 @@ module Error_detection = struct
 
   type up_req = Bitkit.Wirebuf.t
   type up_ind = Bitkit.Slice.t
-  type down_req = string
+  type down_req = Bitkit.Slice.t
   type down_ind = Bitkit.Slice.t
   type timer = Nothing.t
 
-  let make ?stats ?span det =
+  let make ?stats ?span ?pool det =
     let scope =
       match stats with
       | Some s -> s
@@ -30,6 +31,7 @@ module Error_detection = struct
     in
     {
       det;
+      pool;
       sp = Option.value span ~default:(Sublayer.Span.disabled name);
       protected = Sublayer.Stats.counter scope "frames_protected";
       verified = Sublayer.Stats.counter scope "frames_verified";
@@ -41,16 +43,44 @@ module Error_detection = struct
      the transmit path's forced materialisation point: the accumulated
      wirebuf is emitted once, here, with the check bits. Verification is
      the opposite — computed in place over the frame view, returning a
-     narrowed slice. *)
+     narrowed slice.
+
+     With a pool, the emit target is a loaned slot and the trailer is the
+     chain digest, folded over the header chain and payload in place — no
+     intermediate flat string exists, and [copied_trailer] records only
+     the trailer bytes this sublayer itself writes. The loan is released
+     at end of event; by then framing has moved the bytes into the bit
+     domain. *)
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.protected;
     Sublayer.Span.instant t.sp "protect";
-    (* Charge the known emit size directly — bracketing the
-       process-global counter would over-count copies other shards make
-       concurrently. *)
-    Sublayer.Stats.add t.copied_trailer (Bitkit.Wirebuf.copy_cost pdu);
-    let emitted = Bitkit.Wirebuf.to_string pdu in
-    (t, [ Down (t.det.Detector.protect emitted) ])
+    let oh = t.det.Detector.overhead_bytes in
+    let pooled =
+      match t.pool with
+      | None -> None
+      | Some pool ->
+          let n = Bitkit.Wirebuf.emit_cost pdu in
+          let slot = Bitkit.Pool.loan pool ~len:(n + oh) in
+          if slot = Bitkit.Pool.no_slot then None
+          else begin
+            let b = Bitkit.Pool.buffer pool in
+            let off = Bitkit.Pool.off pool slot in
+            Bitkit.Wirebuf.emit_into pdu b off;
+            t.det.Detector.chain_digest_into pdu b (off + n);
+            Sublayer.Stats.add t.copied_trailer oh;
+            Bitkit.Pool.defer_release pool slot;
+            Some (Bitkit.Pool.slice pool slot ~len:(n + oh))
+          end
+    in
+    match pooled with
+    | Some frame -> (t, [ Down frame ])
+    | None ->
+        (* Charge the known emit size directly — bracketing the
+           process-global counter would over-count copies other shards
+           make concurrently. *)
+        Sublayer.Stats.add t.copied_trailer (Bitkit.Wirebuf.copy_cost pdu);
+        let emitted = Bitkit.Wirebuf.to_string pdu in
+        (t, [ Down (Bitkit.Slice.of_string (t.det.Detector.protect emitted)) ])
 
   let handle_down_ind t pdu =
     match t.det.Detector.verify_slice pdu with
@@ -77,7 +107,7 @@ module Framing = struct
     malformed : Sublayer.Stats.counter;
   }
 
-  type up_req = string
+  type up_req = Bitkit.Slice.t
   type up_ind = Bitkit.Slice.t
   type down_req = Bitkit.Bitseq.t
   type down_ind = Bitkit.Bitseq.t
@@ -97,10 +127,14 @@ module Framing = struct
       malformed = Sublayer.Stats.counter scope "frames_malformed";
     }
 
+  (* Crossing into the bit domain is an inherent materialisation: for a
+     whole-string view (the unpooled detector's output) [to_string] is
+     free; a pool-slot view pays its length here, once — the data path's
+     one remaining byte copy when pooling is on. *)
   let handle_up_req t pdu =
     Sublayer.Stats.incr t.framed;
     Sublayer.Span.instant t.sp "frame";
-    (t, [ Down (t.framer.Framer.frame pdu) ])
+    (t, [ Down (t.framer.Framer.frame (Bitkit.Slice.to_string pdu)) ])
 
   let handle_down_ind t bits =
     match t.framer.Framer.deframe bits with

@@ -10,20 +10,33 @@ module Error_detection : sig
     Sublayer.Machine.S
       with type up_req = Bitkit.Wirebuf.t
        and type up_ind = Bitkit.Slice.t
-       and type down_req = string
+       and type down_req = Bitkit.Slice.t
        and type down_ind = Bitkit.Slice.t
        and type timer = Sublayer.Machine.Nothing.t
 
-  val make : ?stats:Sublayer.Stats.scope -> ?span:Sublayer.Span.ctx -> Detector.t -> t
-  (** Counters: [frames_protected], [frames_verified], [frames_corrupt].
-      With [span], every crossing is an instant marker ([protect], [verify],
-      [corrupt]). *)
+  val make :
+    ?stats:Sublayer.Stats.scope ->
+    ?span:Sublayer.Span.ctx ->
+    ?pool:Bitkit.Pool.t ->
+    Detector.t ->
+    t
+  (** Counters: [frames_protected], [frames_verified], [frames_corrupt],
+      [copied_trailer_bytes]. With [span], every crossing is an instant
+      marker ([protect], [verify], [corrupt]).
+
+      With [pool], protection emits into a loaned slot and writes the
+      detector's chain digest in place — the transmit path allocates no
+      intermediate flat packet, and [copied_trailer_bytes] counts only
+      the trailer itself. The loan is deferred-released; the owning
+      engine must drain the pool via {!Sim.Engine.after_event} (pool
+      exhaustion falls back to the legacy heap path, counted as an
+      overrun). *)
 end
 
 module Framing : sig
   include
     Sublayer.Machine.S
-      with type up_req = string
+      with type up_req = Bitkit.Slice.t
        and type up_ind = Bitkit.Slice.t
        and type down_req = Bitkit.Bitseq.t
        and type down_ind = Bitkit.Bitseq.t

@@ -32,8 +32,14 @@ let arq_stats t = t.arq_stats ()
 let is_idle t = t.is_idle ()
 let gave_up t = t.arq_gave_up ()
 
-let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ~name spec
+let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name spec
     ~transmit ~deliver =
+  (* The detector's loans live until the end of the event that framed
+     them; the engine hook is what frees them. Attaching per endpoint is
+     idempotent in effect — draining an empty deferred list is a no-op. *)
+  Option.iter
+    (fun p -> Sim.Engine.after_event engine (fun () -> Bitkit.Pool.drain_deferred p))
+    pool;
   let module A = (val spec.arq : Arq.S) in
   let module Lower =
     Machine.Stack (Layers.Framing) (Machine.Stack (Conform.P_frm_line) (Layers.Line_coding))
@@ -91,7 +97,7 @@ let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ~name spec
       ( Conform.arq_det ~alloc:(arq_c, det_c) monitors ~key:name ~variant:A.name
           ~window:spec.arq_config.Arq.window,
         ( Layers.Error_detection.make ?stats:(in_scope "detector")
-            ?span:(sp "detector") spec.detector,
+            ?span:(sp "detector") ?pool spec.detector,
           ( Conform.det_frm ~alloc:(det_c, frm_c) monitors ~key:name,
             ( Layers.Framing.make ?stats:(in_scope "framer") ?span:(sp "framer")
                 spec.framer,
@@ -122,7 +128,8 @@ let bit_channel engine config ~deliver =
     ~size:(fun bits -> (Bitkit.Bitseq.length bits + 7) / 8)
     ~corrupt:Sim.Channel.corrupt_bits ~deliver ()
 
-let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors ?telemetry config spec =
+let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors ?telemetry ?pool
+    config spec =
   let received_at_a = Queue.create () in
   let received_at_b = Queue.create () in
   (* Channels and endpoints reference each other; tie the knot with a
@@ -132,14 +139,14 @@ let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors ?telemetry config spe
   let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
   let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
   let a =
-    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ?telemetry ~name:"A"
-      spec
+    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ?telemetry ?pool
+      ~name:"A" spec
       ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
       ~deliver:(fun payload -> Queue.add payload received_at_a)
   in
   let b =
-    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ?telemetry ~name:"B"
-      spec
+    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ?telemetry ?pool
+      ~name:"B" spec
       ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
       ~deliver:(fun payload -> Queue.add payload received_at_b)
   in

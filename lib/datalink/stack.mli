@@ -37,6 +37,7 @@ val endpoint :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
@@ -50,7 +51,10 @@ val endpoint :
     probes on the ARQ⇄detector, detector⇄framer and framer⇄linecode
     interfaces check every crossing (keyed by [name]). When [telemetry]
     is given (with [stats]), the registry becomes a sampling source under
-    [name] and {!Sublayer.Alloc} cells are installed at every seam. *)
+    [name] and {!Sublayer.Alloc} cells are installed at every seam. When
+    [pool] is given, the detector protects frames in loaned arena slots
+    (see {!Layers.Error_detection.make}); the engine drains deferred
+    releases after every event. *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)
@@ -71,10 +75,13 @@ val link :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   Sim.Channel.config ->
   spec ->
   link
-(** The two endpoints get tracks ["A"] and ["B"] on the shared [tracer]. *)
+(** The two endpoints get tracks ["A"] and ["B"] on the shared [tracer]
+    (and, when [pool] is given, share one arena — both run on the same
+    engine, so single-domain pooling is sound). *)
 
 val transfer :
   Sim.Engine.t ->

@@ -108,12 +108,16 @@ let burst_drops t rng =
          else Bitkit.Rng.coin rng g.p_good_to_bad);
       Bitkit.Rng.coin rng (if t.burst_bad then g.loss_bad else g.loss_good)
 
-let transmit_once t msg =
+let transmit_once ?loan t msg =
   let rng = rng_of t in
   let burst_drop = burst_drops t rng in
   if Bitkit.Rng.coin rng t.cfg.loss || burst_drop then
     t.stats.dropped <- t.stats.dropped + 1
   else begin
+    (* [aliased]: the delivered value still views the caller's pool slot.
+       Corruption and marking substitute fresh heap copies, after which
+       the slot's lifetime no longer matters for this delivery. *)
+    let original = msg in
     let msg =
       if Bitkit.Rng.coin rng t.cfg.corruption then begin
         t.stats.corrupted <- t.stats.corrupted + 1;
@@ -122,6 +126,7 @@ let transmit_once t msg =
       else msg
     in
     let msg = if Bitkit.Rng.coin rng t.cfg.marking then t.mark msg else msg in
+    let aliased = msg == original in
     let serialisation =
       match t.cfg.bandwidth with
       | None -> 0.
@@ -159,19 +164,41 @@ let transmit_once t msg =
         in
         ignore (Tracer.finish tr ~at:(t0 +. latency) id)
     | Some _ | None -> ());
-    schedule_delivery t ~after:latency (fun () ->
-        t.stats.delivered <- t.stats.delivered + 1;
-        t.deliver msg)
+    match loan with
+    | Some (pool, slot) when aliased ->
+        (* This delivery reads the pool slot: hold a reference until the
+           receiving cascade is done with it. The release runs right
+           after [deliver] returns — by then the stack has either copied
+           the bytes out or staged them in its own slots. *)
+        Bitkit.Pool.retain pool slot;
+        schedule_delivery t ~after:latency (fun () ->
+            t.stats.delivered <- t.stats.delivered + 1;
+            t.deliver msg;
+            Bitkit.Pool.release pool slot)
+    | Some _ | None ->
+        schedule_delivery t ~after:latency (fun () ->
+            t.stats.delivered <- t.stats.delivered + 1;
+            t.deliver msg)
   end
 
-let send t msg =
+let send ?loan t msg =
+  (match loan with
+  | Some _ when t.sched <> None ->
+      (* A cross-shard delivery runs on the destination domain; releasing
+         the (single-domain) pool there would race. Senders copy out of
+         the slot before crossing instead. *)
+      invalid_arg "Channel.send: pool loan on a cross-shard channel"
+  | _ -> ());
   t.stats.sent <- t.stats.sent + 1;
   t.stats.bytes_sent <- t.stats.bytes_sent + t.size msg;
-  transmit_once t msg;
+  transmit_once ?loan t msg;
   if Bitkit.Rng.coin (rng_of t) t.cfg.duplication then begin
     t.stats.duplicated <- t.stats.duplicated + 1;
-    transmit_once t msg
-  end
+    transmit_once ?loan t msg
+  end;
+  (* The caller's own reference dies with the send: every scheduled
+     delivery retained its own above. *)
+  match loan with Some (pool, slot) -> Bitkit.Pool.release pool slot | None -> ()
 
 let corrupt_string rng s =
   if String.length s = 0 then s

@@ -98,7 +98,17 @@ val create :
     conduit. The [delivered] statistic is bumped inside the thunk, so it
     mutates destination-side state only. *)
 
-val send : 'a t -> 'a -> unit
+(** [send ?loan t msg] consumes an RNG draw sequence independent of
+    [loan], so pooled and unpooled runs fire identical schedules.
+
+    [loan] says [msg] views the given pool slot and transfers one
+    reference to the channel: every scheduled delivery that still aliases
+    the slot (i.e. was not replaced by a corruption/marking copy) retains
+    it and releases right after its [deliver] returns, and the
+    transferred reference is dropped when [send] returns. Loans are
+    rejected on cross-shard channels ([?schedule]): the release would run
+    on the wrong domain — copy out of the slot before crossing. *)
+val send : ?loan:Bitkit.Pool.t * int -> 'a t -> 'a -> unit
 val stats : 'a t -> stats
 val set_config : 'a t -> config -> unit
 (** Change impairments mid-run (e.g. to simulate a link failure with

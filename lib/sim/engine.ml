@@ -60,6 +60,11 @@ type t = {
   live : int ref;
   dead_in_heap : int ref;
   random : Bitkit.Rng.t;
+  (* Run after each fired event's closure returns, when no action list is
+     mid-apply anywhere — the safe point buffer pools drain deferred
+     releases at. Appended once at setup; purely virtual-time-neutral
+     (hooks schedule nothing), so they cannot perturb determinism. *)
+  mutable end_hooks : (unit -> unit) list;
 }
 
 let create ?(seed = 42) ?(backend = `Wheel) () =
@@ -68,7 +73,9 @@ let create ?(seed = 42) ?(backend = `Wheel) () =
       | `Heap -> Q_heap (Heapq.create ())
       | `Wheel -> Q_wheel (Wheel.create ()));
     clock = 0.; next_seq = 0; fired = 0; live = ref 0; dead_in_heap = ref 0;
-    random = Bitkit.Rng.create seed }
+    random = Bitkit.Rng.create seed; end_hooks = [] }
+
+let after_event t hook = t.end_hooks <- t.end_hooks @ [ hook ]
 
 let backend t = match t.queue with Q_heap _ -> `Heap | Q_wheel _ -> `Wheel
 let now t = t.clock
@@ -146,7 +153,10 @@ let fire t ev =
   t.clock <- ev.time;
   t.fired <- t.fired + 1;
   decr t.live;
-  f ()
+  f ();
+  match t.end_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun h -> h ()) hooks
 
 (* Timestamp of the earliest live event, event left queued. Used by the
    shard round protocol to compute the global safe window; the wheel's

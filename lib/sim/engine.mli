@@ -70,3 +70,10 @@ val compactions : t -> int
 
 val events_fired : t -> int
 (** Total events executed so far (a cheap work measure). *)
+
+val after_event : t -> (unit -> unit) -> unit
+(** Register a hook to run after each fired event's closure returns —
+    the quiescent point at which no action cascade is mid-apply, where
+    buffer pools drain deferred slot releases. Hooks must not schedule
+    events or draw randomness; they are bookkeeping only, so a run with
+    hooks fires the identical (time, seq) stream as one without. *)

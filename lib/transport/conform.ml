@@ -173,7 +173,7 @@ let app mon ~conn =
         | `Close -> ob close ~a:0
       and obs_ind : Iface.app_ind -> unit = function
         | `Established -> ob established ~a:0
-        | `Data s -> ob data ~a:(String.length s)
+        | `Data s -> ob data ~a:(Bitkit.Slice.length s)
         | `Peer_closed -> ob peer_closed ~a:0
         | `Closed -> ob closed ~a:0
         | `Reset -> ob reset ~a:0

@@ -6,6 +6,7 @@ type conn = { local_port : int; remote_port : int }
 
 type t = {
   conn : conn;
+  pool : Bitkit.Pool.t option;
   segments_out : Sublayer.Stats.counter;
   segments_in : Sublayer.Stats.counter;
   rejected : Sublayer.Stats.counter;
@@ -18,12 +19,13 @@ type down_req = Bitkit.Slice.t
 type down_ind = Bitkit.Slice.t
 type timer = Nothing.t
 
-let make ?stats ?span ~local_port ~remote_port () =
+let make ?stats ?span ?pool ~local_port ~remote_port () =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "dm"
   in
   {
     conn = { local_port; remote_port };
+    pool;
     segments_out = Sublayer.Stats.counter sc "segments_out";
     segments_in = Sublayer.Stats.counter sc "segments_in";
     rejected = Sublayer.Stats.counter sc "rejected";
@@ -42,7 +44,16 @@ let handle_up_req t pdu =
   Sublayer.Span.instant t.sp "segment_out";
   let wb = Bitkit.Wirebuf.push pdu ~owner:"dm" (Segment.write_dm header) in
   Segment.audit_wirebuf wb;
-  (t, [ Down (Bitkit.Wirebuf.to_slice wb) ])
+  match t.pool with
+  | None -> (t, [ Down (Bitkit.Wirebuf.to_slice wb) ])
+  | Some pool ->
+      (* Emit into a loaned slot. DM's own reference dies at end of
+         event; a pool-aware transmit closure that wants the bytes to
+         live until channel delivery recognises the slot
+         ([Pool.slot_of_slice]) and retains it before then. *)
+      let slot, wire = Bitkit.Wirebuf.emit_pooled wb pool in
+      if slot <> Bitkit.Pool.no_slot then Bitkit.Pool.defer_release pool slot;
+      (t, [ Down wire ])
 
 let handle_down_ind t wire =
   match Segment.decode_dm_slice wire with

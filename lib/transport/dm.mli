@@ -17,12 +17,20 @@ include
 val make :
   ?stats:Sublayer.Stats.scope ->
   ?span:Sublayer.Span.ctx ->
+  ?pool:Bitkit.Pool.t ->
   local_port:int ->
   remote_port:int ->
   unit ->
   t
 (** Counters (when [stats] is given): [segments_out], [segments_in],
     [rejected]. When [span] is given, instant [segment_out]/[segment_in]
-    markers record the T2 crossings. *)
+    markers record the T2 crossings.
+
+    When [pool] is given, outgoing segments are emitted into loaned
+    arena slots instead of fresh heap strings; the loan is
+    deferred-released at end of event, and a pool-aware transmit closure
+    (see {!Host.pair_channels}, {!Fabric.create}) extends its lifetime
+    to channel delivery by retaining the slot it recognises via
+    {!Bitkit.Pool.slot_of_slice}. *)
 
 val conn : t -> conn

@@ -16,6 +16,7 @@ type t = {
   hosts : Host.t array;
   flows : flow array;
   host_shard : int array; (* host -> owning shard; all zero when unsharded *)
+  pools : Bitkit.Pool.t array; (* one per shard; empty when unpooled *)
 }
 
 let server_port f = 1024 + (2 * f)
@@ -48,8 +49,8 @@ let telemetry_sources ?stats ?tracer ~slice_global tele engine =
   Sim.Telemetry.add_gc tele
 
 let create engine ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?(seed = 7)
-    ?link_faults ~channel ~flows ~bytes () =
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?pool
+    ?(seed = 7) ?link_faults ~channel ~flows ~bytes () =
   if hosts < 1 then invalid_arg "Fabric.create: need at least one host";
   if flows < 0 then invalid_arg "Fabric.create: negative flow count";
   if bytes < 0 then invalid_arg "Fabric.create: negative flow size";
@@ -59,6 +60,13 @@ let create engine ?(hosts = 8) ?(config = Config.default)
   (match telemetry with
   | Some tele -> telemetry_sources ?stats ?tracer ~slice_global:true tele engine
   | None -> ());
+  (* Machine-held loans (DM emits, OSR stages, detector trailers) are
+     deferred; they fall due once the event that produced them has fully
+     applied. *)
+  Option.iter
+    (fun p ->
+      Sim.Engine.after_event engine (fun () -> Bitkit.Pool.drain_deferred p))
+    pool;
   let port_host = Hashtbl.create (2 * flows) in
   let ingress = Array.make hosts (fun (_ : Bitkit.Slice.t) -> ()) in
   let mk_chan dst =
@@ -104,12 +112,27 @@ let create engine ?(hosts = 8) ?(config = Config.default)
             let src =
               Option.value ~default:dst (Hashtbl.find_opt port_host src_port)
             in
-            Sim.Channel.send (chan ~src ~dst) s)
+            let ch = chan ~src ~dst in
+            let loaned =
+              match pool with
+              | None -> false
+              | Some p -> (
+                  match Bitkit.Pool.slot_of_slice p s with
+                  | None -> false
+                  | Some slot ->
+                      (* Take over the emitting machine's loan for the
+                         flight: the channel holds this reference until
+                         the last scheduled delivery returns. *)
+                      Bitkit.Pool.retain p slot;
+                      Sim.Channel.send ~loan:(p, slot) ch s;
+                      true)
+            in
+            if not loaned then Sim.Channel.send ch s)
   in
   let harr =
     Array.init hosts (fun h ->
         Host.create engine ~config ~factory ?stats ?tracer ?monitors ?telemetry
-          ~name:(Printf.sprintf "H%d" h) ~transmit ())
+          ?pool ~name:(Printf.sprintf "H%d" h) ~transmit ())
   in
   Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
   (* Per-flow payloads come from one seeded stream, so runs are exactly
@@ -139,7 +162,8 @@ let create engine ?(hosts = 8) ?(config = Config.default)
                 | `Peer_closed -> Host.close c
                 | _ -> ())))
     harr;
-  { hosts = harr; flows = farr; host_shard = Array.make hosts 0 }
+  { hosts = harr; flows = farr; host_shard = Array.make hosts 0;
+    pools = (match pool with None -> [||] | Some p -> [| p |]) }
 
 (* --- sharded construction --------------------------------------------- *)
 
@@ -169,8 +193,8 @@ let create engine ?(hosts = 8) ?(config = Config.default)
      instance. Merge after the run with [Monitor.Runtime.merged_verdicts]
      / [Tracer.merged_chrome_json]. *)
 let create_sharded shard ?(hosts = 8) ?(config = Config.default)
-    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?(seed = 7)
-    ?link_faults ~channel ~flows ~bytes () =
+    ?(factory = Host.sublayered) ?stats ?tracer ?monitors ?telemetry ?pools
+    ?(seed = 7) ?link_faults ~channel ~flows ~bytes () =
   let nshards = Sim.Shard.shards shard in
   if hosts < nshards then
     invalid_arg "Fabric.create_sharded: need at least one host per shard";
@@ -195,6 +219,19 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
   let tracer = per_shard "tracer" tracer in
   let monitors = per_shard "monitors" monitors in
   let telemetry = per_shard "telemetry" telemetry in
+  (* A pool is single-domain state: one per shard, drained on that
+     shard's engine, and never loaned across a conduit (the transmit
+     closure copies out of the slot for cross-shard sends). *)
+  let pools = per_shard "pools" pools in
+  Array.iteri
+    (fun s p ->
+      Option.iter
+        (fun p ->
+          Sim.Engine.after_event
+            (Sim.Shard.engine shard s)
+            (fun () -> Bitkit.Pool.drain_deferred p))
+        p)
+    pools;
   (* Per-shard instances register the SAME source names as the serial
      fabric, so summing the deterministic series across shards
      ([Telemetry.merged_deterministic]) reproduces the single-engine
@@ -257,7 +294,30 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
             let src =
               Option.value ~default:dst (Hashtbl.find_opt port_host src_port)
             in
-            Sim.Channel.send matrix.(src).(dst) s)
+            let ch = matrix.(src).(dst) in
+            let s_src = host_shard.(src) in
+            let handled =
+              match pools.(s_src) with
+              | None -> false
+              | Some p -> (
+                  match Bitkit.Pool.slot_of_slice p s with
+                  | None -> false
+                  | Some slot ->
+                      if host_shard.(dst) = s_src then begin
+                        Bitkit.Pool.retain p slot;
+                        Sim.Channel.send ~loan:(p, slot) ch s;
+                        true
+                      end
+                      else begin
+                        (* The slot dies with the source shard's event;
+                           the conduit delivers on another domain, so the
+                           bytes must leave the arena here. *)
+                        Sim.Channel.send ch
+                          (Bitkit.Slice.of_string (Bitkit.Slice.to_string s));
+                        true
+                      end)
+            in
+            if not handled then Sim.Channel.send ch s)
   in
   let harr =
     Array.init hosts (fun h ->
@@ -265,7 +325,7 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
         Host.create
           (Sim.Shard.engine shard s)
           ~config ~factory ?stats:stats.(s) ?tracer:tracer.(s)
-          ?monitors:monitors.(s) ?telemetry:telemetry.(s)
+          ?monitors:monitors.(s) ?telemetry:telemetry.(s) ?pool:pools.(s)
           ~name:(Printf.sprintf "H%d" h)
           ~transmit ())
   in
@@ -297,11 +357,35 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
                 | `Peer_closed -> Host.close c
                 | _ -> ())))
     harr;
-  { hosts = harr; flows = farr; host_shard }
+  { hosts = harr; flows = farr; host_shard;
+    pools =
+      Array.of_list (List.filter_map (fun p -> p) (Array.to_list pools)) }
 
 let hosts t = t.hosts
 let host_shard t h = t.host_shard.(h)
 let launch_site t f = t.host_shard.(f mod Array.length t.hosts)
+
+let pool_stats t =
+  match t.pools with
+  | [||] -> []
+  | pools ->
+      (* Summed across shards; key for key the same list one pool
+         reports, so [Workload.run ~drops] callers need no sharding
+         special case. *)
+      let acc = Hashtbl.create 8 in
+      let order = ref [] in
+      Array.iter
+        (fun p ->
+          List.iter
+            (fun (k, v) ->
+              match Hashtbl.find_opt acc k with
+              | None ->
+                  order := k :: !order;
+                  Hashtbl.replace acc k v
+              | Some v0 -> Hashtbl.replace acc k (v0 + v))
+            (Bitkit.Pool.stats p))
+        pools;
+      List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
 
 let ops t =
   let nh = Array.length t.hosts in

@@ -19,6 +19,7 @@ val create :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   ?seed:int ->
   ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->
@@ -42,7 +43,14 @@ val create :
     fired, live timers, pending events), [slice.copied_bytes],
     [tracer.dropped] and the [gc.*] source; the host endpoints install
     {!Sublayer.Alloc} cells.  Drive sampling from the soak loop
-    ({!Sim.Soak.run_driver}'s [?telemetry]). *)
+    ({!Sim.Soak.run_driver}'s [?telemetry]).
+
+    When [pool] is given, every host's stacks emit and stage in its arena
+    slots, the fabric's transmit closure recognises slot-backed segments
+    ({!Bitkit.Pool.slot_of_slice}) and loans them to the wire channel for
+    the flight, and deferred releases drain after every engine event.
+    Loans never change the channels' draw sequence, so a pooled run is
+    schedule-identical to an unpooled one. *)
 
 val create_sharded :
   Sim.Shard.t ->
@@ -53,6 +61,7 @@ val create_sharded :
   ?tracer:Sim.Tracer.t array ->
   ?monitors:Monitor.Runtime.t array ->
   ?telemetry:Sim.Telemetry.t array ->
+  ?pools:Bitkit.Pool.t array ->
   ?seed:int ->
   ?link_faults:(int * int -> Sim.Faultplan.t option) ->
   channel:Sim.Channel.config ->
@@ -82,7 +91,13 @@ val create_sharded :
     instance registers the same source names as the serial fabric
     ([slice.copied_bytes] only on shard 0 — the counter is process
     global), so the pointwise sum of the per-shard deterministic series
-    is comparable key-for-key with a single-engine run. *)
+    is comparable key-for-key with a single-engine run.
+
+    [pools], when given, likewise holds one pool per shard: a pool is
+    single-domain state, so host [h] emits from its shard's pool and the
+    transmit closure loans a slot to the channel only when source and
+    destination share a shard — a cross-shard send copies out of the
+    arena before handing the segment to the conduit. *)
 
 val launch_site : t -> int -> int
 (** Shard owning flow [f]'s client host — where
@@ -98,3 +113,8 @@ val ops : t -> Sim.Workload.ops
     exact = the received bytes equal the payload. *)
 
 val hosts : t -> Host.t array
+
+val pool_stats : t -> (string * int) list
+(** The fabric's pool counters ({!Bitkit.Pool.stats}), summed across
+    shards; [[]] when the fabric was built without pools. Report these
+    next to ring-drop counts (e.g. via {!Sim.Workload.run}'s [?drops]). *)

@@ -16,6 +16,7 @@ type factory = {
     ?tracer:Sim.Tracer.t ->
     ?monitors:Monitor.Runtime.t ->
     ?telemetry:Sim.Telemetry.t ->
+    ?pool:Bitkit.Pool.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -31,12 +32,12 @@ let sublayered =
     fname = "sublayered";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
            ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          Tcp_sublayered.create engine ?stats ?tracer ?monitors ?telemetry ~name
-            cfg ~local_port ~remote_port ~transmit
+          Tcp_sublayered.create engine ?stats ?tracer ?monitors ?telemetry ?pool
+            ~name cfg ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
@@ -76,6 +77,7 @@ type t = {
   tracer : Sim.Tracer.t option;
   monitors : Monitor.Runtime.t option;
   telemetry : Sim.Telemetry.t option;
+  pool : Bitkit.Pool.t option;
   conns : (int * int, conn) Hashtbl.t;
   listeners : (int, unit) Hashtbl.t;
   mutable accept_cb : (conn -> unit) option;
@@ -83,12 +85,13 @@ type t = {
 }
 
 let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ?tracer
-    ?monitors ?telemetry ~name ~transmit () =
+    ?monitors ?telemetry ?pool ~name ~transmit () =
   (* [telemetry] is only forwarded to the endpoint factory here (it
      gates the Alloc cells). Registering [stats] as a sampling source is
      the registry owner's job — hosts can share one registry (the
      fabric), and it must become one source, not one per host. *)
   { engine; config; factory; name; transmit; stats; tracer; monitors; telemetry;
+    pool;
     conns = Hashtbl.create 8;
     listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
 
@@ -103,9 +106,11 @@ let handle_event host c (e : Iface.app_ind) =
         match host.accept_cb with Some cb -> cb c | None -> ()
       end
   | `Data s -> (
-      Buffer.add_string c.buf s;
-      if c.auto_read then c.ep.ep_read (String.length s);
-      match c.user_data with Some cb -> cb s | None -> ())
+      (* The app-ingest copy: the delivered view is only valid for this
+         event, so the stream buffer takes the bytes now. *)
+      Bitkit.Slice.add_to_buffer c.buf s;
+      if c.auto_read then c.ep.ep_read (Bitkit.Slice.length s);
+      match c.user_data with Some cb -> cb (Bitkit.Slice.to_string s) | None -> ())
   | `Peer_closed -> c.c_peer_closed <- true
   | `Closed -> c.c_closed <- true
   | `Reset ->
@@ -124,8 +129,9 @@ let make_conn host ~local_port ~remote_port ~accepted =
   let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
   let ep =
     host.factory.make ?stats:host.stats ?tracer:host.tracer
-      ?monitors:host.monitors ?telemetry:host.telemetry host.engine ~name
-      host.config ~local_port ~remote_port ~transmit:host.transmit ~events
+      ?monitors:host.monitors ?telemetry:host.telemetry ?pool:host.pool
+      host.engine ~name host.config ~local_port ~remote_port
+      ~transmit:host.transmit ~events
   in
   let c =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
@@ -241,9 +247,13 @@ let guard_verify sl =
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
-    ?monitors ?telemetry channel_config =
+    ?monitors ?telemetry ?pool channel_config =
   let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
   let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+  Option.iter
+    (fun p ->
+      Sim.Engine.after_event engine (fun () -> Bitkit.Pool.drain_deferred p))
+    pool;
   let deliver target s =
     if guard then match guard_verify s with Some body -> !target body | None -> ()
     else !target s
@@ -260,7 +270,22 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
       ~deliver:(fun s -> deliver to_a s)
       ()
   in
-  let tx ch s = Sim.Channel.send ch (if guard then guard_protect s else s) in
+  (* A segment DM emitted into a pool slot must outlive this event (the
+     channel delivers it later): recognise the slot and transfer a
+     reference to the channel. The guard path copies into its protected
+     buffer anyway, so no loan is needed there. *)
+  let tx ch s =
+    if guard then Sim.Channel.send ch (guard_protect s)
+    else
+      match pool with
+      | None -> Sim.Channel.send ch s
+      | Some p -> (
+          match Bitkit.Pool.slot_of_slice p s with
+          | None -> Sim.Channel.send ch s
+          | Some slot ->
+              Bitkit.Pool.retain p slot;
+              Sim.Channel.send ~loan:(p, slot) ch s)
+  in
   (* The pair owns the two registries, so it registers them as sampling
      sources (one per side, prefixed by the host name). *)
   (match telemetry with
@@ -276,20 +301,20 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
      spans closed by the receiving end) needs both hosts on it. *)
   let a =
     create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ?monitors
-      ?telemetry ~name:"A" ~transmit:(tx ab) ()
+      ?telemetry ?pool ~name:"A" ~transmit:(tx ab) ()
   in
   let b =
     create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ?monitors
-      ?telemetry ~name:"B" ~transmit:(tx ba) ()
+      ?telemetry ?pool ~name:"B" ~transmit:(tx ba) ()
   in
   to_a := from_wire a;
   to_b := from_wire b;
   (a, b, ab, ba)
 
 let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b ?tracer
-    ?monitors ?telemetry channel_config =
+    ?monitors ?telemetry ?pool channel_config =
   let a, b, _, _ =
     pair_channels engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b
-      ?tracer ?monitors ?telemetry channel_config
+      ?tracer ?monitors ?telemetry ?pool channel_config
   in
   (a, b)

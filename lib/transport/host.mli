@@ -33,6 +33,7 @@ type factory = {
     ?tracer:Sim.Tracer.t ->
     ?monitors:Monitor.Runtime.t ->
     ?telemetry:Sim.Telemetry.t ->
+    ?pool:Bitkit.Pool.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -55,6 +56,7 @@ val create :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   name:string ->
   transmit:(Bitkit.Slice.t -> unit) ->
   unit ->
@@ -133,6 +135,7 @@ val pair :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   Sim.Channel.config ->
   t * t
 (** Two hosts joined by a duplex impaired channel. [guard] (default
@@ -142,7 +145,11 @@ val pair :
     [tracer] is shared by both hosts, so a segment's flight span opened
     on the sender is closed by the receiver (causal cross-host spans).
     [monitors] is likewise shared: one registry collects the conformance
-    verdicts of every interface probe on both ends. *)
+    verdicts of every interface probe on both ends. [pool] (shared by
+    both sides) makes the stacks emit and stage in arena slots; the
+    transmit closures recognise slot-backed segments and loan them to
+    the channel for the flight, and the engine drains deferred releases
+    after every event. *)
 
 val pair_channels :
   Sim.Engine.t ->
@@ -155,6 +162,7 @@ val pair_channels :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   Sim.Channel.config ->
   t * t * Bitkit.Slice.t Sim.Channel.t * Bitkit.Slice.t Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then

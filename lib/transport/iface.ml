@@ -1,7 +1,12 @@
 type app_req = [ `Connect | `Listen | `Write of string | `Read of int | `Close ]
 
 type app_ind =
-  [ `Established | `Data of string | `Peer_closed | `Closed | `Reset | `Aborted ]
+  [ `Established
+  | `Data of Bitkit.Slice.t
+  | `Peer_closed
+  | `Closed
+  | `Reset
+  | `Aborted ]
 
 type rd_req =
   [ `Connect

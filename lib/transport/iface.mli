@@ -20,7 +20,11 @@ type app_req =
 
 type app_ind =
   [ `Established
-  | `Data of string   (** in-order stream bytes *)
+  | `Data of Bitkit.Slice.t
+      (** In-order stream bytes, as a view of the buffer they arrived in
+          — valid for the duration of the delivering event; consumers
+          that keep the bytes copy them out ({!Bitkit.Slice.add_to_buffer}
+          into the host's stream buffer). *)
   | `Peer_closed      (** peer finished sending *)
   | `Closed           (** connection fully closed *)
   | `Reset

@@ -71,8 +71,10 @@ type conn = {
   fin_requested : bool;
   fin_sent : bool;
   peer_fin_seen : bool;
-  (* receiver *)
-  reasm : (int * string) list;  (* offset-ascending, all >= rcv_cum *)
+  (* receiver: offset-ascending, all >= rcv_cum. Each staged segment is
+     an owned view plus the pool slot backing it ([Pool.no_slot] for heap
+     storage or the borrowed in-order fast path). *)
+  reasm : (int * (Bitkit.Slice.t * int)) list;
   rcv_cum : int;
   unread : int;               (* delivered but not yet consumed upstream *)
   advertised : int;
@@ -86,6 +88,7 @@ type t = {
   ctrs : counters;
   cc_stats : Sublayer.Stats.scope option;
   sp : Sublayer.Span.ctx;
+  pool : Bitkit.Pool.t option;
   pre_writes : string list;  (* reversed; writes before establishment *)
   pre_close : bool;
   conn : conn option;
@@ -100,14 +103,14 @@ type timer = Persist
 (* Zero-window probe interval. *)
 let persist_interval = 0.5
 
-let initial ?stats ?cc_stats ?span cfg ~now =
+let initial ?stats ?cc_stats ?span ?pool cfg ~now =
   let sc =
     match stats with Some sc -> sc | None -> Sublayer.Stats.unregistered "osr"
   in
   let sp =
     match span with Some sp -> sp | None -> Sublayer.Span.disabled name
   in
-  { cfg; now; ctrs = counters_in sc; cc_stats; sp;
+  { cfg; now; ctrs = counters_in sc; cc_stats; sp; pool;
     pre_writes = []; pre_close = false; conn = None }
 
 (* Fresh snapshot of the counters in the legacy record shape. *)
@@ -236,7 +239,9 @@ let maybe_fin c =
    delivered bytes; announce reopenings proactively (the stalled peer has
    no traffic to learn from otherwise). *)
 let refresh_window t c =
-  let buffered = List.fold_left (fun acc (_, b) -> acc + String.length b) 0 c.reasm in
+  let buffered =
+    List.fold_left (fun acc (_, (b, _)) -> acc + Bitkit.Slice.length b) 0 c.reasm
+  in
   let advertised = max 0 (min 0xFFFF (t.cfg.Config.rcv_buf - buffered - c.unread)) in
   if advertised = c.advertised then (c, [])
   else begin
@@ -270,9 +275,36 @@ let handle_up_req t (req : up_req) =
       let c, acts = maybe_fin c in
       ({ t with conn = Some c }, acts)
 
+(* Copy an out-of-order payload into storage OSR owns across events: the
+   incoming wire view dies with the current event (a channel may hold it
+   in a pool slot released right after delivery). The staging copy is
+   the receive path's only byte copy, charged here. *)
+let stage t payload =
+  let len = Bitkit.Slice.length payload in
+  Sublayer.Stats.add t.ctrs.c_copied_app_bytes len;
+  let heap () =
+    (Bitkit.Slice.of_string (Bitkit.Slice.to_string payload), Bitkit.Pool.no_slot)
+  in
+  match t.pool with
+  | None -> heap ()
+  | Some pool ->
+      let slot = Bitkit.Pool.loan pool ~len in
+      if slot = Bitkit.Pool.no_slot then heap ()
+      else begin
+        Bitkit.Slice.blit payload (Bitkit.Pool.buffer pool)
+          (Bitkit.Pool.off pool slot);
+        (Bitkit.Pool.slice pool slot ~len, slot)
+      end
+
 (* Insert a segment into the reassembly store and deliver the in-order
    prefix. Duplicate offsets cannot occur (RD delivers exactly once), but
-   a segment at an already-delivered offset is ignored defensively. *)
+   a segment at an already-delivered offset is ignored defensively.
+
+   An in-order arrival is guaranteed to drain within this call, so it is
+   entered as a borrowed view of the wire buffer — the zero-copy fast
+   path; only segments that will sit in [reasm] across events are
+   staged. Delivered pool slots are released at end of event, after the
+   application has consumed the [`Data] views. *)
 let accept_segment t c offset payload =
   if offset < c.rcv_cum || List.mem_assoc offset c.reasm then (c, [])
   else begin
@@ -284,33 +316,55 @@ let accept_segment t c offset payload =
         ~key:("r:" ^ string_of_int offset)
         ~trace "reasm"
     end;
+    let owned =
+      if offset = c.rcv_cum then (payload, Bitkit.Pool.no_slot)
+      else stage t payload
+    in
     let reasm =
-      List.sort (fun (a, _) (b, _) -> Int.compare a b) ((offset, payload) :: c.reasm)
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) ((offset, owned) :: c.reasm)
     in
     let rec drain cum reasm delivered =
       match reasm with
-      | (off, bytes) :: rest when off = cum ->
-          drain (cum + String.length bytes) rest (bytes :: delivered)
+      | (off, (sl, slot)) :: rest when off = cum ->
+          drain (cum + Bitkit.Slice.length sl) rest ((sl, slot) :: delivered)
       | _ -> (cum, reasm, List.rev delivered)
     in
     let rcv_cum, reasm, delivered = drain c.rcv_cum reasm [] in
     if Sublayer.Span.active t.sp then
       ignore
         (List.fold_left
-           (fun off bytes ->
+           (fun off (sl, _) ->
              Sublayer.Span.close t.sp
                ~key:("r:" ^ string_of_int off)
                ~detail:"delivered" ();
-             off + String.length bytes)
+             off + Bitkit.Slice.length sl)
            c.rcv_cum delivered);
+    (match t.pool with
+    | Some pool ->
+        List.iter
+          (fun (_, slot) ->
+            if slot <> Bitkit.Pool.no_slot then Bitkit.Pool.defer_release pool slot)
+          delivered
+    | None -> ());
     let fresh_bytes =
-      List.fold_left (fun acc b -> acc + String.length b) 0 delivered
+      List.fold_left (fun acc (sl, _) -> acc + Bitkit.Slice.length sl) 0 delivered
     in
     Sublayer.Stats.add t.ctrs.c_bytes_delivered fresh_bytes;
     let c = { c with reasm; rcv_cum; unread = c.unread + fresh_bytes } in
     let c, window_acts = refresh_window t c in
-    (c, List.map (fun bytes -> Up (`Data bytes)) delivered @ window_acts)
+    (c, List.map (fun (sl, _) -> Up (`Data sl)) delivered @ window_acts)
   end
+
+(* Return any staged pool slots before dropping connection state, or an
+   aborted connection would leak them for the rest of the run. *)
+let free_reasm t =
+  match (t.pool, t.conn) with
+  | Some pool, Some c ->
+      List.iter
+        (fun (_, (_, slot)) ->
+          if slot <> Bitkit.Pool.no_slot then Bitkit.Pool.defer_release pool slot)
+        c.reasm
+  | _ -> ()
 
 let handle_down_ind t (ind : down_ind) =
   match (ind, t.conn) with
@@ -351,14 +405,7 @@ let handle_down_ind t (ind : down_ind) =
           let c =
             if hdr.Segment.ecn_ce then { c with last_ce = t.now () } else c
           in
-          (* The app boundary: the payload slice materialises to an owned
-             string here, the receive path's one copy. Charge the known
-             size directly — bracketing the process-global counter would
-             over-count copies other shards make concurrently. *)
-          Sublayer.Stats.add t.ctrs.c_copied_app_bytes
-            (Bitkit.Slice.copy_cost payload);
-          let payload_s = Bitkit.Slice.to_string payload in
-          let c, acts = accept_segment t c offset payload_s in
+          let c, acts = accept_segment t c offset payload in
           let acts =
             if hdr.Segment.ecn_ce then acts @ [ Down (`Set_block (block t c)) ]
             else acts
@@ -399,9 +446,11 @@ let handle_down_ind t (ind : down_ind) =
          clearing state here the persist timer would probe a corpse
          forever and the engine could never quiesce. *)
       Sublayer.Span.close_all t.sp ~detail:"reset" ();
+      free_reasm t;
       ({ t with conn = None }, [ Cancel_timer Persist; Up `Reset ])
   | `Aborted, _ ->
       Sublayer.Span.close_all t.sp ~detail:"aborted" ();
+      free_reasm t;
       ({ t with conn = None }, [ Cancel_timer Persist; Up `Aborted ])
   | (`Segment _ | `Acked _ | `Loss _ | `Peer_fin), None ->
       (t, [ Note "indication before establishment dropped" ])

@@ -16,16 +16,23 @@ val initial :
   ?stats:Sublayer.Stats.scope ->
   ?cc_stats:Sublayer.Stats.scope ->
   ?span:Sublayer.Span.ctx ->
+  ?pool:Bitkit.Pool.t ->
   Config.t ->
   now:(unit -> float) ->
   t
 (** Counters (when [stats] is given): [bytes_written], [bytes_delivered],
-    [segments_out]. When [cc_stats] is given the congestion-control
-    instance created at establishment is wrapped with {!Cc.instrument}
-    under that scope. When [span] is given, every write opens a
-    fresh-trace [buffer] span (closed when segmented) and every accepted
-    segment a [reasm] span (closed at in-order delivery); traces are
-    handed to RD under local offset keys. *)
+    [segments_out], [copied_app_bytes]. When [cc_stats] is given the
+    congestion-control instance created at establishment is wrapped with
+    {!Cc.instrument} under that scope. When [span] is given, every write
+    opens a fresh-trace [buffer] span (closed when segmented) and every
+    accepted segment a [reasm] span (closed at in-order delivery); traces
+    are handed to RD under local offset keys.
+
+    In-order segments are delivered to the application as views of the
+    incoming wire buffer — no copy, no [copied_app_bytes] charge. Only
+    out-of-order arrivals are staged in owned storage across events: a
+    slot of [pool] when given (heap on overrun), a heap string
+    otherwise. *)
 
 type stats = {
   mutable bytes_written : int;    (** accepted from the application *)

@@ -27,14 +27,22 @@ type t
 val initial :
   ?stats:Sublayer.Stats.scope ->
   ?span:Sublayer.Span.ctx ->
+  ?pool:Bitkit.Pool.t ->
   key:string ->
   local_port:int ->
   remote_port:int ->
   unit ->
   t
 (** [key] is the 32-byte shared secret. Counters (when [stats] is
-    given): [records_sent], [auth_failures]. When [span] is given,
-    instant [seal]/[open]/[auth_fail] markers record each record. *)
+    given): [records_sent], [auth_failures], [copied_seal_bytes]. When
+    [span] is given, instant [seal]/[open]/[auth_fail] markers record
+    each record.
+
+    When [pool] is given, records are sealed in place inside a loaned
+    arena slot — the plaintext is emitted once into the slot, encrypted
+    by in-place keystream XOR and tagged over the arena, with no
+    intermediate flat strings (overruns fall back to the heap path,
+    bit-identical on the wire). *)
 
 val records_sent : t -> int
 val auth_failures : t -> int

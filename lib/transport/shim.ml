@@ -196,7 +196,7 @@ let factory =
     Host.fname = "sublayered+shim";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats ?tracer ?monitors ?telemetry ?pool:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         let shim = create () in
         let inner_ref = ref None in
         (* The shim's codecs translate between formats, which means

@@ -446,7 +446,7 @@ let from_wire t wire =
                    if seq_abs = t.rcv_nxt then begin
                      t.rcv_nxt <- t.rcv_nxt + len;
                      t.unread <- t.unread + len;
-                     t.events (`Data payload);
+                     t.events (`Data (Bitkit.Slice.of_string payload));
                      (* drain reassembly *)
                      let rec drain () =
                        match t.reasm with
@@ -454,7 +454,7 @@ let from_wire t wire =
                            t.reasm <- rest;
                            t.rcv_nxt <- t.rcv_nxt + String.length p;
                            t.unread <- t.unread + String.length p;
-                           t.events (`Data p);
+                           t.events (`Data (Bitkit.Slice.of_string p));
                            drain ()
                        | (s, p) :: rest when s < t.rcv_nxt ->
                            (* overlap: should not happen with stable
@@ -499,7 +499,7 @@ let factory =
     Host.fname = "monolithic";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats:_ ?tracer:_ ?monitors:_ ?telemetry:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?stats:_ ?tracer:_ ?monitors:_ ?telemetry:_ ?pool:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         (* The monolith is deliberately opaque: no per-sublayer counters
            or spans exist to register (that contrast is the point of E19).
            It also keeps its string-based wire handling — it is the

@@ -11,7 +11,7 @@ type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~key ~name cfg
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~key ~name cfg
     ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
@@ -69,13 +69,17 @@ let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~key ~name cfg
             .);
     }
   in
-  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
+  let osr =
+    Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") ?pool cfg
+      ~now
+  in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
   let rec_ =
-    Rec.initial ?stats:(sc "rec") ?span:(sp "rec") ~key ~local_port ~remote_port ()
+    Rec.initial ?stats:(sc "rec") ?span:(sp "rec") ?pool ~key ~local_port
+      ~remote_port ()
   in
-  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ?pool ~local_port ~remote_port () in
   R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
       ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,
@@ -102,11 +106,11 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
            ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ?monitors ?telemetry ~key ~name cfg
+          create engine ?stats ?tracer ?monitors ?telemetry ?pool ~key ~name cfg
             ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in

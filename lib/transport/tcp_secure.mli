@@ -12,6 +12,7 @@ val create :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   key:string ->
   name:string ->
   Config.t ->

@@ -10,7 +10,7 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -54,10 +54,13 @@ let create engine ?trace ?stats ?tracer ?monitors ?telemetry ~name cfg ~local_po
             .);
     }
   in
-  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
+  let osr =
+    Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") ?pool cfg
+      ~now
+  in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
-  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ?pool ~local_port ~remote_port () in
   R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
       ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,

@@ -12,6 +12,7 @@ val create :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -31,7 +32,9 @@ val create :
     (and [stats]) are given, {!Sublayer.Alloc} cells are installed at
     every T2 seam so enabling allocation attribution charges
     [<sub>.gc.minor_words] per sublayer (plus [app.*]/[wire.*] for the
-    excursions outside the stack). *)
+    excursions outside the stack). When [pool] is given, OSR stages
+    out-of-order segments in arena slots and DM emits outgoing segments
+    into them (see {!Osr.initial}, {!Dm.make}). *)
 
 val connect : t -> unit
 val listen : t -> unit

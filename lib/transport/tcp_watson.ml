@@ -8,8 +8,8 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?(idle_timeout = 6.0)
-    ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool
+    ?(idle_timeout = 6.0) ~name cfg ~local_port ~remote_port ~transmit ~events =
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
   let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
@@ -49,13 +49,16 @@ let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?(idle_timeout = 6.
             .);
     }
   in
-  let osr = Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") cfg ~now in
+  let osr =
+    Osr.initial ?stats:(sc "osr") ?cc_stats:(sc "cc") ?span:(sp "osr") ?pool cfg
+      ~now
+  in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm =
     Cm_timer.initial ?stats:(sc "cm-timer") ?span:(sp "cm-timer") cfg ~isn
       ~local_port ~remote_port ~idle_timeout
   in
-  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ~local_port ~remote_port () in
+  let dm = Dm.make ?stats:(sc "dm") ?span:(sp "dm") ?pool ~local_port ~remote_port () in
   R.create engine ?trace ~alloc ~name ~transmit ~deliver:events
     ( osr,
       ( Conform.osr_rd ~alloc:(osr_c, rd_c) monitors ~conn:name,
@@ -77,11 +80,11 @@ let factory ?idle_timeout () =
     Host.fname = "sublayered-watson";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry engine ~name cfg ~local_port
+      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
            ~remote_port ~transmit ~events ->
         let app_req, app_ind = Conform.app monitors ~conn:name in
         let t =
-          create engine ?stats ?tracer ?monitors ?telemetry ?idle_timeout ~name
+          create engine ?stats ?tracer ?monitors ?telemetry ?pool ?idle_timeout ~name
             cfg ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in

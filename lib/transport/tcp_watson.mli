@@ -11,6 +11,7 @@ val create :
   ?tracer:Sim.Tracer.t ->
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
   ?idle_timeout:float ->
   name:string ->
   Config.t ->

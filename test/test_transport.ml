@@ -655,10 +655,10 @@ let ecn_transfer marking =
       ~transmit:(fun s -> Sim.Channel.send ba s)
       ~events:(function
         | `Data s -> (
-            Buffer.add_string received s;
+            Bitkit.Slice.add_to_buffer received s;
             (* consume immediately, as Host's auto-read would *)
             match !b_ref with
-            | Some b -> Tcp_sublayered.read b (String.length s)
+            | Some b -> Tcp_sublayered.read b (Bitkit.Slice.length s)
             | None -> ())
         | _ -> ())
   in
@@ -989,7 +989,9 @@ let test_nagle_coalesces_tinygrams () =
     let b =
       Tcp_sublayered.create engine ~name:"B" config ~local_port:2 ~remote_port:1
         ~transmit:(fun s -> Sim.Channel.send ba s)
-        ~events:(function `Data s -> Buffer.add_string received s | _ -> ())
+        ~events:(function
+          | `Data s -> Bitkit.Slice.add_to_buffer received s
+          | _ -> ())
     in
     to_a := Tcp_sublayered.from_wire a;
     to_b := Tcp_sublayered.from_wire b;
@@ -1036,9 +1038,9 @@ let test_delayed_ack_halves_pure_acks () =
         ~transmit:(fun s -> Sim.Channel.send ba s)
         ~events:(function
           | `Data s -> (
-              Buffer.add_string received s;
+              Bitkit.Slice.add_to_buffer received s;
               match !b_ref with
-              | Some b -> Tcp_sublayered.read b (String.length s)
+              | Some b -> Tcp_sublayered.read b (Bitkit.Slice.length s)
               | None -> ())
           | _ -> ())
     in
@@ -1199,7 +1201,9 @@ let test_secure_no_plaintext_on_wire () =
     Tcp_secure.create engine ~key:Tcp_secure.demo_key ~name:"B" Config.default
       ~local_port:2 ~remote_port:1
       ~transmit:(fun s -> Sim.Channel.send ba s)
-      ~events:(function `Data s -> Buffer.add_string received s | _ -> ())
+      ~events:(function
+        | `Data s -> Bitkit.Slice.add_to_buffer received s
+        | _ -> ())
   in
   to_a := Tcp_secure.from_wire a;
   to_b := Tcp_secure.from_wire b;

@@ -249,6 +249,143 @@ let detector_props =
       ])
     detectors
 
+(* --- Chain digests: the transmit-side twin of verify_slice --- *)
+
+(* A wirebuf with a random header chain over a random payload — the
+   shape the detector sees from the ARQ above. *)
+let header_gen = QCheck2.Gen.(string_size ~gen:char (1 -- 12))
+
+let wirebuf_gen =
+  QCheck2.Gen.(
+    map
+      (fun (p, headers) ->
+        List.fold_left
+          (fun wb h ->
+            Bitkit.Wirebuf.push wb ~owner:"hdr" (fun w ->
+                Bitkit.Bitio.Writer.bytes w h))
+          (Bitkit.Wirebuf.of_string p) headers)
+      (pair payload_gen (list_size (0 -- 4) header_gen)))
+
+let protect_trailer d flat =
+  let n = d.Datalink.Detector.overhead_bytes in
+  let f = d.Datalink.Detector.protect flat in
+  String.sub f (String.length f - n) n
+
+let chain_digest_props =
+  List.concat_map
+    (fun d ->
+      let name = d.Datalink.Detector.name in
+      let n = d.Datalink.Detector.overhead_bytes in
+      [ qtest (name ^ ": chain digest = flattened digest") wirebuf_gen
+          (fun wb ->
+            let trailer = protect_trailer d (Bitkit.Wirebuf.to_string wb) in
+            (* Guard bytes on both sides: the digest writer must touch
+               exactly its [n] bytes. *)
+            let b = Bytes.make (n + 2) '\x55' in
+            d.Datalink.Detector.chain_digest_into wb b 1;
+            Bytes.get b 0 = '\x55'
+            && Bytes.get b (n + 1) = '\x55'
+            && Bytes.sub_string b 1 n = trailer);
+        qtest (name ^ ": chain digest over a mid-buffer payload view")
+          (QCheck2.Gen.pair payload_gen header_gen)
+          (fun (p, h) ->
+            let wb =
+              Bitkit.Wirebuf.push
+                (Bitkit.Wirebuf.of_slice (offset_slice p))
+                ~owner:"hdr"
+                (fun w -> Bitkit.Bitio.Writer.bytes w h)
+            in
+            let trailer = protect_trailer d (Bitkit.Wirebuf.to_string wb) in
+            let b = Bytes.make (max n 1) '\x00' in
+            d.Datalink.Detector.chain_digest_into wb b 0;
+            Bytes.sub_string b 0 n = trailer);
+        qtest (name ^ ": pooled protect emits identical frames") wirebuf_gen
+          (fun wb ->
+            let out t =
+              match Datalink.Layers.Error_detection.handle_up_req t wb with
+              | _, [ Sublayer.Machine.Down s ] ->
+                  Some (Bitkit.Slice.to_string s)
+              | _ -> None
+            in
+            let pool = Bitkit.Pool.create ~slots:2 ~slot_bytes:256 () in
+            let heap = out (Datalink.Layers.Error_detection.make d) in
+            let pooled = out (Datalink.Layers.Error_detection.make ~pool d) in
+            Bitkit.Pool.drain_deferred pool;
+            (* An exhausted pool must fall back to the same bytes. *)
+            let hold = List.init 2 (fun _ -> Bitkit.Pool.loan pool ~len:1) in
+            let starved =
+              out (Datalink.Layers.Error_detection.make ~pool d)
+            in
+            List.iter (Bitkit.Pool.release pool) hold;
+            Bitkit.Pool.drain_deferred pool;
+            (* [none] on an empty wirebuf legitimately emits an empty
+               frame, so emptiness is not a failure — only a missing
+               [Down] action is. *)
+            (match (heap, pooled, starved) with
+            | Some h, Some p, Some s -> h = p && h = s
+            | _ -> false)
+            && Bitkit.Pool.in_use pool = 0) ])
+    detectors
+
+(* --- Pooled emits are invisible on the wire --- *)
+
+(* The Rec sublayer's in-place seal (port/seq/ciphertext/tag laid out in
+   the slot) must produce byte-identical records to the legacy
+   string-concatenation path, seq after seq. *)
+let test_rec_pooled_seal_identical () =
+  let key = String.init 32 (fun i -> Char.chr (i * 7 land 0xFF)) in
+  let mk ?pool () = Rec.initial ?pool ~key ~local_port:4242 ~remote_port:99 () in
+  let pool = Bitkit.Pool.create ~slots:4 ~slot_bytes:512 () in
+  let heap = ref (mk ()) in
+  let pooled = ref (mk ~pool ()) in
+  for i = 0 to 9 do
+    let payload = Printf.sprintf "rec-%d-%s" i (String.make (i * 13) 'r') in
+    let wb = Bitkit.Wirebuf.of_string payload in
+    let out r =
+      match Rec.handle_up_req !r wb with
+      | t, [ Sublayer.Machine.Down w ] ->
+          r := t;
+          Bitkit.Wirebuf.to_string w
+      | _ -> Alcotest.fail "rec did not emit a record"
+    in
+    let a = out heap in
+    let b = out pooled in
+    Bitkit.Pool.drain_deferred pool;
+    Alcotest.(check string) (Printf.sprintf "record %d identical" i) a b
+  done;
+  Alcotest.(check int) "no slot leaked" 0 (Bitkit.Pool.in_use pool)
+
+(* A pooled fabric run must be schedule-identical to the unpooled run —
+   loans change where bytes live, never what happens — while actually
+   exercising the arena, and must hand every slot back by the end. *)
+let pool_fingerprint ?pool () =
+  let engine = Sim.Engine.create ~seed:33 () in
+  let fabric =
+    Transport.Fabric.create engine ~hosts:4 ~channel:(Sim.Channel.lossy 0.03)
+      ?pool ~flows:60 ~bytes:1024 ()
+  in
+  let r =
+    Sim.Workload.run ~spacing:0.01 ~name:"pooled" ~engine ~flows:60
+      (Transport.Fabric.ops fabric)
+  in
+  if not (Sim.Workload.ok r) then
+    Alcotest.failf "pooled workload not ok: %a" Sim.Workload.pp_report r;
+  ( r.Sim.Workload.soak.Sim.Soak.events_fired,
+    r.Sim.Workload.soak.Sim.Soak.vtime,
+    r.Sim.Workload.exact )
+
+let test_pooled_unpooled_identical () =
+  let base = pool_fingerprint () in
+  let pool = Bitkit.Pool.create ~slots:512 ~slot_bytes:2048 () in
+  let pooled = pool_fingerprint ~pool () in
+  let fired (f, _, _) = f and vtime (_, v, _) = v and exact (_, _, e) = e in
+  Alcotest.(check int) "events fired identical" (fired base) (fired pooled);
+  Alcotest.(check bool) "virtual end time identical" true
+    (vtime base = vtime pooled);
+  Alcotest.(check int) "exact flows identical" (exact base) (exact pooled);
+  Alcotest.(check bool) "the arena was exercised" true (Bitkit.Pool.loans pool > 0);
+  Alcotest.(check int) "every slot handed back" 0 (Bitkit.Pool.in_use pool)
+
 (* --- The T3 audit on the real transmit path --- *)
 
 (* Arm [Segment.audit_tx]: DM now checks every outgoing wirebuf's header
@@ -367,6 +504,14 @@ let () =
       ("wire", wire_props);
       ("arq", arq_props);
       ("detector", detector_props);
+      ("chain-digest", chain_digest_props);
+      ( "pool",
+        [
+          Alcotest.test_case "rec pooled seal = legacy seal" `Quick
+            test_rec_pooled_seal_identical;
+          Alcotest.test_case "pooled fabric run schedule-identical" `Quick
+            test_pooled_unpooled_identical;
+        ] );
       ( "audit",
         [
           Alcotest.test_case "armed on the wire path" `Quick test_audit_armed;
