@@ -442,9 +442,9 @@ let e13 () =
           in
           let ab = ch to_b and ba = ch to_a in
           let a = Host.create engine ~config:{ Config.default with cc = ca } ~name:"A"
-              ~transmit:(fun s -> Sim.Channel.send ab s) () in
+              ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send ab s) ()) () in
           let b = Host.create engine ~config:{ Config.default with cc = cb } ~name:"B"
-              ~transmit:(fun s -> Sim.Channel.send ba s) () in
+              ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send ba s) ()) () in
           to_a := Host.from_wire a;
           to_b := Host.from_wire b;
           Host.listen b ~port:80;
@@ -1766,6 +1766,156 @@ let e27 () =
     tr_off_big tr_on_big
 
 (* ------------------------------------------------------------------ *)
+(* E28 — recursive sublayering: a complete inner sublayered-TCP
+   connection rides a Transport.Tunnel over an outer (Rec-secured)
+   transport connection, vs the flat stack at matched loss. Reports
+   goodput, the two congestion controllers' cwnd traces (outer and
+   inner CC both probe the same impaired path), and per-level p99
+   latency attribution from the shared tracer. *)
+
+let e28 () =
+  section "E28" "recursive sublayering: tunneled inner stack vs flat at matched loss";
+  let open Transport in
+  let bytes = if smoke then 30_000 else 200_000 in
+  let losses = if smoke then [ 0.02 ] else [ 0.0; 0.02; 0.05 ] in
+  let was_enabled = Sim.Tracer.enabled () in
+  Sim.Tracer.set_enabled true;
+  Fun.protect ~finally:(fun () -> Sim.Tracer.set_enabled was_enabled)
+  @@ fun () ->
+  let json = Buffer.create 4096 in
+  Buffer.add_string json "{\"experiment\":\"E28\",\"runs\":[";
+  let first_run = ref true in
+  let tunnel_run ~channel ~seed =
+    let engine = Sim.Engine.create ~seed () in
+    let stats = Sublayer.Stats.create ~label:"e28" () in
+    let tracer = Sim.Tracer.create ~capacity:262144 () in
+    let factory = Tcp_secure.factory ~key:Tcp_secure.demo_key in
+    let oa, ob, _, _ =
+      Host.pair_channels engine ~factory_a:factory ~factory_b:factory
+        ~stats_a:stats ~stats_b:stats ~tracer channel
+    in
+    Host.listen ob ~port:443;
+    let osrv = ref None in
+    Host.on_accept ob (fun c -> osrv := Some c);
+    let ocli = Host.connect oa ~remote_port:443 () in
+    let rec wait_accept () =
+      if !osrv = None && Sim.Engine.now engine < 60. then begin
+        Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+        wait_accept ()
+      end
+    in
+    wait_accept ();
+    let srv_conn =
+      match !osrv with Some c -> c | None -> failwith "E28: outer accept"
+    in
+    let tun_a = Tunnel.create ~id:"tun-a" ocli in
+    let tun_b = Tunnel.create ~id:"tun-b" srv_conn in
+    let ins = Sublayer.Instrument.v ~stats ~tracer ~level:1 () in
+    let ia = Host.create engine ~ins ~name:"iA" ~link:(Tunnel.link tun_a) () in
+    let ib = Host.create engine ~ins ~name:"iB" ~link:(Tunnel.link tun_b) () in
+    Host.listen ib ~port:80;
+    let srv = ref None in
+    Host.on_accept ib (fun c -> srv := Some c);
+    let c = Host.connect ia ~remote_port:80 () in
+    let data = random_data seed bytes in
+    Host.write c data;
+    Host.close c;
+    (* The double-CC trace: both controllers' cwnd gauges live in the
+       one registry, the level tag telling them apart. *)
+    let outer_cwnd = Sublayer.Stats.gauge (Sublayer.Stats.scope stats "cc") "cwnd_bytes" in
+    let inner_cwnd =
+      Sublayer.Stats.gauge (Sublayer.Stats.scope stats "l1:cc") "cwnd_bytes"
+    in
+    let series = ref [] in
+    let rec sampler () =
+      series :=
+        (Sim.Engine.now engine, Sublayer.Stats.gauge_value outer_cwnd,
+         Sublayer.Stats.gauge_value inner_cwnd)
+        :: !series;
+      if not (Host.finished c) then
+        ignore (Sim.Engine.schedule engine ~after:0.25 sampler)
+    in
+    sampler ();
+    let rec drive () =
+      if Sim.Engine.now engine < 600. && not (Host.finished c) then begin
+        Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+        drive ()
+      end
+    in
+    drive ();
+    let vtime = Float.max 0.001 (Sim.Engine.now engine) in
+    Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+    let ok = match !srv with Some s -> Host.received s = data | None -> false in
+    (* Per-level flight p99 out of the same tracer: sublayer names carry
+       the level prefix, so grouping is one string compare. *)
+    let flights level =
+      let want = if level = 0 then "rd" else "l1:rd" in
+      List.filter_map
+        (fun s ->
+          if s.Sim.Tracer.sp_sublayer = want && s.Sim.Tracer.sp_name = "flight"
+             && Float.is_finite s.Sim.Tracer.sp_end
+          then Some (Sim.Tracer.duration s)
+          else None)
+        (Sim.Tracer.spans tracer)
+    in
+    let pct ds p =
+      match List.sort Float.compare ds with
+      | [] -> 0.
+      | l ->
+          let a = Array.of_list l in
+          a.(min (Array.length a - 1)
+              (int_of_float (Float.of_int (Array.length a) *. p)))
+    in
+    ( ok, vtime, Float.of_int bytes /. vtime, List.rev !series,
+      (pct (flights 0) 0.99, pct (flights 1) 0.99),
+      (Tunnel.frames_out tun_a, Tunnel.frames_in tun_b) )
+  in
+  Printf.printf "  %-22s %8s %10s %14s %12s %12s\n" "path" "exact" "time(s)"
+    "goodput(KB/s)" "p99 l0(ms)" "p99 l1(ms)";
+  List.iter
+    (fun loss ->
+      let channel = { (Sim.Channel.lossy loss) with delay = 0.02 } in
+      let flat = run_transfer ~seed:95 ~bytes channel in
+      let ok, vtime, goodput, series, (p99_0, p99_1), (fout, fin) =
+        tunnel_run ~channel ~seed:95
+      in
+      Printf.printf "  %-22s %8b %10.2f %14.0f %12s %12s\n"
+        (Printf.sprintf "flat   loss=%.2f" loss)
+        flat.ok flat.vtime (flat.goodput /. 1024.) "-" "-";
+      Printf.printf "  %-22s %8b %10.2f %14.0f %12.2f %12.2f\n"
+        (Printf.sprintf "tunnel loss=%.2f" loss)
+        ok vtime (goodput /. 1024.) (p99_0 *. 1e3) (p99_1 *. 1e3);
+      if not !first_run then Buffer.add_char json ',';
+      first_run := false;
+      Buffer.add_string json
+        (Printf.sprintf
+           "{\"loss\":%.3f,\"flat\":{\"ok\":%b,\"vtime\":%.3f,\"goodput\":%.0f},\
+            \"tunnel\":{\"ok\":%b,\"vtime\":%.3f,\"goodput\":%.0f,\
+            \"frames_out\":%d,\"frames_in\":%d,\
+            \"p99_flight_l0\":%.6f,\"p99_flight_l1\":%.6f,\"cwnd\":["
+           loss flat.ok flat.vtime flat.goodput ok vtime goodput fout fin
+           p99_0 p99_1);
+      List.iteri
+        (fun i (t, o, inr) ->
+          if i > 0 then Buffer.add_char json ',';
+          Buffer.add_string json
+            (Printf.sprintf "[%.2f,%d,%d]" t o inr))
+        series;
+      Buffer.add_string json "]}}")
+    losses;
+  Buffer.add_string json "]}";
+  let path = out_path "e28_tunnel.json" in
+  let oc = open_out path in
+  output_string oc (Buffer.contents json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\n  JSON report written to %s\n" path;
+  headline
+    "a whole sublayered-TCP stack runs over another transport connection \
+     through the Core.Link seam; two congestion controllers stack, and the \
+     level tags keep every span and counter attributable"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks: per-segment codec and stuffing costs. *)
 
 let microbenches () =
@@ -1848,7 +1998,7 @@ let () =
       ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12);
       ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E18", e18);
       ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22); ("E23", e23);
-      ("E25", e25); ("E26", e26); ("E27", e27);
+      ("E25", e25); ("E26", e26); ("E27", e27); ("E28", e28);
       ("MICRO", microbenches) ]
   in
   List.iter (fun (id, f) -> if selected id then f ()) experiments;

@@ -523,8 +523,179 @@ let top_cmd =
        ~doc:"Live per-sublayer telemetry dashboard over the many-flow fabric.")
     Term.(const run $ flows $ hosts $ bytes $ loss $ seed $ step $ delay)
 
+(* --- tunnel: recursive sublayering demo (E28) --- *)
+
+let tunnel_cmd =
+  let run loss bytes flows seed plain verify =
+    let open Transport in
+    let channel = { (Sim.Channel.lossy loss) with Sim.Channel.delay = 0.02 } in
+    (* Flat reference: one stack straight over the channel. *)
+    let flat () =
+      let engine = Sim.Engine.create ~seed () in
+      let a, b = Host.pair engine channel in
+      Host.listen b ~port:80;
+      let srv = ref None in
+      Host.on_accept b (fun c -> srv := Some c);
+      let c = Host.connect a ~remote_port:80 () in
+      let data = random_data seed bytes in
+      Host.write c data;
+      Host.close c;
+      let rec drive () =
+        if Sim.Engine.now engine < 600. && not (Host.finished c) then begin
+          Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+          drive ()
+        end
+      in
+      drive ();
+      let vtime = Float.max 0.001 (Sim.Engine.now engine) in
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+      let ok = match !srv with Some s -> Host.received s = data | None -> false in
+      (ok, vtime)
+    in
+    (* The Ouroboros: an outer connection over the same channel, wrapped
+       in a Tunnel; [flows] inner connections run over that link. *)
+    let tunneled () =
+      let engine = Sim.Engine.create ~seed () in
+      let stats = Sublayer.Stats.create ~label:"tunnel" () in
+      let monitors = Monitor.Runtime.create ~label:"tunnel" () in
+      let factory =
+        if plain then Host.sublayered
+        else Tcp_secure.factory ~key:Tcp_secure.demo_key
+      in
+      let oa, ob, _, _ =
+        Host.pair_channels engine ~factory_a:factory ~factory_b:factory
+          ~stats_a:stats ~stats_b:stats ~monitors channel
+      in
+      Host.listen ob ~port:443;
+      let osrv = ref None in
+      Host.on_accept ob (fun c -> osrv := Some c);
+      let ocli = Host.connect oa ~remote_port:443 () in
+      let rec wait_accept () =
+        if !osrv = None && Sim.Engine.now engine < 60. then begin
+          Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+          wait_accept ()
+        end
+      in
+      wait_accept ();
+      let srv_conn =
+        match !osrv with
+        | Some c -> c
+        | None ->
+            Printf.eprintf "sublayer-lab tunnel: outer connection not accepted\n";
+            exit 1
+      in
+      let tun_a = Tunnel.create ~id:"tun-a" ocli in
+      let tun_b = Tunnel.create ~id:"tun-b" srv_conn in
+      let ins = Sublayer.Instrument.v ~stats ~monitors ~level:1 () in
+      let ia = Host.create engine ~ins ~name:"iA" ~link:(Tunnel.link tun_a) () in
+      let ib = Host.create engine ~ins ~name:"iB" ~link:(Tunnel.link tun_b) () in
+      Host.listen ib ~port:80;
+      let servers = ref [] in
+      Host.on_accept ib (fun c -> servers := c :: !servers);
+      let data = List.init flows (fun i -> random_data (seed + i) bytes) in
+      let conns =
+        List.map
+          (fun d ->
+            let c = Host.connect ia ~remote_port:80 () in
+            Host.write c d;
+            Host.close c;
+            c)
+          data
+      in
+      let rec drive () =
+        if Sim.Engine.now engine < 600. && not (List.for_all Host.finished conns)
+        then begin
+          Sim.Engine.run ~until:(Sim.Engine.now engine +. 0.1) engine;
+          drive ()
+        end
+      in
+      drive ();
+      let vtime = Float.max 0.001 (Sim.Engine.now engine) in
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 30.) engine;
+      let exact =
+        List.for_all2
+          (fun c d ->
+            match
+              List.find_opt
+                (fun srv -> Host.remote_port srv = Host.local_port c)
+                !servers
+            with
+            | Some srv -> Host.received srv = d
+            | None -> false)
+          conns data
+      in
+      (exact, vtime, stats, monitors, Tunnel.frames_out tun_a, Tunnel.frames_in tun_b)
+    in
+    let flat_ok, flat_t = flat () in
+    let exact, tun_t, stats, monitors, fout, fin = tunneled () in
+    Printf.printf
+      "flat:   %d bytes over %.0f%% loss: exact=%b in %.2fs (%.0f KB/s)\n"
+      bytes (100. *. loss) flat_ok flat_t
+      (Float.of_int bytes /. flat_t /. 1024.);
+    Printf.printf
+      "tunnel: %d flow(s) x %d bytes over a %s outer connection on the same \
+       channel:\n        exact=%b in %.2fs (%.0f KB/s aggregate), %d records \
+       out / %d in\n"
+      flows bytes
+      (if plain then "sublayered" else "Rec-secured")
+      exact tun_t
+      (Float.of_int (flows * bytes) /. tun_t /. 1024.)
+      fout fin;
+    if not (flat_ok && exact) then exit 1;
+    if verify then begin
+      (* T1-T3 conformance at both recursion levels: every crossing was
+         monitor-checked and none violated; the one registry holds both
+         levels' sublayer scopes under distinct level tags. *)
+      List.iter
+        (fun v ->
+          Printf.eprintf "conformance violation: %s\n" v;
+          exit 1)
+        (Monitor.Runtime.violations monitors);
+      if Monitor.Runtime.checked monitors = 0 then begin
+        Printf.eprintf "verify: no interface crossings checked\n";
+        exit 1
+      end;
+      let scope_names =
+        List.map Sublayer.Stats.scope_name (Sublayer.Stats.scopes stats)
+      in
+      let need = [ "rd"; "l1:rd"; "cc"; "l1:cc" ] in
+      List.iter
+        (fun s ->
+          if not (List.mem s scope_names) then begin
+            Printf.eprintf "verify: scope %S missing from the shared registry\n" s;
+            exit 1
+          end)
+        need;
+      Printf.printf
+        "verify: %d crossings checked at both levels, 0 violations; per-level \
+         scopes present (%s)\n"
+        (Monitor.Runtime.checked monitors)
+        (String.concat ", " need)
+    end
+  in
+  let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Channel loss probability.") in
+  let bytes = Arg.(value & opt int 50_000 & info [ "bytes" ] ~doc:"Bytes per inner flow.") in
+  let flows = Arg.(value & opt int 2 & info [ "flows" ] ~doc:"Concurrent inner connections.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let plain =
+    Arg.(value & flag
+         & info [ "plain" ] ~doc:"Plain sublayered outer instead of Rec-secured.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Check T1-T3 conformance monitors and per-level scopes; \
+                   nonzero exit on any violation.")
+  in
+  Cmd.v
+    (Cmd.info "tunnel"
+       ~doc:"Recursive sublayering (E28): inner stacks over a tunneled outer \
+             connection, vs the flat stack.")
+    Term.(const run $ loss $ bytes $ flows $ seed $ plain $ verify)
+
 let () =
   let doc = "sublayered-protocols laboratory (HotNets '24 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "sublayer-lab" ~doc)
                     [ tcp_cmd; route_cmd; stuffing_cmd; search_cmd; mcheck_cmd;
-                      stats_cmd; trace_cmd; scale_cmd; shard_cmd; top_cmd ]))
+                      stats_cmd; trace_cmd; scale_cmd; shard_cmd; top_cmd;
+                      tunnel_cmd ]))

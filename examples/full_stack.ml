@@ -32,9 +32,11 @@ let () =
       ~dst:(Network.Addr.node dst) wire
   in
   let ch = Transport.Host.create engine ~name:"client"
-      ~transmit:(fun w -> transmit_from client_node server_node w) () in
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w -> transmit_from client_node server_node w) ()) () in
   let sh = Transport.Host.create engine ~name:"server"
-      ~transmit:(fun w -> transmit_from server_node client_node w) () in
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w -> transmit_from server_node client_node w) ()) () in
   client_host := Some ch;
   server_host := Some sh;
   (* Drain packets delivered at each node into the hosts. *)

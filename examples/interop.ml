@@ -39,12 +39,12 @@ let () =
   (* Client: sublayered TCP behind the shim. Server: monolithic. *)
   let client_host =
     Transport.Host.create engine ~factory:Transport.Shim.factory ~name:"client"
-      ~transmit:(fun s -> Sim.Channel.send c2s s)
+      ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send c2s s) ())
       ()
   in
   let server_host =
     Transport.Host.create engine ~factory:Transport.Tcp_monolithic.factory ~name:"server"
-      ~transmit:(fun s -> Sim.Channel.send s2c s)
+      ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send s2c s) ())
       ()
   in
   to_client := Transport.Host.from_wire client_host;

@@ -1,0 +1,70 @@
+(** The consolidated instrumentation context threaded through every stack
+    factory.
+
+    Before this record existed, each factory grew the same five optional
+    arguments ([?stats ?tracer ?monitors ?telemetry ?pool]) and every new
+    instrument meant touching every signature in the repo.  An
+    {!Instrument.t} bundles them — plus the {e recursion level}, the tag
+    that namespaces observability when a whole transport stack runs as
+    the link of another stack (see {!Link} and [Transport.Tunnel]).
+
+    Level tags keep the two recursion levels of an Ouroboros run apart in
+    one shared registry/tracer: scopes and endpoint names at level 0 keep
+    their historical bare names ([rd], [A:80>49152]) so flat runs report
+    identically to every earlier PR, while level [k >= 1] prefixes
+    [lk:] — scope [l1:rd], track [l1:iA:80>1], monitor key likewise. *)
+
+type t = {
+  stats : Stats.registry option;
+  tracer : Sim.Tracer.t option;
+  monitors : Monitor.Runtime.t option;
+  telemetry : Sim.Telemetry.t option;
+  pool : Bitkit.Pool.t option;
+  level : int;  (** recursion depth: 0 = over a raw channel *)
+}
+
+val none : t
+(** No instrumentation, level 0 — the default everywhere. *)
+
+val v :
+  ?stats:Stats.registry ->
+  ?tracer:Sim.Tracer.t ->
+  ?monitors:Monitor.Runtime.t ->
+  ?telemetry:Sim.Telemetry.t ->
+  ?pool:Bitkit.Pool.t ->
+  ?level:int ->
+  unit ->
+  t
+(** Build a context; [level] defaults to 0 and must be non-negative. *)
+
+val deeper : t -> t
+(** The same context one recursion level down — what an inner stack
+    running over a {!Link} backed by an outer connection should use. *)
+
+val level_tag : t -> string
+(** ["l0"], ["l1"], ... *)
+
+val scoped : t -> string -> string
+(** Namespace a sublayer scope name by level: identity at level 0,
+    ["l<k>:<name>"] deeper — so [l0] scopes keep their bare historical
+    names and Σ-sojourn identities can be checked per level. *)
+
+val tagged_name : t -> string -> string
+(** Namespace an endpoint/host name the same way (tracks, monitor keys). *)
+
+(** {1 Factory helpers}
+
+    The three idioms every stack factory repeats, centralised.  All
+    three respect the level namespace. *)
+
+val scope : t -> string -> Stats.scope option
+(** The sublayer's stats scope, when a registry is present. *)
+
+val span : t -> now:(unit -> float) -> track:string -> string -> Span.ctx option
+(** The sublayer's span context, when a tracer is present (feeding the
+    level-scoped stats histogram when a registry is too). *)
+
+val alloc_cell : t -> string -> Alloc.cell option
+(** The sublayer's allocation-attribution cell — present only when both
+    [telemetry] and [stats] are (cells add [gc.minor_words] counters a
+    plain stats run should not see). *)

@@ -24,10 +24,13 @@ module Make (S : Machine.S) = struct
        per timer value is live. Timers are few per endpoint; an assoc list
        with structural equality is simplest and deterministic. *)
     mutable timers : (S.timer * Sim.Engine.handle) list;
+    (* A halted runtime is inert: the link below it died (tunnel abort),
+       so nothing must re-arm timers or transmit into the void. *)
+    mutable halted : bool;
   }
 
   let create engine ?trace ?alloc ~name ~transmit ~deliver st =
-    { engine; trace; alloc; name; transmit; deliver; st; timers = [] }
+    { engine; trace; alloc; name; transmit; deliver; st; timers = []; halted = false }
 
   let state t = t.st
 
@@ -69,6 +72,8 @@ module Make (S : Machine.S) = struct
 
   and fire t tm =
     t.timers <- List.remove_assoc tm t.timers;
+    if t.halted then ()
+    else
     let body () =
       let st, acts = S.handle_timer t.st tm in
       t.st <- st;
@@ -79,17 +84,28 @@ module Make (S : Machine.S) = struct
     | Some a -> Alloc.bracket (a.al_timer tm) body
 
   let entry t cell step x =
-    let body () =
-      let st, acts = step t.st x in
-      t.st <- st;
-      apply t acts
-    in
-    match t.alloc with
-    | None -> body ()
-    | Some a -> Alloc.bracket (cell a) body
+    if t.halted then ()
+    else
+      let body () =
+        let st, acts = step t.st x in
+        t.st <- st;
+        apply t acts
+      in
+      match t.alloc with
+      | None -> body ()
+      | Some a -> Alloc.bracket (cell a) body
 
   let from_above t req = entry t (fun a -> a.al_top) S.handle_up_req req
   let from_below t ind = entry t (fun a -> a.al_bottom) S.handle_down_ind ind
 
+  let halt t =
+    if not t.halted then begin
+      t.halted <- true;
+      List.iter (fun (_, handle) -> Sim.Engine.cancel handle) t.timers;
+      t.timers <- [];
+      note t "halted"
+    end
+
+  let halted t = t.halted
   let active_timers t = List.length t.timers
 end

@@ -42,5 +42,13 @@ module Make (S : Machine.S) : sig
   (** Inject a message arriving from the wire; wire this as the channel's
       delivery callback. *)
 
+  val halt : t -> unit
+  (** Make the runtime inert: cancel every armed timer and turn
+      [from_above]/[from_below]/timer fires into no-ops.  The give-up
+      path for a stack whose link died underneath it (a tunnel's outer
+      connection aborting) — state is kept readable, nothing runs.
+      Idempotent. *)
+
+  val halted : t -> bool
   val active_timers : t -> int
 end

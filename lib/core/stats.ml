@@ -26,9 +26,16 @@ type scope = {
   mutable hists : histogram list;
 }
 
-type registry = { r_label : string; mutable r_scopes : scope list }
+type registry = {
+  r_label : string;
+  mutable r_scopes : scope list;
+  (* Telemetry instances this registry already feeds (physical identity):
+     the "once per registry" rule of [telemetry_source], enforced. *)
+  mutable r_sources : Sim.Telemetry.t list;
+}
 
-let create ?(label = "stats") () = { r_label = label; r_scopes = [] }
+let create ?(label = "stats") () =
+  { r_label = label; r_scopes = []; r_sources = [] }
 let label r = r.r_label
 
 let scope r name =
@@ -157,15 +164,20 @@ let snapshot_gauges r =
     r.r_scopes;
   List.sort (fun (a, _) (b, _) -> compare a b) !entries
 
-(* One registry = one telemetry source pair. Registration belongs to
-   whoever OWNS the registry: hosts sharing one registry (the fabric)
-   must register it once, not once per host. *)
+(* One registry = one telemetry source pair per telemetry instance.
+   Several hosts sharing one registry (a fabric, the two ends of a
+   tunnel) may each call this; only the first call per (registry,
+   telemetry) pair registers — later ones are no-ops, so shared
+   registries never double-count their deltas. *)
 let telemetry_source tele ~name r =
-  Sim.Telemetry.add_counters tele ~name (fun () -> snapshot_counters r);
-  (* Registry gauges are last-write-wins scalars (e.g. cwnd of whichever
-     connection set it last), so per-shard readings don't sum to the
-     shared-registry reading — nondeterministic half. *)
-  Sim.Telemetry.add_gauges tele ~det:false ~name (fun () -> snapshot_gauges r)
+  if not (List.memq tele r.r_sources) then begin
+    r.r_sources <- tele :: r.r_sources;
+    Sim.Telemetry.add_counters tele ~name (fun () -> snapshot_counters r);
+    (* Registry gauges are last-write-wins scalars (e.g. cwnd of
+       whichever connection set it last), so per-shard readings don't sum
+       to the shared-registry reading — nondeterministic half. *)
+    Sim.Telemetry.add_gauges tele ~det:false ~name (fun () -> snapshot_gauges r)
+  end
 
 let delta ~before ~after =
   let base = Hashtbl.create 16 in

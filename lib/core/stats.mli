@@ -96,9 +96,10 @@ val telemetry_source : Sim.Telemetry.t -> name:string -> registry -> unit
     histogram [count]/[sum]) delta'd per sample on the deterministic
     half; gauges raw on the nondeterministic half (they are
     last-write-wins scalars, so per-shard readings don't sum to the
-    shared-registry reading).  Keys are prefixed ["<name>."].  Call it
-    once per registry — the registry's owner, not every host sharing
-    it. *)
+    shared-registry reading).  Keys are prefixed ["<name>."].
+    Idempotent per (registry, telemetry) pair: the first call registers,
+    later calls are no-ops — hosts sharing one registry can all call it
+    without double-counting. *)
 
 val delta : before:snapshot -> after:snapshot -> snapshot
 (** Entry-wise [after - before], dropping zero deltas.  Names present

@@ -18,28 +18,34 @@ let default_spec =
     linecode = Linecode.nrz;
   }
 
+module I = Sublayer.Instrument
+
 type endpoint = {
   send : string -> unit;
   from_wire : Bitkit.Bitseq.t -> unit;
   arq_stats : unit -> Arq.stats;
   is_idle : unit -> bool;
   arq_gave_up : unit -> bool;
+  halt : unit -> unit;
+  mutable killed : bool;  (* the link below died under us *)
 }
 
 let send t payload = t.send payload
 let from_wire t bits = t.from_wire bits
 let arq_stats t = t.arq_stats ()
 let is_idle t = t.is_idle ()
-let gave_up t = t.arq_gave_up ()
+let gave_up t = t.killed || t.arq_gave_up ()
 
-let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name spec
-    ~transmit ~deliver =
+let endpoint engine ?trace ?(ins = I.none) ~name spec ~transmit ~deliver =
+  let stats = ins.I.stats and monitors = ins.I.monitors
+  and telemetry = ins.I.telemetry and pool = ins.I.pool in
   (* The detector's loans live until the end of the event that framed
      them; the engine hook is what frees them. Attaching per endpoint is
      idempotent in effect — draining an empty deferred list is a no-op. *)
   Option.iter
     (fun p -> Sim.Engine.after_event engine (fun () -> Bitkit.Pool.drain_deferred p))
     pool;
+  let name = I.tagged_name ins name in
   let module A = (val spec.arq : Arq.S) in
   let module Lower =
     Machine.Stack (Layers.Framing) (Machine.Stack (Conform.P_frm_line) (Layers.Line_coding))
@@ -50,22 +56,15 @@ let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name spec
   let module Full = Machine.Stack (A) (Machine.Stack (Conform.P_arq_det) (Middle)) in
   let module R = Runtime.Make (Full) in
   (* One scope per sublayer, so the registry reports [arq.*],
-     [detector.*], [framer.*] and [linecode.*] side by side. *)
-  let in_scope sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
+     [detector.*], [framer.*] and [linecode.*] side by side (level-
+     prefixed when the stack is nested). *)
+  let in_scope sub = I.scope ins sub in
   let now () = Sim.Engine.now engine in
-  let sp sub =
-    Option.map
-      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(in_scope sub) ~now ~track:name sub)
-      tracer
-  in
+  let sp sub = I.span ins ~now ~track:name sub in
   (match (telemetry, stats) with
   | Some tele, Some reg -> Sublayer.Stats.telemetry_source tele ~name reg
   | _ -> ());
-  let acell sub =
-    match (telemetry, stats) with
-    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
-    | _ -> None
-  in
+  let acell sub = I.alloc_cell ins sub in
   let arq_c = acell "arq" and det_c = acell "detector" and frm_c = acell "framer"
   and line_c = acell "linecode" and app_c = acell "app"
   and wire_c = acell "wire" in
@@ -112,7 +111,24 @@ let endpoint engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name spec
     arq_stats = (fun () -> A.stats (fst (R.state r)));
     is_idle = (fun () -> A.idle (fst (R.state r)));
     arq_gave_up = (fun () -> A.gave_up (fst (R.state r)));
+    halt = (fun () -> R.halt r);
+    killed = false;
   }
+
+(* The Link-seam variant: transmit into any [Sublayer.Link], receive as
+   its attached callback, and treat link death as ARQ give-up (the
+   sender must stop retransmitting into a dead path). *)
+let over_link engine ?trace ?ins ~name spec ~link ~deliver =
+  let ep =
+    endpoint engine ?trace ?ins ~name spec
+      ~transmit:(fun bits -> Sublayer.Link.transmit link bits)
+      ~deliver
+  in
+  Sublayer.Link.attach link (fun bits -> ep.from_wire bits);
+  Sublayer.Link.on_death link (fun () ->
+      ep.halt ();
+      ep.killed <- true);
+  ep
 
 type link = {
   a : endpoint;
@@ -132,26 +148,27 @@ let link engine ?trace ?stats_a ?stats_b ?tracer ?monitors ?telemetry ?pool
     config spec =
   let received_at_a = Queue.create () in
   let received_at_b = Queue.create () in
-  (* Channels and endpoints reference each other; tie the knot with a
-     mutable forwarder. *)
-  let to_a = ref (fun (_ : Bitkit.Bitseq.t) -> ()) in
-  let to_b = ref (fun (_ : Bitkit.Bitseq.t) -> ()) in
-  let a_to_b = bit_channel engine config ~deliver:(fun bits -> !to_b bits) in
-  let b_to_a = bit_channel engine config ~deliver:(fun bits -> !to_a bits) in
+  (* Each endpoint sits on a [Sublayer.Link]; the channels deliver into
+     the links, the links into the endpoints. *)
+  let link_a = Sublayer.Link.make ~id:"A" () in
+  let link_b = Sublayer.Link.make ~id:"B" () in
+  let a_to_b =
+    bit_channel engine config ~deliver:(fun bits -> Sublayer.Link.deliver link_b bits)
+  in
+  let b_to_a =
+    bit_channel engine config ~deliver:(fun bits -> Sublayer.Link.deliver link_a bits)
+  in
+  Sublayer.Link.set_transmit link_a (fun bits -> Sim.Channel.send a_to_b bits);
+  Sublayer.Link.set_transmit link_b (fun bits -> Sim.Channel.send b_to_a bits);
+  let ins side = I.v ?stats:side ?tracer ?monitors ?telemetry ?pool () in
   let a =
-    endpoint engine ?trace ?stats:stats_a ?tracer ?monitors ?telemetry ?pool
-      ~name:"A" spec
-      ~transmit:(fun bits -> Sim.Channel.send a_to_b bits)
+    over_link engine ?trace ~ins:(ins stats_a) ~name:"A" spec ~link:link_a
       ~deliver:(fun payload -> Queue.add payload received_at_a)
   in
   let b =
-    endpoint engine ?trace ?stats:stats_b ?tracer ?monitors ?telemetry ?pool
-      ~name:"B" spec
-      ~transmit:(fun bits -> Sim.Channel.send b_to_a bits)
+    over_link engine ?trace ~ins:(ins stats_b) ~name:"B" spec ~link:link_b
       ~deliver:(fun payload -> Queue.add payload received_at_b)
   in
-  to_a := a.from_wire;
-  to_b := b.from_wire;
   { a; b; a_to_b; b_to_a; received_at_a; received_at_b }
 
 let transfer engine ?(deadline = 3600.) link payloads =

@@ -28,33 +28,44 @@ val arq_stats : endpoint -> Arq.stats
 val is_idle : endpoint -> bool
 
 val gave_up : endpoint -> bool
-(** The ARQ sender exhausted its retries and declared the link dead. *)
+(** The ARQ sender exhausted its retries and declared the link dead —
+    or the {!Sublayer.Link} under an {!over_link} endpoint died. *)
 
 val endpoint :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  ?pool:Bitkit.Pool.t ->
+  ?ins:Sublayer.Instrument.t ->
   name:string ->
   spec ->
   transmit:(Bitkit.Bitseq.t -> unit) ->
   deliver:(string -> unit) ->
   endpoint
-(** When [stats] is given, the four sublayers register their counters
-    under scopes [arq], [detector], [framer] and [linecode]. When
-    [tracer] is given, each sublayer opens spans on its track [name]:
-    ARQ "flight" spans with retransmission children, instant markers for
-    the stateless codecs below. When [monitors] is given, conformance
-    probes on the ARQ⇄detector, detector⇄framer and framer⇄linecode
-    interfaces check every crossing (keyed by [name]). When [telemetry]
-    is given (with [stats]), the registry becomes a sampling source under
-    [name] and {!Sublayer.Alloc} cells are installed at every seam. When
-    [pool] is given, the detector protects frames in loaned arena slots
-    (see {!Layers.Error_detection.make}); the engine drains deferred
-    releases after every event. *)
+(** [ins] bundles the instruments ({!Sublayer.Instrument}). With
+    [ins.stats], the four sublayers register their counters under
+    scopes [arq], [detector], [framer] and [linecode] (level-prefixed
+    when nested). With [ins.tracer], each sublayer opens spans on its
+    track [name]: ARQ "flight" spans with retransmission children,
+    instant markers for the stateless codecs below. With [ins.monitors],
+    conformance probes on the ARQ⇄detector, detector⇄framer and
+    framer⇄linecode interfaces check every crossing (keyed by [name]).
+    With [ins.telemetry] (and [ins.stats]), the registry becomes a
+    sampling source under [name] and {!Sublayer.Alloc} cells are
+    installed at every seam. With [ins.pool], the detector protects
+    frames in loaned arena slots (see {!Layers.Error_detection.make});
+    the engine drains deferred releases after every event. *)
+
+val over_link :
+  Sim.Engine.t ->
+  ?trace:Sim.Trace.t ->
+  ?ins:Sublayer.Instrument.t ->
+  name:string ->
+  spec ->
+  link:Bitkit.Bitseq.t Sublayer.Link.t ->
+  deliver:(string -> unit) ->
+  endpoint
+(** Like {!endpoint}, but sitting on a {!Sublayer.Link}: transmits into
+    it, attaches itself as its receiver, and treats link death as ARQ
+    give-up ({!gave_up} turns true, the stack is halted). *)
 
 (** A ready-made duplex link between two endpoints over impaired
     channels, accumulating what each side delivered. *)

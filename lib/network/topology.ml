@@ -55,8 +55,11 @@ let random ~n ~extra ~seed =
 
 let norm (a, b) = if a < b then (a, b) else (b, a)
 
-let build engine ?(channel = Sim.Channel.ideal) ?stats ?tracer ?monitors
-    ?telemetry ~routing ~n edges =
+let build engine ?(channel = Sim.Channel.ideal) ?(ins = Sublayer.Instrument.none)
+    ~routing ~n edges =
+  let module I = Sublayer.Instrument in
+  let stats = ins.I.stats and tracer = ins.I.tracer
+  and monitors = ins.I.monitors and telemetry = ins.I.telemetry in
   (* One shared registry for the whole network, registered once. *)
   (match (telemetry, stats) with
   | Some tele, Some reg ->
@@ -79,27 +82,34 @@ let build engine ?(channel = Sim.Channel.ideal) ?stats ?tracer ?monitors
     (fun e ->
       let a, b = norm e in
       if a = b || Hashtbl.mem link_tbl (a, b) then invalid_arg "Topology.build: bad edge";
-      (* Tie channels and interfaces together through forwarders. *)
-      let to_a = ref (fun (_ : Router.frame) -> ()) in
-      let to_b = ref (fun (_ : Router.frame) -> ()) in
+      (* Each direction is a [Sublayer.Link]: the interface transmits
+         into the link, the channel delivers into it, the link hands
+         frames to the far router. Channels stay addressable for
+         fail/heal. *)
+      let lab = Sublayer.Link.make ~id:(Printf.sprintf "%d->%d" a b) () in
+      let lba = Sublayer.Link.make ~id:(Printf.sprintf "%d->%d" b a) () in
       let fwd =
         Sim.Channel.create engine channel ~size:Router.frame_size
-          ~deliver:(fun f -> !to_b f)
+          ~deliver:(fun f -> Sublayer.Link.deliver lab f)
           ()
       in
       let rev =
         Sim.Channel.create engine channel ~size:Router.frame_size
-          ~deliver:(fun f -> !to_a f)
+          ~deliver:(fun f -> Sublayer.Link.deliver lba f)
           ()
       in
+      Sublayer.Link.set_transmit lab (fun f -> Sim.Channel.send fwd f);
+      Sublayer.Link.set_transmit lba (fun f -> Sim.Channel.send rev f);
       let if_a =
-        Router.add_interface nodes.(a).router ~transmit:(fun f -> Sim.Channel.send fwd f)
+        Router.add_interface nodes.(a).router
+          ~transmit:(fun f -> Sublayer.Link.transmit lab f)
       in
       let if_b =
-        Router.add_interface nodes.(b).router ~transmit:(fun f -> Sim.Channel.send rev f)
+        Router.add_interface nodes.(b).router
+          ~transmit:(fun f -> Sublayer.Link.transmit lba f)
       in
-      to_a := (fun f -> Router.on_frame nodes.(a).router ~ifindex:if_a f);
-      to_b := (fun f -> Router.on_frame nodes.(b).router ~ifindex:if_b f);
+      Sublayer.Link.attach lab (fun f -> Router.on_frame nodes.(b).router ~ifindex:if_b f);
+      Sublayer.Link.attach lba (fun f -> Router.on_frame nodes.(a).router ~ifindex:if_a f);
       Hashtbl.replace link_tbl (a, b) { ends = (a, b); fwd; rev; saved = channel; up = true };
       t.links := (a, b) :: !(t.links))
     edges;

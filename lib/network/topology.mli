@@ -19,20 +19,20 @@ val random : n:int -> extra:int -> seed:int -> (int * int) list
 val build :
   Sim.Engine.t ->
   ?channel:Sim.Channel.config ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
+  ?ins:Sublayer.Instrument.t ->
   routing:Routing.factory ->
   n:int ->
   (int * int) list ->
   t
-(** [tracer] is shared by every router so packet transit spans opened at
-    the origin are closed wherever the packet terminates. [monitors] is
-    likewise shared: each router attaches a router⇄FIB conformance
-    monitor keyed on its address. [stats] is one registry shared by all
-    routers; when [telemetry] is also given, the topology registers it
-    once as the [net.*] sampling source. *)
+(** Every directed edge is wired as a {!Sublayer.Link} over its channel
+    (interfaces transmit into links, links deliver to the far router).
+    [ins] bundles the instruments: [ins.tracer] is shared by every
+    router so packet transit spans opened at the origin are closed
+    wherever the packet terminates; [ins.monitors] is likewise shared —
+    each router attaches a router⇄FIB conformance monitor keyed on its
+    address; [ins.stats] is one registry shared by all routers; with
+    [ins.telemetry] too, the topology registers it once as the [net.*]
+    sampling source. *)
 
 val send : t -> src:int -> dst:int -> string -> unit
 (** Originate a data packet at node [src] for node [dst]'s address. *)

@@ -129,12 +129,23 @@ let create engine ?(hosts = 8) ?(config = Config.default)
             in
             if not loaned then Sim.Channel.send ch s)
   in
+  let ins =
+    Sublayer.Instrument.v ?stats ?tracer ?monitors ?telemetry ?pool ()
+  in
   let harr =
     Array.init hosts (fun h ->
-        Host.create engine ~config ~factory ?stats ?tracer ?monitors ?telemetry
-          ?pool ~name:(Printf.sprintf "H%d" h) ~transmit ())
+        let link =
+          Sublayer.Link.make
+            ~id:(Printf.sprintf "H%d" h)
+            ~transmit ()
+        in
+        Host.create engine ~config ~factory ~ins
+          ~name:(Printf.sprintf "H%d" h)
+          ~link ())
   in
-  Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
+  Array.iteri
+    (fun h host -> ingress.(h) <- Sublayer.Link.deliver (Host.wire_link host))
+    harr;
   (* Per-flow payloads come from one seeded stream, so runs are exactly
      reproducible and the exact-delivery check is content-sensitive. *)
   let rng = Bitkit.Rng.create seed in
@@ -322,14 +333,24 @@ let create_sharded shard ?(hosts = 8) ?(config = Config.default)
   let harr =
     Array.init hosts (fun h ->
         let s = host_shard.(h) in
+        let ins =
+          Sublayer.Instrument.v ?stats:stats.(s) ?tracer:tracer.(s)
+            ?monitors:monitors.(s) ?telemetry:telemetry.(s) ?pool:pools.(s) ()
+        in
+        let link =
+          Sublayer.Link.make
+            ~id:(Printf.sprintf "H%d" h)
+            ~transmit ()
+        in
         Host.create
           (Sim.Shard.engine shard s)
-          ~config ~factory ?stats:stats.(s) ?tracer:tracer.(s)
-          ?monitors:monitors.(s) ?telemetry:telemetry.(s) ?pool:pools.(s)
+          ~config ~factory ~ins
           ~name:(Printf.sprintf "H%d" h)
-          ~transmit ())
+          ~link ())
   in
-  Array.iteri (fun h host -> ingress.(h) <- Host.from_wire host) harr;
+  Array.iteri
+    (fun h host -> ingress.(h) <- Sublayer.Link.deliver (Host.wire_link host))
+    harr;
   (* Payloads drawn at construction time on the main domain, from the
      same stream as [create] — identical contents at every shard count. *)
   let rng = Bitkit.Rng.create seed in

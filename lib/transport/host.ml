@@ -1,3 +1,6 @@
+module I = Sublayer.Instrument
+module Link = Sublayer.Link
+
 type endpoint = {
   ep_from_wire : Bitkit.Slice.t -> unit;
   ep_connect : unit -> unit;
@@ -5,6 +8,7 @@ type endpoint = {
   ep_write : string -> unit;
   ep_read : int -> unit;
   ep_close : unit -> unit;
+  ep_abort : unit -> unit;
   ep_finished : unit -> bool;
 }
 
@@ -12,11 +16,7 @@ type factory = {
   fname : string;
   peek : Bitkit.Slice.t -> (int * int) option;
   make :
-    ?stats:Sublayer.Stats.registry ->
-    ?tracer:Sim.Tracer.t ->
-    ?monitors:Monitor.Runtime.t ->
-    ?telemetry:Sim.Telemetry.t ->
-    ?pool:Bitkit.Pool.t ->
+    ?ins:Sublayer.Instrument.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -32,12 +32,12 @@ let sublayered =
     fname = "sublayered";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
-           ~remote_port ~transmit ~events ->
-        let app_req, app_ind = Conform.app monitors ~conn:name in
+      (fun ?(ins = I.none) engine ~name cfg ~local_port ~remote_port ~transmit
+           ~events ->
+        let app_req, app_ind = Conform.app ins.I.monitors ~conn:name in
         let t =
-          Tcp_sublayered.create engine ?stats ?tracer ?monitors ?telemetry ?pool
-            ~name cfg ~local_port ~remote_port ~transmit
+          Tcp_sublayered.create engine ~ins ~name cfg ~local_port ~remote_port
+            ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
@@ -47,6 +47,7 @@ let sublayered =
           ep_write = (fun str -> app_req (`Write str); Tcp_sublayered.write t str);
           ep_read = (fun n -> app_req (`Read n); Tcp_sublayered.read t n);
           ep_close = (fun () -> app_req `Close; Tcp_sublayered.close t);
+          ep_abort = (fun () -> Tcp_sublayered.halt t);
           ep_finished = (fun () -> Tcp_sublayered.stream_finished t);
         });
   }
@@ -72,30 +73,16 @@ type t = {
   config : Config.t;
   factory : factory;
   name : string;
-  transmit : Bitkit.Slice.t -> unit;
-  stats : Sublayer.Stats.registry option;
-  tracer : Sim.Tracer.t option;
-  monitors : Monitor.Runtime.t option;
-  telemetry : Sim.Telemetry.t option;
-  pool : Bitkit.Pool.t option;
+  link : Bitkit.Slice.t Link.t;
+  ins : I.t;
   conns : (int * int, conn) Hashtbl.t;
   listeners : (int, unit) Hashtbl.t;
   mutable accept_cb : (conn -> unit) option;
   mutable next_ephemeral : int;
 }
 
-let create engine ?(config = Config.default) ?(factory = sublayered) ?stats ?tracer
-    ?monitors ?telemetry ?pool ~name ~transmit () =
-  (* [telemetry] is only forwarded to the endpoint factory here (it
-     gates the Alloc cells). Registering [stats] as a sampling source is
-     the registry owner's job — hosts can share one registry (the
-     fabric), and it must become one source, not one per host. *)
-  { engine; config; factory; name; transmit; stats; tracer; monitors; telemetry;
-    pool;
-    conns = Hashtbl.create 8;
-    listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
-
-let stats_registry host = host.stats
+let stats_registry host = host.ins.I.stats
+let wire_link host = host.link
 
 let handle_event host c (e : Iface.app_ind) =
   (match e with
@@ -128,10 +115,10 @@ let make_conn host ~local_port ~remote_port ~accepted =
   in
   let name = Printf.sprintf "%s:%d>%d" host.name local_port remote_port in
   let ep =
-    host.factory.make ?stats:host.stats ?tracer:host.tracer
-      ?monitors:host.monitors ?telemetry:host.telemetry ?pool:host.pool
-      host.engine ~name host.config ~local_port ~remote_port
-      ~transmit:host.transmit ~events
+    host.factory.make ~ins:host.ins host.engine ~name host.config ~local_port
+      ~remote_port
+      ~transmit:(fun s -> Link.transmit host.link s)
+      ~events
   in
   let c =
     { c_local = local_port; c_remote = remote_port; c_accepted = accepted; ep;
@@ -153,10 +140,20 @@ let alloc_port host =
   in
   go ()
 
+(* Link death: every live connection is torn down the way RD's give-up
+   would tear it down — stack halted (timers cancelled, entry points
+   inert), then the local [`Aborted] indication. Inner stacks riding a
+   dead tunnel must not keep retransmitting into the void. *)
+let abort_conn host c =
+  if not c.c_closed then begin
+    c.ep.ep_abort ();
+    handle_event host c `Aborted
+  end
+
 let connect host ?local_port ~remote_port () =
   let local_port = match local_port with Some p -> p | None -> alloc_port host in
   let c = make_conn host ~local_port ~remote_port ~accepted:false in
-  c.ep.ep_connect ();
+  if Link.alive host.link then c.ep.ep_connect () else abort_conn host c;
   c
 
 let listen host ~port = Hashtbl.replace host.listeners port ()
@@ -177,6 +174,32 @@ let from_wire host wire =
             c.ep.ep_listen ();
             c.ep.ep_from_wire wire
           end)
+
+let create engine ?(config = Config.default) ?(factory = sublayered)
+    ?(ins = I.none) ~name ~link () =
+  (* [ins.telemetry] is only forwarded to the endpoint factory here (it
+     gates the Alloc cells). Registering [ins.stats] as a sampling source
+     is the registry owner's job — hosts can share one registry (the
+     fabric); {!Sublayer.Stats.telemetry_source} is idempotent per pair
+     anyway. *)
+  let name = I.tagged_name ins name in
+  (* The link's MTU hint caps the segment payload: a tunnel that frames
+     inner segments into an outer stream tells inner stacks how much
+     fits per record. *)
+  let config =
+    match Link.mtu link with
+    | Some m -> { config with Config.mss = min config.Config.mss m }
+    | None -> config
+  in
+  let host =
+    { engine; config; factory; name; link; ins;
+      conns = Hashtbl.create 8;
+      listeners = Hashtbl.create 4; accept_cb = None; next_ephemeral = 49152 }
+  in
+  Link.attach link (from_wire host);
+  Link.on_death link (fun () ->
+      Hashtbl.iter (fun _ c -> abort_conn host c) host.conns);
+  host
 
 let write c s = c.ep.ep_write s
 let close c = c.ep.ep_close ()
@@ -247,27 +270,31 @@ let guard_verify sl =
 
 let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
     ?(factory_b = sublayered) ?(guard = false) ?stats_a ?stats_b ?tracer
-    ?monitors ?telemetry ?pool channel_config =
-  let to_a = ref (fun (_ : Bitkit.Slice.t) -> ()) in
-  let to_b = ref (fun (_ : Bitkit.Slice.t) -> ()) in
+    ?monitors ?telemetry ?pool ?(level = 0) channel_config =
+  (* The hosts sit on [Link]s; the channels deliver into them. Links are
+     created first (channels and hosts both reference them), transmit
+     closures tied once the channels exist. *)
+  let link_a = Link.make ~id:"A" () in
+  let link_b = Link.make ~id:"B" () in
   Option.iter
     (fun p ->
       Sim.Engine.after_event engine (fun () -> Bitkit.Pool.drain_deferred p))
     pool;
   let deliver target s =
-    if guard then match guard_verify s with Some body -> !target body | None -> ()
-    else !target s
+    if guard then
+      match guard_verify s with Some body -> Link.deliver target body | None -> ()
+    else Link.deliver target s
   in
   let ab =
     Sim.Channel.create engine channel_config ~size:Bitkit.Slice.length
       ~corrupt:Sim.Channel.corrupt_slice
-      ~deliver:(fun s -> deliver to_b s)
+      ~deliver:(fun s -> deliver link_b s)
       ()
   in
   let ba =
     Sim.Channel.create engine channel_config ~size:Bitkit.Slice.length
       ~corrupt:Sim.Channel.corrupt_slice
-      ~deliver:(fun s -> deliver to_a s)
+      ~deliver:(fun s -> deliver link_a s)
       ()
   in
   (* A segment DM emitted into a pool slot must outlive this event (the
@@ -297,24 +324,27 @@ let pair_channels engine ?(config = Config.default) ?(factory_a = sublayered)
       reg_source "A" stats_a;
       reg_source "B" stats_b
   | None -> ());
+  Link.set_transmit link_a (tx ab);
+  Link.set_transmit link_b (tx ba);
   (* One shared tracer: the cross-host span correlation (RD's flight
      spans closed by the receiving end) needs both hosts on it. *)
+  let ins side =
+    I.v ?stats:side ?tracer ?monitors ?telemetry ?pool ~level ()
+  in
   let a =
-    create engine ~config ~factory:factory_a ?stats:stats_a ?tracer ?monitors
-      ?telemetry ?pool ~name:"A" ~transmit:(tx ab) ()
+    create engine ~config ~factory:factory_a ~ins:(ins stats_a) ~name:"A"
+      ~link:link_a ()
   in
   let b =
-    create engine ~config ~factory:factory_b ?stats:stats_b ?tracer ?monitors
-      ?telemetry ?pool ~name:"B" ~transmit:(tx ba) ()
+    create engine ~config ~factory:factory_b ~ins:(ins stats_b) ~name:"B"
+      ~link:link_b ()
   in
-  to_a := from_wire a;
-  to_b := from_wire b;
   (a, b, ab, ba)
 
 let pair engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b ?tracer
-    ?monitors ?telemetry ?pool channel_config =
+    ?monitors ?telemetry ?pool ?level channel_config =
   let a, b, _, _ =
     pair_channels engine ?config ?factory_a ?factory_b ?guard ?stats_a ?stats_b
-      ?tracer ?monitors ?telemetry ?pool channel_config
+      ?tracer ?monitors ?telemetry ?pool ?level channel_config
   in
   (a, b)

@@ -20,6 +20,10 @@ type endpoint = {
   ep_read : int -> unit;
       (** flow-control credit: the application consumed [n] bytes *)
   ep_close : unit -> unit;
+  ep_abort : unit -> unit;
+      (** make the endpoint inert — timers cancelled, entry points
+          no-ops — because the link underneath died.  No wire traffic,
+          no events. *)
   ep_finished : unit -> bool;  (** all written bytes acknowledged *)
 }
 
@@ -29,11 +33,7 @@ type factory = {
       (** (src_port, dst_port) of a wire segment in this endpoint's
           format. *)
   make :
-    ?stats:Sublayer.Stats.registry ->
-    ?tracer:Sim.Tracer.t ->
-    ?monitors:Monitor.Runtime.t ->
-    ?telemetry:Sim.Telemetry.t ->
-    ?pool:Bitkit.Pool.t ->
+    ?ins:Sublayer.Instrument.t ->
     Sim.Engine.t ->
     name:string ->
     Config.t ->
@@ -52,28 +52,37 @@ val create :
   Sim.Engine.t ->
   ?config:Config.t ->
   ?factory:factory ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  ?pool:Bitkit.Pool.t ->
+  ?ins:Sublayer.Instrument.t ->
   name:string ->
-  transmit:(Bitkit.Slice.t -> unit) ->
+  link:Bitkit.Slice.t Sublayer.Link.t ->
   unit ->
   t
-(** When [stats] is given, every connection's sublayers register their
-    counters in it; connections sharing the host aggregate into the same
-    per-sublayer scopes. When [tracer] is given, every connection's
-    sublayers record causal spans on it, tracked per connection as
-    ["<host>:<lport>><rport>"]. [telemetry] is forwarded to the endpoint
-    factory, which installs {!Sublayer.Alloc} cells so allocation
-    attribution can charge [<sub>.gc.minor_words] per sublayer; the
-    caller (or {!pair}, which does it for its two registries) registers
-    [stats] as a sampling source via
-    {!Sublayer.Stats.telemetry_source} — once per registry, since hosts
-    may share one. *)
+(** The host sends segments into [link] and attaches itself as the
+    link's receiver; anything honouring the {!Sublayer.Link} contract
+    can sit below — a [Sim.Channel] adapter (flat topology) or a
+    {!Tunnel} over another transport connection (recursive
+    sublayering). The link's MTU hint, when present, caps the
+    configured MSS; link death aborts every live connection
+    ({!aborted} turns true, stacks go inert).
+
+    [ins] bundles the instruments. With [ins.stats], every connection's
+    sublayers register their counters in it (connections sharing the
+    host aggregate into the same per-sublayer scopes); with
+    [ins.tracer], they record causal spans, tracked per connection as
+    ["<host>:<lport>><rport>"]; [ins.telemetry] makes the factory
+    install {!Sublayer.Alloc} cells. When [ins.level > 0] the host name
+    — hence every track, monitor key and (via {!Sublayer.Instrument})
+    scope — is prefixed ["l<level>:"], keeping recursion levels apart
+    in shared registries. Registration of [ins.stats] as a sampling
+    source stays the registry owner's job;
+    {!Sublayer.Stats.telemetry_source} is idempotent per (registry,
+    telemetry) pair, so shared registries are safe either way. *)
 
 val stats_registry : t -> Sublayer.Stats.registry option
+
+val wire_link : t -> Bitkit.Slice.t Sublayer.Link.t
+(** The link this host transmits into (e.g. to inspect its counters or
+    kill it in tests). *)
 
 val from_wire : t -> Bitkit.Slice.t -> unit
 
@@ -136,9 +145,11 @@ val pair :
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
   ?pool:Bitkit.Pool.t ->
+  ?level:int ->
   Sim.Channel.config ->
   t * t
-(** Two hosts joined by a duplex impaired channel. [guard] (default
+(** Two hosts joined by a duplex impaired channel (each host sits on a
+    channel-backed {!Sublayer.Link}). [guard] (default
     false) wraps the wire with a CRC-32 error-detection shim — the
     data-link service transport normally relies on — so corrupting
     channels drop rather than silently deliver damaged segments.
@@ -163,7 +174,9 @@ val pair_channels :
   ?monitors:Monitor.Runtime.t ->
   ?telemetry:Sim.Telemetry.t ->
   ?pool:Bitkit.Pool.t ->
+  ?level:int ->
   Sim.Channel.config ->
   t * t * Bitkit.Slice.t Sim.Channel.t * Bitkit.Slice.t Sim.Channel.t
 (** Like {!pair}, but also return the two directed channels (a→b then
-    b→a) so fault plans can impair them mid-run. *)
+    b→a) so fault plans can impair them mid-run. [level] (default 0)
+    sets the recursion level of both hosts' instrument contexts. *)

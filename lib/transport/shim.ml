@@ -196,7 +196,12 @@ let factory =
     Host.fname = "sublayered+shim";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry ?pool:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?(ins = Sublayer.Instrument.none) engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+        (* The shim re-encodes every segment (it is the copying
+           translation path), so arena loans would never survive it:
+           strip the pool before handing the context to the inner
+           sublayered endpoint. *)
+        let ins = { ins with Sublayer.Instrument.pool = None } in
         let shim = create () in
         let inner_ref = ref None in
         (* The shim's codecs translate between formats, which means
@@ -217,8 +222,8 @@ let factory =
           pump ()
         in
         let inner =
-          Host.sublayered.Host.make ?stats ?tracer ?monitors ?telemetry engine
-            ~name cfg ~local_port ~remote_port ~transmit:inner_transmit ~events
+          Host.sublayered.Host.make ~ins engine ~name cfg ~local_port
+            ~remote_port ~transmit:inner_transmit ~events
         in
         inner_ref := Some inner;
         {
@@ -233,6 +238,7 @@ let factory =
           ep_write = inner.Host.ep_write;
           ep_read = inner.Host.ep_read;
           ep_close = inner.Host.ep_close;
+          ep_abort = inner.Host.ep_abort;
           ep_finished = inner.Host.ep_finished;
         });
   }

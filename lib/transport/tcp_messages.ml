@@ -8,15 +8,13 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?(ins = Sublayer.Instrument.none) ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let module I = Sublayer.Instrument in
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let sp sub =
-    Option.map
-      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
-      tracer
-  in
+  let monitors = ins.I.monitors in
+  let sc sub = I.scope ins sub in
+  let sp sub = I.span ins ~now ~track:name sub in
   let msg = Msg.initial ?stats:(sc "msg") ?cc_stats:(sc "cc") ?span:(sp "msg") cfg ~now in
   let rd = Rd.initial ?stats:(sc "rd") ?span:(sp "rd") cfg ~now in
   let cm = Cm.initial ?stats:(sc "cm") ?span:(sp "cm") cfg ~isn ~local_port ~remote_port in
@@ -32,6 +30,7 @@ let listen t = R.from_above t `Listen
 let send t body = R.from_above t (`Send body)
 let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
+let halt t = R.halt t
 
 let msg_state t = fst (R.state t)
 let messages_sent t = Msg.messages_sent (msg_state t)

@@ -8,9 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
+  ?ins:Sublayer.Instrument.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -27,6 +25,10 @@ val send : t -> string -> unit
 
 val close : t -> unit
 val from_wire : t -> Bitkit.Slice.t -> unit
+
+val halt : t -> unit
+(** Make the whole stack inert (link death below). *)
+
 val messages_sent : t -> int
 val messages_delivered : t -> int
 val finished : t -> bool

@@ -90,6 +90,21 @@ let create engine ?trace ~name cfg ~local_port ~remote_port ~transmit ~events =
     established_signalled = false; segments_sent = 0; retransmissions = 0 }
 
 let stream_finished t = t.unsent = [] && List.for_all (fun u -> u.u_payload = "") t.unacked
+
+(* Link death: drop the PCB without wire traffic — cancel all three
+   timers (rto, handshake/time-wait, persist) and close the state
+   machine so nothing re-arms them. *)
+let abort t =
+  (match t.rto_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  (match t.misc_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  (match t.persist_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  t.rto_timer <- None;
+  t.misc_timer <- None;
+  t.persist_timer <- None;
+  t.unsent <- [];
+  t.unsent_bytes <- 0;
+  t.unacked <- [];
+  t.state <- CLOSED
 let retransmissions t = t.retransmissions
 let segments_sent t = t.segments_sent
 let cwnd t = t.cc.Cc.window ()
@@ -499,7 +514,7 @@ let factory =
     Host.fname = "monolithic";
     peek = Wire.peek_ports;
     make =
-      (fun ?stats:_ ?tracer:_ ?monitors:_ ?telemetry:_ ?pool:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
+      (fun ?ins:_ engine ~name cfg ~local_port ~remote_port ~transmit ~events ->
         (* The monolith is deliberately opaque: no per-sublayer counters
            or spans exist to register (that contrast is the point of E19).
            It also keeps its string-based wire handling — it is the
@@ -513,6 +528,7 @@ let factory =
           ep_write = write t;
           ep_read = read t;
           ep_close = (fun () -> close t);
+          ep_abort = (fun () -> abort t);
           ep_finished = (fun () -> stream_finished t);
         });
   }

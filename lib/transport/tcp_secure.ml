@@ -11,21 +11,15 @@ type t = R.t
 
 let demo_key = String.init 32 (fun i -> Char.chr (7 * (i + 3) land 0xFF))
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~key ~name cfg
+let create engine ?trace ?(ins = Sublayer.Instrument.none) ~key ~name cfg
     ~local_port ~remote_port ~transmit ~events =
+  let module I = Sublayer.Instrument in
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let sp sub =
-    Option.map
-      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
-      tracer
-  in
-  let acell sub =
-    match (telemetry, stats) with
-    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
-    | _ -> None
-  in
+  let monitors = ins.I.monitors and pool = ins.I.pool in
+  let sc sub = I.scope ins sub in
+  let sp sub = I.span ins ~now ~track:name sub in
+  let acell sub = I.alloc_cell ins sub in
   let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm"
   and rec_c = acell "rec" and dm_c = acell "dm" and app_c = acell "app"
   and wire_c = acell "wire" in
@@ -95,6 +89,7 @@ let write t s = R.from_above t (`Write s)
 let read t n = R.from_above t (`Read n)
 let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
+let halt t = R.halt t
 let stream_finished t = Osr.stream_finished (fst (R.state t))
 
 let rec_state t = fst (snd (snd (snd (snd (snd (snd (R.state t)))))))
@@ -106,12 +101,13 @@ let factory ~key =
     Host.fname = "sublayered-secure";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
+      (fun ?(ins = Sublayer.Instrument.none) engine ~name cfg ~local_port
            ~remote_port ~transmit ~events ->
-        let app_req, app_ind = Conform.app monitors ~conn:name in
+        let app_req, app_ind =
+          Conform.app ins.Sublayer.Instrument.monitors ~conn:name
+        in
         let t =
-          create engine ?stats ?tracer ?monitors ?telemetry ?pool ~key ~name cfg
-            ~local_port ~remote_port ~transmit
+          create engine ~ins ~key ~name cfg ~local_port ~remote_port ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
@@ -121,6 +117,7 @@ let factory ~key =
           ep_write = (fun str -> app_req (`Write str); write t str);
           ep_read = (fun n -> app_req (`Read n); read t n);
           ep_close = (fun () -> app_req `Close; close t);
+          ep_abort = (fun () -> halt t);
           ep_finished = (fun () -> stream_finished t);
         });
   }

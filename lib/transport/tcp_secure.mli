@@ -8,11 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  ?pool:Bitkit.Pool.t ->
+  ?ins:Sublayer.Instrument.t ->
   key:string ->
   name:string ->
   Config.t ->
@@ -21,6 +17,8 @@ val create :
   transmit:(Bitkit.Slice.t -> unit) ->
   events:(Iface.app_ind -> unit) ->
   t
+(** [ins] bundles the instruments exactly as in
+    {!Tcp_sublayered.create}; the extra [rec.*] scope rides along. *)
 
 val connect : t -> unit
 val listen : t -> unit
@@ -32,6 +30,10 @@ val read : t -> int -> unit
 
 val close : t -> unit
 val from_wire : t -> Bitkit.Slice.t -> unit
+
+val halt : t -> unit
+(** Make the whole stack inert (link death below). *)
+
 val stream_finished : t -> bool
 val records_sent : t -> int
 val auth_failures : t -> int

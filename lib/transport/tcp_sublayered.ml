@@ -10,24 +10,18 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool ~name cfg ~local_port ~remote_port ~transmit ~events =
+let create engine ?trace ?(ins = Sublayer.Instrument.none) ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let module I = Sublayer.Instrument in
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let sp sub =
-    Option.map
-      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
-      tracer
-  in
+  let monitors = ins.I.monitors and pool = ins.I.pool in
+  let sc sub = I.scope ins sub in
+  let sp sub = I.span ins ~now ~track:name sub in
   (* Allocation cells exist only under telemetry (they add a
      gc.minor_words counter per scope to the registry, which a plain
      stats run should not see); with all cells [None] the alloc spec is
      inert beyond one atomic load per crossing. *)
-  let acell sub =
-    match (telemetry, stats) with
-    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
-    | _ -> None
-  in
+  let acell sub = I.alloc_cell ins sub in
   let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm"
   and dm_c = acell "dm" and app_c = acell "app" and wire_c = acell "wire" in
   let alloc =
@@ -74,6 +68,7 @@ let write t s = R.from_above t (`Write s)
 let read t n = R.from_above t (`Read n)
 let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
+let halt t = R.halt t
 
 let osr_state t = fst (R.state t)
 let rd_state t = fst (snd (snd (R.state t)))

@@ -8,11 +8,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  ?pool:Bitkit.Pool.t ->
+  ?ins:Sublayer.Instrument.t ->
   name:string ->
   Config.t ->
   local_port:int ->
@@ -21,20 +17,21 @@ val create :
   events:(Iface.app_ind -> unit) ->
   t
 (** [transmit] sends a wire segment; [events] receives application-level
-    indications ([`Established], [`Data], ...). When [stats] is given,
-    each sublayer registers its counters under its own scope: [osr.*],
-    [rd.*], [cm.*], [dm.*] plus [cc.*] for the congestion controller.
-    When [tracer] is given, every sublayer opens causal spans on it
-    (track = [name]), with per-sublayer sojourn histograms recorded into
-    [stats] as well. When [monitors] is given, conformance probes on the
-    OSR⇄RD, RD⇄CM and CM⇄DM interfaces check every crossing against the
-    {!Monitor.Specs} contracts under the key [name]. When [telemetry]
-    (and [stats]) are given, {!Sublayer.Alloc} cells are installed at
-    every T2 seam so enabling allocation attribution charges
-    [<sub>.gc.minor_words] per sublayer (plus [app.*]/[wire.*] for the
-    excursions outside the stack). When [pool] is given, OSR stages
-    out-of-order segments in arena slots and DM emits outgoing segments
-    into them (see {!Osr.initial}, {!Dm.make}). *)
+    indications ([`Established], [`Data], ...). [ins] bundles the
+    instruments ({!Sublayer.Instrument}). With [ins.stats], each
+    sublayer registers its counters under its own (level-namespaced)
+    scope: [osr.*], [rd.*], [cm.*], [dm.*] plus [cc.*] for the
+    congestion controller. With [ins.tracer], every sublayer opens
+    causal spans on it (track = [name]), with per-sublayer sojourn
+    histograms recorded into [ins.stats] as well. With [ins.monitors],
+    conformance probes on the OSR⇄RD, RD⇄CM and CM⇄DM interfaces check
+    every crossing against the {!Monitor.Specs} contracts under the key
+    [name]. With [ins.telemetry] (and [ins.stats]), {!Sublayer.Alloc}
+    cells are installed at every T2 seam so enabling allocation
+    attribution charges [<sub>.gc.minor_words] per sublayer (plus
+    [app.*]/[wire.*] for the excursions outside the stack). With
+    [ins.pool], OSR stages out-of-order segments in arena slots and DM
+    emits outgoing segments into them (see {!Osr.initial}, {!Dm.make}). *)
 
 val connect : t -> unit
 val listen : t -> unit
@@ -46,6 +43,10 @@ val read : t -> int -> unit
 
 val close : t -> unit
 val from_wire : t -> Bitkit.Slice.t -> unit
+
+val halt : t -> unit
+(** Make the whole stack inert (see {!Sublayer.Runtime.Make.halt}) —
+    the link below it died. *)
 
 (** Inspection (used by tests and benches). *)
 

@@ -8,21 +8,15 @@ module R = Sublayer.Runtime.Make (Full)
 
 type t = R.t
 
-let create engine ?trace ?stats ?tracer ?monitors ?telemetry ?pool
+let create engine ?trace ?(ins = Sublayer.Instrument.none)
     ?(idle_timeout = 6.0) ~name cfg ~local_port ~remote_port ~transmit ~events =
+  let module I = Sublayer.Instrument in
   let now () = Sim.Engine.now engine in
   let isn = Config.make_isn cfg engine in
-  let sc sub = Option.map (fun reg -> Sublayer.Stats.scope reg sub) stats in
-  let sp sub =
-    Option.map
-      (fun tr -> Sublayer.Span.make ~tracer:tr ?stats:(sc sub) ~now ~track:name sub)
-      tracer
-  in
-  let acell sub =
-    match (telemetry, stats) with
-    | Some _, Some reg -> Some (Sublayer.Alloc.cell (Sublayer.Stats.scope reg sub))
-    | _ -> None
-  in
+  let monitors = ins.I.monitors and pool = ins.I.pool in
+  let sc sub = I.scope ins sub in
+  let sp sub = I.span ins ~now ~track:name sub in
+  let acell sub = I.alloc_cell ins sub in
   let osr_c = acell "osr" and rd_c = acell "rd" and cm_c = acell "cm-timer"
   and dm_c = acell "dm" and app_c = acell "app" and wire_c = acell "wire" in
   let alloc =
@@ -72,6 +66,7 @@ let write t s = R.from_above t (`Write s)
 let read t n = R.from_above t (`Read n)
 let close t = R.from_above t `Close
 let from_wire t wire = R.from_below t wire
+let halt t = R.halt t
 let cm_phase t = Cm_timer.phase_name (fst (snd (snd (snd (snd (R.state t))))))
 let stream_finished t = Osr.stream_finished (fst (R.state t))
 
@@ -80,12 +75,14 @@ let factory ?idle_timeout () =
     Host.fname = "sublayered-watson";
     peek = Segment.peek_ports;
     make =
-      (fun ?stats ?tracer ?monitors ?telemetry ?pool engine ~name cfg ~local_port
+      (fun ?(ins = Sublayer.Instrument.none) engine ~name cfg ~local_port
            ~remote_port ~transmit ~events ->
-        let app_req, app_ind = Conform.app monitors ~conn:name in
+        let app_req, app_ind =
+          Conform.app ins.Sublayer.Instrument.monitors ~conn:name
+        in
         let t =
-          create engine ?stats ?tracer ?monitors ?telemetry ?pool ?idle_timeout ~name
-            cfg ~local_port ~remote_port ~transmit
+          create engine ~ins ?idle_timeout ~name cfg ~local_port ~remote_port
+            ~transmit
             ~events:(fun e -> app_ind e; events e)
         in
         {
@@ -95,6 +92,7 @@ let factory ?idle_timeout () =
           ep_write = (fun str -> app_req (`Write str); write t str);
           ep_read = (fun n -> app_req (`Read n); read t n);
           ep_close = (fun () -> app_req `Close; close t);
+          ep_abort = (fun () -> halt t);
           ep_finished = (fun () -> stream_finished t);
         });
   }

@@ -7,11 +7,7 @@ type t
 val create :
   Sim.Engine.t ->
   ?trace:Sim.Trace.t ->
-  ?stats:Sublayer.Stats.registry ->
-  ?tracer:Sim.Tracer.t ->
-  ?monitors:Monitor.Runtime.t ->
-  ?telemetry:Sim.Telemetry.t ->
-  ?pool:Bitkit.Pool.t ->
+  ?ins:Sublayer.Instrument.t ->
   ?idle_timeout:float ->
   name:string ->
   Config.t ->
@@ -32,6 +28,10 @@ val read : t -> int -> unit
 
 val close : t -> unit
 val from_wire : t -> Bitkit.Slice.t -> unit
+
+val halt : t -> unit
+(** Make the whole stack inert (link death below). *)
+
 val cm_phase : t -> string
 val stream_finished : t -> bool
 

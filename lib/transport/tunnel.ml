@@ -1,0 +1,89 @@
+module Link = Sublayer.Link
+
+(* Records above this are not traffic, they are corruption (the outer
+   stream delivers reliable bytes, but a buggy peer could still frame
+   nonsense); kill the link rather than waiting forever for 4 GiB. *)
+let max_frame = 1 lsl 24
+
+type t = {
+  conn : Host.conn;
+  lk : Bitkit.Slice.t Link.t;
+  mutable pending : string;  (* outer-stream bytes not yet a whole record *)
+  mutable n_in : int;
+  mutable n_out : int;
+}
+
+let be32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b (off + 3) (Char.chr (v land 0xFF))
+
+let rd32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+(* Parse every complete record out of the pending bytes and deliver each
+   as a slice view (the inner stack consumes it within this event, the
+   same lifetime contract a channel delivery has). *)
+let drain t =
+  let fresh = Host.take_received t.conn in
+  if fresh <> "" then begin
+    t.pending <- (if t.pending = "" then fresh else t.pending ^ fresh);
+    let data = t.pending in
+    let len = String.length data in
+    let view = Bitkit.Slice.of_string data in
+    let pos = ref 0 in
+    let ok = ref true in
+    while !ok && len - !pos >= 4 do
+      let n = rd32 data !pos in
+      if n > max_frame then begin
+        (* Framing is broken beyond recovery; the path below is gone. *)
+        ok := false;
+        Link.kill t.lk
+      end
+      else if len - !pos - 4 >= n then begin
+        let record = Bitkit.Slice.sub view ~pos:(!pos + 4) ~len:n in
+        pos := !pos + 4 + n;
+        t.n_in <- t.n_in + 1;
+        Link.deliver t.lk record
+      end
+      else ok := false
+    done;
+    if Link.alive t.lk then
+      t.pending <-
+        (if !pos = 0 then data else String.sub data !pos (len - !pos))
+  end
+
+let transmit t s =
+  let n = Bitkit.Slice.length s in
+  let b = Bytes.create (n + 4) in
+  be32 b 0 n;
+  Bitkit.Slice.blit s b 4;
+  t.n_out <- t.n_out + 1;
+  Host.write t.conn (Bytes.unsafe_to_string b)
+
+let create ?(id = "tunnel") ?mtu ?(cost = 1.) conn =
+  let tref = ref None in
+  let lk =
+    Link.make ~id ?mtu ~cost
+      ~close:(fun () -> Host.close conn)
+      ~transmit:(fun s -> match !tref with Some t -> transmit t s | None -> ())
+      ()
+  in
+  let t = { conn; lk; pending = ""; n_in = 0; n_out = 0 } in
+  tref := Some t;
+  Host.on_data conn (fun _chunk -> drain t);
+  Host.on_event conn (function
+    | `Aborted | `Reset | `Closed -> Link.kill lk
+    | _ -> ());
+  (* Catch up with whatever happened before we took the callbacks over. *)
+  if Host.closed conn then Link.kill lk else drain t;
+  t
+
+let link t = t.lk
+let outer t = t.conn
+let frames_in t = t.n_in
+let frames_out t = t.n_out

@@ -200,7 +200,7 @@ let test_network_reconverges_across_flap () =
       let engine = Sim.Engine.create ~seed:11 () in
       let monitors = Monitor.Runtime.create ~label:pname () in
       let net =
-        Network.Topology.build engine ~monitors ~routing ~n:8
+        Network.Topology.build engine ~ins:(Sublayer.Instrument.v ~monitors ()) ~routing ~n:8
           (Network.Topology.ring 8)
       in
       (match Network.Topology.converge net with

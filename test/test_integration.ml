@@ -25,12 +25,14 @@ let tcp_over_network ~routing ~fail_mid_transfer ~seed =
   in
   let ch =
     Transport.Host.create engine ~name:"client"
-      ~transmit:(fun w -> transmit_from client_node server_node w)
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w -> transmit_from client_node server_node w) ())
       ()
   in
   let sh =
     Transport.Host.create engine ~name:"server"
-      ~transmit:(fun w -> transmit_from server_node client_node w)
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w -> transmit_from server_node client_node w) ())
       ()
   in
   let pump () =
@@ -105,12 +107,18 @@ let test_transport_over_datalink () =
   let client = ref None and server = ref None in
   let ch =
     Transport.Host.create engine ~name:"client"
-      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.a (Bitkit.Slice.to_string w))
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w ->
+                 Datalink.Stack.send link.Datalink.Stack.a (Bitkit.Slice.to_string w))
+               ())
       ()
   in
   let sh =
     Transport.Host.create engine ~name:"server"
-      ~transmit:(fun w -> Datalink.Stack.send link.Datalink.Stack.b (Bitkit.Slice.to_string w))
+      ~link:(Sublayer.Link.make
+               ~transmit:(fun w ->
+                 Datalink.Stack.send link.Datalink.Stack.b (Bitkit.Slice.to_string w))
+               ())
       ()
   in
   client := Some ch;

@@ -126,7 +126,7 @@ let test_transit_spans_of_identical_payloads () =
   let engine = Sim.Engine.create ~seed:4 () in
   let tracer = Sim.Tracer.create () in
   let net =
-    Topology.build engine ~tracer ~routing:(Distance_vector.factory ()) ~n:3
+    Topology.build engine ~ins:(Sublayer.Instrument.v ~tracer ()) ~routing:(Distance_vector.factory ()) ~n:3
       (Topology.line 3)
   in
   (match Topology.converge net with

@@ -556,9 +556,9 @@ let test_peering_mixed_mechanisms () =
       ~deliver:(fun s -> !dir s) () in
   let ab = ch to_b and ba = ch to_a in
   let a = Host.create engine ~config:cfg_a ~name:"A"
-      ~transmit:(fun s -> Sim.Channel.send ab s) () in
+      ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send ab s) ()) () in
   let b = Host.create engine ~config:cfg_b ~name:"B"
-      ~transmit:(fun s -> Sim.Channel.send ba s) () in
+      ~link:(Sublayer.Link.make ~transmit:(fun s -> Sim.Channel.send ba s) ()) () in
   to_a := Host.from_wire a;
   to_b := Host.from_wire b;
   Host.listen b ~port:80;
